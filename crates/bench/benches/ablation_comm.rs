@@ -1,0 +1,65 @@
+//! Ablation: interconnect cost model — what the simulated Slingshot fabric
+//! charges collectives versus the free (pure shared-memory) model, across
+//! rank counts. This is the mechanism that makes "communication overhead
+//! beyond a single LLC domain" visible in Fig. 3e.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qfw_hpc::{ClusterSpec, Communicator, InterconnectModel, NodeSpec};
+use qfw_hpc::topology::CoreId;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Runs one allreduce round over `ranks` threads under a model, with ranks
+/// spread across LLC domains and nodes the way the QRC packs them.
+fn allreduce_round(ranks: usize, model: InterconnectModel) {
+    let spec = NodeSpec::frontier();
+    let per_node = spec.app_cores();
+    let placement: Vec<CoreId> = (0..ranks)
+        .map(|r| CoreId {
+            node: r / per_node,
+            core: (r % per_node) * 3 % spec.cores, // spread across LLCs
+        })
+        .collect();
+    let ctxs = Communicator::create(placement, spec, model);
+    let payload = vec![1.0f64; 1 << 10];
+    let handles: Vec<_> = ctxs
+        .into_iter()
+        .map(|mut ctx| {
+            let payload = payload.clone();
+            thread::spawn(move || {
+                let out = ctx.allreduce_sum_vec(payload);
+                out[0]
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let _ = ClusterSpec::test(1); // keep the import honest
+    let _ = Arc::new(());
+}
+
+fn bench_comm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_comm");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+
+    for ranks in [2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("free", ranks), &ranks, |b, &r| {
+            b.iter(|| allreduce_round(r, InterconnectModel::free()));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("slingshot", ranks),
+            &ranks,
+            |b, &r| {
+                b.iter(|| allreduce_round(r, InterconnectModel::slingshot()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_comm);
+criterion_main!(benches);

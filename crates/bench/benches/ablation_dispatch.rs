@@ -1,0 +1,66 @@
+//! Ablation: QRC dispatch policy (round-robin vs least-loaded) under a
+//! skewed mix of task sizes submitted concurrently.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qfw::qpm::Qpm;
+use qfw::qrc::{DispatchPolicy, Qrc};
+use qfw::{BackendRegistry, BackendSpec, QfwBackend};
+use qfw_defw::Defw;
+use qfw_hpc::slurm::{HetJob, HetJobSpec};
+use qfw_hpc::{ClusterSpec, Dvm};
+use qfw_workloads::ghz;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn rig(policy: DispatchPolicy) -> (Defw, QfwBackend) {
+    let cluster = ClusterSpec::test(3);
+    let hetjob = Arc::new(HetJob::submit(&cluster, &HetJobSpec::qfw_standard(2)).unwrap());
+    let dvm = Arc::new(Dvm::new(&cluster));
+    let qrc = Arc::new(Qrc::new(
+        BackendRegistry::standard(None),
+        hetjob,
+        dvm,
+        1,
+        4,
+        policy,
+    ));
+    let defw = Defw::start(8);
+    let _qpm = Qpm::start(&defw, 0, qrc);
+    let backend = QfwBackend::connect(defw.client(), "qpm0", BackendSpec::of("aer", "statevector"));
+    (defw, backend)
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dispatch");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(6));
+
+    // Skewed batch: a few heavy circuits among many light ones.
+    let light = ghz(6);
+    let heavy = ghz(14);
+
+    for (label, policy) in [
+        ("round_robin", DispatchPolicy::RoundRobin),
+        ("least_loaded", DispatchPolicy::LeastLoaded),
+    ] {
+        let (_defw, backend) = rig(policy);
+        group.bench_with_input(BenchmarkId::new(label, "skewed12"), &(), |b, ()| {
+            b.iter(|| {
+                let jobs: Vec<_> = (0..12)
+                    .map(|i| {
+                        let circuit = if i % 4 == 0 { &heavy } else { &light };
+                        backend.execute(circuit, 64).unwrap()
+                    })
+                    .collect();
+                for job in jobs {
+                    job.result().unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

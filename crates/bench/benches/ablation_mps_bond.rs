@@ -1,0 +1,29 @@
+//! Ablation: MPS truncation budget (`chi_max`) on a TFIM quench — the
+//! accuracy/runtime dial of every tensor-train engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qfw_sim_mps::{MpsConfig, MpsSimulator};
+use qfw_workloads::tfim;
+use std::time::Duration;
+
+fn bench_bond_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mps_bond");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+
+    let circuit = tfim(16);
+    for &chi in &[2usize, 8, 32, 64] {
+        let engine = MpsSimulator::new(MpsConfig {
+            chi_max: chi,
+            trunc_eps: 1e-12,
+        });
+        group.bench_with_input(BenchmarkId::new("tfim16", chi), &circuit, |b, circuit| {
+            b.iter(|| engine.run(circuit, 64, 3));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bond_budget);
+criterion_main!(benches);

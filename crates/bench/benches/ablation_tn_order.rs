@@ -1,0 +1,37 @@
+//! Ablation: contraction-order planning in the tensor-network engine —
+//! greedy (qtree-style) versus naive sequential fold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qfw_sim_tn::{OrderHeuristic, TnConfig, TnSimulator};
+use qfw_workloads::{ghz, ham};
+use std::time::Duration;
+
+fn bench_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tn_order");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+
+    for (label, circuit) in [("ghz12", ghz(12)), ("ham10", ham(10))] {
+        for (order_label, order) in [
+            ("greedy", OrderHeuristic::Greedy),
+            ("sequential", OrderHeuristic::Sequential),
+        ] {
+            let engine = TnSimulator::new(TnConfig {
+                order,
+                width_limit: 27,
+            });
+            group.bench_with_input(
+                BenchmarkId::new(order_label, label),
+                &circuit,
+                |b, circuit| {
+                    b.iter(|| engine.run(circuit, 64, 3));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orders);
+criterion_main!(benches);

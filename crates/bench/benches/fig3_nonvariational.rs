@@ -1,0 +1,72 @@
+//! Criterion bench behind Fig. 3a-3d: non-variational kernels across the
+//! local backends at laptop-friendly sizes. The `experiments` binary runs
+//! the full size ladders; this bench gives statistically tight per-cell
+//! numbers for regression tracking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qfw::{BackendSpec, QfwSession};
+use qfw_workloads::{ghz, ham, hhl_benchmark, tfim};
+use std::time::Duration;
+
+fn backends() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("nwqsim", "cpu"),
+        ("aer", "statevector"),
+        ("aer", "matrix_product_state"),
+        ("tnqvm", "exatn-mps"),
+        ("qtensor", "numpy"),
+    ]
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let session = QfwSession::launch_local(2).expect("session");
+    let shots = 256;
+
+    let mut group = c.benchmark_group("fig3_nonvariational");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+
+    let kernels: Vec<(&str, Box<dyn Fn(usize) -> qfw_circuit::Circuit>)> = vec![
+        ("ghz", Box::new(ghz)),
+        ("ham", Box::new(ham)),
+        ("tfim", Box::new(tfim)),
+    ];
+    for (kernel, build) in &kernels {
+        for &n in &[8usize, 12] {
+            let circuit = build(n);
+            for &(name, sub) in &backends() {
+                let backend = session
+                    .backend_with_spec(BackendSpec::of(name, sub))
+                    .unwrap();
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{kernel}/{name}-{sub}"), n),
+                    &circuit,
+                    |b, circuit| {
+                        b.iter(|| backend.execute_sync(circuit, shots).unwrap());
+                    },
+                );
+            }
+        }
+    }
+
+    // HHL only on the engines that survive its depth at bench time.
+    let (hhl5, _) = hhl_benchmark(5);
+    for (name, sub) in [("nwqsim", "cpu"), ("aer", "statevector")] {
+        let backend = session
+            .backend_with_spec(BackendSpec::of(name, sub))
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new(format!("hhl/{name}-{sub}"), 5),
+            &hhl5,
+            |b, circuit| {
+                b.iter(|| backend.execute_sync(circuit, shots).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

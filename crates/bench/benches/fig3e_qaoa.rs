@@ -1,0 +1,49 @@
+//! Criterion bench behind Fig. 3e: the cost of one QAOA optimizer
+//! iteration (bind → execute → energy) as the QUBO grows, per backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qfw::{BackendSpec, QfwSession};
+use qfw_workloads::qaoa::{counts_energy, qaoa_ansatz};
+use qfw_workloads::Qubo;
+use std::time::Duration;
+
+fn bench_qaoa_iteration(c: &mut Criterion) {
+    let session = QfwSession::launch_local(2).expect("session");
+    let mut group = c.benchmark_group("fig3e_qaoa_iteration");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+
+    for &n in &[6usize, 10, 14] {
+        let qubo = Qubo::random(n, 0.5, 100 + n as u64);
+        let ansatz = qaoa_ansatz(&qubo, 1);
+        for (name, sub) in [
+            ("nwqsim", "cpu"),
+            ("aer", "statevector"),
+            ("aer", "matrix_product_state"),
+        ] {
+            let backend = session
+                .backend_with_spec(BackendSpec::of(name, sub))
+                .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}-{sub}"), n),
+                &n,
+                |b, _| {
+                    let mut k = 0u64;
+                    b.iter(|| {
+                        k += 1;
+                        let theta = [0.1 + (k % 7) as f64 * 0.05, 0.3];
+                        let circuit = ansatz.bind(&theta);
+                        let result = backend.execute_sync(&circuit, 256).unwrap();
+                        counts_energy(&qubo, &result.counts)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qaoa_iteration);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion bench behind Fig. 4: DQAOA end-to-end time per decomposition
+//! shape, local backend vs a (latency-free) cloud backend. The relative
+//! ordering of decompositions — moderate sub-QUBOs beating many-tiny ones —
+//! is the paper's observation about fixed RPC/scheduling overheads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qfw::{BackendSpec, QfwConfig, QfwSession};
+use qfw_cloud::CloudConfig;
+use qfw_dqaoa::{solve_dqaoa, DecompPolicy, DqaoaConfig, QaoaConfig};
+use qfw_workloads::Qubo;
+use std::time::Duration;
+
+fn config(subqsize: usize, nsubq: usize) -> DqaoaConfig {
+    DqaoaConfig {
+        subqsize,
+        nsubq,
+        policy: DecompPolicy::Random,
+        qaoa: QaoaConfig {
+            layers: 1,
+            shots: 128,
+            max_evals: 8,
+            seed: 1,
+            wall_limit_secs: f64::INFINITY,
+        },
+        max_iterations: 2,
+        patience: 2,
+        local_refine: true,
+        seed: 5,
+    }
+}
+
+fn bench_dqaoa(c: &mut Criterion) {
+    let cluster = qfw_hpc::ClusterSpec::test(3);
+    let session = QfwSession::launch(
+        &cluster,
+        QfwConfig {
+            qfw_nodes: 2,
+            cloud: Some(CloudConfig::instant()),
+            ..QfwConfig::default()
+        },
+    )
+    .expect("session");
+
+    let qubo = Qubo::metamaterial(24, 3, 77);
+    let mut group = c.benchmark_group("fig4_dqaoa");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_millis(500));
+
+    for (subqsize, nsubq) in [(12usize, 2usize), (6, 4), (8, 3)] {
+        for (name, sub) in [("nwqsim", "cpu"), ("ionq", "simulator")] {
+            let backend = session
+                .backend_with_spec(BackendSpec::of(name, sub))
+                .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}"), format!("({subqsize},{nsubq})")),
+                &qubo,
+                |b, qubo| {
+                    b.iter(|| solve_dqaoa(&backend, qubo, config(subqsize, nsubq)).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dqaoa);
+criterion_main!(benches);

@@ -1,0 +1,207 @@
+//! Table 2 as code: the benchmark suite and problem sizes.
+
+/// Which problem-size ladder to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Suite {
+    /// Scaled-down sizes that finish in minutes on a workstation while
+    /// preserving every crossover the paper reports.
+    Quick,
+    /// The paper's Table 2 sizes (needs a large machine and hours: a dense
+    /// 32-qubit state alone is 64 GiB).
+    Paper,
+}
+
+impl Suite {
+    /// Qubit counts for GHZ / HAM (Table 2 row 1-2).
+    pub fn ghz_ham_sizes(self) -> Vec<usize> {
+        match self {
+            Suite::Quick => vec![4, 8, 12, 16, 18, 20],
+            Suite::Paper => vec![4, 8, 12, 16, 20, 24, 28, 30, 32],
+        }
+    }
+
+    /// Qubit counts for TFIM (MPS sustains the largest sizes).
+    pub fn tfim_sizes(self) -> Vec<usize> {
+        match self {
+            Suite::Quick => vec![4, 8, 12, 16, 18, 20],
+            Suite::Paper => vec![4, 8, 12, 16, 20, 24, 28, 30, 33],
+        }
+    }
+
+    /// Extra TFIM sizes only tensor-network methods attempt (the paper's
+    /// "mps sustains low runtimes up to 33 qubits" tail).
+    pub fn tfim_mps_tail(self) -> Vec<usize> {
+        match self {
+            Suite::Quick => vec![24, 28, 33],
+            Suite::Paper => vec![40, 48, 64],
+        }
+    }
+
+    /// Total qubit counts for HHL (Table 2 row 4).
+    pub fn hhl_sizes(self) -> Vec<usize> {
+        match self {
+            Suite::Quick => vec![5, 7, 9, 11, 13],
+            Suite::Paper => vec![5, 7, 9, 11, 13, 15, 17],
+        }
+    }
+
+    /// QUBO sizes for single-shot QAOA (Table 2, variational).
+    pub fn qaoa_sizes(self) -> Vec<usize> {
+        match self {
+            Suite::Quick => vec![4, 8, 10, 14, 18],
+            Suite::Paper => vec![4, 8, 10, 20, 30],
+        }
+    }
+
+    /// DQAOA configurations: (qubo_size, subqsize, nsubq) — Table 2's
+    /// `30 with (16,2),(8,4),(12,3)` and `40 with (16,4),(12,4)`.
+    pub fn dqaoa_configs(self) -> Vec<(usize, usize, usize)> {
+        match self {
+            // Same shapes, smaller inner problems, so the quick suite
+            // finishes in minutes.
+            Suite::Quick => vec![
+                (30, 16, 2),
+                (30, 8, 4),
+                (30, 12, 3),
+                (40, 16, 4),
+                (40, 12, 4),
+            ],
+            Suite::Paper => vec![
+                (30, 16, 2),
+                (30, 8, 4),
+                (30, 12, 3),
+                (40, 16, 4),
+                (40, 12, 4),
+            ],
+        }
+    }
+
+    /// The weak-scaling resource ladder: for a problem of `n` qubits,
+    /// the (#nodes, #processes-per-node) pair used by the paper's secondary
+    /// x-axis. Scaled to the simulated cluster: ranks double every few
+    /// qubits, capped by what the register can shard.
+    pub fn resources_for(self, n: usize) -> (usize, usize) {
+        // (nodes, procs/node) — total ranks must stay << 2^n.
+        let ranks: usize = match n {
+            0..=8 => 1,
+            9..=12 => 2,
+            13..=16 => 4,
+            17..=20 => 8,
+            21..=24 => 16,
+            _ => 32,
+        };
+        let per_node = ranks.min(8);
+        (ranks.div_ceil(per_node), per_node)
+    }
+
+    /// Strong-scaling rank ladder for the TFIM-28-style study (Fig. 3c
+    /// inset). The quick suite uses TFIM-16.
+    pub fn strong_scaling_ranks(self) -> Vec<usize> {
+        vec![1, 2, 4, 8, 16]
+    }
+
+    /// The TFIM size used by the strong-scaling study. The instance must
+    /// carry enough work per rank that communication does not dominate
+    /// immediately (the paper uses 28 qubits; 20 is the quick-suite
+    /// equivalent on a single host).
+    pub fn strong_scaling_qubits(self) -> usize {
+        match self {
+            Suite::Quick => 20,
+            Suite::Paper => 28,
+        }
+    }
+
+    /// Shots per circuit execution.
+    pub fn shots(self) -> usize {
+        1024
+    }
+
+    /// Repetitions per measured cell (the paper: three, allocation-limited).
+    pub fn repetitions(self) -> usize {
+        3
+    }
+
+    /// Per-cell walltime cutoff in seconds (the paper's two-hour cutoff,
+    /// scaled to the quick suite).
+    pub fn cutoff_secs(self) -> f64 {
+        match self {
+            Suite::Quick => 60.0,
+            Suite::Paper => 7200.0,
+        }
+    }
+}
+
+/// The local-backend lineup of Fig. 3 (name, subbackend).
+pub fn fig3_backends() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("nwqsim", "cpu"),
+        ("aer", "statevector"),
+        ("aer", "matrix_product_state"),
+        ("tnqvm", "exatn-mps"),
+        ("qtensor", "numpy"),
+    ]
+}
+
+/// Renders Table 2 as text.
+pub fn render_table2(suite: Suite) -> String {
+    let mut out = String::new();
+    out.push_str("Table 2: benchmarks and problem sizes\n");
+    out.push_str("--- Non-variational ---\n");
+    out.push_str(&format!("GHZ qubits:  {:?}\n", suite.ghz_ham_sizes()));
+    out.push_str(&format!("HAM qubits:  {:?}\n", suite.ghz_ham_sizes()));
+    out.push_str(&format!(
+        "TFIM qubits: {:?} (+ MPS tail {:?})\n",
+        suite.tfim_sizes(),
+        suite.tfim_mps_tail()
+    ));
+    out.push_str(&format!("HHL qubits:  {:?}\n", suite.hhl_sizes()));
+    out.push_str("--- Variational ---\n");
+    out.push_str(&format!("QAOA QUBO sizes: {:?}\n", suite.qaoa_sizes()));
+    out.push_str("DQAOA (qubo, subqsize, nsubq): ");
+    for (q, s, k) in suite.dqaoa_configs() {
+        out.push_str(&format!("{q}:({s},{k}) "));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_match_table2() {
+        assert_eq!(
+            Suite::Paper.ghz_ham_sizes(),
+            vec![4, 8, 12, 16, 20, 24, 28, 30, 32]
+        );
+        assert_eq!(Suite::Paper.hhl_sizes(), vec![5, 7, 9, 11, 13, 15, 17]);
+        assert_eq!(Suite::Paper.qaoa_sizes(), vec![4, 8, 10, 20, 30]);
+        assert_eq!(Suite::Paper.dqaoa_configs().len(), 5);
+    }
+
+    #[test]
+    fn quick_sizes_are_subsets_in_spirit() {
+        assert!(Suite::Quick.ghz_ham_sizes().iter().all(|&n| n <= 20));
+        assert!(Suite::Quick.hhl_sizes().iter().all(|&n| n % 2 == 1));
+    }
+
+    #[test]
+    fn resource_ladder_is_monotone() {
+        let mut last = 0;
+        for n in [4usize, 10, 14, 18, 22, 30] {
+            let (nodes, ppn) = Suite::Quick.resources_for(n);
+            let ranks = nodes * ppn;
+            assert!(ranks >= last, "ladder dipped at {n}");
+            assert!(ranks < (1 << n), "too many ranks for {n} qubits");
+            last = ranks;
+        }
+    }
+
+    #[test]
+    fn table2_renders() {
+        let text = render_table2(Suite::Paper);
+        assert!(text.contains("30:(16,2)"));
+        assert!(text.contains("HHL"));
+    }
+}

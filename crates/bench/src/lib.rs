@@ -1,0 +1,19 @@
+//! The benchmark harness: regenerates every table and figure of the
+//! paper's evaluation (Section 6) on the simulated cluster.
+//!
+//! * [`config`] — Table 2 as code: workload sizes, DQAOA configurations,
+//!   and the (#nodes, #processes) ladder of the weak-scaling secondary
+//!   axes. Includes a scaled-down default suite (a laptop is not Frontier;
+//!   dense 32-qubit states need 64 GiB) with the paper-scale sizes kept
+//!   available behind [`config::Suite::Paper`].
+//! * [`runner`] — executes (workload × backend × size) cells with the
+//!   paper's three-repetition mean/std protocol, records timing series,
+//!   and renders them as aligned text tables and CSV.
+//! * [`experiments`] — one entry point per table/figure:
+//!   `table1`, `table2`, `fig3a` … `fig3f`, `fig4`, `fig5`.
+//!
+//! The `experiments` binary exposes each as a subcommand.
+
+pub mod config;
+pub mod experiments;
+pub mod runner;

@@ -1,0 +1,267 @@
+//! Static circuit analysis.
+//!
+//! Three passes feed the orchestration layer:
+//!
+//! * [`is_clifford`] — lets the Aer-`automatic` analog route Clifford
+//!   circuits (GHZ) to the stabilizer engine.
+//! * [`lightcone`] — the backward causal-cone slice QTensor-style engines use
+//!   to evaluate observables over a few qubits without contracting the full
+//!   state.
+//! * [`StructureReport`] — cheap structural estimates (cut weight, depth,
+//!   diagonal fraction) that drive MPS-vs-statevector selection heuristics.
+
+use crate::circuit::{Circuit, Op};
+use std::collections::BTreeSet;
+
+/// True when every unitary gate in the circuit is a Clifford gate.
+pub fn is_clifford(circuit: &Circuit) -> bool {
+    circuit.gates().all(|g| g.is_clifford())
+}
+
+/// Extracts the backward lightcone of `targets`: the minimal suffix-closed
+/// sub-circuit whose gates can influence measurements of the target qubits.
+///
+/// Walks the operation list backwards keeping a growing "active" qubit set;
+/// a gate is kept iff it touches an active qubit, and keeping it activates
+/// all of its operands. Diagonal gates that act entirely *outside* the
+/// active set can never rotate amplitudes into it, so they are dropped like
+/// any other non-intersecting gate.
+///
+/// Returns a circuit over the same register (qubit indices preserved) plus
+/// the final support set — the qubits the cone actually touches.
+pub fn lightcone(circuit: &Circuit, targets: &[usize]) -> (Circuit, BTreeSet<usize>) {
+    let mut active: BTreeSet<usize> = targets.iter().copied().collect();
+    let mut kept_rev: Vec<Op> = Vec::new();
+    for op in circuit.ops().iter().rev() {
+        match op {
+            Op::Barrier(_) => continue,
+            Op::Measure { qubit, .. } => {
+                // Measurements of non-target qubits outside the cone are
+                // irrelevant to the targets' statistics.
+                if active.contains(qubit) {
+                    kept_rev.push(op.clone());
+                }
+            }
+            Op::Gate(g) => {
+                let qs = g.qubits();
+                if qs.iter().any(|q| active.contains(q)) {
+                    for q in qs {
+                        active.insert(q);
+                    }
+                    kept_rev.push(op.clone());
+                }
+            }
+        }
+    }
+    let mut cone = Circuit::with_clbits(circuit.num_qubits(), circuit.num_clbits());
+    cone.name = format!("{}_cone", circuit.name);
+    for op in kept_rev.into_iter().rev() {
+        cone.push_op(op);
+    }
+    (cone, active)
+}
+
+/// Structural summary used by backend-selection heuristics and reported in
+/// dispatch logs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StructureReport {
+    /// Total unitary gates.
+    pub num_gates: usize,
+    /// Entangling gates.
+    pub num_entangling: usize,
+    /// Circuit depth.
+    pub depth: usize,
+    /// Fraction of gates diagonal in the Z basis.
+    pub diagonal_fraction: f64,
+    /// Maximum number of entangling gates crossing any contiguous cut
+    /// `q < k | q >= k` — a proxy for the bond dimension an MPS run needs.
+    pub max_cut_weight: usize,
+    /// Mean absolute rotation angle of the entangling gates, with
+    /// non-parameterized entanglers (CX, CZ, CCX, ...) counted as `pi`
+    /// (maximal). Small values mean weak per-gate Schmidt-rank growth —
+    /// the regime where MPS engines win.
+    pub mean_entangling_angle: f64,
+    /// True when all entangling gates act on adjacent qubits (`|a-b| == 1`),
+    /// the friendly case for MPS without swap routing.
+    pub nearest_neighbor_only: bool,
+    /// True when every gate is Clifford.
+    pub clifford: bool,
+}
+
+impl StructureReport {
+    /// Analyzes a circuit.
+    pub fn of(circuit: &Circuit) -> StructureReport {
+        let n = circuit.num_qubits();
+        let mut cut = vec![0usize; n.saturating_sub(1)];
+        let mut nn_only = true;
+        let mut diagonal = 0usize;
+        let mut angle_sum = 0.0f64;
+        let mut entangling = 0usize;
+        for g in circuit.gates() {
+            if g.is_diagonal() {
+                diagonal += 1;
+            }
+            if g.is_entangling() {
+                entangling += 1;
+                angle_sum += g
+                    .params()
+                    .first()
+                    .map(|t| t.abs())
+                    .unwrap_or(std::f64::consts::PI);
+                let qs = g.qubits();
+                let lo = *qs.iter().min().unwrap();
+                let hi = *qs.iter().max().unwrap();
+                if hi - lo > 1 {
+                    nn_only = false;
+                }
+                // The gate crosses every cut strictly between lo and hi.
+                for k in lo..hi {
+                    cut[k] += 1;
+                }
+            }
+        }
+        let num_gates = circuit.num_gates();
+        StructureReport {
+            num_gates,
+            num_entangling: circuit.num_entangling(),
+            depth: circuit.depth(),
+            diagonal_fraction: if num_gates == 0 {
+                0.0
+            } else {
+                diagonal as f64 / num_gates as f64
+            },
+            max_cut_weight: cut.iter().copied().max().unwrap_or(0),
+            mean_entangling_angle: if entangling == 0 {
+                0.0
+            } else {
+                angle_sum / entangling as f64
+            },
+            nearest_neighbor_only: nn_only,
+            clifford: is_clifford(circuit),
+        }
+    }
+
+    /// A coarse upper bound on the log2 bond dimension an exact MPS run
+    /// would need: each entangling gate across a cut can at most double the
+    /// Schmidt rank there, capped by the register split.
+    pub fn log2_bond_bound(&self, num_qubits: usize) -> usize {
+        self.max_cut_weight.min(num_qubits / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut qc = Circuit::new(n);
+        qc.h(0);
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+        }
+        qc
+    }
+
+    #[test]
+    fn ghz_is_clifford_qaoa_is_not() {
+        assert!(is_clifford(&ghz(4)));
+        let mut qaoa = Circuit::new(2);
+        qaoa.h(0).h(1).rzz(0, 1, 0.3).rx(0, 0.2);
+        assert!(!is_clifford(&qaoa));
+    }
+
+    #[test]
+    fn lightcone_keeps_only_causal_gates() {
+        let mut qc = Circuit::new(4);
+        qc.h(0).cx(0, 1); // entangles 0,1
+        qc.h(3); // disconnected from targets
+        qc.rz(2, 0.4); // disconnected
+        let (cone, support) = lightcone(&qc, &[1]);
+        assert_eq!(cone.num_gates(), 2);
+        assert_eq!(support, [0usize, 1].into_iter().collect());
+    }
+
+    #[test]
+    fn lightcone_grows_transitively() {
+        let mut qc = Circuit::new(3);
+        qc.h(0).cx(0, 1).cx(1, 2);
+        let (cone, support) = lightcone(&qc, &[2]);
+        // cx(1,2) pulls in qubit 1, cx(0,1) pulls in qubit 0, h(0) kept.
+        assert_eq!(cone.num_gates(), 3);
+        assert_eq!(support.len(), 3);
+    }
+
+    #[test]
+    fn lightcone_of_everything_is_everything() {
+        let qc = ghz(5);
+        let targets: Vec<usize> = (0..5).collect();
+        let (cone, _) = lightcone(&qc, &targets);
+        assert_eq!(cone.num_gates(), qc.num_gates());
+    }
+
+    #[test]
+    fn lightcone_drops_unrelated_measurements() {
+        let mut qc = Circuit::new(2);
+        qc.h(0).measure(0, 0).measure(1, 1);
+        let (cone, _) = lightcone(&qc, &[0]);
+        assert_eq!(cone.size(), 2); // h + measure q0 only
+    }
+
+    #[test]
+    fn structure_report_ghz_chain() {
+        let r = StructureReport::of(&ghz(6));
+        assert_eq!(r.num_entangling, 5);
+        assert!(r.nearest_neighbor_only);
+        assert_eq!(r.max_cut_weight, 1); // each cut crossed by exactly one cx
+        assert!(r.clifford);
+        assert_eq!(r.log2_bond_bound(6), 1);
+    }
+
+    #[test]
+    fn structure_report_long_range_detected() {
+        let mut qc = Circuit::new(4);
+        qc.cx(0, 3).cx(1, 2);
+        let r = StructureReport::of(&qc);
+        assert!(!r.nearest_neighbor_only);
+        // Cut between 1|2 is crossed by both gates.
+        assert_eq!(r.max_cut_weight, 2);
+    }
+
+    #[test]
+    fn entangling_angle_distinguishes_weak_quenches() {
+        // TFIM-style weak quench: tiny rzz angles.
+        let mut weak = Circuit::new(4);
+        for q in 0..3 {
+            weak.rzz(q, q + 1, 0.1);
+        }
+        let r = StructureReport::of(&weak);
+        assert!((r.mean_entangling_angle - 0.1).abs() < 1e-12);
+        // CX chains count as maximal.
+        let mut strong = Circuit::new(4);
+        strong.cx(0, 1).cx(1, 2);
+        let r = StructureReport::of(&strong);
+        assert!((r.mean_entangling_angle - std::f64::consts::PI).abs() < 1e-12);
+        // No entanglers at all.
+        let mut none = Circuit::new(2);
+        none.h(0).rz(1, 0.5);
+        assert_eq!(StructureReport::of(&none).mean_entangling_angle, 0.0);
+    }
+
+    #[test]
+    fn diagonal_fraction_counts_rz_family() {
+        let mut qc = Circuit::new(2);
+        qc.rz(0, 0.1).rzz(0, 1, 0.2).h(0).push(Gate::Cp(0, 1, 0.3));
+        let r = StructureReport::of(&qc);
+        assert!((r.diagonal_fraction - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_circuit_report() {
+        let r = StructureReport::of(&Circuit::new(3));
+        assert_eq!(r.num_gates, 0);
+        assert_eq!(r.diagonal_fraction, 0.0);
+        assert_eq!(r.max_cut_weight, 0);
+        assert!(r.clifford);
+    }
+}

@@ -1,0 +1,37 @@
+//! Quantum circuit intermediate representation for the QFw reproduction.
+//!
+//! The paper's central claim is that *identical application code* runs across
+//! every backend. The enabler is a single circuit IR that all five engines
+//! consume. This crate provides it:
+//!
+//! * [`gate`] — the gate set: named standard gates, parameterized rotations,
+//!   controlled gates, and opaque k-qubit [`Gate::Unitary`] blocks (needed by
+//!   the HHL workload's controlled-`e^{iAt}` powers).
+//! * [`circuit`] — [`Circuit`]: an ordered list of operations with a fluent
+//!   builder, composition, inversion, and structural statistics.
+//! * [`param`] — [`ParamCircuit`]: circuits with symbolic angles bound per
+//!   optimizer iteration (the QAOA/DQAOA ansatz path).
+//! * [`analysis`] — Clifford detection (drives the Aer-`automatic` analog),
+//!   lightcone extraction (drives the QTensor-analog expectation path), and
+//!   entanglement heuristics (drives MPS-vs-SV backend selection).
+//! * [`text`] — a line-oriented textual dump/parse (`qfwasm`), the on-the-wire
+//!   circuit format marshaled by the DEFw RPC layer.
+//! * [`transpile`] — lowering onto a `{rz, sx, cx}` native basis via ZYZ
+//!   decomposition and CX templates, the shape hardware targets require.
+//! * [`controlled`] — controlled versions of gates and whole circuits, the
+//!   primitive behind Hadamard tests (VQLS) and textbook QPE.
+//!
+//! Bit convention: qubit `q` is bit `q` (LSB-first) of a computational-basis
+//! index, matching Qiskit's little-endian order.
+
+pub mod analysis;
+pub mod circuit;
+pub mod controlled;
+pub mod gate;
+pub mod param;
+pub mod text;
+pub mod transpile;
+
+pub use circuit::{Circuit, Op};
+pub use gate::Gate;
+pub use param::{Angle, ParamCircuit, ParamOp};

@@ -1,0 +1,498 @@
+//! `qfwasm`: a line-oriented textual circuit format.
+//!
+//! This is the on-the-wire representation the DEFw RPC layer marshals when a
+//! frontend submits a circuit to a QPM — the reproduction of the paper's
+//! "standardized circuit/problem description" that every Backend-QPM must
+//! accept. It is deliberately trivial to parse so each backend can consume it
+//! without a shared in-memory type, and it round-trips every construct in the
+//! IR including opaque unitary blocks.
+//!
+//! ```text
+//! qfwasm 1
+//! name ghz4
+//! qubits 4
+//! clbits 4
+//! h q0
+//! cx q0 q1
+//! rz(0.5) q2
+//! unitary[blk] q0 q1 : 1,0 0,0 ... (row-major re,im pairs)
+//! measure q0 -> c0
+//! barrier
+//! ```
+
+use crate::circuit::{Circuit, Op};
+use crate::gate::Gate;
+use qfw_num::complex::{c64, C64};
+use qfw_num::Matrix;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Serializes a circuit to `qfwasm` text.
+pub fn dump(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    writeln!(out, "qfwasm 1").unwrap();
+    if !circuit.name.is_empty() {
+        writeln!(out, "name {}", circuit.name).unwrap();
+    }
+    writeln!(out, "qubits {}", circuit.num_qubits()).unwrap();
+    writeln!(out, "clbits {}", circuit.num_clbits()).unwrap();
+    for op in circuit.ops() {
+        match op {
+            Op::Gate(Gate::Unitary {
+                qubits,
+                matrix,
+                label,
+            }) => {
+                write!(out, "unitary[{label}]").unwrap();
+                for q in qubits {
+                    write!(out, " q{q}").unwrap();
+                }
+                write!(out, " :").unwrap();
+                for v in matrix.as_slice() {
+                    // {:e} preserves full f64 precision compactly.
+                    write!(out, " {:e},{:e}", v.re, v.im).unwrap();
+                }
+                writeln!(out).unwrap();
+            }
+            Op::Gate(g) => {
+                write!(out, "{}", g.name()).unwrap();
+                let ps = g.params();
+                if !ps.is_empty() {
+                    write!(out, "(").unwrap();
+                    for (i, p) in ps.iter().enumerate() {
+                        if i > 0 {
+                            write!(out, ",").unwrap();
+                        }
+                        write!(out, "{p:e}").unwrap();
+                    }
+                    write!(out, ")").unwrap();
+                }
+                for q in g.qubits() {
+                    write!(out, " q{q}").unwrap();
+                }
+                writeln!(out).unwrap();
+            }
+            Op::Measure { qubit, clbit } => {
+                writeln!(out, "measure q{qubit} -> c{clbit}").unwrap();
+            }
+            Op::Barrier(qs) => {
+                if qs.len() == circuit.num_qubits() {
+                    writeln!(out, "barrier").unwrap();
+                } else {
+                    write!(out, "barrier").unwrap();
+                    for q in qs {
+                        write!(out, " q{q}").unwrap();
+                    }
+                    writeln!(out).unwrap();
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Errors produced by [`parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "qfwasm parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_qubit(tok: &str, line: usize) -> Result<usize, ParseError> {
+    tok.strip_prefix('q')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(line, format!("expected qubit operand, got '{tok}'")))
+}
+
+fn parse_clbit(tok: &str, line: usize) -> Result<usize, ParseError> {
+    tok.strip_prefix('c')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(line, format!("expected clbit operand, got '{tok}'")))
+}
+
+/// Parses `qfwasm` text back into a [`Circuit`].
+pub fn parse(text: &str) -> Result<Circuit, ParseError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+
+    let (ln, header) = lines
+        .next()
+        .ok_or_else(|| err(0, "empty input"))?;
+    if header != "qfwasm 1" {
+        return Err(err(ln, format!("bad header '{header}'")));
+    }
+
+    let mut name = String::new();
+    let mut num_qubits: Option<usize> = None;
+    let mut num_clbits: Option<usize> = None;
+    let mut body: Vec<(usize, &str)> = Vec::new();
+
+    for (ln, line) in lines {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("name ") {
+            name = rest.to_string();
+        } else if let Some(rest) = line.strip_prefix("qubits ") {
+            num_qubits = Some(
+                rest.parse()
+                    .map_err(|_| err(ln, "bad qubit count"))?,
+            );
+        } else if let Some(rest) = line.strip_prefix("clbits ") {
+            num_clbits = Some(
+                rest.parse()
+                    .map_err(|_| err(ln, "bad clbit count"))?,
+            );
+        } else {
+            body.push((ln, line));
+        }
+    }
+
+    let nq = num_qubits.ok_or_else(|| err(0, "missing 'qubits' declaration"))?;
+    let nc = num_clbits.unwrap_or(nq);
+    let mut qc = Circuit::with_clbits(nq, nc);
+    qc.name = name;
+
+    for (ln, line) in body {
+        if let Some(rest) = line.strip_prefix("measure ") {
+            let mut it = rest.split_whitespace();
+            let q = parse_qubit(it.next().unwrap_or(""), ln)?;
+            let arrow = it.next().unwrap_or("");
+            if arrow != "->" {
+                return Err(err(ln, "measure expects 'q<i> -> c<j>'"));
+            }
+            let c = parse_clbit(it.next().unwrap_or(""), ln)?;
+            qc.push_op(Op::Measure { qubit: q, clbit: c });
+            continue;
+        }
+        if line == "barrier" {
+            qc.barrier();
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("barrier ") {
+            let qs = rest
+                .split_whitespace()
+                .map(|t| parse_qubit(t, ln))
+                .collect::<Result<Vec<_>, _>>()?;
+            qc.push_op(Op::Barrier(qs));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("unitary[") {
+            let (label, rest) = rest
+                .split_once(']')
+                .ok_or_else(|| err(ln, "unterminated unitary label"))?;
+            let (operands, data) = rest
+                .split_once(':')
+                .ok_or_else(|| err(ln, "unitary missing ':' data separator"))?;
+            let qubits = operands
+                .split_whitespace()
+                .map(|t| parse_qubit(t, ln))
+                .collect::<Result<Vec<_>, _>>()?;
+            let dim = 1usize << qubits.len();
+            let values = data
+                .split_whitespace()
+                .map(|pair| {
+                    let (re, im) = pair
+                        .split_once(',')
+                        .ok_or_else(|| err(ln, format!("bad complex entry '{pair}'")))?;
+                    let re: f64 = re.parse().map_err(|_| err(ln, "bad real part"))?;
+                    let im: f64 = im.parse().map_err(|_| err(ln, "bad imag part"))?;
+                    Ok(c64(re, im))
+                })
+                .collect::<Result<Vec<C64>, ParseError>>()?;
+            if values.len() != dim * dim {
+                return Err(err(
+                    ln,
+                    format!(
+                        "unitary over {} qubits needs {} entries, got {}",
+                        qubits.len(),
+                        dim * dim,
+                        values.len()
+                    ),
+                ));
+            }
+            qc.push(Gate::Unitary {
+                qubits,
+                matrix: Arc::new(Matrix::from_rows(dim, dim, &values)),
+                label: label.to_string(),
+            });
+            continue;
+        }
+
+        // Standard gate: `name(params) q.. ` or `name q..`.
+        let (head, operands) = match line.find(' ') {
+            Some(idx) => (&line[..idx], &line[idx + 1..]),
+            None => return Err(err(ln, format!("dangling token '{line}'"))),
+        };
+        let (mnemonic, params): (&str, Vec<f64>) = match head.find('(') {
+            Some(idx) => {
+                let mn = &head[..idx];
+                let inner = head[idx + 1..]
+                    .strip_suffix(')')
+                    .ok_or_else(|| err(ln, "unterminated parameter list"))?;
+                let ps = inner
+                    .split(',')
+                    .map(|t| t.parse::<f64>().map_err(|_| err(ln, "bad parameter")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                (mn, ps)
+            }
+            None => (head, vec![]),
+        };
+        let qs = operands
+            .split_whitespace()
+            .map(|t| parse_qubit(t, ln))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let need = |n: usize, p: usize| -> Result<(), ParseError> {
+            if qs.len() != n {
+                return Err(err(ln, format!("'{mnemonic}' expects {n} qubits")));
+            }
+            if params.len() != p {
+                return Err(err(ln, format!("'{mnemonic}' expects {p} parameters")));
+            }
+            Ok(())
+        };
+
+        let gate = match mnemonic {
+            "h" => {
+                need(1, 0)?;
+                Gate::H(qs[0])
+            }
+            "x" => {
+                need(1, 0)?;
+                Gate::X(qs[0])
+            }
+            "y" => {
+                need(1, 0)?;
+                Gate::Y(qs[0])
+            }
+            "z" => {
+                need(1, 0)?;
+                Gate::Z(qs[0])
+            }
+            "s" => {
+                need(1, 0)?;
+                Gate::S(qs[0])
+            }
+            "sdg" => {
+                need(1, 0)?;
+                Gate::Sdg(qs[0])
+            }
+            "t" => {
+                need(1, 0)?;
+                Gate::T(qs[0])
+            }
+            "tdg" => {
+                need(1, 0)?;
+                Gate::Tdg(qs[0])
+            }
+            "sx" => {
+                need(1, 0)?;
+                Gate::Sx(qs[0])
+            }
+            "rx" => {
+                need(1, 1)?;
+                Gate::Rx(qs[0], params[0])
+            }
+            "ry" => {
+                need(1, 1)?;
+                Gate::Ry(qs[0], params[0])
+            }
+            "rz" => {
+                need(1, 1)?;
+                Gate::Rz(qs[0], params[0])
+            }
+            "p" => {
+                need(1, 1)?;
+                Gate::Phase(qs[0], params[0])
+            }
+            "u" => {
+                need(1, 3)?;
+                Gate::U(qs[0], params[0], params[1], params[2])
+            }
+            "cx" => {
+                need(2, 0)?;
+                Gate::Cx(qs[0], qs[1])
+            }
+            "cy" => {
+                need(2, 0)?;
+                Gate::Cy(qs[0], qs[1])
+            }
+            "cz" => {
+                need(2, 0)?;
+                Gate::Cz(qs[0], qs[1])
+            }
+            "swap" => {
+                need(2, 0)?;
+                Gate::Swap(qs[0], qs[1])
+            }
+            "cp" => {
+                need(2, 1)?;
+                Gate::Cp(qs[0], qs[1], params[0])
+            }
+            "crx" => {
+                need(2, 1)?;
+                Gate::Crx(qs[0], qs[1], params[0])
+            }
+            "cry" => {
+                need(2, 1)?;
+                Gate::Cry(qs[0], qs[1], params[0])
+            }
+            "crz" => {
+                need(2, 1)?;
+                Gate::Crz(qs[0], qs[1], params[0])
+            }
+            "rxx" => {
+                need(2, 1)?;
+                Gate::Rxx(qs[0], qs[1], params[0])
+            }
+            "ryy" => {
+                need(2, 1)?;
+                Gate::Ryy(qs[0], qs[1], params[0])
+            }
+            "rzz" => {
+                need(2, 1)?;
+                Gate::Rzz(qs[0], qs[1], params[0])
+            }
+            "ccx" => {
+                need(3, 0)?;
+                Gate::Ccx(qs[0], qs[1], qs[2])
+            }
+            other => return Err(err(ln, format!("unknown gate '{other}'"))),
+        };
+        qc.push(gate);
+    }
+    Ok(qc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(qc: &Circuit) -> Circuit {
+        parse(&dump(qc)).expect("round trip parse")
+    }
+
+    #[test]
+    fn round_trips_every_standard_gate() {
+        let mut qc = Circuit::new(3).named("kitchen_sink");
+        qc.h(0)
+            .x(1)
+            .y(2)
+            .z(0)
+            .s(1)
+            .sdg(2)
+            .t(0)
+            .tdg(1)
+            .push(Gate::Sx(2))
+            .rx(0, 0.25)
+            .ry(1, -1.5)
+            .rz(2, 3.25)
+            .p(0, 0.125)
+            .push(Gate::U(1, 0.1, 0.2, 0.3))
+            .cx(0, 1)
+            .push(Gate::Cy(1, 2))
+            .cz(0, 2)
+            .swap(1, 2)
+            .cp(0, 1, 0.7)
+            .push(Gate::Crx(0, 2, 0.4))
+            .cry(1, 0, 0.9)
+            .push(Gate::Crz(2, 1, -0.2))
+            .rxx(0, 1, 1.1)
+            .push(Gate::Ryy(1, 2, 2.2))
+            .rzz(0, 2, -3.3)
+            .ccx(0, 1, 2)
+            .barrier()
+            .measure_all();
+        assert_eq!(round_trip(&qc), qc);
+    }
+
+    #[test]
+    fn round_trips_unitary_blocks() {
+        let mut qc = Circuit::new(2);
+        qc.push(Gate::Unitary {
+            qubits: vec![1, 0],
+            matrix: Arc::new(Gate::Cx(0, 1).matrix()),
+            label: "cxblk".into(),
+        });
+        let back = round_trip(&qc);
+        match back.gates().next().unwrap() {
+            Gate::Unitary {
+                qubits,
+                matrix,
+                label,
+            } => {
+                assert_eq!(qubits, &vec![1, 0]);
+                assert_eq!(label, "cxblk");
+                assert!(matrix.max_abs_diff(&Gate::Cx(0, 1).matrix()) < 1e-15);
+            }
+            other => panic!("expected unitary, got {other:?}"),
+        };
+    }
+
+    #[test]
+    fn angles_preserve_full_precision() {
+        let theta = std::f64::consts::PI / 3.0 + 1e-13;
+        let mut qc = Circuit::new(1);
+        qc.rz(0, theta);
+        let back = round_trip(&qc);
+        match back.gates().next().unwrap() {
+            Gate::Rz(_, t) => assert_eq!(*t, theta),
+            _ => unreachable!(),
+        };
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "qfwasm 1\nqubits 1\n\n# a comment\nh q0\n";
+        let qc = parse(text).unwrap();
+        assert_eq!(qc.num_gates(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(parse("qasm 2\nqubits 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_gate_with_line_number() {
+        let e = parse("qfwasm 1\nqubits 1\nfrobnicate q0\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        assert!(parse("qfwasm 1\nqubits 2\ncx q0\n").is_err());
+        assert!(parse("qfwasm 1\nqubits 2\nrz q0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_qubit_decl() {
+        assert!(parse("qfwasm 1\nh q0\n").is_err());
+    }
+
+    #[test]
+    fn partial_barrier_round_trips() {
+        let mut qc = Circuit::new(4);
+        qc.push_op(Op::Barrier(vec![1, 2]));
+        let back = round_trip(&qc);
+        assert_eq!(back.ops()[0], Op::Barrier(vec![1, 2]));
+    }
+}

@@ -1,0 +1,461 @@
+//! Transpilation to a restricted native gate set.
+//!
+//! Real backends accept narrow gate sets (the paper's IonQ path compiles to
+//! the provider's natives; superconducting targets typically take
+//! `{rz, sx, cx}`). This pass lowers any 1- and 2-qubit circuit from the IR
+//! onto exactly that basis:
+//!
+//! * arbitrary single-qubit gates → `rz`/`sx` via ZYZ Euler decomposition
+//!   (`U = e^{iφ} Rz(a) Ry(b) Rz(c)`, with `Ry(b) = Rz(-π/2)·Sx-form`);
+//! * `cx` stays native; every other two-qubit gate is rewritten as a
+//!   standard CX + 1q template (swap → 3 CX, rzz → CX·Rz·CX, controlled
+//!   rotations → two half-angle rotations, ...);
+//! * `ccx` uses the textbook 6-CX decomposition;
+//! * opaque `Unitary` blocks are accepted only on one qubit (ZYZ) — wider
+//!   blocks are a transpilation error, matching hardware reality.
+//!
+//! Correctness is validated against the dense simulator: every transpiled
+//! circuit must produce the same state as its source, up to global phase.
+
+use crate::circuit::{Circuit, Op};
+use crate::gate::Gate;
+use qfw_num::complex::C64;
+use qfw_num::Matrix;
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// The native basis: `rz(θ)`, `sx`, `cx`. (Measurements and barriers pass
+/// through.)
+pub fn is_native(gate: &Gate) -> bool {
+    matches!(gate, Gate::Rz(..) | Gate::Sx(_) | Gate::Cx(..))
+}
+
+/// Errors produced by [`transpile`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TranspileError {
+    /// An opaque multi-qubit unitary block cannot be lowered.
+    WideUnitary {
+        /// Block label.
+        label: String,
+        /// Qubits it spans.
+        arity: usize,
+    },
+}
+
+impl std::fmt::Display for TranspileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranspileError::WideUnitary { label, arity } => write!(
+                f,
+                "cannot transpile opaque {arity}-qubit unitary block '{label}' \
+                 to the native basis"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TranspileError {}
+
+/// ZYZ Euler angles of a single-qubit unitary: `U ~ Rz(a) Ry(b) Rz(c)` up
+/// to global phase. Returns `(a, b, c)`.
+pub fn zyz_angles(u: &Matrix) -> (f64, f64, f64) {
+    debug_assert_eq!(u.rows(), 2);
+    // The half-angles (a±c)/2 live mod 4π, so arg() differences on a U(2)
+    // matrix lose a sign bit. Normalize to SU(2) first (divide out
+    // sqrt(det)); then with b in [0, π] both cos(b/2) and sin(b/2) are
+    // non-negative and the entry phases identify the half-angles directly:
+    //   V = [[e^{-i(a+c)/2} cos(b/2), -e^{-i(a-c)/2} sin(b/2)],
+    //        [e^{ i(a-c)/2} sin(b/2),  e^{ i(a+c)/2} cos(b/2)]].
+    let det = u[(0, 0)] * u[(1, 1)] - u[(0, 1)] * u[(1, 0)];
+    let phase = C64::cis(det.arg() / 2.0); // sqrt(det) up to ±1 (harmless)
+    let v00 = u[(0, 0)] * phase.conj();
+    let v10 = u[(1, 0)] * phase.conj();
+    let b = 2.0 * v10.abs().atan2(v00.abs());
+    let half_sum = if v00.abs() > 1e-12 { -v00.arg() } else { 0.0 };
+    let half_diff = if v10.abs() > 1e-12 { v10.arg() } else { 0.0 };
+    (half_sum + half_diff, b, half_sum - half_diff)
+}
+
+/// Emits `Ry(b)` in the native basis via the standard `u3`-to-`rz/sx`
+/// template: `U3(θ, φ, λ) ~ Rz(φ+π) · SX · Rz(θ+π) · SX · Rz(λ)` and
+/// `Ry(θ) = U3(θ, 0, 0)`, so `Ry(b) ~ Rz(π) · SX · Rz(b+π) · SX` up to
+/// global phase. Gates are pushed in application order (rightmost first).
+fn emit_ry(out: &mut Circuit, q: usize, b: f64) {
+    out.push(Gate::Sx(q));
+    out.push(Gate::Rz(q, b + PI));
+    out.push(Gate::Sx(q));
+    out.push(Gate::Rz(q, PI));
+}
+
+/// Emits an arbitrary 1q unitary in the native basis via ZYZ.
+fn emit_1q(out: &mut Circuit, q: usize, u: &Matrix) {
+    let (a, b, c) = zyz_angles(u);
+    // Application order: Rz(c) first.
+    if c.abs() > 1e-12 {
+        out.push(Gate::Rz(q, c));
+    }
+    if b.abs() > 1e-12 {
+        emit_ry(out, q, b);
+    }
+    if a.abs() > 1e-12 {
+        out.push(Gate::Rz(q, a));
+    }
+}
+
+/// Emits a controlled-RZ via two half-angle RZs and two CX.
+fn emit_crz(out: &mut Circuit, c: usize, t: usize, theta: f64) {
+    out.push(Gate::Rz(t, theta / 2.0));
+    out.push(Gate::Cx(c, t));
+    out.push(Gate::Rz(t, -theta / 2.0));
+    out.push(Gate::Cx(c, t));
+}
+
+/// Emits a controlled-phase: CRZ plus a control-side RZ.
+fn emit_cp(out: &mut Circuit, c: usize, t: usize, theta: f64) {
+    emit_crz(out, c, t, theta);
+    out.push(Gate::Rz(c, theta / 2.0));
+}
+
+/// Emits controlled-RY: basis-rotate the target so CRZ acts as CRY.
+fn emit_cry(out: &mut Circuit, c: usize, t: usize, theta: f64) {
+    // CRY(θ) = Sdg-ish conjugation: Ry(θ/2), CX, Ry(-θ/2), CX.
+    emit_1q(out, t, &Gate::Ry(0, theta / 2.0).matrix());
+    out.push(Gate::Cx(c, t));
+    emit_1q(out, t, &Gate::Ry(0, -theta / 2.0).matrix());
+    out.push(Gate::Cx(c, t));
+}
+
+/// Transpiles a circuit to the `{rz, sx, cx}` basis.
+pub fn transpile(circuit: &Circuit) -> Result<Circuit, TranspileError> {
+    let mut out = Circuit::with_clbits(circuit.num_qubits(), circuit.num_clbits());
+    out.name = if circuit.name.is_empty() {
+        String::new()
+    } else {
+        format!("{}_native", circuit.name)
+    };
+    for op in circuit.ops() {
+        match op {
+            Op::Measure { qubit, clbit } => {
+                out.push_op(Op::Measure {
+                    qubit: *qubit,
+                    clbit: *clbit,
+                });
+            }
+            Op::Barrier(qs) => {
+                out.push_op(Op::Barrier(qs.clone()));
+            }
+            Op::Gate(g) => lower_gate(&mut out, g)?,
+        }
+    }
+    Ok(out)
+}
+
+fn lower_gate(out: &mut Circuit, g: &Gate) -> Result<(), TranspileError> {
+    match g.clone() {
+        // Already native.
+        Gate::Rz(..) | Gate::Sx(_) | Gate::Cx(..) => {
+            out.push(g.clone());
+        }
+        // Single-qubit gates: ZYZ.
+        Gate::H(q)
+        | Gate::X(q)
+        | Gate::Y(q)
+        | Gate::Z(q)
+        | Gate::S(q)
+        | Gate::Sdg(q)
+        | Gate::T(q)
+        | Gate::Tdg(q)
+        | Gate::Rx(q, _)
+        | Gate::Ry(q, _)
+        | Gate::Phase(q, _)
+        | Gate::U(q, ..) => {
+            emit_1q(out, q, &g.matrix());
+        }
+        Gate::Cz(c, t) => {
+            emit_1q(out, t, &Gate::H(0).matrix());
+            out.push(Gate::Cx(c, t));
+            emit_1q(out, t, &Gate::H(0).matrix());
+        }
+        Gate::Cy(c, t) => {
+            // CY = Sdg(t) CX S(t).
+            emit_1q(out, t, &Gate::Sdg(0).matrix());
+            out.push(Gate::Cx(c, t));
+            emit_1q(out, t, &Gate::S(0).matrix());
+        }
+        Gate::Swap(a, b) => {
+            out.push(Gate::Cx(a, b));
+            out.push(Gate::Cx(b, a));
+            out.push(Gate::Cx(a, b));
+        }
+        Gate::Rzz(a, b, theta) => {
+            out.push(Gate::Cx(a, b));
+            out.push(Gate::Rz(b, theta));
+            out.push(Gate::Cx(a, b));
+        }
+        Gate::Rxx(a, b, theta) => {
+            // Conjugate Rzz by H⊗H.
+            emit_1q(out, a, &Gate::H(0).matrix());
+            emit_1q(out, b, &Gate::H(0).matrix());
+            out.push(Gate::Cx(a, b));
+            out.push(Gate::Rz(b, theta));
+            out.push(Gate::Cx(a, b));
+            emit_1q(out, a, &Gate::H(0).matrix());
+            emit_1q(out, b, &Gate::H(0).matrix());
+        }
+        Gate::Ryy(a, b, theta) => {
+            // Conjugate Rzz by (Sx ~ rotation into Y basis): Rx(pi/2).
+            let rx = Gate::Rx(0, FRAC_PI_2).matrix();
+            let rxdg = Gate::Rx(0, -FRAC_PI_2).matrix();
+            emit_1q(out, a, &rx);
+            emit_1q(out, b, &rx);
+            out.push(Gate::Cx(a, b));
+            out.push(Gate::Rz(b, theta));
+            out.push(Gate::Cx(a, b));
+            emit_1q(out, a, &rxdg);
+            emit_1q(out, b, &rxdg);
+        }
+        Gate::Crz(c, t, theta) => emit_crz(out, c, t, theta),
+        Gate::Cp(c, t, theta) => emit_cp(out, c, t, theta),
+        Gate::Cry(c, t, theta) => emit_cry(out, c, t, theta),
+        Gate::Crx(c, t, theta) => {
+            // CRX = H(t) CRZ H(t).
+            emit_1q(out, t, &Gate::H(0).matrix());
+            emit_crz(out, c, t, theta);
+            emit_1q(out, t, &Gate::H(0).matrix());
+        }
+        Gate::Ccx(c0, c1, t) => {
+            // Textbook 6-CX Toffoli.
+            let h = Gate::H(0).matrix();
+            let tg = Gate::T(0).matrix();
+            let tdg = Gate::Tdg(0).matrix();
+            emit_1q(out, t, &h);
+            out.push(Gate::Cx(c1, t));
+            emit_1q(out, t, &tdg);
+            out.push(Gate::Cx(c0, t));
+            emit_1q(out, t, &tg);
+            out.push(Gate::Cx(c1, t));
+            emit_1q(out, t, &tdg);
+            out.push(Gate::Cx(c0, t));
+            emit_1q(out, c1, &tg);
+            emit_1q(out, t, &tg);
+            out.push(Gate::Cx(c0, c1));
+            emit_1q(out, c0, &tg);
+            emit_1q(out, c1, &tdg);
+            out.push(Gate::Cx(c0, c1));
+            emit_1q(out, t, &h);
+        }
+        Gate::Unitary {
+            qubits,
+            matrix,
+            label,
+        } => {
+            if qubits.len() == 1 {
+                emit_1q(out, qubits[0], &matrix);
+            } else {
+                return Err(TranspileError::WideUnitary {
+                    label,
+                    arity: qubits.len(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfw_num::rng::Rng;
+
+    /// Dense reference application (local to the tests).
+    fn dense_state(qc: &Circuit) -> Vec<C64> {
+        let n = qc.num_qubits();
+        let mut state = vec![C64::ZERO; 1 << n];
+        state[0] = C64::ONE;
+        for op in qc.ops() {
+            if let Op::Gate(g) = op {
+                let qs = g.qubits();
+                let m = g.matrix();
+                let dim = m.rows();
+                let mut out = vec![C64::ZERO; state.len()];
+                for (i, &amp) in state.iter().enumerate() {
+                    if amp == C64::ZERO {
+                        continue;
+                    }
+                    let mut local = 0usize;
+                    for (j, &q) in qs.iter().enumerate() {
+                        if i & (1 << q) != 0 {
+                            local |= 1 << j;
+                        }
+                    }
+                    for row in 0..dim {
+                        let c = m[(row, local)];
+                        if c == C64::ZERO {
+                            continue;
+                        }
+                        let mut target = i;
+                        for (j, &q) in qs.iter().enumerate() {
+                            target &= !(1 << q);
+                            if row & (1 << j) != 0 {
+                                target |= 1 << q;
+                            }
+                        }
+                        out[target] = c.mul_add(amp, out[target]);
+                    }
+                }
+                state = out;
+            }
+        }
+        state
+    }
+
+    /// Fidelity |<a|b>|^2 — global phase insensitive.
+    fn fidelity(a: &[C64], b: &[C64]) -> f64 {
+        let ip = a
+            .iter()
+            .zip(b.iter())
+            .fold(C64::ZERO, |acc, (x, y)| x.conj().mul_add(*y, acc));
+        ip.norm_sqr()
+    }
+
+    fn check(qc: &Circuit) {
+        let native = transpile(qc).expect("transpile");
+        for g in native.gates() {
+            assert!(is_native(g), "non-native gate {g} survived");
+        }
+        let f = fidelity(&dense_state(qc), &dense_state(&native));
+        assert!(f > 1.0 - 1e-9, "fidelity {f} for '{}'", qc.name);
+    }
+
+    #[test]
+    fn zyz_reconstructs_random_unitaries() {
+        let mut rng = Rng::seed_from(3);
+        for _ in 0..50 {
+            // Random SU(2)-ish unitary via random rotations.
+            let u = Gate::Rz(0, rng.uniform(-3.0, 3.0))
+                .matrix()
+                .matmul(&Gate::Ry(0, rng.uniform(-3.0, 3.0)).matrix())
+                .matmul(&Gate::Rz(0, rng.uniform(-3.0, 3.0)).matrix())
+                .matmul(&Gate::Phase(0, rng.uniform(-3.0, 3.0)).matrix());
+            let (a, b, c) = zyz_angles(&u);
+            let rec = Gate::Rz(0, a)
+                .matrix()
+                .matmul(&Gate::Ry(0, b).matrix())
+                .matmul(&Gate::Rz(0, c).matrix());
+            // Compare up to global phase via |tr(U† R)| = 2.
+            let tr = u.dagger().matmul(&rec).trace();
+            assert!(
+                (tr.abs() - 2.0).abs() < 1e-9,
+                "zyz mismatch: |tr|={}",
+                tr.abs()
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_qubit_gate_lowers() {
+        for g in [
+            Gate::H(0),
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::T(0),
+            Gate::Tdg(0),
+            Gate::Rx(0, 0.7),
+            Gate::Ry(0, -1.3),
+            Gate::Phase(0, 2.1),
+            Gate::U(0, 0.4, 1.0, -0.6),
+        ] {
+            let mut qc = Circuit::new(1).named(format!("1q_{}", g.name()));
+            qc.push(g);
+            check(&qc);
+        }
+    }
+
+    #[test]
+    fn every_two_qubit_gate_lowers() {
+        for g in [
+            Gate::Cz(0, 1),
+            Gate::Cy(0, 1),
+            Gate::Swap(0, 1),
+            Gate::Rzz(0, 1, 0.9),
+            Gate::Rxx(0, 1, -0.4),
+            Gate::Ryy(0, 1, 1.7),
+            Gate::Crz(0, 1, 0.5),
+            Gate::Cp(0, 1, -1.1),
+            Gate::Cry(0, 1, 0.8),
+            Gate::Crx(1, 0, 2.2),
+        ] {
+            // Apply on a non-trivial input state to exercise all entries.
+            let mut qc = Circuit::new(2).named(format!("2q_{}", g.name()));
+            qc.ry(0, 0.8).ry(1, -0.5).push(g);
+            check(&qc);
+        }
+    }
+
+    #[test]
+    fn toffoli_lowers() {
+        let mut qc = Circuit::new(3).named("ccx");
+        qc.h(0).h(1).ry(2, 0.3).ccx(0, 1, 2);
+        check(&qc);
+    }
+
+    #[test]
+    fn random_circuits_lower_exactly() {
+        let mut rng = Rng::seed_from(11);
+        for trial in 0..10 {
+            let n = 4;
+            let mut qc = Circuit::new(n).named(format!("rand{trial}"));
+            for _ in 0..25 {
+                let q = rng.index(n);
+                let p = (q + 1 + rng.index(n - 1)) % n;
+                match rng.index(7) {
+                    0 => qc.h(q),
+                    1 => qc.t(q),
+                    2 => qc.rx(q, rng.uniform(-3.0, 3.0)),
+                    3 => qc.cx(q, p),
+                    4 => qc.rzz(q, p, rng.uniform(-1.0, 1.0)),
+                    5 => qc.cry(q, p, rng.uniform(-1.0, 1.0)),
+                    _ => qc.swap(q, p),
+                };
+            }
+            check(&qc);
+        }
+    }
+
+    #[test]
+    fn measurements_and_barriers_pass_through() {
+        let mut qc = Circuit::new(2);
+        qc.h(0).barrier().measure_all();
+        let native = transpile(&qc).unwrap();
+        assert!(native.measures_all());
+        assert!(native
+            .ops()
+            .iter()
+            .any(|op| matches!(op, Op::Barrier(_))));
+    }
+
+    #[test]
+    fn wide_unitary_blocks_are_rejected() {
+        let mut qc = Circuit::new(2);
+        qc.push(Gate::Unitary {
+            qubits: vec![0, 1],
+            matrix: std::sync::Arc::new(Gate::Cx(0, 1).matrix()),
+            label: "blk".into(),
+        });
+        let err = transpile(&qc).unwrap_err();
+        assert!(matches!(err, TranspileError::WideUnitary { arity: 2, .. }));
+    }
+
+    #[test]
+    fn single_qubit_unitary_blocks_lower() {
+        let mut qc = Circuit::new(1);
+        qc.push(Gate::Unitary {
+            qubits: vec![0],
+            matrix: std::sync::Arc::new(Gate::H(0).matrix()),
+            label: "h_blk".into(),
+        });
+        check(&qc);
+    }
+}

@@ -1,0 +1,537 @@
+//! A mock cloud QPU provider — the IonQ-analog backend.
+//!
+//! The paper's cloud path (Section 4.1, "IonQ (cloud)") reaches a remote
+//! simulator through REST: jobs are submitted over the internet, wait in a
+//! shared provider queue, execute, and are polled for results. What matters
+//! for the reproduction is the *behavioural envelope* of that path, visible
+//! in Fig. 5: cloud rounds are serialized by the provider queue and jittery
+//! from network latency, in contrast to the uniform, concurrent local
+//! iterations.
+//!
+//! This crate implements that envelope deterministically:
+//!
+//! * a REST-shaped API — [`CloudProvider::submit_job`] (POST /jobs),
+//!   [`CloudProvider::job_status`] (GET /jobs/{id}),
+//!   [`CloudProvider::job_result`] (GET /jobs/{id}/results) — that accepts
+//!   circuits in the `qfwasm` wire format, like a real provider accepts
+//!   serialized circuit payloads;
+//! * a **single-worker shared queue** (one QPU behind the API) with a
+//!   seeded queueing-delay model;
+//! * a seeded **network latency model** charged on every API call;
+//! * an execution-time model proportional to circuit size, plus a readout
+//!   bit-flip noise channel (NISQ flavour without per-gate density-matrix
+//!   cost).
+
+use parking_lot::{Condvar, Mutex};
+use qfw_circuit::text;
+use qfw_num::rng::Rng;
+use qfw_sim_sv::noise::{run_noisy, NoiseModel};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Latency/queue/noise model of the provider.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CloudConfig {
+    /// Mean one-way network latency charged per API call.
+    pub net_latency: Duration,
+    /// Uniform jitter added to each network hop (0..jitter).
+    pub net_jitter: Duration,
+    /// Mean time a job sits in the provider queue before execution begins
+    /// (on top of waiting for jobs ahead of it).
+    pub queue_delay: Duration,
+    /// Uniform jitter on the queue delay.
+    pub queue_jitter: Duration,
+    /// Modeled execution time per gate.
+    pub gate_time: Duration,
+    /// Modeled fixed execution overhead per job.
+    pub job_overhead: Duration,
+    /// Depolarizing probability per touched qubit after two-qubit gates.
+    pub gate_error: f64,
+    /// Probability each measured bit flips (readout error).
+    pub readout_flip: f64,
+    /// Seed for all of the provider's stochastic behaviour.
+    pub seed: u64,
+}
+
+impl CloudConfig {
+    /// Defaults loosely shaped like a public cloud simulator endpoint:
+    /// tens of milliseconds of network, hundreds of queue, light noise.
+    pub fn ionq_like() -> Self {
+        CloudConfig {
+            net_latency: Duration::from_millis(40),
+            net_jitter: Duration::from_millis(30),
+            queue_delay: Duration::from_millis(150),
+            queue_jitter: Duration::from_millis(250),
+            gate_time: Duration::from_micros(30),
+            job_overhead: Duration::from_millis(60),
+            gate_error: 0.002,
+            readout_flip: 0.005,
+            seed: 0xC10D,
+        }
+    }
+
+    /// A fast, noise-free configuration for unit tests.
+    pub fn instant() -> Self {
+        CloudConfig {
+            net_latency: Duration::ZERO,
+            net_jitter: Duration::ZERO,
+            queue_delay: Duration::ZERO,
+            queue_jitter: Duration::ZERO,
+            gate_time: Duration::ZERO,
+            job_overhead: Duration::ZERO,
+            gate_error: 0.0,
+            readout_flip: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Job submission payload (the body of `POST /jobs`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// Circuit in the `qfwasm` wire format.
+    pub circuit: String,
+    /// Number of measurement shots.
+    pub shots: usize,
+    /// Client-chosen display name.
+    pub name: String,
+}
+
+/// Lifecycle states, mirroring a provider's job dashboard.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Accepted, waiting in the shared queue.
+    Queued,
+    /// Executing on the (single) backend.
+    Running,
+    /// Finished; results available.
+    Completed,
+    /// Rejected or crashed.
+    Failed(String),
+}
+
+/// Result payload (the body of `GET /jobs/{id}/results`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobResult {
+    /// Measured bitstring histogram.
+    pub counts: BTreeMap<String, usize>,
+    /// Time the job spent queued, seconds.
+    pub queue_secs: f64,
+    /// Modeled execution time, seconds.
+    pub exec_secs: f64,
+}
+
+/// Errors returned by the REST-shaped API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloudError {
+    /// Unknown job ID.
+    NotFound(u64),
+    /// Results requested before completion.
+    NotReady(u64),
+    /// The job failed.
+    Failed(String),
+}
+
+impl std::fmt::Display for CloudError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CloudError::NotFound(id) => write!(f, "job {id} not found"),
+            CloudError::NotReady(id) => write!(f, "job {id} is not completed yet"),
+            CloudError::Failed(msg) => write!(f, "job failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+struct JobRecord {
+    request: JobRequest,
+    status: JobStatus,
+    result: Option<JobResult>,
+}
+
+struct ProviderState {
+    jobs: HashMap<u64, JobRecord>,
+    queue: VecDeque<u64>,
+    rng: Rng,
+}
+
+struct Shared {
+    state: Mutex<ProviderState>,
+    wake: Condvar,
+    stop: AtomicBool,
+    next_id: AtomicU64,
+    config: CloudConfig,
+    completed: AtomicU64,
+}
+
+/// The provider: a shared queue in front of one simulated QPU.
+pub struct CloudProvider {
+    shared: Arc<Shared>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CloudProvider {
+    /// Boots the provider and its queue worker.
+    pub fn start(config: CloudConfig) -> CloudProvider {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(ProviderState {
+                jobs: HashMap::new(),
+                queue: VecDeque::new(),
+                rng: Rng::seed_from(config.seed),
+            }),
+            wake: Condvar::new(),
+            stop: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            config,
+            completed: AtomicU64::new(0),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("cloud-qpu-worker".into())
+            .spawn(move || Self::worker_loop(worker_shared))
+            .expect("spawn cloud worker");
+        CloudProvider {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    fn worker_loop(shared: Arc<Shared>) {
+        loop {
+            // Pull the next queued job (or park until one arrives).
+            let job_id = {
+                let mut state = shared.state.lock();
+                loop {
+                    if shared.stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if let Some(id) = state.queue.pop_front() {
+                        break id;
+                    }
+                    shared.wake.wait_for(&mut state, Duration::from_millis(50));
+                }
+            };
+
+            // Queueing delay (the shared-queue wait the paper's Fig. 5
+            // shows as irregular gaps between cloud iterations).
+            let (queue_wait, exec_seed) = {
+                let mut state = shared.state.lock();
+                let jitter = shared.config.queue_jitter.as_secs_f64() * state.rng.next_f64();
+                let wait = shared.config.queue_delay.as_secs_f64() + jitter;
+                // The execution seed must be a pure function of (provider
+                // seed, job id): the shared rng stream also serves network
+                // jitter draws whose count depends on client poll timing.
+                let seed = Rng::seed_from(
+                    shared.config.seed ^ job_id.wrapping_mul(0x9E3779B97F4A7C15),
+                )
+                .next_u64();
+                if let Some(job) = state.jobs.get_mut(&job_id) {
+                    job.status = JobStatus::Running;
+                }
+                (Duration::from_secs_f64(wait), seed)
+            };
+            std::thread::sleep(queue_wait);
+
+            // Parse and execute.
+            let request = {
+                let state = shared.state.lock();
+                state.jobs.get(&job_id).map(|j| j.request.clone())
+            };
+            let Some(request) = request else { continue };
+            let outcome = Self::execute(&shared, &request, exec_seed);
+            {
+                let mut state = shared.state.lock();
+                if let Some(job) = state.jobs.get_mut(&job_id) {
+                    match outcome {
+                        Ok(mut result) => {
+                            result.queue_secs = queue_wait.as_secs_f64();
+                            job.result = Some(result);
+                            job.status = JobStatus::Completed;
+                        }
+                        Err(msg) => job.status = JobStatus::Failed(msg),
+                    }
+                }
+            }
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn execute(shared: &Shared, request: &JobRequest, seed: u64) -> Result<JobResult, String> {
+        let circuit = text::parse(&request.circuit).map_err(|e| e.to_string())?;
+        if circuit.num_qubits() > 29 {
+            return Err(format!(
+                "circuit has {} qubits; provider supports at most 29",
+                circuit.num_qubits()
+            ));
+        }
+        // Modeled hardware time.
+        let exec = shared.config.job_overhead
+            + shared.config.gate_time * circuit.num_gates() as u32;
+        std::thread::sleep(exec);
+
+        let model = NoiseModel {
+            p1: shared.config.gate_error / 4.0,
+            p2: shared.config.gate_error,
+            readout: shared.config.readout_flip,
+        };
+        let counts = run_noisy(&circuit, request.shots, seed, &model, 64);
+        Ok(JobResult {
+            counts,
+            queue_secs: 0.0,
+            exec_secs: exec.as_secs_f64(),
+        })
+    }
+
+    /// Charges one network hop (latency + seeded jitter).
+    fn network_hop(&self) {
+        let delay = {
+            let mut state = self.shared.state.lock();
+            let jitter = self.shared.config.net_jitter.as_secs_f64() * state.rng.next_f64();
+            self.shared.config.net_latency.as_secs_f64() + jitter
+        };
+        if delay > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(delay));
+        }
+    }
+
+    /// `POST /jobs`: accepts a job into the shared queue and returns its ID.
+    pub fn submit_job(&self, request: JobRequest) -> u64 {
+        self.network_hop();
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut state = self.shared.state.lock();
+            state.jobs.insert(
+                id,
+                JobRecord {
+                    request,
+                    status: JobStatus::Queued,
+                    result: None,
+                },
+            );
+            state.queue.push_back(id);
+        }
+        self.shared.wake.notify_one();
+        id
+    }
+
+    /// `GET /jobs/{id}`: current lifecycle state.
+    pub fn job_status(&self, id: u64) -> Result<JobStatus, CloudError> {
+        self.network_hop();
+        let state = self.shared.state.lock();
+        state
+            .jobs
+            .get(&id)
+            .map(|j| j.status.clone())
+            .ok_or(CloudError::NotFound(id))
+    }
+
+    /// `GET /jobs/{id}/results`: the histogram once completed.
+    pub fn job_result(&self, id: u64) -> Result<JobResult, CloudError> {
+        self.network_hop();
+        let state = self.shared.state.lock();
+        match state.jobs.get(&id) {
+            None => Err(CloudError::NotFound(id)),
+            Some(job) => match &job.status {
+                JobStatus::Completed => Ok(job.result.clone().expect("completed job has result")),
+                JobStatus::Failed(msg) => Err(CloudError::Failed(msg.clone())),
+                _ => Err(CloudError::NotReady(id)),
+            },
+        }
+    }
+
+    /// Blocks until the job completes or fails, polling like a REST client.
+    pub fn wait_for(&self, id: u64, poll: Duration, deadline: Duration) -> Result<JobResult, CloudError> {
+        let start = std::time::Instant::now();
+        loop {
+            match self.job_status(id)? {
+                JobStatus::Completed => return self.job_result(id),
+                JobStatus::Failed(msg) => return Err(CloudError::Failed(msg)),
+                _ => {}
+            }
+            if start.elapsed() > deadline {
+                return Err(CloudError::NotReady(id));
+            }
+            std::thread::sleep(poll);
+        }
+    }
+
+    /// Jobs completed since boot.
+    pub fn jobs_completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs currently waiting in the shared queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().queue.len()
+    }
+}
+
+impl Drop for CloudProvider {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.wake.notify_all();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfw_circuit::Circuit;
+
+    fn ghz_request(n: usize, shots: usize) -> JobRequest {
+        let mut qc = Circuit::new(n);
+        qc.h(0);
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+        }
+        qc.measure_all();
+        JobRequest {
+            circuit: text::dump(&qc),
+            shots,
+            name: format!("ghz{n}"),
+        }
+    }
+
+    const POLL: Duration = Duration::from_millis(2);
+    const DEADLINE: Duration = Duration::from_secs(30);
+
+    #[test]
+    fn submit_execute_fetch() {
+        let cloud = CloudProvider::start(CloudConfig::instant());
+        let id = cloud.submit_job(ghz_request(4, 300));
+        let result = cloud.wait_for(id, POLL, DEADLINE).unwrap();
+        assert_eq!(result.counts.values().sum::<usize>(), 300);
+        assert_eq!(result.counts.len(), 2);
+        assert_eq!(cloud.jobs_completed(), 1);
+    }
+
+    #[test]
+    fn status_transitions_to_completed() {
+        let cloud = CloudProvider::start(CloudConfig::instant());
+        let id = cloud.submit_job(ghz_request(3, 10));
+        let result = cloud.wait_for(id, POLL, DEADLINE);
+        assert!(result.is_ok());
+        assert_eq!(cloud.job_status(id).unwrap(), JobStatus::Completed);
+    }
+
+    #[test]
+    fn unknown_job_is_not_found() {
+        let cloud = CloudProvider::start(CloudConfig::instant());
+        assert_eq!(cloud.job_status(999).unwrap_err(), CloudError::NotFound(999));
+        assert!(matches!(
+            cloud.job_result(999).unwrap_err(),
+            CloudError::NotFound(_)
+        ));
+    }
+
+    #[test]
+    fn malformed_circuit_fails_job() {
+        let cloud = CloudProvider::start(CloudConfig::instant());
+        let id = cloud.submit_job(JobRequest {
+            circuit: "not a circuit".into(),
+            shots: 1,
+            name: "bad".into(),
+        });
+        let err = cloud.wait_for(id, POLL, DEADLINE).unwrap_err();
+        assert!(matches!(err, CloudError::Failed(_)));
+    }
+
+    #[test]
+    fn oversized_circuit_rejected() {
+        let cloud = CloudProvider::start(CloudConfig::instant());
+        let qc = Circuit::new(30);
+        let id = cloud.submit_job(JobRequest {
+            circuit: text::dump(&qc),
+            shots: 1,
+            name: "big".into(),
+        });
+        let err = cloud.wait_for(id, POLL, DEADLINE).unwrap_err();
+        match err {
+            CloudError::Failed(msg) => assert!(msg.contains("29"), "msg={msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_serializes_jobs() {
+        // With a fixed queue delay, k jobs take at least k * delay total —
+        // the single shared QPU serializes them.
+        let mut config = CloudConfig::instant();
+        config.queue_delay = Duration::from_millis(40);
+        let cloud = CloudProvider::start(config);
+        let start = std::time::Instant::now();
+        let ids: Vec<u64> = (0..3).map(|_| cloud.submit_job(ghz_request(2, 5))).collect();
+        for id in ids {
+            cloud.wait_for(id, POLL, DEADLINE).unwrap();
+        }
+        assert!(
+            start.elapsed() >= Duration::from_millis(110),
+            "jobs did not serialize: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn network_latency_charged_on_calls() {
+        let mut config = CloudConfig::instant();
+        config.net_latency = Duration::from_millis(25);
+        let cloud = CloudProvider::start(config);
+        let start = std::time::Instant::now();
+        let _ = cloud.job_status(1);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn readout_noise_spreads_histogram() {
+        let mut config = CloudConfig::instant();
+        config.readout_flip = 0.05;
+        let cloud = CloudProvider::start(config);
+        let id = cloud.submit_job(ghz_request(6, 2000));
+        let result = cloud.wait_for(id, POLL, DEADLINE).unwrap();
+        // Ideal GHZ has 2 outcomes; 5% readout error must create more.
+        assert!(result.counts.len() > 2, "noise had no effect");
+        // But the two ideal outcomes still dominate.
+        let top2: usize = {
+            let mut v: Vec<usize> = result.counts.values().copied().collect();
+            v.sort_unstable_by(|a, b| b.cmp(a));
+            v.iter().take(2).sum()
+        };
+        assert!(top2 > 1200, "top2={top2}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let cloud = CloudProvider::start(CloudConfig::instant());
+            let id = cloud.submit_job(ghz_request(4, 100));
+            cloud.wait_for(id, POLL, DEADLINE).unwrap().counts
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn concurrent_submissions_all_complete() {
+        let cloud = Arc::new(CloudProvider::start(CloudConfig::instant()));
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let cloud = Arc::clone(&cloud);
+                std::thread::spawn(move || {
+                    let id = cloud.submit_job(ghz_request(3, 50));
+                    cloud.wait_for(id, POLL, DEADLINE).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let r = h.join().unwrap();
+            assert_eq!(r.counts.values().sum::<usize>(), 50);
+        }
+        assert_eq!(cloud.jobs_completed(), 6);
+    }
+}

@@ -1,0 +1,320 @@
+//! The Qiskit-Aer analog adapter: `statevector`, `matrix_product_state`,
+//! `stabilizer`, and `automatic` sub-backends.
+//!
+//! `automatic` reproduces Aer's method-selection heuristic: Clifford
+//! circuits go to the stabilizer tableau, structured low-entanglement
+//! circuits to MPS, everything else to the dense state vector. The chosen
+//! method is reported in the result metadata.
+//!
+//! Multi-rank requests on `statevector` model Aer's chunk-based MPI mode:
+//! the state is distributed, but every gate is followed by a chunk
+//! synchronization barrier — the bookkeeping that keeps Aer from scaling
+//! "beyond a single node" in the paper's Fig. 3e discussion.
+
+use crate::backends::{unmarshal_circuit, BackendQpm, ExecContext};
+use crate::error::QfwError;
+use crate::result::QfwResult;
+use crate::spec::ExecTask;
+use qfw_circuit::analysis::{is_clifford, StructureReport};
+use qfw_circuit::{Circuit, Op};
+use qfw_hpc::Stopwatch;
+use qfw_sim_mps::{MpsConfig, MpsSimulator};
+use qfw_sim_stab::StabSimulator;
+use qfw_sim_sv::dist::DistStateVector;
+use qfw_sim_sv::{SvConfig, SvSimulator, Threading};
+use std::sync::Arc;
+
+/// Qiskit-Aer analog Backend-QPM.
+#[derive(Debug, Default)]
+pub struct AerBackend;
+
+/// Bond-bound (log2) below which `automatic` prefers MPS.
+const AUTO_MPS_BOND_BOUND: usize = 8;
+
+impl AerBackend {
+    /// Aer's `automatic` method selection, on our structural analyses.
+    fn select_method(circuit: &Circuit) -> &'static str {
+        if is_clifford(circuit) {
+            return "stabilizer";
+        }
+        let report = StructureReport::of(circuit);
+        if report.nearest_neighbor_only
+            && report.log2_bond_bound(circuit.num_qubits()) <= AUTO_MPS_BOND_BOUND
+        {
+            return "matrix_product_state";
+        }
+        "statevector"
+    }
+
+    fn run_statevector(
+        &self,
+        circuit: &Circuit,
+        task: &ExecTask,
+        ctx: &ExecContext<'_>,
+        result: &mut QfwResult,
+    ) -> Result<(), QfwError> {
+        if task.spec.ranks <= 1 {
+            let _lease = ctx.lease_cores(1)?;
+            let engine = SvSimulator::new(SvConfig {
+                threading: Threading::Serial,
+                fusion: true,
+            });
+            let out = engine.run(circuit, task.shots, task.seed);
+            result.counts = out.counts;
+            result.profile.exec_secs = out.gate_time.as_secs_f64();
+            result.profile.sample_secs = out.sample_time.as_secs_f64();
+            result.profile.ranks = 1;
+            return Ok(());
+        }
+        // Chunked MPI mode: distributed state + per-gate synchronization.
+        let ranks = task.spec.ranks.next_power_of_two();
+        if (1usize << circuit.num_qubits()) < 2 * ranks {
+            return Err(QfwError::Resources(format!(
+                "{ranks} chunks need a larger register than {} qubits",
+                circuit.num_qubits()
+            )));
+        }
+        let alloc = ctx.lease_cores(ranks)?;
+        let circuit = Arc::new(circuit.clone());
+        let shots = task.shots;
+        let seed = task.seed;
+        let job = ctx.dvm.spawn(&alloc, ranks, move |mut rank_ctx| {
+            let sw = Stopwatch::start();
+            let mut dsv = DistStateVector::zero(&mut rank_ctx, circuit.num_qubits());
+            for op in circuit.ops() {
+                if let Op::Gate(g) = op {
+                    dsv.apply(g);
+                    // Chunk bookkeeping: Aer synchronizes chunk state after
+                    // every instruction when distributed.
+                    dsv.barrier();
+                }
+            }
+            let exec = sw.elapsed_secs();
+            let sw = Stopwatch::start();
+            let counts = dsv.sample_counts(shots, seed);
+            counts.map(|c| (c, exec, sw.elapsed_secs()))
+        });
+        let mut outcomes = job.wait();
+        let (counts, exec_secs, sample_secs) =
+            outcomes.swap_remove(0).expect("rank 0 returns counts");
+        result.counts = counts;
+        result.profile.exec_secs = exec_secs;
+        result.profile.sample_secs = sample_secs;
+        result.profile.ranks = ranks;
+        Ok(())
+    }
+
+    fn run_mps(
+        &self,
+        circuit: &Circuit,
+        task: &ExecTask,
+        ctx: &ExecContext<'_>,
+        result: &mut QfwResult,
+    ) -> Result<(), QfwError> {
+        let _lease = ctx.lease_cores(1)?;
+        let config = MpsConfig {
+            chi_max: task.spec.extra_parsed("chi_max").unwrap_or(64),
+            trunc_eps: task.spec.extra_parsed("trunc_eps").unwrap_or(1e-12),
+        };
+        let out = MpsSimulator::new(config).run(circuit, task.shots, task.seed);
+        result.counts = out.counts;
+        result.profile.exec_secs = out.gate_time.as_secs_f64();
+        result.profile.sample_secs = out.sample_time.as_secs_f64();
+        result.profile.ranks = 1;
+        result
+            .metadata
+            .insert("max_bond".into(), out.max_bond.to_string());
+        result
+            .metadata
+            .insert("trunc_error".into(), format!("{:.3e}", out.trunc_error));
+        if task.spec.ranks > 1 {
+            // The paper: "MPS-based approaches do not scale as effectively".
+            result.metadata.insert(
+                "ranks_ignored".into(),
+                format!("{} (mps is sequential along the bond chain)", task.spec.ranks),
+            );
+        }
+        Ok(())
+    }
+
+    fn run_stabilizer(
+        &self,
+        circuit: &Circuit,
+        task: &ExecTask,
+        ctx: &ExecContext<'_>,
+        result: &mut QfwResult,
+    ) -> Result<(), QfwError> {
+        let _lease = ctx.lease_cores(1)?;
+        let out = StabSimulator
+            .run(circuit, task.shots, task.seed)
+            .map_err(QfwError::Execution)?;
+        result.counts = out.counts;
+        result.profile.exec_secs = out.total_time.as_secs_f64();
+        result.profile.ranks = 1;
+        Ok(())
+    }
+}
+
+impl BackendQpm for AerBackend {
+    fn name(&self) -> &'static str {
+        "aer"
+    }
+
+    fn subbackends(&self) -> &'static [&'static str] {
+        &[
+            "automatic",
+            "statevector",
+            "matrix_product_state",
+            "stabilizer",
+        ]
+    }
+
+    fn execute(&self, task: &ExecTask, ctx: &ExecContext<'_>) -> Result<QfwResult, QfwError> {
+        let sub = self.resolve_subbackend(&task.spec)?;
+        let total = Stopwatch::start();
+        let (circuit, marshal_secs) = unmarshal_circuit(task)?;
+        let mut result = QfwResult::new(self.name(), sub, task.shots);
+        result.profile.marshal_secs = marshal_secs;
+
+        let method = if sub == "automatic" {
+            let m = Self::select_method(&circuit);
+            result.metadata.insert("method".into(), m.to_string());
+            m
+        } else {
+            sub
+        };
+        match method {
+            "statevector" => self.run_statevector(&circuit, task, ctx, &mut result)?,
+            "matrix_product_state" => self.run_mps(&circuit, task, ctx, &mut result)?,
+            "stabilizer" => self.run_stabilizer(&circuit, task, ctx, &mut result)?,
+            other => unreachable!("bad method '{other}'"),
+        }
+        result.profile.total_secs = total.elapsed_secs();
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::testutil::{ghz_task, TestRig};
+    use crate::spec::BackendSpec;
+    use qfw_circuit::text;
+
+    fn tfim_task(n: usize, shots: usize, spec: BackendSpec) -> ExecTask {
+        let mut qc = Circuit::new(n);
+        for q in 0..n {
+            qc.h(q);
+        }
+        for _ in 0..3 {
+            for q in 0..n - 1 {
+                qc.rzz(q, q + 1, 0.2);
+            }
+            for q in 0..n {
+                qc.rx(q, 0.4);
+            }
+        }
+        qc.measure_all();
+        ExecTask {
+            circuit: text::dump(&qc),
+            shots,
+            seed: 77,
+            spec,
+        }
+    }
+
+    #[test]
+    fn explicit_subbackends_run_ghz() {
+        let rig = TestRig::new(1);
+        for sub in ["statevector", "matrix_product_state", "stabilizer"] {
+            let task = ghz_task(6, 400, BackendSpec::of("aer", sub));
+            let result = AerBackend.execute(&task, &rig.ctx()).unwrap();
+            assert_eq!(result.counts.values().sum::<usize>(), 400, "{sub}");
+            assert_eq!(result.counts.len(), 2, "{sub}");
+        }
+    }
+
+    #[test]
+    fn automatic_selects_stabilizer_for_ghz() {
+        let rig = TestRig::new(1);
+        let task = ghz_task(8, 100, BackendSpec::of("aer", "automatic"));
+        let result = AerBackend.execute(&task, &rig.ctx()).unwrap();
+        assert_eq!(result.metadata["method"], "stabilizer");
+    }
+
+    #[test]
+    fn automatic_selects_mps_for_tfim() {
+        let rig = TestRig::new(1);
+        let task = tfim_task(10, 100, BackendSpec::of("aer", "automatic"));
+        let result = AerBackend.execute(&task, &rig.ctx()).unwrap();
+        assert_eq!(result.metadata["method"], "matrix_product_state");
+        assert!(result.metadata.contains_key("max_bond"));
+    }
+
+    #[test]
+    fn automatic_falls_back_to_statevector_for_dense_nonclifford() {
+        let rig = TestRig::new(1);
+        let mut qc = Circuit::new(5);
+        // Long-range non-Clifford entanglers defeat both fast paths.
+        qc.h(0).t(1).cry(0, 4, 0.7).rzz(1, 3, 0.9).ccx(0, 2, 4);
+        qc.measure_all();
+        let task = ExecTask {
+            circuit: text::dump(&qc),
+            shots: 50,
+            seed: 5,
+            spec: BackendSpec::of("aer", "automatic"),
+        };
+        let result = AerBackend.execute(&task, &rig.ctx()).unwrap();
+        assert_eq!(result.metadata["method"], "statevector");
+    }
+
+    #[test]
+    fn stabilizer_rejects_nonclifford() {
+        let rig = TestRig::new(1);
+        let mut qc = Circuit::new(2);
+        qc.h(0).t(0);
+        qc.measure_all();
+        let task = ExecTask {
+            circuit: text::dump(&qc),
+            shots: 10,
+            seed: 1,
+            spec: BackendSpec::of("aer", "stabilizer"),
+        };
+        assert!(matches!(
+            AerBackend.execute(&task, &rig.ctx()).unwrap_err(),
+            QfwError::Execution(_)
+        ));
+    }
+
+    #[test]
+    fn chunked_mpi_statevector_matches_serial() {
+        let rig = TestRig::new(2);
+        let serial = AerBackend
+            .execute(
+                &tfim_task(6, 3000, BackendSpec::of("aer", "statevector")),
+                &rig.ctx(),
+            )
+            .unwrap();
+        let chunked = AerBackend
+            .execute(
+                &tfim_task(6, 3000, BackendSpec::of("aer", "statevector").with_ranks(4)),
+                &rig.ctx(),
+            )
+            .unwrap();
+        assert_eq!(chunked.profile.ranks, 4);
+        // Same distribution (different sampling paths): TV distance small.
+        assert!(
+            serial.tv_distance(&chunked) < 0.15,
+            "tv={}",
+            serial.tv_distance(&chunked)
+        );
+    }
+
+    #[test]
+    fn mps_notes_ignored_ranks() {
+        let rig = TestRig::new(1);
+        let task = tfim_task(6, 10, BackendSpec::of("aer", "matrix_product_state").with_ranks(8));
+        let result = AerBackend.execute(&task, &rig.ctx()).unwrap();
+        assert!(result.metadata.contains_key("ranks_ignored"));
+    }
+}

@@ -1,0 +1,136 @@
+//! The IonQ (cloud) analog adapter: routes execution through the mock
+//! cloud provider's REST-shaped API instead of local HPC resources —
+//! "for the cloud path, simple REST suffices" (Section 4.1).
+//!
+//! Only the `simulator` sub-backend is available; `hardware` is planned,
+//! exactly as in Table 1.
+
+use crate::backends::{BackendQpm, ExecContext};
+use crate::error::QfwError;
+use crate::result::QfwResult;
+use crate::spec::ExecTask;
+use qfw_cloud::{CloudProvider, JobRequest};
+use qfw_hpc::Stopwatch;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// IonQ analog Backend-QPM, wrapping a shared cloud provider handle.
+pub struct IonqBackend {
+    provider: Arc<CloudProvider>,
+    poll: Duration,
+    deadline: Duration,
+}
+
+impl IonqBackend {
+    /// Wraps a provider connection.
+    pub fn new(provider: Arc<CloudProvider>) -> Self {
+        IonqBackend {
+            provider,
+            poll: Duration::from_millis(20),
+            deadline: Duration::from_secs(600),
+        }
+    }
+
+    /// Shared provider handle (diagnostics).
+    pub fn provider(&self) -> &Arc<CloudProvider> {
+        &self.provider
+    }
+}
+
+impl BackendQpm for IonqBackend {
+    fn name(&self) -> &'static str {
+        "ionq"
+    }
+
+    fn subbackends(&self) -> &'static [&'static str] {
+        &["simulator", "hardware"]
+    }
+
+    fn execute(&self, task: &ExecTask, _ctx: &ExecContext<'_>) -> Result<QfwResult, QfwError> {
+        let sub = self.resolve_subbackend(&task.spec)?;
+        if sub == "hardware" {
+            return Err(QfwError::Execution(
+                "ionq/hardware execution is planned future work".into(),
+            ));
+        }
+        let total = Stopwatch::start();
+        // No local cores are consumed: the request leaves the cluster.
+        let job_id = self.provider.submit_job(JobRequest {
+            circuit: task.circuit.clone(),
+            shots: task.shots,
+            name: "qfw-task".into(),
+        });
+        let outcome = self
+            .provider
+            .wait_for(job_id, self.poll, self.deadline)
+            .map_err(|e| QfwError::Execution(e.to_string()))?;
+
+        let mut result = QfwResult::new(self.name(), sub, task.shots);
+        result.counts = outcome.counts;
+        result.profile.queue_secs = outcome.queue_secs;
+        result.profile.exec_secs = outcome.exec_secs;
+        result.profile.ranks = 1;
+        result.profile.total_secs = total.elapsed_secs();
+        result
+            .metadata
+            .insert("cloud_job_id".into(), job_id.to_string());
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::testutil::{ghz_task, TestRig};
+    use crate::spec::BackendSpec;
+    use qfw_cloud::CloudConfig;
+
+    fn backend() -> IonqBackend {
+        IonqBackend::new(Arc::new(CloudProvider::start(CloudConfig::instant())))
+    }
+
+    #[test]
+    fn simulator_round_trip() {
+        let rig = TestRig::new(1);
+        let task = ghz_task(5, 200, BackendSpec::of("ionq", "simulator"));
+        let result = backend().execute(&task, &rig.ctx()).unwrap();
+        assert_eq!(result.counts.values().sum::<usize>(), 200);
+        assert!(result.metadata.contains_key("cloud_job_id"));
+    }
+
+    #[test]
+    fn hardware_is_planned() {
+        let rig = TestRig::new(1);
+        let task = ghz_task(3, 10, BackendSpec::of("ionq", "hardware"));
+        match backend().execute(&task, &rig.ctx()).unwrap_err() {
+            QfwError::Execution(msg) => assert!(msg.contains("planned")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_local_cores_consumed() {
+        let rig = TestRig::new(1);
+        let before = rig.hetjob.free_cores(1);
+        let task = ghz_task(4, 20, BackendSpec::of("ionq", "simulator"));
+        let b = backend();
+        let _ = b.execute(&task, &rig.ctx()).unwrap();
+        assert_eq!(rig.hetjob.free_cores(1), before);
+    }
+
+    #[test]
+    fn provider_failures_surface_as_execution_errors() {
+        let rig = TestRig::new(1);
+        let b = backend();
+        let task = ExecTask {
+            circuit: "garbage".into(),
+            shots: 1,
+            seed: 0,
+            spec: BackendSpec::of("ionq", "simulator"),
+        };
+        assert!(matches!(
+            b.execute(&task, &rig.ctx()).unwrap_err(),
+            QfwError::Execution(_)
+        ));
+    }
+}

@@ -1,0 +1,136 @@
+//! Backend-QPM adapters: one per engine, all conforming to the same
+//! QPM-API so "the application code remains unchanged when swapping
+//! backends" (Section 4.1).
+//!
+//! Every adapter follows the four integration obligations the paper lists:
+//! (1) accept the standardized circuit description (`qfwasm` text in
+//! [`ExecTask`]), (2) configure engine-specific runtime parameters from
+//! [`BackendSpec::extra`], (3) launch execution — serially, rayon-threaded,
+//! or via DVM ranks — and (4) marshal results into [`QfwResult`].
+
+pub mod aer;
+pub mod ionq;
+pub mod nwqsim;
+pub mod qtensor;
+pub mod tnqvm;
+
+use crate::error::QfwError;
+use crate::result::QfwResult;
+use crate::spec::{BackendSpec, ExecTask};
+use qfw_circuit::Circuit;
+use qfw_hpc::slurm::HetJob;
+use qfw_hpc::{Allocation, Dvm};
+use std::time::{Duration, Instant};
+
+/// Execution-side context handed to adapters: the DVM for rank spawning and
+/// the `hetgroup-1` lease broker for cores.
+pub struct ExecContext<'a> {
+    /// The PRTE-like DVM spanning the worker group.
+    pub dvm: &'a Dvm,
+    /// The heterogeneous job owning the worker nodes.
+    pub hetjob: &'a HetJob,
+    /// Index of the worker group (`hetgroup-1` in the standard layout).
+    pub group: usize,
+}
+
+impl ExecContext<'_> {
+    /// Leases `n` cores, waiting (bounded) for earlier tasks to release
+    /// theirs — this is what throttles DQAOA's concurrent sub-QUBO solves
+    /// to the physically available width.
+    pub fn lease_cores(&self, n: usize) -> Result<Allocation, QfwError> {
+        let deadline = Instant::now() + Duration::from_secs(300);
+        loop {
+            match self.hetjob.allocate_cores(self.group, n) {
+                Ok(alloc) => return Ok(alloc),
+                Err(e) => {
+                    if Instant::now() > deadline {
+                        return Err(QfwError::Resources(e.to_string()));
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
+    }
+}
+
+/// The QPM-API every backend implements.
+pub trait BackendQpm: Send + Sync {
+    /// Canonical backend name.
+    fn name(&self) -> &'static str;
+
+    /// Supported sub-backends (first entry is the default).
+    fn subbackends(&self) -> &'static [&'static str];
+
+    /// Executes one task.
+    fn execute(&self, task: &ExecTask, ctx: &ExecContext<'_>) -> Result<QfwResult, QfwError>;
+
+    /// Resolves the effective sub-backend, validating against the supported
+    /// list.
+    fn resolve_subbackend(&self, spec: &BackendSpec) -> Result<&'static str, QfwError> {
+        if spec.subbackend.is_empty() {
+            return Ok(self.subbackends()[0]);
+        }
+        self.subbackends()
+            .iter()
+            .find(|&&s| s == spec.subbackend)
+            .copied()
+            .ok_or_else(|| QfwError::UnknownSubBackend {
+                backend: self.name().to_string(),
+                subbackend: spec.subbackend.clone(),
+            })
+    }
+}
+
+/// Unmarshals the wire-format circuit, timing the step for the profile.
+pub fn unmarshal_circuit(task: &ExecTask) -> Result<(Circuit, f64), QfwError> {
+    let start = Instant::now();
+    let circuit =
+        qfw_circuit::text::parse(&task.circuit).map_err(|e| QfwError::Marshal(e.to_string()))?;
+    Ok((circuit, start.elapsed().as_secs_f64()))
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use qfw_hpc::slurm::HetJobSpec;
+    use qfw_hpc::ClusterSpec;
+
+    /// A self-contained (cluster, hetjob, dvm) bundle for adapter tests.
+    pub struct TestRig {
+        pub hetjob: HetJob,
+        pub dvm: Dvm,
+    }
+
+    impl TestRig {
+        pub fn new(nodes: usize) -> TestRig {
+            let cluster = ClusterSpec::test(nodes + 1);
+            let hetjob = HetJob::submit(&cluster, &HetJobSpec::qfw_standard(nodes)).unwrap();
+            let dvm = Dvm::new(&cluster);
+            TestRig { hetjob, dvm }
+        }
+
+        pub fn ctx(&self) -> ExecContext<'_> {
+            ExecContext {
+                dvm: &self.dvm,
+                hetjob: &self.hetjob,
+                group: 1,
+            }
+        }
+    }
+
+    /// A measured GHZ circuit in wire format.
+    pub fn ghz_task(n: usize, shots: usize, spec: BackendSpec) -> ExecTask {
+        let mut qc = Circuit::new(n);
+        qc.h(0);
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+        }
+        qc.measure_all();
+        ExecTask {
+            circuit: qfw_circuit::text::dump(&qc),
+            shots,
+            seed: 1234,
+            spec,
+        }
+    }
+}

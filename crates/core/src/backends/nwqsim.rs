@@ -1,0 +1,215 @@
+//! The NWQ-Sim (SV-Sim) analog adapter: a state-vector engine with `cpu`,
+//! `openmp`, and natively-distributed `mpi` sub-backends — the backend the
+//! paper finds strongest on highly-entangled GHZ/HAM workloads and the one
+//! whose native MPI distribution "makes it a good fit for multi-node
+//! CPU/GPU HPC runs".
+
+use crate::backends::{unmarshal_circuit, BackendQpm, ExecContext};
+use crate::error::QfwError;
+use crate::result::QfwResult;
+use crate::spec::ExecTask;
+use qfw_hpc::Stopwatch;
+use qfw_sim_sv::dist::run_distributed;
+use qfw_sim_sv::noise::{run_noisy, NoiseModel};
+use qfw_sim_sv::{SvConfig, SvSimulator, Threading};
+use std::sync::Arc;
+
+/// NWQ-Sim analog Backend-QPM.
+#[derive(Debug, Default)]
+pub struct NwqSimBackend;
+
+impl BackendQpm for NwqSimBackend {
+    fn name(&self) -> &'static str {
+        "nwqsim"
+    }
+
+    fn subbackends(&self) -> &'static [&'static str] {
+        &["cpu", "openmp", "mpi"]
+    }
+
+    fn execute(&self, task: &ExecTask, ctx: &ExecContext<'_>) -> Result<QfwResult, QfwError> {
+        let sub = self.resolve_subbackend(&task.spec)?;
+        let total = Stopwatch::start();
+        let (circuit, marshal_secs) = unmarshal_circuit(task)?;
+        let fusion = task.spec.extra_parsed::<bool>("fusion").unwrap_or(true);
+
+        let mut result = QfwResult::new(self.name(), sub, task.shots);
+        result.profile.marshal_secs = marshal_secs;
+
+        // Optional stochastic noise channels, selected via runtime
+        // properties (`noise_p1`, `noise_p2`, `noise_readout`) — the NISQ
+        // emulation path.
+        let noise = NoiseModel {
+            p1: task.spec.extra_parsed("noise_p1").unwrap_or(0.0),
+            p2: task.spec.extra_parsed("noise_p2").unwrap_or(0.0),
+            readout: task.spec.extra_parsed("noise_readout").unwrap_or(0.0),
+        };
+
+        match sub {
+            "cpu" | "openmp" => {
+                let threading = if sub == "openmp" {
+                    Threading::Rayon
+                } else {
+                    Threading::Serial
+                };
+                // Account the cores the engine occupies: 1 for the serial
+                // path, one LLC domain's worth for the threaded path.
+                let cores = if sub == "openmp" {
+                    ctx.hetjob.cluster().node.app_cores_per_llc()
+                } else {
+                    1
+                };
+                let _lease = ctx.lease_cores(cores)?;
+                let sw = Stopwatch::start();
+                if noise.is_ideal() {
+                    let engine = SvSimulator::new(SvConfig { threading, fusion });
+                    let out = engine.run(&circuit, task.shots, task.seed);
+                    result.counts = out.counts;
+                    result.profile.exec_secs = out.gate_time.as_secs_f64();
+                    result.profile.sample_secs = out.sample_time.as_secs_f64();
+                    result
+                        .metadata
+                        .insert("gates_applied".into(), out.gates_applied.to_string());
+                } else {
+                    result.counts = run_noisy(&circuit, task.shots, task.seed, &noise, 64);
+                    result.profile.exec_secs = sw.elapsed_secs();
+                    result
+                        .metadata
+                        .insert("noise".into(), format!("{noise:?}"));
+                }
+                result.profile.ranks = 1;
+            }
+            "mpi" => {
+                if !noise.is_ideal() {
+                    return Err(QfwError::Execution(
+                        "noise channels are only supported on the cpu/openmp \
+                         sub-backends"
+                            .into(),
+                    ));
+                }
+                let ranks = task.spec.ranks.max(1).next_power_of_two();
+                if ranks as u32 != task.spec.ranks as u32 && task.spec.ranks != ranks {
+                    result
+                        .metadata
+                        .insert("ranks_rounded".into(), ranks.to_string());
+                }
+                if circuit.num_qubits() == 0 || (1usize << circuit.num_qubits()) < 2 * ranks {
+                    return Err(QfwError::Resources(format!(
+                        "{} ranks need at least {} qubits",
+                        ranks,
+                        ranks.trailing_zeros() + 1
+                    )));
+                }
+                let alloc = ctx.lease_cores(ranks)?;
+                let circuit = Arc::new(circuit);
+                let shots = task.shots;
+                let seed = task.seed;
+                let job = ctx.dvm.spawn(&alloc, ranks, move |mut rank_ctx| {
+                    run_distributed(&mut rank_ctx, &circuit, shots, seed)
+                });
+                let mut outcomes = job.wait();
+                let out = outcomes
+                    .swap_remove(0)
+                    .expect("rank 0 returns the outcome");
+                result.counts = out.counts;
+                result.profile.exec_secs = out.gate_time.as_secs_f64();
+                result.profile.sample_secs = out.sample_time.as_secs_f64();
+                result.profile.ranks = ranks;
+            }
+            other => unreachable!("resolve_subbackend admitted '{other}'"),
+        }
+        result.profile.total_secs = total.elapsed_secs();
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::testutil::{ghz_task, TestRig};
+    use crate::spec::BackendSpec;
+
+    #[test]
+    fn all_subbackends_agree_on_ghz() {
+        let rig = TestRig::new(2);
+        let backend = NwqSimBackend;
+        for (sub, ranks) in [("cpu", 1), ("openmp", 1), ("mpi", 4)] {
+            let spec = BackendSpec::of("nwqsim", sub).with_ranks(ranks);
+            let task = ghz_task(6, 600, spec);
+            let result = backend.execute(&task, &rig.ctx()).unwrap();
+            assert_eq!(result.counts.values().sum::<usize>(), 600, "{sub}");
+            assert_eq!(result.counts.len(), 2, "{sub}");
+            assert_eq!(result.subbackend, sub);
+            assert_eq!(result.profile.ranks, ranks);
+        }
+    }
+
+    #[test]
+    fn default_subbackend_is_cpu() {
+        let rig = TestRig::new(1);
+        let task = ghz_task(4, 50, BackendSpec::of("nwqsim", ""));
+        let result = NwqSimBackend.execute(&task, &rig.ctx()).unwrap();
+        assert_eq!(result.subbackend, "cpu");
+    }
+
+    #[test]
+    fn unknown_subbackend_rejected() {
+        let rig = TestRig::new(1);
+        let task = ghz_task(4, 50, BackendSpec::of("nwqsim", "gpu"));
+        let err = NwqSimBackend.execute(&task, &rig.ctx()).unwrap_err();
+        assert!(matches!(err, QfwError::UnknownSubBackend { .. }));
+    }
+
+    #[test]
+    fn mpi_rejects_too_many_ranks_for_register() {
+        let rig = TestRig::new(2);
+        let task = ghz_task(3, 10, BackendSpec::of("nwqsim", "mpi").with_ranks(8));
+        let err = NwqSimBackend.execute(&task, &rig.ctx()).unwrap_err();
+        assert!(matches!(err, QfwError::Resources(_)));
+    }
+
+    #[test]
+    fn cores_are_released_after_execution() {
+        let rig = TestRig::new(1);
+        let before = rig.hetjob.free_cores(1);
+        let task = ghz_task(5, 20, BackendSpec::of("nwqsim", "mpi").with_ranks(4));
+        NwqSimBackend.execute(&task, &rig.ctx()).unwrap();
+        assert_eq!(rig.hetjob.free_cores(1), before);
+    }
+
+    #[test]
+    fn noise_properties_engage_the_noisy_path() {
+        let rig = TestRig::new(1);
+        let spec = BackendSpec::of("nwqsim", "cpu")
+            .with_extra("noise_p2", 0.05)
+            .with_extra("noise_readout", 0.01);
+        let task = ghz_task(6, 2000, spec);
+        let result = NwqSimBackend.execute(&task, &rig.ctx()).unwrap();
+        assert!(result.metadata.contains_key("noise"));
+        // Noise leaks probability out of the two GHZ outcomes.
+        assert!(result.counts.len() > 2, "noise had no visible effect");
+    }
+
+    #[test]
+    fn noise_rejected_on_mpi() {
+        let rig = TestRig::new(1);
+        let spec = BackendSpec::of("nwqsim", "mpi")
+            .with_ranks(2)
+            .with_extra("noise_p2", 0.05);
+        let task = ghz_task(5, 10, spec);
+        assert!(matches!(
+            NwqSimBackend.execute(&task, &rig.ctx()).unwrap_err(),
+            QfwError::Execution(_)
+        ));
+    }
+
+    #[test]
+    fn fusion_toggle_respected() {
+        let rig = TestRig::new(1);
+        let spec = BackendSpec::of("nwqsim", "cpu").with_extra("fusion", false);
+        let task = ghz_task(4, 50, spec);
+        let result = NwqSimBackend.execute(&task, &rig.ctx()).unwrap();
+        // GHZ(4) has 4 gates; without fusion all 4 are applied verbatim.
+        assert_eq!(result.metadata["gates_applied"], "4");
+    }
+}

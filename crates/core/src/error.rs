@@ -1,0 +1,91 @@
+//! Unified error type for the orchestration layer.
+
+use qfw_defw::RpcError;
+
+/// Errors surfaced to QFw applications.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QfwError {
+    /// The requested backend name is not registered.
+    UnknownBackend(String),
+    /// The backend exists but the sub-backend is not supported.
+    UnknownSubBackend {
+        /// Backend name.
+        backend: String,
+        /// Offending sub-backend.
+        subbackend: String,
+    },
+    /// The runtime properties were malformed.
+    BadProperties(String),
+    /// Circuit (un)marshaling failed.
+    Marshal(String),
+    /// The engine rejected or failed the task.
+    Execution(String),
+    /// Resource allocation failed (e.g. more ranks than free cores).
+    Resources(String),
+    /// RPC transport failure.
+    Rpc(String),
+    /// The job exceeded its walltime budget (the paper's two-hour cutoff).
+    WalltimeExceeded {
+        /// Allowed seconds.
+        limit_secs: f64,
+    },
+}
+
+impl std::fmt::Display for QfwError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QfwError::UnknownBackend(b) => write!(f, "unknown backend '{b}'"),
+            QfwError::UnknownSubBackend {
+                backend,
+                subbackend,
+            } => write!(f, "backend '{backend}' has no sub-backend '{subbackend}'"),
+            QfwError::BadProperties(msg) => write!(f, "bad backend properties: {msg}"),
+            QfwError::Marshal(msg) => write!(f, "marshal error: {msg}"),
+            QfwError::Execution(msg) => write!(f, "execution error: {msg}"),
+            QfwError::Resources(msg) => write!(f, "resource error: {msg}"),
+            QfwError::Rpc(msg) => write!(f, "rpc error: {msg}"),
+            QfwError::WalltimeExceeded { limit_secs } => {
+                write!(f, "job exceeded the {limit_secs} s walltime budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QfwError {}
+
+impl From<RpcError> for QfwError {
+    fn from(e: RpcError) -> Self {
+        match e {
+            RpcError::Handler(msg) => {
+                // Handler errors carry a QfwError rendered as a string; keep
+                // the message intact for the application.
+                QfwError::Execution(msg)
+            }
+            other => QfwError::Rpc(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(format!("{}", QfwError::UnknownBackend("x".into())).contains("'x'"));
+        let e = QfwError::UnknownSubBackend {
+            backend: "aer".into(),
+            subbackend: "gpu".into(),
+        };
+        assert!(format!("{e}").contains("aer"));
+        assert!(format!("{e}").contains("gpu"));
+    }
+
+    #[test]
+    fn rpc_conversion_keeps_handler_message() {
+        let e: QfwError = RpcError::Handler("engine exploded".into()).into();
+        assert_eq!(e, QfwError::Execution("engine exploded".into()));
+        let e: QfwError = RpcError::Shutdown.into();
+        assert!(matches!(e, QfwError::Rpc(_)));
+    }
+}

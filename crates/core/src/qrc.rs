@@ -1,0 +1,332 @@
+//! QRC — the Quantum Resource Controller.
+//!
+//! The QRC "schedules and launches quantum tasks across MPI ranks, ensuring
+//! efficient utilization of allocated resources" (Section 2.1). Here it
+//! owns the worker-slot pool that QPM dispatches into (the paper's
+//! "eight worker threads, distributed round-robin"), brokers core leases
+//! from the `hetgroup-1` allocation, and hands each Backend-QPM an
+//! [`ExecContext`] for DVM rank spawning.
+//!
+//! Two dispatch policies are provided; `ablation_dispatch` measures the
+//! difference under skewed task durations.
+
+use crate::backends::{BackendQpm, ExecContext};
+use crate::error::QfwError;
+use crate::registry::BackendRegistry;
+use crate::result::QfwResult;
+use crate::spec::ExecTask;
+use parking_lot::{Condvar, Mutex};
+use qfw_hpc::slurm::HetJob;
+use qfw_hpc::{Dvm, Stopwatch};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// How QPM assigns tasks to QRC worker slots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Strict rotation over the slots (the paper's policy). A task waits
+    /// for *its* slot even when others are free.
+    RoundRobin,
+    /// Pick the slot with the fewest active tasks.
+    LeastLoaded,
+}
+
+#[derive(Default)]
+struct Slot {
+    active: Mutex<usize>,
+    freed: Condvar,
+    tasks_run: AtomicU64,
+}
+
+/// The resource controller: worker slots + core leasing + DVM access.
+pub struct Qrc {
+    registry: BackendRegistry,
+    hetjob: Arc<HetJob>,
+    dvm: Arc<Dvm>,
+    group: usize,
+    slots: Vec<Arc<Slot>>,
+    next: AtomicUsize,
+    policy: DispatchPolicy,
+}
+
+impl Qrc {
+    /// Builds a controller with `workers` slots over the given hetgroup.
+    pub fn new(
+        registry: BackendRegistry,
+        hetjob: Arc<HetJob>,
+        dvm: Arc<Dvm>,
+        group: usize,
+        workers: usize,
+        policy: DispatchPolicy,
+    ) -> Self {
+        assert!(workers >= 1, "QRC needs at least one worker slot");
+        Qrc {
+            registry,
+            hetjob,
+            dvm,
+            group,
+            slots: (0..workers).map(|_| Arc::new(Slot::default())).collect(),
+            next: AtomicUsize::new(0),
+            policy,
+        }
+    }
+
+    /// Number of worker slots.
+    pub fn workers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Tasks executed per slot (diagnostics).
+    pub fn tasks_per_slot(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .map(|s| s.tasks_run.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Executes one task end-to-end: slot acquisition, backend dispatch,
+    /// profile stamping, slot release.
+    ///
+    /// The pseudo-backend name `auto` engages the workload-driven selector:
+    /// the task's circuit is analyzed and the spec rewritten to the
+    /// recommended engine before dispatch (the rationale lands in the
+    /// result metadata).
+    pub fn execute(&self, task: &ExecTask) -> Result<QfwResult, QfwError> {
+        if task.spec.backend == "auto" {
+            return self.execute_auto(task);
+        }
+        let backend: Arc<dyn BackendQpm> = self.registry.get(&task.spec.backend)?;
+        let queue_sw = Stopwatch::start();
+        let slot = self.acquire_slot();
+        let queue_secs = queue_sw.elapsed_secs();
+
+        let ctx = ExecContext {
+            dvm: &self.dvm,
+            hetjob: &self.hetjob,
+            group: self.group,
+        };
+        let outcome = backend.execute(task, &ctx);
+        slot.tasks_run.fetch_add(1, Ordering::Relaxed);
+        self.release_slot(&slot);
+
+        outcome.map(|mut result| {
+            result.profile.queue_secs += queue_secs;
+            result
+        })
+    }
+
+    /// Workload-driven dispatch: analyze, select, rewrite, re-execute.
+    fn execute_auto(&self, task: &ExecTask) -> Result<QfwResult, QfwError> {
+        let circuit = qfw_circuit::text::parse(&task.circuit)
+            .map_err(|e| QfwError::Marshal(e.to_string()))?;
+        let ctx = crate::selector::SelectorContext {
+            free_cores: self.hetjob.free_cores(self.group),
+            cloud_available: self.registry.get("ionq").is_ok(),
+        };
+        let rec = crate::selector::select_backend(&circuit, ctx);
+        let mut rewritten = task.clone();
+        // Preserve user-supplied engine tunables across the rewrite.
+        let mut spec = rec.spec.clone();
+        for (k, v) in &task.spec.extra {
+            spec.extra.entry(k.clone()).or_insert_with(|| v.clone());
+        }
+        rewritten.spec = spec;
+        let mut result = self.execute(&rewritten)?;
+        result
+            .metadata
+            .insert("auto_selected".into(), format!(
+                "{}/{}", rec.spec.backend, rec.spec.subbackend
+            ));
+        result.metadata.insert("auto_rationale".into(), rec.rationale);
+        Ok(result)
+    }
+
+    fn acquire_slot(&self) -> Arc<Slot> {
+        let slot = match self.policy {
+            DispatchPolicy::RoundRobin => {
+                let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+                Arc::clone(&self.slots[idx])
+            }
+            DispatchPolicy::LeastLoaded => {
+                let mut best = 0;
+                let mut best_load = usize::MAX;
+                for (i, s) in self.slots.iter().enumerate() {
+                    let load = *s.active.lock();
+                    if load < best_load {
+                        best_load = load;
+                        best = i;
+                    }
+                }
+                Arc::clone(&self.slots[best])
+            }
+        };
+        let mut active = slot.active.lock();
+        while *active > 0 {
+            slot.freed.wait(&mut active);
+        }
+        *active = 1;
+        drop(active);
+        slot
+    }
+
+    fn release_slot(&self, slot: &Arc<Slot>) {
+        let mut active = slot.active.lock();
+        *active = 0;
+        slot.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::BackendSpec;
+    use qfw_circuit::{text, Circuit};
+    use qfw_hpc::slurm::HetJobSpec;
+    use qfw_hpc::ClusterSpec;
+
+    fn qrc(workers: usize, policy: DispatchPolicy) -> Arc<Qrc> {
+        let cluster = ClusterSpec::test(3);
+        let hetjob = Arc::new(HetJob::submit(&cluster, &HetJobSpec::qfw_standard(2)).unwrap());
+        let dvm = Arc::new(Dvm::new(&cluster));
+        Arc::new(Qrc::new(
+            BackendRegistry::standard(None),
+            hetjob,
+            dvm,
+            1,
+            workers,
+            policy,
+        ))
+    }
+
+    fn ghz_task(n: usize, spec: BackendSpec) -> ExecTask {
+        let mut qc = Circuit::new(n);
+        qc.h(0);
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+        }
+        qc.measure_all();
+        ExecTask {
+            circuit: text::dump(&qc),
+            shots: 100,
+            seed: 3,
+            spec,
+        }
+    }
+
+    #[test]
+    fn executes_through_every_local_backend() {
+        let qrc = qrc(2, DispatchPolicy::RoundRobin);
+        for backend in ["nwqsim", "aer", "tnqvm", "qtensor"] {
+            let result = qrc.execute(&ghz_task(5, BackendSpec::of(backend, ""))).unwrap();
+            assert_eq!(result.counts.values().sum::<usize>(), 100, "{backend}");
+            assert_eq!(result.backend, backend);
+        }
+    }
+
+    #[test]
+    fn unknown_backend_is_reported() {
+        let qrc = qrc(1, DispatchPolicy::RoundRobin);
+        let err = qrc
+            .execute(&ghz_task(3, BackendSpec::of("quantumagic", "")))
+            .unwrap_err();
+        assert!(matches!(err, QfwError::UnknownBackend(_)));
+    }
+
+    #[test]
+    fn round_robin_spreads_tasks() {
+        let qrc = qrc(4, DispatchPolicy::RoundRobin);
+        for _ in 0..8 {
+            qrc.execute(&ghz_task(4, BackendSpec::of("nwqsim", "cpu")))
+                .unwrap();
+        }
+        assert_eq!(qrc.tasks_per_slot(), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn concurrent_tasks_complete_and_balance() {
+        let qrc = qrc(4, DispatchPolicy::LeastLoaded);
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let qrc = Arc::clone(&qrc);
+                std::thread::spawn(move || {
+                    qrc.execute(&ghz_task(4 + (i % 3), BackendSpec::of("nwqsim", "cpu")))
+                        .unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let r = h.join().unwrap();
+            assert_eq!(r.counts.values().sum::<usize>(), 100);
+        }
+        assert_eq!(qrc.tasks_per_slot().iter().sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn queue_time_is_profiled_when_slots_contend() {
+        // One slot, two concurrent tasks: the second one must record queue
+        // time while the first holds the slot.
+        let qrc = qrc(1, DispatchPolicy::RoundRobin);
+        let a = {
+            let qrc = Arc::clone(&qrc);
+            std::thread::spawn(move || {
+                qrc.execute(&ghz_task(12, BackendSpec::of("aer", "statevector")))
+                    .unwrap()
+            })
+        };
+        let b = {
+            let qrc = Arc::clone(&qrc);
+            std::thread::spawn(move || {
+                qrc.execute(&ghz_task(12, BackendSpec::of("aer", "statevector")))
+                    .unwrap()
+            })
+        };
+        let ra = a.join().unwrap();
+        let rb = b.join().unwrap();
+        let max_queue = ra.profile.queue_secs.max(rb.profile.queue_secs);
+        assert!(max_queue > 0.0, "no contention recorded");
+    }
+
+    #[test]
+    fn auto_backend_selects_and_reports() {
+        let qrc = qrc(2, DispatchPolicy::RoundRobin);
+        // GHZ is Clifford: auto must route to aer/automatic -> stabilizer.
+        let result = qrc.execute(&ghz_task(8, BackendSpec::of("auto", ""))).unwrap();
+        assert_eq!(result.backend, "aer");
+        assert_eq!(result.metadata["auto_selected"], "aer/automatic");
+        assert!(result.metadata["auto_rationale"].contains("Clifford"));
+        assert_eq!(result.counts.values().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn auto_preserves_user_tunables() {
+        let qrc = qrc(2, DispatchPolicy::RoundRobin);
+        // A weak-entangler chain routes to MPS; the chi_max tunable must
+        // survive the rewrite.
+        let mut qc = qfw_circuit::Circuit::new(6);
+        for q in 0..5 {
+            qc.rzz(q, q + 1, 0.05);
+        }
+        for q in 0..6 {
+            qc.rx(q, 0.1);
+        }
+        qc.measure_all();
+        let task = ExecTask {
+            circuit: text::dump(&qc),
+            shots: 50,
+            seed: 1,
+            spec: BackendSpec::of("auto", "").with_extra("chi_max", 2),
+        };
+        let result = qrc.execute(&task).unwrap();
+        assert_eq!(result.subbackend, "matrix_product_state");
+        assert!(result.metadata["max_bond"].parse::<usize>().unwrap() <= 2);
+    }
+
+    #[test]
+    fn mpi_tasks_use_dvm_ranks() {
+        let qrc = qrc(2, DispatchPolicy::RoundRobin);
+        let result = qrc
+            .execute(&ghz_task(6, BackendSpec::of("nwqsim", "mpi").with_ranks(4)))
+            .unwrap();
+        assert_eq!(result.profile.ranks, 4);
+    }
+}

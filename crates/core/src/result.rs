@@ -1,0 +1,138 @@
+//! The common result format every Backend-QPM marshals into (Fig. 1,
+//! step 9), with the uniform timing instrumentation that lets QPM "maintain
+//! comparable per-backend performance profiles".
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Uniform timing profile attached to every execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecProfile {
+    /// Seconds between job acceptance and execution start (queueing +
+    /// resource waits).
+    pub queue_secs: f64,
+    /// Seconds spent unmarshaling the circuit from the wire format.
+    pub marshal_secs: f64,
+    /// Seconds executing gates / contracting / evolving.
+    pub exec_secs: f64,
+    /// Seconds sampling measurement shots.
+    pub sample_secs: f64,
+    /// End-to-end seconds observed by the QPM for this task.
+    pub total_secs: f64,
+    /// Parallel ranks (MPI sub-backends) or 1.
+    pub ranks: usize,
+}
+
+/// A completed execution in QFw's standardized return format.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QfwResult {
+    /// Measured bitstring histogram (Qiskit key order).
+    pub counts: BTreeMap<String, usize>,
+    /// Shots requested.
+    pub shots: usize,
+    /// Backend that executed the task.
+    pub backend: String,
+    /// Sub-backend/engine variant.
+    pub subbackend: String,
+    /// Timing instrumentation.
+    pub profile: ExecProfile,
+    /// Engine-specific extras (e.g. `max_bond`, `trunc_error`,
+    /// `cloud_queue_secs`) as printable strings.
+    pub metadata: BTreeMap<String, String>,
+}
+
+impl QfwResult {
+    /// Builds a result skeleton for a backend.
+    pub fn new(backend: &str, subbackend: &str, shots: usize) -> Self {
+        QfwResult {
+            counts: BTreeMap::new(),
+            shots,
+            backend: backend.to_string(),
+            subbackend: subbackend.to_string(),
+            profile: ExecProfile::default(),
+            metadata: BTreeMap::new(),
+        }
+    }
+
+    /// The most frequent outcome, if any shot was taken.
+    pub fn most_frequent(&self) -> Option<(&str, usize)> {
+        self.counts
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(k, &c)| (k.as_str(), c))
+    }
+
+    /// Empirical probability of a bitstring.
+    pub fn probability(&self, bits: &str) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        *self.counts.get(bits).unwrap_or(&0) as f64 / self.shots as f64
+    }
+
+    /// Total variation distance to another result's distribution — the
+    /// metric the cross-backend integration tests use to check that every
+    /// engine samples the same state.
+    pub fn tv_distance(&self, other: &QfwResult) -> f64 {
+        let keys: std::collections::BTreeSet<&String> =
+            self.counts.keys().chain(other.counts.keys()).collect();
+        0.5 * keys
+            .into_iter()
+            .map(|k| (self.probability(k) - other.probability(k)).abs())
+            .sum::<f64>()
+    }
+
+    /// Attaches a metadata entry (builder style).
+    pub fn with_meta(mut self, key: &str, value: impl ToString) -> Self {
+        self.metadata.insert(key.to_string(), value.to_string());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_with(counts: &[(&str, usize)]) -> QfwResult {
+        let mut r = QfwResult::new("test", "unit", counts.iter().map(|(_, c)| c).sum());
+        for (k, c) in counts {
+            r.counts.insert(k.to_string(), *c);
+        }
+        r
+    }
+
+    #[test]
+    fn most_frequent_and_probability() {
+        let r = result_with(&[("00", 700), ("11", 300)]);
+        assert_eq!(r.most_frequent(), Some(("00", 700)));
+        assert!((r.probability("11") - 0.3).abs() < 1e-12);
+        assert_eq!(r.probability("01"), 0.0);
+    }
+
+    #[test]
+    fn tv_distance_properties() {
+        let a = result_with(&[("0", 500), ("1", 500)]);
+        let b = result_with(&[("0", 500), ("1", 500)]);
+        assert!(a.tv_distance(&b) < 1e-12);
+        let c = result_with(&[("0", 1000)]);
+        assert!((a.tv_distance(&c) - 0.5).abs() < 1e-12);
+        // Symmetry.
+        assert!((a.tv_distance(&c) - c.tv_distance(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = result_with(&[("01", 10)]).with_meta("max_bond", 7);
+        let text = serde_json::to_string(&r).unwrap();
+        let back: QfwResult = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.counts, r.counts);
+        assert_eq!(back.metadata["max_bond"], "7");
+    }
+
+    #[test]
+    fn empty_result_edge_cases() {
+        let r = QfwResult::new("b", "s", 0);
+        assert_eq!(r.most_frequent(), None);
+        assert_eq!(r.probability("0"), 0.0);
+    }
+}

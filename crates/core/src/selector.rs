@@ -1,0 +1,235 @@
+//! Automated workload-driven backend selection — the paper's stated future
+//! work ("future extensions will target ... automated workload-driven
+//! backend selection"), built on the structural analyses that already feed
+//! the Aer-`automatic` path.
+//!
+//! The selector scores each registered backend against a circuit's
+//! [`StructureReport`] and the paper's own empirical findings:
+//!
+//! * Clifford circuits → the stabilizer fast path (`aer/automatic`).
+//! * Structured, nearest-neighbour, low-bond circuits (TFIM-like) → MPS
+//!   (`aer/matrix_product_state`) — Fig. 3c.
+//! * Highly entangled or long-range circuits (GHZ/HAM/HHL-like) → the
+//!   state-vector engine, distributed when the register is large —
+//!   Figs. 3a/3b/3d.
+//! * Shallow, tree-like circuits within the contraction width → the
+//!   tensor-network engine remains admissible but is never preferred when
+//!   a dense engine fits (Fig. 3's QTensor curves).
+
+use crate::spec::BackendSpec;
+use qfw_circuit::analysis::StructureReport;
+use qfw_circuit::Circuit;
+
+/// Resource context the selector weighs: how many cores the session can
+/// offer a single task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SelectorContext {
+    /// Free cores available for one task.
+    pub free_cores: usize,
+    /// Whether the cloud path is configured.
+    pub cloud_available: bool,
+}
+
+impl Default for SelectorContext {
+    fn default() -> Self {
+        SelectorContext {
+            free_cores: 8,
+            cloud_available: false,
+        }
+    }
+}
+
+/// A scored recommendation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Recommendation {
+    /// The backend/sub-backend to use.
+    pub spec: BackendSpec,
+    /// Human-readable rationale (logged by callers).
+    pub rationale: String,
+}
+
+/// Qubit count above which a dense single-core run is considered too slow
+/// and the selector reaches for rank-distributed execution.
+const DISTRIBUTE_ABOVE: usize = 18;
+
+/// Qubit count above which dense simulation is off the table entirely.
+const DENSE_LIMIT: usize = 26;
+
+/// Recommends a backend for a circuit.
+///
+/// ```
+/// use qfw::selector::{select_backend, SelectorContext};
+/// let mut ghz = qfw_circuit::Circuit::new(8);
+/// ghz.h(0);
+/// for q in 0..7 { ghz.cx(q, q + 1); }
+/// let rec = select_backend(&ghz, SelectorContext::default());
+/// assert_eq!(rec.spec.backend, "aer"); // Clifford -> stabilizer fast path
+/// ```
+pub fn select_backend(circuit: &Circuit, ctx: SelectorContext) -> Recommendation {
+    let n = circuit.num_qubits();
+    let report = StructureReport::of(circuit);
+
+    // 1. Clifford: nothing beats the tableau at any size.
+    if report.clifford {
+        return Recommendation {
+            spec: BackendSpec::of("aer", "automatic"),
+            rationale: format!(
+                "circuit is Clifford ({} gates): stabilizer fast path",
+                report.num_gates
+            ),
+        };
+    }
+
+    // 2. Structured low-entanglement: MPS sustains any width (Fig. 3c).
+    //    The marker is weak per-gate entanglement growth (small rotation
+    //    angles on nearest-neighbour entanglers), not mere locality: a CX
+    //    chain is local but maximally entangling.
+    if report.nearest_neighbor_only && report.mean_entangling_angle < 0.3 {
+        return Recommendation {
+            spec: BackendSpec::of("aer", "matrix_product_state"),
+            rationale: format!(
+                "nearest-neighbour circuit with weak entanglers (mean angle \
+                 {:.2} rad): MPS cost stays polynomial",
+                report.mean_entangling_angle
+            ),
+        };
+    }
+
+    // 3. Dense state vector, distributed when the register is big enough
+    //    to amortize the exchanges and cores are available.
+    if n <= DENSE_LIMIT {
+        if n > DISTRIBUTE_ABOVE && ctx.free_cores >= 2 {
+            let ranks = ctx
+                .free_cores
+                .next_power_of_two()
+                .min(1 << (n / 2))
+                .max(2);
+            let ranks = if ranks.is_power_of_two() { ranks } else { ranks / 2 };
+            return Recommendation {
+                spec: BackendSpec::of("nwqsim", "mpi").with_ranks(ranks),
+                rationale: format!(
+                    "{n}-qubit dense register: rank-distributed state vector \
+                     over {ranks} cores"
+                ),
+            };
+        }
+        return Recommendation {
+            spec: BackendSpec::of("nwqsim", "cpu"),
+            rationale: format!("{n}-qubit dense register fits a single core"),
+        };
+    }
+
+    // 4. Too wide for dense engines: MPS if the cut structure allows even a
+    //    generous bond budget, else the cloud (hardware-bound problems), else
+    //    report the best-effort MPS anyway — with the honest rationale.
+    if report.nearest_neighbor_only && report.mean_entangling_angle < 1.0 {
+        return Recommendation {
+            spec: BackendSpec::of("aer", "matrix_product_state"),
+            rationale: format!(
+                "{n} qubits exceeds the dense limit; nearest-neighbour \
+                 structure keeps MPS viable"
+            ),
+        };
+    }
+    if ctx.cloud_available && n <= 29 {
+        return Recommendation {
+            spec: BackendSpec::of("ionq", "simulator"),
+            rationale: format!(
+                "{n}-qubit long-range circuit beyond local dense capacity: \
+                 deferring to the cloud provider"
+            ),
+        };
+    }
+    Recommendation {
+        spec: BackendSpec::of("aer", "matrix_product_state")
+            .with_extra("chi_max", 128),
+        rationale: format!(
+            "{n}-qubit long-range circuit exceeds every exact engine: \
+             best-effort MPS with a raised bond budget (expect truncation)"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfw_workloads::{ghz, hhl_benchmark, tfim};
+
+    fn ctx(free: usize) -> SelectorContext {
+        SelectorContext {
+            free_cores: free,
+            cloud_available: false,
+        }
+    }
+
+    #[test]
+    fn ghz_routes_to_stabilizer() {
+        let rec = select_backend(&ghz(24), ctx(8));
+        assert_eq!(rec.spec.backend, "aer");
+        assert_eq!(rec.spec.subbackend, "automatic");
+        assert!(rec.rationale.contains("Clifford"));
+    }
+
+    #[test]
+    fn tfim_routes_to_mps() {
+        let rec = select_backend(&tfim(20), ctx(8));
+        assert_eq!(rec.spec.subbackend, "matrix_product_state");
+    }
+
+    #[test]
+    fn ham_small_routes_to_serial_sv() {
+        // HAM is nearest-neighbour but its per-cut rzz count (steps) pushes
+        // the bond bound past the MPS threshold only at larger step counts;
+        // the Table 2 instance has bond bound 4 <= 6, so check a deeper one.
+        let deep = qfw_workloads::ham::ham_with(10, 12, 0.25);
+        let rec = select_backend(&deep, ctx(1));
+        assert_eq!(rec.spec.backend, "nwqsim");
+        assert_eq!(rec.spec.subbackend, "cpu");
+    }
+
+    #[test]
+    fn large_entangled_routes_to_distributed_sv() {
+        let deep = qfw_workloads::ham::ham_with(22, 12, 0.25);
+        let rec = select_backend(&deep, ctx(8));
+        assert_eq!(rec.spec.backend, "nwqsim");
+        assert_eq!(rec.spec.subbackend, "mpi");
+        assert!(rec.spec.ranks >= 2);
+        assert!(rec.spec.ranks.is_power_of_two());
+    }
+
+    #[test]
+    fn hhl_routes_to_dense() {
+        let (circuit, _) = hhl_benchmark(9);
+        let rec = select_backend(&circuit, ctx(1));
+        assert_eq!(rec.spec.backend, "nwqsim");
+    }
+
+    #[test]
+    fn beyond_dense_nearest_neighbor_stays_mps() {
+        let rec = select_backend(&tfim(40), ctx(8));
+        assert_eq!(rec.spec.subbackend, "matrix_product_state");
+    }
+
+    #[test]
+    fn beyond_dense_long_range_prefers_cloud_when_available() {
+        // A wide, long-range, non-Clifford circuit.
+        let mut qc = qfw_circuit::Circuit::new(28);
+        for q in 0..28 {
+            qc.ry(q, 0.3);
+        }
+        for q in 0..14 {
+            qc.rzz(q, 27 - q, 0.4);
+        }
+        let with_cloud = select_backend(
+            &qc,
+            SelectorContext {
+                free_cores: 8,
+                cloud_available: true,
+            },
+        );
+        assert_eq!(with_cloud.spec.backend, "ionq");
+        let without = select_backend(&qc, ctx(8));
+        assert_eq!(without.spec.subbackend, "matrix_product_state");
+        assert_eq!(without.spec.extra_parsed::<usize>("chi_max"), Some(128));
+    }
+}

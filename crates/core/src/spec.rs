@@ -1,0 +1,166 @@
+//! Runtime backend-selection properties and the task wire format.
+
+use crate::error::QfwError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Backend-selection properties, the QFw equivalent of
+/// `{"backend": "qtensor", "subbackend": "numpy"}` from Section 4.1.
+///
+/// Recognized keys: `backend` (required), `subbackend` (engine-specific
+/// default when omitted), `ranks` (MPI width, default 1), and free-form
+/// engine tunables (e.g. `chi_max` for MPS engines), all carried verbatim.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackendSpec {
+    /// Backend name (e.g. `nwqsim`, `aer`, `tnqvm`, `qtensor`, `ionq`).
+    pub backend: String,
+    /// Sub-backend/engine variant.
+    pub subbackend: String,
+    /// Requested parallel ranks (only meaningful for MPI sub-backends).
+    pub ranks: usize,
+    /// Remaining free-form properties.
+    pub extra: BTreeMap<String, String>,
+}
+
+impl BackendSpec {
+    /// Builds a spec from key/value pairs.
+    ///
+    /// ```
+    /// use qfw::BackendSpec;
+    /// let spec = BackendSpec::from_pairs(&[
+    ///     ("backend", "nwqsim"),
+    ///     ("subbackend", "mpi"),
+    ///     ("ranks", "4"),
+    /// ]).unwrap();
+    /// assert_eq!(spec.ranks, 4);
+    /// ```
+    pub fn from_pairs(pairs: &[(&str, &str)]) -> Result<Self, QfwError> {
+        let mut backend = None;
+        let mut subbackend = None;
+        let mut ranks = 1usize;
+        let mut extra = BTreeMap::new();
+        for (k, v) in pairs {
+            match *k {
+                "backend" => backend = Some(v.to_string()),
+                "subbackend" => subbackend = Some(v.to_string()),
+                "ranks" => {
+                    ranks = v.parse().map_err(|_| {
+                        QfwError::BadProperties(format!("ranks must be a positive integer, got '{v}'"))
+                    })?;
+                    if ranks == 0 {
+                        return Err(QfwError::BadProperties("ranks must be >= 1".into()));
+                    }
+                }
+                other => {
+                    extra.insert(other.to_string(), v.to_string());
+                }
+            }
+        }
+        let backend =
+            backend.ok_or_else(|| QfwError::BadProperties("missing 'backend' key".into()))?;
+        Ok(BackendSpec {
+            backend,
+            subbackend: subbackend.unwrap_or_default(),
+            ranks,
+            extra,
+        })
+    }
+
+    /// Shorthand for `backend`+`subbackend` selection.
+    pub fn of(backend: &str, subbackend: &str) -> Self {
+        BackendSpec {
+            backend: backend.to_string(),
+            subbackend: subbackend.to_string(),
+            ranks: 1,
+            extra: BTreeMap::new(),
+        }
+    }
+
+    /// Returns the spec with a rank count (builder style).
+    pub fn with_ranks(mut self, ranks: usize) -> Self {
+        assert!(ranks >= 1);
+        self.ranks = ranks;
+        self
+    }
+
+    /// Returns the spec with an extra engine tunable (builder style).
+    pub fn with_extra(mut self, key: &str, value: impl ToString) -> Self {
+        self.extra.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Reads an extra tunable, parsed.
+    pub fn extra_parsed<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.extra.get(key).and_then(|v| v.parse().ok())
+    }
+}
+
+/// One circuit-execution task as accepted by a Backend-QPM: the paper's
+/// "standardized circuit/problem description" plus runtime parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExecTask {
+    /// Circuit in the `qfwasm` wire format.
+    pub circuit: String,
+    /// Measurement shots.
+    pub shots: usize,
+    /// Seed for sampling (and any stochastic engine behaviour).
+    pub seed: u64,
+    /// Backend-selection properties.
+    pub spec: BackendSpec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_parses_everything() {
+        let spec = BackendSpec::from_pairs(&[
+            ("backend", "aer"),
+            ("subbackend", "matrix_product_state"),
+            ("ranks", "8"),
+            ("chi_max", "32"),
+        ])
+        .unwrap();
+        assert_eq!(spec.backend, "aer");
+        assert_eq!(spec.subbackend, "matrix_product_state");
+        assert_eq!(spec.ranks, 8);
+        assert_eq!(spec.extra_parsed::<usize>("chi_max"), Some(32));
+    }
+
+    #[test]
+    fn missing_backend_rejected() {
+        let err = BackendSpec::from_pairs(&[("subbackend", "x")]).unwrap_err();
+        assert!(matches!(err, QfwError::BadProperties(_)));
+    }
+
+    #[test]
+    fn bad_ranks_rejected() {
+        assert!(BackendSpec::from_pairs(&[("backend", "a"), ("ranks", "zero")]).is_err());
+        assert!(BackendSpec::from_pairs(&[("backend", "a"), ("ranks", "0")]).is_err());
+    }
+
+    #[test]
+    fn builder_style() {
+        let spec = BackendSpec::of("nwqsim", "mpi")
+            .with_ranks(4)
+            .with_extra("fusion", true);
+        assert_eq!(spec.ranks, 4);
+        assert_eq!(spec.extra_parsed::<bool>("fusion"), Some(true));
+        assert_eq!(spec.extra_parsed::<usize>("missing"), None);
+    }
+
+    #[test]
+    fn task_serde_round_trip() {
+        let task = ExecTask {
+            circuit: "qfwasm 1\nqubits 1\nh q0\n".into(),
+            shots: 100,
+            seed: 42,
+            spec: BackendSpec::of("aer", "automatic"),
+        };
+        let text = serde_json::to_string(&task).unwrap();
+        let back: ExecTask = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.shots, 100);
+        assert_eq!(back.spec, task.spec);
+    }
+}

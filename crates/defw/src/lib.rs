@@ -1,0 +1,533 @@
+//! DEFw — the Distributed Execution Framework: QFw's lightweight RPC layer.
+//!
+//! In the paper, every interaction between the frontend (`QFwBackend`) and
+//! the platform manager (QPM) — circuit creation, execution, status queries,
+//! teardown — travels as an RPC over DEFw (Section 2.1, Fig. 1 step-5). This
+//! crate reproduces that layer in-process:
+//!
+//! * [`Defw`] — a service registry plus a dispatcher thread pool. Handlers
+//!   receive *bytes* and return bytes: requests are genuinely marshaled
+//!   (serde_json) on the way in and out, like the paper's "results are
+//!   marshaled into the common QPM API format".
+//! * [`Client`] — typed sync ([`Client::call`]) and async
+//!   ([`Client::call_async`]) calls with correlation IDs, timeouts, and
+//!   structured error propagation.
+//! * Per-service call statistics, feeding QFw's uniform timing/logging
+//!   instrumentation.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by RPC calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// No service registered under the requested name.
+    ServiceNotFound(String),
+    /// The service does not implement the requested method.
+    MethodNotFound {
+        /// Service name.
+        service: String,
+        /// Method name.
+        method: String,
+    },
+    /// The handler ran and returned an application-level error.
+    Handler(String),
+    /// Request or response bytes failed to (de)serialize.
+    Codec(String),
+    /// The reply did not arrive within the deadline.
+    Timeout {
+        /// Correlation ID of the lost call.
+        correlation: u64,
+    },
+    /// The RPC layer was shut down while the call was in flight.
+    Shutdown,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::ServiceNotFound(s) => write!(f, "no service '{s}' registered"),
+            RpcError::MethodNotFound { service, method } => {
+                write!(f, "service '{service}' has no method '{method}'")
+            }
+            RpcError::Handler(msg) => write!(f, "handler error: {msg}"),
+            RpcError::Codec(msg) => write!(f, "codec error: {msg}"),
+            RpcError::Timeout { correlation } => {
+                write!(f, "rpc {correlation} timed out")
+            }
+            RpcError::Shutdown => write!(f, "rpc layer shut down"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// A byte-level service handler. Implementors usually wrap
+/// [`json_handler`] to stay typed.
+pub trait Service: Send + Sync {
+    /// Handles one request; `method` selects the operation.
+    fn handle(&self, method: &str, payload: &[u8]) -> Result<Vec<u8>, RpcError>;
+}
+
+impl<F> Service for F
+where
+    F: Fn(&str, &[u8]) -> Result<Vec<u8>, RpcError> + Send + Sync,
+{
+    fn handle(&self, method: &str, payload: &[u8]) -> Result<Vec<u8>, RpcError> {
+        self(method, payload)
+    }
+}
+
+/// Wraps a typed closure into a byte-level handler for one method.
+pub fn json_handler<Req, Resp, F>(f: F) -> impl Fn(&[u8]) -> Result<Vec<u8>, RpcError>
+where
+    Req: DeserializeOwned,
+    Resp: Serialize,
+    F: Fn(Req) -> Result<Resp, String>,
+{
+    move |payload: &[u8]| {
+        let req: Req =
+            serde_json::from_slice(payload).map_err(|e| RpcError::Codec(e.to_string()))?;
+        let resp = f(req).map_err(RpcError::Handler)?;
+        serde_json::to_vec(&resp).map_err(|e| RpcError::Codec(e.to_string()))
+    }
+}
+
+struct Request {
+    service: String,
+    method: String,
+    payload: Vec<u8>,
+    reply: Sender<Result<Vec<u8>, RpcError>>,
+    enqueued: Instant,
+}
+
+/// Per-service call statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Completed calls (ok or handler error).
+    pub calls: u64,
+    /// Calls that returned an error.
+    pub errors: u64,
+    /// Total queue + handler time across calls, seconds.
+    pub busy_secs: f64,
+}
+
+struct Inner {
+    services: Mutex<HashMap<String, Arc<dyn Service>>>,
+    stats: Mutex<HashMap<String, ServiceStats>>,
+    queue: Sender<Request>,
+    correlation: AtomicU64,
+}
+
+/// The RPC hub: owns the dispatcher pool and the service registry.
+pub struct Defw {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Defw {
+    /// Starts the hub with `workers` dispatcher threads.
+    pub fn start(workers: usize) -> Defw {
+        assert!(workers >= 1, "need at least one dispatcher");
+        let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
+        let inner = Arc::new(Inner {
+            services: Mutex::new(HashMap::new()),
+            stats: Mutex::new(HashMap::new()),
+            queue: tx,
+            correlation: AtomicU64::new(1),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("defw-worker-{i}"))
+                    .spawn(move || Self::worker_loop(rx, inner))
+                    .expect("spawn defw worker")
+            })
+            .collect();
+        Defw {
+            inner,
+            workers: handles,
+        }
+    }
+
+    fn worker_loop(rx: Receiver<Request>, inner: Arc<Inner>) {
+        while let Ok(req) = rx.recv() {
+            let service = inner.services.lock().get(&req.service).cloned();
+            let result = match service {
+                None => Err(RpcError::ServiceNotFound(req.service.clone())),
+                Some(svc) => svc.handle(&req.method, &req.payload),
+            };
+            let elapsed = req.enqueued.elapsed().as_secs_f64();
+            {
+                let mut stats = inner.stats.lock();
+                let entry = stats.entry(req.service.clone()).or_default();
+                entry.calls += 1;
+                if result.is_err() {
+                    entry.errors += 1;
+                }
+                entry.busy_secs += elapsed;
+            }
+            // Receiver may have timed out and gone — that's fine.
+            let _ = req.reply.send(result);
+        }
+    }
+
+    /// Registers (or replaces) a service.
+    pub fn register(&self, name: impl Into<String>, service: Arc<dyn Service>) {
+        self.inner.services.lock().insert(name.into(), service);
+    }
+
+    /// Removes a service; later calls fail with `ServiceNotFound`.
+    pub fn unregister(&self, name: &str) {
+        self.inner.services.lock().remove(name);
+    }
+
+    /// Registered service names, sorted.
+    pub fn services(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.services.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Statistics for one service, if it has received calls.
+    pub fn stats(&self, name: &str) -> Option<ServiceStats> {
+        self.inner.stats.lock().get(name).copied()
+    }
+
+    /// Creates a client endpoint.
+    pub fn client(&self) -> Client {
+        Client {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Drops the queue and joins the workers (in-flight calls complete).
+    pub fn shutdown(self) {
+        // Dropping the only non-worker Sender closes the channel...
+        let Defw { inner, workers } = self;
+        // Replace the queue sender so workers see a closed channel once all
+        // clients drop too. We can't pull the Sender out of Arc<Inner>, so
+        // close by dropping our Arc after detaching workers when idle.
+        drop(inner);
+        for w in workers {
+            // Workers exit when every Sender clone (hub + clients) is gone.
+            // If clients outlive the hub, joining would block; detach instead.
+            if w.is_finished() {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+/// A client endpoint for issuing RPCs. Cheap to clone.
+#[derive(Clone)]
+pub struct Client {
+    inner: Arc<Inner>,
+}
+
+impl Client {
+    /// Typed synchronous call with a deadline.
+    pub fn call<Req: Serialize, Resp: DeserializeOwned>(
+        &self,
+        service: &str,
+        method: &str,
+        req: &Req,
+        timeout: Duration,
+    ) -> Result<Resp, RpcError> {
+        self.call_async(service, method, req)?.wait(timeout)
+    }
+
+    /// Typed asynchronous call: returns immediately with a reply handle.
+    /// This is what lets DQAOA keep many sub-QUBO solves in flight.
+    pub fn call_async<Req: Serialize, Resp: DeserializeOwned>(
+        &self,
+        service: &str,
+        method: &str,
+        req: &Req,
+    ) -> Result<AsyncReply<Resp>, RpcError> {
+        let payload = serde_json::to_vec(req).map_err(|e| RpcError::Codec(e.to_string()))?;
+        let correlation = self.inner.correlation.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        self.inner
+            .queue
+            .send(Request {
+                service: service.to_string(),
+                method: method.to_string(),
+                payload,
+                reply: tx,
+                enqueued: Instant::now(),
+            })
+            .map_err(|_| RpcError::Shutdown)?;
+        Ok(AsyncReply {
+            correlation,
+            rx,
+            _marker: std::marker::PhantomData,
+        })
+    }
+}
+
+/// Handle to an in-flight RPC reply.
+pub struct AsyncReply<Resp> {
+    correlation: u64,
+    rx: Receiver<Result<Vec<u8>, RpcError>>,
+    _marker: std::marker::PhantomData<fn() -> Resp>,
+}
+
+impl<Resp: DeserializeOwned> AsyncReply<Resp> {
+    /// The call's correlation ID (appears in timeout errors and logs).
+    pub fn correlation(&self) -> u64 {
+        self.correlation
+    }
+
+    /// Blocks until the reply arrives or the deadline passes.
+    pub fn wait(self, timeout: Duration) -> Result<Resp, RpcError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(Ok(bytes)) => {
+                serde_json::from_slice(&bytes).map_err(|e| RpcError::Codec(e.to_string()))
+            }
+            Ok(Err(e)) => Err(e),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(RpcError::Timeout {
+                correlation: self.correlation,
+            }),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(RpcError::Shutdown),
+        }
+    }
+
+    /// Non-blocking poll: `None` while the call is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Resp, RpcError>> {
+        match self.rx.try_recv() {
+            Ok(Ok(bytes)) => {
+                Some(serde_json::from_slice(&bytes).map_err(|e| RpcError::Codec(e.to_string())))
+            }
+            Ok(Err(e)) => Some(Err(e)),
+            Err(crossbeam::channel::TryRecvError::Empty) => None,
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Some(Err(RpcError::Shutdown)),
+        }
+    }
+}
+
+/// A convenience service built from per-method typed handlers.
+#[derive(Default)]
+pub struct MethodTable {
+    methods: HashMap<String, Box<dyn Fn(&[u8]) -> Result<Vec<u8>, RpcError> + Send + Sync>>,
+    name: String,
+}
+
+impl MethodTable {
+    /// Creates an empty table; `name` is used in error messages.
+    pub fn new(name: impl Into<String>) -> Self {
+        MethodTable {
+            methods: HashMap::new(),
+            name: name.into(),
+        }
+    }
+
+    /// Adds a typed method handler.
+    pub fn method<Req, Resp, F>(mut self, name: &str, f: F) -> Self
+    where
+        Req: DeserializeOwned + 'static,
+        Resp: Serialize + 'static,
+        F: Fn(Req) -> Result<Resp, String> + Send + Sync + 'static,
+    {
+        self.methods
+            .insert(name.to_string(), Box::new(json_handler(f)));
+        self
+    }
+
+    /// Finalizes into a registrable service.
+    pub fn build(self) -> Arc<dyn Service> {
+        Arc::new(self)
+    }
+}
+
+impl Service for MethodTable {
+    fn handle(&self, method: &str, payload: &[u8]) -> Result<Vec<u8>, RpcError> {
+        match self.methods.get(method) {
+            Some(f) => f(payload),
+            None => Err(RpcError::MethodNotFound {
+                service: self.name.clone(),
+                method: method.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_service() -> Arc<dyn Service> {
+        MethodTable::new("echo")
+            .method("echo", |v: String| Ok(v))
+            .method("double", |v: f64| Ok(v * 2.0))
+            .method("fail", |_: String| Err::<String, _>("nope".to_string()))
+            .build()
+    }
+
+    const T: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn sync_round_trip() {
+        let hub = Defw::start(2);
+        hub.register("echo", echo_service());
+        let client = hub.client();
+        let out: String = client.call("echo", "echo", &"hi".to_string(), T).unwrap();
+        assert_eq!(out, "hi");
+        let d: f64 = client.call("echo", "double", &21.0, T).unwrap();
+        assert_eq!(d, 42.0);
+    }
+
+    #[test]
+    fn unknown_service_and_method() {
+        let hub = Defw::start(1);
+        hub.register("echo", echo_service());
+        let client = hub.client();
+        let err = client
+            .call::<_, String>("nope", "echo", &"x".to_string(), T)
+            .unwrap_err();
+        assert_eq!(err, RpcError::ServiceNotFound("nope".into()));
+        let err = client
+            .call::<_, String>("echo", "nope", &"x".to_string(), T)
+            .unwrap_err();
+        assert!(matches!(err, RpcError::MethodNotFound { .. }));
+    }
+
+    #[test]
+    fn handler_errors_propagate() {
+        let hub = Defw::start(1);
+        hub.register("echo", echo_service());
+        let err = hub
+            .client()
+            .call::<_, String>("echo", "fail", &"x".to_string(), T)
+            .unwrap_err();
+        assert_eq!(err, RpcError::Handler("nope".into()));
+    }
+
+    #[test]
+    fn async_calls_overlap() {
+        // One slow service, several in-flight calls on 4 workers: total
+        // time must be far below the serial sum.
+        let slow = MethodTable::new("slow")
+            .method("work", |ms: u64| {
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(ms)
+            })
+            .build();
+        let hub = Defw::start(4);
+        hub.register("slow", slow);
+        let client = hub.client();
+        let start = Instant::now();
+        let replies: Vec<AsyncReply<u64>> = (0..4)
+            .map(|_| client.call_async("slow", "work", &50u64).unwrap())
+            .collect();
+        let sum: u64 = replies.into_iter().map(|r| r.wait(T).unwrap()).sum();
+        assert_eq!(sum, 200);
+        assert!(
+            start.elapsed() < Duration::from_millis(150),
+            "calls did not overlap: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn try_wait_polls() {
+        let slow = MethodTable::new("slow")
+            .method("work", |ms: u64| {
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(ms)
+            })
+            .build();
+        let hub = Defw::start(1);
+        hub.register("slow", slow);
+        let reply = hub.client().call_async::<_, u64>("slow", "work", &80u64).unwrap();
+        assert!(reply.try_wait().is_none());
+        let mut result = None;
+        for _ in 0..100 {
+            if let Some(r) = reply.try_wait() {
+                result = Some(r);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(result.unwrap().unwrap(), 80);
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let slow = MethodTable::new("slow")
+            .method("work", |ms: u64| {
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(ms)
+            })
+            .build();
+        let hub = Defw::start(1);
+        hub.register("slow", slow);
+        let err = hub
+            .client()
+            .call::<_, u64>("slow", "work", &500u64, Duration::from_millis(20))
+            .unwrap_err();
+        assert!(matches!(err, RpcError::Timeout { .. }));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let hub = Defw::start(1);
+        hub.register("echo", echo_service());
+        let client = hub.client();
+        for _ in 0..3 {
+            let _: String = client.call("echo", "echo", &"x".to_string(), T).unwrap();
+        }
+        let _ = client.call::<_, String>("echo", "fail", &"x".to_string(), T);
+        let stats = hub.stats("echo").unwrap();
+        assert_eq!(stats.calls, 4);
+        assert_eq!(stats.errors, 1);
+        assert!(stats.busy_secs >= 0.0);
+    }
+
+    #[test]
+    fn unregister_stops_service() {
+        let hub = Defw::start(1);
+        hub.register("echo", echo_service());
+        let client = hub.client();
+        let _: String = client.call("echo", "echo", &"x".to_string(), T).unwrap();
+        hub.unregister("echo");
+        assert!(client
+            .call::<_, String>("echo", "echo", &"x".to_string(), T)
+            .is_err());
+        assert!(hub.services().is_empty());
+    }
+
+    #[test]
+    fn correlation_ids_are_unique() {
+        let hub = Defw::start(1);
+        hub.register("echo", echo_service());
+        let client = hub.client();
+        let a = client
+            .call_async::<_, String>("echo", "echo", &"x".to_string())
+            .unwrap();
+        let b = client
+            .call_async::<_, String>("echo", "echo", &"x".to_string())
+            .unwrap();
+        assert_ne!(a.correlation(), b.correlation());
+    }
+
+    #[test]
+    fn codec_error_on_bad_response_type() {
+        let hub = Defw::start(1);
+        hub.register("echo", echo_service());
+        // Ask for a number back from the string echo: decode must fail.
+        let err = hub
+            .client()
+            .call::<_, u64>("echo", "echo", &"not a number".to_string(), T)
+            .unwrap_err();
+        assert!(matches!(err, RpcError::Codec(_)));
+    }
+}

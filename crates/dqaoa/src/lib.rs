@@ -1,0 +1,28 @@
+//! QAOA and Distributed QAOA (DQAOA) drivers on top of QFw.
+//!
+//! [`qaoa`] implements the single-problem hybrid loop of Section 2.3: bind
+//! ansatz parameters, execute through a [`qfw::QfwBackend`], average the
+//! measured QUBO energy, update parameters with a classical optimizer,
+//! repeat.
+//!
+//! [`dqaoa`] implements the distributed extension (Kim et al.) that is the
+//! paper's headline application: a large QUBO is decomposed into sub-QUBOs
+//! (random or impact-factor-directed), the sub-problems are dispatched
+//! **concurrently** through QFw's asynchronous frontend, and their solutions
+//! are aggregated into a global incumbent until convergence. Per-task
+//! timing is recorded in a [`trace::TaskTrace`] stream — the data behind
+//! Fig. 5's iteration-timeline plot.
+
+pub mod dqaoa;
+pub mod mitigation;
+pub mod qaoa;
+pub mod trace;
+pub mod vqe;
+pub mod vqls;
+
+pub use dqaoa::{solve_dqaoa, DecompPolicy, DqaoaConfig, DqaoaOutcome};
+pub use mitigation::ReadoutCalibration;
+pub use qaoa::{solve_qaoa, QaoaConfig, QaoaOutcome};
+pub use trace::TaskTrace;
+pub use vqe::{solve_vqe, VqeConfig, VqeOutcome};
+pub use vqls::{solve_vqls, LcuProblem, VqlsConfig, VqlsOutcome};

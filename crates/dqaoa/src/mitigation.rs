@@ -1,0 +1,288 @@
+//! Tensored readout-error mitigation.
+//!
+//! NISQ results come back through a noisy readout channel (the cloud
+//! provider and the `noise_readout` property both model it). The standard
+//! counter-measure is calibration: estimate each qubit's assignment matrix
+//! `M_q = [[1-e01, e10], [e01, 1-e10]]` from two calibration circuits
+//! (all-zeros and all-ones preparations), then apply the tensored inverse
+//! `⊗ M_q^{-1}` to measured histograms, clipping and renormalizing the
+//! (possibly slightly negative) quasi-probabilities.
+//!
+//! This operates purely on histograms, so it composes with *any* QFw
+//! backend — mitigated DQAOA on the cloud path needs one extra line.
+
+use qfw::{QfwBackend, QfwError};
+use qfw_circuit::Circuit;
+use std::collections::BTreeMap;
+
+/// Per-qubit assignment-error calibration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReadoutCalibration {
+    /// `e01[q]`: P(read 1 | prepared 0) for qubit `q`.
+    pub e01: Vec<f64>,
+    /// `e10[q]`: P(read 0 | prepared 1) for qubit `q`.
+    pub e10: Vec<f64>,
+}
+
+impl ReadoutCalibration {
+    /// Runs the two tensored calibration circuits (|0...0> and |1...1>)
+    /// through the backend and estimates the per-qubit error rates.
+    pub fn measure(
+        backend: &QfwBackend,
+        num_qubits: usize,
+        shots: usize,
+    ) -> Result<ReadoutCalibration, QfwError> {
+        // Prepared |0...0>.
+        let mut zeros = Circuit::new(num_qubits).named("cal_zeros");
+        // An X-X pair keeps the circuit non-empty without changing the state
+        // (some engines special-case empty circuits).
+        zeros.x(0).x(0);
+        zeros.measure_all();
+        let r0 = backend.execute_sync(&zeros, shots)?;
+
+        // Prepared |1...1>.
+        let mut ones = Circuit::new(num_qubits).named("cal_ones");
+        for q in 0..num_qubits {
+            ones.x(q);
+        }
+        ones.measure_all();
+        let r1 = backend.execute_sync(&ones, shots)?;
+
+        let rate = |counts: &BTreeMap<String, usize>, q: usize, flipped_to: char| -> f64 {
+            let total: usize = counts.values().sum();
+            let hits: usize = counts
+                .iter()
+                .filter(|(bits, _)| bits.as_bytes()[num_qubits - 1 - q] as char == flipped_to)
+                .map(|(_, c)| *c)
+                .sum();
+            hits as f64 / total as f64
+        };
+        Ok(ReadoutCalibration {
+            e01: (0..num_qubits).map(|q| rate(&r0.counts, q, '1')).collect(),
+            e10: (0..num_qubits).map(|q| rate(&r1.counts, q, '0')).collect(),
+        })
+    }
+
+    /// Number of calibrated qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.e01.len()
+    }
+
+    /// Applies the tensored inverse to a histogram, returning corrected
+    /// counts (clipped at zero, renormalized to the original shot total).
+    ///
+    /// Works key-by-key: each observed bitstring's weight is redistributed
+    /// through the inverse of every qubit's 2x2 assignment matrix. To stay
+    /// sparse, corrections are expanded only over qubits with nonzero error
+    /// (exact for the tensored model).
+    pub fn correct(&self, counts: &BTreeMap<String, usize>) -> BTreeMap<String, f64> {
+        let n = self.num_qubits();
+        let shots: usize = counts.values().sum();
+        // Per-qubit inverse M^{-1} entries: minv[q] = [[a, b], [c, d]] with
+        // M = [[1-e01, e10], [e01, 1-e10]].
+        let minv: Vec<[f64; 4]> = (0..n)
+            .map(|q| {
+                let (e01, e10) = (self.e01[q], self.e10[q]);
+                let det = (1.0 - e01) * (1.0 - e10) - e01 * e10;
+                assert!(
+                    det.abs() > 1e-9,
+                    "assignment matrix of qubit {q} is singular"
+                );
+                [
+                    (1.0 - e10) / det,
+                    -e10 / det,
+                    -e01 / det,
+                    (1.0 - e01) / det,
+                ]
+            })
+            .collect();
+
+        // Quasi-probabilities, sparse expansion.
+        let mut quasi: BTreeMap<String, f64> = BTreeMap::new();
+        for (bits, &c) in counts {
+            let mut partial: Vec<(Vec<u8>, f64)> =
+                vec![(bits.bytes().map(|b| b - b'0').collect(), c as f64)];
+            for q in 0..n {
+                if self.e01[q] == 0.0 && self.e10[q] == 0.0 {
+                    continue;
+                }
+                let pos = n - 1 - q; // string index of qubit q
+                let inv = &minv[q];
+                let mut next = Vec::with_capacity(partial.len() * 2);
+                for (key, w) in partial {
+                    let observed = key[pos] as usize;
+                    // corrected[prepared] += inv[prepared][observed] * w
+                    for prepared in 0..2usize {
+                        let factor = inv[prepared * 2 + observed];
+                        if factor == 0.0 {
+                            continue;
+                        }
+                        let mut k = key.clone();
+                        k[pos] = prepared as u8;
+                        next.push((k, w * factor));
+                    }
+                }
+                // Merge duplicates to keep the expansion bounded.
+                next.sort_by(|a, b| a.0.cmp(&b.0));
+                let mut merged: Vec<(Vec<u8>, f64)> = Vec::with_capacity(next.len());
+                for (k, w) in next {
+                    match merged.last_mut() {
+                        Some((lk, lw)) if *lk == k => *lw += w,
+                        _ => merged.push((k, w)),
+                    }
+                }
+                partial = merged;
+            }
+            for (k, w) in partial {
+                let key: String = k.into_iter().map(|b| (b + b'0') as char).collect();
+                *quasi.entry(key).or_insert(0.0) += w;
+            }
+        }
+
+        // Clip negatives and renormalize to the shot total.
+        let mut total = 0.0;
+        for w in quasi.values_mut() {
+            if *w < 0.0 {
+                *w = 0.0;
+            }
+            total += *w;
+        }
+        if total > 0.0 {
+            let scale = shots as f64 / total;
+            for w in quasi.values_mut() {
+                *w *= scale;
+            }
+        }
+        quasi.retain(|_, w| *w > 1e-9);
+        quasi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfw::{QfwConfig, QfwSession};
+    use qfw_hpc::ClusterSpec;
+    use qfw_workloads::ghz;
+
+    fn noisy_backend(session: &QfwSession, readout: f64) -> QfwBackend {
+        session
+            .backend(&[
+                ("backend", "nwqsim"),
+                ("subbackend", "cpu"),
+                ("noise_readout", &format!("{readout}")),
+            ])
+            .unwrap()
+    }
+
+    fn session() -> QfwSession {
+        QfwSession::launch(
+            &ClusterSpec::test(2),
+            QfwConfig {
+                qfw_nodes: 1,
+                ..QfwConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    /// Probability mass on the ideal GHZ outcomes.
+    fn ghz_mass(counts: &BTreeMap<String, f64>, n: usize) -> f64 {
+        let total: f64 = counts.values().sum();
+        let good: f64 = [&"0".repeat(n), &"1".repeat(n)]
+            .iter()
+            .filter_map(|k| counts.get(*k))
+            .sum();
+        good / total
+    }
+
+    #[test]
+    fn calibration_estimates_injected_rates() {
+        let session = session();
+        let backend = noisy_backend(&session, 0.04);
+        let cal = ReadoutCalibration::measure(&backend, 4, 30_000).unwrap();
+        for q in 0..4 {
+            assert!(
+                (cal.e01[q] - 0.04).abs() < 0.01,
+                "e01[{q}] = {}",
+                cal.e01[q]
+            );
+            assert!(
+                (cal.e10[q] - 0.04).abs() < 0.01,
+                "e10[{q}] = {}",
+                cal.e10[q]
+            );
+        }
+    }
+
+    #[test]
+    fn correction_recovers_ghz_fidelity() {
+        let session = session();
+        let n = 5;
+        let backend = noisy_backend(&session, 0.05);
+        let cal = ReadoutCalibration::measure(&backend, n, 40_000).unwrap();
+        let noisy = backend.execute_sync(&ghz(n), 40_000).unwrap();
+        let raw: BTreeMap<String, f64> = noisy
+            .counts
+            .iter()
+            .map(|(k, &v)| (k.clone(), v as f64))
+            .collect();
+        let corrected = cal.correct(&noisy.counts);
+        let before = ghz_mass(&raw, n);
+        let after = ghz_mass(&corrected, n);
+        assert!(
+            after > before + 0.05,
+            "mitigation did not help: {before} -> {after}"
+        );
+        assert!(after > 0.93, "corrected mass {after}");
+    }
+
+    #[test]
+    fn identity_calibration_is_a_noop() {
+        let cal = ReadoutCalibration {
+            e01: vec![0.0; 3],
+            e10: vec![0.0; 3],
+        };
+        let mut counts = BTreeMap::new();
+        counts.insert("011".to_string(), 70usize);
+        counts.insert("100".to_string(), 30usize);
+        let corrected = cal.correct(&counts);
+        assert_eq!(corrected.len(), 2);
+        assert!((corrected["011"] - 70.0).abs() < 1e-9);
+        assert!((corrected["100"] - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correction_preserves_shot_total() {
+        let cal = ReadoutCalibration {
+            e01: vec![0.03, 0.05],
+            e10: vec![0.02, 0.04],
+        };
+        let mut counts = BTreeMap::new();
+        counts.insert("00".to_string(), 480usize);
+        counts.insert("11".to_string(), 470);
+        counts.insert("01".to_string(), 30);
+        counts.insert("10".to_string(), 20);
+        let corrected = cal.correct(&counts);
+        let total: f64 = corrected.values().sum();
+        assert!((total - 1000.0).abs() < 1e-6, "total {total}");
+        // Error keys should shrink, ideal keys grow.
+        assert!(corrected["00"] > 480.0);
+        assert!(corrected.get("01").copied().unwrap_or(0.0) < 30.0);
+    }
+
+    #[test]
+    fn asymmetric_rates_handled() {
+        let cal = ReadoutCalibration {
+            e01: vec![0.10],
+            e10: vec![0.0],
+        };
+        // Prepared |0> read as 1 10% of the time: observed 900/100.
+        let mut counts = BTreeMap::new();
+        counts.insert("0".to_string(), 900usize);
+        counts.insert("1".to_string(), 100);
+        let corrected = cal.correct(&counts);
+        // The inverse should reassign essentially everything to "0".
+        assert!(corrected["0"] > 995.0, "{corrected:?}");
+    }
+}

@@ -1,0 +1,220 @@
+//! The single-problem QAOA hybrid loop.
+
+use qfw::{QfwBackend, QfwError};
+use qfw_optim::{nelder_mead, NelderMeadConfig};
+use qfw_workloads::qaoa::{counts_best, counts_energy, qaoa_ansatz};
+use qfw_workloads::Qubo;
+use std::cell::RefCell;
+
+/// QAOA driver configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QaoaConfig {
+    /// Ansatz depth `p`.
+    pub layers: usize,
+    /// Shots per circuit evaluation.
+    pub shots: usize,
+    /// Classical-optimizer evaluation budget (circuit executions).
+    pub max_evals: usize,
+    /// Whole-loop wall-clock budget in seconds (infinite by default) — the
+    /// per-run analog of the paper's two-hour cutoff. Exceeding it aborts
+    /// the loop with [`QfwError::WalltimeExceeded`].
+    pub wall_limit_secs: f64,
+    /// Seed controlling the initial parameters.
+    pub seed: u64,
+}
+
+impl Default for QaoaConfig {
+    fn default() -> Self {
+        QaoaConfig {
+            layers: 2,
+            shots: 1024,
+            max_evals: 60,
+            wall_limit_secs: f64::INFINITY,
+            seed: 0x0A0A,
+        }
+    }
+}
+
+/// Result of a QAOA run.
+#[derive(Clone, Debug)]
+pub struct QaoaOutcome {
+    /// Best sampled assignment (LSB-first).
+    pub best_bits: Vec<u8>,
+    /// Its QUBO energy.
+    pub best_energy: f64,
+    /// Optimized `[gamma_0, beta_0, ...]`.
+    pub optimal_params: Vec<f64>,
+    /// Circuit executions spent.
+    pub circuit_evals: usize,
+    /// Mean-energy trace per evaluation (the optimizer's view).
+    pub energy_trace: Vec<f64>,
+    /// End-to-end wall time in seconds.
+    pub wall_secs: f64,
+}
+
+/// Runs the QAOA hybrid loop for a QUBO against any QFw backend.
+///
+/// The *identical* code path serves every engine — local state-vector, MPS,
+/// tensor-network, or the cloud provider — because all communication goes
+/// through the frontend's `execute` (the paper's central portability claim).
+pub fn solve_qaoa(
+    backend: &QfwBackend,
+    qubo: &Qubo,
+    config: QaoaConfig,
+) -> Result<QaoaOutcome, QfwError> {
+    let sw = qfw_hpc::Stopwatch::start();
+    let ansatz = qaoa_ansatz(qubo, config.layers);
+    let num_params = 2 * config.layers;
+
+    // The optimizer wants plain f64; stash the first transport/executor
+    // error and poison the objective with +inf so the loop unwinds fast.
+    let error: RefCell<Option<QfwError>> = RefCell::new(None);
+    let trace: RefCell<Vec<f64>> = RefCell::new(Vec::new());
+
+    let objective = |theta: &[f64]| -> f64 {
+        if error.borrow().is_some() {
+            return f64::INFINITY;
+        }
+        if sw.elapsed_secs() > config.wall_limit_secs {
+            *error.borrow_mut() = Some(QfwError::WalltimeExceeded {
+                limit_secs: config.wall_limit_secs,
+            });
+            return f64::INFINITY;
+        }
+        let circuit = ansatz.bind(theta);
+        match backend.execute_sync(&circuit, config.shots) {
+            Ok(result) => {
+                let e = counts_energy(qubo, &result.counts);
+                trace.borrow_mut().push(e);
+                e
+            }
+            Err(e) => {
+                *error.borrow_mut() = Some(e);
+                f64::INFINITY
+            }
+        }
+    };
+
+    // Small deterministic initial angles: near zero, away from the saddle.
+    let mut rng = qfw_num::rng::Rng::seed_from(config.seed);
+    let x0: Vec<f64> = (0..num_params).map(|_| rng.uniform(-0.3, 0.3)).collect();
+
+    let opt = nelder_mead(
+        objective,
+        &x0,
+        NelderMeadConfig {
+            max_evals: config.max_evals,
+            f_tol: 1e-4,
+            step: 0.25,
+        },
+    );
+    if let Some(e) = error.into_inner() {
+        return Err(e);
+    }
+
+    // Final sampling at the optimum picks the reported assignment.
+    let final_circuit = ansatz.bind(&opt.x);
+    let result = backend.execute_sync(&final_circuit, config.shots.max(2048))?;
+    let (best_bits, best_energy) = counts_best(qubo, &result.counts);
+
+    Ok(QaoaOutcome {
+        best_bits,
+        best_energy,
+        optimal_params: opt.x,
+        circuit_evals: opt.evals + 1,
+        energy_trace: trace.into_inner(),
+        wall_secs: sw.elapsed_secs(),
+    })
+}
+
+/// Solution fidelity as the paper's Fig. 3f defines it: the ratio of the
+/// achieved energy improvement over the reference solver's, clamped into
+/// `[0, 1]` (1 = matched or beat the reference).
+///
+/// Energies are measured against the zero-assignment baseline `E(0) = 0`.
+pub fn solution_fidelity(achieved: f64, reference: f64) -> f64 {
+    if reference >= 0.0 {
+        // Degenerate instance: nothing below the baseline to find.
+        return if achieved <= reference { 1.0 } else { 0.0 };
+    }
+    (achieved / reference).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfw::QfwSession;
+    use qfw_optim::{anneal, AnnealConfig};
+
+    fn session() -> QfwSession {
+        QfwSession::launch_local(2).unwrap()
+    }
+
+    #[test]
+    fn qaoa_reaches_high_fidelity_on_small_qubo() {
+        let session = session();
+        let backend = session
+            .backend(&[("backend", "nwqsim"), ("subbackend", "cpu")])
+            .unwrap();
+        let qubo = Qubo::random(6, 1.0, 17);
+        let (_, exact) = qubo.brute_force_min();
+        let out = solve_qaoa(&backend, &qubo, QaoaConfig::default()).unwrap();
+        let fid = solution_fidelity(out.best_energy, exact);
+        assert!(fid > 0.95, "fidelity {fid} (got {} vs {exact})", out.best_energy);
+        assert!(!out.energy_trace.is_empty());
+        assert!(out.circuit_evals > 10);
+    }
+
+    #[test]
+    fn same_driver_code_runs_on_mps_backend() {
+        let session = session();
+        let backend = session
+            .backend(&[("backend", "aer"), ("subbackend", "matrix_product_state")])
+            .unwrap();
+        let qubo = Qubo::metamaterial(5, 2, 3);
+        let (_, exact) = qubo.brute_force_min();
+        let config = QaoaConfig {
+            max_evals: 40,
+            shots: 512,
+            ..QaoaConfig::default()
+        };
+        let out = solve_qaoa(&backend, &qubo, config).unwrap();
+        assert!(solution_fidelity(out.best_energy, exact) > 0.9);
+    }
+
+    #[test]
+    fn fidelity_metric_edges() {
+        assert_eq!(solution_fidelity(-10.0, -10.0), 1.0);
+        assert_eq!(solution_fidelity(-12.0, -10.0), 1.0); // beat the reference
+        assert!((solution_fidelity(-5.0, -10.0) - 0.5).abs() < 1e-12);
+        assert_eq!(solution_fidelity(3.0, -10.0), 0.0);
+        assert_eq!(solution_fidelity(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn qaoa_matches_annealer_reference_on_benchmark_sizes() {
+        // The Fig. 3f shape: fidelity vs the annealing reference stays
+        // above 95% for the small Table 2 sizes.
+        let session = session();
+        let backend = session
+            .backend(&[("backend", "aer"), ("subbackend", "statevector")])
+            .unwrap();
+        for n in [4usize, 8] {
+            let qubo = Qubo::random(n, 1.0, 100 + n as u64);
+            let reference = anneal(n, |x| qubo.energy(x), AnnealConfig::default());
+            let out = solve_qaoa(&backend, &qubo, QaoaConfig::default()).unwrap();
+            let fid = solution_fidelity(out.best_energy, reference.energy);
+            assert!(fid > 0.95, "n={n}: fidelity {fid}");
+        }
+    }
+
+    #[test]
+    fn errors_propagate_not_panic() {
+        let session = session();
+        // ionq is not registered in a cloud-less session.
+        let backend = session.backend(&[("backend", "ionq")]).unwrap();
+        let qubo = Qubo::random(4, 1.0, 1);
+        let err = solve_qaoa(&backend, &qubo, QaoaConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("ionq"));
+    }
+}

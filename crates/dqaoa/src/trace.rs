@@ -1,0 +1,151 @@
+//! Per-task timing traces — the data behind Fig. 5's zoomed iteration
+//! timeline (concurrent, uniform local solves vs serialized, jittery cloud
+//! rounds).
+
+use serde::{Deserialize, Serialize};
+
+/// One sub-QUBO solve, timed relative to the DQAOA run's start.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TaskTrace {
+    /// Outer DQAOA iteration.
+    pub iteration: usize,
+    /// Sub-problem index within the iteration.
+    pub sub_index: usize,
+    /// Dispatch time (seconds since run start).
+    pub start_secs: f64,
+    /// Completion time (seconds since run start).
+    pub end_secs: f64,
+    /// Backend that executed the inner QAOA.
+    pub backend: String,
+    /// Sub-QUBO energy achieved.
+    pub energy: f64,
+}
+
+impl TaskTrace {
+    /// Task duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end_secs - self.start_secs
+    }
+}
+
+/// Maximum number of tasks whose execution windows overlap — Fig. 5's
+/// "about four concurrently" observation is this statistic.
+pub fn max_concurrency(traces: &[TaskTrace]) -> usize {
+    let mut events: Vec<(f64, i32)> = Vec::with_capacity(traces.len() * 2);
+    for t in traces {
+        events.push((t.start_secs, 1));
+        events.push((t.end_secs, -1));
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut live = 0i32;
+    let mut max = 0i32;
+    for (_, delta) in events {
+        live += delta;
+        max = max.max(live);
+    }
+    max as usize
+}
+
+/// Coefficient of variation of task durations — low for uniform local
+/// iterations, high for jittery cloud rounds.
+pub fn duration_cv(traces: &[TaskTrace]) -> f64 {
+    assert!(!traces.is_empty());
+    let durations: Vec<f64> = traces.iter().map(TaskTrace::duration).collect();
+    let mean = durations.iter().sum::<f64>() / durations.len() as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let var = durations
+        .iter()
+        .map(|d| (d - mean).powi(2))
+        .sum::<f64>()
+        / durations.len() as f64;
+    var.sqrt() / mean
+}
+
+/// Renders the traces as fixed-width Gantt rows (the text analog of
+/// Fig. 5), bucketing time into `width` columns.
+pub fn render_timeline(traces: &[TaskTrace], width: usize) -> String {
+    if traces.is_empty() {
+        return String::from("(no tasks)\n");
+    }
+    let t_end = traces
+        .iter()
+        .map(|t| t.end_secs)
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    let mut out = String::new();
+    for t in traces {
+        let s = ((t.start_secs / t_end) * width as f64) as usize;
+        let e = (((t.end_secs / t_end) * width as f64) as usize).max(s + 1);
+        let mut row = vec![' '; width.max(e)];
+        for cell in row.iter_mut().take(e).skip(s) {
+            *cell = '#';
+        }
+        out.push_str(&format!(
+            "it{:02} sub{:02} |{}| {:.3}s-{:.3}s ({})\n",
+            t.iteration,
+            t.sub_index,
+            row.into_iter().collect::<String>(),
+            t.start_secs,
+            t.end_secs,
+            t.backend
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(iter: usize, idx: usize, s: f64, e: f64) -> TaskTrace {
+        TaskTrace {
+            iteration: iter,
+            sub_index: idx,
+            start_secs: s,
+            end_secs: e,
+            backend: "test".into(),
+            energy: 0.0,
+        }
+    }
+
+    #[test]
+    fn concurrency_counts_overlaps() {
+        let traces = vec![
+            t(0, 0, 0.0, 1.0),
+            t(0, 1, 0.2, 1.2),
+            t(0, 2, 0.4, 1.4),
+            t(1, 0, 2.0, 3.0),
+        ];
+        assert_eq!(max_concurrency(&traces), 3);
+    }
+
+    #[test]
+    fn concurrency_of_serialized_tasks_is_one() {
+        let traces = vec![t(0, 0, 0.0, 1.0), t(0, 1, 1.0, 2.0), t(0, 2, 2.5, 3.0)];
+        assert_eq!(max_concurrency(&traces), 1);
+    }
+
+    #[test]
+    fn cv_distinguishes_uniform_from_jittery() {
+        let uniform = vec![t(0, 0, 0.0, 1.0), t(0, 1, 0.0, 1.01), t(0, 2, 0.0, 0.99)];
+        let jittery = vec![t(0, 0, 0.0, 0.2), t(0, 1, 0.0, 2.0), t(0, 2, 0.0, 0.7)];
+        assert!(duration_cv(&uniform) < 0.05);
+        assert!(duration_cv(&jittery) > 0.5);
+    }
+
+    #[test]
+    fn timeline_renders_rows() {
+        let traces = vec![t(0, 0, 0.0, 1.0), t(0, 1, 0.5, 1.0)];
+        let text = render_timeline(&traces, 20);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("it00 sub00"));
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn empty_timeline() {
+        assert!(render_timeline(&[], 10).contains("no tasks"));
+    }
+}

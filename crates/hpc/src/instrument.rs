@@ -1,0 +1,168 @@
+//! Wall-clock instrumentation and the repeated-run protocol.
+//!
+//! Section 5 of the paper: "Each experiment is repeated three times ... for
+//! which we report the mean and standard deviation." [`RunStats`] implements
+//! exactly that aggregation, and [`Stopwatch`]/[`time_it`] provide the
+//! uniform timing instrumentation QFw layers over every backend so
+//! per-backend performance profiles stay comparable.
+
+use std::time::{Duration, Instant};
+
+/// A simple wall-clock stopwatch.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed seconds as f64 (the unit every figure reports).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+/// Times one closure invocation.
+pub fn time_it<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let sw = Stopwatch::start();
+    let r = f();
+    (r, sw.elapsed())
+}
+
+/// Mean/std aggregation over repeated runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunStats {
+    /// Number of repetitions.
+    pub runs: usize,
+    /// Mean duration in seconds.
+    pub mean_secs: f64,
+    /// Sample standard deviation in seconds (0 for a single run).
+    pub std_secs: f64,
+    /// Fastest repetition in seconds.
+    pub min_secs: f64,
+    /// Slowest repetition in seconds.
+    pub max_secs: f64,
+}
+
+impl RunStats {
+    /// Aggregates a set of measured durations.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn from_durations(durations: &[Duration]) -> RunStats {
+        assert!(!durations.is_empty(), "no runs to aggregate");
+        let secs: Vec<f64> = durations.iter().map(Duration::as_secs_f64).collect();
+        Self::from_secs(&secs)
+    }
+
+    /// Aggregates raw second values.
+    pub fn from_secs(secs: &[f64]) -> RunStats {
+        assert!(!secs.is_empty(), "no runs to aggregate");
+        let n = secs.len() as f64;
+        let mean = secs.iter().sum::<f64>() / n;
+        let var = if secs.len() > 1 {
+            secs.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        RunStats {
+            runs: secs.len(),
+            mean_secs: mean,
+            std_secs: var.sqrt(),
+            min_secs: secs.iter().copied().fold(f64::INFINITY, f64::min),
+            max_secs: secs.iter().copied().fold(0.0, f64::max),
+        }
+    }
+
+    /// Runs `f` `reps` times (the paper uses three) and aggregates.
+    pub fn measure(reps: usize, mut f: impl FnMut()) -> RunStats {
+        let durations: Vec<Duration> = (0..reps)
+            .map(|_| {
+                let sw = Stopwatch::start();
+                f();
+                sw.elapsed()
+            })
+            .collect();
+        Self::from_durations(&durations)
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.6} s ± {:.6} (n={})",
+            self.mean_secs, self.std_secs, self.runs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_constant_runs() {
+        let d = Duration::from_millis(10);
+        let s = RunStats::from_durations(&[d, d, d]);
+        assert_eq!(s.runs, 3);
+        assert!((s.mean_secs - 0.010).abs() < 1e-12);
+        assert_eq!(s.std_secs, 0.0);
+        assert_eq!(s.min_secs, s.max_secs);
+    }
+
+    #[test]
+    fn stats_mean_and_std() {
+        let s = RunStats::from_secs(&[1.0, 2.0, 3.0]);
+        assert!((s.mean_secs - 2.0).abs() < 1e-12);
+        assert!((s.std_secs - 1.0).abs() < 1e-12);
+        assert_eq!(s.min_secs, 1.0);
+        assert_eq!(s.max_secs, 3.0);
+    }
+
+    #[test]
+    fn single_run_has_zero_std() {
+        let s = RunStats::from_secs(&[5.0]);
+        assert_eq!(s.std_secs, 0.0);
+        assert_eq!(s.runs, 1);
+    }
+
+    #[test]
+    fn measure_counts_reps() {
+        let mut calls = 0;
+        let s = RunStats::measure(3, || calls += 1);
+        assert_eq!(calls, 3);
+        assert_eq!(s.runs, 3);
+    }
+
+    #[test]
+    fn time_it_returns_value_and_duration() {
+        let (v, d) = time_it(|| 7 * 6);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no runs")]
+    fn empty_aggregate_panics() {
+        let _ = RunStats::from_secs(&[]);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = RunStats::from_secs(&[1.0, 1.0]);
+        let text = format!("{s}");
+        assert!(text.contains("n=2"));
+    }
+}

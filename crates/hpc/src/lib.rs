@@ -1,0 +1,38 @@
+//! Simulated HPC substrate: the stand-in for Frontier, SLURM heterogeneous
+//! jobs, PRTE/DVM, and MPI.
+//!
+//! The paper deploys QFw on a 32-node Frontier test cluster through three
+//! layers this crate reproduces in-process:
+//!
+//! * [`topology`] — the machine model: nodes with 64 cores in 8 LLC domains,
+//!   one core per LLC reserved for the OS (leaving the paper's 56 application
+//!   cores per node), and a Slingshot-like interconnect cost model.
+//! * [`slurm`] — heterogeneous job allocation: a job reserves disjoint node
+//!   groups (`hetgroup-0` for the application, `hetgroup-1` for QFw services
+//!   and simulator workers) and leases cores from them without ever
+//!   oversubscribing.
+//! * [`dvm`] — a PRTE-like distributed virtual machine: rapid spawning of
+//!   rank *threads* onto allocated cores, identified by a DVM URI.
+//! * [`comm`] — an MPI-like communicator over crossbeam channels: matched
+//!   send/recv with tags, barrier, broadcast, reduce/allreduce, gather, and
+//!   an interconnect delay model that charges inter-node messages more than
+//!   intra-node ones (this is what makes "MPI communication overhead beyond
+//!   one LLC domain" visible in the QAOA scaling experiment).
+//! * [`instrument`] — wall-clock timing helpers and mean/std aggregation for
+//!   the repeated-run protocol of Section 5.
+//!
+//! Threads stand in for MPI processes: they give real parallel speedups on a
+//! multicore host (preserving the strong/weak scaling shapes) while the cost
+//! model reintroduces the network penalties threads would otherwise hide.
+
+pub mod comm;
+pub mod dvm;
+pub mod instrument;
+pub mod slurm;
+pub mod topology;
+
+pub use comm::{Communicator, RankCtx};
+pub use dvm::{Dvm, JobHandle};
+pub use instrument::{RunStats, Stopwatch};
+pub use slurm::{Allocation, HetJob, HetJobSpec};
+pub use topology::{ClusterSpec, CoreId, InterconnectModel, NodeSpec};

@@ -1,0 +1,297 @@
+//! SLURM-like heterogeneous job allocation.
+//!
+//! The paper launches every experiment as one SLURM job with two
+//! heterogeneous groups: `hetgroup-0` carries the application's classical
+//! control logic and `hetgroup-1` carries QFw services plus simulator
+//! workers (Fig. 1, step-1). This module reproduces that allocation model:
+//! a [`HetJob`] partitions cluster nodes into disjoint groups, and each
+//! group leases cores through an [`Allocation`] that enforces the
+//! no-oversubscription invariant.
+
+use crate::topology::{ClusterSpec, CoreId};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Requested shape of a heterogeneous job: node counts per group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HetJobSpec {
+    /// Number of nodes requested by each heterogeneous group, in order.
+    pub group_nodes: Vec<usize>,
+}
+
+impl HetJobSpec {
+    /// The paper's standard shape: one application node (`hetgroup-0`) and
+    /// `qfw_nodes` service/worker nodes (`hetgroup-1`).
+    pub fn qfw_standard(qfw_nodes: usize) -> Self {
+        HetJobSpec {
+            group_nodes: vec![1, qfw_nodes],
+        }
+    }
+}
+
+/// Errors from allocation requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// The cluster does not have enough nodes for the requested groups.
+    InsufficientNodes {
+        /// Nodes requested across all groups.
+        requested: usize,
+        /// Nodes the cluster has.
+        available: usize,
+    },
+    /// A group ran out of free cores.
+    InsufficientCores {
+        /// Group that failed.
+        group: usize,
+        /// Cores requested.
+        requested: usize,
+        /// Cores currently free in the group.
+        free: usize,
+    },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::InsufficientNodes {
+                requested,
+                available,
+            } => write!(
+                f,
+                "heterogeneous job requests {requested} nodes but the cluster has {available}"
+            ),
+            AllocError::InsufficientCores {
+                group,
+                requested,
+                free,
+            } => write!(
+                f,
+                "hetgroup-{group} asked for {requested} cores but only {free} are free"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A granted heterogeneous job: disjoint node groups carved from a cluster.
+#[derive(Debug)]
+pub struct HetJob {
+    cluster: ClusterSpec,
+    groups: Vec<Vec<usize>>, // node indices per group
+    /// Free application cores per group, shared with leases for release.
+    free: Vec<Arc<Mutex<BTreeSet<CoreId>>>>,
+}
+
+impl HetJob {
+    /// Submits a heterogeneous job against the cluster, assigning node
+    /// ranges first-fit in group order (group 0 gets the lowest-numbered
+    /// nodes, exactly like contiguous SLURM placement).
+    pub fn submit(cluster: &ClusterSpec, spec: &HetJobSpec) -> Result<HetJob, AllocError> {
+        let requested: usize = spec.group_nodes.iter().sum();
+        if requested > cluster.nodes {
+            return Err(AllocError::InsufficientNodes {
+                requested,
+                available: cluster.nodes,
+            });
+        }
+        let mut groups = Vec::with_capacity(spec.group_nodes.len());
+        let mut next = 0usize;
+        for &count in &spec.group_nodes {
+            groups.push((next..next + count).collect::<Vec<_>>());
+            next += count;
+        }
+        let free = groups
+            .iter()
+            .map(|nodes| {
+                let cores: BTreeSet<CoreId> = nodes
+                    .iter()
+                    .flat_map(|&n| cluster.app_cores_of(n))
+                    .collect();
+                Arc::new(Mutex::new(cores))
+            })
+            .collect();
+        Ok(HetJob {
+            cluster: cluster.clone(),
+            groups,
+            free,
+        })
+    }
+
+    /// The cluster this job runs on.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Number of heterogeneous groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Node indices owned by a group.
+    pub fn nodes_of(&self, group: usize) -> &[usize] {
+        &self.groups[group]
+    }
+
+    /// The lead node of a group — where the paper starts QPM services.
+    pub fn lead_node(&self, group: usize) -> usize {
+        self.groups[group][0]
+    }
+
+    /// Free application cores currently available in a group.
+    pub fn free_cores(&self, group: usize) -> usize {
+        self.free[group].lock().len()
+    }
+
+    /// Leases `n` cores from a group, preferring to pack whole LLC domains
+    /// on the lowest-numbered nodes (round-robin within a node would spread
+    /// cache pressure; the paper packs workers densely).
+    pub fn allocate_cores(&self, group: usize, n: usize) -> Result<Allocation, AllocError> {
+        let mut free = self.free[group].lock();
+        if free.len() < n {
+            return Err(AllocError::InsufficientCores {
+                group,
+                requested: n,
+                free: free.len(),
+            });
+        }
+        // BTreeSet iterates in (node, core) order => dense packing.
+        let cores: Vec<CoreId> = free.iter().take(n).copied().collect();
+        for c in &cores {
+            free.remove(c);
+        }
+        Ok(Allocation {
+            group,
+            cores,
+            pool: Arc::clone(&self.free[group]),
+        })
+    }
+}
+
+/// A lease of specific cores within one heterogeneous group. Cores return to
+/// the free pool when the allocation is dropped (the paper's step-13
+/// teardown releasing worker allocations).
+#[derive(Debug)]
+pub struct Allocation {
+    group: usize,
+    cores: Vec<CoreId>,
+    pool: Arc<Mutex<BTreeSet<CoreId>>>,
+}
+
+impl Allocation {
+    /// The heterogeneous group this lease came from.
+    pub fn group(&self) -> usize {
+        self.group
+    }
+
+    /// The leased cores.
+    pub fn cores(&self) -> &[CoreId] {
+        &self.cores
+    }
+
+    /// Number of leased cores.
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// True when the lease is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// Number of distinct nodes spanned.
+    pub fn node_span(&self) -> usize {
+        let nodes: BTreeSet<usize> = self.cores.iter().map(|c| c.node).collect();
+        nodes.len()
+    }
+}
+
+impl Drop for Allocation {
+    fn drop(&mut self) {
+        let mut free = self.pool.lock();
+        for c in self.cores.drain(..) {
+            free.insert(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> HetJob {
+        let cluster = ClusterSpec::test(4);
+        HetJob::submit(&cluster, &HetJobSpec::qfw_standard(3)).unwrap()
+    }
+
+    #[test]
+    fn groups_are_disjoint_and_ordered() {
+        let j = job();
+        assert_eq!(j.num_groups(), 2);
+        assert_eq!(j.nodes_of(0), &[0]);
+        assert_eq!(j.nodes_of(1), &[1, 2, 3]);
+        assert_eq!(j.lead_node(1), 1);
+    }
+
+    #[test]
+    fn rejects_oversized_jobs() {
+        let cluster = ClusterSpec::test(2);
+        let err = HetJob::submit(&cluster, &HetJobSpec::qfw_standard(4)).unwrap_err();
+        assert!(matches!(err, AllocError::InsufficientNodes { .. }));
+    }
+
+    #[test]
+    fn core_accounting_is_exact() {
+        let j = job();
+        assert_eq!(j.free_cores(1), 3 * 56);
+        let a = j.allocate_cores(1, 100).unwrap();
+        assert_eq!(a.len(), 100);
+        assert_eq!(j.free_cores(1), 3 * 56 - 100);
+        drop(a);
+        assert_eq!(j.free_cores(1), 3 * 56);
+    }
+
+    #[test]
+    fn cannot_oversubscribe() {
+        let j = job();
+        let _a = j.allocate_cores(0, 56).unwrap();
+        let err = j.allocate_cores(0, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            AllocError::InsufficientCores {
+                group: 0,
+                requested: 1,
+                free: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn leases_do_not_overlap() {
+        let j = job();
+        let a = j.allocate_cores(1, 60).unwrap();
+        let b = j.allocate_cores(1, 60).unwrap();
+        let sa: BTreeSet<_> = a.cores().iter().collect();
+        assert!(b.cores().iter().all(|c| !sa.contains(c)));
+    }
+
+    #[test]
+    fn packing_is_dense_lowest_node_first() {
+        let j = job();
+        let a = j.allocate_cores(1, 56).unwrap();
+        assert_eq!(a.node_span(), 1);
+        assert!(a.cores().iter().all(|c| c.node == 1));
+        let b = j.allocate_cores(1, 10).unwrap();
+        assert!(b.cores().iter().all(|c| c.node == 2));
+    }
+
+    #[test]
+    fn groups_allocate_independently() {
+        let j = job();
+        let _a = j.allocate_cores(0, 56).unwrap();
+        // Group 1 unaffected.
+        assert_eq!(j.free_cores(1), 3 * 56);
+        assert!(j.allocate_cores(1, 56).is_ok());
+    }
+}

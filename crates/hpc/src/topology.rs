@@ -1,0 +1,262 @@
+//! The machine model: node layout and interconnect costs.
+//!
+//! Defaults mirror the paper's Frontier test cluster (Section 5): 32 nodes,
+//! one 64-core EPYC per node organized as 8 last-level-cache (LLC) domains of
+//! 8 cores, one core per LLC reserved for kernel/system processes (leaving 56
+//! application cores), 512 GiB of DRAM, 8 logical GPUs, and a Slingshot
+//! interconnect with 800 Gbit/s of node-injection bandwidth.
+
+use std::time::Duration;
+
+/// Hardware description of one compute node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Physical cores per node.
+    pub cores: usize,
+    /// Number of last-level-cache domains the cores are grouped into.
+    pub llc_domains: usize,
+    /// Cores reserved per LLC domain for OS/system noise shielding.
+    pub reserved_per_llc: usize,
+    /// Logical GPUs (MI250X GCDs on Frontier).
+    pub gpus: usize,
+    /// DRAM in GiB.
+    pub mem_gib: usize,
+}
+
+impl NodeSpec {
+    /// The paper's Frontier node: 64 cores, 8 LLC domains, 1 reserved core
+    /// per LLC, 8 logical GPUs, 512 GiB.
+    pub fn frontier() -> Self {
+        NodeSpec {
+            cores: 64,
+            llc_domains: 8,
+            reserved_per_llc: 1,
+            gpus: 8,
+            mem_gib: 512,
+        }
+    }
+
+    /// Cores usable by applications after LLC reservation (56 on Frontier).
+    pub fn app_cores(&self) -> usize {
+        self.cores - self.llc_domains * self.reserved_per_llc
+    }
+
+    /// Cores per LLC domain.
+    pub fn cores_per_llc(&self) -> usize {
+        self.cores / self.llc_domains
+    }
+
+    /// Application (non-reserved) cores per LLC domain.
+    pub fn app_cores_per_llc(&self) -> usize {
+        self.cores_per_llc() - self.reserved_per_llc
+    }
+}
+
+/// A specific core on a specific node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoreId {
+    /// Node index within the cluster.
+    pub node: usize,
+    /// Core index within the node.
+    pub core: usize,
+}
+
+impl CoreId {
+    /// The LLC domain this core belongs to under `spec`'s grouping.
+    pub fn llc_domain(&self, spec: &NodeSpec) -> usize {
+        self.core / spec.cores_per_llc()
+    }
+}
+
+/// Latency/bandwidth model for message transfers between ranks.
+///
+/// Transfer time = `latency(level) + bytes / bandwidth(level)` where the
+/// level is determined by how far apart the endpoints are: same LLC domain,
+/// same node, or across the interconnect. The communicator uses this to
+/// delay message delivery, recreating the communication-overhead shapes the
+/// paper observes (e.g. QAOA runtimes jumping when process counts grow
+/// "beyond a single LLC domain").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterconnectModel {
+    /// Latency between cores sharing an LLC domain.
+    pub intra_llc_latency: Duration,
+    /// Latency between cores on the same node but different LLC domains.
+    pub intra_node_latency: Duration,
+    /// Latency between cores on different nodes.
+    pub inter_node_latency: Duration,
+    /// Intra-node effective bandwidth, bytes per second.
+    pub intra_node_bw: f64,
+    /// Inter-node effective bandwidth, bytes per second (Slingshot 200:
+    /// 800 Gbit/s injection, derated for protocol overheads).
+    pub inter_node_bw: f64,
+}
+
+impl InterconnectModel {
+    /// The default model loosely calibrated to Frontier's Slingshot fabric.
+    pub fn slingshot() -> Self {
+        InterconnectModel {
+            intra_llc_latency: Duration::from_nanos(200),
+            intra_node_latency: Duration::from_micros(2),
+            inter_node_latency: Duration::from_micros(20),
+            intra_node_bw: 50e9,
+            inter_node_bw: 25e9,
+        }
+    }
+
+    /// A zero-cost model (pure shared-memory semantics) for unit tests.
+    pub fn free() -> Self {
+        InterconnectModel {
+            intra_llc_latency: Duration::ZERO,
+            intra_node_latency: Duration::ZERO,
+            inter_node_latency: Duration::ZERO,
+            intra_node_bw: f64::INFINITY,
+            inter_node_bw: f64::INFINITY,
+        }
+    }
+
+    /// Transfer duration for `bytes` between the two placements.
+    pub fn transfer_time(
+        &self,
+        spec: &NodeSpec,
+        from: CoreId,
+        to: CoreId,
+        bytes: usize,
+    ) -> Duration {
+        if from == to {
+            return Duration::ZERO;
+        }
+        let (lat, bw) = if from.node != to.node {
+            (self.inter_node_latency, self.inter_node_bw)
+        } else if from.llc_domain(spec) != to.llc_domain(spec) {
+            (self.intra_node_latency, self.intra_node_bw)
+        } else {
+            (self.intra_llc_latency, self.intra_node_bw)
+        };
+        let serialization = if bw.is_finite() && bw > 0.0 {
+            Duration::from_secs_f64(bytes as f64 / bw)
+        } else {
+            Duration::ZERO
+        };
+        lat + serialization
+    }
+}
+
+/// A cluster: `nodes` identical nodes plus an interconnect.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Per-node hardware description.
+    pub node: NodeSpec,
+    /// Interconnect cost model.
+    pub interconnect: InterconnectModel,
+}
+
+impl ClusterSpec {
+    /// The paper's test system: 32 Frontier nodes on Slingshot.
+    pub fn frontier_test_cluster() -> Self {
+        ClusterSpec {
+            nodes: 32,
+            node: NodeSpec::frontier(),
+            interconnect: InterconnectModel::slingshot(),
+        }
+    }
+
+    /// A small cluster with free communication, convenient for tests.
+    pub fn test(nodes: usize) -> Self {
+        ClusterSpec {
+            nodes,
+            node: NodeSpec::frontier(),
+            interconnect: InterconnectModel::free(),
+        }
+    }
+
+    /// Total application cores across the cluster.
+    pub fn total_app_cores(&self) -> usize {
+        self.nodes * self.node.app_cores()
+    }
+
+    /// Enumerates the application cores of one node, skipping the reserved
+    /// core in each LLC domain (by convention the last core of the domain is
+    /// reserved, mimicking OLCF's core-specialization layout).
+    pub fn app_cores_of(&self, node: usize) -> Vec<CoreId> {
+        assert!(node < self.nodes, "node {node} out of range");
+        let per_llc = self.node.cores_per_llc();
+        let mut cores = Vec::with_capacity(self.node.app_cores());
+        for c in 0..self.node.cores {
+            let pos_in_llc = c % per_llc;
+            if pos_in_llc >= per_llc - self.node.reserved_per_llc {
+                continue; // reserved for OS
+            }
+            cores.push(CoreId { node, core: c });
+        }
+        cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_node_has_56_app_cores() {
+        let n = NodeSpec::frontier();
+        assert_eq!(n.app_cores(), 56);
+        assert_eq!(n.cores_per_llc(), 8);
+        assert_eq!(n.app_cores_per_llc(), 7);
+    }
+
+    #[test]
+    fn llc_domain_mapping() {
+        let n = NodeSpec::frontier();
+        assert_eq!(CoreId { node: 0, core: 0 }.llc_domain(&n), 0);
+        assert_eq!(CoreId { node: 0, core: 7 }.llc_domain(&n), 0);
+        assert_eq!(CoreId { node: 0, core: 8 }.llc_domain(&n), 1);
+        assert_eq!(CoreId { node: 0, core: 63 }.llc_domain(&n), 7);
+    }
+
+    #[test]
+    fn app_cores_skip_reserved() {
+        let c = ClusterSpec::frontier_test_cluster();
+        let cores = c.app_cores_of(0);
+        assert_eq!(cores.len(), 56);
+        // Core 7 (last of LLC 0) is reserved.
+        assert!(!cores.contains(&CoreId { node: 0, core: 7 }));
+        assert!(cores.contains(&CoreId { node: 0, core: 6 }));
+        assert!(!cores.contains(&CoreId { node: 0, core: 63 }));
+    }
+
+    #[test]
+    fn total_app_cores_scales_with_nodes() {
+        assert_eq!(
+            ClusterSpec::frontier_test_cluster().total_app_cores(),
+            32 * 56
+        );
+    }
+
+    #[test]
+    fn transfer_time_ordering() {
+        let spec = NodeSpec::frontier();
+        let ic = InterconnectModel::slingshot();
+        let a = CoreId { node: 0, core: 0 };
+        let same_llc = CoreId { node: 0, core: 1 };
+        let same_node = CoreId { node: 0, core: 20 };
+        let other_node = CoreId { node: 1, core: 0 };
+        let bytes = 1 << 20;
+        let t_llc = ic.transfer_time(&spec, a, same_llc, bytes);
+        let t_node = ic.transfer_time(&spec, a, same_node, bytes);
+        let t_net = ic.transfer_time(&spec, a, other_node, bytes);
+        assert!(t_llc < t_node, "{t_llc:?} vs {t_node:?}");
+        assert!(t_node < t_net, "{t_node:?} vs {t_net:?}");
+        assert_eq!(ic.transfer_time(&spec, a, a, bytes), Duration::ZERO);
+    }
+
+    #[test]
+    fn free_model_is_zero_cost() {
+        let spec = NodeSpec::frontier();
+        let ic = InterconnectModel::free();
+        let a = CoreId { node: 0, core: 0 };
+        let b = CoreId { node: 3, core: 9 };
+        assert_eq!(ic.transfer_time(&spec, a, b, 1 << 30), Duration::ZERO);
+    }
+}

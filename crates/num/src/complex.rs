@@ -1,0 +1,369 @@
+//! A minimal `Copy` double-precision complex number.
+//!
+//! The workspace deliberately avoids `num-complex`: state-vector inner loops
+//! touch billions of these values and we want full control over inlining and
+//! layout (`#[repr(C)]`, 16 bytes, no padding), plus zero external deps.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number `re + i*im`.
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor: `c64(a, b)` is `a + i*b`.
+#[inline(always)]
+pub const fn c64(re: f64, im: f64) -> C64 {
+    C64 { re, im }
+}
+
+impl C64 {
+    /// Additive identity.
+    pub const ZERO: C64 = c64(0.0, 0.0);
+    /// Multiplicative identity.
+    pub const ONE: C64 = c64(1.0, 0.0);
+    /// The imaginary unit.
+    pub const I: C64 = c64(0.0, 1.0);
+
+    /// Builds a complex number from real and imaginary parts.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        c64(re, im)
+    }
+
+    /// Builds a purely real complex number.
+    #[inline(always)]
+    pub const fn real(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+
+    /// Builds `r * e^{i theta}` from polar coordinates.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        c64(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `e^{i theta}`, the unit phase used by rotation gates.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        c64(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        c64(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|^2`. This is the measurement probability of an
+    /// amplitude, so it sits on the hottest path of every simulator.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse. Returns NaNs for zero, matching `f64` division.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        c64(self.re / d, -self.im / d)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let theta = self.arg();
+        Self::from_polar(r.sqrt(), theta / 2.0)
+    }
+
+    /// Complex exponential `e^z`.
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Raises to an integer power by repeated squaring.
+    pub fn powi(self, mut n: i32) -> Self {
+        if n == 0 {
+            return Self::ONE;
+        }
+        let mut base = if n < 0 { self.recip() } else { self };
+        n = n.abs();
+        let mut acc = Self::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// `a*b + c` without an intermediate rounding of the additions: used by
+    /// the matmul kernels. (We do not rely on hardware FMA; this is just the
+    /// expanded complex multiply-add.)
+    #[inline(always)]
+    pub fn mul_add(self, b: C64, c: C64) -> Self {
+        c64(
+            self.re * b.re - self.im * b.im + c.re,
+            self.re * b.im + self.im * b.re + c.im,
+        )
+    }
+
+    /// Scales by a real factor.
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        c64(self.re * s, self.im * s)
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// True when `|self - other|` is at most `tol` componentwise.
+    #[inline]
+    pub fn approx_eq(self, other: C64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl fmt::Debug for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline(always)]
+    fn from(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn add(self, rhs: C64) -> C64 {
+        c64(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn sub(self, rhs: C64) -> C64 {
+        c64(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn mul(self, rhs: C64) -> C64 {
+        c64(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    // Complex division IS multiplication by the reciprocal; the lint only
+    // knows scalar arithmetic.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.recip()
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline(always)]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn div(self, rhs: f64) -> C64 {
+        c64(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline(always)]
+    fn neg(self) -> C64 {
+        c64(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: C64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn constructors_and_constants() {
+        assert_eq!(C64::ZERO + C64::ONE, C64::ONE);
+        assert_eq!(C64::I * C64::I, -C64::ONE);
+        assert_eq!(C64::from(3.0), c64(3.0, 0.0));
+        assert_eq!(C64::real(2.5).im, 0.0);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = c64(1.5, -2.5);
+        let w = c64(-0.25, 4.0);
+        assert!((z + w - w).approx_eq(z, 1e-15));
+        assert!((z * w / w).approx_eq(z, 1e-12));
+        assert!((z * z.recip()).approx_eq(C64::ONE, 1e-12));
+        assert!((-z + z).approx_eq(C64::ZERO, 0.0));
+    }
+
+    #[test]
+    fn conjugate_and_modulus() {
+        let z = c64(3.0, 4.0);
+        assert_eq!(z.conj(), c64(3.0, -4.0));
+        assert!(approx_eq(z.abs(), 5.0, 1e-15));
+        assert!(approx_eq(z.norm_sqr(), 25.0, 1e-15));
+        assert!(approx_eq((z * z.conj()).re, 25.0, 1e-15));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = C64::from_polar(2.0, 0.7);
+        assert!(approx_eq(z.abs(), 2.0, 1e-14));
+        assert!(approx_eq(z.arg(), 0.7, 1e-14));
+    }
+
+    #[test]
+    fn cis_is_unit_phase() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            assert!(approx_eq(C64::cis(theta).abs(), 1.0, 1e-14));
+        }
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = c64(-1.0, 0.5);
+        let r = z.sqrt();
+        assert!((r * r).approx_eq(z, 1e-12));
+    }
+
+    #[test]
+    fn exp_of_imag_is_cis() {
+        let t = 1.234;
+        assert!(c64(0.0, t).exp().approx_eq(C64::cis(t), 1e-14));
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = c64(0.9, 0.3);
+        let mut acc = C64::ONE;
+        for k in 0..8 {
+            assert!(z.powi(k).approx_eq(acc, 1e-12));
+            acc *= z;
+        }
+        assert!(z.powi(-2).approx_eq((z * z).recip(), 1e-12));
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let (a, b, c) = (c64(1.0, 2.0), c64(-0.5, 0.25), c64(3.0, -1.0));
+        assert!(a.mul_add(b, c).approx_eq(a * b + c, 1e-15));
+    }
+
+    #[test]
+    fn sum_folds() {
+        let zs = [c64(1.0, 1.0), c64(2.0, -1.0), c64(-3.0, 0.5)];
+        let s: C64 = zs.iter().copied().sum();
+        assert!(s.approx_eq(c64(0.0, 0.5), 1e-15));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", c64(1.0, -2.0)), "1.000000-2.000000i");
+        assert_eq!(format!("{}", c64(1.0, 2.0)), "1.000000+2.000000i");
+    }
+}

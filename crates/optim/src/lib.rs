@@ -1,0 +1,47 @@
+//! Classical optimization for the hybrid loops and the reference solvers.
+//!
+//! Two roles in the reproduction:
+//!
+//! * **Outer-loop optimizers** for variational workloads ([`nelder_mead()`],
+//!   [`spsa()`]) — the classical half of QAOA/DQAOA, minimizing the measured
+//!   energy over circuit parameters.
+//! * **Reference QUBO solvers** ([`anneal()`], [`tabu_search()`]) — the stand-in for
+//!   the D-Wave hybrid annealer the paper uses as the fidelity baseline of
+//!   Fig. 3f, plus exhaustive search (in `qfw-workloads`) for small sizes.
+//!
+//! Everything is deterministic given a seed and generic over the objective
+//! (continuous `Fn(&[f64]) -> f64`, binary `Fn(&[u8]) -> f64`).
+
+pub mod anneal;
+pub mod nelder_mead;
+pub mod spsa;
+pub mod tabu;
+
+pub use anneal::{anneal, AnnealConfig};
+pub use nelder_mead::{nelder_mead, NelderMeadConfig};
+pub use spsa::{spsa, SpsaConfig};
+pub use tabu::{tabu_search, TabuConfig};
+
+/// Outcome of a continuous optimization run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptimOutcome {
+    /// Best parameter vector found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Objective evaluations spent.
+    pub evals: usize,
+    /// Iterations performed.
+    pub iters: usize,
+}
+
+/// Outcome of a binary optimization run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BinaryOutcome {
+    /// Best assignment found.
+    pub x: Vec<u8>,
+    /// Energy at `x`.
+    pub energy: f64,
+    /// Objective evaluations spent.
+    pub evals: usize,
+}

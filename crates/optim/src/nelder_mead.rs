@@ -1,0 +1,192 @@
+//! Nelder–Mead downhill simplex minimization.
+//!
+//! The derivative-free optimizer driving the QAOA outer loop: objective
+//! evaluations are full quantum-circuit executions, so the method's frugal
+//! evaluation count matters more than asymptotic convergence rate.
+
+use crate::OptimOutcome;
+
+/// Nelder–Mead configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NelderMeadConfig {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Stop when the simplex's value spread falls below this.
+    pub f_tol: f64,
+    /// Initial simplex step per coordinate.
+    pub step: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> Self {
+        NelderMeadConfig {
+            max_evals: 400,
+            f_tol: 1e-6,
+            step: 0.3,
+        }
+    }
+}
+
+/// Minimizes `f` starting from `x0`.
+pub fn nelder_mead(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    config: NelderMeadConfig,
+) -> OptimOutcome {
+    let n = x0.len();
+    assert!(n >= 1, "need at least one parameter");
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| {
+        *evals += 1;
+        f(x)
+    };
+
+    // Initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let v0 = eval(x0, &mut evals);
+    simplex.push((x0.to_vec(), v0));
+    for i in 0..n {
+        let mut x = x0.to_vec();
+        x[i] += config.step;
+        let v = eval(&x, &mut evals);
+        simplex.push((x, v));
+    }
+
+    let mut iters = 0usize;
+    while evals < config.max_evals {
+        iters += 1;
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let spread = simplex[n].1 - simplex[0].1;
+        if spread.abs() < config.f_tol {
+            break;
+        }
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in &simplex[..n] {
+            for (c, xi) in centroid.iter_mut().zip(x) {
+                *c += xi / n as f64;
+            }
+        }
+        let worst = simplex[n].clone();
+        let lerp = |t: f64| -> Vec<f64> {
+            centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + t * (c - w))
+                .collect()
+        };
+
+        // Reflection.
+        let xr = lerp(alpha);
+        let fr = eval(&xr, &mut evals);
+        if fr < simplex[0].1 {
+            // Expansion.
+            let xe = lerp(gamma);
+            let fe = eval(&xe, &mut evals);
+            simplex[n] = if fe < fr { (xe, fe) } else { (xr, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (xr, fr);
+        } else {
+            // Contraction (outside if reflection improved on the worst).
+            let xc = if fr < worst.1 { lerp(rho) } else { lerp(-rho) };
+            let fc = eval(&xc, &mut evals);
+            if fc < worst.1.min(fr) {
+                simplex[n] = (xc, fc);
+            } else {
+                // Shrink toward the best vertex.
+                let best = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let x: Vec<f64> = entry
+                        .0
+                        .iter()
+                        .zip(&best)
+                        .map(|(xi, bi)| bi + sigma * (xi - bi))
+                        .collect();
+                    let v = eval(&x, &mut evals);
+                    *entry = (x, v);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let (x, value) = simplex.swap_remove(0);
+    OptimOutcome {
+        x,
+        value,
+        evals,
+        iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let out = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            NelderMeadConfig::default(),
+        );
+        assert!((out.x[0] - 3.0).abs() < 1e-2, "{:?}", out.x);
+        assert!((out.x[1] + 1.0).abs() < 1e-2);
+        assert!(out.value < 1e-3);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_roughly() {
+        let config = NelderMeadConfig {
+            max_evals: 4000,
+            f_tol: 1e-12,
+            step: 0.5,
+        };
+        let out = nelder_mead(
+            |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+            &[-1.2, 1.0],
+            config,
+        );
+        assert!(out.value < 1e-3, "value {}", out.value);
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let out = nelder_mead(|x| (x[0] - 0.7).powi(2), &[5.0], NelderMeadConfig::default());
+        assert!((out.x[0] - 0.7).abs() < 1e-2);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let mut calls = 0usize;
+        let config = NelderMeadConfig {
+            max_evals: 50,
+            ..NelderMeadConfig::default()
+        };
+        let out = nelder_mead(
+            |x| {
+                calls += 1;
+                x.iter().map(|v| v * v).sum()
+            },
+            &[1.0, 1.0, 1.0],
+            config,
+        );
+        assert!(calls <= 50 + 4, "calls {calls}"); // +n+1 slack for a final shrink sweep
+        assert_eq!(out.evals, calls);
+    }
+
+    #[test]
+    fn periodic_objective_finds_a_minimum() {
+        // QAOA-like: periodic landscape; must settle in *a* minimum.
+        let out = nelder_mead(
+            |x| x[0].cos() + (2.0 * x[1]).sin(),
+            &[1.0, 1.0],
+            NelderMeadConfig {
+                max_evals: 800,
+                ..NelderMeadConfig::default()
+            },
+        );
+        assert!(out.value < -1.9, "value {}", out.value);
+    }
+}

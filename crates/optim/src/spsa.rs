@@ -1,0 +1,161 @@
+//! Simultaneous Perturbation Stochastic Approximation (SPSA).
+//!
+//! The standard optimizer for *sampled* variational objectives: it tolerates
+//! shot noise and needs only two objective evaluations per iteration
+//! regardless of dimension, which is why NISQ outer loops favour it.
+
+use crate::OptimOutcome;
+use qfw_num::rng::Rng;
+
+/// SPSA configuration (standard gain sequences `a_k = a/(k+1+A)^alpha`,
+/// `c_k = c/(k+1)^gamma`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpsaConfig {
+    /// Iterations (each costs two evaluations).
+    pub iters: usize,
+    /// Step-size numerator `a`.
+    pub a: f64,
+    /// Perturbation size numerator `c`.
+    pub c: f64,
+    /// Step-size stability constant `A`.
+    pub big_a: f64,
+    /// Step-size decay exponent.
+    pub alpha: f64,
+    /// Perturbation decay exponent.
+    pub gamma: f64,
+    /// RNG seed for the perturbation directions.
+    pub seed: u64,
+}
+
+impl Default for SpsaConfig {
+    fn default() -> Self {
+        SpsaConfig {
+            iters: 150,
+            a: 0.4,
+            c: 0.15,
+            big_a: 10.0,
+            alpha: 0.602,
+            gamma: 0.101,
+            seed: 0x5B5A,
+        }
+    }
+}
+
+/// Minimizes `f` from `x0` with SPSA. Tracks and returns the best iterate
+/// seen (the raw SPSA trajectory is noisy by construction).
+pub fn spsa(mut f: impl FnMut(&[f64]) -> f64, x0: &[f64], config: SpsaConfig) -> OptimOutcome {
+    let n = x0.len();
+    assert!(n >= 1);
+    let mut rng = Rng::seed_from(config.seed);
+    let mut x = x0.to_vec();
+    let mut evals = 0usize;
+    let mut best_x = x.clone();
+    let mut best_v = f(&x);
+    evals += 1;
+
+    for k in 0..config.iters {
+        let ak = config.a / (k as f64 + 1.0 + config.big_a).powf(config.alpha);
+        let ck = config.c / (k as f64 + 1.0).powf(config.gamma);
+        // Rademacher perturbation direction.
+        let delta: Vec<f64> = (0..n)
+            .map(|_| if rng.chance(0.5) { 1.0 } else { -1.0 })
+            .collect();
+        let xp: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi + ck * d).collect();
+        let xm: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi - ck * d).collect();
+        let fp = f(&xp);
+        let fm = f(&xm);
+        evals += 2;
+        let g0 = (fp - fm) / (2.0 * ck);
+        for (xi, d) in x.iter_mut().zip(&delta) {
+            *xi -= ak * g0 * d; // d_i = ±1 so 1/d_i == d_i
+        }
+        let v = fp.min(fm);
+        if v < best_v {
+            best_v = v;
+            best_x = if fp < fm { xp } else { xm };
+        }
+    }
+    // Final evaluation at the settled point.
+    let v_final = f(&x);
+    evals += 1;
+    if v_final < best_v {
+        best_v = v_final;
+        best_x = x;
+    }
+    OptimOutcome {
+        x: best_x,
+        value: best_v,
+        evals,
+        iters: config.iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let out = spsa(
+            |x| (x[0] - 2.0).powi(2) + (x[1] + 0.5).powi(2),
+            &[0.0, 0.0],
+            SpsaConfig {
+                iters: 400,
+                ..SpsaConfig::default()
+            },
+        );
+        assert!(out.value < 0.05, "value {}", out.value);
+    }
+
+    #[test]
+    fn robust_to_noise() {
+        // Noisy bowl: SPSA should still find a near-minimum.
+        let mut rng = Rng::seed_from(1);
+        let out = spsa(
+            move |x| x.iter().map(|v| v * v).sum::<f64>() + 0.05 * rng.normal(),
+            &[1.5, -1.0, 0.5],
+            SpsaConfig {
+                iters: 500,
+                ..SpsaConfig::default()
+            },
+        );
+        assert!(out.x.iter().map(|v| v * v).sum::<f64>() < 0.3, "{:?}", out.x);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        // 2-D: the perturbation direction actually matters (in 1-D the
+        // Rademacher sign cancels out of the update).
+        let run = |seed| {
+            spsa(
+                |x| (x[0] - 1.0).powi(2) + 3.0 * (x[1] - 0.2).powi(2),
+                &[0.0, 0.0],
+                SpsaConfig {
+                    iters: 20,
+                    seed,
+                    ..SpsaConfig::default()
+                },
+            )
+        };
+        assert_eq!(run(3).x, run(3).x);
+        assert_ne!(run(3).x, run(4).x);
+    }
+
+    #[test]
+    fn two_evals_per_iteration() {
+        let mut calls = 0usize;
+        let config = SpsaConfig {
+            iters: 10,
+            ..SpsaConfig::default()
+        };
+        spsa(
+            |x| {
+                calls += 1;
+                x[0] * x[0]
+            },
+            &[1.0],
+            config,
+        );
+        assert_eq!(calls, 2 * 10 + 2); // initial + per-iter pair + final
+    }
+}

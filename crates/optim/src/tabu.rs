@@ -1,0 +1,139 @@
+//! Tabu search over binary assignments — the second classical reference
+//! solver, and a harder-to-fool baseline than annealing on rugged
+//! landscapes (it is also one of the classical heuristics the D-Wave hybrid
+//! solver portfolio runs internally).
+
+use crate::BinaryOutcome;
+use qfw_num::rng::Rng;
+
+/// Tabu search configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TabuConfig {
+    /// Local-search iterations (each scans all single-bit flips).
+    pub iters: usize,
+    /// How many iterations a flipped bit stays tabu.
+    pub tenure: usize,
+    /// Independent restarts.
+    pub restarts: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TabuConfig {
+    fn default() -> Self {
+        TabuConfig {
+            iters: 500,
+            tenure: 8,
+            restarts: 3,
+            seed: 0x7AB0,
+        }
+    }
+}
+
+/// Minimizes `energy` over `{0,1}^n` with single-flip tabu search and an
+/// aspiration criterion (a tabu move is allowed when it beats the best).
+pub fn tabu_search(
+    n: usize,
+    mut energy: impl FnMut(&[u8]) -> f64,
+    config: TabuConfig,
+) -> BinaryOutcome {
+    assert!(n >= 1);
+    let mut rng = Rng::seed_from(config.seed);
+    let mut evals = 0usize;
+    let mut best: Option<(Vec<u8>, f64)> = None;
+
+    for _ in 0..config.restarts {
+        let mut x: Vec<u8> = (0..n).map(|_| u8::from(rng.chance(0.5))).collect();
+        let mut e = energy(&x);
+        evals += 1;
+        let mut tabu_until = vec![0usize; n];
+        if best.as_ref().map_or(true, |(_, be)| e < *be) {
+            best = Some((x.clone(), e));
+        }
+        for iter in 1..=config.iters {
+            // Scan the single-flip neighbourhood.
+            let mut chosen: Option<(usize, f64)> = None;
+            let best_e = best.as_ref().map(|(_, be)| *be).unwrap();
+            for i in 0..n {
+                x[i] ^= 1;
+                let cand = energy(&x);
+                evals += 1;
+                x[i] ^= 1;
+                let is_tabu = tabu_until[i] > iter;
+                let aspire = cand < best_e;
+                if is_tabu && !aspire {
+                    continue;
+                }
+                if chosen.map_or(true, |(_, ce)| cand < ce) {
+                    chosen = Some((i, cand));
+                }
+            }
+            let Some((i, cand)) = chosen else { break };
+            x[i] ^= 1;
+            e = cand;
+            tabu_until[i] = iter + config.tenure;
+            if e < best.as_ref().unwrap().1 {
+                best = Some((x.clone(), e));
+            }
+        }
+    }
+    let (x, energy) = best.expect("at least one restart");
+    BinaryOutcome { x, energy, evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfw_workloads::Qubo;
+
+    fn fast() -> TabuConfig {
+        TabuConfig {
+            iters: 150,
+            ..TabuConfig::default()
+        }
+    }
+
+    #[test]
+    fn solves_small_random_qubos_exactly() {
+        for seed in 0..5 {
+            let q = Qubo::random(10, 0.8, seed);
+            let (_, want) = q.brute_force_min();
+            let out = tabu_search(10, |x| q.energy(x), fast());
+            assert!(
+                (out.energy - want).abs() < 1e-9,
+                "seed {seed}: tabu {} vs exact {want}",
+                out.energy
+            );
+        }
+    }
+
+    #[test]
+    fn matches_annealing_on_metamaterial() {
+        let q = Qubo::metamaterial(16, 3, 5);
+        let t = tabu_search(16, |x| q.energy(x), fast());
+        let a = crate::anneal(
+            16,
+            |x| q.energy(x),
+            crate::AnnealConfig {
+                sweeps: 6000,
+                ..crate::AnnealConfig::default()
+            },
+        );
+        assert!((t.energy - a.energy).abs() < 1e-6, "{} vs {}", t.energy, a.energy);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let q = Qubo::random(9, 1.0, 8);
+        let a = tabu_search(9, |x| q.energy(x), fast());
+        let b = tabu_search(9, |x| q.energy(x), fast());
+        assert_eq!(a.x, b.x);
+    }
+
+    #[test]
+    fn energy_consistent_with_assignment() {
+        let q = Qubo::random(11, 0.6, 4);
+        let out = tabu_search(11, |x| q.energy(x), fast());
+        assert!((q.energy(&out.x) - out.energy).abs() < 1e-12);
+    }
+}

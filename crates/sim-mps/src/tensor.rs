@@ -1,0 +1,194 @@
+//! The 3-index site tensor of an MPS and its contraction helpers.
+
+use qfw_num::complex::C64;
+use qfw_num::Matrix;
+
+/// A rank-3 tensor `T[l, p, r]` with left bond `dl`, physical dimension 2,
+/// and right bond `dr`, stored row-major as `data[(l*2 + p)*dr + r]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor3 {
+    /// Left bond dimension.
+    pub dl: usize,
+    /// Right bond dimension.
+    pub dr: usize,
+    /// Row-major `(l, p, r)` data, length `dl * 2 * dr`.
+    pub data: Vec<C64>,
+}
+
+impl Tensor3 {
+    /// Zero tensor of the given bond dimensions.
+    pub fn zeros(dl: usize, dr: usize) -> Self {
+        Tensor3 {
+            dl,
+            dr,
+            data: vec![C64::ZERO; dl * 2 * dr],
+        }
+    }
+
+    /// The product-state tensor `|b>` with trivial bonds.
+    pub fn basis(b: u8) -> Self {
+        let mut t = Self::zeros(1, 1);
+        t.set(0, b as usize, 0, C64::ONE);
+        t
+    }
+
+    /// Element accessor.
+    #[inline(always)]
+    pub fn get(&self, l: usize, p: usize, r: usize) -> C64 {
+        self.data[(l * 2 + p) * self.dr + r]
+    }
+
+    /// Element mutator.
+    #[inline(always)]
+    pub fn set(&mut self, l: usize, p: usize, r: usize, v: C64) {
+        self.data[(l * 2 + p) * self.dr + r] = v;
+    }
+
+    /// Applies a single-qubit gate to the physical index:
+    /// `T'[l, p, r] = sum_q U[p, q] T[l, q, r]`.
+    pub fn apply_phys(&mut self, u: &Matrix) {
+        debug_assert_eq!(u.rows(), 2);
+        for l in 0..self.dl {
+            for r in 0..self.dr {
+                let t0 = self.get(l, 0, r);
+                let t1 = self.get(l, 1, r);
+                self.set(l, 0, r, u[(0, 0)] * t0 + u[(0, 1)] * t1);
+                self.set(l, 1, r, u[(1, 0)] * t0 + u[(1, 1)] * t1);
+            }
+        }
+    }
+
+    /// Reshapes to the `(dl*2, dr)` matrix grouping `(l, p)` as rows — the
+    /// layout used to left-orthogonalize a site.
+    pub fn to_matrix_left(&self) -> Matrix {
+        Matrix::from_rows(self.dl * 2, self.dr, &self.data)
+    }
+
+    /// Reshapes to the `(dl, 2*dr)` matrix grouping `(p, r)` as columns —
+    /// the layout used to right-orthogonalize a site.
+    pub fn to_matrix_right(&self) -> Matrix {
+        // data already has (l, p, r) order = row l, column p*dr+r.
+        Matrix::from_rows(self.dl, 2 * self.dr, &self.data)
+    }
+
+    /// Inverse of [`to_matrix_left`](Self::to_matrix_left).
+    pub fn from_matrix_left(m: &Matrix, dl: usize) -> Self {
+        assert_eq!(m.rows(), dl * 2);
+        Tensor3 {
+            dl,
+            dr: m.cols(),
+            data: m.as_slice().to_vec(),
+        }
+    }
+
+    /// Inverse of [`to_matrix_right`](Self::to_matrix_right).
+    pub fn from_matrix_right(m: &Matrix, dr: usize) -> Self {
+        assert_eq!(m.cols(), 2 * dr);
+        Tensor3 {
+            dl: m.rows(),
+            dr,
+            data: m.as_slice().to_vec(),
+        }
+    }
+
+    /// Contracts two adjacent sites over their shared bond into the
+    /// `theta[(l, p1), (p2, r)]` matrix of shape `(dl*2, 2*dr)` — `p1` is
+    /// this site's physical index, `p2` the right neighbour's.
+    pub fn contract_pair(&self, right: &Tensor3) -> Matrix {
+        assert_eq!(self.dr, right.dl, "bond mismatch between adjacent sites");
+        let mut theta = Matrix::zeros(self.dl * 2, 2 * right.dr);
+        for l in 0..self.dl {
+            for p1 in 0..2 {
+                let row = l * 2 + p1;
+                for m in 0..self.dr {
+                    let a = self.get(l, p1, m);
+                    if a == C64::ZERO {
+                        continue;
+                    }
+                    for p2 in 0..2 {
+                        for r in 0..right.dr {
+                            let col = p2 * right.dr + r;
+                            theta[(row, col)] = a.mul_add(right.get(m, p2, r), theta[(row, col)]);
+                        }
+                    }
+                }
+            }
+        }
+        theta
+    }
+
+    /// Frobenius norm of the tensor.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Scales all entries.
+    pub fn scale(&mut self, s: f64) {
+        for z in &mut self.data {
+            *z = z.scale(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfw_circuit::Gate;
+    use qfw_num::complex::c64;
+
+    #[test]
+    fn basis_tensor_shape() {
+        let t = Tensor3::basis(1);
+        assert_eq!((t.dl, t.dr), (1, 1));
+        assert_eq!(t.get(0, 1, 0), C64::ONE);
+        assert_eq!(t.get(0, 0, 0), C64::ZERO);
+    }
+
+    #[test]
+    fn apply_phys_hadamard() {
+        let mut t = Tensor3::basis(0);
+        t.apply_phys(&Gate::H(0).matrix());
+        let s = 1.0 / 2.0_f64.sqrt();
+        assert!(t.get(0, 0, 0).approx_eq(c64(s, 0.0), 1e-12));
+        assert!(t.get(0, 1, 0).approx_eq(c64(s, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn matrix_round_trips() {
+        let mut t = Tensor3::zeros(2, 3);
+        let mut v = 1.0;
+        for l in 0..2 {
+            for p in 0..2 {
+                for r in 0..3 {
+                    t.set(l, p, r, c64(v, -v));
+                    v += 1.0;
+                }
+            }
+        }
+        let left = Tensor3::from_matrix_left(&t.to_matrix_left(), 2);
+        assert_eq!(left, t);
+        let right = Tensor3::from_matrix_right(&t.to_matrix_right(), 3);
+        assert_eq!(right, t);
+    }
+
+    #[test]
+    fn contract_pair_product_state() {
+        // |0> ⊗ |1> => theta has a single 1 at (p1=0, p2=1).
+        let a = Tensor3::basis(0);
+        let b = Tensor3::basis(1);
+        let theta = a.contract_pair(&b);
+        assert_eq!(theta.rows(), 2);
+        assert_eq!(theta.cols(), 2);
+        assert_eq!(theta[(0, 1)], C64::ONE);
+        assert_eq!(theta[(0, 0)], C64::ZERO);
+        assert_eq!(theta[(1, 0)], C64::ZERO);
+    }
+
+    #[test]
+    fn norm_and_scale() {
+        let mut t = Tensor3::basis(0);
+        assert!((t.norm() - 1.0).abs() < 1e-12);
+        t.scale(2.0);
+        assert!((t.norm() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,15 @@
+//! CHP stabilizer tableau simulator (Aaronson–Gottesman) for Clifford
+//! circuits.
+//!
+//! This is the engine behind the fast path of the Aer-`automatic` analog:
+//! Clifford circuits — notably the GHZ benchmark — simulate in `O(n^2)` per
+//! measurement instead of `O(2^n)`, so `automatic` routes them here after
+//! [`qfw_circuit::analysis::is_clifford`] says yes.
+//!
+//! The tableau tracks `n` destabilizer and `n` stabilizer generators as
+//! bit-packed X/Z rows plus a sign bit, with the standard update rules for
+//! H, S, and CX and the `rowsum` phase bookkeeping for measurement.
+
+pub mod tableau;
+
+pub use tableau::{StabOutcome, StabSimulator, Tableau};

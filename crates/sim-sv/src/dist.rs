@@ -1,0 +1,492 @@
+//! Rank-distributed state-vector simulation (the "MPI" sub-backend).
+//!
+//! The `2^n` amplitudes are block-partitioned across `R = 2^r` ranks: rank
+//! `k` holds global indices `k * 2^L .. (k+1) * 2^L` with `L = n - r` local
+//! bits. Gates on the low `L` qubits are embarrassingly local; a gate
+//! touching a *high* qubit pairs each rank with the partner whose rank bits
+//! differ in that qubit and the two exchange their slices — the classic
+//! distributed-statevector communication pattern whose cost grows with rank
+//! count and is what eventually caps strong scaling (the paper's TFIM-28
+//! process sweep).
+//!
+//! Gates of arity ≥ 2 whose operands are all high are routed down with
+//! distributed SWAPs onto free local qubits, applied locally, and swapped
+//! back.
+
+use crate::engine::SvOutcome;
+use crate::state::{index_to_bitstring, StateVector};
+use qfw_circuit::{Circuit, Gate, Op};
+use qfw_hpc::RankCtx;
+use qfw_num::complex::C64;
+use qfw_num::rng::{CdfSampler, Rng};
+use std::collections::BTreeMap;
+
+/// A rank's shard of a distributed state vector.
+pub struct DistStateVector<'a> {
+    ctx: &'a mut RankCtx,
+    n: usize,
+    local_bits: usize,
+    local: StateVector,
+}
+
+impl<'a> DistStateVector<'a> {
+    /// Initializes `|0...0>` distributed over the communicator world.
+    ///
+    /// # Panics
+    /// Panics unless the world size is a power of two no larger than `2^n`
+    /// (with at least one local qubit left for swap routing).
+    pub fn zero(ctx: &'a mut RankCtx, n: usize) -> Self {
+        let size = ctx.size();
+        assert!(size.is_power_of_two(), "world size must be a power of two");
+        let r = size.trailing_zeros() as usize;
+        assert!(
+            n > r,
+            "need at least one local qubit: n={n} ranks=2^{r}"
+        );
+        let local_bits = n - r;
+        let mut local = StateVector::zero(local_bits);
+        if ctx.rank() != 0 {
+            // Rank 0 holds global index 0; all other shards start as zero.
+            let amps = local.clone().into_amps();
+            let mut zeroed = amps;
+            zeroed[0] = C64::ZERO;
+            local = StateVector::from_amps(zeroed);
+        }
+        DistStateVector {
+            ctx,
+            n,
+            local_bits,
+            local,
+        }
+    }
+
+    /// Total number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of locally-stored qubits.
+    pub fn local_bits(&self) -> usize {
+        self.local_bits
+    }
+
+    /// World barrier through the owned communicator endpoint — lets
+    /// chunk-synchronizing engines (the Aer-MPI analog) fence between gates
+    /// while this shard borrows the rank context.
+    pub fn barrier(&mut self) {
+        self.ctx.barrier();
+    }
+
+    /// Global squared norm (collective; every rank gets the value).
+    pub fn norm_sqr(&mut self) -> f64 {
+        let local = self.local.norm_sqr();
+        self.ctx.allreduce_sum(local)
+    }
+
+    /// Applies one gate (collective: every rank must call with the same gate).
+    pub fn apply(&mut self, gate: &Gate) {
+        let l = self.local_bits;
+        let qs = gate.qubits();
+        let high: Vec<usize> = qs.iter().copied().filter(|&q| q >= l).collect();
+        if high.is_empty() {
+            self.local.apply(gate, false);
+            return;
+        }
+        match (qs.len(), high.len()) {
+            (1, 1) => self.apply_1q_high(qs[0], gate),
+            (2, 1) => self.apply_2q_mixed(gate),
+            _ => self.apply_via_swaps(gate),
+        }
+    }
+
+    /// Runs the unitary part of a circuit.
+    pub fn run_unitary(&mut self, circuit: &Circuit) {
+        assert_eq!(circuit.num_qubits(), self.n, "register size mismatch");
+        for op in circuit.ops() {
+            if let Op::Gate(g) = op {
+                self.apply(g);
+            }
+        }
+    }
+
+    /// Single-qubit gate on a high qubit: full-slice pair exchange.
+    fn apply_1q_high(&mut self, q: usize, gate: &Gate) {
+        let m = gate.matrix();
+        let hb = self.high_bit(q);
+        let partner = self.partner(q);
+        let mine = self.local.amps().to_vec();
+        let theirs: Vec<C64> = self.ctx.exchange(partner, mine.clone());
+        let (row, other) = (hb, 1 - hb);
+        let (umm, umo) = (m[(row, row)], m[(row, other)]);
+        let new_amps: Vec<C64> = mine
+            .iter()
+            .zip(theirs.iter())
+            .map(|(a, b)| umm * *a + umo * *b)
+            .collect();
+        self.local = StateVector::from_amps(new_amps);
+    }
+
+    /// Two-qubit gate with exactly one high operand.
+    fn apply_2q_mixed(&mut self, gate: &Gate) {
+        let l = self.local_bits;
+        let qs = gate.qubits();
+        let m = gate.matrix();
+        let (low, high) = if qs[0] < l { (qs[0], qs[1]) } else { (qs[1], qs[0]) };
+        let hb = self.high_bit(high);
+        let partner = self.partner(high);
+        let mine = self.local.amps().to_vec();
+        let theirs: Vec<C64> = self.ctx.exchange(partner, mine.clone());
+
+        // For gate-local index g: bit j of g is the value of qs[j].
+        let bit_of = |g: usize, operand: usize| -> usize {
+            let j = if qs[0] == operand { 0 } else { 1 };
+            (g >> j) & 1
+        };
+
+        let low_mask = 1usize << low;
+        let len = mine.len();
+        let mut out = vec![C64::ZERO; len];
+        for i0 in 0..len {
+            if i0 & low_mask != 0 {
+                continue;
+            }
+            let i1 = i0 | low_mask;
+            // Column amplitudes for all four (low, high) combinations.
+            let mut v = [C64::ZERO; 4];
+            for (g, slot) in v.iter_mut().enumerate() {
+                let lb = bit_of(g, low);
+                let hbit = bit_of(g, high);
+                let idx = if lb == 0 { i0 } else { i1 };
+                *slot = if hbit == hb { mine[idx] } else { theirs[idx] };
+            }
+            // Rows we own: high bit equals our rank bit.
+            for (out_idx, lb) in [(i0, 0usize), (i1, 1usize)] {
+                let mut row = 0usize;
+                if qs[0] == low {
+                    row |= lb;
+                    row |= hb << 1;
+                } else {
+                    row |= hb;
+                    row |= lb << 1;
+                }
+                let mut acc = C64::ZERO;
+                for (col, &x) in v.iter().enumerate() {
+                    acc = m[(row, col)].mul_add(x, acc);
+                }
+                out[out_idx] = acc;
+            }
+        }
+        self.local = StateVector::from_amps(out);
+    }
+
+    /// General case: swap every high operand down to a free local qubit,
+    /// apply locally, swap back.
+    fn apply_via_swaps(&mut self, gate: &Gate) {
+        let l = self.local_bits;
+        let qs = gate.qubits();
+        // Free local qubits: not operands of the gate.
+        let mut free: Vec<usize> = (0..l).filter(|q| !qs.contains(q)).collect();
+        let mut mapping: Vec<(usize, usize)> = Vec::new(); // (high, local_home)
+        for &q in qs.iter().filter(|&&q| q >= l) {
+            let home = free.pop().unwrap_or_else(|| {
+                panic!(
+                    "not enough free local qubits to route a {}-qubit gate \
+                     with {} local bits",
+                    qs.len(),
+                    l
+                )
+            });
+            self.apply_2q_mixed(&Gate::Swap(home, q));
+            mapping.push((q, home));
+        }
+        let remapped = gate.map_qubits(|q| {
+            mapping
+                .iter()
+                .find(|&&(high, _)| high == q)
+                .map(|&(_, home)| home)
+                .unwrap_or(q)
+        });
+        self.local.apply(&remapped, false);
+        for &(q, home) in mapping.iter().rev() {
+            self.apply_2q_mixed(&Gate::Swap(home, q));
+        }
+    }
+
+    #[inline]
+    fn high_bit(&self, q: usize) -> usize {
+        (self.ctx.rank() >> (q - self.local_bits)) & 1
+    }
+
+    #[inline]
+    fn partner(&self, q: usize) -> usize {
+        self.ctx.rank() ^ (1 << (q - self.local_bits))
+    }
+
+    /// Gathers the full state vector at rank 0 (testing/diagnostics only —
+    /// defeats the point of distribution at scale).
+    pub fn gather_full(&mut self) -> Option<StateVector> {
+        let mine = self.local.amps().to_vec();
+        self.ctx.gather(0, mine).map(|blocks| {
+            let amps: Vec<C64> = blocks.into_iter().flatten().collect();
+            StateVector::from_amps(amps)
+        })
+    }
+
+    /// Expectation of a diagonal observable over the *global* index
+    /// (collective; every rank receives the value).
+    pub fn expectation_diagonal(&mut self, f: impl Fn(usize) -> f64) -> f64 {
+        let offset = self.ctx.rank() << self.local_bits;
+        let local: f64 = self
+            .local
+            .amps()
+            .iter()
+            .enumerate()
+            .map(|(i, a)| f(offset | i) * a.norm_sqr())
+            .sum();
+        self.ctx.allreduce_sum(local)
+    }
+
+    /// Samples `shots` measurement outcomes from the distributed
+    /// distribution. Returns the counts map at rank 0, `None` elsewhere.
+    ///
+    /// Rank 0 draws a multinomial split of the shots over rank blocks from
+    /// the gathered block masses, each rank then samples its share locally,
+    /// and rank 0 merges.
+    pub fn sample_counts(&mut self, shots: usize, seed: u64) -> Option<BTreeMap<String, usize>> {
+        let local_probs: Vec<f64> = self.local.amps().iter().map(|a| a.norm_sqr()).collect();
+        let block_mass: f64 = local_probs.iter().sum();
+        let masses = self.ctx.gather(0, block_mass);
+
+        // Rank 0 splits the shots across blocks.
+        let split: Vec<u64> = if let Some(masses) = masses {
+            let mut rng = Rng::seed_from(seed);
+            let mut split = vec![0u64; masses.len()];
+            let sampler = CdfSampler::new(&masses);
+            for _ in 0..shots {
+                split[sampler.sample(&mut rng)] += 1;
+            }
+            split
+        } else {
+            Vec::new()
+        };
+        let my_shots = self.ctx.scatter(
+            0,
+            if self.ctx.rank() == 0 {
+                Some(split)
+            } else {
+                None
+            },
+        );
+
+        // Each rank draws its local share as global indices.
+        let offset = (self.ctx.rank() << self.local_bits) as u64;
+        let mut rng = Rng::seed_from(seed ^ (self.ctx.rank() as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let samples: Vec<u64> = if my_shots > 0 {
+            let sampler = CdfSampler::new(&local_probs);
+            (0..my_shots)
+                .map(|_| offset | sampler.sample(&mut rng) as u64)
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        self.ctx.gather(0, samples).map(|all| {
+            let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+            for idx in all.into_iter().flatten() {
+                *counts
+                    .entry(index_to_bitstring(idx as usize, self.n))
+                    .or_insert(0) += 1;
+            }
+            counts
+        })
+    }
+}
+
+/// Convenience driver used by the QFw backend adapter: every rank executes
+/// the circuit; rank 0 returns the outcome.
+pub fn run_distributed(
+    ctx: &mut RankCtx,
+    circuit: &Circuit,
+    shots: usize,
+    seed: u64,
+) -> Option<SvOutcome> {
+    let sw = qfw_hpc::Stopwatch::start();
+    let mut dsv = DistStateVector::zero(ctx, circuit.num_qubits());
+    dsv.run_unitary(circuit);
+    let gate_time = sw.elapsed();
+    let sw = qfw_hpc::Stopwatch::start();
+    let counts = dsv.sample_counts(shots, seed);
+    let sample_time = sw.elapsed();
+    counts.map(|counts| SvOutcome {
+        counts,
+        gate_time,
+        sample_time,
+        gates_applied: circuit.num_gates(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SvSimulator;
+    use qfw_hpc::Communicator;
+    use qfw_num::approx_eq;
+    use qfw_num::rng::Rng;
+    use std::sync::Arc;
+    use std::thread;
+
+    /// Runs `f` on an `n`-rank test world, returning rank-ordered results.
+    fn run_world<R: Send + 'static>(
+        ranks: usize,
+        f: impl Fn(RankCtx) -> R + Send + Sync + 'static,
+    ) -> Vec<R> {
+        let f = Arc::new(f);
+        let handles: Vec<_> = Communicator::test_world(ranks)
+            .into_iter()
+            .map(|ctx| {
+                let f = Arc::clone(&f);
+                thread::spawn(move || f(ctx))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    /// Distributed execution of `circuit` must reproduce the serial state.
+    fn check_matches_serial(circuit: Circuit, ranks: usize) {
+        let reference = SvSimulator::plain().statevector(&circuit);
+        let circuit = Arc::new(circuit);
+        let results = run_world(ranks, move |mut ctx| {
+            let mut dsv = DistStateVector::zero(&mut ctx, circuit.num_qubits());
+            dsv.run_unitary(&circuit);
+            dsv.gather_full()
+        });
+        let full = results[0].as_ref().expect("rank 0 gathers");
+        let fid = reference.fidelity(full);
+        // Compare amplitudes exactly, not just fidelity, to catch phase bugs.
+        for (a, b) in reference.amps().iter().zip(full.amps().iter()) {
+            assert!(a.approx_eq(*b, 1e-9), "amplitude mismatch: {a} vs {b}");
+        }
+        assert!(approx_eq(fid, 1.0, 1e-9));
+    }
+
+    #[test]
+    fn local_gates_only() {
+        let mut qc = Circuit::new(4);
+        qc.h(0).t(1).cx(0, 1).rzz(0, 1, 0.4);
+        check_matches_serial(qc, 4); // qubits 0,1 local (L=2)
+    }
+
+    #[test]
+    fn single_qubit_gate_on_high_qubit() {
+        let mut qc = Circuit::new(4);
+        qc.h(3).t(3).h(2).rx(2, 0.7);
+        check_matches_serial(qc, 4); // qubits 2,3 are rank bits
+    }
+
+    #[test]
+    fn two_qubit_mixed_low_high() {
+        let mut qc = Circuit::new(4);
+        qc.h(0).cx(0, 3).rzz(1, 2, 0.9).cry(3, 0, 0.5);
+        check_matches_serial(qc, 4);
+    }
+
+    #[test]
+    fn two_qubit_both_high() {
+        let mut qc = Circuit::new(5);
+        qc.h(3).cx(3, 4).rzz(3, 4, -0.6).swap(3, 4);
+        check_matches_serial(qc, 8); // L=2, qubits 2,3,4 high
+    }
+
+    #[test]
+    fn three_qubit_gate_spanning_ranks() {
+        let mut qc = Circuit::new(5);
+        qc.h(0).h(3).ccx(0, 3, 4).ccx(4, 3, 1);
+        check_matches_serial(qc, 4);
+    }
+
+    #[test]
+    fn ghz_across_ranks() {
+        for n in [4usize, 6] {
+            let mut qc = Circuit::new(n);
+            qc.h(0);
+            for q in 0..n - 1 {
+                qc.cx(q, q + 1);
+            }
+            check_matches_serial(qc, 4);
+        }
+    }
+
+    #[test]
+    fn deep_random_circuit_two_ranks() {
+        let mut rng = Rng::seed_from(31);
+        let n = 6;
+        let mut qc = Circuit::new(n);
+        for _ in 0..60 {
+            let q = rng.index(n);
+            let p = (q + 1 + rng.index(n - 1)) % n;
+            match rng.index(6) {
+                0 => qc.h(q),
+                1 => qc.rx(q, rng.uniform(-3.0, 3.0)),
+                2 => qc.t(q),
+                3 => qc.cx(q, p),
+                4 => qc.rzz(q, p, rng.uniform(-1.0, 1.0)),
+                _ => qc.swap(q, p),
+            };
+        }
+        check_matches_serial(qc, 2);
+    }
+
+    #[test]
+    fn norm_is_one_collectively() {
+        let results = run_world(4, |mut ctx| {
+            let mut qc = Circuit::new(4);
+            qc.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+            let mut dsv = DistStateVector::zero(&mut ctx, 4);
+            dsv.run_unitary(&qc);
+            dsv.norm_sqr()
+        });
+        assert!(results.iter().all(|&x| approx_eq(x, 1.0, 1e-10)));
+    }
+
+    #[test]
+    fn distributed_expectation_matches_serial() {
+        let mut qc = Circuit::new(4);
+        qc.h(0).cx(0, 2).rzz(1, 3, 0.8).rx(3, 0.3);
+        let reference = SvSimulator::plain()
+            .statevector(&qc)
+            .expectation_diagonal(|i| i as f64, false);
+        let qc = Arc::new(qc);
+        let results = run_world(4, move |mut ctx| {
+            let mut dsv = DistStateVector::zero(&mut ctx, 4);
+            dsv.run_unitary(&qc);
+            dsv.expectation_diagonal(|i| i as f64)
+        });
+        assert!(results.iter().all(|&e| approx_eq(e, reference, 1e-9)));
+    }
+
+    #[test]
+    fn distributed_sampling_ghz_statistics() {
+        let results = run_world(4, |mut ctx| {
+            let mut qc = Circuit::new(5);
+            qc.h(0);
+            for q in 0..4 {
+                qc.cx(q, q + 1);
+            }
+            run_distributed(&mut ctx, &qc, 1000, 99)
+        });
+        let outcome = results[0].as_ref().expect("rank 0 outcome");
+        assert!(results[1..].iter().all(Option::is_none));
+        let counts = &outcome.counts;
+        assert_eq!(counts.values().sum::<usize>(), 1000);
+        assert_eq!(counts.len(), 2);
+        let c0 = counts["00000"];
+        assert!((350..650).contains(&c0), "c0={c0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn world_size_must_be_power_of_two() {
+        let mut ctxs = Communicator::test_world(3);
+        let _ = DistStateVector::zero(&mut ctxs[0], 4);
+    }
+}

@@ -1,0 +1,349 @@
+//! The single-process engine façade: configuration, execution, outcomes.
+
+use crate::fusion::fuse_1q_runs;
+use crate::state::StateVector;
+use qfw_circuit::{Circuit, Op};
+use qfw_num::rng::Rng;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Intra-process threading mode (NWQ-Sim's CPU vs OpenMP sub-backends).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Threading {
+    /// Single-threaded sweeps.
+    Serial,
+    /// Rayon-parallel sweeps over amplitude groups.
+    Rayon,
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SvConfig {
+    /// Threading mode.
+    pub threading: Threading,
+    /// Enable the 1q gate-fusion pre-pass.
+    pub fusion: bool,
+}
+
+impl Default for SvConfig {
+    fn default() -> Self {
+        SvConfig {
+            threading: Threading::Serial,
+            fusion: true,
+        }
+    }
+}
+
+/// Result of one circuit execution.
+#[derive(Clone, Debug)]
+pub struct SvOutcome {
+    /// Measured bitstring counts (Qiskit order: qubit n-1 leftmost).
+    pub counts: BTreeMap<String, usize>,
+    /// Wall time spent applying gates (excludes sampling).
+    pub gate_time: Duration,
+    /// Wall time spent sampling shots.
+    pub sample_time: Duration,
+    /// Number of gates actually applied (after fusion).
+    pub gates_applied: usize,
+}
+
+/// The state-vector simulator engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SvSimulator {
+    /// Engine configuration.
+    pub config: SvConfig,
+}
+
+impl SvSimulator {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: SvConfig) -> Self {
+        SvSimulator { config }
+    }
+
+    /// Serial engine without fusion (reference behaviour).
+    pub fn plain() -> Self {
+        SvSimulator {
+            config: SvConfig {
+                threading: Threading::Serial,
+                fusion: false,
+            },
+        }
+    }
+
+    /// Executes a circuit for `shots` samples.
+    ///
+    /// Terminal measurements are served by sampling the final state (the
+    /// standard fast path). A mid-circuit measurement instead collapses the
+    /// state projectively once, i.e. the run is a single stochastic
+    /// trajectory — sufficient for every workload in the paper, all of which
+    /// measure only at the end.
+    pub fn run(&self, circuit: &Circuit, shots: usize, seed: u64) -> SvOutcome {
+        let parallel = self.config.threading == Threading::Rayon;
+        let prepared;
+        let circuit = if self.config.fusion {
+            prepared = fuse_1q_runs(circuit);
+            &prepared
+        } else {
+            circuit
+        };
+
+        let mut rng = Rng::seed_from(seed);
+        let mut sv = StateVector::zero(circuit.num_qubits());
+        let sw = qfw_hpc::Stopwatch::start();
+        let mut gates_applied = 0usize;
+        let mut measured: Vec<(usize, usize)> = Vec::new(); // (qubit, clbit)
+        let mut collapsed_bits: BTreeMap<usize, u8> = BTreeMap::new();
+
+        // A measurement is terminal (servable by final-state sampling) iff
+        // no later gate touches the measured qubit. Gate fusion may emit
+        // flushed blocks between measurements of *other* qubits, so this
+        // must be decided per qubit, not by position in the op list.
+        let mut last_gate_touch = vec![0usize; circuit.num_qubits().max(1)];
+        for (pos, op) in circuit.ops().iter().enumerate() {
+            if let Op::Gate(g) = op {
+                for q in g.qubits() {
+                    last_gate_touch[q] = pos;
+                }
+            }
+        }
+
+        for (pos, op) in circuit.ops().iter().enumerate() {
+            match op {
+                Op::Gate(g) => {
+                    sv.apply(g, parallel);
+                    gates_applied += 1;
+                }
+                Op::Measure { qubit, clbit } => {
+                    if pos > last_gate_touch[*qubit] {
+                        // Terminal measurement: defer to sampling.
+                        measured.push((*qubit, *clbit));
+                    } else {
+                        // Mid-circuit: collapse one trajectory.
+                        let bit = sv.measure(*qubit, &mut rng);
+                        collapsed_bits.insert(*clbit, bit);
+                    }
+                }
+                Op::Barrier(_) => {}
+            }
+        }
+        let gate_time = sw.elapsed();
+
+        let sw = qfw_hpc::Stopwatch::start();
+        let counts = if measured.is_empty() && collapsed_bits.is_empty() {
+            // No measurements: implicit measure-all (Qiskit statevector
+            // semantics when sampling is requested).
+            sv.sample_counts(shots, &mut rng)
+        } else if measured.is_empty() {
+            // Only mid-circuit measurements: one trajectory's classical bits.
+            let width = circuit.num_clbits();
+            let bits: String = (0..width)
+                .rev()
+                .map(|c| match collapsed_bits.get(&c) {
+                    Some(1) => '1',
+                    _ => '0',
+                })
+                .collect();
+            BTreeMap::from([(bits, shots)])
+        } else {
+            // Terminal measurements: sample the register, then project each
+            // sample onto the measured clbits.
+            let raw = sv.sample_counts(shots, &mut rng);
+            let width = circuit.num_clbits();
+            let mut out: BTreeMap<String, usize> = BTreeMap::new();
+            for (bitstring, count) in raw {
+                let n = circuit.num_qubits();
+                let mut bits = vec!['0'; width];
+                for &(q, c) in &measured {
+                    // bitstring is printed with qubit n-1 leftmost.
+                    bits[width - 1 - c] = bitstring.as_bytes()[n - 1 - q] as char;
+                }
+                for (&c, &b) in &collapsed_bits {
+                    bits[width - 1 - c] = if b == 1 { '1' } else { '0' };
+                }
+                *out.entry(bits.into_iter().collect()).or_insert(0) += count;
+            }
+            out
+        };
+        let sample_time = sw.elapsed();
+
+        SvOutcome {
+            counts,
+            gate_time,
+            sample_time,
+            gates_applied,
+        }
+    }
+
+    /// Returns the final state vector of the unitary part of a circuit.
+    pub fn statevector(&self, circuit: &Circuit) -> StateVector {
+        let parallel = self.config.threading == Threading::Rayon;
+        let prepared;
+        let circuit = if self.config.fusion {
+            prepared = fuse_1q_runs(circuit);
+            &prepared
+        } else {
+            circuit
+        };
+        let mut sv = StateVector::zero(circuit.num_qubits());
+        sv.run_unitary(circuit, parallel);
+        sv
+    }
+
+    /// Expectation of a diagonal observable after running the unitary part.
+    pub fn expectation_diagonal(
+        &self,
+        circuit: &Circuit,
+        f: impl Fn(usize) -> f64 + Sync,
+    ) -> f64 {
+        let sv = self.statevector(circuit);
+        sv.expectation_diagonal(f, self.config.threading == Threading::Rayon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfw_num::approx_eq;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut qc = Circuit::new(n);
+        qc.h(0);
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+        }
+        qc.measure_all();
+        qc
+    }
+
+    #[test]
+    fn run_ghz_counts_are_bimodal() {
+        for config in [
+            SvConfig {
+                threading: Threading::Serial,
+                fusion: false,
+            },
+            SvConfig {
+                threading: Threading::Serial,
+                fusion: true,
+            },
+            SvConfig {
+                threading: Threading::Rayon,
+                fusion: true,
+            },
+        ] {
+            let engine = SvSimulator::new(config);
+            let out = engine.run(&ghz(5), 1000, 42);
+            assert_eq!(out.counts.values().sum::<usize>(), 1000);
+            assert_eq!(out.counts.len(), 2);
+            assert!(out.counts.contains_key("00000"));
+            assert!(out.counts.contains_key("11111"));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_counts() {
+        let engine = SvSimulator::default();
+        let a = engine.run(&ghz(4), 500, 7);
+        let b = engine.run(&ghz(4), 500, 7);
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let engine = SvSimulator::default();
+        let a = engine.run(&ghz(4), 500, 7);
+        let b = engine.run(&ghz(4), 500, 8);
+        assert_ne!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn fusion_reduces_gates_applied() {
+        let mut qc = Circuit::new(2);
+        qc.h(0).t(0).rz(0, 0.3).h(1).s(1).cx(0, 1);
+        qc.measure_all();
+        let plain = SvSimulator::plain().run(&qc, 10, 1);
+        let fused = SvSimulator::default().run(&qc, 10, 1);
+        assert_eq!(plain.gates_applied, 6);
+        assert_eq!(fused.gates_applied, 3); // fused(q0,3) + fused(q1,2) + cx
+    }
+
+    #[test]
+    fn no_measurement_means_implicit_measure_all() {
+        let mut qc = Circuit::new(2);
+        qc.h(0);
+        let out = SvSimulator::default().run(&qc, 400, 3);
+        assert_eq!(out.counts.values().sum::<usize>(), 400);
+        // Only "00" and "01" should appear (qubit 1 never touched).
+        assert!(out.counts.keys().all(|k| k == "00" || k == "01"));
+    }
+
+    #[test]
+    fn partial_terminal_measurement_projects_clbits() {
+        let mut qc = Circuit::with_clbits(3, 1);
+        qc.h(0).cx(0, 1).cx(1, 2);
+        qc.measure(2, 0); // only the top qubit
+        let out = SvSimulator::default().run(&qc, 300, 9);
+        assert_eq!(out.counts.len(), 2);
+        assert_eq!(out.counts.keys().cloned().collect::<Vec<_>>(), ["0", "1"]);
+    }
+
+    #[test]
+    fn mid_circuit_measurement_collapses_trajectory() {
+        // Measure q0, then act on q0 again: the first measurement is truly
+        // mid-circuit and must collapse a single trajectory.
+        let mut qc = Circuit::new(2);
+        qc.h(0);
+        qc.measure(0, 0);
+        qc.x(0); // later gate on q0 forces the collapse path
+        qc.measure(0, 1);
+        let out = SvSimulator::default().run(&qc, 100, 11);
+        assert_eq!(out.counts.len(), 1);
+        let key = out.counts.keys().next().unwrap();
+        // c1 = NOT c0 always (key printed as "c1 c0").
+        assert!(key == "10" || key == "01", "key={key}");
+    }
+
+    #[test]
+    fn deferred_measurement_on_untouched_qubit_is_terminal() {
+        // Measuring q0 of a Bell pair and then gating only q1 keeps q0's
+        // measurement servable by final-state sampling (deferred
+        // measurement principle) — per-shot outcomes stay correlated.
+        let mut qc = Circuit::new(2);
+        qc.h(0).cx(0, 1);
+        qc.measure(0, 0);
+        qc.x(1);
+        qc.measure(1, 1);
+        let out = SvSimulator::default().run(&qc, 200, 11);
+        // Bell + X(q1): outcomes are anti-correlated "01"/"10" only.
+        assert!(out.counts.keys().all(|k| k == "01" || k == "10"));
+        assert_eq!(out.counts.len(), 2);
+    }
+
+    #[test]
+    fn expectation_diagonal_of_plus_state() {
+        let mut qc = Circuit::new(2);
+        qc.h(0).h(1);
+        // f(i) = i: uniform over 0..4 => mean 1.5
+        let e = SvSimulator::default().expectation_diagonal(&qc, |i| i as f64);
+        assert!(approx_eq(e, 1.5, 1e-10));
+    }
+
+    #[test]
+    fn statevector_matches_between_configs() {
+        let mut qc = Circuit::new(9);
+        for q in 0..9 {
+            qc.h(q);
+            qc.rz(q, 0.1 * (q + 1) as f64);
+        }
+        for q in 0..8 {
+            qc.cx(q, q + 1);
+        }
+        let a = SvSimulator::plain().statevector(&qc);
+        let b = SvSimulator::new(SvConfig {
+            threading: Threading::Rayon,
+            fusion: true,
+        })
+        .statevector(&qc);
+        assert!(approx_eq(a.fidelity(&b), 1.0, 1e-9));
+    }
+}

@@ -1,0 +1,233 @@
+//! Trajectory-based noise simulation.
+//!
+//! The paper's motivation for variational workloads is NISQ noise ("in
+//! contrast to their non-variational counterpart, variational algorithms
+//! are less prone to adverse effects of today's noisy quantum devices").
+//! This module provides the standard stochastic Pauli-channel approximation
+//! without density matrices: each *trajectory* runs the circuit once,
+//! inserting a uniformly random Pauli on each touched qubit with the
+//! channel probability after every gate, and the shot budget is split
+//! across trajectories. Readout error flips each measured bit
+//! independently.
+//!
+//! The IonQ-analog cloud backend runs its jobs through this model; local
+//! backends can opt in through runtime properties.
+
+use crate::state::StateVector;
+use qfw_circuit::{Circuit, Gate, Op};
+use qfw_num::rng::Rng;
+use std::collections::BTreeMap;
+
+/// A stochastic Pauli + readout noise model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseModel {
+    /// Depolarizing probability after each single-qubit gate.
+    pub p1: f64,
+    /// Depolarizing probability per touched qubit after each multi-qubit
+    /// gate (two-qubit errors dominate on real devices).
+    pub p2: f64,
+    /// Probability each measured bit flips at readout.
+    pub readout: f64,
+}
+
+impl NoiseModel {
+    /// No noise at all.
+    pub fn ideal() -> Self {
+        NoiseModel {
+            p1: 0.0,
+            p2: 0.0,
+            readout: 0.0,
+        }
+    }
+
+    /// A loose ion-trap-like profile: very good single-qubit gates, ~1%
+    /// two-qubit error, sub-percent readout error.
+    pub fn ion_trap() -> Self {
+        NoiseModel {
+            p1: 0.0005,
+            p2: 0.01,
+            readout: 0.004,
+        }
+    }
+
+    /// True when every channel is off (the fast path).
+    pub fn is_ideal(&self) -> bool {
+        self.p1 == 0.0 && self.p2 == 0.0 && self.readout == 0.0
+    }
+}
+
+/// Runs a circuit under the noise model, splitting `shots` across at most
+/// `max_trajectories` stochastic Pauli trajectories (64 is plenty for the
+/// histogram statistics the workloads need; raise it for tail accuracy).
+///
+/// Terminal-measurement semantics, like the ideal engines.
+pub fn run_noisy(
+    circuit: &Circuit,
+    shots: usize,
+    seed: u64,
+    model: &NoiseModel,
+    max_trajectories: usize,
+) -> BTreeMap<String, usize> {
+    let mut rng = Rng::seed_from(seed);
+    if model.is_ideal() {
+        let mut sv = StateVector::zero(circuit.num_qubits());
+        sv.run_unitary(circuit, false);
+        return sv.sample_counts(shots, &mut rng);
+    }
+
+    let trajectories = max_trajectories.clamp(1, shots.max(1));
+    let n = circuit.num_qubits();
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    // Spread the shots as evenly as possible.
+    let base = shots / trajectories;
+    let extra = shots % trajectories;
+
+    for t in 0..trajectories {
+        let my_shots = base + usize::from(t < extra);
+        if my_shots == 0 {
+            continue;
+        }
+        let mut sv = StateVector::zero(n);
+        for op in circuit.ops() {
+            if let Op::Gate(g) = op {
+                sv.apply(g, false);
+                let p = if g.arity() == 1 { model.p1 } else { model.p2 };
+                if p > 0.0 {
+                    for q in g.qubits() {
+                        if rng.chance(p) {
+                            let pauli = match rng.index(3) {
+                                0 => Gate::X(q),
+                                1 => Gate::Y(q),
+                                _ => Gate::Z(q),
+                            };
+                            sv.apply(&pauli, false);
+                        }
+                    }
+                }
+            }
+        }
+        // Sample this trajectory's share, then apply readout flips.
+        for (bits, c) in sv.sample_counts(my_shots, &mut rng) {
+            if model.readout > 0.0 {
+                for _ in 0..c {
+                    let flipped: String = bits
+                        .chars()
+                        .map(|ch| {
+                            if rng.chance(model.readout) {
+                                if ch == '0' {
+                                    '1'
+                                } else {
+                                    '0'
+                                }
+                            } else {
+                                ch
+                            }
+                        })
+                        .collect();
+                    *counts.entry(flipped).or_insert(0) += 1;
+                }
+            } else {
+                *counts.entry(bits).or_insert(0) += c;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut qc = Circuit::new(n);
+        qc.h(0);
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+        }
+        qc.measure_all();
+        qc
+    }
+
+    /// Fraction of shots that land outside the ideal GHZ outcomes.
+    fn leakage(counts: &BTreeMap<String, usize>, n: usize) -> f64 {
+        let shots: usize = counts.values().sum();
+        let ideal = ["0".repeat(n), "1".repeat(n)];
+        let good: usize = ideal
+            .iter()
+            .filter_map(|k| counts.get(k))
+            .sum();
+        1.0 - good as f64 / shots as f64
+    }
+
+    #[test]
+    fn ideal_model_matches_plain_sampling() {
+        let counts = run_noisy(&ghz(5), 500, 7, &NoiseModel::ideal(), 64);
+        assert_eq!(counts.values().sum::<usize>(), 500);
+        assert_eq!(counts.len(), 2);
+    }
+
+    #[test]
+    fn depolarizing_noise_leaks_out_of_the_ghz_subspace() {
+        let model = NoiseModel {
+            p1: 0.0,
+            p2: 0.05,
+            readout: 0.0,
+        };
+        let counts = run_noisy(&ghz(6), 3000, 11, &model, 64);
+        let l = leakage(&counts, 6);
+        assert!(l > 0.05, "leakage {l} too small for 5% 2q error");
+        assert!(l < 0.8, "leakage {l} implausibly large");
+    }
+
+    #[test]
+    fn noise_grows_with_error_rate() {
+        let run = |p2: f64| {
+            let model = NoiseModel {
+                p1: 0.0,
+                p2,
+                readout: 0.0,
+            };
+            leakage(&run_noisy(&ghz(6), 3000, 5, &model, 64), 6)
+        };
+        let low = run(0.01);
+        let high = run(0.10);
+        assert!(high > low, "leakage did not grow: {low} vs {high}");
+    }
+
+    #[test]
+    fn readout_error_rate_is_calibrated() {
+        // A deterministic |0...0> circuit: every '1' seen is a readout flip.
+        let mut qc = Circuit::new(4);
+        qc.x(0).x(0); // identity, but keeps the circuit non-empty
+        qc.measure_all();
+        let model = NoiseModel {
+            p1: 0.0,
+            p2: 0.0,
+            readout: 0.02,
+        };
+        let counts = run_noisy(&qc, 20_000, 3, &model, 8);
+        let flips: usize = counts
+            .iter()
+            .map(|(bits, c)| bits.chars().filter(|&b| b == '1').count() * c)
+            .sum();
+        let rate = flips as f64 / (20_000.0 * 4.0);
+        assert!((rate - 0.02).abs() < 0.005, "readout rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let model = NoiseModel::ion_trap();
+        let a = run_noisy(&ghz(5), 400, 9, &model, 16);
+        let b = run_noisy(&ghz(5), 400, 9, &model, 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shots_conserved_across_trajectories() {
+        let model = NoiseModel::ion_trap();
+        for shots in [1usize, 7, 63, 64, 65, 1000] {
+            let counts = run_noisy(&ghz(4), shots, 1, &model, 64);
+            assert_eq!(counts.values().sum::<usize>(), shots, "shots={shots}");
+        }
+    }
+}

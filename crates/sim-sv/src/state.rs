@@ -1,0 +1,721 @@
+//! The dense state vector and its gate-application kernels.
+//!
+//! Layout: amplitude `amps[i]` is the coefficient of basis state `|i>` with
+//! qubit `q` stored in bit `q` of `i` (little-endian, matching the IR).
+//!
+//! Kernels come in serial and rayon-parallel flavours. The parallel paths
+//! partition the amplitude array into *groups* that vary only the gate's
+//! target bits; distinct groups touch disjoint indices, which is what makes
+//! the unsafe shared-pointer scatter in the k-qubit kernel sound.
+
+use qfw_circuit::{Circuit, Gate, Op};
+use qfw_num::complex::C64;
+use qfw_num::rng::{CdfSampler, Rng};
+use qfw_num::Matrix;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+
+/// Below this many amplitudes the rayon dispatch overhead outweighs the
+/// kernel work and the serial path is used regardless of threading mode.
+const PAR_THRESHOLD: usize = 1 << 12;
+
+/// A dense `2^n` state vector.
+#[derive(Clone, Debug)]
+pub struct StateVector {
+    n: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0...0>`.
+    pub fn zero(n: usize) -> Self {
+        assert!(n <= 30, "refusing to allocate a >2^30 amplitude vector");
+        let mut amps = vec![C64::ZERO; 1 << n];
+        amps[0] = C64::ONE;
+        StateVector { n, amps }
+    }
+
+    /// Builds from raw amplitudes (length must be a power of two).
+    pub fn from_amps(amps: Vec<C64>) -> Self {
+        let len = amps.len();
+        assert!(len.is_power_of_two(), "amplitude count must be 2^n");
+        StateVector {
+            n: len.trailing_zeros() as usize,
+            amps,
+        }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The raw amplitudes.
+    #[inline]
+    pub fn amps(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Consumes the state and returns its amplitudes.
+    pub fn into_amps(self) -> Vec<C64> {
+        self.amps
+    }
+
+    /// Squared norm (should stay 1 under unitary evolution).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Measurement probability of basis state `i`.
+    #[inline]
+    pub fn probability(&self, i: usize) -> f64 {
+        self.amps[i].norm_sqr()
+    }
+
+    /// Applies one gate, choosing serial or parallel kernels.
+    pub fn apply(&mut self, gate: &Gate, parallel: bool) {
+        let par = parallel && self.amps.len() >= PAR_THRESHOLD;
+        match gate {
+            // Diagonal fast paths: pure per-amplitude phases, no scatter.
+            Gate::Z(q) => self.apply_phase_if(*q, -C64::ONE, par),
+            Gate::S(q) => self.apply_phase_if(*q, C64::I, par),
+            Gate::Sdg(q) => self.apply_phase_if(*q, -C64::I, par),
+            Gate::T(q) => {
+                self.apply_phase_if(*q, C64::cis(std::f64::consts::FRAC_PI_4), par)
+            }
+            Gate::Tdg(q) => {
+                self.apply_phase_if(*q, C64::cis(-std::f64::consts::FRAC_PI_4), par)
+            }
+            Gate::Phase(q, t) => self.apply_phase_if(*q, C64::cis(*t), par),
+            Gate::Rz(q, t) => self.apply_rz(*q, *t, par),
+            Gate::Cz(a, b) => self.apply_cz(*a, *b, par),
+            Gate::Cp(c, t, theta) => self.apply_cphase(*c, *t, C64::cis(*theta), par),
+            Gate::Rzz(a, b, t) => self.apply_rzz(*a, *b, *t, par),
+            // X is a pure bit-flip permutation: cheaper than a dense 1q kernel.
+            Gate::X(q) => self.apply_x(*q, par),
+            Gate::Cx(c, t) => self.apply_cx(*c, *t, par),
+            // Everything else goes through dense kernels by arity.
+            g => {
+                let qs = g.qubits();
+                let m = g.matrix();
+                match qs.len() {
+                    1 => self.apply_1q(qs[0], &m, par),
+                    _ => self.apply_kq(&qs, &m, par),
+                }
+            }
+        }
+    }
+
+    /// Runs the unitary part of a circuit (measurements/barriers skipped).
+    pub fn run_unitary(&mut self, circuit: &Circuit, parallel: bool) {
+        assert_eq!(circuit.num_qubits(), self.n, "register size mismatch");
+        for op in circuit.ops() {
+            if let Op::Gate(g) = op {
+                self.apply(g, parallel);
+            }
+        }
+    }
+
+    // --- diagonal / permutation kernels -------------------------------------
+
+    /// Multiplies amplitudes whose bit `q` is 1 by `phase`.
+    fn apply_phase_if(&mut self, q: usize, phase: C64, par: bool) {
+        let mask = 1usize << q;
+        let f = |(i, a): (usize, &mut C64)| {
+            if i & mask != 0 {
+                *a = *a * phase;
+            }
+        };
+        if par {
+            self.amps.par_iter_mut().enumerate().for_each(f);
+        } else {
+            self.amps.iter_mut().enumerate().for_each(f);
+        }
+    }
+
+    fn apply_rz(&mut self, q: usize, t: f64, par: bool) {
+        let (p0, p1) = (C64::cis(-t / 2.0), C64::cis(t / 2.0));
+        let mask = 1usize << q;
+        let f = |(i, a): (usize, &mut C64)| {
+            *a = *a * if i & mask == 0 { p0 } else { p1 };
+        };
+        if par {
+            self.amps.par_iter_mut().enumerate().for_each(f);
+        } else {
+            self.amps.iter_mut().enumerate().for_each(f);
+        }
+    }
+
+    fn apply_cz(&mut self, a: usize, b: usize, par: bool) {
+        let mask = (1usize << a) | (1usize << b);
+        let f = |(i, amp): (usize, &mut C64)| {
+            if i & mask == mask {
+                *amp = -*amp;
+            }
+        };
+        if par {
+            self.amps.par_iter_mut().enumerate().for_each(f);
+        } else {
+            self.amps.iter_mut().enumerate().for_each(f);
+        }
+    }
+
+    fn apply_cphase(&mut self, c: usize, t: usize, phase: C64, par: bool) {
+        let mask = (1usize << c) | (1usize << t);
+        let f = |(i, amp): (usize, &mut C64)| {
+            if i & mask == mask {
+                *amp = *amp * phase;
+            }
+        };
+        if par {
+            self.amps.par_iter_mut().enumerate().for_each(f);
+        } else {
+            self.amps.iter_mut().enumerate().for_each(f);
+        }
+    }
+
+    fn apply_rzz(&mut self, a: usize, b: usize, t: f64, par: bool) {
+        let (aligned, anti) = (C64::cis(-t / 2.0), C64::cis(t / 2.0));
+        let (ma, mb) = (1usize << a, 1usize << b);
+        let f = |(i, amp): (usize, &mut C64)| {
+            let same = ((i & ma != 0) as u8) == ((i & mb != 0) as u8);
+            *amp = *amp * if same { aligned } else { anti };
+        };
+        if par {
+            self.amps.par_iter_mut().enumerate().for_each(f);
+        } else {
+            self.amps.iter_mut().enumerate().for_each(f);
+        }
+    }
+
+    fn apply_x(&mut self, q: usize, par: bool) {
+        let stride = 1usize << q;
+        let block = stride << 1;
+        let swap_block = |chunk: &mut [C64]| {
+            let (lo, hi) = chunk.split_at_mut(stride);
+            lo.swap_with_slice(hi);
+        };
+        if par && self.amps.len() / block >= 2 {
+            self.amps.par_chunks_mut(block).for_each(swap_block);
+        } else {
+            self.amps.chunks_mut(block).for_each(swap_block);
+        }
+    }
+
+    fn apply_cx(&mut self, c: usize, t: usize, par: bool) {
+        let (cm, tm) = (1usize << c, 1usize << t);
+        let len = self.amps.len();
+        let ptr = SharedAmps(self.amps.as_mut_ptr());
+        // Iterate over indices with control=1, target=0; swap with target=1.
+        let work = |i: usize| {
+            if i & cm != 0 && i & tm == 0 {
+                // SAFETY: i and i|tm are distinct and this (i, i|tm) pair is
+                // visited exactly once (only from the target=0 side).
+                unsafe {
+                    let p = ptr.get();
+                    std::ptr::swap(p.add(i), p.add(i | tm));
+                }
+            }
+        };
+        if par {
+            (0..len).into_par_iter().for_each(work);
+        } else {
+            (0..len).for_each(work);
+        }
+    }
+
+    // --- dense kernels -------------------------------------------------------
+
+    /// Dense single-qubit gate.
+    fn apply_1q(&mut self, q: usize, m: &Matrix, par: bool) {
+        debug_assert_eq!(m.rows(), 2);
+        let (u00, u01, u10, u11) = (m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]);
+        let stride = 1usize << q;
+        let block = stride << 1;
+        let kernel = |chunk: &mut [C64]| {
+            let (lo, hi) = chunk.split_at_mut(stride);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let (x, y) = (*a, *b);
+                *a = u00 * x + u01 * y;
+                *b = u10 * x + u11 * y;
+            }
+        };
+        if par && self.amps.len() / block >= 2 {
+            self.amps.par_chunks_mut(block).for_each(kernel);
+        } else if par {
+            // q is the top qubit: one block; parallelize across the halves.
+            let (lo, hi) = self.amps.split_at_mut(stride);
+            lo.par_iter_mut()
+                .zip(hi.par_iter_mut())
+                .for_each(|(a, b)| {
+                    let (x, y) = (*a, *b);
+                    *a = u00 * x + u01 * y;
+                    *b = u10 * x + u11 * y;
+                });
+        } else {
+            self.amps.chunks_mut(block).for_each(kernel);
+        }
+    }
+
+    /// Dense k-qubit gate via group scatter. `qs` follows the IR convention:
+    /// `qs[j]` is local bit `j` of the gate matrix.
+    fn apply_kq(&mut self, qs: &[usize], m: &Matrix, par: bool) {
+        let k = qs.len();
+        debug_assert_eq!(m.rows(), 1 << k);
+        let groups = self.amps.len() >> k;
+        // Sorted copy for spreading group bits around target positions.
+        let mut sorted = qs.to_vec();
+        sorted.sort_unstable();
+        let dim = 1usize << k;
+        let ptr = SharedAmps(self.amps.as_mut_ptr());
+        let work = |g: usize| {
+            // Spread the group index bits into the non-target positions.
+            let mut base = g;
+            for &q in &sorted {
+                let low = base & ((1 << q) - 1);
+                base = ((base >> q) << (q + 1)) | low;
+            }
+            // Gather, multiply, scatter.
+            assert!(k <= 8, "gates above 8 qubits are not supported");
+            let mut vin = [C64::ZERO; 1 << 8];
+            for local in 0..dim {
+                let mut i = base;
+                for (j, &q) in qs.iter().enumerate() {
+                    if local & (1 << j) != 0 {
+                        i |= 1 << q;
+                    }
+                }
+                // SAFETY: distinct groups have distinct base bits outside the
+                // target positions, so all reads/writes below are disjoint
+                // across `work` invocations.
+                unsafe {
+                    vin[local] = *ptr.get().add(i);
+                }
+            }
+            for row in 0..dim {
+                let mut acc = C64::ZERO;
+                for (col, &x) in vin.iter().enumerate().take(dim) {
+                    acc = m[(row, col)].mul_add(x, acc);
+                }
+                let mut i = base;
+                for (j, &q) in qs.iter().enumerate() {
+                    if row & (1 << j) != 0 {
+                        i |= 1 << q;
+                    }
+                }
+                unsafe {
+                    *ptr.get().add(i) = acc;
+                }
+            }
+        };
+        if par && groups >= 2 {
+            (0..groups).into_par_iter().for_each(work);
+        } else {
+            (0..groups).for_each(work);
+        }
+    }
+
+    // --- measurement ---------------------------------------------------------
+
+    /// Probability that qubit `q` measures 1.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        let mask = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Projectively measures qubit `q`, collapsing the state. Returns the
+    /// observed bit.
+    pub fn measure(&mut self, q: usize, rng: &mut Rng) -> u8 {
+        let p1 = self.prob_one(q);
+        let outcome = u8::from(rng.chance(p1));
+        let keep_mask = 1usize << q;
+        let norm = if outcome == 1 { p1 } else { 1.0 - p1 };
+        let scale = if norm > 0.0 { 1.0 / norm.sqrt() } else { 0.0 };
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            let bit = u8::from(i & keep_mask != 0);
+            if bit == outcome {
+                *a = a.scale(scale);
+            } else {
+                *a = C64::ZERO;
+            }
+        }
+        outcome
+    }
+
+    /// Draws `shots` full-register samples from `|amps|^2`, returned as a
+    /// bitstring (`"q_{n-1}...q_0"`) → count map, matching Qiskit's
+    /// `get_counts` convention.
+    pub fn sample_counts(&self, shots: usize, rng: &mut Rng) -> BTreeMap<String, usize> {
+        let probs: Vec<f64> = self.amps.iter().map(|a| a.norm_sqr()).collect();
+        let sampler = CdfSampler::new(&probs);
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        for _ in 0..shots {
+            *counts.entry(sampler.sample(rng)).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(idx, c)| (index_to_bitstring(idx, self.n), c))
+            .collect()
+    }
+
+    /// Expectation of a diagonal observable `sum_i f(i) |amp_i|^2`.
+    pub fn expectation_diagonal(&self, f: impl Fn(usize) -> f64 + Sync, parallel: bool) -> f64 {
+        if parallel && self.amps.len() >= PAR_THRESHOLD {
+            self.amps
+                .par_iter()
+                .enumerate()
+                .map(|(i, a)| f(i) * a.norm_sqr())
+                .sum()
+        } else {
+            self.amps
+                .iter()
+                .enumerate()
+                .map(|(i, a)| f(i) * a.norm_sqr())
+                .sum()
+        }
+    }
+
+    /// `<psi| P |psi>` for a Pauli-Z string given as a bit mask of qubits
+    /// carrying Z (diagonal observable: product of ±1 parities).
+    pub fn expectation_z_mask(&self, mask: usize) -> f64 {
+        self.amps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let parity = (i & mask).count_ones() & 1;
+                let sign = if parity == 0 { 1.0 } else { -1.0 };
+                sign * a.norm_sqr()
+            })
+            .sum()
+    }
+
+    /// Fidelity `|<self|other>|^2` against another state.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        assert_eq!(self.n, other.n);
+        let ip = self
+            .amps
+            .iter()
+            .zip(other.amps.iter())
+            .fold(C64::ZERO, |acc, (a, b)| a.conj().mul_add(*b, acc));
+        ip.norm_sqr()
+    }
+}
+
+/// Formats a basis index the way Qiskit prints counts: qubit n-1 leftmost.
+pub fn index_to_bitstring(idx: usize, n: usize) -> String {
+    (0..n)
+        .rev()
+        .map(|q| if idx & (1 << q) != 0 { '1' } else { '0' })
+        .collect()
+}
+
+/// Parses a Qiskit-style bitstring back into a basis index.
+pub fn bitstring_to_index(s: &str) -> usize {
+    s.chars().fold(0usize, |acc, ch| {
+        (acc << 1)
+            | match ch {
+                '0' => 0,
+                '1' => 1,
+                other => panic!("bad bitstring character '{other}'"),
+            }
+    })
+}
+
+/// Raw shared pointer into the amplitude buffer for disjoint parallel
+/// scatter. Soundness argument at each use site: every parallel work item
+/// touches an index set disjoint from all others.
+#[derive(Clone, Copy)]
+struct SharedAmps(*mut C64);
+unsafe impl Sync for SharedAmps {}
+unsafe impl Send for SharedAmps {}
+
+impl SharedAmps {
+    /// Returns the raw pointer. Taking `self` by value makes closures
+    /// capture the whole `Sync` wrapper instead of the bare pointer field.
+    #[inline(always)]
+    fn get(self) -> *mut C64 {
+        self.0
+    }
+}
+
+/// Reference implementation: applies a gate by building the full `2^n`
+/// operator with Kronecker products and dense matvec. Exponentially slow —
+/// exists purely as the ground truth for validating the fast kernels.
+pub fn apply_via_dense_operator(state: &[C64], gate: &Gate, n: usize) -> Vec<C64> {
+    let qs = gate.qubits();
+    let m = gate.matrix();
+    let dim = 1usize << n;
+    let mut full = Matrix::zeros(dim, dim);
+    // full[row, col] built by embedding m at target bits, identity elsewhere.
+    for col in 0..dim {
+        // Extract the local input index from col.
+        let mut local_in = 0usize;
+        for (j, &q) in qs.iter().enumerate() {
+            if col & (1 << q) != 0 {
+                local_in |= 1 << j;
+            }
+        }
+        for local_out in 0..m.rows() {
+            let coeff = m[(local_out, local_in)];
+            if coeff == C64::ZERO {
+                continue;
+            }
+            // Row: col with target bits replaced by local_out bits.
+            let mut row = col;
+            for (j, &q) in qs.iter().enumerate() {
+                row &= !(1 << q);
+                if local_out & (1 << j) != 0 {
+                    row |= 1 << q;
+                }
+            }
+            full[(row, col)] = coeff;
+        }
+    }
+    full.matvec(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfw_num::approx_eq;
+    use qfw_num::complex::c64;
+    use std::sync::Arc;
+
+    fn random_state(n: usize, seed: u64) -> StateVector {
+        let mut rng = Rng::seed_from(seed);
+        let mut amps: Vec<C64> = (0..(1 << n))
+            .map(|_| c64(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)))
+            .collect();
+        qfw_num::matrix::normalize(&mut amps);
+        StateVector::from_amps(amps)
+    }
+
+    fn assert_states_close(a: &[C64], b: &[C64], tol: f64, what: &str) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                x.approx_eq(*y, tol),
+                "{what}: amplitude {i} differs: {x} vs {y}"
+            );
+        }
+    }
+
+    /// Every kernel (serial and parallel) must match the dense-operator
+    /// reference on random states.
+    #[test]
+    fn kernels_match_dense_reference() {
+        let n = 6;
+        let gates = vec![
+            Gate::H(0),
+            Gate::H(5),
+            Gate::X(3),
+            Gate::Y(2),
+            Gate::Z(4),
+            Gate::S(1),
+            Gate::T(5),
+            Gate::Sx(0),
+            Gate::Rx(2, 0.7),
+            Gate::Ry(4, -0.4),
+            Gate::Rz(1, 1.9),
+            Gate::Phase(3, 0.3),
+            Gate::U(0, 0.5, 1.0, -0.5),
+            Gate::Cx(0, 5),
+            Gate::Cx(5, 0),
+            Gate::Cx(2, 3),
+            Gate::Cy(1, 4),
+            Gate::Cz(0, 3),
+            Gate::Swap(1, 5),
+            Gate::Cp(2, 0, 0.8),
+            Gate::Crx(3, 1, 0.9),
+            Gate::Cry(4, 2, -1.2),
+            Gate::Crz(5, 3, 0.6),
+            Gate::Rxx(0, 4, 1.1),
+            Gate::Ryy(2, 5, 0.2),
+            Gate::Rzz(1, 3, -0.7),
+            Gate::Ccx(0, 2, 4),
+            Gate::Ccx(5, 3, 1),
+            Gate::Unitary {
+                qubits: vec![4, 1, 3],
+                matrix: Arc::new(Gate::Ccx(0, 1, 2).matrix()),
+                label: "ccx_blk".into(),
+            },
+        ];
+        for (i, g) in gates.iter().enumerate() {
+            let base = random_state(n, 100 + i as u64);
+            let want = apply_via_dense_operator(base.amps(), g, n);
+            for &par in &[false, true] {
+                let mut got = base.clone();
+                got.apply(g, par);
+                assert_states_close(
+                    got.amps(),
+                    &want,
+                    1e-10,
+                    &format!("{g} (par={par})"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_threshold_consistency_on_larger_state() {
+        // 13 qubits crosses PAR_THRESHOLD: serial and parallel must agree.
+        let n = 13;
+        let mut serial = StateVector::zero(n);
+        let mut parallel = StateVector::zero(n);
+        let mut qc = Circuit::new(n);
+        for q in 0..n {
+            qc.h(q);
+        }
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+        }
+        for q in 0..n {
+            qc.rz(q, 0.1 * q as f64);
+            qc.rx(q, 0.05 * q as f64);
+        }
+        qc.rzz(0, n - 1, 0.4).ccx(0, 6, 12);
+        serial.run_unitary(&qc, false);
+        parallel.run_unitary(&qc, true);
+        assert_states_close(serial.amps(), parallel.amps(), 1e-10, "par vs serial");
+        assert!(approx_eq(parallel.norm_sqr(), 1.0, 1e-10));
+    }
+
+    #[test]
+    fn ghz_state_structure() {
+        let mut sv = StateVector::zero(3);
+        let mut qc = Circuit::new(3);
+        qc.h(0).cx(0, 1).cx(1, 2);
+        sv.run_unitary(&qc, false);
+        let s = 1.0 / 2.0_f64.sqrt();
+        assert!(sv.amps()[0].approx_eq(c64(s, 0.0), 1e-12));
+        assert!(sv.amps()[7].approx_eq(c64(s, 0.0), 1e-12));
+        for i in 1..7 {
+            assert!(sv.amps()[i].approx_eq(C64::ZERO, 1e-12));
+        }
+    }
+
+    #[test]
+    fn norm_preserved_under_random_circuit() {
+        let mut rng = Rng::seed_from(77);
+        let n = 8;
+        let mut sv = StateVector::zero(n);
+        for _ in 0..200 {
+            let q = rng.index(n);
+            let p = (q + 1 + rng.index(n - 1)) % n;
+            match rng.index(5) {
+                0 => sv.apply(&Gate::H(q), false),
+                1 => sv.apply(&Gate::Rx(q, rng.uniform(-3.0, 3.0)), false),
+                2 => sv.apply(&Gate::Cx(q, p), false),
+                3 => sv.apply(&Gate::Rzz(q, p, rng.uniform(-3.0, 3.0)), false),
+                _ => sv.apply(&Gate::T(q), false),
+            }
+        }
+        assert!(approx_eq(sv.norm_sqr(), 1.0, 1e-9));
+    }
+
+    #[test]
+    fn prob_one_and_measure_collapse() {
+        let mut sv = StateVector::zero(2);
+        sv.apply(&Gate::X(1), false);
+        assert!(approx_eq(sv.prob_one(1), 1.0, 1e-12));
+        assert!(approx_eq(sv.prob_one(0), 0.0, 1e-12));
+        let mut rng = Rng::seed_from(1);
+        assert_eq!(sv.measure(1, &mut rng), 1);
+        assert!(approx_eq(sv.norm_sqr(), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn measure_plus_state_statistics() {
+        let mut zeros = 0;
+        for seed in 0..400 {
+            let mut sv = StateVector::zero(1);
+            sv.apply(&Gate::H(0), false);
+            let mut rng = Rng::seed_from(seed);
+            if sv.measure(0, &mut rng) == 0 {
+                zeros += 1;
+            }
+        }
+        assert!((150..250).contains(&zeros), "zeros={zeros}");
+    }
+
+    #[test]
+    fn sample_counts_ghz_bimodal() {
+        let mut sv = StateVector::zero(4);
+        let mut qc = Circuit::new(4);
+        qc.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+        sv.run_unitary(&qc, false);
+        let mut rng = Rng::seed_from(5);
+        let counts = sv.sample_counts(2000, &mut rng);
+        assert_eq!(counts.len(), 2);
+        let all0 = counts["0000"];
+        let all1 = counts["1111"];
+        assert_eq!(all0 + all1, 2000);
+        assert!((800..1200).contains(&all0), "all0={all0}");
+    }
+
+    #[test]
+    fn bitstring_round_trip() {
+        assert_eq!(index_to_bitstring(5, 4), "0101");
+        assert_eq!(bitstring_to_index("0101"), 5);
+        for idx in 0..32 {
+            assert_eq!(bitstring_to_index(&index_to_bitstring(idx, 5)), idx);
+        }
+    }
+
+    #[test]
+    fn expectation_z_mask_on_known_states() {
+        let sv = StateVector::zero(2);
+        // |00>: <Z0> = +1, <Z0 Z1> = +1
+        assert!(approx_eq(sv.expectation_z_mask(0b01), 1.0, 1e-12));
+        assert!(approx_eq(sv.expectation_z_mask(0b11), 1.0, 1e-12));
+        let mut sv = StateVector::zero(2);
+        sv.apply(&Gate::X(0), false);
+        // |01>: <Z0> = -1, <Z1> = +1, <Z0Z1> = -1
+        assert!(approx_eq(sv.expectation_z_mask(0b01), -1.0, 1e-12));
+        assert!(approx_eq(sv.expectation_z_mask(0b10), 1.0, 1e-12));
+        assert!(approx_eq(sv.expectation_z_mask(0b11), -1.0, 1e-12));
+    }
+
+    #[test]
+    fn expectation_diagonal_matches_manual_sum() {
+        let sv = random_state(5, 9);
+        let f = |i: usize| (i as f64).sqrt();
+        let want: f64 = sv
+            .amps()
+            .iter()
+            .enumerate()
+            .map(|(i, a)| f(i) * a.norm_sqr())
+            .sum();
+        assert!(approx_eq(sv.expectation_diagonal(f, false), want, 1e-12));
+        assert!(approx_eq(sv.expectation_diagonal(f, true), want, 1e-12));
+    }
+
+    #[test]
+    fn fidelity_extremes() {
+        let a = random_state(4, 11);
+        assert!(approx_eq(a.fidelity(&a), 1.0, 1e-10));
+        let mut b = StateVector::zero(4);
+        let mut c = StateVector::zero(4);
+        c.apply(&Gate::X(0), false);
+        assert!(approx_eq(b.fidelity(&c), 0.0, 1e-12));
+        b.apply(&Gate::X(0), false);
+        assert!(approx_eq(b.fidelity(&c), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn circuit_inverse_returns_to_start() {
+        let mut qc = Circuit::new(5);
+        qc.h(0).cx(0, 1).t(2).rzz(1, 3, 0.9).ccx(0, 1, 4).ry(3, 0.3);
+        let start = random_state(5, 21);
+        let mut sv = start.clone();
+        sv.run_unitary(&qc, false);
+        sv.run_unitary(&qc.inverse(), false);
+        assert_states_close(sv.amps(), start.amps(), 1e-10, "inverse round trip");
+    }
+}

@@ -1,0 +1,268 @@
+//! Dense tensors with binary (dimension-2) indices and pairwise contraction.
+
+use qfw_num::complex::C64;
+use qfw_num::Matrix;
+
+/// Identifier of a tensor-network index (edge/wire).
+pub type IndexId = u32;
+
+/// A dense tensor whose indices all have dimension 2.
+///
+/// Element addressing: for linear offset `i`, bit `j` of `i` is the value of
+/// `indices[j]` (first index fastest).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    /// The tensor's indices; `data.len() == 2^indices.len()`.
+    pub indices: Vec<IndexId>,
+    /// Row-major-by-bit data.
+    pub data: Vec<C64>,
+}
+
+impl Tensor {
+    /// A scalar tensor.
+    pub fn scalar(v: C64) -> Self {
+        Tensor {
+            indices: vec![],
+            data: vec![v],
+        }
+    }
+
+    /// The `|0>` ket on a wire.
+    pub fn ket0(wire: IndexId) -> Self {
+        Tensor {
+            indices: vec![wire],
+            data: vec![C64::ONE, C64::ZERO],
+        }
+    }
+
+    /// The `<b|` bra on a wire (to cap an output when computing amplitudes).
+    pub fn bra(wire: IndexId, b: u8) -> Self {
+        let mut data = vec![C64::ZERO, C64::ZERO];
+        data[b as usize] = C64::ONE;
+        Tensor {
+            indices: vec![wire],
+            data,
+        }
+    }
+
+    /// A gate tensor: indices `[out_0.. out_{k-1}, in_0.. in_{k-1}]` with
+    /// `data[(out, in)] = m[out, in]` (bit `j` of `out`/`in` belonging to
+    /// the gate's local qubit `j`).
+    pub fn gate(m: &Matrix, outs: &[IndexId], ins: &[IndexId]) -> Self {
+        let k = outs.len();
+        assert_eq!(ins.len(), k);
+        assert_eq!(m.rows(), 1 << k);
+        let mut indices = Vec::with_capacity(2 * k);
+        indices.extend_from_slice(outs);
+        indices.extend_from_slice(ins);
+        let mut data = vec![C64::ZERO; 1 << (2 * k)];
+        for out in 0..(1usize << k) {
+            for inp in 0..(1usize << k) {
+                data[out | (inp << k)] = m[(out, inp)];
+            }
+        }
+        Tensor { indices, data }
+    }
+
+    /// Tensor rank (number of indices).
+    pub fn rank(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Number of stored amplitudes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Contracts two tensors over all of their shared indices (an outer
+    /// product when they share none). Result indices: `self`'s free indices
+    /// followed by `other`'s free indices.
+    pub fn contract(&self, other: &Tensor) -> Tensor {
+        let shared: Vec<IndexId> = self
+            .indices
+            .iter()
+            .copied()
+            .filter(|i| other.indices.contains(i))
+            .collect();
+        let a_free: Vec<IndexId> = self
+            .indices
+            .iter()
+            .copied()
+            .filter(|i| !shared.contains(i))
+            .collect();
+        let b_free: Vec<IndexId> = other
+            .indices
+            .iter()
+            .copied()
+            .filter(|i| !shared.contains(i))
+            .collect();
+
+        // For each of self's bit positions, where does that bit come from in
+        // the (a_free, shared) loop variables?
+        let a_map: Vec<(bool, usize)> = self
+            .indices
+            .iter()
+            .map(|i| match a_free.iter().position(|x| x == i) {
+                Some(p) => (true, p),
+                None => (false, shared.iter().position(|x| x == i).unwrap()),
+            })
+            .collect();
+        let b_map: Vec<(bool, usize)> = other
+            .indices
+            .iter()
+            .map(|i| match b_free.iter().position(|x| x == i) {
+                Some(p) => (true, p),
+                None => (false, shared.iter().position(|x| x == i).unwrap()),
+            })
+            .collect();
+
+        let (na, ns, nb) = (a_free.len(), shared.len(), b_free.len());
+        let mut out = vec![C64::ZERO; 1 << (na + nb)];
+        // Precompute linear offsets: self offset as a function of (af, s).
+        let a_index = |af: usize, s: usize| -> usize {
+            let mut idx = 0usize;
+            for (bit, &(is_free, pos)) in a_map.iter().enumerate() {
+                let v = if is_free { (af >> pos) & 1 } else { (s >> pos) & 1 };
+                idx |= v << bit;
+            }
+            idx
+        };
+        let b_index = |bf: usize, s: usize| -> usize {
+            let mut idx = 0usize;
+            for (bit, &(is_free, pos)) in b_map.iter().enumerate() {
+                let v = if is_free { (bf >> pos) & 1 } else { (s >> pos) & 1 };
+                idx |= v << bit;
+            }
+            idx
+        };
+
+        for af in 0..(1usize << na) {
+            for bf in 0..(1usize << nb) {
+                let mut acc = C64::ZERO;
+                for s in 0..(1usize << ns) {
+                    let x = self.data[a_index(af, s)];
+                    let y = other.data[b_index(bf, s)];
+                    acc = x.mul_add(y, acc);
+                }
+                out[af | (bf << na)] = acc;
+            }
+        }
+
+        let mut indices = a_free;
+        indices.extend(b_free);
+        Tensor { indices, data: out }
+    }
+
+    /// Reorders this tensor's indices to `target` (a permutation of the
+    /// current indices), permuting the data accordingly.
+    pub fn permute_to(&self, target: &[IndexId]) -> Tensor {
+        assert_eq!(target.len(), self.indices.len());
+        // perm[j] = current bit position of target index j.
+        let perm: Vec<usize> = target
+            .iter()
+            .map(|t| {
+                self.indices
+                    .iter()
+                    .position(|i| i == t)
+                    .expect("target index not present")
+            })
+            .collect();
+        let mut data = vec![C64::ZERO; self.data.len()];
+        for (i, slot) in data.iter_mut().enumerate() {
+            // Bit j of i is the value of target[j]; build the source offset.
+            let mut src = 0usize;
+            for (j, &p) in perm.iter().enumerate() {
+                src |= ((i >> j) & 1) << p;
+            }
+            *slot = self.data[src];
+        }
+        Tensor {
+            indices: target.to_vec(),
+            data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfw_circuit::Gate;
+    use qfw_num::complex::c64;
+
+    #[test]
+    fn ket_and_bra_contract_to_scalar() {
+        let k = Tensor::ket0(5);
+        let b0 = Tensor::bra(5, 0);
+        let b1 = Tensor::bra(5, 1);
+        assert_eq!(k.contract(&b0).data, vec![C64::ONE]);
+        assert_eq!(k.contract(&b1).data, vec![C64::ZERO]);
+    }
+
+    #[test]
+    fn gate_tensor_matches_matrix_entries() {
+        let m = Gate::Cx(0, 1).matrix();
+        let t = Tensor::gate(&m, &[10, 11], &[0, 1]);
+        assert_eq!(t.rank(), 4);
+        // data[out | in<<2] = m[out][in]
+        assert_eq!(t.data[0b0000], m[(0, 0)]);
+        assert_eq!(t.data[0b0111], m[(3, 1)]);
+    }
+
+    #[test]
+    fn hadamard_applied_via_contraction() {
+        let k = Tensor::ket0(0);
+        let h = Tensor::gate(&Gate::H(0).matrix(), &[1], &[0]);
+        let out = k.contract(&h);
+        assert_eq!(out.indices, vec![1]);
+        let s = 1.0 / 2.0_f64.sqrt();
+        assert!(out.data[0].approx_eq(c64(s, 0.0), 1e-12));
+        assert!(out.data[1].approx_eq(c64(s, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn outer_product_when_no_shared_indices() {
+        let a = Tensor::ket0(0);
+        let b = Tensor::ket0(1);
+        let ab = a.contract(&b);
+        assert_eq!(ab.rank(), 2);
+        assert_eq!(ab.data[0], C64::ONE);
+        assert!(ab.data[1..].iter().all(|&z| z == C64::ZERO));
+    }
+
+    #[test]
+    fn contraction_is_commutative_up_to_index_order() {
+        let h = Tensor::gate(&Gate::H(0).matrix(), &[1], &[0]);
+        let t = Tensor::gate(&Gate::T(0).matrix(), &[2], &[1]);
+        let ab = h.contract(&t);
+        let ba = t.contract(&h).permute_to(&ab.indices);
+        for (x, y) in ab.data.iter().zip(ba.data.iter()) {
+            assert!(x.approx_eq(*y, 1e-12));
+        }
+    }
+
+    #[test]
+    fn bell_amplitude_by_capping() {
+        // <00| and <11| amplitudes of H⊗I then CX network.
+        let k0 = Tensor::ket0(0);
+        let k1 = Tensor::ket0(1);
+        let h = Tensor::gate(&Gate::H(0).matrix(), &[2], &[0]);
+        let cx = Tensor::gate(&Gate::Cx(0, 1).matrix(), &[3, 4], &[2, 1]);
+        let net = k0.contract(&h).contract(&k1).contract(&cx);
+        let s = 1.0 / 2.0_f64.sqrt();
+        let amp00 = net.contract(&Tensor::bra(3, 0)).contract(&Tensor::bra(4, 0));
+        let amp11 = net.contract(&Tensor::bra(3, 1)).contract(&Tensor::bra(4, 1));
+        let amp01 = net.contract(&Tensor::bra(3, 1)).contract(&Tensor::bra(4, 0));
+        assert!(amp00.data[0].approx_eq(c64(s, 0.0), 1e-12));
+        assert!(amp11.data[0].approx_eq(c64(s, 0.0), 1e-12));
+        assert!(amp01.data[0].approx_eq(C64::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn permute_round_trip() {
+        let m = Gate::Cry(0, 1, 0.7).matrix();
+        let t = Tensor::gate(&m, &[5, 6], &[1, 2]);
+        let p = t.permute_to(&[2, 6, 1, 5]);
+        let back = p.permute_to(&t.indices);
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,47 @@
+//! GHZ state preparation (SupermarQ's `GHZ` benchmark).
+
+use qfw_circuit::Circuit;
+
+/// Builds the `n`-qubit GHZ preparation: `H` on qubit 0 followed by a CNOT
+/// chain, measuring every qubit. Depth grows linearly, entanglement is
+/// maximal across every cut — the benchmark that favours state-vector and
+/// stabilizer engines over tensor contraction at scale.
+pub fn ghz(n: usize) -> Circuit {
+    assert!(n >= 1, "GHZ needs at least one qubit");
+    let mut qc = Circuit::new(n).named(format!("ghz{n}"));
+    qc.h(0);
+    for q in 0..n.saturating_sub(1) {
+        qc.cx(q, q + 1);
+    }
+    qc.measure_all();
+    qc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfw_circuit::analysis::is_clifford;
+
+    #[test]
+    fn structure() {
+        let qc = ghz(8);
+        assert_eq!(qc.num_qubits(), 8);
+        assert_eq!(qc.num_gates(), 8); // 1 H + 7 CX
+        assert_eq!(qc.depth(), 8 + 1); // gate chain + final measurement
+        assert!(qc.measures_all());
+        assert!(is_clifford(&qc));
+    }
+
+    #[test]
+    fn single_qubit_edge_case() {
+        let qc = ghz(1);
+        assert_eq!(qc.num_gates(), 1);
+    }
+
+    #[test]
+    fn entangling_count_scales_linearly() {
+        for n in [2usize, 4, 16, 32] {
+            assert_eq!(ghz(n).num_entangling(), n - 1);
+        }
+    }
+}

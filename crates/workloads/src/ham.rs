@@ -1,0 +1,72 @@
+//! Hamiltonian simulation (SupermarQ's `HamiltonianSimulation` benchmark).
+//!
+//! Trotterized time evolution of the transverse-field Ising Hamiltonian
+//! `H(t) = -J Σ σ^z_i σ^z_{i+1} - h Σ σ^x_i` from the `|+...+>` state, the
+//! SupermarQ construction: each Trotter step applies an X-rotation layer
+//! (transverse field) and a ZZ-interaction chain.
+
+use qfw_circuit::Circuit;
+
+/// Builds the SupermarQ-style Hamiltonian-simulation benchmark: `n` qubits,
+/// `steps` Trotter steps of duration `dt`, unit couplings.
+///
+/// The default benchmark shape used by the harness is
+/// `ham(n)` ≡ 1 time unit split into 4 steps — see [`ham`].
+pub fn ham_with(n: usize, steps: usize, dt: f64) -> Circuit {
+    assert!(n >= 2, "Hamiltonian simulation needs at least two qubits");
+    let (j, h) = (1.0, 1.0);
+    let mut qc = Circuit::new(n).named(format!("ham{n}"));
+    // SupermarQ prepares |+...+> (ground state of the pure transverse field).
+    for q in 0..n {
+        qc.h(q);
+    }
+    for _ in 0..steps {
+        for q in 0..n {
+            qc.rx(q, 2.0 * h * dt);
+        }
+        for q in 0..n - 1 {
+            qc.rzz(q, q + 1, 2.0 * j * dt);
+        }
+    }
+    qc.measure_all();
+    qc
+}
+
+/// The Table 2 instance: total time 1.0 over 4 Trotter steps.
+pub fn ham(n: usize) -> Circuit {
+    ham_with(n, 4, 0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let qc = ham(6);
+        let counts = qc.count_ops();
+        assert_eq!(counts["h"], 6);
+        assert_eq!(counts["rx"], 4 * 6);
+        assert_eq!(counts["rzz"], 4 * 5);
+        assert!(qc.measures_all());
+    }
+
+    #[test]
+    fn nearest_neighbor_only() {
+        use qfw_circuit::analysis::StructureReport;
+        let r = StructureReport::of(&ham(8));
+        assert!(r.nearest_neighbor_only);
+        assert!(!r.clifford);
+    }
+
+    #[test]
+    fn depth_grows_with_steps() {
+        assert!(ham_with(4, 8, 0.1).depth() > ham_with(4, 2, 0.1).depth());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_qubit() {
+        let _ = ham(1);
+    }
+}

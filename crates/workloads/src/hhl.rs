@@ -1,0 +1,387 @@
+//! The Harrow–Hassidim–Lloyd (HHL) quantum linear-system solver.
+//!
+//! Full construction, not a toy: state preparation for `|b>`, quantum phase
+//! estimation with controlled `e^{iAt}` powers, an exact eigenvalue-
+//! conditioned ancilla rotation, QPE uncomputation, and ancilla
+//! measurement. The deep coherent subroutines and the large controlled
+//! blocks are precisely why Fig. 3d's curves grow so much faster with
+//! qubit count than GHZ/HAM at the same register size.
+//!
+//! Register layout (LSB-first): system `0..s`, clock `s..s+t`,
+//! ancilla `s+t`. Total width `n = s + t + 1`.
+
+use qfw_circuit::{Circuit, Gate};
+use qfw_num::complex::{c64, C64};
+use qfw_num::decomp::eigh;
+use qfw_num::matrix::normalize;
+use qfw_num::rng::Rng;
+use qfw_num::Matrix;
+use std::f64::consts::PI;
+use std::sync::Arc;
+
+/// A fully-specified HHL problem instance.
+#[derive(Clone, Debug)]
+pub struct HhlInstance {
+    /// Hermitian system matrix, `2^s x 2^s`.
+    pub a: Matrix,
+    /// Right-hand side, normalized, length `2^s`.
+    pub b: Vec<C64>,
+    /// Clock register width `t`.
+    pub clock_qubits: usize,
+    /// Evolution time scale: QPE phases are `lambda * t0 / (2*pi)`.
+    pub t0: f64,
+    /// Rotation constant `C` (at most the smallest eigenvalue).
+    pub c: f64,
+}
+
+impl HhlInstance {
+    /// Number of system qubits.
+    pub fn system_qubits(&self) -> usize {
+        let dim = self.a.rows();
+        assert!(dim.is_power_of_two());
+        dim.trailing_zeros() as usize
+    }
+
+    /// Total circuit width `s + t + 1`.
+    pub fn total_qubits(&self) -> usize {
+        self.system_qubits() + self.clock_qubits + 1
+    }
+
+    /// The classical solution `x = A^{-1} b`, normalized — the reference
+    /// the quantum solution is validated against.
+    pub fn classical_solution(&self) -> Vec<C64> {
+        let mut x = qfw_num::decomp::solve(&self.a, &self.b);
+        normalize(&mut x);
+        x
+    }
+}
+
+/// Builds a unitary whose first column is `b` (Householder reflection
+/// mapping `|0>` to `|b>`), used as the state-preparation block.
+fn state_prep_unitary(b: &[C64]) -> Matrix {
+    let dim = b.len();
+    // A Householder reflection maps e0 -> y exactly only when <e0, y> is
+    // real, so reflect onto the phase-aligned b' = e^{-i arg(b0)} b and put
+    // the phase back as a global factor.
+    let phase = if b[0].abs() > 1e-300 {
+        b[0] / b[0].abs()
+    } else {
+        C64::ONE
+    };
+    let bp: Vec<C64> = b.iter().map(|&x| x * phase.conj()).collect();
+    let mut v: Vec<C64> = bp.iter().map(|&x| -x).collect();
+    v[0] += C64::ONE; // v = e0 - b'
+    let vnorm2: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+    if vnorm2 < 1e-24 {
+        return Matrix::identity(dim).scale(phase);
+    }
+    let beta = 2.0 / vnorm2;
+    Matrix::from_fn(dim, dim, |i, j| {
+        let delta = if i == j { C64::ONE } else { C64::ZERO };
+        (delta - (v[i] * v[j].conj()).scale(beta)) * phase
+    })
+}
+
+/// The quantum Fourier transform on the listed qubits (`qs[0]` = LSB):
+/// `|x> -> 2^{-t/2} sum_y e^{2 pi i x y / 2^t} |y>`.
+pub fn qft_circuit(num_qubits: usize, qs: &[usize]) -> Circuit {
+    let t = qs.len();
+    let mut qc = Circuit::new(num_qubits).named("qft");
+    for j in (0..t).rev() {
+        qc.h(qs[j]);
+        for k in (0..j).rev() {
+            // Controlled phase between bit k (control) and bit j.
+            qc.cp(qs[k], qs[j], PI / (1 << (j - k)) as f64);
+        }
+    }
+    // Bit-reversal swaps.
+    for i in 0..t / 2 {
+        qc.swap(qs[i], qs[t - 1 - i]);
+    }
+    qc
+}
+
+/// Builds the complete HHL circuit for an instance.
+pub fn hhl(inst: &HhlInstance) -> Circuit {
+    let s = inst.system_qubits();
+    let t = inst.clock_qubits;
+    let n = inst.total_qubits();
+    let ancilla = s + t;
+    let clock: Vec<usize> = (s..s + t).collect();
+    let system: Vec<usize> = (0..s).collect();
+
+    assert!(inst.a.is_hermitian(1e-9), "HHL needs a Hermitian matrix");
+    assert!((qfw_num::matrix::vec_norm(&inst.b) - 1.0).abs() < 1e-9);
+
+    let mut qc = Circuit::new(n).named(format!("hhl{n}"));
+
+    // 1. Prepare |b> on the system register.
+    qc.push(Gate::Unitary {
+        qubits: system.clone(),
+        matrix: Arc::new(state_prep_unitary(&inst.b)),
+        label: "prep_b".into(),
+    });
+
+    // 2. QPE: Hadamards then controlled e^{i A t0 2^k}.
+    for &q in &clock {
+        qc.h(q);
+    }
+    // Diagonalize once; each power reuses the eigenbasis.
+    let eig = eigh(&inst.a);
+    let dim = inst.a.rows();
+    let u_power = |k: usize| -> Matrix {
+        let phases: Vec<C64> = eig
+            .values
+            .iter()
+            .map(|&lam| C64::cis(lam * inst.t0 * (1 << k) as f64))
+            .collect();
+        Matrix::from_fn(dim, dim, |i, j| {
+            let mut acc = C64::ZERO;
+            for (m, &p) in phases.iter().enumerate() {
+                acc += eig.vectors[(i, m)] * p * eig.vectors[(j, m)].conj();
+            }
+            acc
+        })
+    };
+    let controlled = |u: &Matrix| -> Matrix {
+        // Local basis: bit 0 = control, bits 1.. = system.
+        Matrix::from_fn(2 * dim, 2 * dim, |row, col| {
+            let (rc, rs) = (row & 1, row >> 1);
+            let (cc, cs) = (col & 1, col >> 1);
+            if rc != cc {
+                C64::ZERO
+            } else if rc == 0 {
+                if rs == cs {
+                    C64::ONE
+                } else {
+                    C64::ZERO
+                }
+            } else {
+                u[(rs, cs)]
+            }
+        })
+    };
+    let mut qpe = Circuit::new(n).named("qpe");
+    for (k, &cq) in clock.iter().enumerate() {
+        let mut qubits = vec![cq];
+        qubits.extend(&system);
+        qpe.push(Gate::Unitary {
+            qubits,
+            matrix: Arc::new(controlled(&u_power(k))),
+            label: format!("c-U^{}", 1 << k),
+        });
+    }
+    qc.compose(&qpe);
+
+    // 3. Inverse QFT brings the phase into the clock register.
+    let iqft = qft_circuit(n, &clock).inverse();
+    qc.compose(&iqft);
+
+    // 4. Eigenvalue-conditioned ancilla rotation: block-diagonal over the
+    //    clock value l, RY(2 asin(C / lambda(l))) on the ancilla.
+    let lam_of = |l: usize| -> f64 { 2.0 * PI * l as f64 / ((1 << t) as f64 * inst.t0) };
+    let cr_dim = 1usize << (t + 1);
+    let cr = Matrix::from_fn(cr_dim, cr_dim, |row, col| {
+        let (ra, rl) = (row & 1, row >> 1);
+        let (ca, cl) = (col & 1, col >> 1);
+        if rl != cl {
+            return C64::ZERO;
+        }
+        let theta = if cl == 0 {
+            0.0
+        } else {
+            let ratio = (inst.c / lam_of(cl)).clamp(-1.0, 1.0);
+            2.0 * ratio.asin()
+        };
+        let (cos, sin) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+        // RY matrix entries: [[cos, -sin], [sin, cos]].
+        let v = match (ra, ca) {
+            (0, 0) => cos,
+            (0, 1) => -sin,
+            (1, 0) => sin,
+            (1, 1) => cos,
+            _ => unreachable!(),
+        };
+        c64(v, 0.0)
+    });
+    let mut cr_qubits = vec![ancilla];
+    cr_qubits.extend(&clock);
+    qc.push(Gate::Unitary {
+        qubits: cr_qubits,
+        matrix: Arc::new(cr),
+        label: "cond_rot".into(),
+    });
+
+    // 5. Uncompute: QFT, inverse QPE, Hadamards.
+    qc.compose(&qft_circuit(n, &clock));
+    qc.compose(&qpe.inverse());
+    for &q in &clock {
+        qc.h(q);
+    }
+
+    // 6. Measure the ancilla (success flag) and the system register.
+    qc.measure(ancilla, ancilla);
+    for &q in &system {
+        qc.measure(q, q);
+    }
+    qc
+}
+
+/// Builds the Table 2 benchmark instance for a total width of `n` qubits
+/// (odd: `s = t = (n-1)/2`): a seeded random Hermitian matrix with exactly
+/// clock-representable eigenvalues (so QPE is exact and the solver's output
+/// can be validated), and a seeded right-hand side.
+pub fn hhl_benchmark(n: usize) -> (Circuit, HhlInstance) {
+    assert!(n >= 5 && n % 2 == 1, "benchmark widths are odd and >= 5");
+    let s = (n - 1) / 2;
+    let t = (n - 1) / 2;
+    let dim = 1usize << s;
+    let mut rng = Rng::seed_from(0xA11CE ^ n as u64);
+
+    // Random eigenbasis via QR of a random complex matrix.
+    let raw = Matrix::from_fn(dim, dim, |_, _| {
+        c64(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0))
+    });
+    let v = qfw_num::decomp::qr(&raw).q;
+    // Eigenvalues l/2^t with distinct l >= 1 (exactly representable phases
+    // under t0 = 2*pi).
+    let t0 = 2.0 * PI;
+    let max_l = (1usize << t) - 1;
+    let values: Vec<f64> = (0..dim)
+        .map(|i| {
+            let l = 1 + (i * max_l.saturating_sub(1) / dim.max(1)) % max_l;
+            l as f64 / (1 << t) as f64
+        })
+        .collect();
+    let a = Matrix::from_fn(dim, dim, |i, j| {
+        let mut acc = C64::ZERO;
+        for (m, &lam) in values.iter().enumerate() {
+            acc += v[(i, m)] * c64(lam, 0.0) * v[(j, m)].conj();
+        }
+        acc
+    });
+    let mut b: Vec<C64> = (0..dim)
+        .map(|_| c64(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)))
+        .collect();
+    normalize(&mut b);
+    let c = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let inst = HhlInstance {
+        a,
+        b,
+        clock_qubits: t,
+        t0,
+        c,
+    };
+    (hhl(&inst), inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfw_sim_sv::SvSimulator;
+
+    #[test]
+    fn qft_matches_dft_matrix() {
+        let t = 3;
+        let qc = qft_circuit(t, &[0, 1, 2]);
+        let engine = SvSimulator::plain();
+        // Column x of the QFT: run on basis state |x>.
+        for x in 0..(1 << t) {
+            let mut prep = Circuit::new(t);
+            for q in 0..t {
+                if x & (1 << q) != 0 {
+                    prep.x(q);
+                }
+            }
+            prep.compose(&qc);
+            let amps = engine.statevector(&prep);
+            let norm = 1.0 / ((1 << t) as f64).sqrt();
+            for y in 0..(1 << t) {
+                let want = C64::cis(2.0 * PI * (x * y) as f64 / (1 << t) as f64).scale(norm);
+                assert!(
+                    amps.amps()[y].approx_eq(want, 1e-10),
+                    "x={x} y={y}: {} vs {want}",
+                    amps.amps()[y]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn state_prep_maps_zero_to_b() {
+        let mut rng = Rng::seed_from(5);
+        let mut b: Vec<C64> = (0..8)
+            .map(|_| c64(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)))
+            .collect();
+        normalize(&mut b);
+        let u = state_prep_unitary(&b);
+        assert!(u.is_unitary(1e-10));
+        for (i, want) in b.iter().enumerate() {
+            assert!(u[(i, 0)].approx_eq(*want, 1e-10));
+        }
+    }
+
+    #[test]
+    fn hhl_solution_matches_classical_solve() {
+        // n = 5: s = t = 2. Exactly-representable eigenvalues => QPE exact.
+        let (qc, inst) = hhl_benchmark(5);
+        let s = inst.system_qubits();
+        let t = inst.clock_qubits;
+        let ancilla_bit = s + t;
+
+        let engine = SvSimulator::plain();
+        let sv = engine.statevector(&qc);
+        // Post-select ancilla = 1, clock = 0; read the system register.
+        let mut post = vec![C64::ZERO; 1 << s];
+        for sys in 0..(1usize << s) {
+            let idx = sys | (1 << ancilla_bit);
+            post[sys] = sv.amps()[idx];
+        }
+        let p_success: f64 = post.iter().map(|z| z.norm_sqr()).sum();
+        assert!(p_success > 1e-3, "post-selection probability {p_success}");
+        normalize(&mut post);
+
+        let x = inst.classical_solution();
+        let fid = qfw_num::matrix::inner(&x, &post).norm_sqr();
+        assert!(fid > 0.99, "HHL fidelity {fid}");
+    }
+
+    #[test]
+    fn hhl_7_also_accurate() {
+        let (qc, inst) = hhl_benchmark(7);
+        let s = inst.system_qubits();
+        let ancilla_bit = s + inst.clock_qubits;
+        let sv = SvSimulator::plain().statevector(&qc);
+        let mut post = vec![C64::ZERO; 1 << s];
+        for sys in 0..(1usize << s) {
+            post[sys] = sv.amps()[sys | (1 << ancilla_bit)];
+        }
+        normalize(&mut post);
+        let fid = qfw_num::matrix::inner(&inst.classical_solution(), &post).norm_sqr();
+        assert!(fid > 0.99, "HHL-7 fidelity {fid}");
+    }
+
+    #[test]
+    fn benchmark_widths_follow_table2() {
+        for n in [5usize, 7, 9] {
+            let (qc, inst) = hhl_benchmark(n);
+            assert_eq!(qc.num_qubits(), n);
+            assert_eq!(inst.total_qubits(), n);
+        }
+    }
+
+    #[test]
+    fn circuit_is_deep() {
+        // HHL must be far heavier than GHZ at the same width (Fig. 3d's
+        // driver) — more gates, and wide multi-qubit blocks.
+        let (qc, _) = hhl_benchmark(5);
+        assert!(qc.num_gates() > 3 * qc.num_qubits(), "{}", qc.num_gates());
+        assert!(qc.depth() > 2 * qc.num_qubits(), "{}", qc.depth());
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_widths_rejected() {
+        let _ = hhl_benchmark(6);
+    }
+}

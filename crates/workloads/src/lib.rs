@@ -1,0 +1,38 @@
+//! Benchmark workloads — the circuits and problem instances of Table 2.
+//!
+//! Non-variational kernels (Section 2.2):
+//!
+//! * [`ghz()`] — SupermarQ-style GHZ state preparation: shallow but maximally
+//!   correlated; stresses long-range entanglement growth.
+//! * [`ham()`] — SupermarQ-style Hamiltonian simulation: trotterized
+//!   transverse-field Ising time evolution.
+//! * [`tfim()`] — the TFIM benchmark with explicit couplings: structured,
+//!   low-entanglement, nearest-neighbour — the MPS-friendly kernel of
+//!   Fig. 3c.
+//! * [`hhl()`] — the Harrow–Hassidim–Lloyd linear solver: deep coherent
+//!   subroutines (QPE, controlled rotations, ancilla management).
+//!
+//! Variational pieces (Section 2.3):
+//!
+//! * [`qubo`] — QUBO instances: random and metamaterial-structured
+//!   generators, energy evaluation, exhaustive minimization, Ising mapping.
+//! * [`qaoa`] — the layered cost/mixer QAOA ansatz over a QUBO as a
+//!   [`qfw_circuit::ParamCircuit`].
+//! * [`pauli`] — Pauli-string observables with measurement-basis grouping,
+//!   the substrate for the VQE extension workload.
+
+pub mod ghz;
+pub mod ham;
+pub mod hhl;
+pub mod pauli;
+pub mod qaoa;
+pub mod qubo;
+pub mod tfim;
+
+pub use ghz::ghz;
+pub use ham::ham;
+pub use hhl::{hhl, hhl_benchmark, HhlInstance};
+pub use pauli::{Pauli, PauliHamiltonian, PauliTerm};
+pub use qaoa::qaoa_ansatz;
+pub use qubo::Qubo;
+pub use tfim::tfim;

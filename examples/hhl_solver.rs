@@ -1,0 +1,67 @@
+//! Solving a linear system with the HHL workload and validating the
+//! quantum solution against a classical solve — the most intricate of the
+//! non-variational kernels (QPE + conditioned rotation + uncompute).
+//!
+//! ```text
+//! cargo run --release --example hhl_solver
+//! ```
+
+use qfw::QfwSession;
+use qfw_num::matrix::{inner, normalize};
+use qfw_sim_sv::SvSimulator;
+use qfw_workloads::hhl_benchmark;
+
+fn main() {
+    // Build the HHL-7 benchmark instance: 3 system + 3 clock + 1 ancilla.
+    let (circuit, inst) = hhl_benchmark(7);
+    let s = inst.system_qubits();
+    println!(
+        "HHL instance: {} total qubits ({} system + {} clock + 1 ancilla), depth {}, {} gates",
+        inst.total_qubits(),
+        s,
+        inst.clock_qubits,
+        circuit.depth(),
+        circuit.num_gates()
+    );
+
+    // Route the circuit through QFw like any other workload.
+    let session = QfwSession::launch_local(2).expect("launch");
+    let backend = session
+        .backend(&[("backend", "nwqsim"), ("subbackend", "cpu")])
+        .expect("backend");
+    let result = backend.execute_sync(&circuit, 4096).expect("run");
+    let ancilla_one: usize = result
+        .counts
+        .iter()
+        .filter(|(bits, _)| bits.as_bytes()[0] == b'1') // ancilla is the top bit
+        .map(|(_, c)| *c)
+        .sum();
+    println!(
+        "post-selection success rate: {:.1}% of {} shots",
+        100.0 * ancilla_one as f64 / result.shots as f64,
+        result.shots
+    );
+
+    // Exact check: post-select the statevector and compare with x = A^{-1} b.
+    let sv = SvSimulator::plain().statevector(&circuit);
+    let ancilla_bit = inst.total_qubits() - 1;
+    let mut post = vec![qfw_num::C64::ZERO; 1 << s];
+    for (sys, amp) in post.iter_mut().enumerate() {
+        *amp = sv.amps()[sys | (1 << ancilla_bit)];
+    }
+    normalize(&mut post);
+    let x = inst.classical_solution();
+    let fidelity = inner(&x, &post).norm_sqr();
+    println!("fidelity(quantum solution, classical solve) = {fidelity:.6}");
+    assert!(fidelity > 0.99, "HHL solution fidelity too low");
+
+    println!("\nclassical |x>   vs   quantum |x>");
+    for i in 0..(1 << s) {
+        println!(
+            "  |{i:03b}>  {:>8.4}  {:>8.4}",
+            x[i].abs(),
+            post[i].abs()
+        );
+    }
+    println!("HHL solve OK");
+}

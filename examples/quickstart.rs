@@ -1,0 +1,45 @@
+//! Quickstart: bring QFw up on a simulated cluster, run one circuit, read
+//! the counts — the 60-second tour of the public API.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qfw::{QfwSession, BackendRegistry};
+use qfw_circuit::Circuit;
+
+fn main() {
+    // 1. Launch the stack: heterogeneous job, DVM, RPC hub, QPM services.
+    //    (`launch_local(2)` = 2 worker nodes on a free-communication test
+    //    cluster; see ClusterSpec::frontier_test_cluster() for the full
+    //    32-node model with Slingshot-like costs.)
+    let session = QfwSession::launch_local(2).expect("launch QFw");
+    println!("QFw is up: DVM at {}", session.dvm_uri());
+    println!("{}", BackendRegistry::render_capability_table());
+
+    // 2. Build a circuit with the IR — a 5-qubit GHZ state.
+    let mut circuit = Circuit::new(5).named("quickstart_ghz");
+    circuit.h(0).cx(0, 1).cx(1, 2).cx(2, 3).cx(3, 4).measure_all();
+
+    // 3. Pick a backend with runtime properties — the paper's
+    //    `{"backend": "nwqsim", "subbackend": "cpu"}` selection model.
+    let backend = session
+        .backend(&[("backend", "nwqsim"), ("subbackend", "cpu")])
+        .expect("backend");
+
+    // 4. Execute and read the unified result format.
+    let result = backend.execute_sync(&circuit, 1000).expect("execution");
+    println!(
+        "ran on {}/{} in {:.3} ms",
+        result.backend,
+        result.subbackend,
+        result.profile.total_secs * 1e3
+    );
+    for (bits, count) in &result.counts {
+        println!("  {bits}: {count}");
+    }
+
+    // GHZ: only the all-zeros and all-ones strings appear.
+    assert_eq!(result.counts.len(), 2);
+    println!("quickstart OK");
+}

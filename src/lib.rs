@@ -1,0 +1,28 @@
+//! `qfw-repro` — the workspace façade crate.
+//!
+//! This is a Rust reproduction of *"Scaling Hybrid Quantum-HPC
+//! Applications with the Quantum Framework"* (SC 2025): the QFw
+//! orchestration layer, every simulator backend it integrates, the
+//! simulated HPC substrate it runs on, and the full benchmark suite of the
+//! paper's evaluation.
+//!
+//! Start with the [`qfw`] crate ([`qfw::QfwSession`] →
+//! [`qfw::QfwBackend`]), build circuits with [`qfw_circuit`], generate the
+//! paper's workloads with [`qfw_workloads`], and run variational
+//! applications with [`qfw_dqaoa`]. The `examples/` directory walks
+//! through all of it; the `experiments` binary (in `crates/bench`)
+//! regenerates the paper's tables and figures.
+
+pub use qfw;
+pub use qfw_circuit;
+pub use qfw_cloud;
+pub use qfw_defw;
+pub use qfw_dqaoa;
+pub use qfw_hpc;
+pub use qfw_num;
+pub use qfw_optim;
+pub use qfw_sim_mps;
+pub use qfw_sim_stab;
+pub use qfw_sim_sv;
+pub use qfw_sim_tn;
+pub use qfw_workloads;
