@@ -28,7 +28,8 @@ fn bench_kernels(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(4))
         .warm_up_time(Duration::from_millis(500));
 
-    let kernels: Vec<(&str, Box<dyn Fn(usize) -> qfw_circuit::Circuit>)> = vec![
+    type KernelFn = Box<dyn Fn(usize) -> qfw_circuit::Circuit>;
+    let kernels: Vec<(&str, KernelFn)> = vec![
         ("ghz", Box::new(ghz)),
         ("ham", Box::new(ham)),
         ("tfim", Box::new(tfim)),

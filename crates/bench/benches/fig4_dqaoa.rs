@@ -54,7 +54,7 @@ fn bench_dqaoa(c: &mut Criterion) {
                 .backend_with_spec(BackendSpec::of(name, sub))
                 .unwrap();
             group.bench_with_input(
-                BenchmarkId::new(format!("{name}"), format!("({subqsize},{nsubq})")),
+                BenchmarkId::new(name, format!("({subqsize},{nsubq})")),
                 &qubo,
                 |b, qubo| {
                     b.iter(|| solve_dqaoa(&backend, qubo, config(subqsize, nsubq)).unwrap());

@@ -37,6 +37,7 @@ impl Cell {
 /// backend, respecting the walltime cutoff (first overrun marks the cell
 /// as missing — the paper's "configuration omitted due to exceeding
 /// walltime").
+#[allow(clippy::too_many_arguments)]
 pub fn run_cell(
     backend: &QfwBackend,
     workload: &str,
@@ -207,7 +208,7 @@ mod tests {
         assert!(cell.stats.is_some());
         let s = cell.stats.as_ref().unwrap();
         assert_eq!(s.runs, 3);
-        let table = render_series("fig-test", &[cell.clone()]);
+        let table = render_series("fig-test", std::slice::from_ref(&cell));
         assert!(table.contains("nwqsim/cpu"));
         assert!(table.contains("fig-test"));
         let csv = to_csv(&[cell]);
@@ -224,7 +225,7 @@ mod tests {
         let cell = run_cell(&backend, "ghz", &ghz(4), 4, (1, 1), 10, 2, 30.0);
         assert!(cell.stats.is_none());
         assert!(!cell.note.is_empty());
-        let table = render_series("t", &[cell.clone()]);
+        let table = render_series("t", std::slice::from_ref(&cell));
         assert!(table.contains('X'));
         let csv = to_csv(&[cell]);
         assert!(csv.contains(",,,,"));

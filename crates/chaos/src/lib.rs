@@ -1,0 +1,598 @@
+//! Deterministic fault injection for the QFw stack.
+//!
+//! The paper's QFw argues that a hybrid quantum-HPC run must survive the
+//! failure modes of both worlds: lost RPC replies inside DEFw, dead QRC
+//! worker slots on the HPC side, and rejected or stalled jobs at the cloud
+//! QPU. This crate provides the three building blocks the stack wires in:
+//!
+//! * [`FaultPlan`] — a seeded injection schedule. Each injection *site*
+//!   (a string like `defw.drop_reply.qpm0`) carries a [`FaultSpec`] saying
+//!   when it fires: skip the first `k` hits, fire at most `n` times, fire
+//!   with probability `p`. All probability draws come from per-site
+//!   streams forked off the single plan seed, so a plan replayed with the
+//!   same seed injects the exact same faults.
+//! * [`RetryPolicy`] / [`BackoffSchedule`] — exponential backoff with
+//!   decorrelated jitter, capped per-attempt and budgeted by a total
+//!   deadline. The schedule is pure computation (callers do the
+//!   sleeping), which keeps it trivially testable.
+//! * [`CircuitBreaker`] — a per-service breaker with the classic
+//!   closed / open / half-open cycle.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Minimal deterministic generator (SplitMix64) for injection draws and
+/// backoff jitter. Kept local so the crate stands alone.
+#[derive(Clone, Debug)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// Seeds the stream.
+    pub fn seed_from(seed: u64) -> ChaosRng {
+        ChaosRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash: u64 = 0xCBF29CE484222325;
+    for byte in s.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100000001B3);
+    }
+    hash
+}
+
+/// When a fault site fires.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Let this many hits pass untouched before injecting.
+    pub skip: u64,
+    /// Inject at most this many times (`u64::MAX` = unlimited).
+    pub max_fires: u64,
+    /// Chance of injecting on each eligible hit (`1.0` = always).
+    pub probability: f64,
+    /// For delay sites: how long the injected stall lasts.
+    pub delay: Option<Duration>,
+}
+
+impl FaultSpec {
+    /// Fires on every hit.
+    pub fn always() -> FaultSpec {
+        FaultSpec {
+            skip: 0,
+            max_fires: u64::MAX,
+            probability: 1.0,
+            delay: None,
+        }
+    }
+
+    /// Fires on exactly the first `n` hits, then stops.
+    pub fn first(n: u64) -> FaultSpec {
+        FaultSpec {
+            max_fires: n,
+            ..FaultSpec::always()
+        }
+    }
+
+    /// Fires with probability `p` per hit.
+    pub fn with_probability(p: f64) -> FaultSpec {
+        FaultSpec {
+            probability: p.clamp(0.0, 1.0),
+            ..FaultSpec::always()
+        }
+    }
+
+    /// Lets the first `n` hits through before the spec becomes eligible.
+    pub fn after(mut self, n: u64) -> FaultSpec {
+        self.skip = n;
+        self
+    }
+
+    /// Caps the number of injections.
+    pub fn times(mut self, n: u64) -> FaultSpec {
+        self.max_fires = n;
+        self
+    }
+
+    /// Attaches a stall duration (used by delay-style sites).
+    pub fn delayed(mut self, d: Duration) -> FaultSpec {
+        self.delay = Some(d);
+        self
+    }
+}
+
+struct SiteState {
+    hits: u64,
+    fires: u64,
+    rng: ChaosRng,
+}
+
+/// One recorded injection, for reproducibility assertions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InjectionRecord {
+    /// Site that fired.
+    pub site: String,
+    /// Zero-based hit index at which it fired.
+    pub hit: u64,
+}
+
+/// A seeded fault-injection schedule shared (via `Arc`) across the layers
+/// it terrorizes. A disabled plan is the default everywhere and costs one
+/// branch per site check.
+pub struct FaultPlan {
+    seed: u64,
+    enabled: bool,
+    rules: HashMap<String, FaultSpec>,
+    state: Mutex<HashMap<String, SiteState>>,
+    log: Mutex<Vec<InjectionRecord>>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::disabled()
+    }
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything.
+    pub fn disabled() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            enabled: false,
+            rules: HashMap::new(),
+            state: Mutex::new(HashMap::new()),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// An active plan; per-site draws fork off `seed`.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            enabled: true,
+            ..FaultPlan::disabled()
+        }
+    }
+
+    /// Adds an injection rule for `site` (builder style).
+    pub fn inject(mut self, site: impl Into<String>, spec: FaultSpec) -> FaultPlan {
+        self.rules.insert(site.into(), spec);
+        self
+    }
+
+    /// The plan seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the plan can inject at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Evaluates one hit against `site`. Returns `true` when the fault
+    /// fires. Sites without a rule never fire and keep no state.
+    pub fn fires(&self, site: &str) -> bool {
+        self.evaluate(site).is_some()
+    }
+
+    /// Evaluates one hit against a delay-style site; returns the stall
+    /// duration when the fault fires.
+    pub fn delay(&self, site: &str) -> Option<Duration> {
+        let spec_delay = self.rules.get(site)?.delay;
+        self.evaluate(site).map(|_| spec_delay.unwrap_or(Duration::ZERO))
+    }
+
+    fn evaluate(&self, site: &str) -> Option<u64> {
+        if !self.enabled {
+            return None;
+        }
+        let spec = self.rules.get(site)?;
+        let mut state = self.state.lock();
+        let entry = state.entry(site.to_string()).or_insert_with(|| SiteState {
+            hits: 0,
+            fires: 0,
+            rng: ChaosRng::seed_from(self.seed ^ fnv1a(site)),
+        });
+        let hit = entry.hits;
+        entry.hits += 1;
+        if hit < spec.skip || entry.fires >= spec.max_fires {
+            return None;
+        }
+        let fire = if spec.probability >= 1.0 {
+            true
+        } else if spec.probability <= 0.0 {
+            false
+        } else {
+            entry.rng.unit() < spec.probability
+        };
+        if !fire {
+            return None;
+        }
+        entry.fires += 1;
+        drop(state);
+        self.log.lock().push(InjectionRecord {
+            site: site.to_string(),
+            hit,
+        });
+        Some(hit)
+    }
+
+    /// Number of times `site` has fired so far.
+    pub fn fired(&self, site: &str) -> u64 {
+        self.state.lock().get(site).map_or(0, |s| s.fires)
+    }
+
+    /// Number of times `site` has been evaluated so far.
+    pub fn hits(&self, site: &str) -> u64 {
+        self.state.lock().get(site).map_or(0, |s| s.hits)
+    }
+
+    /// Chronological record of every injection, for replay comparisons.
+    pub fn injection_log(&self) -> Vec<InjectionRecord> {
+        self.log.lock().clone()
+    }
+}
+
+/// Retry configuration: exponential backoff with decorrelated jitter,
+/// a per-attempt cap, an attempt ceiling, and a total sleep budget.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// First backoff and jitter floor.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+    /// Maximum attempts including the first (`1` = no retries).
+    pub max_attempts: u32,
+    /// Total sleep budget across all backoffs.
+    pub deadline: Duration,
+    /// Jitter stream seed.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// Standard policy: `max_attempts` tries, backoff from `base` capped
+    /// at `cap`, total sleep bounded by `deadline`.
+    pub fn new(base: Duration, cap: Duration, max_attempts: u32, deadline: Duration) -> Self {
+        RetryPolicy {
+            base,
+            cap,
+            max_attempts: max_attempts.max(1),
+            deadline,
+            seed: 0,
+        }
+    }
+
+    /// A policy that never retries.
+    pub fn no_retry() -> Self {
+        RetryPolicy::new(Duration::ZERO, Duration::ZERO, 1, Duration::ZERO)
+    }
+
+    /// Replaces the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Starts a fresh schedule for one logical call.
+    pub fn schedule(&self) -> BackoffSchedule {
+        BackoffSchedule {
+            policy: self.clone(),
+            rng: ChaosRng::seed_from(self.seed),
+            prev: self.base,
+            attempts: 1,
+            total_sleep: Duration::ZERO,
+        }
+    }
+}
+
+/// Mutable state of one retrying call. Produces backoff durations; the
+/// caller sleeps and re-issues the attempt.
+pub struct BackoffSchedule {
+    policy: RetryPolicy,
+    rng: ChaosRng,
+    prev: Duration,
+    attempts: u32,
+    total_sleep: Duration,
+}
+
+impl BackoffSchedule {
+    /// Asks for one more attempt. Returns the backoff to sleep before it,
+    /// or `None` when the attempt ceiling or the sleep budget is spent.
+    /// Backoffs use decorrelated jitter — `uniform(base, 3 * prev)`
+    /// capped at `cap` — and are additionally clamped so the running
+    /// total never exceeds `deadline`.
+    pub fn next_backoff(&mut self) -> Option<Duration> {
+        if self.attempts >= self.policy.max_attempts {
+            return None;
+        }
+        let remaining = self.policy.deadline.checked_sub(self.total_sleep)?;
+        if remaining.is_zero() && !self.policy.deadline.is_zero() {
+            return None;
+        }
+        let base = self.policy.base;
+        let spread = (self.prev * 3).saturating_sub(base);
+        let jittered = base + spread.mul_f64(self.rng.unit());
+        let backoff = jittered.min(self.policy.cap).min(remaining);
+        self.attempts += 1;
+        self.total_sleep += backoff;
+        self.prev = backoff.max(base);
+        Some(backoff)
+    }
+
+    /// Attempts granted so far (including the initial one).
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Total backoff handed out so far.
+    pub fn total_sleep(&self) -> Duration {
+        self.total_sleep
+    }
+}
+
+/// Breaker phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerPhase {
+    /// Calls flow; failures are counted.
+    Closed,
+    /// Calls are rejected until the cooldown elapses.
+    Open,
+    /// One probe call is in flight; its outcome decides the next phase.
+    HalfOpen,
+}
+
+struct BreakerInner {
+    phase: BreakerPhase,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+}
+
+/// Consecutive-failure circuit breaker with half-open probing.
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// Opens after `threshold` consecutive failures; after `cooldown` a
+    /// single probe is let through.
+    pub fn new(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            inner: Mutex::new(BreakerInner {
+                phase: BreakerPhase::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+            }),
+        }
+    }
+
+    /// Whether a call may proceed right now. In the open phase this flips
+    /// to a single half-open probe once the cooldown has elapsed.
+    pub fn allow(&self) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.phase {
+            BreakerPhase::Closed => true,
+            BreakerPhase::HalfOpen => false, // probe already in flight
+            BreakerPhase::Open => {
+                let elapsed = inner
+                    .opened_at
+                    .map_or(Duration::MAX, |t| t.elapsed());
+                if elapsed >= self.cooldown {
+                    inner.phase = BreakerPhase::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Reports a successful call: closes the breaker.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock();
+        inner.phase = BreakerPhase::Closed;
+        inner.consecutive_failures = 0;
+        inner.opened_at = None;
+    }
+
+    /// Reports a failed call: counts toward the threshold; a failed
+    /// half-open probe reopens immediately.
+    pub fn record_failure(&self) {
+        let mut inner = self.inner.lock();
+        inner.consecutive_failures += 1;
+        if inner.phase == BreakerPhase::HalfOpen
+            || inner.consecutive_failures >= self.threshold
+        {
+            inner.phase = BreakerPhase::Open;
+            inner.opened_at = Some(Instant::now());
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> BreakerPhase {
+        self.inner.lock().phase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let plan = FaultPlan::disabled();
+        for _ in 0..100 {
+            assert!(!plan.fires("defw.drop_reply.qpm0"));
+        }
+        assert!(plan.injection_log().is_empty());
+    }
+
+    #[test]
+    fn first_n_fires_exactly_n_times() {
+        let plan =
+            FaultPlan::seeded(7).inject("cloud.job_fail", FaultSpec::first(3));
+        let fired: Vec<bool> = (0..10).map(|_| plan.fires("cloud.job_fail")).collect();
+        assert_eq!(fired, vec![
+            true, true, true, false, false, false, false, false, false, false
+        ]);
+        assert_eq!(plan.fired("cloud.job_fail"), 3);
+        assert_eq!(plan.hits("cloud.job_fail"), 10);
+    }
+
+    #[test]
+    fn skip_defers_injection() {
+        let plan = FaultPlan::seeded(7)
+            .inject("qrc.slot_death", FaultSpec::first(1).after(2));
+        let fired: Vec<bool> = (0..5).map(|_| plan.fires("qrc.slot_death")).collect();
+        assert_eq!(fired, vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn probability_draws_are_seed_reproducible() {
+        let run = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::seeded(seed)
+                .inject("defw.drop_reply.x", FaultSpec::with_probability(0.4));
+            (0..64).map(|_| plan.fires("defw.drop_reply.x")).collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should differ");
+    }
+
+    #[test]
+    fn delay_site_returns_duration() {
+        let plan = FaultPlan::seeded(1).inject(
+            "defw.delay.qpm0",
+            FaultSpec::first(1).delayed(Duration::from_millis(25)),
+        );
+        assert_eq!(plan.delay("defw.delay.qpm0"), Some(Duration::from_millis(25)));
+        assert_eq!(plan.delay("defw.delay.qpm0"), None);
+        assert_eq!(plan.delay("unknown.site"), None);
+    }
+
+    #[test]
+    fn injection_log_records_sites_and_hits() {
+        let plan = FaultPlan::seeded(9)
+            .inject("a", FaultSpec::first(1).after(1))
+            .inject("b", FaultSpec::first(2));
+        for _ in 0..3 {
+            plan.fires("a");
+            plan.fires("b");
+        }
+        let log = plan.injection_log();
+        assert_eq!(log.len(), 3);
+        assert!(log.contains(&InjectionRecord { site: "a".into(), hit: 1 }));
+        assert!(log.contains(&InjectionRecord { site: "b".into(), hit: 0 }));
+        assert!(log.contains(&InjectionRecord { site: "b".into(), hit: 1 }));
+    }
+
+    #[test]
+    fn backoff_respects_cap_and_deadline() {
+        let policy = RetryPolicy::new(
+            Duration::from_millis(10),
+            Duration::from_millis(80),
+            50,
+            Duration::from_millis(300),
+        )
+        .with_seed(5);
+        let mut schedule = policy.schedule();
+        let mut total = Duration::ZERO;
+        while let Some(b) = schedule.next_backoff() {
+            assert!(b <= policy.cap, "backoff {b:?} above cap");
+            total += b;
+        }
+        assert!(total <= policy.deadline, "total {total:?} above deadline");
+        assert_eq!(total, schedule.total_sleep());
+    }
+
+    #[test]
+    fn attempts_are_capped() {
+        let policy = RetryPolicy::new(
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+            4,
+            Duration::from_secs(60),
+        );
+        let mut schedule = policy.schedule();
+        let mut grants = 0;
+        while schedule.next_backoff().is_some() {
+            grants += 1;
+        }
+        assert_eq!(grants, 3, "4 attempts = 3 retries");
+        assert_eq!(schedule.attempts(), 4);
+    }
+
+    #[test]
+    fn no_retry_policy_grants_nothing() {
+        let mut schedule = RetryPolicy::no_retry().schedule();
+        assert_eq!(schedule.next_backoff(), None);
+        assert_eq!(schedule.attempts(), 1);
+    }
+
+    #[test]
+    fn schedules_are_seed_deterministic() {
+        let policy = RetryPolicy::new(
+            Duration::from_millis(5),
+            Duration::from_millis(50),
+            10,
+            Duration::from_secs(1),
+        )
+        .with_seed(77);
+        let collect = || {
+            let mut s = policy.schedule();
+            std::iter::from_fn(move || s.next_backoff()).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probes_after_cooldown() {
+        let breaker = CircuitBreaker::new(3, Duration::from_millis(20));
+        assert!(breaker.allow());
+        breaker.record_failure();
+        breaker.record_failure();
+        assert_eq!(breaker.phase(), BreakerPhase::Closed);
+        breaker.record_failure();
+        assert_eq!(breaker.phase(), BreakerPhase::Open);
+        assert!(!breaker.allow());
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(breaker.allow(), "cooldown elapsed: one probe allowed");
+        assert_eq!(breaker.phase(), BreakerPhase::HalfOpen);
+        assert!(!breaker.allow(), "only one probe at a time");
+        breaker.record_success();
+        assert_eq!(breaker.phase(), BreakerPhase::Closed);
+        assert!(breaker.allow());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let breaker = CircuitBreaker::new(1, Duration::from_millis(10));
+        breaker.record_failure();
+        assert_eq!(breaker.phase(), BreakerPhase::Open);
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(breaker.allow());
+        breaker.record_failure();
+        assert_eq!(breaker.phase(), BreakerPhase::Open);
+        assert!(!breaker.allow());
+    }
+}

@@ -115,8 +115,8 @@ impl StructureReport {
                     nn_only = false;
                 }
                 // The gate crosses every cut strictly between lo and hi.
-                for k in lo..hi {
-                    cut[k] += 1;
+                for c in &mut cut[lo..hi] {
+                    *c += 1;
                 }
             }
         }

@@ -55,7 +55,7 @@ pub fn controlled_gate(gate: &Gate, control: usize) -> Gate {
         Gate::Cx(c, t) => Gate::Ccx(control, c, t),
         g => {
             let arity = g.arity();
-            assert!(arity + 1 <= 8, "controlled gate would span {} qubits", arity + 1);
+            assert!(arity < 8, "controlled gate would span {} qubits", arity + 1);
             let mut qubits = vec![control];
             qubits.extend(g.qubits());
             Gate::Unitary {

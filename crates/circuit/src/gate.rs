@@ -149,23 +149,17 @@ impl Gate {
         match self {
             Gate::Ccx(..) => 3,
             Gate::Unitary { qubits, .. } => qubits.len(),
-            g if matches!(
-                g,
-                Gate::Cx(..)
-                    | Gate::Cy(..)
-                    | Gate::Cz(..)
-                    | Gate::Swap(..)
-                    | Gate::Cp(..)
-                    | Gate::Crx(..)
-                    | Gate::Cry(..)
-                    | Gate::Crz(..)
-                    | Gate::Rxx(..)
-                    | Gate::Ryy(..)
-                    | Gate::Rzz(..)
-            ) =>
-            {
-                2
-            }
+            Gate::Cx(..)
+            | Gate::Cy(..)
+            | Gate::Cz(..)
+            | Gate::Swap(..)
+            | Gate::Cp(..)
+            | Gate::Crx(..)
+            | Gate::Cry(..)
+            | Gate::Crz(..)
+            | Gate::Rxx(..)
+            | Gate::Ryy(..)
+            | Gate::Rzz(..) => 2,
             _ => 1,
         }
     }

@@ -22,7 +22,15 @@
 //!   bit-flip noise channel (NISQ flavour without per-gate density-matrix
 //!   cost).
 
+//!
+//! For resilience testing the provider also accepts a seeded
+//! [`FaultPlan`] (see [`CloudProvider::start_with_chaos`]): jobs can be
+//! failed (`cloud.job_fail`), submissions rejected with HTTP-429-style
+//! rate limits (`cloud.rate_limit`, via [`CloudProvider::try_submit_job`]),
+//! and the shared queue stalled (`cloud.queue_stall`).
+
 use parking_lot::{Condvar, Mutex};
+pub use qfw_chaos::{FaultPlan, FaultSpec};
 use qfw_circuit::text;
 use qfw_num::rng::Rng;
 use qfw_sim_sv::noise::{run_noisy, NoiseModel};
@@ -133,6 +141,9 @@ pub enum CloudError {
     NotReady(u64),
     /// The job failed.
     Failed(String),
+    /// The provider rejected the submission (HTTP 429 flavour); retry
+    /// after a backoff.
+    RateLimited,
 }
 
 impl std::fmt::Display for CloudError {
@@ -141,6 +152,7 @@ impl std::fmt::Display for CloudError {
             CloudError::NotFound(id) => write!(f, "job {id} not found"),
             CloudError::NotReady(id) => write!(f, "job {id} is not completed yet"),
             CloudError::Failed(msg) => write!(f, "job failed: {msg}"),
+            CloudError::RateLimited => write!(f, "submission rate-limited by the provider"),
         }
     }
 }
@@ -166,6 +178,7 @@ struct Shared {
     next_id: AtomicU64,
     config: CloudConfig,
     completed: AtomicU64,
+    chaos: Arc<FaultPlan>,
 }
 
 /// The provider: a shared queue in front of one simulated QPU.
@@ -175,8 +188,17 @@ pub struct CloudProvider {
 }
 
 impl CloudProvider {
-    /// Boots the provider and its queue worker.
+    /// Boots the provider and its queue worker with no fault injection.
     pub fn start(config: CloudConfig) -> CloudProvider {
+        Self::start_with_chaos(config, Arc::new(FaultPlan::disabled()))
+    }
+
+    /// Boots the provider with a fault plan. Sites consulted:
+    /// `cloud.job_fail` (a pulled job is marked `Failed` without
+    /// executing), `cloud.rate_limit` ([`CloudProvider::try_submit_job`]
+    /// returns [`CloudError::RateLimited`]), and `cloud.queue_stall`
+    /// (delay-style: extra wait added to the shared-queue delay).
+    pub fn start_with_chaos(config: CloudConfig, chaos: Arc<FaultPlan>) -> CloudProvider {
         let shared = Arc::new(Shared {
             state: Mutex::new(ProviderState {
                 jobs: HashMap::new(),
@@ -188,6 +210,7 @@ impl CloudProvider {
             next_id: AtomicU64::new(1),
             config,
             completed: AtomicU64::new(0),
+            chaos,
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
@@ -216,12 +239,28 @@ impl CloudProvider {
                 }
             };
 
+            // Injected provider-side crash: the job never executes.
+            if shared.chaos.is_enabled() && shared.chaos.fires("cloud.job_fail") {
+                let mut state = shared.state.lock();
+                if let Some(job) = state.jobs.get_mut(&job_id) {
+                    job.status =
+                        JobStatus::Failed("injected provider-side job failure".into());
+                }
+                drop(state);
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+
             // Queueing delay (the shared-queue wait the paper's Fig. 5
             // shows as irregular gaps between cloud iterations).
+            let stall = shared
+                .chaos
+                .delay("cloud.queue_stall")
+                .unwrap_or(Duration::ZERO);
             let (queue_wait, exec_seed) = {
                 let mut state = shared.state.lock();
                 let jitter = shared.config.queue_jitter.as_secs_f64() * state.rng.next_f64();
-                let wait = shared.config.queue_delay.as_secs_f64() + jitter;
+                let wait = shared.config.queue_delay.as_secs_f64() + jitter + stall.as_secs_f64();
                 // The execution seed must be a pure function of (provider
                 // seed, job id): the shared rng stream also serves network
                 // jitter draws whose count depends on client poll timing.
@@ -298,9 +337,27 @@ impl CloudProvider {
         }
     }
 
-    /// `POST /jobs`: accepts a job into the shared queue and returns its ID.
+    /// `POST /jobs`: accepts a job into the shared queue and returns its
+    /// ID. Never rate-limited — resilient clients should prefer
+    /// [`CloudProvider::try_submit_job`].
     pub fn submit_job(&self, request: JobRequest) -> u64 {
         self.network_hop();
+        self.accept(request)
+    }
+
+    /// `POST /jobs` through the rate limiter: an injected
+    /// `cloud.rate_limit` fault rejects the submission with
+    /// [`CloudError::RateLimited`] and the client is expected to back off
+    /// and retry.
+    pub fn try_submit_job(&self, request: JobRequest) -> Result<u64, CloudError> {
+        self.network_hop();
+        if self.shared.chaos.is_enabled() && self.shared.chaos.fires("cloud.rate_limit") {
+            return Err(CloudError::RateLimited);
+        }
+        Ok(self.accept(request))
+    }
+
+    fn accept(&self, request: JobRequest) -> u64 {
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         {
             let mut state = self.shared.state.lock();
@@ -316,6 +373,12 @@ impl CloudProvider {
         }
         self.shared.wake.notify_one();
         id
+    }
+
+    /// The provider's fault plan (disabled unless started via
+    /// [`CloudProvider::start_with_chaos`]).
+    pub fn chaos(&self) -> &Arc<FaultPlan> {
+        &self.shared.chaos
     }
 
     /// `GET /jobs/{id}`: current lifecycle state.
@@ -514,6 +577,49 @@ mod tests {
             cloud.wait_for(id, POLL, DEADLINE).unwrap().counts
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn injected_job_failure_marks_job_failed() {
+        let plan = Arc::new(FaultPlan::seeded(5).inject("cloud.job_fail", FaultSpec::first(1)));
+        let cloud = CloudProvider::start_with_chaos(CloudConfig::instant(), plan);
+        let first = cloud.submit_job(ghz_request(3, 10));
+        let err = cloud.wait_for(first, POLL, DEADLINE).unwrap_err();
+        assert!(matches!(err, CloudError::Failed(msg) if msg.contains("injected")));
+        // The fault was first(1): the next job runs normally.
+        let second = cloud.submit_job(ghz_request(3, 10));
+        assert!(cloud.wait_for(second, POLL, DEADLINE).is_ok());
+    }
+
+    #[test]
+    fn rate_limit_rejects_then_admits() {
+        let plan =
+            Arc::new(FaultPlan::seeded(5).inject("cloud.rate_limit", FaultSpec::first(2)));
+        let cloud = CloudProvider::start_with_chaos(CloudConfig::instant(), plan);
+        let req = ghz_request(3, 10);
+        assert_eq!(cloud.try_submit_job(req.clone()), Err(CloudError::RateLimited));
+        assert_eq!(cloud.try_submit_job(req.clone()), Err(CloudError::RateLimited));
+        let id = cloud.try_submit_job(req).unwrap();
+        assert!(cloud.wait_for(id, POLL, DEADLINE).is_ok());
+    }
+
+    #[test]
+    fn queue_stall_delays_completion() {
+        let plan = Arc::new(FaultPlan::seeded(5).inject(
+            "cloud.queue_stall",
+            FaultSpec::first(1).delayed(Duration::from_millis(80)),
+        ));
+        let cloud = CloudProvider::start_with_chaos(CloudConfig::instant(), plan);
+        let start = std::time::Instant::now();
+        let id = cloud.submit_job(ghz_request(2, 5));
+        cloud.wait_for(id, POLL, DEADLINE).unwrap();
+        assert!(
+            start.elapsed() >= Duration::from_millis(80),
+            "stall not applied: {:?}",
+            start.elapsed()
+        );
+        let reported_queue = cloud.job_result(id).unwrap().queue_secs;
+        assert!(reported_queue >= 0.08, "queue_secs={reported_queue}");
     }
 
     #[test]

@@ -9,26 +9,47 @@ use crate::backends::{BackendQpm, ExecContext};
 use crate::error::QfwError;
 use crate::result::QfwResult;
 use crate::spec::ExecTask;
-use qfw_cloud::{CloudProvider, JobRequest};
+use qfw_chaos::RetryPolicy;
+use qfw_cloud::{CloudError, CloudProvider, JobRequest};
 use qfw_hpc::Stopwatch;
 use std::sync::Arc;
 use std::time::Duration;
 
 /// IonQ analog Backend-QPM, wrapping a shared cloud provider handle.
+///
+/// Cloud calls are inherently flaky — rate limits on submission,
+/// provider-side job crashes — so each task runs under a [`RetryPolicy`]:
+/// rejected submissions and failed jobs are re-tried with jittered
+/// backoff until the policy's attempt ceiling or sleep budget runs out.
 pub struct IonqBackend {
     provider: Arc<CloudProvider>,
     poll: Duration,
     deadline: Duration,
+    retry: RetryPolicy,
 }
 
 impl IonqBackend {
-    /// Wraps a provider connection.
+    /// Wraps a provider connection with the default retry policy
+    /// (3 attempts, 10 ms base backoff capped at 200 ms, 2 s budget).
     pub fn new(provider: Arc<CloudProvider>) -> Self {
         IonqBackend {
             provider,
             poll: Duration::from_millis(20),
             deadline: Duration::from_secs(600),
+            retry: RetryPolicy::new(
+                Duration::from_millis(10),
+                Duration::from_millis(200),
+                3,
+                Duration::from_secs(2),
+            ),
         }
+    }
+
+    /// Replaces the retry policy (e.g. `RetryPolicy::no_retry()` to
+    /// surface the first provider error).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Shared provider handle (diagnostics).
@@ -54,16 +75,44 @@ impl BackendQpm for IonqBackend {
             ));
         }
         let total = Stopwatch::start();
-        // No local cores are consumed: the request leaves the cluster.
-        let job_id = self.provider.submit_job(JobRequest {
-            circuit: task.circuit.clone(),
-            shots: task.shots,
-            name: "qfw-task".into(),
-        });
-        let outcome = self
-            .provider
-            .wait_for(job_id, self.poll, self.deadline)
-            .map_err(|e| QfwError::Execution(e.to_string()))?;
+        let mut schedule = self.retry.schedule();
+        let (job_id, outcome) = loop {
+            // No local cores are consumed: the request leaves the cluster.
+            let attempt = self
+                .provider
+                .try_submit_job(JobRequest {
+                    circuit: task.circuit.clone(),
+                    shots: task.shots,
+                    name: "qfw-task".into(),
+                })
+                .and_then(|job_id| {
+                    self.provider
+                        .wait_for(job_id, self.poll, self.deadline)
+                        .map(|r| (job_id, r))
+                });
+            match attempt {
+                Ok(done) => break done,
+                // Rate limits and provider-side crashes are transient:
+                // back off and resubmit. A blown poll deadline or an
+                // unknown job is not.
+                Err(e @ (CloudError::RateLimited | CloudError::Failed(_))) => {
+                    match schedule.next_backoff() {
+                        Some(backoff) => {
+                            if !backoff.is_zero() {
+                                std::thread::sleep(backoff);
+                            }
+                        }
+                        None => {
+                            return Err(QfwError::Execution(format!(
+                                "{e} (gave up after {} attempt(s))",
+                                schedule.attempts()
+                            )))
+                        }
+                    }
+                }
+                Err(e) => return Err(QfwError::Execution(e.to_string())),
+            }
+        };
 
         let mut result = QfwResult::new(self.name(), sub, task.shots);
         result.counts = outcome.counts;
@@ -74,6 +123,9 @@ impl BackendQpm for IonqBackend {
         result
             .metadata
             .insert("cloud_job_id".into(), job_id.to_string());
+        result
+            .metadata
+            .insert("cloud_attempts".into(), schedule.attempts().to_string());
         Ok(result)
     }
 }
@@ -116,6 +168,51 @@ mod tests {
         let b = backend();
         let _ = b.execute(&task, &rig.ctx()).unwrap();
         assert_eq!(rig.hetjob.free_cores(1), before);
+    }
+
+    #[test]
+    fn rate_limits_are_retried_until_admitted() {
+        use qfw_cloud::{FaultPlan, FaultSpec};
+        let rig = TestRig::new(1);
+        let plan =
+            Arc::new(FaultPlan::seeded(6).inject("cloud.rate_limit", FaultSpec::first(2)));
+        let provider = Arc::new(CloudProvider::start_with_chaos(
+            CloudConfig::instant(),
+            Arc::clone(&plan),
+        ));
+        let b = IonqBackend::new(provider).with_retry_policy(RetryPolicy::new(
+            Duration::from_millis(1),
+            Duration::from_millis(5),
+            4,
+            Duration::from_secs(1),
+        ));
+        let task = ghz_task(4, 50, BackendSpec::of("ionq", "simulator"));
+        let result = b.execute(&task, &rig.ctx()).unwrap();
+        assert_eq!(result.counts.values().sum::<usize>(), 50);
+        assert_eq!(result.metadata["cloud_attempts"], "3");
+        assert_eq!(plan.fired("cloud.rate_limit"), 2);
+    }
+
+    #[test]
+    fn exhausted_retries_report_attempt_count() {
+        use qfw_cloud::{FaultPlan, FaultSpec};
+        let rig = TestRig::new(1);
+        let plan = Arc::new(FaultPlan::seeded(6).inject("cloud.job_fail", FaultSpec::always()));
+        let provider = Arc::new(CloudProvider::start_with_chaos(CloudConfig::instant(), plan));
+        let b = IonqBackend::new(provider).with_retry_policy(RetryPolicy::new(
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+            3,
+            Duration::from_secs(1),
+        ));
+        let task = ghz_task(3, 10, BackendSpec::of("ionq", "simulator"));
+        match b.execute(&task, &rig.ctx()).unwrap_err() {
+            QfwError::Execution(msg) => {
+                assert!(msg.contains("injected"), "msg={msg}");
+                assert!(msg.contains("3 attempt"), "msg={msg}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

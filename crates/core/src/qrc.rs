@@ -16,10 +16,12 @@ use crate::registry::BackendRegistry;
 use crate::result::QfwResult;
 use crate::spec::ExecTask;
 use parking_lot::{Condvar, Mutex};
+use qfw_chaos::FaultPlan;
 use qfw_hpc::slurm::HetJob;
 use qfw_hpc::{Dvm, Stopwatch};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// How QPM assigns tasks to QRC worker slots.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,6 +38,9 @@ struct Slot {
     active: Mutex<usize>,
     freed: Condvar,
     tasks_run: AtomicU64,
+    /// Set when chaos kills the slot's worker; dead slots are skipped by
+    /// dispatch until [`Qrc::revive_slots`] brings them back.
+    dead: AtomicBool,
 }
 
 /// The resource controller: worker slots + core leasing + DVM access.
@@ -47,6 +52,8 @@ pub struct Qrc {
     slots: Vec<Arc<Slot>>,
     next: AtomicUsize,
     policy: DispatchPolicy,
+    chaos: Arc<FaultPlan>,
+    requeues: AtomicU64,
 }
 
 impl Qrc {
@@ -68,7 +75,17 @@ impl Qrc {
             slots: (0..workers).map(|_| Arc::new(Slot::default())).collect(),
             next: AtomicUsize::new(0),
             policy,
+            chaos: Arc::new(FaultPlan::disabled()),
+            requeues: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a fault plan. The `qrc.slot_death` site is consulted once
+    /// per dispatch: when it fires, the slot the task landed on dies and
+    /// the task is requeued onto a surviving slot.
+    pub fn with_chaos(mut self, chaos: Arc<FaultPlan>) -> Self {
+        self.chaos = chaos;
+        self
     }
 
     /// Number of worker slots.
@@ -84,6 +101,31 @@ impl Qrc {
             .collect()
     }
 
+    /// Slots currently marked dead.
+    pub fn dead_slots(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.dead.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Tasks that had to be re-dispatched after their slot died.
+    pub fn requeues(&self) -> u64 {
+        self.requeues.load(Ordering::Relaxed)
+    }
+
+    /// Revives every dead slot (the operator restarting workers); returns
+    /// how many came back.
+    pub fn revive_slots(&self) -> usize {
+        let mut revived = 0;
+        for slot in &self.slots {
+            if slot.dead.swap(false, Ordering::Relaxed) {
+                revived += 1;
+            }
+        }
+        revived
+    }
+
     /// Executes one task end-to-end: slot acquisition, backend dispatch,
     /// profile stamping, slot release.
     ///
@@ -97,7 +139,17 @@ impl Qrc {
         }
         let backend: Arc<dyn BackendQpm> = self.registry.get(&task.spec.backend)?;
         let queue_sw = Stopwatch::start();
-        let slot = self.acquire_slot();
+        let slot = loop {
+            let slot = self.acquire_slot()?;
+            // Injected worker death: the slot the task landed on dies and
+            // the task goes back to dispatch onto a surviving slot.
+            if self.chaos.is_enabled() && self.chaos.fires("qrc.slot_death") {
+                self.kill_slot(&slot);
+                self.requeues.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            break slot;
+        };
         let queue_secs = queue_sw.elapsed_secs();
 
         let ctx = ExecContext {
@@ -116,6 +168,10 @@ impl Qrc {
     }
 
     /// Workload-driven dispatch: analyze, select, rewrite, re-execute.
+    ///
+    /// Degrades gracefully: when the selected engine fails at runtime the
+    /// next-ranked admissible engine is tried, and the chain of attempts
+    /// lands in the result metadata (`failover_chain`, `failover_errors`).
     fn execute_auto(&self, task: &ExecTask) -> Result<QfwResult, QfwError> {
         let circuit = qfw_circuit::text::parse(&task.circuit)
             .map_err(|e| QfwError::Marshal(e.to_string()))?;
@@ -123,56 +179,134 @@ impl Qrc {
             free_cores: self.hetjob.free_cores(self.group),
             cloud_available: self.registry.get("ionq").is_ok(),
         };
-        let rec = crate::selector::select_backend(&circuit, ctx);
-        let mut rewritten = task.clone();
-        // Preserve user-supplied engine tunables across the rewrite.
-        let mut spec = rec.spec.clone();
-        for (k, v) in &task.spec.extra {
-            spec.extra.entry(k.clone()).or_insert_with(|| v.clone());
+        let ranked = crate::selector::rank_backends(&circuit, ctx);
+        let mut failed: Vec<(String, QfwError)> = Vec::new();
+        for rec in &ranked {
+            let mut rewritten = task.clone();
+            // Preserve user-supplied engine tunables across the rewrite.
+            let mut spec = rec.spec.clone();
+            for (k, v) in &task.spec.extra {
+                spec.extra.entry(k.clone()).or_insert_with(|| v.clone());
+            }
+            rewritten.spec = spec;
+            let engine = format!("{}/{}", rec.spec.backend, rec.spec.subbackend);
+            match self.execute(&rewritten) {
+                Ok(mut result) => {
+                    result.metadata.insert("auto_selected".into(), engine);
+                    result
+                        .metadata
+                        .insert("auto_rationale".into(), rec.rationale.clone());
+                    if !failed.is_empty() {
+                        let chain: Vec<&str> =
+                            failed.iter().map(|(e, _)| e.as_str()).collect();
+                        result
+                            .metadata
+                            .insert("failover_chain".into(), chain.join(" -> "));
+                        let errors: Vec<String> = failed
+                            .iter()
+                            .map(|(e, err)| format!("{e}: {err}"))
+                            .collect();
+                        result
+                            .metadata
+                            .insert("failover_errors".into(), errors.join("; "));
+                    }
+                    return Ok(result);
+                }
+                // Runtime failures trigger failover to the next engine;
+                // structural errors (bad circuit, bad properties) are the
+                // caller's to fix and surface immediately.
+                Err(
+                    err @ (QfwError::Execution(_)
+                    | QfwError::Resources(_)
+                    | QfwError::Rpc(_)),
+                ) => failed.push((engine, err)),
+                Err(err) => return Err(err),
+            }
         }
-        rewritten.spec = spec;
-        let mut result = self.execute(&rewritten)?;
-        result
-            .metadata
-            .insert("auto_selected".into(), format!(
-                "{}/{}", rec.spec.backend, rec.spec.subbackend
-            ));
-        result.metadata.insert("auto_rationale".into(), rec.rationale);
-        Ok(result)
+        Err(failed.pop().expect("ranked list is never empty").1)
     }
 
-    fn acquire_slot(&self) -> Arc<Slot> {
-        let slot = match self.policy {
-            DispatchPolicy::RoundRobin => {
+    fn acquire_slot(&self) -> Result<Arc<Slot>, QfwError> {
+        match self.policy {
+            DispatchPolicy::RoundRobin => loop {
+                if self.dead_slots() == self.slots.len() {
+                    return Err(QfwError::Resources(
+                        "every QRC worker slot is dead".into(),
+                    ));
+                }
                 let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.slots.len();
-                Arc::clone(&self.slots[idx])
-            }
-            DispatchPolicy::LeastLoaded => {
-                let mut best = 0;
-                let mut best_load = usize::MAX;
-                for (i, s) in self.slots.iter().enumerate() {
-                    let load = *s.active.lock();
-                    if load < best_load {
-                        best_load = load;
-                        best = i;
+                let slot = &self.slots[idx];
+                if slot.dead.load(Ordering::Relaxed) {
+                    // Rotation naturally advances past dead slots.
+                    continue;
+                }
+                let mut active = slot.active.lock();
+                loop {
+                    if slot.dead.load(Ordering::Relaxed) {
+                        // Died while we queued on it: pick another slot.
+                        break;
+                    }
+                    if *active == 0 {
+                        *active = 1;
+                        return Ok(Arc::clone(slot));
+                    }
+                    slot.freed.wait(&mut active);
+                }
+            },
+            DispatchPolicy::LeastLoaded => loop {
+                // Order candidates by a load snapshot, then claim under
+                // each slot's own lock with the load re-checked — the
+                // snapshot alone is stale by the time the lock is taken
+                // (two dispatchers could both pick the same "free" slot
+                // and one would queue behind it while other slots idle).
+                let mut order: Vec<(usize, usize)> = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.dead.load(Ordering::Relaxed))
+                    .map(|(i, s)| (*s.active.lock(), i))
+                    .collect();
+                if order.is_empty() {
+                    return Err(QfwError::Resources(
+                        "every QRC worker slot is dead".into(),
+                    ));
+                }
+                order.sort_unstable();
+                for &(_, i) in &order {
+                    let slot = &self.slots[i];
+                    if slot.dead.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    let mut active = slot.active.lock();
+                    if !slot.dead.load(Ordering::Relaxed) && *active == 0 {
+                        *active = 1;
+                        return Ok(Arc::clone(slot));
                     }
                 }
-                Arc::clone(&self.slots[best])
-            }
-        };
-        let mut active = slot.active.lock();
-        while *active > 0 {
-            slot.freed.wait(&mut active);
+                // Every live slot is busy: park briefly on the least
+                // loaded one, then rescan (releases only notify their own
+                // slot, so bound the wait instead of trusting one condvar).
+                let first = &self.slots[order[0].1];
+                let mut active = first.active.lock();
+                if *active > 0 && !first.dead.load(Ordering::Relaxed) {
+                    first.freed.wait_for(&mut active, Duration::from_millis(5));
+                }
+            },
         }
-        *active = 1;
-        drop(active);
-        slot
     }
 
     fn release_slot(&self, slot: &Arc<Slot>) {
         let mut active = slot.active.lock();
         *active = 0;
         slot.freed.notify_one();
+    }
+
+    /// Marks a slot dead and wakes anything queued on it so it re-routes.
+    fn kill_slot(&self, slot: &Arc<Slot>) {
+        slot.dead.store(true, Ordering::Relaxed);
+        let mut active = slot.active.lock();
+        *active = 0;
+        slot.freed.notify_all();
     }
 }
 
@@ -319,6 +453,58 @@ mod tests {
         let result = qrc.execute(&task).unwrap();
         assert_eq!(result.subbackend, "matrix_product_state");
         assert!(result.metadata["max_bond"].parse::<usize>().unwrap() <= 2);
+    }
+
+    #[test]
+    fn slot_death_requeues_task() {
+        use qfw_chaos::{FaultPlan, FaultSpec};
+        let cluster = ClusterSpec::test(3);
+        let hetjob = Arc::new(HetJob::submit(&cluster, &HetJobSpec::qfw_standard(2)).unwrap());
+        let dvm = Arc::new(Dvm::new(&cluster));
+        let plan = Arc::new(FaultPlan::seeded(21).inject("qrc.slot_death", FaultSpec::first(1)));
+        let qrc = Qrc::new(
+            BackendRegistry::standard(None),
+            hetjob,
+            dvm,
+            1,
+            3,
+            DispatchPolicy::RoundRobin,
+        )
+        .with_chaos(plan);
+        let result = qrc
+            .execute(&ghz_task(4, BackendSpec::of("nwqsim", "cpu")))
+            .unwrap();
+        assert_eq!(result.counts.values().sum::<usize>(), 100);
+        assert_eq!(qrc.requeues(), 1);
+        assert_eq!(qrc.dead_slots(), 1);
+        assert_eq!(qrc.revive_slots(), 1);
+        assert_eq!(qrc.dead_slots(), 0);
+    }
+
+    #[test]
+    fn all_slots_dead_is_a_resource_error() {
+        use qfw_chaos::{FaultPlan, FaultSpec};
+        let cluster = ClusterSpec::test(3);
+        let hetjob = Arc::new(HetJob::submit(&cluster, &HetJobSpec::qfw_standard(2)).unwrap());
+        let dvm = Arc::new(Dvm::new(&cluster));
+        let plan = Arc::new(FaultPlan::seeded(2).inject("qrc.slot_death", FaultSpec::always()));
+        let qrc = Qrc::new(
+            BackendRegistry::standard(None),
+            hetjob,
+            dvm,
+            1,
+            2,
+            DispatchPolicy::RoundRobin,
+        )
+        .with_chaos(plan);
+        let err = qrc
+            .execute(&ghz_task(4, BackendSpec::of("nwqsim", "cpu")))
+            .unwrap_err();
+        assert!(matches!(err, QfwError::Resources(_)), "{err:?}");
+        assert_eq!(qrc.dead_slots(), 2);
+        // Revival restores service even though the plan keeps killing:
+        // after revive, the task burns both slots again; check the counter.
+        assert_eq!(qrc.revive_slots(), 2);
     }
 
     #[test]

@@ -150,6 +150,50 @@ pub fn select_backend(circuit: &Circuit, ctx: SelectorContext) -> Recommendation
     }
 }
 
+/// Ranked recommendations: the [`select_backend`] choice first, followed
+/// by failover candidates in decreasing preference. QRC's graceful
+/// degradation walks this list when an engine fails mid-run, so every
+/// entry must be *admissible* for the circuit (fit the qubit count and
+/// the context), even if slower than the primary.
+pub fn rank_backends(circuit: &Circuit, ctx: SelectorContext) -> Vec<Recommendation> {
+    let n = circuit.num_qubits();
+    let mut ranked = vec![select_backend(circuit, ctx)];
+    let mut fallbacks = Vec::new();
+    if n <= DENSE_LIMIT {
+        fallbacks.push(Recommendation {
+            spec: BackendSpec::of("nwqsim", "cpu"),
+            rationale: format!("failover: {n}-qubit dense state vector on a single core"),
+        });
+        fallbacks.push(Recommendation {
+            spec: BackendSpec::of("aer", "automatic"),
+            rationale: "failover: Aer automatic method selection".into(),
+        });
+        fallbacks.push(Recommendation {
+            spec: BackendSpec::of("aer", "matrix_product_state"),
+            rationale: "failover: best-effort MPS".into(),
+        });
+    } else {
+        fallbacks.push(Recommendation {
+            spec: BackendSpec::of("aer", "matrix_product_state").with_extra("chi_max", 128),
+            rationale: "failover: best-effort MPS with a raised bond budget".into(),
+        });
+    }
+    if ctx.cloud_available && n <= 29 {
+        fallbacks.push(Recommendation {
+            spec: BackendSpec::of("ionq", "simulator"),
+            rationale: "failover: deferring to the cloud provider".into(),
+        });
+    }
+    for fb in fallbacks {
+        if !ranked.iter().any(|r| {
+            r.spec.backend == fb.spec.backend && r.spec.subbackend == fb.spec.subbackend
+        }) {
+            ranked.push(fb);
+        }
+    }
+    ranked
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +252,45 @@ mod tests {
     fn beyond_dense_nearest_neighbor_stays_mps() {
         let rec = select_backend(&tfim(40), ctx(8));
         assert_eq!(rec.spec.subbackend, "matrix_product_state");
+    }
+
+    #[test]
+    fn ranked_list_leads_with_primary_and_dedupes() {
+        let ranked = rank_backends(&ghz(8), ctx(8));
+        assert_eq!(ranked[0], select_backend(&ghz(8), ctx(8)));
+        assert!(ranked.len() >= 2, "no failover candidates");
+        for (i, a) in ranked.iter().enumerate() {
+            for b in &ranked[i + 1..] {
+                assert!(
+                    a.spec.backend != b.spec.backend
+                        || a.spec.subbackend != b.spec.subbackend,
+                    "duplicate candidate {}/{}",
+                    a.spec.backend,
+                    a.spec.subbackend
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_list_keeps_cloud_admissible() {
+        // 27 qubits, nearest-neighbour but strongly entangling: primary is
+        // the cloud, fallback must stay inside what MPS can attempt.
+        let mut qc = qfw_circuit::Circuit::new(27);
+        for q in 0..26 {
+            qc.rzz(q, q + 1, 1.5);
+        }
+        let ranked = rank_backends(
+            &qc,
+            SelectorContext {
+                free_cores: 8,
+                cloud_available: true,
+            },
+        );
+        assert_eq!(ranked[0].spec.backend, "ionq");
+        assert!(ranked
+            .iter()
+            .any(|r| r.spec.subbackend == "matrix_product_state"));
     }
 
     #[test]

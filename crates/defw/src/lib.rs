@@ -14,9 +14,15 @@
 //!   structured error propagation.
 //! * Per-service call statistics, feeding QFw's uniform timing/logging
 //!   instrumentation.
+//! * Resilience hooks: a seeded [`FaultPlan`] (from `qfw-chaos`) can drop
+//!   replies, delay handlers, or poison codec paths deterministically;
+//!   [`Client::call_with_retry`] layers exponential backoff on top, and
+//!   per-service [`CircuitBreaker`]s (see [`Defw::enable_breakers`]) shed
+//!   load from services that keep failing.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+pub use qfw_chaos::{BreakerPhase, CircuitBreaker, FaultPlan, FaultSpec, RetryPolicy};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::collections::HashMap;
@@ -44,7 +50,13 @@ pub enum RpcError {
     Timeout {
         /// Correlation ID of the lost call.
         correlation: u64,
+        /// How many attempts were made before giving up (1 for plain
+        /// calls; the full attempt count for [`Client::call_with_retry`]).
+        attempts: u32,
     },
+    /// The service's circuit breaker is open: the call was shed without
+    /// ever being enqueued.
+    CircuitOpen(String),
     /// The RPC layer was shut down while the call was in flight.
     Shutdown,
 }
@@ -58,8 +70,14 @@ impl std::fmt::Display for RpcError {
             }
             RpcError::Handler(msg) => write!(f, "handler error: {msg}"),
             RpcError::Codec(msg) => write!(f, "codec error: {msg}"),
-            RpcError::Timeout { correlation } => {
-                write!(f, "rpc {correlation} timed out")
+            RpcError::Timeout {
+                correlation,
+                attempts,
+            } => {
+                write!(f, "rpc {correlation} timed out after {attempts} attempt(s)")
+            }
+            RpcError::CircuitOpen(service) => {
+                write!(f, "circuit breaker for '{service}' is open")
             }
             RpcError::Shutdown => write!(f, "rpc layer shut down"),
         }
@@ -99,11 +117,14 @@ where
     }
 }
 
+/// Channel half carrying a call's outcome back to the waiting client.
+type ReplySender = Sender<Result<Vec<u8>, RpcError>>;
+
 struct Request {
     service: String,
     method: String,
     payload: Vec<u8>,
-    reply: Sender<Result<Vec<u8>, RpcError>>,
+    reply: ReplySender,
     enqueued: Instant,
 }
 
@@ -123,6 +144,16 @@ struct Inner {
     stats: Mutex<HashMap<String, ServiceStats>>,
     queue: Sender<Request>,
     correlation: AtomicU64,
+    chaos: Arc<FaultPlan>,
+    /// `Some((threshold, cooldown))` once breakers are enabled; breakers
+    /// are created lazily per service on first call.
+    breaker_config: Mutex<Option<(u32, Duration)>>,
+    breakers: Mutex<HashMap<String, Arc<CircuitBreaker>>>,
+    /// Reply senders whose replies were chaos-dropped. Parked here so the
+    /// channel stays open and the caller's deadline genuinely fires
+    /// (dropping the sender would surface as `Shutdown` instead). Grows
+    /// only by the number of injected drops.
+    dropped_replies: Mutex<Vec<ReplySender>>,
 }
 
 /// The RPC hub: owns the dispatcher pool and the service registry.
@@ -132,8 +163,19 @@ pub struct Defw {
 }
 
 impl Defw {
-    /// Starts the hub with `workers` dispatcher threads.
+    /// Starts the hub with `workers` dispatcher threads and no fault
+    /// injection.
     pub fn start(workers: usize) -> Defw {
+        Self::start_with_chaos(workers, Arc::new(FaultPlan::disabled()))
+    }
+
+    /// Starts the hub with a fault plan. Sites consulted per request on
+    /// service `S`: `defw.delay.S` (stall before dispatch),
+    /// `defw.poison.S` (handler replaced by a codec error), and
+    /// `defw.drop_reply.S` (reply silently discarded — the caller times
+    /// out). A [`FaultPlan::disabled`] plan makes this identical to
+    /// [`Defw::start`].
+    pub fn start_with_chaos(workers: usize, chaos: Arc<FaultPlan>) -> Defw {
         assert!(workers >= 1, "need at least one dispatcher");
         let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
         let inner = Arc::new(Inner {
@@ -141,6 +183,10 @@ impl Defw {
             stats: Mutex::new(HashMap::new()),
             queue: tx,
             correlation: AtomicU64::new(1),
+            chaos,
+            breaker_config: Mutex::new(None),
+            breakers: Mutex::new(HashMap::new()),
+            dropped_replies: Mutex::new(Vec::new()),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -159,11 +205,26 @@ impl Defw {
     }
 
     fn worker_loop(rx: Receiver<Request>, inner: Arc<Inner>) {
+        let chaos = Arc::clone(&inner.chaos);
         while let Ok(req) = rx.recv() {
-            let service = inner.services.lock().get(&req.service).cloned();
-            let result = match service {
-                None => Err(RpcError::ServiceNotFound(req.service.clone())),
-                Some(svc) => svc.handle(&req.method, &req.payload),
+            if chaos.is_enabled() {
+                if let Some(d) = chaos.delay(&format!("defw.delay.{}", req.service)) {
+                    std::thread::sleep(d);
+                }
+            }
+            let poisoned =
+                chaos.is_enabled() && chaos.fires(&format!("defw.poison.{}", req.service));
+            let result = if poisoned {
+                Err(RpcError::Codec(format!(
+                    "injected codec fault on '{}'",
+                    req.service
+                )))
+            } else {
+                let service = inner.services.lock().get(&req.service).cloned();
+                match service {
+                    None => Err(RpcError::ServiceNotFound(req.service.clone())),
+                    Some(svc) => svc.handle(&req.method, &req.payload),
+                }
             };
             let elapsed = req.enqueued.elapsed().as_secs_f64();
             {
@@ -174,6 +235,12 @@ impl Defw {
                     entry.errors += 1;
                 }
                 entry.busy_secs += elapsed;
+            }
+            if chaos.is_enabled() && chaos.fires(&format!("defw.drop_reply.{}", req.service)) {
+                // The reply vanishes in transit; the caller's deadline
+                // fires and retry logic takes over.
+                inner.dropped_replies.lock().push(req.reply);
+                continue;
             }
             // Receiver may have timed out and gone — that's fine.
             let _ = req.reply.send(result);
@@ -200,6 +267,30 @@ impl Defw {
     /// Statistics for one service, if it has received calls.
     pub fn stats(&self, name: &str) -> Option<ServiceStats> {
         self.inner.stats.lock().get(name).copied()
+    }
+
+    /// The hub's fault plan (disabled unless started via
+    /// [`Defw::start_with_chaos`]).
+    pub fn chaos(&self) -> &Arc<FaultPlan> {
+        &self.inner.chaos
+    }
+
+    /// Enables per-service circuit breakers: after `threshold` consecutive
+    /// failed calls to a service, further calls are shed with
+    /// [`RpcError::CircuitOpen`] until `cooldown` elapses and a half-open
+    /// probe succeeds.
+    pub fn enable_breakers(&self, threshold: u32, cooldown: Duration) {
+        *self.inner.breaker_config.lock() = Some((threshold, cooldown));
+    }
+
+    /// Current breaker phase for a service, if breakers are enabled and the
+    /// service has been called.
+    pub fn breaker_phase(&self, service: &str) -> Option<BreakerPhase> {
+        self.inner
+            .breakers
+            .lock()
+            .get(service)
+            .map(|b| b.phase())
     }
 
     /// Creates a client endpoint.
@@ -245,6 +336,46 @@ impl Client {
         self.call_async(service, method, req)?.wait(timeout)
     }
 
+    /// Synchronous call retried per `policy` on transient failures
+    /// (timeouts, handler errors, open breakers). Each attempt gets
+    /// `timeout`; between attempts the thread sleeps the policy's jittered
+    /// backoff. On exhaustion the last error is returned — for timeouts
+    /// with the total attempt count filled in.
+    pub fn call_with_retry<Req: Serialize, Resp: DeserializeOwned>(
+        &self,
+        service: &str,
+        method: &str,
+        req: &Req,
+        timeout: Duration,
+        policy: &RetryPolicy,
+    ) -> Result<Resp, RpcError> {
+        let mut schedule = policy.schedule();
+        loop {
+            let transient = match self.call(service, method, req, timeout) {
+                Err(e @ RpcError::Timeout { .. })
+                | Err(e @ RpcError::Handler(_))
+                | Err(e @ RpcError::CircuitOpen(_)) => e,
+                other => return other,
+            };
+            match schedule.next_backoff() {
+                Some(backoff) => {
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+                None => {
+                    return Err(match transient {
+                        RpcError::Timeout { correlation, .. } => RpcError::Timeout {
+                            correlation,
+                            attempts: schedule.attempts(),
+                        },
+                        other => other,
+                    })
+                }
+            }
+        }
+    }
+
     /// Typed asynchronous call: returns immediately with a reply handle.
     /// This is what lets DQAOA keep many sub-QUBO solves in flight.
     pub fn call_async<Req: Serialize, Resp: DeserializeOwned>(
@@ -253,6 +384,12 @@ impl Client {
         method: &str,
         req: &Req,
     ) -> Result<AsyncReply<Resp>, RpcError> {
+        let breaker = self.breaker_for(service);
+        if let Some(b) = &breaker {
+            if !b.allow() {
+                return Err(RpcError::CircuitOpen(service.to_string()));
+            }
+        }
         let payload = serde_json::to_vec(req).map_err(|e| RpcError::Codec(e.to_string()))?;
         let correlation = self.inner.correlation.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = bounded(1);
@@ -269,8 +406,21 @@ impl Client {
         Ok(AsyncReply {
             correlation,
             rx,
+            breaker,
             _marker: std::marker::PhantomData,
         })
+    }
+
+    /// The service's breaker, created on first use once
+    /// [`Defw::enable_breakers`] has been called.
+    fn breaker_for(&self, service: &str) -> Option<Arc<CircuitBreaker>> {
+        let (threshold, cooldown) = (*self.inner.breaker_config.lock())?;
+        let mut breakers = self.inner.breakers.lock();
+        Some(Arc::clone(
+            breakers
+                .entry(service.to_string())
+                .or_insert_with(|| Arc::new(CircuitBreaker::new(threshold, cooldown))),
+        ))
     }
 }
 
@@ -278,6 +428,7 @@ impl Client {
 pub struct AsyncReply<Resp> {
     correlation: u64,
     rx: Receiver<Result<Vec<u8>, RpcError>>,
+    breaker: Option<Arc<CircuitBreaker>>,
     _marker: std::marker::PhantomData<fn() -> Resp>,
 }
 
@@ -287,37 +438,59 @@ impl<Resp: DeserializeOwned> AsyncReply<Resp> {
         self.correlation
     }
 
+    /// Feeds the call outcome to the service's breaker, if one exists.
+    /// Timeouts and handler errors count as service failures; codec and
+    /// routing errors are the caller's problem and stay neutral.
+    fn record(&self, outcome: &Result<Resp, RpcError>) {
+        let Some(breaker) = &self.breaker else { return };
+        match outcome {
+            Ok(_) => breaker.record_success(),
+            Err(RpcError::Timeout { .. }) | Err(RpcError::Handler(_)) => {
+                breaker.record_failure()
+            }
+            Err(_) => {}
+        }
+    }
+
     /// Blocks until the reply arrives or the deadline passes.
     pub fn wait(self, timeout: Duration) -> Result<Resp, RpcError> {
-        match self.rx.recv_timeout(timeout) {
+        let outcome = match self.rx.recv_timeout(timeout) {
             Ok(Ok(bytes)) => {
                 serde_json::from_slice(&bytes).map_err(|e| RpcError::Codec(e.to_string()))
             }
             Ok(Err(e)) => Err(e),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(RpcError::Timeout {
                 correlation: self.correlation,
+                attempts: 1,
             }),
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(RpcError::Shutdown),
-        }
+        };
+        self.record(&outcome);
+        outcome
     }
 
     /// Non-blocking poll: `None` while the call is still in flight.
     pub fn try_wait(&self) -> Option<Result<Resp, RpcError>> {
-        match self.rx.try_recv() {
+        let outcome = match self.rx.try_recv() {
             Ok(Ok(bytes)) => {
-                Some(serde_json::from_slice(&bytes).map_err(|e| RpcError::Codec(e.to_string())))
+                serde_json::from_slice(&bytes).map_err(|e| RpcError::Codec(e.to_string()))
             }
-            Ok(Err(e)) => Some(Err(e)),
-            Err(crossbeam::channel::TryRecvError::Empty) => None,
-            Err(crossbeam::channel::TryRecvError::Disconnected) => Some(Err(RpcError::Shutdown)),
-        }
+            Ok(Err(e)) => Err(e),
+            Err(crossbeam::channel::TryRecvError::Empty) => return None,
+            Err(crossbeam::channel::TryRecvError::Disconnected) => Err(RpcError::Shutdown),
+        };
+        self.record(&outcome);
+        Some(outcome)
     }
 }
 
 /// A convenience service built from per-method typed handlers.
+/// Type-erased per-method handler: raw request bytes in, raw reply bytes out.
+type MethodHandler = Box<dyn Fn(&[u8]) -> Result<Vec<u8>, RpcError> + Send + Sync>;
+
 #[derive(Default)]
 pub struct MethodTable {
-    methods: HashMap<String, Box<dyn Fn(&[u8]) -> Result<Vec<u8>, RpcError> + Send + Sync>>,
+    methods: HashMap<String, MethodHandler>,
     name: String,
 }
 
@@ -517,6 +690,125 @@ mod tests {
             .call_async::<_, String>("echo", "echo", &"x".to_string())
             .unwrap();
         assert_ne!(a.correlation(), b.correlation());
+    }
+
+    #[test]
+    fn chaos_drop_reply_times_out_then_recovers() {
+        let plan = Arc::new(
+            FaultPlan::seeded(11).inject("defw.drop_reply.echo", FaultSpec::first(1)),
+        );
+        let hub = Defw::start_with_chaos(1, Arc::clone(&plan));
+        hub.register("echo", echo_service());
+        let client = hub.client();
+        let err = client
+            .call::<_, String>("echo", "echo", &"x".to_string(), Duration::from_millis(50))
+            .unwrap_err();
+        assert!(matches!(err, RpcError::Timeout { attempts: 1, .. }));
+        // The fault was first(1): the second call goes through.
+        let out: String = client.call("echo", "echo", &"x".to_string(), T).unwrap();
+        assert_eq!(out, "x");
+        assert_eq!(plan.fired("defw.drop_reply.echo"), 1);
+    }
+
+    #[test]
+    fn chaos_poison_surfaces_codec_error() {
+        let plan =
+            Arc::new(FaultPlan::seeded(3).inject("defw.poison.echo", FaultSpec::first(1)));
+        let hub = Defw::start_with_chaos(1, plan);
+        hub.register("echo", echo_service());
+        let err = hub
+            .client()
+            .call::<_, String>("echo", "echo", &"x".to_string(), T)
+            .unwrap_err();
+        assert!(matches!(err, RpcError::Codec(msg) if msg.contains("injected")));
+    }
+
+    #[test]
+    fn chaos_delay_stalls_dispatch() {
+        let plan = Arc::new(FaultPlan::seeded(4).inject(
+            "defw.delay.echo",
+            FaultSpec::first(1).delayed(Duration::from_millis(60)),
+        ));
+        let hub = Defw::start_with_chaos(1, plan);
+        hub.register("echo", echo_service());
+        let start = Instant::now();
+        let _: String = hub
+            .client()
+            .call("echo", "echo", &"x".to_string(), T)
+            .unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(60));
+    }
+
+    #[test]
+    fn call_with_retry_survives_dropped_replies() {
+        let plan = Arc::new(
+            FaultPlan::seeded(8).inject("defw.drop_reply.echo", FaultSpec::first(2)),
+        );
+        let hub = Defw::start_with_chaos(1, plan);
+        hub.register("echo", echo_service());
+        let policy = RetryPolicy::new(
+            Duration::from_millis(1),
+            Duration::from_millis(5),
+            5,
+            Duration::from_secs(1),
+        );
+        let out: String = hub
+            .client()
+            .call_with_retry(
+                "echo",
+                "echo",
+                &"hi".to_string(),
+                Duration::from_millis(50),
+                &policy,
+            )
+            .unwrap();
+        assert_eq!(out, "hi");
+    }
+
+    #[test]
+    fn call_with_retry_reports_attempts_on_exhaustion() {
+        let plan =
+            Arc::new(FaultPlan::seeded(8).inject("defw.drop_reply.echo", FaultSpec::always()));
+        let hub = Defw::start_with_chaos(1, plan);
+        hub.register("echo", echo_service());
+        let policy = RetryPolicy::new(
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+            3,
+            Duration::from_secs(1),
+        );
+        let err = hub
+            .client()
+            .call_with_retry::<_, String>(
+                "echo",
+                "echo",
+                &"hi".to_string(),
+                Duration::from_millis(20),
+                &policy,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RpcError::Timeout { attempts: 3, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn breaker_sheds_calls_after_consecutive_failures() {
+        let hub = Defw::start(1);
+        hub.register("echo", echo_service());
+        hub.enable_breakers(2, Duration::from_millis(30));
+        let client = hub.client();
+        for _ in 0..2 {
+            let _ = client.call::<_, String>("echo", "fail", &"x".to_string(), T);
+        }
+        assert_eq!(hub.breaker_phase("echo"), Some(BreakerPhase::Open));
+        let err = client
+            .call::<_, String>("echo", "echo", &"x".to_string(), T)
+            .unwrap_err();
+        assert_eq!(err, RpcError::CircuitOpen("echo".into()));
+        // After the cooldown one probe goes through and closes the breaker.
+        std::thread::sleep(Duration::from_millis(40));
+        let out: String = client.call("echo", "echo", &"x".to_string(), T).unwrap();
+        assert_eq!(out, "x");
+        assert_eq!(hub.breaker_phase("echo"), Some(BreakerPhase::Closed));
     }
 
     #[test]

@@ -102,12 +102,11 @@ impl ReadoutCalibration {
         for (bits, &c) in counts {
             let mut partial: Vec<(Vec<u8>, f64)> =
                 vec![(bits.bytes().map(|b| b - b'0').collect(), c as f64)];
-            for q in 0..n {
+            for (q, inv) in minv.iter().enumerate().take(n) {
                 if self.e01[q] == 0.0 && self.e10[q] == 0.0 {
                     continue;
                 }
                 let pos = n - 1 - q; // string index of qubit q
-                let inv = &minv[q];
                 let mut next = Vec::with_capacity(partial.len() * 2);
                 for (key, w) in partial {
                     let observed = key[pos] as usize;

@@ -176,7 +176,7 @@ mod tests {
     fn ansatz_parameter_count() {
         let t = hardware_efficient_ansatz(4, 3);
         assert_eq!(t.num_params(), 4 * 4);
-        let qc = t.bind(&vec![0.1; 16]);
+        let qc = t.bind(&[0.1; 16]);
         assert_eq!(qc.num_qubits(), 4);
         // 4 RY per layer x4 + 3 CX x3 layers
         assert_eq!(qc.num_gates(), 16 + 9);

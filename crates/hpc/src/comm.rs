@@ -306,9 +306,9 @@ impl RankCtx {
         if self.rank == root {
             let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
             out[self.rank] = Some(value);
-            for src in 0..self.size() {
+            for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    out[src] = Some(self.recv_raw(src, tag));
+                    *slot = Some(self.recv_raw(src, tag));
                 }
             }
             Some(out.into_iter().map(Option::unwrap).collect())
@@ -329,7 +329,7 @@ impl RankCtx {
         let reduced = gathered.map(|vs| {
             let mut it = vs.into_iter();
             let first = it.next().expect("non-empty world");
-            it.fold(first, |a, b| op(a, b))
+            it.fold(first, &op)
         });
         self.bcast(0, reduced)
     }
@@ -414,9 +414,9 @@ impl RankCtx {
                 self.send_raw(dest, tag, value);
             }
         }
-        for src in 0..self.size() {
+        for (src, slot) in out.iter_mut().enumerate() {
             if src != me {
-                out[src] = Some(self.recv_raw(src, tag));
+                *slot = Some(self.recv_raw(src, tag));
             }
         }
         out.into_iter().map(Option::unwrap).collect()

@@ -170,7 +170,7 @@ pub fn qr(a: &Matrix) -> Qr {
         for i in 0..m {
             let mut dot = C64::ZERO;
             for l in 0..(m - k) {
-                dot = dot + q[(i, k + l)] * v[l];
+                dot += q[(i, k + l)] * v[l];
             }
             let scaled = dot.scale(beta);
             for l in 0..(m - k) {
@@ -206,8 +206,8 @@ pub fn solve(a: &Matrix, b: &[C64]) -> Vec<C64> {
     let mut x = vec![C64::ZERO; n];
     for i in (0..n).rev() {
         let mut acc = y[i];
-        for j in (i + 1)..n {
-            acc -= f.r[(i, j)] * x[j];
+        for (j, xj) in x.iter().enumerate().take(n).skip(i + 1) {
+            acc -= f.r[(i, j)] * *xj;
         }
         let d = f.r[(i, i)];
         assert!(
@@ -306,8 +306,8 @@ pub fn expm_hermitian(a: &Matrix, scale: C64) -> Matrix {
     for i in 0..n {
         for j in 0..n {
             let mut acc = C64::ZERO;
-            for k in 0..n {
-                acc += e.vectors[(i, k)] * d[k] * e.vectors[(j, k)].conj();
+            for (k, dk) in d.iter().enumerate() {
+                acc += e.vectors[(i, k)] * *dk * e.vectors[(j, k)].conj();
             }
             out[(i, j)] = acc;
         }

@@ -160,13 +160,13 @@ impl Matrix {
     pub fn matvec(&self, v: &[C64]) -> Vec<C64> {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
         let mut out = vec![C64::ZERO; self.rows];
-        for i in 0..self.rows {
+        for (i, o) in out.iter_mut().enumerate() {
             let row = self.row(i);
             let mut acc = C64::ZERO;
             for (a, b) in row.iter().zip(v.iter()) {
                 acc = a.mul_add(*b, acc);
             }
-            out[i] = acc;
+            *o = acc;
         }
         out
     }

@@ -64,7 +64,7 @@ pub fn anneal(
                 x[i] ^= 1; // revert
             }
             t *= ratio;
-            if best.as_ref().map_or(true, |(_, be)| e < *be) {
+            if best.as_ref().is_none_or(|(_, be)| e < *be) {
                 best = Some((x.clone(), e));
             }
         }

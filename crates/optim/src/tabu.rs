@@ -47,7 +47,7 @@ pub fn tabu_search(
         let mut e = energy(&x);
         evals += 1;
         let mut tabu_until = vec![0usize; n];
-        if best.as_ref().map_or(true, |(_, be)| e < *be) {
+        if best.as_ref().is_none_or(|(_, be)| e < *be) {
             best = Some((x.clone(), e));
         }
         for iter in 1..=config.iters {
@@ -64,7 +64,7 @@ pub fn tabu_search(
                 if is_tabu && !aspire {
                     continue;
                 }
-                if chosen.map_or(true, |(_, ce)| cand < ce) {
+                if chosen.is_none_or(|(_, ce)| cand < ce) {
                     chosen = Some((i, cand));
                 }
             }

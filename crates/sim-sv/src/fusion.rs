@@ -55,8 +55,8 @@ pub fn fuse_1q_runs(circuit: &Circuit) -> Circuit {
             }
         }
     }
-    for q in 0..n {
-        let mut slot = pending[q].take();
+    for (q, p) in pending.iter_mut().enumerate() {
+        let mut slot = p.take();
         flush(&mut out, &mut slot, q);
     }
     out

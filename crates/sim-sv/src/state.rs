@@ -124,7 +124,7 @@ impl StateVector {
         let mask = 1usize << q;
         let f = |(i, a): (usize, &mut C64)| {
             if i & mask != 0 {
-                *a = *a * phase;
+                *a *= phase;
             }
         };
         if par {
@@ -138,7 +138,7 @@ impl StateVector {
         let (p0, p1) = (C64::cis(-t / 2.0), C64::cis(t / 2.0));
         let mask = 1usize << q;
         let f = |(i, a): (usize, &mut C64)| {
-            *a = *a * if i & mask == 0 { p0 } else { p1 };
+            *a *= if i & mask == 0 { p0 } else { p1 };
         };
         if par {
             self.amps.par_iter_mut().enumerate().for_each(f);
@@ -165,7 +165,7 @@ impl StateVector {
         let mask = (1usize << c) | (1usize << t);
         let f = |(i, amp): (usize, &mut C64)| {
             if i & mask == mask {
-                *amp = *amp * phase;
+                *amp *= phase;
             }
         };
         if par {
@@ -180,7 +180,7 @@ impl StateVector {
         let (ma, mb) = (1usize << a, 1usize << b);
         let f = |(i, amp): (usize, &mut C64)| {
             let same = ((i & ma != 0) as u8) == ((i & mb != 0) as u8);
-            *amp = *amp * if same { aligned } else { anti };
+            *amp *= if same { aligned } else { anti };
         };
         if par {
             self.amps.par_iter_mut().enumerate().for_each(f);
@@ -279,7 +279,7 @@ impl StateVector {
             // Gather, multiply, scatter.
             assert!(k <= 8, "gates above 8 qubits are not supported");
             let mut vin = [C64::ZERO; 1 << 8];
-            for local in 0..dim {
+            for (local, v) in vin.iter_mut().enumerate().take(dim) {
                 let mut i = base;
                 for (j, &q) in qs.iter().enumerate() {
                     if local & (1 << j) != 0 {
@@ -290,7 +290,7 @@ impl StateVector {
                 // target positions, so all reads/writes below are disjoint
                 // across `work` invocations.
                 unsafe {
-                    vin[local] = *ptr.get().add(i);
+                    *v = *ptr.get().add(i);
                 }
             }
             for row in 0..dim {

@@ -134,7 +134,7 @@ impl TnSimulator {
             .iter()
             .enumerate()
             .map(|(idx, a)| {
-                let sign = if (idx & mask).count_ones() % 2 == 0 {
+                let sign = if (idx & mask).count_ones().is_multiple_of(2) {
                     1.0
                 } else {
                     -1.0
@@ -248,9 +248,9 @@ mod tests {
         qc.h(0).cx(0, 1).cry(1, 2, 0.9);
         let engine = TnSimulator::default();
         let amps = engine.statevector(&qc);
-        for idx in 0..8 {
+        for (idx, &want) in amps.iter().enumerate() {
             let a = engine.amplitude(&qc, idx);
-            assert!(a.approx_eq(amps[idx], 1e-10), "idx {idx}");
+            assert!(a.approx_eq(want, 1e-10), "idx {idx}");
         }
     }
 
@@ -286,7 +286,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, a)| {
-                let sign = if (i & mask).count_ones() % 2 == 0 {
+                let sign = if (i & mask).count_ones().is_multiple_of(2) {
                     1.0
                 } else {
                     -1.0

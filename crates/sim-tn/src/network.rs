@@ -138,7 +138,7 @@ impl TensorNetwork {
                     }
                     let rank = a.rank() + b.rank() - 2 * shared;
                     let insize = a.size() + b.size();
-                    if best.map_or(true, |(br, bi, ..)| (rank, insize) < (br, bi)) {
+                    if best.is_none_or(|(br, bi, ..)| (rank, insize) < (br, bi)) {
                         best = Some((rank, insize, i, j));
                     }
                 }

@@ -333,9 +333,9 @@ mod tests {
         let sv = engine.statevector(&qc);
         // Post-select ancilla = 1, clock = 0; read the system register.
         let mut post = vec![C64::ZERO; 1 << s];
-        for sys in 0..(1usize << s) {
+        for (sys, p) in post.iter_mut().enumerate() {
             let idx = sys | (1 << ancilla_bit);
-            post[sys] = sv.amps()[idx];
+            *p = sv.amps()[idx];
         }
         let p_success: f64 = post.iter().map(|z| z.norm_sqr()).sum();
         assert!(p_success > 1e-3, "post-selection probability {p_success}");
@@ -353,8 +353,8 @@ mod tests {
         let ancilla_bit = s + inst.clock_qubits;
         let sv = SvSimulator::plain().statevector(&qc);
         let mut post = vec![C64::ZERO; 1 << s];
-        for sys in 0..(1usize << s) {
-            post[sys] = sv.amps()[sys | (1 << ancilla_bit)];
+        for (sys, p) in post.iter_mut().enumerate() {
+            *p = sv.amps()[sys | (1 << ancilla_bit)];
         }
         normalize(&mut post);
         let fid = qfw_num::matrix::inner(&inst.classical_solution(), &post).norm_sqr();

@@ -111,7 +111,7 @@ impl PauliHamiltonian {
                         }
                         Pauli::Y => {
                             // Y|0> = i|1>, Y|1> = -i|0>
-                            amp = amp * if bit == 0 { C64::I } else { -C64::I };
+                            amp *= if bit == 0 { C64::I } else { -C64::I };
                             row ^= 1 << q;
                         }
                     }
@@ -174,7 +174,7 @@ impl MeasurementGroup {
     fn accepts(&self, t: &PauliTerm) -> bool {
         t.ops
             .iter()
-            .all(|&(q, p)| self.basis.get(&q).map_or(true, |&b| b == p))
+            .all(|&(q, p)| self.basis.get(&q).is_none_or(|&b| b == p))
     }
 
     fn add(&mut self, idx: usize, t: &PauliTerm) {

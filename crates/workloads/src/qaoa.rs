@@ -76,7 +76,7 @@ pub fn counts_best(
             .map(|b| if b == b'1' { 1 } else { 0 })
             .collect();
         let e = qubo.energy(&x);
-        if best.as_ref().map_or(true, |(_, be)| e < *be) {
+        if best.as_ref().is_none_or(|(_, be)| e < *be) {
             best = Some((x, e));
         }
     }

@@ -69,8 +69,8 @@ impl Qubo {
                 continue;
             }
             e += self.get(i, i);
-            for j in (i + 1)..self.n {
-                if x[j] != 0 {
+            for (j, &xj) in x.iter().enumerate().take(self.n).skip(i + 1) {
+                if xj != 0 {
                     e += self.get(i, j);
                 }
             }
@@ -172,8 +172,8 @@ impl Qubo {
         let mut sub = Qubo::zeros(k);
         for (a, &i) in vars.iter().enumerate() {
             let mut diag = self.get(i, i);
-            for j in 0..self.n {
-                if j != i && !in_sub.contains(&j) && incumbent[j] == 1 {
+            for (j, &inc) in incumbent.iter().enumerate().take(self.n) {
+                if j != i && !in_sub.contains(&j) && inc == 1 {
                     diag += self.get(i, j);
                 }
             }

@@ -1,0 +1,180 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark
+//! harness exposing the API surface the `qfw-bench` benches use
+//! (`benchmark_group`, chained `sample_size`/`measurement_time`/
+//! `warm_up_time`, `bench_with_input`, `Bencher::iter`,
+//! `criterion_group!`, `criterion_main!`).
+//!
+//! No statistics are computed beyond min/mean — the point is that the
+//! benches build and run offline, not that they produce criterion-grade
+//! reports. Sample counts are honored, measurement/warm-up durations act
+//! as caps so benches terminate promptly.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Identifies one benchmark within a group: `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new<S: Into<String>, P: Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget (one untimed run is always performed; the duration
+    /// is accepted for API compatibility).
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Times `routine` against `input` for `sample_size` samples (or
+    /// until the measurement budget runs out).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        // Warm-up: one untimed pass.
+        let mut warmup = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        routine(&mut warmup, input);
+
+        let budget = Instant::now();
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut samples = 0usize;
+        while samples < self.sample_size && budget.elapsed() < self.measurement_time {
+            let mut bencher = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            routine(&mut bencher, input);
+            let per_iter = if bencher.iters > 0 {
+                bencher.elapsed / bencher.iters
+            } else {
+                bencher.elapsed
+            };
+            total += per_iter;
+            min = min.min(per_iter);
+            samples += 1;
+        }
+        if samples > 0 {
+            println!(
+                "  {}/{}: mean {:?}  min {:?}  ({} samples)",
+                self.name,
+                id.label,
+                total / samples as u32,
+                min,
+                samples
+            );
+        }
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs `routine` once per sample, accumulating wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        std::hint::black_box(out);
+    }
+}
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim-smoke");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    criterion_group!(smoke, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        smoke();
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline stand-in for `proptest`: the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` macros plus range strategies, executed as a
+//! deterministic loop. Each case's inputs derive from a SplitMix64
+//! stream seeded by the test name and case index, so every run of the
+//! suite draws exactly the same inputs — failures reproduce without a
+//! regression file.
+
+use std::ops::Range;
+
+/// Everything a `use proptest::prelude::*` caller expects in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Runner configuration (the `cases` knob is the only one honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-case input stream (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Builds the input stream for one `(test, case)` pair. Seeding hashes
+/// the test name (FNV-1a) so sibling properties draw unrelated inputs.
+pub fn test_rng(test_name: &str, case: u64) -> TestRng {
+    let mut hash: u64 = 0xCBF29CE484222325;
+    for byte in test_name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100000001B3);
+    }
+    TestRng {
+        state: hash ^ case.wrapping_mul(0x2545F4914F6CDD1D),
+    }
+}
+
+/// A way of drawing one value per case.
+pub trait Strategy {
+    /// The value produced.
+    type Value;
+    /// Draws one value from `rng`.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit() * (self.end - self.start)
+    }
+}
+
+/// Declares deterministic property tests. Each `name(arg in strategy, ...)`
+/// expands to a `#[test]` that loops `config.cases` times, drawing every
+/// argument from its strategy with a per-`(test, case)` seeded stream.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut __proptest_rng =
+                        $crate::test_rng(stringify!($name), case as u64);
+                    $(let $arg =
+                        $crate::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property, reporting the failing inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property, reporting the failing inputs.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_test_and_case() {
+        let a: Vec<u64> = {
+            let mut rng = test_rng("some_property", 3);
+            (0..4).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = test_rng("some_property", 3);
+            (0..4).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut other = test_rng("other_property", 3);
+        assert_ne!(a[0], other.next_u64());
+    }
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut rng = test_rng("bounds", 0);
+        for _ in 0..1000 {
+            let u = (5u64..17).sample(&mut rng);
+            assert!((5..17).contains(&u));
+            let n = (2usize..8).sample(&mut rng);
+            assert!((2..8).contains(&n));
+            let f = (-10.0f64..10.0).sample(&mut rng);
+            assert!((-10.0..10.0).contains(&f));
+            let i = (-5i64..5).sample(&mut rng);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_expands_and_runs(x in 0u64..100, y in 2usize..8) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(y.clamp(2, 7), y, "y was {}", y);
+        }
+    }
+}

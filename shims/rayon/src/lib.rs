@@ -1,0 +1,398 @@
+//! Offline stand-in for `rayon`: the slice/range parallel combinators the
+//! state-vector kernels use, executed on `std::thread::scope` with
+//! contiguous chunking (one chunk per hardware thread).
+//!
+//! Shapes covered:
+//! * `slice.par_iter_mut().enumerate().for_each(f)`
+//! * `slice.par_iter_mut().zip(other.par_iter_mut()).for_each(f)`
+//! * `slice.par_chunks_mut(n).for_each(f)`
+//! * `slice.par_iter().enumerate().map(f).sum::<S>()`
+//! * `(a..b).into_par_iter().for_each(f)`
+
+use std::ops::Range;
+
+/// Everything a `use rayon::prelude::*` caller expects in scope.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Splits `len` items into near-equal contiguous spans, one per worker.
+fn spans(len: usize, workers: usize) -> Vec<Range<usize>> {
+    let workers = workers.max(1).min(len.max(1));
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+// --- slice entry points -----------------------------------------------------
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel mutable element iterator.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+    /// Parallel mutable chunk iterator.
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, chunk }
+    }
+}
+
+/// `par_iter` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel shared element iterator.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// `into_par_iter` for index ranges.
+pub trait IntoParallelIterator {
+    /// The parallel iterator produced.
+    type Iter;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+// --- mutable element iterators ----------------------------------------------
+
+/// Parallel `&mut T` iterator over a slice.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pairs each element with its index.
+    pub fn enumerate(self) -> EnumerateMut<'a, T> {
+        EnumerateMut { slice: self.slice }
+    }
+
+    /// Locksteps two equal-length mutable iterators.
+    pub fn zip(self, other: ParIterMut<'a, T>) -> ZipMut<'a, T> {
+        assert_eq!(self.slice.len(), other.slice.len(), "zip length mismatch");
+        ZipMut {
+            left: self.slice,
+            right: other.slice,
+        }
+    }
+
+    /// Applies `f` to every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        EnumerateMut { slice: self.slice }.for_each(|(_, v)| f(v));
+    }
+}
+
+/// Indexed parallel `&mut T` iterator.
+pub struct EnumerateMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> EnumerateMut<'_, T> {
+    /// Applies `f` to every `(index, &mut element)` in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync,
+    {
+        let workers = threads();
+        if self.slice.len() < 2 || workers < 2 {
+            for (i, v) in self.slice.iter_mut().enumerate() {
+                f((i, v));
+            }
+            return;
+        }
+        let plan = spans(self.slice.len(), workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut rest = self.slice;
+            let mut consumed = 0;
+            for span in plan {
+                let (head, tail) = rest.split_at_mut(span.len());
+                rest = tail;
+                let offset = consumed;
+                consumed += span.len();
+                scope.spawn(move || {
+                    for (i, v) in head.iter_mut().enumerate() {
+                        f((offset + i, v));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Locksteped pair of parallel mutable iterators.
+pub struct ZipMut<'a, T> {
+    left: &'a mut [T],
+    right: &'a mut [T],
+}
+
+impl<T: Send> ZipMut<'_, T> {
+    /// Applies `f` to every aligned `(&mut left, &mut right)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((&mut T, &mut T)) + Sync,
+    {
+        let workers = threads();
+        if self.left.len() < 2 || workers < 2 {
+            for (a, b) in self.left.iter_mut().zip(self.right.iter_mut()) {
+                f((a, b));
+            }
+            return;
+        }
+        let plan = spans(self.left.len(), workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut left = self.left;
+            let mut right = self.right;
+            for span in plan {
+                let (lh, lt) = left.split_at_mut(span.len());
+                let (rh, rt) = right.split_at_mut(span.len());
+                left = lt;
+                right = rt;
+                scope.spawn(move || {
+                    for (a, b) in lh.iter_mut().zip(rh.iter_mut()) {
+                        f((a, b));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Parallel mutable chunk iterator.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<T: Send> ParChunksMut<'_, T> {
+    /// Applies `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        let chunks = self.slice.len().div_ceil(self.chunk.max(1));
+        if chunks < 2 || threads() < 2 {
+            for chunk in self.slice.chunks_mut(self.chunk) {
+                f(chunk);
+            }
+            return;
+        }
+        let f = &f;
+        // Hand each worker a contiguous run of whole chunks.
+        let plan = spans(chunks, threads());
+        std::thread::scope(|scope| {
+            let mut rest = self.slice;
+            for span in plan {
+                let take = (span.len() * self.chunk).min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let chunk = self.chunk;
+                scope.spawn(move || {
+                    for piece in head.chunks_mut(chunk) {
+                        f(piece);
+                    }
+                });
+            }
+        });
+    }
+}
+
+// --- shared element iterators ------------------------------------------------
+
+/// Parallel `&T` iterator over a slice.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Pairs each element with its index.
+    pub fn enumerate(self) -> EnumerateRef<'a, T> {
+        EnumerateRef { slice: self.slice }
+    }
+}
+
+/// Indexed parallel `&T` iterator.
+pub struct EnumerateRef<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> EnumerateRef<'a, T> {
+    /// Lazily maps every `(index, &element)`.
+    pub fn map<F, R>(self, f: F) -> MapRef<'a, T, F>
+    where
+        F: Fn((usize, &T)) -> R + Sync,
+        R: Send,
+    {
+        MapRef {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+/// Mapped indexed parallel iterator (reduced via [`MapRef::sum`]).
+pub struct MapRef<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<T: Sync, F> MapRef<'_, T, F> {
+    /// Sums the mapped values in parallel.
+    pub fn sum<S>(self) -> S
+    where
+        F: Fn((usize, &T)) -> S + Sync,
+        S: Send + std::iter::Sum<S>,
+    {
+        let workers = threads();
+        if self.slice.len() < 2 || workers < 2 {
+            return self
+                .slice
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (self.f)((i, v)))
+                .sum();
+        }
+        let plan = spans(self.slice.len(), workers);
+        let f = &self.f;
+        let slice = self.slice;
+        let partials: Vec<S> = std::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .into_iter()
+                .map(|span| {
+                    scope.spawn(move || {
+                        slice[span.clone()]
+                            .iter()
+                            .enumerate()
+                            .map(|(i, v)| f((span.start + i, v)))
+                            .sum::<S>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        partials.into_iter().sum()
+    }
+}
+
+// --- ranges -------------------------------------------------------------------
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Applies `f` to every index in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync + Send,
+    {
+        let len = self.range.len();
+        let workers = threads();
+        if len < 2 || workers < 2 {
+            for i in self.range {
+                f(i);
+            }
+            return;
+        }
+        let start = self.range.start;
+        let f = &f;
+        std::thread::scope(|scope| {
+            for span in spans(len, workers) {
+                scope.spawn(move || {
+                    for i in span {
+                        f(start + i);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn enumerate_for_each_touches_every_index() {
+        let mut v = vec![0usize; 1000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * 2);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn chunks_cover_whole_slice() {
+        let mut v = vec![1u64; 1003];
+        v.par_chunks_mut(64).for_each(|c| {
+            for x in c {
+                *x += 1;
+            }
+        });
+        assert_eq!(v.iter().sum::<u64>(), 2006);
+    }
+
+    #[test]
+    fn zip_pairs_align() {
+        let mut a = vec![1i64; 500];
+        let mut b = vec![2i64; 500];
+        a.par_iter_mut()
+            .zip(b.par_iter_mut())
+            .for_each(|(x, y)| std::mem::swap(x, y));
+        assert!(a.iter().all(|&x| x == 2) && b.iter().all(|&y| y == 1));
+    }
+
+    #[test]
+    fn mapped_sum_matches_serial() {
+        let v: Vec<f64> = (0..999).map(|i| i as f64).collect();
+        let par: f64 = v.par_iter().enumerate().map(|(i, x)| i as f64 + x).sum();
+        let ser: f64 = v.iter().enumerate().map(|(i, x)| i as f64 + x).sum();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn range_for_each_visits_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        (0..777).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 777);
+    }
+}

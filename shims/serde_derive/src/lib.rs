@@ -1,0 +1,346 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! The real `serde_derive` leans on `syn`/`quote`; neither is available
+//! offline, so this crate walks the raw [`proc_macro::TokenStream`] by
+//! hand. That is tractable because the shim's data model only needs the
+//! shapes this workspace actually derives:
+//!
+//! * structs with named fields (field *names* are all the codegen needs —
+//!   value conversion dispatches through the `Serialize`/`Deserialize`
+//!   traits, so field *types* never have to be understood), and
+//! * enums with unit and newtype variants (e.g. `Failed(String)`),
+//!   rendered in serde's externally-tagged JSON form: `"Variant"` for
+//!   unit variants, `{"Variant": value}` for newtype variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// `true` when the variant carries exactly one unnamed payload.
+    newtype: bool,
+}
+
+/// Derives `serde::Serialize` (shim) for named-field structs and
+/// unit/newtype enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    if v.newtype {
+                        format!(
+                            "{name}::{vn}(inner) => ::serde::Value::Map(vec![(\
+                                 \"{vn}\".to_string(), \
+                                 ::serde::Serialize::to_value(inner))]),"
+                        )
+                    } else {
+                        format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (shim) for named-field structs and
+/// unit/newtype enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             value.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                             .map_err(|e| format!(\"{name}.{f}: {{e}}\"))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, String> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Map(_) => Ok({name} {{ {inits} }}),\n\
+                             other => Err(format!(\
+                                 \"expected map for {name}, got {{other:?}}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| !v.newtype)
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let newtype_arms: String = variants
+                .iter()
+                .filter(|v| v.newtype)
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => Ok({name}::{0}(\
+                             ::serde::Deserialize::from_value(inner)\
+                             .map_err(|e| format!(\"{name}::{0}: {{e}}\"))?)),",
+                        v.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, String> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(format!(\
+                                     \"unknown {name} variant `{{other}}`\")),\n\
+                             }},\n\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {newtype_arms}\n\
+                                     other => Err(format!(\
+                                         \"unknown {name} variant `{{other}}`\")),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(format!(\
+                                 \"expected {name} variant, got {{other:?}}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// --- token-stream parsing ------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other}"),
+    };
+    i += 1;
+
+    skip_generics(&tokens, &mut i);
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break g.stream();
+            }
+            Some(_) => i += 1, // where-clause tokens
+            None => panic!("serde_derive: `{name}` has no brace-delimited body"),
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past any `#[...]` attributes (doc comments included) and a
+/// leading `pub` / `pub(...)` visibility marker.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` plus the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Advances past a `<...>` generic parameter list, if present.
+fn skip_generics(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                depth += 1;
+                *i += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' && depth > 0 => {
+                depth -= 1;
+                *i += 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+            Some(_) if depth > 0 => *i += 1,
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names from a named-field struct body. Types are skipped
+/// wholesale: everything between the `:` and the next angle-depth-zero
+/// comma is ignored (groups are atomic tokens, so commas inside generic
+/// argument lists are the only nesting that needs tracking).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!("serde_derive: expected field name in struct body");
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "serde_derive: named fields required (expected `:`, got {other:?})"
+            ),
+        }
+        let mut angle_depth = 0usize;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Extracts variants from an enum body. Unit and one-field tuple
+/// (newtype) variants are supported; struct-like or multi-field tuple
+/// variants are rejected loudly rather than silently mis-serialized.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!("serde_derive: expected variant name in enum body");
+        };
+        let name = id.to_string();
+        i += 1;
+        let mut newtype = false;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let payload: Vec<TokenTree> = g.stream().into_iter().collect();
+                let top_level_commas = {
+                    let mut depth = 0usize;
+                    payload
+                        .iter()
+                        .filter(|t| {
+                            match t {
+                                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                                TokenTree::Punct(p) if p.as_char() == '>' => {
+                                    depth = depth.saturating_sub(1);
+                                }
+                                _ => {}
+                            }
+                            matches!(t, TokenTree::Punct(p)
+                                if p.as_char() == ',' && depth == 0)
+                        })
+                        .count()
+                };
+                assert!(
+                    top_level_commas == 0,
+                    "serde_derive: variant `{name}` has multiple fields; \
+                     only unit and newtype variants are supported"
+                );
+                newtype = true;
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!(
+                    "serde_derive: struct-like variant `{name}` is not supported"
+                );
+            }
+            _ => {}
+        }
+        // Skip an optional `= discriminant` and the trailing comma.
+        while let Some(tok) = tokens.get(i) {
+            i += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, newtype });
+    }
+    variants
+}

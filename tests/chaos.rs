@@ -1,0 +1,313 @@
+//! Chaos suite: deterministic fault injection across the three layers the
+//! paper's stack spans — DEFw RPC, QRC worker slots, and the cloud
+//! provider — proving the retry/backoff/failover machinery end to end.
+//!
+//! Every scenario is driven by a seeded [`FaultPlan`], so each test (and
+//! the run-twice determinism check at the bottom) replays byte-for-byte.
+
+use qfw::qrc::{DispatchPolicy, Qrc};
+use qfw::{BackendRegistry, BackendSpec, ExecTask, QfwError};
+use qfw_chaos::{FaultPlan, FaultSpec, RetryPolicy};
+use qfw_circuit::{text, Circuit};
+use qfw_cloud::{CloudConfig, CloudProvider};
+use qfw_defw::{Defw, MethodTable, RpcError};
+use qfw_hpc::slurm::{HetJob, HetJobSpec};
+use qfw_hpc::{ClusterSpec, Dvm};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+const CALL_TIMEOUT: Duration = Duration::from_millis(50);
+
+fn echo_hub(plan: Arc<FaultPlan>) -> Defw {
+    let hub = Defw::start_with_chaos(2, plan);
+    hub.register(
+        "qpm",
+        MethodTable::new("qpm")
+            .method("echo", |v: String| Ok(v))
+            .build(),
+    );
+    hub
+}
+
+fn fast_policy(attempts: u32) -> RetryPolicy {
+    RetryPolicy::new(
+        Duration::from_millis(1),
+        Duration::from_millis(5),
+        attempts,
+        Duration::from_secs(1),
+    )
+}
+
+/// A dropped reply times the first attempt out; the retry lands.
+#[test]
+fn dropped_reply_is_healed_by_retry() {
+    let plan = Arc::new(FaultPlan::seeded(101).inject("defw.drop_reply.qpm", FaultSpec::first(1)));
+    let hub = echo_hub(Arc::clone(&plan));
+    let out: String = hub
+        .client()
+        .call_with_retry("qpm", "echo", &"payload".to_string(), CALL_TIMEOUT, &fast_policy(4))
+        .unwrap();
+    assert_eq!(out, "payload");
+    assert_eq!(plan.fired("defw.drop_reply.qpm"), 1);
+    // Exactly one extra dispatch reached the service.
+    assert_eq!(hub.stats("qpm").unwrap().calls, 2);
+}
+
+/// When every reply is dropped, retries exhaust and the error carries the
+/// attempt count.
+#[test]
+fn exhausted_retries_surface_timeout_with_attempts() {
+    let plan = Arc::new(FaultPlan::seeded(102).inject("defw.drop_reply.qpm", FaultSpec::always()));
+    let hub = echo_hub(plan);
+    let err = hub
+        .client()
+        .call_with_retry::<_, String>("qpm", "echo", &"x".to_string(), CALL_TIMEOUT, &fast_policy(3))
+        .unwrap_err();
+    match err {
+        RpcError::Timeout { attempts, .. } => assert_eq!(attempts, 3),
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}
+
+fn ghz_task(n: usize, spec: BackendSpec) -> ExecTask {
+    let mut qc = Circuit::new(n);
+    qc.h(0);
+    for q in 0..n - 1 {
+        qc.cx(q, q + 1);
+    }
+    qc.measure_all();
+    ExecTask {
+        circuit: text::dump(&qc),
+        shots: 100,
+        seed: 5,
+        spec,
+    }
+}
+
+fn qrc_with(plan: Arc<FaultPlan>, cloud: Option<Arc<CloudProvider>>, workers: usize) -> Qrc {
+    let cluster = ClusterSpec::test(3);
+    let hetjob = Arc::new(HetJob::submit(&cluster, &HetJobSpec::qfw_standard(2)).unwrap());
+    let dvm = Arc::new(Dvm::new(&cluster));
+    Qrc::new(
+        BackendRegistry::standard(cloud),
+        hetjob,
+        dvm,
+        1,
+        workers,
+        DispatchPolicy::RoundRobin,
+    )
+    .with_chaos(plan)
+}
+
+/// A dying worker slot requeues its task onto a survivor; the dead slot
+/// stays out of rotation until revived.
+#[test]
+fn slot_death_requeues_and_completes() {
+    let plan = Arc::new(FaultPlan::seeded(103).inject("qrc.slot_death", FaultSpec::first(2)));
+    let qrc = qrc_with(plan, None, 4);
+    let result = qrc
+        .execute(&ghz_task(5, BackendSpec::of("nwqsim", "cpu")))
+        .unwrap();
+    assert_eq!(result.counts.values().sum::<usize>(), 100);
+    assert_eq!(qrc.requeues(), 2, "task should have been requeued twice");
+    assert_eq!(qrc.dead_slots(), 2);
+    // Follow-up tasks keep flowing on the two survivors.
+    for _ in 0..4 {
+        qrc.execute(&ghz_task(4, BackendSpec::of("nwqsim", "cpu")))
+            .unwrap();
+    }
+    assert_eq!(qrc.revive_slots(), 2);
+    assert_eq!(qrc.dead_slots(), 0);
+}
+
+/// A 27-qubit nearest-neighbour circuit with strong entanglers: the
+/// selector's primary choice is the cloud. With the provider crashing
+/// every job, `auto` degrades to the next-ranked engine and records the
+/// failover chain in the result metadata.
+fn failover_task() -> ExecTask {
+    let mut qc = Circuit::new(27);
+    for q in 0..26 {
+        qc.rzz(q, q + 1, 1.5);
+    }
+    qc.measure_all();
+    ExecTask {
+        circuit: text::dump(&qc),
+        shots: 20,
+        seed: 5,
+        spec: BackendSpec::of("auto", ""),
+    }
+}
+
+#[test]
+fn cloud_failure_triggers_selector_failover() {
+    let plan = Arc::new(FaultPlan::seeded(104).inject("cloud.job_fail", FaultSpec::always()));
+    let provider = Arc::new(CloudProvider::start_with_chaos(
+        CloudConfig::instant(),
+        Arc::clone(&plan),
+    ));
+    let qrc = qrc_with(Arc::new(FaultPlan::disabled()), Some(provider), 2);
+    let result = qrc.execute(&failover_task()).unwrap();
+    assert_eq!(result.counts.values().sum::<usize>(), 20);
+    assert_eq!(result.metadata["failover_chain"], "ionq/simulator");
+    assert!(
+        result.metadata["failover_errors"].contains("injected"),
+        "errors: {}",
+        result.metadata["failover_errors"]
+    );
+    assert_eq!(result.metadata["auto_selected"], "aer/matrix_product_state");
+}
+
+/// The whole point: the same seed injects the same faults and produces
+/// the same resilience behaviour, byte for byte. CI runs this suite twice
+/// and diffs the output; this test replays a composite scenario in-process.
+#[test]
+fn chaos_replays_identically_under_one_seed() {
+    let transcript = |seed: u64| -> String {
+        let mut lines = Vec::new();
+
+        // DEFw: probabilistic reply drops healed by retries.
+        let plan = Arc::new(
+            FaultPlan::seeded(seed)
+                .inject("defw.drop_reply.qpm", FaultSpec::with_probability(0.5).times(8)),
+        );
+        let hub = echo_hub(Arc::clone(&plan));
+        let policy = fast_policy(6).with_seed(seed);
+        for i in 0..10 {
+            let out = hub.client().call_with_retry::<_, String>(
+                "qpm",
+                "echo",
+                &format!("m{i}"),
+                CALL_TIMEOUT,
+                &policy,
+            );
+            lines.push(format!("call {i}: ok={}", out.is_ok()));
+        }
+        for rec in plan.injection_log() {
+            lines.push(format!("defw fault {} at hit {}", rec.site, rec.hit));
+        }
+
+        // Cloud: failover metadata from a crashing provider.
+        let cloud_plan =
+            Arc::new(FaultPlan::seeded(seed).inject("cloud.job_fail", FaultSpec::always()));
+        let provider = Arc::new(CloudProvider::start_with_chaos(
+            CloudConfig::instant(),
+            Arc::clone(&cloud_plan),
+        ));
+        let qrc = qrc_with(Arc::new(FaultPlan::disabled()), Some(provider), 2);
+        let result = qrc.execute(&failover_task()).unwrap();
+        lines.push(format!(
+            "failover: {} -> {} (cloud faults: {})",
+            result.metadata["failover_chain"],
+            result.metadata["auto_selected"],
+            cloud_plan.fired("cloud.job_fail"),
+        ));
+        for (bits, count) in &result.counts {
+            lines.push(format!("counts[{bits}]={count}"));
+        }
+        lines.join("\n")
+    };
+    let first = transcript(2024);
+    let second = transcript(2024);
+    assert_eq!(first, second, "same seed must replay identically");
+}
+
+/// With all worker slots dead, dispatch reports a resource error instead
+/// of hanging; revival restores service.
+#[test]
+fn dead_pool_errors_then_revives() {
+    let plan = Arc::new(FaultPlan::seeded(105).inject("qrc.slot_death", FaultSpec::first(2)));
+    let qrc = qrc_with(plan, None, 2);
+    let err = qrc
+        .execute(&ghz_task(4, BackendSpec::of("nwqsim", "cpu")))
+        .unwrap_err();
+    assert!(matches!(err, QfwError::Resources(_)), "{err:?}");
+    assert_eq!(qrc.revive_slots(), 2);
+    let result = qrc
+        .execute(&ghz_task(4, BackendSpec::of("nwqsim", "cpu")))
+        .unwrap();
+    assert_eq!(result.counts.values().sum::<usize>(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy property coverage.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No single backoff ever exceeds the per-attempt cap.
+    #[test]
+    fn prop_backoff_bounded_by_cap(
+        seed in 0u64..1_000_000,
+        base_ms in 1u64..50,
+        cap_ms in 1u64..200,
+        attempts in 1u32..20,
+    ) {
+        let policy = RetryPolicy::new(
+            Duration::from_millis(base_ms),
+            Duration::from_millis(cap_ms),
+            attempts,
+            Duration::from_secs(10),
+        )
+        .with_seed(seed);
+        let mut schedule = policy.schedule();
+        while let Some(backoff) = schedule.next_backoff() {
+            prop_assert!(backoff <= policy.cap, "{backoff:?} > cap {:?}", policy.cap);
+        }
+        prop_assert!(schedule.attempts() <= attempts.max(1));
+    }
+
+    /// The running total of granted sleep never exceeds the deadline
+    /// budget, no matter the seed or shape of the policy.
+    #[test]
+    fn prop_total_sleep_within_deadline(
+        seed in 0u64..1_000_000,
+        base_ms in 1u64..50,
+        cap_ms in 1u64..500,
+        deadline_ms in 1u64..400,
+    ) {
+        let policy = RetryPolicy::new(
+            Duration::from_millis(base_ms),
+            Duration::from_millis(cap_ms),
+            1000,
+            Duration::from_millis(deadline_ms),
+        )
+        .with_seed(seed);
+        let mut schedule = policy.schedule();
+        let mut total = Duration::ZERO;
+        while let Some(backoff) = schedule.next_backoff() {
+            total += backoff;
+            prop_assert!(
+                total <= policy.deadline,
+                "total {total:?} > deadline {:?}",
+                policy.deadline
+            );
+        }
+        prop_assert_eq!(total, schedule.total_sleep());
+    }
+
+    /// An enabled-but-empty fault plan is behaviourally identical to no
+    /// chaos at all: every call succeeds and the service sees the same
+    /// traffic, for any seed.
+    #[test]
+    fn prop_zero_fault_plan_is_transparent(seed in 0u64..1_000_000) {
+        let run = |plan: Arc<FaultPlan>| -> (Vec<String>, u64, u64) {
+            let hub = echo_hub(plan);
+            let client = hub.client();
+            let outputs = (0..5)
+                .map(|i| {
+                    client
+                        .call::<_, String>("qpm", "echo", &format!("p{i}"), Duration::from_secs(5))
+                        .unwrap()
+                })
+                .collect();
+            let stats = hub.stats("qpm").unwrap();
+            (outputs, stats.calls, stats.errors)
+        };
+        let chaotic = run(Arc::new(FaultPlan::seeded(seed)));
+        let clean = run(Arc::new(FaultPlan::disabled()));
+        prop_assert_eq!(chaotic, clean);
+    }
+}
