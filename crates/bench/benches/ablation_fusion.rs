@@ -1,10 +1,10 @@
-//! Ablation: single-qubit gate fusion in the state-vector engine.
-//! DESIGN.md calls this out — fused runs save full amplitude sweeps on
-//! rotation-heavy circuits.
+//! Ablation: tiered gate fusion in the state-vector engine.
+//! DESIGN.md calls this out — fused 1q runs, merged diagonal sweeps, and
+//! 2q blocks save full amplitude sweeps on rotation-heavy circuits.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qfw_circuit::Circuit;
-use qfw_sim_sv::{SvConfig, SvSimulator, Threading};
+use qfw_sim_sv::{FusionLevel, SvConfig, SvSimulator, Threading};
 use std::time::Duration;
 
 /// A rotation-heavy circuit: 6 consecutive 1q gates per qubit per layer.
@@ -34,10 +34,15 @@ fn bench_fusion(c: &mut Criterion) {
 
     for &n in &[12usize, 16] {
         let circuit = rotation_heavy(n, 4);
-        for (label, fusion) in [("fused", true), ("unfused", false)] {
+        for (label, fusion) in [
+            ("full", FusionLevel::Full),
+            ("runs1q", FusionLevel::Runs1q),
+            ("unfused", FusionLevel::None),
+        ] {
             let engine = SvSimulator::new(SvConfig {
                 threading: Threading::Serial,
                 fusion,
+                ..SvConfig::default()
             });
             group.bench_with_input(BenchmarkId::new(label, n), &circuit, |b, circuit| {
                 b.iter(|| engine.run(circuit, 64, 3));

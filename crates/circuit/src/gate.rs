@@ -343,22 +343,44 @@ impl Gate {
 
     /// True when the gate's matrix is diagonal in the computational basis.
     /// Diagonal gates commute with Z-basis measurement and are exploited by
-    /// the tensor-network lightcone pass.
+    /// the tensor-network lightcone pass and the state-vector engine's
+    /// single-sweep diagonal kernel. Named gates classify structurally;
+    /// opaque `Unitary` blocks are inspected numerically.
     pub fn is_diagonal(&self) -> bool {
-        matches!(
-            self,
+        match self {
             Gate::Z(_)
-                | Gate::S(_)
-                | Gate::Sdg(_)
-                | Gate::T(_)
-                | Gate::Tdg(_)
-                | Gate::Rz(..)
-                | Gate::Phase(..)
-                | Gate::Cz(..)
-                | Gate::Cp(..)
-                | Gate::Crz(..)
-                | Gate::Rzz(..)
-        )
+            | Gate::S(_)
+            | Gate::Sdg(_)
+            | Gate::T(_)
+            | Gate::Tdg(_)
+            | Gate::Rz(..)
+            | Gate::Phase(..)
+            | Gate::Cz(..)
+            | Gate::Cp(..)
+            | Gate::Crz(..)
+            | Gate::Rzz(..) => true,
+            Gate::Unitary { matrix, .. } => {
+                (0..matrix.rows()).all(|r| {
+                    (0..matrix.cols()).all(|c| r == c || matrix[(r, c)].abs() <= 1e-12)
+                })
+            }
+            _ => false,
+        }
+    }
+
+    /// The gate's diagonal in its local basis (`2^arity` entries), when the
+    /// gate [`is_diagonal`](Self::is_diagonal). Lets simulators apply
+    /// diagonal gates — including fused diagonal `Unitary` blocks — as a
+    /// single phase sweep instead of a dense matrix kernel.
+    pub fn diagonal(&self) -> Option<Vec<C64>> {
+        if !self.is_diagonal() {
+            return None;
+        }
+        if let Gate::Unitary { matrix, .. } = self {
+            return Some((0..matrix.rows()).map(|i| matrix[(i, i)]).collect());
+        }
+        let m = self.matrix();
+        Some((0..m.rows()).map(|i| m[(i, i)]).collect())
     }
 
     /// True when the gate can create entanglement between its qubits.
@@ -641,6 +663,45 @@ mod tests {
             }
             assert_eq!(g.is_diagonal(), diag, "{g} diagonal mismatch");
         }
+    }
+
+    #[test]
+    fn diagonal_entries_match_matrix_diagonal() {
+        for g in all_sample_gates() {
+            match g.diagonal() {
+                Some(d) => {
+                    let m = g.matrix();
+                    assert_eq!(d.len(), m.rows(), "{g}");
+                    for (i, &p) in d.iter().enumerate() {
+                        assert!(p.approx_eq(m[(i, i)], 1e-12), "{g} entry {i}");
+                    }
+                }
+                None => assert!(!g.is_diagonal(), "{g}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unitary_blocks_classify_diagonality_numerically() {
+        let diag_block = Gate::Unitary {
+            qubits: vec![0, 2],
+            matrix: Arc::new(Matrix::diag(&[
+                C64::ONE,
+                C64::I,
+                -C64::ONE,
+                -C64::I,
+            ])),
+            label: "dblk".into(),
+        };
+        assert!(diag_block.is_diagonal());
+        assert_eq!(diag_block.diagonal().unwrap()[1], C64::I);
+        let dense_block = Gate::Unitary {
+            qubits: vec![0, 1],
+            matrix: Arc::new(Gate::Cx(0, 1).matrix()),
+            label: "cxblk".into(),
+        };
+        assert!(!dense_block.is_diagonal());
+        assert!(dense_block.diagonal().is_none());
     }
 
     #[test]

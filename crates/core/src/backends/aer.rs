@@ -21,7 +21,7 @@ use qfw_hpc::Stopwatch;
 use qfw_sim_mps::{MpsConfig, MpsSimulator};
 use qfw_sim_stab::StabSimulator;
 use qfw_sim_sv::dist::DistStateVector;
-use qfw_sim_sv::{SvConfig, SvSimulator, Threading};
+use qfw_sim_sv::{SvConfig, SvSimulator};
 use std::sync::Arc;
 
 /// Qiskit-Aer analog Backend-QPM.
@@ -55,10 +55,7 @@ impl AerBackend {
     ) -> Result<(), QfwError> {
         if task.spec.ranks <= 1 {
             let _lease = ctx.lease_cores(1)?;
-            let engine = SvSimulator::new(SvConfig {
-                threading: Threading::Serial,
-                fusion: true,
-            });
+            let engine = SvSimulator::new(SvConfig::default());
             let out = engine.run(circuit, task.shots, task.seed);
             result.counts = out.counts;
             result.profile.exec_secs = out.gate_time.as_secs_f64();

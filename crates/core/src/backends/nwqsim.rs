@@ -11,7 +11,7 @@ use crate::spec::ExecTask;
 use qfw_hpc::Stopwatch;
 use qfw_sim_sv::dist::run_distributed;
 use qfw_sim_sv::noise::{run_noisy, NoiseModel};
-use qfw_sim_sv::{SvConfig, SvSimulator, Threading};
+use qfw_sim_sv::{FusionLevel, SvConfig, SvSimulator, Threading};
 use std::sync::Arc;
 
 /// NWQ-Sim analog Backend-QPM.
@@ -31,7 +31,11 @@ impl BackendQpm for NwqSimBackend {
         let sub = self.resolve_subbackend(&task.spec)?;
         let total = Stopwatch::start();
         let (circuit, marshal_secs) = unmarshal_circuit(task)?;
-        let fusion = task.spec.extra_parsed::<bool>("fusion").unwrap_or(true);
+        let fusion = if task.spec.extra_parsed::<bool>("fusion").unwrap_or(true) {
+            FusionLevel::Full
+        } else {
+            FusionLevel::None
+        };
 
         let mut result = QfwResult::new(self.name(), sub, task.shots);
         result.profile.marshal_secs = marshal_secs;
@@ -62,7 +66,11 @@ impl BackendQpm for NwqSimBackend {
                 let _lease = ctx.lease_cores(cores)?;
                 let sw = Stopwatch::start();
                 if noise.is_ideal() {
-                    let engine = SvSimulator::new(SvConfig { threading, fusion });
+                    let engine = SvSimulator::new(SvConfig {
+                        threading,
+                        fusion,
+                        ..SvConfig::default()
+                    });
                     let out = engine.run(&circuit, task.shots, task.seed);
                     result.counts = out.counts;
                     result.profile.exec_secs = out.gate_time.as_secs_f64();

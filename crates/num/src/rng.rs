@@ -179,6 +179,49 @@ impl Rng {
     }
 }
 
+/// Which categorical sampler a shot loop should use.
+///
+/// `Cdf` draws in `O(log n)` per shot via binary search and is kept for
+/// seeded-replay paths whose recorded outputs depend on its exact draw
+/// sequence (one uniform per shot). `Alias` is the Walker/Vose alias
+/// method: `O(n)` table build, `O(1)` per shot (two uniforms per shot) —
+/// the fast path when shots dominate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SampleStrategy {
+    /// Binary search over a cumulative table (`CdfSampler`).
+    Cdf,
+    /// Walker/Vose alias method (`AliasSampler`).
+    #[default]
+    Alias,
+}
+
+/// A categorical sampler built from one of the [`SampleStrategy`] choices.
+pub enum Sampler {
+    /// CDF binary-search sampler.
+    Cdf(CdfSampler),
+    /// Alias-method sampler.
+    Alias(AliasSampler),
+}
+
+impl Sampler {
+    /// Builds the sampler named by `strategy` from non-negative weights.
+    pub fn build(strategy: SampleStrategy, weights: &[f64]) -> Self {
+        match strategy {
+            SampleStrategy::Cdf => Sampler::Cdf(CdfSampler::new(weights)),
+            SampleStrategy::Alias => Sampler::Alias(AliasSampler::new(weights)),
+        }
+    }
+
+    /// Draws one index.
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        match self {
+            Sampler::Cdf(s) => s.sample(rng),
+            Sampler::Alias(s) => s.sample(rng),
+        }
+    }
+}
+
 /// Builds a cumulative-probability table for repeated categorical sampling,
 /// used by the simulators to draw measurement shots from `|amp|^2`.
 pub struct CdfSampler {
@@ -209,6 +252,75 @@ impl CdfSampler {
         {
             Ok(i) => (i + 1).min(self.cdf.len() - 1),
             Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Walker/Vose alias-method sampler: `O(n)` table build, `O(1)` per draw.
+///
+/// Each cell `i` holds a threshold `prob[i]` and a backup column `alias[i]`;
+/// a draw picks a uniform cell, then keeps it or jumps to its alias. The
+/// draw sequence differs from [`CdfSampler`] (two uniforms per shot instead
+/// of one), so seeded replays pinned to CDF draws must keep using that.
+pub struct AliasSampler {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasSampler {
+    /// Builds from (possibly unnormalized) non-negative weights.
+    ///
+    /// # Panics
+    /// Panics when all weights are zero (nothing to sample).
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+        assert!(total > 0.0, "cannot sample from all-zero weights");
+        let scale = n as f64 / total;
+
+        // Vose's stable partition: cells scaled so the average is 1; light
+        // cells (< 1) are topped up from heavy ones, each pairing fixing one
+        // light cell for good.
+        let mut prob = vec![1.0f64; n];
+        let mut alias: Vec<usize> = (0..n).collect();
+        let mut small: Vec<(usize, f64)> = Vec::new();
+        let mut large: Vec<(usize, f64)> = Vec::new();
+        for (i, &w) in weights.iter().enumerate() {
+            let p = w.max(0.0) * scale;
+            if p < 1.0 {
+                small.push((i, p));
+            } else {
+                large.push((i, p));
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let (s, ps) = small.pop().unwrap();
+            let (l, pl) = large.pop().unwrap();
+            prob[s] = ps;
+            alias[s] = l;
+            let rem = pl - (1.0 - ps);
+            if rem < 1.0 {
+                small.push((l, rem));
+            } else {
+                large.push((l, rem));
+            }
+        }
+        // Leftovers are exactly 1 up to rounding; saturate them.
+        for (i, _) in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        AliasSampler { prob, alias }
+    }
+
+    /// Draws one index in O(1): one cell pick plus one threshold test.
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let i = rng.index(self.prob.len());
+        if rng.next_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
         }
     }
 }
@@ -344,5 +456,106 @@ mod tests {
     fn weighted_rejects_all_zero() {
         let mut rng = Rng::seed_from(18);
         let _ = rng.weighted(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn alias_sampler_matches_distribution() {
+        let mut rng = Rng::seed_from(20);
+        let sampler = AliasSampler::new(&[0.25, 0.0, 0.75]);
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight column drawn");
+        let p0 = counts[0] as f64 / 40_000.0;
+        assert!((p0 - 0.25).abs() < 0.02, "p0 {p0}");
+    }
+
+    #[test]
+    fn alias_table_is_exact_on_reconstruction() {
+        // Summing each column's retained mass plus the mass it receives as
+        // an alias reconstructs the input distribution to rounding error.
+        let weights = [0.05, 1.0, 0.2, 0.0, 3.0, 0.75, 0.0, 0.5];
+        let total: f64 = weights.iter().sum();
+        let s = AliasSampler::new(&weights);
+        let n = weights.len();
+        let mut mass = vec![0.0f64; n];
+        for i in 0..n {
+            mass[i] += s.prob[i] / n as f64;
+            mass[s.alias[i]] += (1.0 - s.prob[i]) / n as f64;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(
+                (mass[i] - w / total).abs() < 1e-12,
+                "column {i}: {} vs {}",
+                mass[i],
+                w / total
+            );
+        }
+    }
+
+    #[test]
+    fn alias_single_column_always_drawn() {
+        let mut rng = Rng::seed_from(22);
+        let s = AliasSampler::new(&[2.5]);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample from all-zero weights")]
+    fn alias_rejects_all_zero() {
+        let _ = AliasSampler::new(&[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn alias_and_cdf_agree_within_total_variation_bound() {
+        // Statistical contract: at a fixed seed, the empirical distributions
+        // drawn by the two samplers over a skewed 64-bin table must agree
+        // within a small total-variation distance (they are different draw
+        // sequences over the same distribution).
+        let mut wrng = Rng::seed_from(24);
+        let n = 64;
+        let weights: Vec<f64> = (0..n)
+            .map(|i| if i % 7 == 0 { 0.0 } else { wrng.next_f64().powi(2) })
+            .collect();
+        let shots = 200_000usize;
+
+        let draw_hist = |f: &dyn Fn(&mut Rng) -> usize| {
+            let mut rng = Rng::seed_from(26);
+            let mut h = vec![0usize; n];
+            for _ in 0..shots {
+                h[f(&mut rng)] += 1;
+            }
+            h
+        };
+        let cdf = CdfSampler::new(&weights);
+        let alias = AliasSampler::new(&weights);
+        let hc = draw_hist(&|rng| cdf.sample(rng));
+        let ha = draw_hist(&|rng| alias.sample(rng));
+
+        let tv: f64 = hc
+            .iter()
+            .zip(ha.iter())
+            .map(|(&a, &b)| (a as f64 - b as f64).abs())
+            .sum::<f64>()
+            / (2.0 * shots as f64);
+        assert!(tv < 0.01, "total-variation distance {tv} too large");
+        for i in (0..n).step_by(7) {
+            assert_eq!(hc[i] + ha[i], 0, "zero-weight bin {i} drawn");
+        }
+    }
+
+    #[test]
+    fn sampler_enum_dispatches_both_strategies() {
+        let weights = [0.5, 0.5];
+        for strategy in [SampleStrategy::Cdf, SampleStrategy::Alias] {
+            let s = Sampler::build(strategy, &weights);
+            let mut rng = Rng::seed_from(28);
+            for _ in 0..50 {
+                assert!(s.sample(&mut rng) < 2);
+            }
+        }
     }
 }

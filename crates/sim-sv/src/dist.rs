@@ -18,7 +18,7 @@ use crate::state::{index_to_bitstring, StateVector};
 use qfw_circuit::{Circuit, Gate, Op};
 use qfw_hpc::RankCtx;
 use qfw_num::complex::C64;
-use qfw_num::rng::{CdfSampler, Rng};
+use qfw_num::rng::{AliasSampler, CdfSampler, Rng};
 use std::collections::BTreeMap;
 
 /// A rank's shard of a distributed state vector.
@@ -278,11 +278,12 @@ impl<'a> DistStateVector<'a> {
             },
         );
 
-        // Each rank draws its local share as global indices.
+        // Each rank draws its local share as global indices through the
+        // O(1)-per-shot alias sampler (the per-rank table build is O(2^local)).
         let offset = (self.ctx.rank() << self.local_bits) as u64;
         let mut rng = Rng::seed_from(seed ^ (self.ctx.rank() as u64).wrapping_mul(0x9E3779B97F4A7C15));
         let samples: Vec<u64> = if my_shots > 0 {
-            let sampler = CdfSampler::new(&local_probs);
+            let sampler = AliasSampler::new(&local_probs);
             (0..my_shots)
                 .map(|_| offset | sampler.sample(&mut rng) as u64)
                 .collect()

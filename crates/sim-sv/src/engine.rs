@@ -1,9 +1,9 @@
 //! The single-process engine façade: configuration, execution, outcomes.
 
-use crate::fusion::fuse_1q_runs;
+use crate::fusion::{fuse, FusionLevel};
 use crate::state::StateVector;
 use qfw_circuit::{Circuit, Op};
-use qfw_num::rng::Rng;
+use qfw_num::rng::{Rng, SampleStrategy};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -21,15 +21,19 @@ pub enum Threading {
 pub struct SvConfig {
     /// Threading mode.
     pub threading: Threading,
-    /// Enable the 1q gate-fusion pre-pass.
-    pub fusion: bool,
+    /// Gate-fusion pre-pass tier.
+    pub fusion: FusionLevel,
+    /// Shot sampler (alias method by default; CDF preserves the legacy
+    /// draw sequence for seeded replays).
+    pub sampling: SampleStrategy,
 }
 
 impl Default for SvConfig {
     fn default() -> Self {
         SvConfig {
             threading: Threading::Serial,
-            fusion: true,
+            fusion: FusionLevel::Full,
+            sampling: SampleStrategy::Alias,
         }
     }
 }
@@ -60,12 +64,14 @@ impl SvSimulator {
         SvSimulator { config }
     }
 
-    /// Serial engine without fusion (reference behaviour).
+    /// Serial engine without fusion, sampling through the legacy CDF walk
+    /// (reference behaviour).
     pub fn plain() -> Self {
         SvSimulator {
             config: SvConfig {
                 threading: Threading::Serial,
-                fusion: false,
+                fusion: FusionLevel::None,
+                sampling: SampleStrategy::Cdf,
             },
         }
     }
@@ -80,11 +86,11 @@ impl SvSimulator {
     pub fn run(&self, circuit: &Circuit, shots: usize, seed: u64) -> SvOutcome {
         let parallel = self.config.threading == Threading::Rayon;
         let prepared;
-        let circuit = if self.config.fusion {
-            prepared = fuse_1q_runs(circuit);
-            &prepared
-        } else {
+        let circuit = if self.config.fusion == FusionLevel::None {
             circuit
+        } else {
+            prepared = fuse(circuit, self.config.fusion);
+            &prepared
         };
 
         let mut rng = Rng::seed_from(seed);
@@ -119,7 +125,7 @@ impl SvSimulator {
                         measured.push((*qubit, *clbit));
                     } else {
                         // Mid-circuit: collapse one trajectory.
-                        let bit = sv.measure(*qubit, &mut rng);
+                        let bit = sv.measure(*qubit, &mut rng, parallel);
                         collapsed_bits.insert(*clbit, bit);
                     }
                 }
@@ -132,7 +138,7 @@ impl SvSimulator {
         let counts = if measured.is_empty() && collapsed_bits.is_empty() {
             // No measurements: implicit measure-all (Qiskit statevector
             // semantics when sampling is requested).
-            sv.sample_counts(shots, &mut rng)
+            sv.sample_counts_with(shots, &mut rng, self.config.sampling, parallel)
         } else if measured.is_empty() {
             // Only mid-circuit measurements: one trajectory's classical bits.
             let width = circuit.num_clbits();
@@ -147,7 +153,7 @@ impl SvSimulator {
         } else {
             // Terminal measurements: sample the register, then project each
             // sample onto the measured clbits.
-            let raw = sv.sample_counts(shots, &mut rng);
+            let raw = sv.sample_counts_with(shots, &mut rng, self.config.sampling, parallel);
             let width = circuit.num_clbits();
             let mut out: BTreeMap<String, usize> = BTreeMap::new();
             for (bitstring, count) in raw {
@@ -178,11 +184,11 @@ impl SvSimulator {
     pub fn statevector(&self, circuit: &Circuit) -> StateVector {
         let parallel = self.config.threading == Threading::Rayon;
         let prepared;
-        let circuit = if self.config.fusion {
-            prepared = fuse_1q_runs(circuit);
-            &prepared
-        } else {
+        let circuit = if self.config.fusion == FusionLevel::None {
             circuit
+        } else {
+            prepared = fuse(circuit, self.config.fusion);
+            &prepared
         };
         let mut sv = StateVector::zero(circuit.num_qubits());
         sv.run_unitary(circuit, parallel);
@@ -220,15 +226,18 @@ mod tests {
         for config in [
             SvConfig {
                 threading: Threading::Serial,
-                fusion: false,
+                fusion: FusionLevel::None,
+                sampling: SampleStrategy::Cdf,
             },
             SvConfig {
                 threading: Threading::Serial,
-                fusion: true,
+                fusion: FusionLevel::Runs1q,
+                sampling: SampleStrategy::Alias,
             },
             SvConfig {
                 threading: Threading::Rayon,
-                fusion: true,
+                fusion: FusionLevel::Full,
+                sampling: SampleStrategy::Alias,
             },
         ] {
             let engine = SvSimulator::new(config);
@@ -262,9 +271,16 @@ mod tests {
         qc.h(0).t(0).rz(0, 0.3).h(1).s(1).cx(0, 1);
         qc.measure_all();
         let plain = SvSimulator::plain().run(&qc, 10, 1);
-        let fused = SvSimulator::default().run(&qc, 10, 1);
+        let runs1q = SvSimulator::new(SvConfig {
+            threading: Threading::Serial,
+            fusion: FusionLevel::Runs1q,
+            sampling: SampleStrategy::Alias,
+        })
+        .run(&qc, 10, 1);
+        let full = SvSimulator::default().run(&qc, 10, 1);
         assert_eq!(plain.gates_applied, 6);
-        assert_eq!(fused.gates_applied, 3); // fused(q0,3) + fused(q1,2) + cx
+        assert_eq!(runs1q.gates_applied, 3); // fused(q0,3) + fused(q1,2) + cx
+        assert_eq!(full.gates_applied, 1); // everything in one 4x4 block
     }
 
     #[test]
@@ -339,11 +355,14 @@ mod tests {
             qc.cx(q, q + 1);
         }
         let a = SvSimulator::plain().statevector(&qc);
-        let b = SvSimulator::new(SvConfig {
-            threading: Threading::Rayon,
-            fusion: true,
-        })
-        .statevector(&qc);
-        assert!(approx_eq(a.fidelity(&b), 1.0, 1e-9));
+        for fusion in [FusionLevel::Runs1q, FusionLevel::Full] {
+            let b = SvSimulator::new(SvConfig {
+                threading: Threading::Rayon,
+                fusion,
+                sampling: SampleStrategy::Alias,
+            })
+            .statevector(&qc);
+            assert!(approx_eq(a.fidelity(&b), 1.0, 1e-9), "{fusion:?}");
+        }
     }
 }

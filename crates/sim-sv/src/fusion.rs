@@ -1,14 +1,45 @@
-//! Gate fusion: a pre-pass that multiplies runs of single-qubit gates on the
-//! same qubit into one dense `Unitary` block.
+//! Gate fusion: pre-passes that rewrite a circuit into fewer, denser gates
+//! before simulation.
+//!
+//! Three tiers (see [`FusionLevel`]):
+//! * **1q runs** — maximal runs of same-qubit single-qubit gates multiply
+//!   into one dense 2x2 `Unitary` block (the legacy pass).
+//! * **Diagonal merge** — commuting diagonal gates (Rz/Cz/Cp/Rzz/...) merge
+//!   into a single diagonal `Unitary` block applied as one phase sweep.
+//! * **2q blocks** — contiguous two-qubit regions accumulate into one 4x4
+//!   block, absorbing the single-qubit runs on their qubits (the Aer /
+//!   NWQ-Sim style optimization).
 //!
 //! Each fused block saves full `O(2^n)` amplitude sweeps, the dominant cost
-//! of deep circuits on state-vector engines (NWQ-Sim and Aer both ship
-//! variants of this optimization). The effect is measured by the
-//! `ablation_fusion` bench.
+//! of deep circuits on state-vector engines. The effect is measured by the
+//! `ablation_fusion` bench and the `bench_sv` perf suite.
 
 use qfw_circuit::{Circuit, Gate, Op};
+use qfw_num::complex::C64;
 use qfw_num::Matrix;
 use std::sync::Arc;
+
+/// How aggressively the engine fuses gates before applying them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FusionLevel {
+    /// Apply the circuit verbatim.
+    None,
+    /// Fuse runs of same-qubit single-qubit gates (legacy tier).
+    Runs1q,
+    /// Diagonal-run merging followed by two-qubit block fusion (subsumes
+    /// the 1q tier: leftover runs fuse into blocks or into 2x2 unitaries).
+    #[default]
+    Full,
+}
+
+/// Applies the fusion pre-pass selected by `level`.
+pub fn fuse(circuit: &Circuit, level: FusionLevel) -> Circuit {
+    match level {
+        FusionLevel::None => circuit.clone(),
+        FusionLevel::Runs1q => fuse_1q_runs(circuit),
+        FusionLevel::Full => fuse_2q_blocks(&fuse_diagonal_runs(circuit)),
+    }
+}
 
 /// Rewrites `circuit` with maximal runs of same-qubit single-qubit gates
 /// fused into `Gate::Unitary` blocks. Multi-qubit gates, measurements, and
@@ -22,20 +53,6 @@ pub fn fuse_1q_runs(circuit: &Circuit) -> Circuit {
     // gates it absorbs (a run of length 1 is emitted verbatim).
     let mut pending: Vec<Option<(Matrix, Gate, usize)>> = (0..n).map(|_| None).collect();
 
-    let flush = |out: &mut Circuit, slot: &mut Option<(Matrix, Gate, usize)>, q: usize| {
-        if let Some((m, first, count)) = slot.take() {
-            if count == 1 {
-                out.push(first);
-            } else {
-                out.push(Gate::Unitary {
-                    qubits: vec![q],
-                    matrix: Arc::new(m),
-                    label: format!("fused{count}"),
-                });
-            }
-        }
-    };
-
     for op in circuit.ops() {
         match op {
             Op::Gate(g) if g.arity() == 1 && !matches!(g, Gate::Unitary { .. }) => {
@@ -48,16 +65,306 @@ pub fn fuse_1q_runs(circuit: &Circuit) -> Circuit {
             }
             other => {
                 for q in other.qubits() {
-                    let mut slot = pending[q].take();
-                    flush(&mut out, &mut slot, q);
+                    flush_1q(&mut out, pending[q].take(), q);
                 }
                 out.push_op(other.clone());
             }
         }
     }
     for (q, p) in pending.iter_mut().enumerate() {
-        let mut slot = p.take();
-        flush(&mut out, &mut slot, q);
+        flush_1q(&mut out, p.take(), q);
+    }
+    out
+}
+
+/// Emits a pending 1q run: verbatim when it holds a single source gate,
+/// otherwise as a fused 2x2 `Unitary` block.
+fn flush_1q(out: &mut Circuit, slot: Option<(Matrix, Gate, usize)>, q: usize) {
+    if let Some((m, first, count)) = slot {
+        if count == 1 {
+            out.push(first);
+        } else {
+            out.push(Gate::Unitary {
+                qubits: vec![q],
+                matrix: Arc::new(m),
+                label: format!("fused{count}"),
+            });
+        }
+    }
+}
+
+// --- diagonal-run merging ----------------------------------------------------
+
+/// Diagonal blocks stop growing at this many qubits: the merged phase table
+/// (and the dense `Matrix::diag` storage backing the emitted block) is
+/// `2^k` entries, so the cap bounds memory while still covering the deep
+/// Rz/Rzz layers of QAOA and TFIM circuits.
+const MAX_DIAG_QUBITS: usize = 6;
+
+struct DiagRun {
+    /// Qubits in local bit order (order of first appearance).
+    qubits: Vec<usize>,
+    /// Merged phases, `2^qubits.len()` entries.
+    phases: Vec<C64>,
+    /// First absorbed gate, emitted verbatim when nothing else merged.
+    first: Gate,
+    /// Number of source gates absorbed.
+    count: usize,
+}
+
+/// Merges runs of commuting diagonal gates into single diagonal `Unitary`
+/// blocks. Diagonal gates all commute with each other, so a run stays open
+/// across non-diagonal ops on *disjoint* qubits; any op touching one of the
+/// run's qubits (or a barrier/measure) flushes it.
+pub fn fuse_diagonal_runs(circuit: &Circuit) -> Circuit {
+    let n = circuit.num_qubits();
+    let mut out = Circuit::with_clbits(n, circuit.num_clbits());
+    out.name = circuit.name.clone();
+    let mut run: Option<DiagRun> = None;
+
+    for op in circuit.ops() {
+        let diag = match op {
+            Op::Gate(g) => g.diagonal().map(|d| (g, d)),
+            _ => None,
+        };
+        if let Some((g, d)) = diag {
+            let gq = g.qubits();
+            match run.as_mut() {
+                Some(r) if union_size(&r.qubits, &gq) <= MAX_DIAG_QUBITS => {
+                    absorb_diag(r, &gq, &d);
+                }
+                _ => {
+                    flush_diag(&mut out, run.take());
+                    run = Some(DiagRun {
+                        qubits: gq,
+                        phases: d,
+                        first: g.clone(),
+                        count: 1,
+                    });
+                }
+            }
+        } else {
+            // Non-diagonal ops touching the run end it; disjoint ones
+            // commute with the pending diagonal and pass straight through.
+            // Operand-less barriers conservatively flush everything.
+            if let Some(r) = &run {
+                let qs = op.qubits();
+                if qs.is_empty() || qs.iter().any(|q| r.qubits.contains(q)) {
+                    flush_diag(&mut out, run.take());
+                }
+            }
+            out.push_op(op.clone());
+        }
+    }
+    flush_diag(&mut out, run.take());
+    out
+}
+
+/// Size of the union of two qubit sets (both small; linear scan is fine).
+fn union_size(a: &[usize], b: &[usize]) -> usize {
+    a.len() + b.iter().filter(|q| !a.contains(q)).count()
+}
+
+/// Folds a diagonal gate on qubits `gq` with local phases `d` into the run.
+fn absorb_diag(r: &mut DiagRun, gq: &[usize], d: &[C64]) {
+    for &q in gq {
+        if !r.qubits.contains(&q) {
+            // New qubit becomes the next local MSB: the phase table doubles,
+            // both halves identical (the existing phases don't depend on it).
+            r.qubits.push(q);
+            let len = r.phases.len();
+            r.phases.extend_from_within(0..len);
+        }
+    }
+    let pos: Vec<usize> = gq
+        .iter()
+        .map(|q| r.qubits.iter().position(|x| x == q).unwrap())
+        .collect();
+    for (l, phase) in r.phases.iter_mut().enumerate() {
+        let mut gl = 0usize;
+        for (j, &p) in pos.iter().enumerate() {
+            if l & (1 << p) != 0 {
+                gl |= 1 << j;
+            }
+        }
+        *phase *= d[gl];
+    }
+    r.count += 1;
+}
+
+fn flush_diag(out: &mut Circuit, run: Option<DiagRun>) {
+    if let Some(r) = run {
+        if r.count == 1 {
+            out.push(r.first);
+        } else {
+            out.push(Gate::Unitary {
+                qubits: r.qubits,
+                matrix: Arc::new(Matrix::diag(&r.phases)),
+                label: format!("diag{}", r.count),
+            });
+        }
+    }
+}
+
+// --- two-qubit block fusion --------------------------------------------------
+
+struct Block2q {
+    /// The block's qubits; `qs[0]` is local bit 0 of `m`.
+    qs: [usize; 2],
+    /// Accumulated 4x4 unitary.
+    m: Matrix,
+    /// First absorbed gate, emitted verbatim when nothing else merged.
+    first: Gate,
+    /// Number of source gates absorbed.
+    count: usize,
+}
+
+/// Fuses contiguous two-qubit regions into single 4x4 `Unitary` blocks.
+///
+/// Every two-qubit gate opens (or extends) a block on its qubit pair;
+/// single-qubit gates multiply into the active block on their qubit, or
+/// accumulate as pending 1q runs that the next block absorbs. Gates of
+/// arity ≥ 3, measurements, and barriers flush the blocks they touch.
+pub fn fuse_2q_blocks(circuit: &Circuit) -> Circuit {
+    let n = circuit.num_qubits();
+    let mut out = Circuit::with_clbits(n, circuit.num_clbits());
+    out.name = circuit.name.clone();
+
+    let mut pending1: Vec<Option<(Matrix, Gate, usize)>> = (0..n).map(|_| None).collect();
+    // active[q] = index into `blocks` of the open block touching q.
+    let mut active: Vec<Option<usize>> = vec![None; n];
+    let mut blocks: Vec<Option<Block2q>> = Vec::new();
+
+    for op in circuit.ops() {
+        match op {
+            Op::Gate(g) if g.arity() == 1 => {
+                let q = g.qubits()[0];
+                let gm = g.matrix();
+                if let Some(bi) = active[q] {
+                    let blk = blocks[bi].as_mut().unwrap();
+                    let j = usize::from(blk.qs[1] == q);
+                    blk.m = embed_1q(&gm, j).matmul(&blk.m);
+                    blk.count += 1;
+                } else {
+                    pending1[q] = Some(match pending1[q].take() {
+                        None => (gm, g.clone(), 1),
+                        Some((m, first, count)) => (gm.matmul(&m), first, count + 1),
+                    });
+                }
+            }
+            Op::Gate(g) if g.arity() == 2 => {
+                let qs = g.qubits();
+                let (a, b) = (qs[0], qs[1]);
+                let gm = g.matrix();
+                match (active[a], active[b]) {
+                    (Some(bi), Some(bj)) if bi == bj => {
+                        let blk = blocks[bi].as_mut().unwrap();
+                        let m = if blk.qs == [a, b] { gm } else { swap_bits2(&gm) };
+                        blk.m = m.matmul(&blk.m);
+                        blk.count += 1;
+                    }
+                    _ => {
+                        flush_block(&mut out, &mut active, &mut blocks, a);
+                        flush_block(&mut out, &mut active, &mut blocks, b);
+                        // Seed a new block from the gate, absorbing pending
+                        // 1q runs on its qubits (they apply first).
+                        let mut m = gm;
+                        let mut count = 1usize;
+                        if let Some((pm, _, pc)) = pending1[a].take() {
+                            m = m.matmul(&embed_1q(&pm, 0));
+                            count += pc;
+                        }
+                        if let Some((pm, _, pc)) = pending1[b].take() {
+                            m = m.matmul(&embed_1q(&pm, 1));
+                            count += pc;
+                        }
+                        let bi = blocks.len();
+                        blocks.push(Some(Block2q {
+                            qs: [a, b],
+                            m,
+                            first: g.clone(),
+                            count,
+                        }));
+                        active[a] = Some(bi);
+                        active[b] = Some(bi);
+                    }
+                }
+            }
+            other => {
+                // ≥3q gates, measurements, barriers: flush everything they
+                // touch (operand-less barriers flush the whole register).
+                let qs = other.qubits();
+                let touched: Vec<usize> = if qs.is_empty() { (0..n).collect() } else { qs };
+                for q in touched {
+                    flush_block(&mut out, &mut active, &mut blocks, q);
+                    flush_1q(&mut out, pending1[q].take(), q);
+                }
+                out.push_op(other.clone());
+            }
+        }
+    }
+    for slot in &mut blocks {
+        if let Some(b) = slot.take() {
+            emit_block(&mut out, b);
+        }
+    }
+    for (q, p) in pending1.iter_mut().enumerate() {
+        flush_1q(&mut out, p.take(), q);
+    }
+    out
+}
+
+fn flush_block(
+    out: &mut Circuit,
+    active: &mut [Option<usize>],
+    blocks: &mut [Option<Block2q>],
+    q: usize,
+) {
+    if let Some(bi) = active[q] {
+        let b = blocks[bi].take().unwrap();
+        active[b.qs[0]] = None;
+        active[b.qs[1]] = None;
+        emit_block(out, b);
+    }
+}
+
+fn emit_block(out: &mut Circuit, b: Block2q) {
+    if b.count == 1 {
+        out.push(b.first);
+    } else {
+        out.push(Gate::Unitary {
+            qubits: vec![b.qs[0], b.qs[1]],
+            matrix: Arc::new(b.m),
+            label: format!("fused2q{}", b.count),
+        });
+    }
+}
+
+/// Lifts a 2x2 unitary acting on local bit `j` to the 4x4 two-qubit space
+/// (identity on the other bit).
+fn embed_1q(u: &Matrix, j: usize) -> Matrix {
+    let other = 1 - j;
+    let mut m = Matrix::zeros(4, 4);
+    for r in 0..4usize {
+        for c in 0..4usize {
+            if (r >> other) & 1 != (c >> other) & 1 {
+                continue;
+            }
+            m[(r, c)] = u[((r >> j) & 1, (c >> j) & 1)];
+        }
+    }
+    m
+}
+
+/// Reorders a 4x4 local matrix written for qubit order `[a, b]` into the
+/// order `[b, a]` (swaps local bits 0 and 1 of rows and columns).
+fn swap_bits2(m: &Matrix) -> Matrix {
+    let perm = [0usize, 2, 1, 3];
+    let mut out = Matrix::zeros(4, 4);
+    for r in 0..4 {
+        for c in 0..4 {
+            out[(r, c)] = m[(perm[r], perm[c])];
+        }
     }
     out
 }
@@ -66,19 +373,66 @@ pub fn fuse_1q_runs(circuit: &Circuit) -> Circuit {
 mod tests {
     use super::*;
     use crate::state::StateVector;
+    use proptest::prelude::*;
     use qfw_num::approx_eq;
+    use qfw_num::rng::Rng;
 
-    fn final_states_match(qc: &Circuit) {
-        let fused = fuse_1q_runs(qc);
+    fn final_states_match_with(qc: &Circuit, fused: &Circuit, what: &str) {
         let mut a = StateVector::zero(qc.num_qubits());
         let mut b = StateVector::zero(qc.num_qubits());
         a.run_unitary(qc, false);
-        b.run_unitary(&fused, false);
+        b.run_unitary(fused, false);
         assert!(
             approx_eq(a.fidelity(&b), 1.0, 1e-9),
-            "fusion changed the state of {}",
+            "{what} changed the state of {}",
             qc.name
         );
+    }
+
+    fn final_states_match(qc: &Circuit) {
+        final_states_match_with(qc, &fuse_1q_runs(qc), "1q fusion");
+    }
+
+    /// All tiers must preserve the final state.
+    fn all_tiers_match(qc: &Circuit) {
+        for level in [FusionLevel::None, FusionLevel::Runs1q, FusionLevel::Full] {
+            final_states_match_with(qc, &fuse(qc, level), &format!("{level:?}"));
+        }
+        final_states_match_with(qc, &fuse_diagonal_runs(qc), "diagonal merge");
+        final_states_match_with(qc, &fuse_2q_blocks(qc), "2q blocks");
+    }
+
+    fn random_circuit(seed: u64, n: usize, len: usize) -> Circuit {
+        let mut rng = Rng::seed_from(seed);
+        let mut qc = Circuit::new(n).named("random");
+        for _ in 0..len {
+            let q = rng.index(n);
+            let p = (q + 1 + rng.index(n - 1)) % n;
+            match rng.index(10) {
+                0 => qc.h(q),
+                1 => qc.t(q),
+                2 => qc.rx(q, rng.uniform(-3.0, 3.0)),
+                3 => qc.rz(q, rng.uniform(-3.0, 3.0)),
+                4 => qc.s(q),
+                5 => qc.cx(q, p),
+                6 => qc.cz(q, p),
+                7 => qc.cp(q, p, rng.uniform(-2.0, 2.0)),
+                8 => qc.rzz(q, p, rng.uniform(-1.0, 1.0)),
+                _ => {
+                    // Third operand drawn from the n-2 qubits != q, p.
+                    let (lo, hi) = (q.min(p), q.max(p));
+                    let mut r = rng.index(n - 2);
+                    if r >= lo {
+                        r += 1;
+                    }
+                    if r >= hi {
+                        r += 1;
+                    }
+                    qc.ccx(q, p, r)
+                }
+            };
+        }
+        qc
     }
 
     #[test]
@@ -99,8 +453,11 @@ mod tests {
         let mut qc = Circuit::new(2).named("split");
         qc.h(0).cx(0, 1).h(0).cx(0, 1).h(0);
         let fused = fuse_1q_runs(&qc);
-        assert_eq!(fused.num_gates(), 5); // nothing fusable
+        assert_eq!(fused.num_gates(), 5); // nothing fusable for the 1q tier
         final_states_match(&qc);
+        // The 2q tier collapses the whole circuit into one block.
+        assert_eq!(fuse_2q_blocks(&qc).num_gates(), 1);
+        all_tiers_match(&qc);
     }
 
     #[test]
@@ -122,25 +479,14 @@ mod tests {
         // The fused block must come before the measurement.
         assert!(matches!(fused.ops()[0], Op::Gate(Gate::Unitary { .. })));
         assert!(matches!(fused.ops()[1], Op::Measure { .. }));
+        let fused2 = fuse_2q_blocks(&qc);
+        assert!(matches!(fused2.ops()[0], Op::Gate(Gate::Unitary { .. })));
+        assert!(matches!(fused2.ops()[1], Op::Measure { .. }));
     }
 
     #[test]
     fn long_random_circuit_fuses_correctly() {
-        use qfw_num::rng::Rng;
-        let mut rng = Rng::seed_from(3);
-        let n = 5;
-        let mut qc = Circuit::new(n).named("random");
-        for _ in 0..120 {
-            let q = rng.index(n);
-            match rng.index(6) {
-                0 => qc.h(q),
-                1 => qc.t(q),
-                2 => qc.rx(q, rng.uniform(-3.0, 3.0)),
-                3 => qc.rz(q, rng.uniform(-3.0, 3.0)),
-                4 => qc.cx(q, (q + 1) % n),
-                _ => qc.rzz(q, (q + 1) % n, rng.uniform(-1.0, 1.0)),
-            };
-        }
+        let qc = random_circuit(3, 5, 120);
         let fused = fuse_1q_runs(&qc);
         assert!(fused.num_gates() < qc.num_gates());
         final_states_match(&qc);
@@ -150,5 +496,120 @@ mod tests {
     fn empty_circuit_is_noop() {
         let qc = Circuit::new(2);
         assert_eq!(fuse_1q_runs(&qc).num_gates(), 0);
+        assert_eq!(fuse(&qc, FusionLevel::Full).num_gates(), 0);
+    }
+
+    #[test]
+    fn diagonal_run_merges_into_one_block() {
+        let mut qc = Circuit::new(3).named("diag");
+        qc.rz(0, 0.3).cz(0, 1).rzz(1, 2, 0.7).cp(0, 2, -0.4).t(2);
+        let fused = fuse_diagonal_runs(&qc);
+        assert_eq!(fused.num_gates(), 1, "five diagonal gates -> one block");
+        let Op::Gate(g) = &fused.ops()[0] else {
+            panic!("expected a gate")
+        };
+        assert!(g.is_diagonal());
+        all_tiers_match(&qc);
+    }
+
+    #[test]
+    fn diagonal_run_respects_qubit_cap() {
+        // 8 qubits of Rz exceed MAX_DIAG_QUBITS=6: must split into 2 blocks.
+        let mut qc = Circuit::new(8).named("wide_diag");
+        for q in 0..8 {
+            qc.rz(q, 0.1 * (q + 1) as f64);
+        }
+        let fused = fuse_diagonal_runs(&qc);
+        assert_eq!(fused.num_gates(), 2);
+        all_tiers_match(&qc);
+    }
+
+    #[test]
+    fn diagonal_run_survives_disjoint_nondiagonal_gates() {
+        // h(2) is disjoint from the q0/q1 diagonal run and must not split it.
+        let mut qc = Circuit::new(3).named("disjoint");
+        qc.rz(0, 0.5).h(2).cz(0, 1).rz(1, -0.2);
+        let fused = fuse_diagonal_runs(&qc);
+        // h(2) + one diagonal block.
+        assert_eq!(fused.num_gates(), 2);
+        all_tiers_match(&qc);
+    }
+
+    #[test]
+    fn nondiagonal_gate_on_run_qubit_flushes() {
+        let mut qc = Circuit::new(2).named("flush");
+        qc.rz(0, 0.5).h(0).rz(0, 0.5);
+        let fused = fuse_diagonal_runs(&qc);
+        assert_eq!(fused.num_gates(), 3, "h(0) must split the run");
+        all_tiers_match(&qc);
+    }
+
+    #[test]
+    fn two_qubit_blocks_absorb_1q_runs() {
+        let mut qc = Circuit::new(2).named("absorb");
+        qc.h(0).t(0).h(1).cx(0, 1).rx(0, 0.3).cz(0, 1);
+        let fused = fuse_2q_blocks(&qc);
+        assert_eq!(fused.num_gates(), 1, "everything lands in one 4x4 block");
+        all_tiers_match(&qc);
+    }
+
+    #[test]
+    fn blocks_split_when_pairs_change() {
+        let mut qc = Circuit::new(3).named("chain");
+        qc.cx(0, 1).cx(1, 2).cx(0, 1);
+        let fused = fuse_2q_blocks(&qc);
+        // (0,1) block, then (1,2) block, then a fresh (0,1) block.
+        assert_eq!(fused.num_gates(), 3);
+        all_tiers_match(&qc);
+    }
+
+    #[test]
+    fn reversed_qubit_order_merges_into_same_block() {
+        // cx(0,1) then cx(1,0) share the pair {0,1} and must fuse into one
+        // block with the operand order reconciled.
+        let mut qc = Circuit::new(2).named("reversed");
+        qc.cx(0, 1).cx(1, 0).cx(0, 1);
+        let fused = fuse_2q_blocks(&qc);
+        assert_eq!(fused.num_gates(), 1);
+        all_tiers_match(&qc);
+    }
+
+    #[test]
+    fn ghz_full_fusion_gate_count() {
+        let mut qc = Circuit::new(6).named("ghz6");
+        qc.h(0);
+        for q in 0..5 {
+            qc.cx(q, q + 1);
+        }
+        let fused = fuse(&qc, FusionLevel::Full);
+        // h+cx(0,1) fuse; each later cx opens a new pair block.
+        assert_eq!(fused.num_gates(), 5);
+        all_tiers_match(&qc);
+    }
+
+    #[test]
+    fn full_tier_reduces_gate_count_on_random_circuits() {
+        for seed in 0..5 {
+            let qc = random_circuit(100 + seed, 6, 80);
+            let fused = fuse(&qc, FusionLevel::Full);
+            assert!(
+                fused.num_gates() < qc.num_gates(),
+                "seed {seed}: {} -> {}",
+                qc.num_gates(),
+                fused.num_gates()
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Every fusion tier preserves final-state fidelity on random
+        /// circuits mixing diagonal, dense 1q, 2q, and 3q gates.
+        #[test]
+        fn fusion_tiers_preserve_fidelity(seed in 0u64..10_000, n in 3usize..6, len in 10usize..60) {
+            let qc = random_circuit(seed, n, len);
+            all_tiers_match(&qc);
+        }
     }
 }

@@ -11,9 +11,9 @@
 //!   ([`dist`]) — the mode whose strong scaling the paper highlights on
 //!   TFIM-28.
 //!
-//! Plus [`fusion`], a gate-fusion pre-pass (adjacent single-qubit gates are
-//! multiplied into one `U`), which is one of the ablations DESIGN.md calls
-//! out.
+//! Plus [`fusion`], the tiered gate-fusion pre-pass (1q runs, merged
+//! diagonal sweeps, and 4x4 two-qubit blocks), which is one of the
+//! ablations DESIGN.md calls out.
 //!
 //! Memory cost is `16 * 2^n` bytes; per-gate cost is `O(2^n)`. These
 //! exponentials — and the near-linear strong scaling until communication
@@ -27,5 +27,6 @@ pub mod noise;
 pub mod state;
 
 pub use engine::{SvConfig, SvSimulator, Threading};
+pub use fusion::FusionLevel;
 pub use noise::NoiseModel;
 pub use state::StateVector;
