@@ -2,7 +2,8 @@
 
 use qfw::{QfwBackend, QfwError, QfwSession};
 use qfw_circuit::Circuit;
-use qfw_hpc::{RunStats, Stopwatch};
+use qfw_hpc::RunStats;
+use qfw_obs::Obs;
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -48,6 +49,44 @@ pub fn run_cell(
     reps: usize,
     cutoff_secs: f64,
 ) -> Cell {
+    run_cell_traced(
+        backend,
+        workload,
+        circuit,
+        size,
+        resources,
+        shots,
+        reps,
+        cutoff_secs,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_cell`], recording a `bench.cell` span with one nested `bench.rep`
+/// span per repetition on the `bench` track of `obs`. The reported
+/// [`RunStats`] are derived from the rep spans, so the rendered table and
+/// the exported trace agree exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_traced(
+    backend: &QfwBackend,
+    workload: &str,
+    circuit: &Circuit,
+    size: usize,
+    resources: (usize, usize),
+    shots: usize,
+    reps: usize,
+    cutoff_secs: f64,
+    obs: &Obs,
+) -> Cell {
+    // Rep-span times are the timing source; without a recording caller a
+    // private wall-clock handle keeps them real.
+    let private;
+    let obs = if obs.is_enabled() {
+        obs
+    } else {
+        private = Obs::wall();
+        &private
+    };
     let backend_label = format!(
         "{}/{}",
         backend.spec().backend,
@@ -57,15 +96,23 @@ pub fn run_cell(
             &backend.spec().subbackend
         }
     );
+    let mut cell_span = obs
+        .span("bench", "bench.cell")
+        .attr("workload", workload)
+        .attr("backend", backend_label.as_str())
+        .attr("size", size);
     let mut durations = Vec::with_capacity(reps);
-    for _ in 0..reps {
-        let sw = Stopwatch::start();
+    for rep in 0..reps {
+        let rep_span = obs.span("bench", "bench.rep").attr("rep", rep);
         let bounded = backend
             .with_spec(backend.spec().clone())
             .with_timeout(Duration::from_secs_f64(cutoff_secs));
-        match bounded.execute_sync(circuit, shots) {
-            Ok(_) => durations.push(sw.elapsed()),
+        let outcome = bounded.execute_sync(circuit, shots);
+        let (start_us, end_us) = rep_span.finish();
+        match outcome {
+            Ok(_) => durations.push(Duration::from_micros(end_us.saturating_sub(start_us))),
             Err(QfwError::WalltimeExceeded { .. }) => {
+                cell_span.set_attr("note", "walltime");
                 return Cell {
                     workload: workload.into(),
                     backend: backend_label,
@@ -73,20 +120,24 @@ pub fn run_cell(
                     resources,
                     stats: None,
                     note: "walltime".into(),
-                }
+                };
             }
             Err(e) => {
+                let note = short_error(&e);
+                cell_span.set_attr("note", note.as_str());
                 return Cell {
                     workload: workload.into(),
                     backend: backend_label,
                     size,
                     resources,
                     stats: None,
-                    note: short_error(&e),
-                }
+                    note,
+                };
             }
         }
     }
+    cell_span.set_attr("reps", reps);
+    drop(cell_span);
     Cell {
         workload: workload.into(),
         backend: backend_label,
@@ -214,6 +265,26 @@ mod tests {
         let csv = to_csv(&[cell]);
         assert!(csv.lines().count() == 2);
         assert!(csv.contains("ghz,nwqsim/cpu,6,1,1"));
+    }
+
+    #[test]
+    fn traced_cell_records_rep_spans() {
+        let session = harness_session(None);
+        let backend = session
+            .backend(&[("backend", "nwqsim"), ("subbackend", "cpu")])
+            .unwrap();
+        let obs = Obs::wall();
+        let cell = run_cell_traced(&backend, "ghz", &ghz(5), 5, (1, 1), 50, 2, 30.0, &obs);
+        assert_eq!(cell.stats.as_ref().unwrap().runs, 2);
+        let spans = obs.spans();
+        assert_eq!(spans.iter().filter(|s| s.name == "bench.cell").count(), 1);
+        assert_eq!(spans.iter().filter(|s| s.name == "bench.rep").count(), 2);
+        // Rep spans nest under the cell span.
+        let cell_id = spans.iter().find(|s| s.name == "bench.cell").unwrap().id;
+        assert!(spans
+            .iter()
+            .filter(|s| s.name == "bench.rep")
+            .all(|s| s.parent == cell_id));
     }
 
     #[test]

@@ -133,6 +133,11 @@ pub struct InjectionRecord {
     pub hit: u64,
 }
 
+/// Callback invoked after every injection fires, with the record just
+/// logged. Observability layers hook this to annotate traces without this
+/// crate depending on them.
+pub type FireObserver = Box<dyn Fn(&InjectionRecord) + Send + Sync>;
+
 /// A seeded fault-injection schedule shared (via `Arc`) across the layers
 /// it terrorizes. A disabled plan is the default everywhere and costs one
 /// branch per site check.
@@ -142,6 +147,7 @@ pub struct FaultPlan {
     rules: HashMap<String, FaultSpec>,
     state: Mutex<HashMap<String, SiteState>>,
     log: Mutex<Vec<InjectionRecord>>,
+    observer: Mutex<Option<FireObserver>>,
 }
 
 impl Default for FaultPlan {
@@ -159,6 +165,7 @@ impl FaultPlan {
             rules: HashMap::new(),
             state: Mutex::new(HashMap::new()),
             log: Mutex::new(Vec::new()),
+            observer: Mutex::new(None),
         }
     }
 
@@ -228,11 +235,22 @@ impl FaultPlan {
         }
         entry.fires += 1;
         drop(state);
-        self.log.lock().push(InjectionRecord {
+        let record = InjectionRecord {
             site: site.to_string(),
             hit,
-        });
+        };
+        self.log.lock().push(record.clone());
+        if let Some(observer) = self.observer.lock().as_ref() {
+            observer(&record);
+        }
         Some(hit)
+    }
+
+    /// Installs (or replaces) the fire observer: called once per injection,
+    /// after the record lands in the log. Used by the observability layer
+    /// to turn injections into trace annotations.
+    pub fn set_observer(&self, f: impl Fn(&InjectionRecord) + Send + Sync + 'static) {
+        *self.observer.lock() = Some(Box::new(f));
     }
 
     /// Number of times `site` has fired so far.
@@ -446,6 +464,21 @@ mod tests {
             assert!(!plan.fires("defw.drop_reply.qpm0"));
         }
         assert!(plan.injection_log().is_empty());
+    }
+
+    #[test]
+    fn observer_sees_every_injection() {
+        use std::sync::Arc;
+        let plan = FaultPlan::seeded(5).inject("qrc.slot_death", FaultSpec::first(2));
+        let seen: Arc<Mutex<Vec<InjectionRecord>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        plan.set_observer(move |rec| sink.lock().push(rec.clone()));
+        for _ in 0..5 {
+            plan.fires("qrc.slot_death");
+        }
+        let seen = seen.lock();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(*seen, plan.injection_log());
     }
 
     #[test]

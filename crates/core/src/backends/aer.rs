@@ -56,7 +56,7 @@ impl AerBackend {
         if task.spec.ranks <= 1 {
             let _lease = ctx.lease_cores(1)?;
             let engine = SvSimulator::new(SvConfig::default());
-            let out = engine.run(circuit, task.shots, task.seed);
+            let out = engine.run_traced(circuit, task.shots, task.seed, ctx.obs);
             result.counts = out.counts;
             result.profile.exec_secs = out.gate_time.as_secs_f64();
             result.profile.sample_secs = out.sample_time.as_secs_f64();

@@ -20,10 +20,12 @@ use crate::spec::{BackendSpec, ExecTask};
 use qfw_circuit::Circuit;
 use qfw_hpc::slurm::HetJob;
 use qfw_hpc::{Allocation, Dvm};
+use qfw_obs::Obs;
 use std::time::{Duration, Instant};
 
-/// Execution-side context handed to adapters: the DVM for rank spawning and
-/// the `hetgroup-1` lease broker for cores.
+/// Execution-side context handed to adapters: the DVM for rank spawning,
+/// the `hetgroup-1` lease broker for cores, and the observability handle
+/// engine phases report into.
 pub struct ExecContext<'a> {
     /// The PRTE-like DVM spanning the worker group.
     pub dvm: &'a Dvm,
@@ -31,6 +33,8 @@ pub struct ExecContext<'a> {
     pub hetjob: &'a HetJob,
     /// Index of the worker group (`hetgroup-1` in the standard layout).
     pub group: usize,
+    /// Observability handle (disabled by default).
+    pub obs: &'a Obs,
 }
 
 impl ExecContext<'_> {
@@ -99,6 +103,7 @@ pub(crate) mod testutil {
     pub struct TestRig {
         pub hetjob: HetJob,
         pub dvm: Dvm,
+        pub obs: Obs,
     }
 
     impl TestRig {
@@ -106,7 +111,11 @@ pub(crate) mod testutil {
             let cluster = ClusterSpec::test(nodes + 1);
             let hetjob = HetJob::submit(&cluster, &HetJobSpec::qfw_standard(nodes)).unwrap();
             let dvm = Dvm::new(&cluster);
-            TestRig { hetjob, dvm }
+            TestRig {
+                hetjob,
+                dvm,
+                obs: Obs::disabled(),
+            }
         }
 
         pub fn ctx(&self) -> ExecContext<'_> {
@@ -114,6 +123,7 @@ pub(crate) mod testutil {
                 dvm: &self.dvm,
                 hetjob: &self.hetjob,
                 group: 1,
+                obs: &self.obs,
             }
         }
     }

@@ -17,6 +17,7 @@ use crate::qrc::Qrc;
 use crate::result::QfwResult;
 use crate::spec::ExecTask;
 use qfw_defw::{Defw, MethodTable};
+use qfw_obs::Obs;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -38,6 +39,7 @@ struct QpmInner {
     completed: AtomicU64,
     failed: AtomicU64,
     name: String,
+    obs: Obs,
 }
 
 /// Handle to a registered QPM service.
@@ -56,6 +58,7 @@ impl Qpm {
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             name: name.clone(),
+            obs: defw.obs().clone(),
         });
 
         let run_inner = Arc::clone(&inner);
@@ -66,13 +69,30 @@ impl Qpm {
             .method("ping", move |_: ()| Ok(format!("{ping_name} alive")))
             .method("run_circuit", move |task: ExecTask| {
                 run_inner.accepted.fetch_add(1, Ordering::Relaxed);
+                // The dispatch span nests under the DEFw `rpc.handle` span
+                // (same worker thread); backend selection is recorded once
+                // the QRC resolves it.
+                let mut span = run_inner
+                    .obs
+                    .span("qpm", "qpm.run_circuit")
+                    .attr("backend", task.spec.backend.as_str())
+                    .attr("qpm", run_inner.name.as_str())
+                    .attr("shots", task.shots);
+                if run_inner.obs.is_enabled() {
+                    run_inner.obs.counter("qpm.dispatched").inc();
+                }
                 match run_inner.qrc.execute(&task) {
                     Ok(result) => {
                         run_inner.completed.fetch_add(1, Ordering::Relaxed);
+                        if let Some(selected) = result.metadata.get("auto_selected") {
+                            span.set_attr("selected", selected.as_str());
+                        }
+                        span.set_attr("ok", true);
                         Ok::<QfwResult, String>(result)
                     }
                     Err(e) => {
                         run_inner.failed.fetch_add(1, Ordering::Relaxed);
+                        span.set_attr("ok", false);
                         Err(e.to_string())
                     }
                 }

@@ -19,6 +19,7 @@ use parking_lot::{Condvar, Mutex};
 use qfw_chaos::FaultPlan;
 use qfw_hpc::slurm::HetJob;
 use qfw_hpc::{Dvm, Stopwatch};
+use qfw_obs::Obs;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -53,6 +54,7 @@ pub struct Qrc {
     next: AtomicUsize,
     policy: DispatchPolicy,
     chaos: Arc<FaultPlan>,
+    obs: Obs,
     requeues: AtomicU64,
 }
 
@@ -76,6 +78,7 @@ impl Qrc {
             next: AtomicUsize::new(0),
             policy,
             chaos: Arc::new(FaultPlan::disabled()),
+            obs: Obs::disabled(),
             requeues: AtomicU64::new(0),
         }
     }
@@ -85,6 +88,13 @@ impl Qrc {
     /// the task is requeued onto a surviving slot.
     pub fn with_chaos(mut self, chaos: Arc<FaultPlan>) -> Self {
         self.chaos = chaos;
+        self
+    }
+
+    /// Attaches an observability handle: slot acquire/execute/requeue
+    /// lifecycle lands in the trace as `qrc.*` spans and events.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -139,6 +149,8 @@ impl Qrc {
         }
         let backend: Arc<dyn BackendQpm> = self.registry.get(&task.spec.backend)?;
         let queue_sw = Stopwatch::start();
+        let mut acquire_span = self.obs.span("qrc", "qrc.slot.acquire");
+        let mut requeued = 0u64;
         let slot = loop {
             let slot = self.acquire_slot()?;
             // Injected worker death: the slot the task landed on dies and
@@ -146,20 +158,39 @@ impl Qrc {
             if self.chaos.is_enabled() && self.chaos.fires("qrc.slot_death") {
                 self.kill_slot(&slot);
                 self.requeues.fetch_add(1, Ordering::Relaxed);
+                requeued += 1;
+                self.obs.instant("qrc", "qrc.requeue");
                 continue;
             }
             break slot;
         };
+        acquire_span.set_attr("requeues", requeued);
+        let (acq_start, acq_end) = acquire_span.finish();
         let queue_secs = queue_sw.elapsed_secs();
 
+        let mut exec_span = self
+            .obs
+            .span("qrc", "qrc.execute")
+            .attr("backend", task.spec.backend.as_str())
+            .attr("subbackend", task.spec.subbackend.as_str());
         let ctx = ExecContext {
             dvm: &self.dvm,
             hetjob: &self.hetjob,
             group: self.group,
+            obs: &self.obs,
         };
         let outcome = backend.execute(task, &ctx);
+        exec_span.set_attr("ok", outcome.is_ok());
+        drop(exec_span);
         slot.tasks_run.fetch_add(1, Ordering::Relaxed);
         self.release_slot(&slot);
+        if self.obs.is_enabled() {
+            self.obs.counter("qrc.tasks").inc();
+            self.obs.counter("qrc.requeues").add(requeued);
+            self.obs
+                .histogram("qrc.queue_us")
+                .observe_us(acq_end.saturating_sub(acq_start));
+        }
 
         outcome.map(|mut result| {
             result.profile.queue_secs += queue_secs;

@@ -13,14 +13,16 @@ use crate::qrc::{DispatchPolicy, Qrc};
 use crate::registry::BackendRegistry;
 use crate::spec::BackendSpec;
 use crate::QfwError;
+use qfw_chaos::FaultPlan;
 use qfw_cloud::{CloudConfig, CloudProvider};
 use qfw_defw::Defw;
 use qfw_hpc::slurm::{HetJob, HetJobSpec};
 use qfw_hpc::{ClusterSpec, Dvm};
+use qfw_obs::Obs;
 use std::sync::Arc;
 
 /// Session-level configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct QfwConfig {
     /// Nodes reserved for QFw services and simulator workers (hetgroup-1).
     pub qfw_nodes: usize,
@@ -34,6 +36,28 @@ pub struct QfwConfig {
     pub dispatch: DispatchPolicy,
     /// Cloud provider model; `None` disables the IonQ-analog path.
     pub cloud: Option<CloudConfig>,
+    /// Observability handle threaded through every layer (DEFw, QPM, QRC,
+    /// engines). Disabled by default; pass [`Obs::wall`] or
+    /// [`Obs::virtual_clock`] to record traces.
+    pub obs: Obs,
+    /// Session-wide fault plan shared by DEFw and the QRC; disabled by
+    /// default. When both chaos and obs are enabled, injections are
+    /// annotated into the trace.
+    pub chaos: Arc<FaultPlan>,
+}
+
+impl std::fmt::Debug for QfwConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QfwConfig")
+            .field("qfw_nodes", &self.qfw_nodes)
+            .field("qpm_services", &self.qpm_services)
+            .field("qrc_workers", &self.qrc_workers)
+            .field("defw_workers", &self.defw_workers)
+            .field("dispatch", &self.dispatch)
+            .field("cloud", &self.cloud)
+            .field("obs", &self.obs)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for QfwConfig {
@@ -45,6 +69,8 @@ impl Default for QfwConfig {
             defw_workers: 8,
             dispatch: DispatchPolicy::RoundRobin,
             cloud: None,
+            obs: Obs::disabled(),
+            chaos: Arc::new(FaultPlan::disabled()),
         }
     }
 }
@@ -57,6 +83,7 @@ pub struct QfwSession {
     dvm: Arc<Dvm>,
     hetjob: Arc<HetJob>,
     cloud: Option<Arc<CloudProvider>>,
+    obs: Obs,
     next_qpm: std::sync::atomic::AtomicUsize,
 }
 
@@ -68,19 +95,28 @@ impl QfwSession {
                 .map_err(|e| QfwError::Resources(e.to_string()))?,
         );
         let dvm = Arc::new(Dvm::new(cluster));
-        let defw = Defw::start(config.defw_workers);
+        let obs = config.obs.clone();
+        let defw = Defw::start_full(
+            config.defw_workers,
+            Arc::clone(&config.chaos),
+            obs.clone(),
+        );
         let cloud = config
             .cloud
             .map(|cfg| Arc::new(CloudProvider::start(cfg)));
         let registry = BackendRegistry::standard(cloud.clone());
-        let qrc = Arc::new(Qrc::new(
-            registry,
-            Arc::clone(&hetjob),
-            Arc::clone(&dvm),
-            1, // hetgroup-1 hosts the workers
-            config.qrc_workers,
-            config.dispatch,
-        ));
+        let qrc = Arc::new(
+            Qrc::new(
+                registry,
+                Arc::clone(&hetjob),
+                Arc::clone(&dvm),
+                1, // hetgroup-1 hosts the workers
+                config.qrc_workers,
+                config.dispatch,
+            )
+            .with_chaos(Arc::clone(&config.chaos))
+            .with_obs(obs.clone()),
+        );
         assert!(config.qpm_services >= 1, "need at least one QPM");
         let qpms = (0..config.qpm_services)
             .map(|i| Qpm::start(&defw, i, Arc::clone(&qrc)))
@@ -92,6 +128,7 @@ impl QfwSession {
             dvm,
             hetjob,
             cloud,
+            obs,
             next_qpm: std::sync::atomic::AtomicUsize::new(0),
         })
     }
@@ -131,6 +168,11 @@ impl QfwSession {
     /// The cloud provider handle, when the cloud path is configured.
     pub fn cloud(&self) -> Option<&Arc<CloudProvider>> {
         self.cloud.as_ref()
+    }
+
+    /// The session's observability handle (disabled unless configured).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Creates a frontend bound to the given backend properties, attached

@@ -23,6 +23,7 @@
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 pub use qfw_chaos::{BreakerPhase, CircuitBreaker, FaultPlan, FaultSpec, RetryPolicy};
+use qfw_obs::Obs;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::collections::HashMap;
@@ -145,6 +146,7 @@ struct Inner {
     queue: Sender<Request>,
     correlation: AtomicU64,
     chaos: Arc<FaultPlan>,
+    obs: Obs,
     /// `Some((threshold, cooldown))` once breakers are enabled; breakers
     /// are created lazily per service on first call.
     breaker_config: Mutex<Option<(u32, Duration)>>,
@@ -176,7 +178,26 @@ impl Defw {
     /// out). A [`FaultPlan::disabled`] plan makes this identical to
     /// [`Defw::start`].
     pub fn start_with_chaos(workers: usize, chaos: Arc<FaultPlan>) -> Defw {
+        Self::start_full(workers, chaos, Obs::disabled())
+    }
+
+    /// Starts the hub with a fault plan *and* an observability handle.
+    /// Every dispatched request is wrapped in an `rpc.handle` span; chaos
+    /// injections from the plan are annotated into the trace as
+    /// `chaos.fire` instant events.
+    pub fn start_full(workers: usize, chaos: Arc<FaultPlan>, obs: Obs) -> Defw {
         assert!(workers >= 1, "need at least one dispatcher");
+        if chaos.is_enabled() && obs.is_enabled() {
+            let chaos_obs = obs.clone();
+            chaos.set_observer(move |rec| {
+                chaos_obs.counter("chaos.fires").inc();
+                chaos_obs.instant_with(
+                    "chaos",
+                    "chaos.fire",
+                    &[("hit", rec.hit.into()), ("site", rec.site.as_str().into())],
+                );
+            });
+        }
         let (tx, rx): (Sender<Request>, Receiver<Request>) = unbounded();
         let inner = Arc::new(Inner {
             services: Mutex::new(HashMap::new()),
@@ -184,6 +205,7 @@ impl Defw {
             queue: tx,
             correlation: AtomicU64::new(1),
             chaos,
+            obs,
             breaker_config: Mutex::new(None),
             breakers: Mutex::new(HashMap::new()),
             dropped_replies: Mutex::new(Vec::new()),
@@ -206,7 +228,11 @@ impl Defw {
 
     fn worker_loop(rx: Receiver<Request>, inner: Arc<Inner>) {
         let chaos = Arc::clone(&inner.chaos);
+        let obs = inner.obs.clone();
         while let Ok(req) = rx.recv() {
+            let mut span = obs.span("defw", "rpc.handle");
+            span.set_attr("method", req.method.as_str());
+            span.set_attr("service", req.service.as_str());
             if chaos.is_enabled() {
                 if let Some(d) = chaos.delay(&format!("defw.delay.{}", req.service)) {
                     std::thread::sleep(d);
@@ -226,6 +252,18 @@ impl Defw {
                     Some(svc) => svc.handle(&req.method, &req.payload),
                 }
             };
+            span.set_attr("ok", result.is_ok());
+            let (handle_start, handle_end) = span.finish();
+            if obs.is_enabled() {
+                obs.counter("defw.calls").inc();
+                if result.is_err() {
+                    obs.counter("defw.errors").inc();
+                }
+                // Handler latency measured on the obs clock, so the
+                // histogram stays deterministic under the virtual clock.
+                obs.histogram("defw.handle_us")
+                    .observe_us(handle_end.saturating_sub(handle_start));
+            }
             let elapsed = req.enqueued.elapsed().as_secs_f64();
             {
                 let mut stats = inner.stats.lock();
@@ -273,6 +311,12 @@ impl Defw {
     /// [`Defw::start_with_chaos`]).
     pub fn chaos(&self) -> &Arc<FaultPlan> {
         &self.inner.chaos
+    }
+
+    /// The hub's observability handle (disabled unless started via
+    /// [`Defw::start_full`]).
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
     }
 
     /// Enables per-service circuit breakers: after `threshold` consecutive
@@ -359,6 +403,18 @@ impl Client {
             };
             match schedule.next_backoff() {
                 Some(backoff) => {
+                    if self.inner.obs.is_enabled() {
+                        self.inner.obs.counter("defw.retries").inc();
+                        self.inner.obs.instant_with(
+                            "defw",
+                            "rpc.retry",
+                            &[
+                                ("attempt", u64::from(schedule.attempts()).into()),
+                                ("method", method.into()),
+                                ("service", service.into()),
+                            ],
+                        );
+                    }
                     if !backoff.is_zero() {
                         std::thread::sleep(backoff);
                     }
@@ -387,6 +443,14 @@ impl Client {
         let breaker = self.breaker_for(service);
         if let Some(b) = &breaker {
             if !b.allow() {
+                if self.inner.obs.is_enabled() {
+                    self.inner.obs.counter("defw.circuit_open").inc();
+                    self.inner.obs.instant_with(
+                        "defw",
+                        "rpc.circuit_open",
+                        &[("service", service.into())],
+                    );
+                }
                 return Err(RpcError::CircuitOpen(service.to_string()));
             }
         }
@@ -809,6 +873,42 @@ mod tests {
         let out: String = client.call("echo", "echo", &"x".to_string(), T).unwrap();
         assert_eq!(out, "x");
         assert_eq!(hub.breaker_phase("echo"), Some(BreakerPhase::Closed));
+    }
+
+    #[test]
+    fn obs_records_rpc_spans_retries_and_chaos_annotations() {
+        let plan = Arc::new(
+            FaultPlan::seeded(9).inject("defw.drop_reply.echo", FaultSpec::first(1)),
+        );
+        let obs = Obs::virtual_clock(9);
+        let hub = Defw::start_full(1, plan, obs.clone());
+        hub.register("echo", echo_service());
+        let policy = RetryPolicy::new(
+            Duration::from_millis(1),
+            Duration::from_millis(5),
+            4,
+            Duration::from_secs(1),
+        );
+        let out: String = hub
+            .client()
+            .call_with_retry(
+                "echo",
+                "echo",
+                &"x".to_string(),
+                Duration::from_millis(50),
+                &policy,
+            )
+            .unwrap();
+        assert_eq!(out, "x");
+        let trace = obs.chrome_trace();
+        assert!(trace.contains("\"rpc.handle\""), "{trace}");
+        assert!(trace.contains("\"rpc.retry\""), "{trace}");
+        assert!(trace.contains("\"chaos.fire\""), "{trace}");
+        assert!(trace.contains("\"site\":\"defw.drop_reply.echo\""), "{trace}");
+        let snap = obs.metrics_snapshot();
+        assert!(snap.contains("\"chaos.fires\":1"), "{snap}");
+        assert!(snap.contains("\"defw.calls\":2"), "{snap}");
+        assert!(snap.contains("\"defw.retries\":1"), "{snap}");
     }
 
     #[test]

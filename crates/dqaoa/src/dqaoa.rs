@@ -7,6 +7,7 @@ use parking_lot::Mutex;
 use qfw::{QfwBackend, QfwError};
 use qfw_hpc::Stopwatch;
 use qfw_num::rng::Rng;
+use qfw_obs::Obs;
 use qfw_workloads::Qubo;
 
 /// How the large QUBO is cut into sub-QUBOs.
@@ -138,10 +139,39 @@ pub fn solve_dqaoa(
     qubo: &Qubo,
     config: DqaoaConfig,
 ) -> Result<DqaoaOutcome, QfwError> {
+    solve_dqaoa_traced(backend, qubo, config, &Obs::disabled())
+}
+
+/// [`solve_dqaoa`], recording the run on the `dqaoa` track of `obs`:
+/// a `dqaoa.run` span over the whole solve, one `dqaoa.iteration` span per
+/// outer iteration, and one `dqaoa.sub_solve` span per sub-QUBO task. The
+/// returned [`TaskTrace`]s are derived from the same spans, so the Fig. 5
+/// timeline and the exported trace agree exactly.
+pub fn solve_dqaoa_traced(
+    backend: &QfwBackend,
+    qubo: &Qubo,
+    config: DqaoaConfig,
+    obs: &Obs,
+) -> Result<DqaoaOutcome, QfwError> {
     assert!(config.subqsize >= 2, "sub-QUBOs need at least two variables");
     assert!(config.nsubq >= 1);
+    // Span times are the single timing source for TaskTrace; when the caller
+    // isn't recording, a private wall-clock handle keeps the times real.
+    let private;
+    let obs = if obs.is_enabled() {
+        obs
+    } else {
+        private = Obs::wall();
+        &private
+    };
     let n = qubo.num_vars();
     let run_sw = Stopwatch::start();
+    let mut run_span = obs
+        .span("dqaoa", "dqaoa.run")
+        .attr("vars", n)
+        .attr("subqsize", config.subqsize)
+        .attr("nsubq", config.nsubq);
+    let run_start_us = run_span.start_us();
     let mut rng = Rng::seed_from(config.seed);
 
     // Random initial incumbent.
@@ -155,6 +185,9 @@ pub fn solve_dqaoa(
 
     for iteration in 0..config.max_iterations {
         iterations = iteration + 1;
+        let mut iter_span = obs
+            .span("dqaoa", "dqaoa.iteration")
+            .attr("iteration", iteration);
         let groups = decompose(qubo, config.policy, config.subqsize, config.nsubq, &mut rng);
 
         // Concurrent sub-QUBO solves. Results land in a shared vector;
@@ -170,7 +203,6 @@ pub fn solve_dqaoa(
         let incumbent_ref = &incumbent;
         let results_ref = &results;
         let failure_ref = &failure;
-        let run_sw_ref = &run_sw;
 
         std::thread::scope(|scope| {
             for (sub_index, vars) in groups.into_iter().enumerate() {
@@ -181,10 +213,15 @@ pub fn solve_dqaoa(
                     .wrapping_add((iteration as u64) << 16)
                     .wrapping_add(sub_index as u64);
                 scope.spawn(move || {
-                    let start = run_sw_ref.elapsed_secs();
+                    let mut span = obs
+                        .span("dqaoa", "dqaoa.sub_solve")
+                        .attr("iteration", iteration)
+                        .attr("sub_index", sub_index)
+                        .attr("backend", backend.spec().backend.as_str());
                     match solve_qaoa(backend, &sub, sub_config) {
                         Ok(out) => {
-                            let end = run_sw_ref.elapsed_secs();
+                            span.set_attr("energy", out.best_energy);
+                            let (start_us, end_us) = span.finish();
                             results_ref.lock().push(SubResult {
                                 sub_index,
                                 vars,
@@ -192,14 +229,16 @@ pub fn solve_dqaoa(
                                 trace: TaskTrace {
                                     iteration,
                                     sub_index,
-                                    start_secs: start,
-                                    end_secs: end,
+                                    start_secs: start_us.saturating_sub(run_start_us) as f64
+                                        / 1e6,
+                                    end_secs: end_us.saturating_sub(run_start_us) as f64 / 1e6,
                                     backend: backend.spec().backend.clone(),
                                     energy: out.best_energy,
                                 },
                             });
                         }
                         Err(e) => {
+                            span.set_attr("ok", false);
                             failure_ref.lock().get_or_insert(e);
                         }
                     }
@@ -235,6 +274,8 @@ pub fn solve_dqaoa(
         }
         traces.extend(batch.into_iter().map(|r| r.trace));
         energy_per_iteration.push(best_energy);
+        iter_span.set_attr("energy", best_energy);
+        drop(iter_span);
 
         stall = if improved { 0 } else { stall + 1 };
         if stall >= config.patience {
@@ -242,6 +283,9 @@ pub fn solve_dqaoa(
         }
     }
 
+    run_span.set_attr("iterations", iterations);
+    run_span.set_attr("energy", best_energy);
+    drop(run_span);
     Ok(DqaoaOutcome {
         best_bits: incumbent,
         best_energy,
@@ -324,6 +368,32 @@ mod tests {
         // nsubq tasks per iteration.
         let it0: Vec<_> = out.trace.iter().filter(|t| t.iteration == 0).collect();
         assert_eq!(it0.len(), 4);
+    }
+
+    #[test]
+    fn traced_run_matches_tasktrace_and_records_spans() {
+        let session = QfwSession::launch_local(2).unwrap();
+        let backend = session
+            .backend(&[("backend", "nwqsim"), ("subbackend", "cpu")])
+            .unwrap();
+        let qubo = Qubo::random(12, 0.5, 3);
+        let obs = Obs::wall();
+        let out = solve_dqaoa_traced(&backend, &qubo, fast_config(6, 2), &obs).unwrap();
+        let spans = obs.spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"dqaoa.run"));
+        assert!(names.contains(&"dqaoa.iteration"));
+        assert!(names.contains(&"dqaoa.sub_solve"));
+        // One sub_solve span per TaskTrace, with identical durations.
+        let subs: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "dqaoa.sub_solve")
+            .collect();
+        assert_eq!(subs.len(), out.trace.len());
+        for t in &out.trace {
+            assert!(t.end_secs >= t.start_secs);
+            assert!(t.duration() >= 0.0);
+        }
     }
 
     #[test]

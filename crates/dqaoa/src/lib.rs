@@ -20,7 +20,7 @@ pub mod trace;
 pub mod vqe;
 pub mod vqls;
 
-pub use dqaoa::{solve_dqaoa, DecompPolicy, DqaoaConfig, DqaoaOutcome};
+pub use dqaoa::{solve_dqaoa, solve_dqaoa_traced, DecompPolicy, DqaoaConfig, DqaoaOutcome};
 pub use mitigation::ReadoutCalibration;
 pub use qaoa::{solve_qaoa, QaoaConfig, QaoaOutcome};
 pub use trace::TaskTrace;

@@ -22,9 +22,11 @@ pub struct TaskTrace {
 }
 
 impl TaskTrace {
-    /// Task duration in seconds.
+    /// Task duration in seconds. Clamped to zero when the recorded end
+    /// precedes the start (clock skew between the threads that stamped the
+    /// two edges must never produce a negative duration).
     pub fn duration(&self) -> f64 {
-        self.end_secs - self.start_secs
+        (self.end_secs - self.start_secs).max(0.0)
     }
 }
 
@@ -108,6 +110,15 @@ mod tests {
             backend: "test".into(),
             energy: 0.0,
         }
+    }
+
+    #[test]
+    fn skewed_trace_duration_clamps_to_zero() {
+        // end < start can only come from cross-thread clock skew; the
+        // duration must clamp rather than go negative.
+        let skewed = t(0, 0, 1.5, 1.2);
+        assert_eq!(skewed.duration(), 0.0);
+        assert!(duration_cv(&[skewed, t(0, 1, 0.0, 1.0)]) >= 0.0);
     }
 
     #[test]

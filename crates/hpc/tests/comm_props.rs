@@ -1,0 +1,153 @@
+//! Property tests for the MPI-like [`Communicator`] collectives: every
+//! collective must agree with a serial reference computation for random
+//! rank counts, payloads, and physical topologies — including the
+//! degenerate single-rank world, where each collective reduces to the
+//! identity.
+
+use proptest::prelude::*;
+use qfw_hpc::{Communicator, CoreId, InterconnectModel, NodeSpec, RankCtx};
+use std::sync::Arc;
+use std::thread;
+
+/// Deterministic per-rank payload derived from the drawn seed.
+fn rank_value(seed: u64, rank: usize) -> f64 {
+    let mut z = seed ^ (rank as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    // Keep values exactly representable so float sums are order-safe.
+    ((z >> 40) % 1024) as f64
+}
+
+/// Builds a world of `n` ranks spread over `nodes` nodes (free
+/// interconnect so properties run at full speed) and joins `f` on every
+/// rank thread, returning results in rank order.
+fn run_world<R: Send + 'static>(
+    n: usize,
+    nodes: usize,
+    f: impl Fn(RankCtx) -> R + Send + Sync + 'static,
+) -> Vec<R> {
+    let placement = (0..n)
+        .map(|i| CoreId {
+            node: i % nodes.max(1),
+            core: i / nodes.max(1),
+        })
+        .collect();
+    let ctxs = Communicator::create(placement, NodeSpec::frontier(), InterconnectModel::free());
+    let f = Arc::new(f);
+    let handles: Vec<_> = ctxs
+        .into_iter()
+        .map(|ctx| {
+            let f = Arc::clone(&f);
+            thread::spawn(move || f(ctx))
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allreduce_matches_serial_reference(n in 1usize..6, nodes in 1usize..4, seed in 0u64..u64::MAX) {
+        let results = run_world(n, nodes, move |mut ctx| {
+            ctx.allreduce_sum(rank_value(seed, ctx.rank()))
+        });
+        let reference: f64 = (0..n).map(|r| rank_value(seed, r)).sum();
+        for (rank, got) in results.iter().enumerate() {
+            prop_assert_eq!(*got, reference, "rank {} disagrees", rank);
+        }
+    }
+
+    #[test]
+    fn allreduce_max_matches_serial_reference(n in 1usize..6, nodes in 1usize..4, seed in 0u64..u64::MAX) {
+        let results = run_world(n, nodes, move |mut ctx| {
+            ctx.allreduce(rank_value(seed, ctx.rank()), f64::max)
+        });
+        let reference = (0..n).map(|r| rank_value(seed, r)).fold(f64::MIN, f64::max);
+        prop_assert!(results.iter().all(|&v| v == reference));
+    }
+
+    #[test]
+    fn bcast_delivers_roots_payload_everywhere(n in 1usize..6, nodes in 1usize..4, seed in 0u64..u64::MAX) {
+        let root = (seed % n as u64) as usize;
+        let payload: Vec<f64> = (0..4).map(|i| rank_value(seed, i)).collect();
+        let expected = payload.clone();
+        let results = run_world(n, nodes, move |mut ctx| {
+            if ctx.rank() == root {
+                ctx.bcast(root, Some(payload.clone()))
+            } else {
+                ctx.bcast::<Vec<f64>>(root, None)
+            }
+        });
+        for got in results {
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order(n in 1usize..6, nodes in 1usize..4, seed in 0u64..u64::MAX) {
+        let root = (seed % n as u64) as usize;
+        let results = run_world(n, nodes, move |mut ctx| {
+            ctx.gather(root, rank_value(seed, ctx.rank()))
+        });
+        let reference: Vec<f64> = (0..n).map(|r| rank_value(seed, r)).collect();
+        for (rank, got) in results.into_iter().enumerate() {
+            if rank == root {
+                prop_assert_eq!(got.as_ref(), Some(&reference));
+            } else {
+                prop_assert!(got.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_separates_phases(n in 1usize..6, nodes in 1usize..4, rounds in 1usize..4) {
+        // After each barrier every rank must observe the full phase's
+        // worth of counter increments from every other rank.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = Arc::new(AtomicUsize::new(0));
+        let observed = run_world(n, nodes, {
+            let counter = Arc::clone(&counter);
+            move |mut ctx| {
+                let mut seen = Vec::new();
+                for _ in 0..rounds {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    ctx.barrier();
+                    seen.push(counter.load(Ordering::SeqCst));
+                    ctx.barrier();
+                }
+                seen
+            }
+        });
+        for per_rank in observed {
+            for (round, seen) in per_rank.into_iter().enumerate() {
+                prop_assert_eq!(seen, (round + 1) * n);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_collectives_stay_matched(n in 1usize..6, nodes in 1usize..4, seed in 0u64..u64::MAX) {
+        // Interleaving different collectives must not cross wires: the
+        // composite result matches the serial composition.
+        let results = run_world(n, nodes, move |mut ctx| {
+            ctx.barrier();
+            let s = ctx.allreduce_sum(rank_value(seed, ctx.rank()));
+            let root_payload = if ctx.rank() == 0 { Some(s * 2.0) } else { None };
+            let b = ctx.bcast(0, root_payload);
+            let g = ctx.gather(0, b + ctx.rank() as f64);
+            ctx.barrier();
+            (s, b, g)
+        });
+        let sum: f64 = (0..n).map(|r| rank_value(seed, r)).sum();
+        for (rank, (s, b, g)) in results.into_iter().enumerate() {
+            prop_assert_eq!(s, sum);
+            prop_assert_eq!(b, sum * 2.0);
+            if rank == 0 {
+                let expected: Vec<f64> = (0..n).map(|r| sum * 2.0 + r as f64).collect();
+                prop_assert_eq!(g, Some(expected));
+            } else {
+                prop_assert!(g.is_none());
+            }
+        }
+    }
+}

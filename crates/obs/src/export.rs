@@ -1,0 +1,198 @@
+//! Exporters: Chrome trace-event JSON (load in `chrome://tracing` or
+//! Perfetto) and the flat metrics snapshot.
+//!
+//! Output is *canonical*: spans are sorted by a stable key and renumbered,
+//! keys are emitted in a fixed order, and floats avoid locale/precision
+//! drift — so two runs under the same virtual clock export identical
+//! bytes (the determinism test's contract).
+
+use crate::span::{AttrValue, EventRecord, SpanRecord};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+/// JSON-escapes a string, with surrounding quotes.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as JSON: shortest round-trip form; non-finite values
+/// become `null` (JSON has no NaN/Inf).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_attr(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Str(s) => json_str(s),
+        AttrValue::Int(i) => i.to_string(),
+        AttrValue::Float(f) => json_f64(*f),
+        AttrValue::Bool(b) => b.to_string(),
+    }
+}
+
+fn write_attrs(out: &mut String, attrs: &BTreeMap<String, AttrValue>) {
+    for (k, v) in attrs {
+        let _ = write!(out, "{}:{},", json_str(k), json_attr(v));
+    }
+}
+
+/// Renders finished spans and instant events as a Chrome trace-event JSON
+/// document. Tracks become numbered "threads" (with `thread_name`
+/// metadata); span ids are renumbered in canonical (time-sorted) order so
+/// the bytes are independent of recording races.
+pub(crate) fn chrome_trace(mut spans: Vec<SpanRecord>, mut events: Vec<EventRecord>) -> String {
+    spans.sort_by(|a, b| {
+        (a.start_us, a.end_us, &a.track, &a.name).cmp(&(b.start_us, b.end_us, &b.track, &b.name))
+    });
+    events.sort_by(|a, b| (a.ts_us, &a.track, &a.name).cmp(&(b.ts_us, &b.track, &b.name)));
+
+    // Canonical ids: 1..=n in sorted order; parents remapped (0 = none,
+    // and a parent whose span never finished maps to 0 as well).
+    let renumber: HashMap<u64, u64> = spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.id, i as u64 + 1))
+        .collect();
+
+    // Tracks -> tids, sorted by name.
+    let mut tracks: Vec<&str> = spans
+        .iter()
+        .map(|s| s.track.as_str())
+        .chain(events.iter().map(|e| e.track.as_str()))
+        .collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    let tid: HashMap<&str, usize> = tracks.iter().enumerate().map(|(i, t)| (*t, i + 1)).collect();
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push_str(",\n");
+        }
+    };
+
+    for t in &tracks {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"args\":{{\"name\":{}}},\"cat\":\"__metadata\",\"name\":\"thread_name\",\
+             \"ph\":\"M\",\"pid\":1,\"tid\":{},\"ts\":0}}",
+            json_str(t),
+            tid[*t]
+        );
+    }
+
+    for s in &spans {
+        sep(&mut out);
+        out.push_str("{\"args\":{");
+        write_attrs(&mut out, &s.attrs);
+        let _ = write!(
+            out,
+            "\"id\":{},\"parent\":{}}},\"cat\":{},\"dur\":{},\"name\":{},\"ph\":\"X\",\
+             \"pid\":1,\"tid\":{},\"ts\":{}}}",
+            renumber[&s.id],
+            renumber.get(&s.parent).copied().unwrap_or(0),
+            json_str(&s.track),
+            s.duration_us(),
+            json_str(&s.name),
+            tid[s.track.as_str()],
+            s.start_us
+        );
+    }
+
+    for e in &events {
+        sep(&mut out);
+        out.push_str("{\"args\":{");
+        write_attrs(&mut out, &e.attrs);
+        // Trailing key avoids comma bookkeeping and marks the event kind.
+        let _ = write!(
+            out,
+            "\"instant\":true}},\"cat\":{},\"name\":{},\"ph\":\"i\",\"pid\":1,\"s\":\"t\",\
+             \"tid\":{},\"ts\":{}}}",
+            json_str(&e.track),
+            json_str(&e.name),
+            tid[e.track.as_str()],
+            e.ts_us
+        );
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: u64, name: &str, track: &str, s: u64, e: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.into(),
+            track: track.into(),
+            start_us: s,
+            end_us: e,
+            attrs: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn export_is_independent_of_recording_order() {
+        let a = vec![
+            span(10, 0, "outer", "app", 0, 100),
+            span(11, 10, "inner", "app", 10, 50),
+        ];
+        let b = vec![
+            span(7, 3, "inner", "app", 10, 50),
+            span(3, 0, "outer", "app", 0, 100),
+        ];
+        assert_eq!(chrome_trace(a, vec![]), chrome_trace(b, vec![]));
+    }
+
+    #[test]
+    fn export_contains_metadata_spans_and_instants() {
+        let spans = vec![span(1, 0, "work", "qrc", 5, 25)];
+        let events = vec![EventRecord {
+            name: "chaos.fire".into(),
+            track: "chaos".into(),
+            ts_us: 9,
+            attrs: BTreeMap::from([("site".to_string(), AttrValue::from("qrc.slot_death"))]),
+        }];
+        let json = chrome_trace(spans, events);
+        assert!(json.contains("\"thread_name\""), "{json}");
+        assert!(json.contains("\"name\":\"work\""), "{json}");
+        assert!(json.contains("\"dur\":20"), "{json}");
+        assert!(json.contains("\"chaos.fire\""), "{json}");
+        assert!(json.contains("\"site\":\"qrc.slot_death\""), "{json}");
+    }
+
+    #[test]
+    fn json_escaping_and_floats() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

@@ -1,0 +1,252 @@
+//! Lock-cheap metrics: handles are `Arc`-shared atomics; the registry
+//! mutex is touched only on first lookup of a name.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotone counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point gauge.
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Power-of-two bucket count: bucket `k` holds observations with
+/// `value_us <= 2^k`. 2^39 us ≈ 6.4 days — everything above lands in the
+/// last bucket.
+const HIST_BUCKETS: usize = 40;
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    /// Sum in integer microseconds: exact and order-independent, so the
+    /// snapshot stays byte-stable even when observations race.
+    sum_us: AtomicU64,
+}
+
+/// A histogram of durations with power-of-two microsecond buckets.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: Arc::new(HistInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum_us: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records a duration in seconds; negative values (clock skew) clamp
+    /// to zero.
+    pub fn observe_secs(&self, secs: f64) {
+        self.observe_us((secs.max(0.0) * 1e6) as u64);
+    }
+
+    /// Records a duration in microseconds.
+    pub fn observe_us(&self, us: u64) {
+        let bucket = (64 - us.leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.inner.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations, microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.inner.sum_us.load(Ordering::Relaxed)
+    }
+
+    fn bucket_counts(&self) -> Vec<(usize, u64)> {
+        (0..HIST_BUCKETS)
+            .filter_map(|k| {
+                let n = self.inner.buckets[k].load(Ordering::Relaxed);
+                (n > 0).then_some((k, n))
+            })
+            .collect()
+    }
+}
+
+/// Named metric registry. Lookup takes the mutex; the returned handles
+/// touch only their own atomics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram registered under `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histograms
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Flat deterministic snapshot of every metric, as canonical JSON:
+    /// keys sorted, histogram sums kept in integer microseconds.
+    pub fn snapshot(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let counters = self.counters.lock();
+        for (i, (name, c)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", crate::export::json_str(name), c.get()));
+        }
+        drop(counters);
+        out.push_str("},\"gauges\":{");
+        let gauges = self.gauges.lock();
+        for (i, (name, g)) in gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{}",
+                crate::export::json_str(name),
+                crate::export::json_f64(g.get())
+            ));
+        }
+        drop(gauges);
+        out.push_str("},\"histograms\":{");
+        let histograms = self.histograms.lock();
+        for (i, (name, h)) in histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"sum_us\":{},\"buckets\":{{",
+                crate::export::json_str(name),
+                h.count(),
+                h.sum_us()
+            ));
+            for (j, (k, n)) in h.bucket_counts().into_iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{k}\":{n}"));
+            }
+            out.push_str("}}");
+        }
+        drop(histograms);
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = Registry::default();
+        let c = reg.counter("defw.calls");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("defw.calls").get(), 5);
+        let g = reg.gauge("dqaoa.energy");
+        g.set(-12.5);
+        assert_eq!(reg.gauge("dqaoa.energy").get(), -12.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let reg = Registry::default();
+        let h = reg.histogram("qrc.queue");
+        h.observe_us(3); // bucket 2 (<= 4)
+        h.observe_us(4); // bucket 3 (4 -> 64-61=3)
+        h.observe_secs(-1.0); // clamps to 0 -> bucket 0
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_us(), 7);
+        let snap = reg.snapshot();
+        assert!(snap.contains("\"qrc.queue\""), "{snap}");
+        assert!(snap.contains("\"count\":3"), "{snap}");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_stable() {
+        let reg = Registry::default();
+        reg.counter("b").inc();
+        reg.counter("a").inc();
+        let snap = reg.snapshot();
+        assert!(snap.find("\"a\"").unwrap() < snap.find("\"b\"").unwrap());
+        assert_eq!(snap, reg.snapshot());
+    }
+}

@@ -1,0 +1,210 @@
+//! Span records, typed attributes, and the RAII span guard.
+
+use crate::ObsInner;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A typed span/event attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// A string attribute.
+    Str(String),
+    /// A signed integer attribute.
+    Int(i64),
+    /// A floating-point attribute.
+    Float(f64),
+    /// A boolean attribute.
+    Bool(bool),
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+/// One finished span, as recorded.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Record id (unique within the handle; renumbered canonically at
+    /// export time).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, or 0 for roots.
+    pub parent: u64,
+    /// Span name, e.g. `qrc.execute`.
+    pub name: String,
+    /// Logical track (Chrome trace "thread" lane), e.g. `qrc`.
+    pub track: String,
+    /// Start time, microseconds since the clock origin.
+    pub start_us: u64,
+    /// End time, microseconds since the clock origin.
+    pub end_us: u64,
+    /// Typed attributes, sorted by key.
+    pub attrs: BTreeMap<String, AttrValue>,
+}
+
+impl SpanRecord {
+    /// Span duration in microseconds, clamped at zero against clock skew
+    /// (the `TaskTrace::duration` guard, applied at the span level too).
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// One instant (point-in-time) event, e.g. a chaos injection.
+#[derive(Clone, Debug)]
+pub struct EventRecord {
+    /// Event name, e.g. `chaos.fire`.
+    pub name: String,
+    /// Logical track.
+    pub track: String,
+    /// Timestamp, microseconds since the clock origin.
+    pub ts_us: u64,
+    /// Typed attributes, sorted by key.
+    pub attrs: BTreeMap<String, AttrValue>,
+}
+
+thread_local! {
+    /// Per-thread stack of open spans: (handle identity, span id). Parents
+    /// are resolved within a thread; cross-thread causality is carried by
+    /// attributes (e.g. RPC correlation ids).
+    static SPAN_STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for an open span: records on drop (or [`Span::finish`]).
+/// A guard from a disabled handle is inert and near-free.
+pub struct Span {
+    pub(crate) inner: Option<Arc<ObsInner>>,
+    pub(crate) rec: Option<SpanRecord>,
+    closed_times: (u64, u64),
+}
+
+impl Span {
+    pub(crate) fn open(inner: &Arc<ObsInner>, track: &str, name: &str) -> Span {
+        let id = inner.next_id();
+        let key = Arc::as_ptr(inner) as usize;
+        let parent = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let parent = stack
+                .iter()
+                .rev()
+                .find(|(k, _)| *k == key)
+                .map_or(0, |&(_, id)| id);
+            stack.push((key, id));
+            parent
+        });
+        let start_us = inner.clock.now_us();
+        Span {
+            inner: Some(Arc::clone(inner)),
+            rec: Some(SpanRecord {
+                id,
+                parent,
+                name: name.to_string(),
+                track: track.to_string(),
+                start_us,
+                end_us: start_us,
+                attrs: BTreeMap::new(),
+            }),
+            closed_times: (0, 0),
+        }
+    }
+
+    pub(crate) fn disabled() -> Span {
+        Span {
+            inner: None,
+            rec: None,
+            closed_times: (0, 0),
+        }
+    }
+
+    /// Whether this guard records anything.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Sets an attribute (no-op when disabled).
+    pub fn set_attr(&mut self, key: &str, value: impl Into<AttrValue>) {
+        if let Some(rec) = self.rec.as_mut() {
+            rec.attrs.insert(key.to_string(), value.into());
+        }
+    }
+
+    /// Builder-style [`Span::set_attr`].
+    pub fn attr(mut self, key: &str, value: impl Into<AttrValue>) -> Span {
+        self.set_attr(key, value);
+        self
+    }
+
+    /// Start time in microseconds since the clock origin (0 when disabled).
+    pub fn start_us(&self) -> u64 {
+        self.rec.as_ref().map_or(0, |r| r.start_us)
+    }
+
+    /// Ends the span now and returns `(start_us, end_us)` — `(0, 0)` when
+    /// disabled. Used by callers that derive their own timing records
+    /// (e.g. DQAOA task traces) from the span clock.
+    pub fn finish(mut self) -> (u64, u64) {
+        self.close();
+        // close() moved the record out; recompute from what it stored.
+        self.closed_times
+    }
+
+    fn close(&mut self) {
+        let (Some(inner), Some(mut rec)) = (self.inner.take(), self.rec.take()) else {
+            return;
+        };
+        let key = Arc::as_ptr(&inner) as usize;
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&(k, id)| k == key && id == rec.id) {
+                stack.remove(pos);
+            }
+        });
+        rec.end_us = inner.clock.now_us().max(rec.start_us);
+        self.closed_times = (rec.start_us, rec.end_us);
+        inner.spans.lock().push(rec);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close();
+    }
+}

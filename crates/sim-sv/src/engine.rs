@@ -4,6 +4,7 @@ use crate::fusion::{fuse, FusionLevel};
 use crate::state::StateVector;
 use qfw_circuit::{Circuit, Op};
 use qfw_num::rng::{Rng, SampleStrategy};
+use qfw_obs::Obs;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -84,12 +85,23 @@ impl SvSimulator {
     /// trajectory — sufficient for every workload in the paper, all of which
     /// measure only at the end.
     pub fn run(&self, circuit: &Circuit, shots: usize, seed: u64) -> SvOutcome {
+        self.run_traced(circuit, shots, seed, &Obs::disabled())
+    }
+
+    /// [`run`](Self::run), reporting engine phases (fuse / apply / sample)
+    /// as spans on the `engine` track of the given observability handle.
+    pub fn run_traced(&self, circuit: &Circuit, shots: usize, seed: u64, obs: &Obs) -> SvOutcome {
         let parallel = self.config.threading == Threading::Rayon;
         let prepared;
         let circuit = if self.config.fusion == FusionLevel::None {
             circuit
         } else {
+            let mut fuse_span = obs
+                .span("engine", "sv.fuse")
+                .attr("ops_in", circuit.ops().len());
             prepared = fuse(circuit, self.config.fusion);
+            fuse_span.set_attr("ops_out", prepared.ops().len());
+            drop(fuse_span);
             &prepared
         };
 
@@ -113,6 +125,9 @@ impl SvSimulator {
             }
         }
 
+        let mut apply_span = obs
+            .span("engine", "sv.apply")
+            .attr("qubits", circuit.num_qubits());
         for (pos, op) in circuit.ops().iter().enumerate() {
             match op {
                 Op::Gate(g) => {
@@ -132,8 +147,11 @@ impl SvSimulator {
                 Op::Barrier(_) => {}
             }
         }
+        apply_span.set_attr("gates", gates_applied);
+        drop(apply_span);
         let gate_time = sw.elapsed();
 
+        let sample_span = obs.span("engine", "sv.sample").attr("shots", shots);
         let sw = qfw_hpc::Stopwatch::start();
         let counts = if measured.is_empty() && collapsed_bits.is_empty() {
             // No measurements: implicit measure-all (Qiskit statevector
@@ -171,6 +189,7 @@ impl SvSimulator {
             out
         };
         let sample_time = sw.elapsed();
+        drop(sample_span);
 
         SvOutcome {
             counts,
@@ -263,6 +282,21 @@ mod tests {
         let a = engine.run(&ghz(4), 500, 7);
         let b = engine.run(&ghz(4), 500, 8);
         assert_ne!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn run_traced_records_engine_phases() {
+        let obs = Obs::virtual_clock(5);
+        let out = SvSimulator::default().run_traced(&ghz(4), 100, 3, &obs);
+        assert_eq!(out.counts.values().sum::<usize>(), 100);
+        let names: Vec<String> = obs.spans().iter().map(|s| s.name.clone()).collect();
+        assert!(names.contains(&"sv.fuse".to_string()));
+        assert!(names.contains(&"sv.apply".to_string()));
+        assert!(names.contains(&"sv.sample".to_string()));
+        // Untraced run records nothing.
+        let silent = Obs::disabled();
+        SvSimulator::default().run_traced(&ghz(4), 100, 3, &silent);
+        assert_eq!(silent.span_count(), 0);
     }
 
     #[test]

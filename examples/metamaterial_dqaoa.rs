@@ -3,20 +3,31 @@
 //! sub-QUBOs concurrently through QFw, aggregate, iterate; then print the
 //! Fig. 5-style execution timeline and compare local vs cloud behaviour.
 //!
+//! The whole run is recorded through `qfw-obs`: every DEFw RPC, QRC slot
+//! acquisition, QPM dispatch, engine phase, and sub-QUBO solve lands in
+//! one Chrome trace (open it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>). The output path comes from `QFW_TRACE`
+//! (default `metamaterial_dqaoa.trace.json`).
+//!
 //! ```text
 //! cargo run --release --example metamaterial_dqaoa
+//! QFW_TRACE=/tmp/dqaoa.json cargo run --release --example metamaterial_dqaoa
 //! ```
 
 use qfw::{QfwConfig, QfwSession};
 use qfw_cloud::CloudConfig;
 use qfw_dqaoa::trace::{duration_cv, max_concurrency, render_timeline};
-use qfw_dqaoa::{solve_dqaoa, DecompPolicy, DqaoaConfig, QaoaConfig};
+use qfw_dqaoa::{solve_dqaoa_traced, DecompPolicy, DqaoaConfig, QaoaConfig};
 use qfw_hpc::ClusterSpec;
+use qfw_obs::Obs;
 use qfw_optim::{anneal, AnnealConfig};
 use qfw_workloads::Qubo;
 use std::time::Duration;
 
 fn main() {
+    // One observability handle spans the session and the DQAOA driver, so
+    // RPC/QRC/engine spans interleave with the sub-solve spans they serve.
+    let obs = Obs::wall();
     // A fast cloud model so the example finishes in seconds while keeping
     // the queueing/jitter *shape* of a real provider.
     let cloud = CloudConfig {
@@ -35,6 +46,7 @@ fn main() {
         QfwConfig {
             qfw_nodes: 2,
             cloud: Some(cloud),
+            obs: obs.clone(),
             ..QfwConfig::default()
         },
     )
@@ -67,7 +79,7 @@ fn main() {
         ("IonQ cloud", vec![("backend", "ionq"), ("subbackend", "simulator")]),
     ] {
         let backend = session.backend(&properties).expect("backend");
-        let out = solve_dqaoa(&backend, &qubo, config).expect("dqaoa");
+        let out = solve_dqaoa_traced(&backend, &qubo, config, &obs).expect("dqaoa");
         println!("\n=== {name} ===");
         println!(
             "best energy {:.4} ({} iterations, {:.2}s total)",
@@ -86,4 +98,15 @@ fn main() {
             duration_cv(&out.trace)
         );
     }
+
+    // Export the unified timeline: both backends' runs, with every DEFw /
+    // QRC / QPM / engine span nested in one Chrome trace.
+    let path = std::env::var("QFW_TRACE").unwrap_or_else(|_| "metamaterial_dqaoa.trace.json".into());
+    std::fs::write(&path, obs.chrome_trace()).expect("write trace");
+    println!(
+        "\nwrote {} spans / {} instants to {path} (open in chrome://tracing)",
+        obs.span_count(),
+        obs.event_count()
+    );
+    println!("metrics snapshot:\n{}", obs.metrics_snapshot());
 }

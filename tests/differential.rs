@@ -1,0 +1,184 @@
+//! Cross-backend differential harness: the same circuit families (GHZ,
+//! TFIM, QAOA) run through [`qfw::QfwBackend::execute`] on every local
+//! engine class — dense state vector, matrix product state, tensor
+//! network, and (where the circuit is Clifford) stabilizer — and the
+//! sampled distributions plus derived expectation values must agree
+//! within sampling tolerance. Any engine-specific simulation bug shows up
+//! here as one backend drifting from the rest.
+
+use qfw::{BackendSpec, QfwConfig, QfwResult, QfwSession};
+use qfw_hpc::ClusterSpec;
+use qfw_workloads::qaoa::counts_energy;
+use qfw_workloads::{ghz, qaoa_ansatz, tfim, Qubo};
+
+const SHOTS: usize = 6000;
+/// Two 6000-shot samples of a few-outcome distribution sit well under
+/// TV = 0.15 from sampling noise; a wrong amplitude scores far higher.
+const TV_TOL: f64 = 0.15;
+/// Per-qubit ⟨Z⟩ sampling noise at 6000 shots is ~0.013; 0.1 leaves a
+/// wide margin while still catching sign/placement errors (which cost
+/// O(1)).
+const EXPECTATION_TOL: f64 = 0.1;
+
+fn session() -> QfwSession {
+    QfwSession::launch(
+        &ClusterSpec::test(4),
+        QfwConfig {
+            qfw_nodes: 3,
+            ..QfwConfig::default()
+        },
+    )
+    .expect("session")
+}
+
+/// The four local engine classes. The stabilizer entry only joins for
+/// Clifford circuits.
+fn sv_mps_tn_specs() -> Vec<BackendSpec> {
+    vec![
+        BackendSpec::of("nwqsim", "cpu"),            // dense state vector
+        BackendSpec::of("aer", "matrix_product_state"), // MPS
+        BackendSpec::of("tnqvm", "exatn-mps"),       // tensor network (MPS contraction)
+        BackendSpec::of("qtensor", "numpy"),         // tensor network (path contraction)
+    ]
+}
+
+/// Per-qubit ⟨Z_q⟩ estimated from a counts histogram (Qiskit bit order:
+/// qubit n-1 leftmost).
+fn z_expectations(result: &QfwResult, n: usize) -> Vec<f64> {
+    let total: usize = result.counts.values().sum();
+    let mut z = vec![0.0f64; n];
+    for (bits, &count) in &result.counts {
+        for (q, zq) in z.iter_mut().enumerate() {
+            let bit = bits.as_bytes()[n - 1 - q];
+            *zq += if bit == b'1' { -1.0 } else { 1.0 } * count as f64;
+        }
+    }
+    z.iter_mut().for_each(|zq| *zq /= total as f64);
+    z
+}
+
+/// Executes `circuit` with a fixed base seed on each spec, returning
+/// (label, result) pairs.
+fn run_all(
+    session: &QfwSession,
+    specs: &[BackendSpec],
+    circuit: &qfw_circuit::Circuit,
+) -> Vec<(String, QfwResult)> {
+    specs
+        .iter()
+        .map(|spec| {
+            let label = format!("{}/{}", spec.backend, spec.subbackend);
+            let result = session
+                .backend_with_spec(spec.clone())
+                .unwrap()
+                .with_base_seed(0xD1FF)
+                .execute_sync(circuit, SHOTS)
+                .unwrap_or_else(|e| panic!("{label} on {}: {e}", circuit.name));
+            (label, result)
+        })
+        .collect()
+}
+
+/// Asserts pairwise TV distance and per-qubit ⟨Z⟩ agreement across all
+/// results.
+fn assert_agreement(results: &[(String, QfwResult)], n: usize, family: &str) {
+    for i in 0..results.len() {
+        for j in i + 1..results.len() {
+            let (la, ra) = &results[i];
+            let (lb, rb) = &results[j];
+            let tv = ra.tv_distance(rb);
+            assert!(tv < TV_TOL, "{family}: {la} vs {lb} tv={tv}");
+            let za = z_expectations(ra, n);
+            let zb = z_expectations(rb, n);
+            for q in 0..n {
+                let d = (za[q] - zb[q]).abs();
+                assert!(
+                    d < EXPECTATION_TOL,
+                    "{family}: {la} vs {lb} ⟨Z_{q}⟩ differs by {d} ({} vs {})",
+                    za[q],
+                    zb[q]
+                );
+            }
+        }
+    }
+}
+
+/// GHZ is Clifford, so the stabilizer engine joins the panel: all four
+/// engine classes must sample the same bimodal distribution.
+#[test]
+fn ghz_agrees_across_sv_mps_tn_stab() {
+    let session = session();
+    let circuit = ghz(8);
+    let mut specs = sv_mps_tn_specs();
+    specs.push(BackendSpec::of("aer", "stabilizer"));
+    let results = run_all(&session, &specs, &circuit);
+    assert_agreement(&results, 8, "ghz");
+    // The distribution itself must be the GHZ signature: only the two
+    // all-equal bitstrings appear.
+    for (label, r) in &results {
+        assert!(
+            r.counts.keys().all(|k| k == "00000000" || k == "11111111"),
+            "{label}: spurious outcomes {:?}",
+            r.counts.keys().take(4).collect::<Vec<_>>()
+        );
+        assert_eq!(r.counts.values().sum::<usize>(), SHOTS, "{label}");
+    }
+}
+
+/// TFIM quench (non-Clifford): dense, MPS, and tensor-network backends
+/// agree on the sampled distribution and single-qubit magnetizations.
+#[test]
+fn tfim_agrees_across_sv_mps_tn() {
+    let session = session();
+    let circuit = tfim(8);
+    let results = run_all(&session, &sv_mps_tn_specs(), &circuit);
+    assert_agreement(&results, 8, "tfim");
+}
+
+/// A bound QAOA ansatz (rz/rzz/rx layers over an 8-variable QUBO): all
+/// non-stabilizer backends agree on the distribution and on the mean
+/// QUBO energy of their samples.
+#[test]
+fn qaoa_agrees_across_sv_mps_tn() {
+    let session = session();
+    let qubo = Qubo::random(8, 0.7, 11);
+    let circuit = qaoa_ansatz(&qubo, 1).bind(&[0.4, 0.7]);
+    let results = run_all(&session, &sv_mps_tn_specs(), &circuit);
+    assert_agreement(&results, 8, "qaoa");
+    let energies: Vec<f64> = results
+        .iter()
+        .map(|(_, r)| counts_energy(&qubo, &r.counts))
+        .collect();
+    for w in energies.windows(2) {
+        assert!(
+            (w[0] - w[1]).abs() < 0.5,
+            "QAOA mean energies diverge: {energies:?}"
+        );
+    }
+}
+
+/// Seeded determinism: with a fixed base seed the same backend returns
+/// byte-identical counts on a repeated execute, for every engine class.
+#[test]
+fn seeded_counts_are_reproducible_per_backend() {
+    let session = session();
+    let circuit = tfim(6);
+    let mut specs = sv_mps_tn_specs();
+    specs.push(BackendSpec::of("aer", "statevector"));
+    for spec in specs {
+        let label = format!("{}/{}", spec.backend, spec.subbackend);
+        let a = session
+            .backend_with_spec(spec.clone())
+            .unwrap()
+            .with_base_seed(77)
+            .execute_sync(&circuit, 2000)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        let b = session
+            .backend_with_spec(spec)
+            .unwrap()
+            .with_base_seed(77)
+            .execute_sync(&circuit, 2000)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert_eq!(a.counts, b.counts, "{label}: seeded replay diverged");
+    }
+}
