@@ -41,6 +41,7 @@ pub mod spec;
 
 pub use error::QfwError;
 pub use frontend::{QfwBackend, QfwJob};
+pub use qrc::{DispatchPolicy, Qrc, SlotSnapshot};
 pub use registry::{BackendRegistry, Capabilities};
 pub use result::{ExecProfile, QfwResult};
 pub use selector::{select_backend, Recommendation, SelectorContext};

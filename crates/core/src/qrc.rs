@@ -9,15 +9,25 @@
 //!
 //! Two dispatch policies are provided; `ablation_dispatch` measures the
 //! difference under skewed task durations.
+//!
+//! The pool is **elastic**: `qfw-sched`'s scaling controller calls
+//! [`Qrc::grow_slots`] / [`Qrc::shrink_slots`] as sustained queue depth
+//! crosses its hysteresis thresholds. Grown slots are backed by real core
+//! leases ([`Allocation`]) from the heterogeneous job, so scaling up is
+//! bounded by `hetgroup-1`'s free cores and scaling down returns cores to
+//! the free pool. [`Qrc::slot_snapshot`] exposes the live/busy/dead counts
+//! the scheduler sizes its dispatch window from, and
+//! [`Qrc::execute_many`] runs a coalesced batch under a single slot
+//! acquisition (one *engine invocation*).
 
 use crate::backends::{BackendQpm, ExecContext};
 use crate::error::QfwError;
 use crate::registry::BackendRegistry;
 use crate::result::QfwResult;
 use crate::spec::ExecTask;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use qfw_chaos::FaultPlan;
-use qfw_hpc::slurm::HetJob;
+use qfw_hpc::slurm::{Allocation, HetJob};
 use qfw_hpc::{Dvm, Stopwatch};
 use qfw_obs::Obs;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -30,8 +40,33 @@ pub enum DispatchPolicy {
     /// Strict rotation over the slots (the paper's policy). A task waits
     /// for *its* slot even when others are free.
     RoundRobin,
-    /// Pick the slot with the fewest active tasks.
+    /// Pick the slot with the fewest active tasks. Ties break on the
+    /// lowest slot index, so seeded runs replay the same placement.
     LeastLoaded,
+}
+
+/// A point-in-time view of the worker pool, used by `qfw-sched` to size
+/// its dispatch window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SlotSnapshot {
+    /// Slots in the pool (live + dead).
+    pub total: usize,
+    /// Slots marked dead by fault injection.
+    pub dead: usize,
+    /// Live slots currently running a task.
+    pub busy: usize,
+}
+
+impl SlotSnapshot {
+    /// Slots that can accept work (live, whether busy or idle).
+    pub fn live(&self) -> usize {
+        self.total - self.dead
+    }
+
+    /// Live slots with no task on them right now.
+    pub fn free(&self) -> usize {
+        self.live().saturating_sub(self.busy)
+    }
 }
 
 #[derive(Default)]
@@ -42,6 +77,18 @@ struct Slot {
     /// Set when chaos kills the slot's worker; dead slots are skipped by
     /// dispatch until [`Qrc::revive_slots`] brings them back.
     dead: AtomicBool,
+    /// Set when the scaling controller removes the slot from the pool;
+    /// waiters re-route like on death, but retired slots never revive.
+    retired: AtomicBool,
+    /// Core lease backing an elastically-grown slot. Base slots are
+    /// provisioned with the session and carry no lease.
+    lease: Mutex<Option<Allocation>>,
+}
+
+impl Slot {
+    fn is_routable(&self) -> bool {
+        !self.dead.load(Ordering::Relaxed) && !self.retired.load(Ordering::Relaxed)
+    }
 }
 
 /// The resource controller: worker slots + core leasing + DVM access.
@@ -50,12 +97,21 @@ pub struct Qrc {
     hetjob: Arc<HetJob>,
     dvm: Arc<Dvm>,
     group: usize,
-    slots: Vec<Arc<Slot>>,
+    slots: RwLock<Vec<Arc<Slot>>>,
+    /// Slots the pool was built with; [`Qrc::shrink_slots`] never goes below.
+    base_workers: usize,
+    /// Cores leased per elastically-grown slot.
+    cores_per_slot: usize,
     next: AtomicUsize,
     policy: DispatchPolicy,
     chaos: Arc<FaultPlan>,
     obs: Obs,
     requeues: AtomicU64,
+    /// Engine invocations: slot-held backend dispatches. A coalesced batch
+    /// through [`Qrc::execute_many`] counts once.
+    invocations: AtomicU64,
+    /// Dispatchers currently waiting in slot acquisition.
+    waiting: AtomicUsize,
 }
 
 impl Qrc {
@@ -74,12 +130,16 @@ impl Qrc {
             hetjob,
             dvm,
             group,
-            slots: (0..workers).map(|_| Arc::new(Slot::default())).collect(),
+            slots: RwLock::new((0..workers).map(|_| Arc::new(Slot::default())).collect()),
+            base_workers: workers,
+            cores_per_slot: 2,
             next: AtomicUsize::new(0),
             policy,
             chaos: Arc::new(FaultPlan::disabled()),
             obs: Obs::disabled(),
             requeues: AtomicU64::new(0),
+            invocations: AtomicU64::new(0),
+            waiting: AtomicUsize::new(0),
         }
     }
 
@@ -92,20 +152,34 @@ impl Qrc {
     }
 
     /// Attaches an observability handle: slot acquire/execute/requeue
-    /// lifecycle lands in the trace as `qrc.*` spans and events.
+    /// lifecycle lands in the trace as `qrc.*` spans and events, and the
+    /// pool state is mirrored into `qrc.slots.*` gauges on every execute.
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
         self
     }
 
+    /// Sets how many cores each elastically-grown slot leases (builder).
+    pub fn with_cores_per_slot(mut self, cores: usize) -> Self {
+        assert!(cores >= 1);
+        self.cores_per_slot = cores;
+        self
+    }
+
     /// Number of worker slots.
     pub fn workers(&self) -> usize {
-        self.slots.len()
+        self.slots.read().len()
+    }
+
+    /// The pool size the controller was built with (the scaling floor).
+    pub fn base_workers(&self) -> usize {
+        self.base_workers
     }
 
     /// Tasks executed per slot (diagnostics).
     pub fn tasks_per_slot(&self) -> Vec<u64> {
         self.slots
+            .read()
             .iter()
             .map(|s| s.tasks_run.load(Ordering::Relaxed))
             .collect()
@@ -114,6 +188,7 @@ impl Qrc {
     /// Slots currently marked dead.
     pub fn dead_slots(&self) -> usize {
         self.slots
+            .read()
             .iter()
             .filter(|s| s.dead.load(Ordering::Relaxed))
             .count()
@@ -124,16 +199,114 @@ impl Qrc {
         self.requeues.load(Ordering::Relaxed)
     }
 
+    /// Engine invocations so far: each slot-held backend dispatch counts
+    /// one; an [`Qrc::execute_many`] batch counts one for the whole batch.
+    pub fn engine_invocations(&self) -> u64 {
+        self.invocations.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time view of the pool for dispatch-window sizing.
+    pub fn slot_snapshot(&self) -> SlotSnapshot {
+        let slots = self.slots.read();
+        let mut snap = SlotSnapshot {
+            total: slots.len(),
+            ..SlotSnapshot::default()
+        };
+        for s in slots.iter() {
+            if s.dead.load(Ordering::Relaxed) {
+                snap.dead += 1;
+            } else if *s.active.lock() > 0 {
+                snap.busy += 1;
+            }
+        }
+        snap
+    }
+
+    /// Grows the pool by up to `n` slots, each backed by a fresh core
+    /// lease from the hetgroup. Returns how many slots were added; errors
+    /// only when not even one lease could be obtained.
+    pub fn grow_slots(&self, n: usize) -> Result<usize, QfwError> {
+        let mut added = 0;
+        for _ in 0..n {
+            match self.hetjob.allocate_cores(self.group, self.cores_per_slot) {
+                Ok(lease) => {
+                    let slot = Arc::new(Slot::default());
+                    *slot.lease.lock() = Some(lease);
+                    self.slots.write().push(slot);
+                    added += 1;
+                }
+                Err(e) if added == 0 => return Err(QfwError::Resources(e.to_string())),
+                Err(_) => break,
+            }
+        }
+        self.refresh_slot_gauges();
+        Ok(added)
+    }
+
+    /// Shrinks the pool by up to `n` slots, never below the base size.
+    /// Only idle, live slots are removed (busy slots finish their task and
+    /// survive); removed slots drop their core leases back to the free
+    /// pool. Returns how many were removed.
+    pub fn shrink_slots(&self, n: usize) -> usize {
+        let mut removed = 0;
+        let mut slots = self.slots.write();
+        let mut i = slots.len();
+        while removed < n && slots.len() > self.base_workers && i > 0 {
+            i -= 1;
+            let slot = Arc::clone(&slots[i]);
+            let active = slot.active.lock();
+            if *active == 0 && slot.is_routable() {
+                slot.retired.store(true, Ordering::Relaxed);
+                // Anyone parked on this slot re-routes.
+                slot.freed.notify_all();
+                drop(active);
+                let gone = slots.remove(i);
+                // Returns the lease's cores to hetgroup-1's free pool.
+                drop(gone.lease.lock().take());
+                removed += 1;
+            }
+        }
+        drop(slots);
+        if removed > 0 {
+            self.refresh_slot_gauges();
+        }
+        removed
+    }
+
     /// Revives every dead slot (the operator restarting workers); returns
     /// how many came back.
     pub fn revive_slots(&self) -> usize {
         let mut revived = 0;
-        for slot in &self.slots {
+        for slot in self.slots.read().iter() {
             if slot.dead.swap(false, Ordering::Relaxed) {
                 revived += 1;
             }
         }
         revived
+    }
+
+    /// Mirrors the pool state into gauges: `qrc.slots.total/dead/busy`,
+    /// `qrc.queue_depth` (dispatchers waiting for a slot), and the
+    /// per-slot task spread `qrc.slots.tasks_spread` (max − min tasks run,
+    /// the balance signal). Refreshed on every execute, so exported
+    /// metrics always reflect what the scheduler's scaling decisions saw.
+    fn refresh_slot_gauges(&self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let snap = self.slot_snapshot();
+        self.obs.gauge("qrc.slots.total").set(snap.total as f64);
+        self.obs.gauge("qrc.slots.dead").set(snap.dead as f64);
+        self.obs.gauge("qrc.slots.busy").set(snap.busy as f64);
+        self.obs
+            .gauge("qrc.queue_depth")
+            .set(self.waiting.load(Ordering::Relaxed) as f64);
+        let tasks = self.tasks_per_slot();
+        let spread = match (tasks.iter().max(), tasks.iter().min()) {
+            (Some(max), Some(min)) => (max - min) as f64,
+            _ => 0.0,
+        };
+        self.obs.gauge("qrc.slots.tasks_spread").set(spread);
     }
 
     /// Executes one task end-to-end: slot acquisition, backend dispatch,
@@ -150,20 +323,7 @@ impl Qrc {
         let backend: Arc<dyn BackendQpm> = self.registry.get(&task.spec.backend)?;
         let queue_sw = Stopwatch::start();
         let mut acquire_span = self.obs.span("qrc", "qrc.slot.acquire");
-        let mut requeued = 0u64;
-        let slot = loop {
-            let slot = self.acquire_slot()?;
-            // Injected worker death: the slot the task landed on dies and
-            // the task goes back to dispatch onto a surviving slot.
-            if self.chaos.is_enabled() && self.chaos.fires("qrc.slot_death") {
-                self.kill_slot(&slot);
-                self.requeues.fetch_add(1, Ordering::Relaxed);
-                requeued += 1;
-                self.obs.instant("qrc", "qrc.requeue");
-                continue;
-            }
-            break slot;
-        };
+        let (slot, requeued) = self.acquire_with_chaos()?;
         acquire_span.set_attr("requeues", requeued);
         let (acq_start, acq_end) = acquire_span.finish();
         let queue_secs = queue_sw.elapsed_secs();
@@ -179,6 +339,7 @@ impl Qrc {
             group: self.group,
             obs: &self.obs,
         };
+        self.invocations.fetch_add(1, Ordering::Relaxed);
         let outcome = backend.execute(task, &ctx);
         exec_span.set_attr("ok", outcome.is_ok());
         drop(exec_span);
@@ -190,12 +351,78 @@ impl Qrc {
             self.obs
                 .histogram("qrc.queue_us")
                 .observe_us(acq_end.saturating_sub(acq_start));
+            self.refresh_slot_gauges();
         }
 
         outcome.map(|mut result| {
             result.profile.queue_secs += queue_secs;
             result
         })
+    }
+
+    /// Executes a coalesced batch under **one** slot acquisition and one
+    /// engine invocation: the scheduler's transparent batching path. Every
+    /// task runs with its own shots and seed on the shared slot, so
+    /// per-task counts are bitwise identical to unbatched execution; only
+    /// the dispatch overhead (slot acquisition, invocation accounting) is
+    /// amortized. Results come back in input order.
+    ///
+    /// Tasks addressed to the `auto` pseudo-backend fall back to
+    /// [`Qrc::execute`] per task (the selector may fan each one out to a
+    /// different engine), costing one invocation each.
+    pub fn execute_many(&self, tasks: &[ExecTask]) -> Vec<Result<QfwResult, QfwError>> {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        if tasks.iter().any(|t| t.spec.backend == "auto") {
+            return tasks.iter().map(|t| self.execute(t)).collect();
+        }
+        let queue_sw = Stopwatch::start();
+        let mut acquire_span = self.obs.span("qrc", "qrc.slot.acquire");
+        let (slot, requeued) = match self.acquire_with_chaos() {
+            Ok(pair) => pair,
+            Err(e) => return tasks.iter().map(|_| Err(e.clone())).collect(),
+        };
+        acquire_span.set_attr("requeues", requeued);
+        let (acq_start, acq_end) = acquire_span.finish();
+        let queue_secs = queue_sw.elapsed_secs();
+
+        let mut batch_span = self
+            .obs
+            .span("qrc", "qrc.execute_batch")
+            .attr("size", tasks.len() as u64)
+            .attr("backend", tasks[0].spec.backend.as_str());
+        let ctx = ExecContext {
+            dvm: &self.dvm,
+            hetjob: &self.hetjob,
+            group: self.group,
+            obs: &self.obs,
+        };
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        let mut results = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            let outcome = match self.registry.get(&task.spec.backend) {
+                Ok(backend) => backend.execute(task, &ctx).map(|mut result| {
+                    result.profile.queue_secs += queue_secs;
+                    result
+                }),
+                Err(e) => Err(e),
+            };
+            results.push(outcome);
+        }
+        batch_span.set_attr("ok", results.iter().all(Result::is_ok));
+        drop(batch_span);
+        slot.tasks_run.fetch_add(tasks.len() as u64, Ordering::Relaxed);
+        self.release_slot(&slot);
+        if self.obs.is_enabled() {
+            self.obs.counter("qrc.tasks").add(tasks.len() as u64);
+            self.obs.counter("qrc.requeues").add(requeued);
+            self.obs
+                .histogram("qrc.queue_us")
+                .observe_us(acq_end.saturating_sub(acq_start));
+            self.refresh_slot_gauges();
+        }
+        results
     }
 
     /// Workload-driven dispatch: analyze, select, rewrite, re-execute.
@@ -257,29 +484,62 @@ impl Qrc {
         Err(failed.pop().expect("ranked list is never empty").1)
     }
 
+    /// Acquires a slot, consulting the `qrc.slot_death` chaos site once
+    /// per landing: a fired injection kills the slot and requeues onto a
+    /// survivor. Returns the slot and the requeue count.
+    fn acquire_with_chaos(&self) -> Result<(Arc<Slot>, u64), QfwError> {
+        let mut requeued = 0u64;
+        self.waiting.fetch_add(1, Ordering::Relaxed);
+        let result = loop {
+            let slot = match self.acquire_slot() {
+                Ok(slot) => slot,
+                Err(e) => break Err(e),
+            };
+            // Injected worker death: the slot the task landed on dies and
+            // the task goes back to dispatch onto a surviving slot.
+            if self.chaos.is_enabled() && self.chaos.fires("qrc.slot_death") {
+                self.kill_slot(&slot);
+                self.requeues.fetch_add(1, Ordering::Relaxed);
+                requeued += 1;
+                self.obs.instant("qrc", "qrc.requeue");
+                continue;
+            }
+            break Ok(slot);
+        };
+        self.waiting.fetch_sub(1, Ordering::Relaxed);
+        result.map(|slot| (slot, requeued))
+    }
+
+    fn all_dead_error(&self) -> QfwError {
+        QfwError::Resources("every QRC worker slot is dead".into())
+    }
+
     fn acquire_slot(&self) -> Result<Arc<Slot>, QfwError> {
         match self.policy {
             DispatchPolicy::RoundRobin => loop {
-                if self.dead_slots() == self.slots.len() {
-                    return Err(QfwError::Resources(
-                        "every QRC worker slot is dead".into(),
-                    ));
-                }
-                let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.slots.len();
-                let slot = &self.slots[idx];
-                if slot.dead.load(Ordering::Relaxed) {
-                    // Rotation naturally advances past dead slots.
+                let slot = {
+                    let slots = self.slots.read();
+                    if slots.iter().all(|s| !s.is_routable()) {
+                        return Err(self.all_dead_error());
+                    }
+                    let idx = self.next.fetch_add(1, Ordering::Relaxed) % slots.len();
+                    Arc::clone(&slots[idx])
+                };
+                if !slot.is_routable() {
+                    // Rotation naturally advances past dead/retired slots.
                     continue;
                 }
                 let mut active = slot.active.lock();
                 loop {
-                    if slot.dead.load(Ordering::Relaxed) {
-                        // Died while we queued on it: pick another slot.
+                    if !slot.is_routable() {
+                        // Died or retired while we queued on it: pick
+                        // another slot.
                         break;
                     }
                     if *active == 0 {
                         *active = 1;
-                        return Ok(Arc::clone(slot));
+                        drop(active);
+                        return Ok(slot);
                     }
                     slot.freed.wait(&mut active);
                 }
@@ -290,26 +550,29 @@ impl Qrc {
                 // snapshot alone is stale by the time the lock is taken
                 // (two dispatchers could both pick the same "free" slot
                 // and one would queue behind it while other slots idle).
-                let mut order: Vec<(usize, usize)> = self
-                    .slots
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| !s.dead.load(Ordering::Relaxed))
-                    .map(|(i, s)| (*s.active.lock(), i))
-                    .collect();
-                if order.is_empty() {
-                    return Err(QfwError::Resources(
-                        "every QRC worker slot is dead".into(),
-                    ));
-                }
-                order.sort_unstable();
-                for &(_, i) in &order {
-                    let slot = &self.slots[i];
-                    if slot.dead.load(Ordering::Relaxed) {
+                // The (load, index) sort is lexicographic, so equal loads
+                // deterministically break toward the lowest slot index and
+                // seeded runs replay the same placement.
+                let candidates = {
+                    let slots = self.slots.read();
+                    let mut order: Vec<(usize, usize, Arc<Slot>)> = slots
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.is_routable())
+                        .map(|(i, s)| (*s.active.lock(), i, Arc::clone(s)))
+                        .collect();
+                    if order.is_empty() {
+                        return Err(self.all_dead_error());
+                    }
+                    order.sort_unstable_by_key(|(load, idx, _)| (*load, *idx));
+                    order
+                };
+                for (_, _, slot) in &candidates {
+                    if !slot.is_routable() {
                         continue;
                     }
                     let mut active = slot.active.lock();
-                    if !slot.dead.load(Ordering::Relaxed) && *active == 0 {
+                    if slot.is_routable() && *active == 0 {
                         *active = 1;
                         return Ok(Arc::clone(slot));
                     }
@@ -317,9 +580,9 @@ impl Qrc {
                 // Every live slot is busy: park briefly on the least
                 // loaded one, then rescan (releases only notify their own
                 // slot, so bound the wait instead of trusting one condvar).
-                let first = &self.slots[order[0].1];
+                let (_, _, first) = &candidates[0];
                 let mut active = first.active.lock();
-                if *active > 0 && !first.dead.load(Ordering::Relaxed) {
+                if *active > 0 && first.is_routable() {
                     first.freed.wait_for(&mut active, Duration::from_millis(5));
                 }
             },
@@ -405,6 +668,19 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(qrc.tasks_per_slot(), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn least_loaded_ties_break_to_lowest_index() {
+        // Sequential executes always find every slot idle, so the
+        // deterministic tie-break must land every task on slot 0. This
+        // pins the replayability guarantee seeded runs rely on.
+        let qrc = qrc(3, DispatchPolicy::LeastLoaded);
+        for _ in 0..4 {
+            qrc.execute(&ghz_task(4, BackendSpec::of("nwqsim", "cpu")))
+                .unwrap();
+        }
+        assert_eq!(qrc.tasks_per_slot(), vec![4, 0, 0]);
     }
 
     #[test]
@@ -545,5 +821,103 @@ mod tests {
             .execute(&ghz_task(6, BackendSpec::of("nwqsim", "mpi").with_ranks(4)))
             .unwrap();
         assert_eq!(result.profile.ranks, 4);
+    }
+
+    #[test]
+    fn grow_and_shrink_round_trip_core_leases() {
+        let qrc = qrc(2, DispatchPolicy::RoundRobin);
+        let free_before = qrc.hetjob.free_cores(1);
+        assert_eq!(qrc.grow_slots(3).unwrap(), 3);
+        assert_eq!(qrc.workers(), 5);
+        assert_eq!(qrc.hetjob.free_cores(1), free_before - 3 * qrc.cores_per_slot);
+        // Shrink never drops below the base pool and returns the cores.
+        assert_eq!(qrc.shrink_slots(10), 3);
+        assert_eq!(qrc.workers(), 2);
+        assert_eq!(qrc.hetjob.free_cores(1), free_before);
+    }
+
+    #[test]
+    fn grow_fails_cleanly_when_cores_exhausted() {
+        let qrc = qrc(1, DispatchPolicy::RoundRobin);
+        let hog = qrc.hetjob.allocate_cores(1, qrc.hetjob.free_cores(1)).unwrap();
+        let err = qrc.grow_slots(1).unwrap_err();
+        assert!(matches!(err, QfwError::Resources(_)), "{err:?}");
+        assert_eq!(qrc.workers(), 1);
+        drop(hog);
+        assert_eq!(qrc.grow_slots(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn grown_slots_accept_work() {
+        let qrc = qrc(1, DispatchPolicy::RoundRobin);
+        qrc.grow_slots(1).unwrap();
+        for _ in 0..4 {
+            qrc.execute(&ghz_task(4, BackendSpec::of("nwqsim", "cpu")))
+                .unwrap();
+        }
+        // Strict rotation over both slots.
+        assert_eq!(qrc.tasks_per_slot(), vec![2, 2]);
+    }
+
+    #[test]
+    fn slot_snapshot_tracks_pool_state() {
+        use qfw_chaos::{FaultPlan, FaultSpec};
+        let cluster = ClusterSpec::test(3);
+        let hetjob = Arc::new(HetJob::submit(&cluster, &HetJobSpec::qfw_standard(2)).unwrap());
+        let dvm = Arc::new(Dvm::new(&cluster));
+        let plan = Arc::new(FaultPlan::seeded(21).inject("qrc.slot_death", FaultSpec::first(1)));
+        let qrc = Qrc::new(
+            BackendRegistry::standard(None),
+            hetjob,
+            dvm,
+            1,
+            3,
+            DispatchPolicy::RoundRobin,
+        )
+        .with_chaos(plan);
+        let snap = qrc.slot_snapshot();
+        assert_eq!((snap.total, snap.dead, snap.busy), (3, 0, 0));
+        assert_eq!(snap.live(), 3);
+        assert_eq!(snap.free(), 3);
+        qrc.execute(&ghz_task(4, BackendSpec::of("nwqsim", "cpu")))
+            .unwrap();
+        let snap = qrc.slot_snapshot();
+        assert_eq!(snap.dead, 1, "chaos killed one slot");
+        assert_eq!(snap.live(), 2);
+    }
+
+    #[test]
+    fn execute_many_uses_one_invocation_and_matches_unbatched() {
+        let batched = qrc(2, DispatchPolicy::RoundRobin);
+        let unbatched = qrc(2, DispatchPolicy::RoundRobin);
+        let tasks: Vec<ExecTask> = (0..4)
+            .map(|i| {
+                let mut t = ghz_task(5, BackendSpec::of("nwqsim", "cpu"));
+                t.seed = 100 + i;
+                t
+            })
+            .collect();
+        let results = batched.execute_many(&tasks);
+        assert_eq!(batched.engine_invocations(), 1);
+        for (task, result) in tasks.iter().zip(&results) {
+            let solo = unbatched.execute(task).unwrap();
+            assert_eq!(
+                result.as_ref().unwrap().counts,
+                solo.counts,
+                "batched counts diverged from unbatched at seed {}",
+                task.seed
+            );
+        }
+        assert_eq!(unbatched.engine_invocations(), 4);
+    }
+
+    #[test]
+    fn execute_many_reports_per_task_errors() {
+        let qrc = qrc(1, DispatchPolicy::RoundRobin);
+        let good = ghz_task(4, BackendSpec::of("nwqsim", "cpu"));
+        let bad = ghz_task(4, BackendSpec::of("bogus", ""));
+        let results = qrc.execute_many(&[good, bad]);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(QfwError::UnknownBackend(_))));
     }
 }

@@ -160,6 +160,12 @@ impl QfwSession {
         &self.hetjob
     }
 
+    /// The RPC hub, for registering additional services (e.g. the
+    /// `qfw-sched` scheduler attaches its `sched0` service here).
+    pub fn defw(&self) -> &Defw {
+        self.defw.as_ref().expect("session is live")
+    }
+
     /// The shared resource controller.
     pub fn qrc(&self) -> &Arc<Qrc> {
         &self.qrc

@@ -1,0 +1,123 @@
+//! Transparent batching: skeleton keys for coalescing parameterized
+//! circuits.
+//!
+//! A parameter sweep (VQE/QAOA) submits many circuits that differ only in
+//! rotation angles — the gate *skeleton* is identical. The scheduler
+//! coalesces same-skeleton, same-spec jobs of one tenant and priority
+//! class into a single [`qfw::Qrc::execute_many`] invocation, amortizing
+//! slot acquisition and dispatch overhead while each job keeps its own
+//! seed and shot budget (results stay bitwise identical to unbatched
+//! execution).
+//!
+//! The skeleton key is the backend spec plus the `qfwasm` text with every
+//! parenthesized gate argument masked: `rz(0.5) q2` and `rz(1.25) q2`
+//! share a key; `rz(0.5) q2` and `rz(0.5) q3` do not. Data-carrying
+//! lines (`unitary` blocks, marked by `:`) are kept verbatim — circuits
+//! with different embedded matrices never coalesce.
+
+use crate::JobEnvelope;
+use qfw::BackendSpec;
+
+/// Computes the batching key for an envelope: jobs with equal keys can be
+/// coalesced into one engine invocation.
+pub fn skeleton_key(env: &JobEnvelope) -> String {
+    let mut key = String::with_capacity(env.circuit.len() + 64);
+    push_spec(&mut key, &env.spec);
+    key.push('\n');
+    for line in env.circuit.lines() {
+        if line.contains(':') {
+            // Data-carrying line (e.g. a unitary block payload): the data
+            // is structural, not a parameter — keep it verbatim.
+            key.push_str(line);
+        } else {
+            mask_parens(&mut key, line);
+        }
+        key.push('\n');
+    }
+    key
+}
+
+fn push_spec(key: &mut String, spec: &BackendSpec) {
+    key.push_str(&spec.backend);
+    key.push('|');
+    key.push_str(&spec.subbackend);
+    key.push('|');
+    key.push_str(&spec.ranks.to_string());
+    for (k, v) in &spec.extra {
+        key.push('|');
+        key.push_str(k);
+        key.push('=');
+        key.push_str(v);
+    }
+}
+
+/// Copies `line` with every parenthesized span collapsed to `(#)`.
+fn mask_parens(out: &mut String, line: &str) {
+    let mut in_paren = false;
+    for ch in line.chars() {
+        match ch {
+            '(' if !in_paren => {
+                out.push_str("(#");
+                in_paren = true;
+            }
+            ')' if in_paren => {
+                out.push(')');
+                in_paren = false;
+            }
+            _ if in_paren => {}
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Priority;
+
+    fn env_of(circuit: &str, spec: BackendSpec) -> JobEnvelope {
+        JobEnvelope {
+            tenant: "t".into(),
+            priority: Priority::Normal,
+            deadline_ms: None,
+            shots: 100,
+            seed: 1,
+            circuit: circuit.into(),
+            spec,
+        }
+    }
+
+    #[test]
+    fn angles_mask_but_structure_does_not() {
+        let spec = BackendSpec::of("aer", "statevector");
+        let a = env_of("qfwasm 1\nqubits 2\nrz(0.5) q0\ncx q0 q1\n", spec.clone());
+        let b = env_of("qfwasm 1\nqubits 2\nrz(1.25) q0\ncx q0 q1\n", spec.clone());
+        let c = env_of("qfwasm 1\nqubits 2\nrz(0.5) q1\ncx q0 q1\n", spec);
+        assert_eq!(skeleton_key(&a), skeleton_key(&b), "angles are parameters");
+        assert_ne!(skeleton_key(&a), skeleton_key(&c), "targets are structure");
+    }
+
+    #[test]
+    fn spec_is_part_of_the_key() {
+        let a = env_of("h q0\n", BackendSpec::of("aer", "statevector"));
+        let b = env_of("h q0\n", BackendSpec::of("nwqsim", "cpu"));
+        let c = env_of(
+            "h q0\n",
+            BackendSpec::of("aer", "statevector").with_extra("fusion", true),
+        );
+        assert_ne!(skeleton_key(&a), skeleton_key(&b));
+        assert_ne!(skeleton_key(&a), skeleton_key(&c));
+    }
+
+    #[test]
+    fn data_lines_stay_verbatim() {
+        let spec = BackendSpec::of("aer", "statevector");
+        let a = env_of("unitary[u1] q0: 0.1 0.2 0.3 0.4\n", spec.clone());
+        let b = env_of("unitary[u1] q0: 0.9 0.8 0.7 0.6\n", spec);
+        assert_ne!(
+            skeleton_key(&a),
+            skeleton_key(&b),
+            "embedded matrices are structural"
+        );
+    }
+}

@@ -1,0 +1,863 @@
+//! The scheduler runtime: admission at submit, a dispatcher thread
+//! draining the fair queue into a bounded dispatch window, per-batch
+//! runner threads, elastic pool scaling, and the `sched0` DEFw service.
+//!
+//! ## Dispatch window
+//!
+//! The dispatcher keeps at most `window` batches in flight, where
+//! `window` defaults to the QRC's *live* slot count (from
+//! [`qfw::Qrc::slot_snapshot`]) — dead slots shrink the window, so under
+//! chaos the scheduler stops over-committing instead of piling blocked
+//! dispatches onto a dying pool.
+//!
+//! ## Elastic scaling
+//!
+//! With a [`ScalingConfig`], the dispatcher watches queue depth each
+//! tick. Depth at or above `scale_up_depth` for `up_ticks` consecutive
+//! ticks grows the pool by `step` slots (bounded by `max_workers` and by
+//! free cores in the hetgroup); depth at or below `scale_down_depth` for
+//! `down_ticks` ticks shrinks idle slots back toward the base pool. The
+//! two streak counters are the hysteresis: a flapping queue resets them
+//! and the pool holds steady.
+
+use crate::batch::skeleton_key;
+use crate::queue::{AdmitError, FairQueue, QueuedJob};
+use crate::{
+    CancelOutcome, JobEnvelope, JobId, JobStatus, OverloadInfo, OverloadScope, SchedError,
+    SubmitOutcome,
+};
+use parking_lot::{Condvar, Mutex};
+use qfw::{ExecTask, QfwSession, Qrc};
+use qfw_defw::{Defw, MethodTable};
+use qfw_obs::{AttrValue, Obs};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// Per-tenant fair-share configuration.
+#[derive(Clone, Debug)]
+pub struct TenantConfig {
+    /// Tenant name (the `JobEnvelope.tenant` key).
+    pub name: String,
+    /// DRR weight: relative service share versus other tenants.
+    pub weight: u32,
+    /// Maximum queued (undispatched) jobs before admission rejects.
+    pub quota: usize,
+}
+
+impl TenantConfig {
+    /// Shorthand constructor.
+    pub fn new(name: impl Into<String>, weight: u32, quota: usize) -> Self {
+        TenantConfig {
+            name: name.into(),
+            weight,
+            quota,
+        }
+    }
+}
+
+/// Elastic worker-scaling thresholds (hysteresis via tick streaks).
+#[derive(Clone, Debug)]
+pub struct ScalingConfig {
+    /// Upper bound on the pool (the base pool is the lower bound).
+    pub max_workers: usize,
+    /// Queue depth at or above this arms scale-up.
+    pub scale_up_depth: usize,
+    /// Queue depth at or below this arms scale-down.
+    pub scale_down_depth: usize,
+    /// Consecutive armed ticks required before growing.
+    pub up_ticks: u32,
+    /// Consecutive armed ticks required before shrinking.
+    pub down_ticks: u32,
+    /// Slots added/removed per scaling action.
+    pub step: usize,
+}
+
+impl Default for ScalingConfig {
+    fn default() -> Self {
+        ScalingConfig {
+            max_workers: 16,
+            scale_up_depth: 8,
+            scale_down_depth: 1,
+            up_ticks: 3,
+            down_ticks: 10,
+            step: 1,
+        }
+    }
+}
+
+/// Scheduler configuration, passed to [`Scheduler::start`] /
+/// [`Scheduler::attach`].
+#[derive(Clone, Debug)]
+pub struct SchedConfig {
+    /// Explicitly configured tenants; others get the defaults below.
+    pub tenants: Vec<TenantConfig>,
+    /// DRR weight for unconfigured tenants.
+    pub default_weight: u32,
+    /// Quota for unconfigured tenants.
+    pub default_quota: usize,
+    /// Global queued-job bound; beyond it every submit is rejected with
+    /// [`SchedError::Overloaded`].
+    pub max_queue_depth: usize,
+    /// Maximum jobs coalesced into one engine invocation; `1` disables
+    /// batching.
+    pub max_batch: usize,
+    /// Fixed dispatch-window override; `None` sizes the window from live
+    /// QRC slots each round.
+    pub window: Option<usize>,
+    /// Elastic pool scaling; `None` keeps the pool fixed.
+    pub scaling: Option<ScalingConfig>,
+    /// Dispatcher wake interval (scaling ticks happen at this cadence).
+    pub tick: Duration,
+    /// Start with dispatch paused (submissions queue up); call
+    /// [`Scheduler::resume`] to begin serving. Useful for tests and for
+    /// pre-loading a sweep so batching sees the whole queue.
+    pub start_paused: bool,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            tenants: Vec::new(),
+            default_weight: 1,
+            default_quota: 64,
+            max_queue_depth: 256,
+            max_batch: 1,
+            window: None,
+            scaling: None,
+            tick: Duration::from_millis(2),
+            start_paused: false,
+        }
+    }
+}
+
+/// Timestamps of one job's flow through the scheduler (scheduler epoch,
+/// µs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JobTiming {
+    /// When the job was admitted.
+    pub submitted_us: u64,
+    /// When it left the queue for a runner.
+    pub dispatched_us: u64,
+    /// When its result was recorded.
+    pub completed_us: u64,
+}
+
+impl JobTiming {
+    /// Queue wait: admission → dispatch.
+    pub fn wait_us(&self) -> u64 {
+        self.dispatched_us.saturating_sub(self.submitted_us)
+    }
+
+    /// Service: dispatch → completion.
+    pub fn service_us(&self) -> u64 {
+        self.completed_us.saturating_sub(self.dispatched_us)
+    }
+}
+
+/// Aggregate counters, exposed locally and over the `stats` RPC.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedStats {
+    /// Submissions seen (admitted + rejected).
+    pub submitted: u64,
+    /// Submissions admitted into the queue.
+    pub admitted: u64,
+    /// Submissions rejected by admission control.
+    pub rejected: u64,
+    /// Jobs handed to runners.
+    pub dispatched: u64,
+    /// Multi-job engine invocations.
+    pub batches: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs that failed in execution.
+    pub failed: u64,
+    /// Jobs cancelled before dispatch.
+    pub cancelled: u64,
+    /// Scale-up actions taken.
+    pub scale_ups: u64,
+    /// Scale-down actions taken.
+    pub scale_downs: u64,
+    /// Current queue depth.
+    pub queue_depth: u64,
+    /// Batches currently executing.
+    pub in_flight: u64,
+    /// Current QRC pool size.
+    pub workers: u64,
+}
+
+struct SchedState {
+    queue: FairQueue,
+    statuses: HashMap<JobId, JobStatus>,
+    timings: HashMap<JobId, JobTiming>,
+    /// Tenant of each dispatched job, in dispatch order — the fairness
+    /// ledger tests assert on.
+    dispatch_log: Vec<String>,
+    in_flight: usize,
+    live_runners: usize,
+    paused: bool,
+    shutdown: bool,
+    stats: SchedStats,
+    /// Recent service times (µs) for the `retry_after` estimate.
+    recent_service_us: VecDeque<u64>,
+    up_streak: u32,
+    down_streak: u32,
+}
+
+struct Inner {
+    qrc: Arc<Qrc>,
+    obs: Obs,
+    cfg: SchedConfig,
+    state: Mutex<SchedState>,
+    /// Wakes the dispatcher (new work, freed window, shutdown).
+    work_cv: Condvar,
+    /// Wakes waiters on job completion and shutdown drains.
+    done_cv: Condvar,
+    next_id: AtomicU64,
+    epoch: Instant,
+    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Inner {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+/// Handle to a running scheduler. Cloning shares the instance (the RPC
+/// service holds clones); [`Scheduler::shutdown`] stops it explicitly.
+#[derive(Clone)]
+pub struct Scheduler {
+    inner: Arc<Inner>,
+}
+
+impl Scheduler {
+    /// Starts a scheduler over a QRC pool. The dispatcher thread exits on
+    /// [`Scheduler::shutdown`] or once every handle is dropped.
+    pub fn start(qrc: Arc<Qrc>, obs: Obs, cfg: SchedConfig) -> Scheduler {
+        let mut queue = FairQueue::new(cfg.max_queue_depth, cfg.default_weight, cfg.default_quota);
+        for t in &cfg.tenants {
+            queue.set_tenant(&t.name, t.weight, t.quota);
+        }
+        let paused = cfg.start_paused;
+        let inner = Arc::new(Inner {
+            qrc,
+            obs,
+            cfg,
+            state: Mutex::new(SchedState {
+                queue,
+                statuses: HashMap::new(),
+                timings: HashMap::new(),
+                dispatch_log: Vec::new(),
+                in_flight: 0,
+                live_runners: 0,
+                paused,
+                shutdown: false,
+                stats: SchedStats::default(),
+                recent_service_us: VecDeque::new(),
+                up_streak: 0,
+                down_streak: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            epoch: Instant::now(),
+            dispatcher: Mutex::new(None),
+        });
+        let weak = Arc::downgrade(&inner);
+        let handle = std::thread::Builder::new()
+            .name("qfw-sched".into())
+            .spawn(move || dispatcher_loop(weak))
+            .expect("spawn scheduler dispatcher");
+        *inner.dispatcher.lock() = Some(handle);
+        Scheduler { inner }
+    }
+
+    /// Starts a scheduler on a live session's QRC and registers the
+    /// `sched0` DEFw service (`submit`/`poll`/`cancel`/`stats`).
+    pub fn attach(session: &QfwSession, cfg: SchedConfig) -> Scheduler {
+        let sched = Scheduler::start(Arc::clone(session.qrc()), session.obs().clone(), cfg);
+        sched.serve(session.defw(), 0);
+        sched
+    }
+
+    /// Registers this scheduler as DEFw service `sched{index}`.
+    pub fn serve(&self, defw: &Defw, index: usize) {
+        let name = format!("sched{index}");
+        let submit = self.clone();
+        let poll = self.clone();
+        let cancel = self.clone();
+        let stats = self.clone();
+        let service = MethodTable::new(name.clone())
+            .method("submit", move |env: JobEnvelope| match submit.submit(env) {
+                Ok(id) => Ok(SubmitOutcome::Accepted(id)),
+                Err(SchedError::Overloaded { retry_after, scope }) => {
+                    Ok(SubmitOutcome::Overloaded(OverloadInfo {
+                        retry_after_ms: retry_after.as_millis().max(1) as u64,
+                        scope: format!("{scope:?}"),
+                    }))
+                }
+                Err(e) => Err(e.to_string()),
+            })
+            .method("poll", move |id: u64| Ok(poll.poll(id)))
+            .method("cancel", move |id: u64| Ok(cancel.cancel(id)))
+            .method("stats", move |_: ()| Ok(stats.stats()))
+            .build();
+        defw.register(&name, service);
+    }
+
+    /// Submits a job. Returns the job id, or the typed
+    /// [`SchedError::Overloaded`] rejection — this call never blocks on a
+    /// full queue.
+    pub fn submit(&self, env: JobEnvelope) -> Result<JobId, SchedError> {
+        let inner = &self.inner;
+        let mut st = inner.state.lock();
+        if st.shutdown {
+            return Err(SchedError::Shutdown);
+        }
+        st.stats.submitted += 1;
+        let now = inner.now_us();
+        let deadline_us = env
+            .deadline_ms
+            .map(|ms| now.saturating_add(ms.saturating_mul(1000)))
+            .unwrap_or(u64::MAX);
+        let tenant = env.tenant.clone();
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let skeleton = skeleton_key(&env);
+        let job = QueuedJob::new(id, env, now, deadline_us, skeleton);
+        match st.queue.try_push(job) {
+            Ok(()) => {
+                st.stats.admitted += 1;
+                st.statuses.insert(id, JobStatus::Queued);
+                st.timings.insert(
+                    id,
+                    JobTiming {
+                        submitted_us: now,
+                        ..JobTiming::default()
+                    },
+                );
+                if inner.obs.is_enabled() {
+                    inner.obs.counter("sched.admitted").inc();
+                    inner.obs.gauge("sched.queue_depth").set(st.queue.len() as f64);
+                    inner.obs.instant_with(
+                        "sched",
+                        "sched.admit",
+                        &[("tenant", AttrValue::Str(tenant))],
+                    );
+                }
+                drop(st);
+                inner.work_cv.notify_one();
+                Ok(id)
+            }
+            Err(kind) => {
+                st.stats.rejected += 1;
+                let scope = match kind {
+                    AdmitError::QueueFull => OverloadScope::Queue,
+                    AdmitError::TenantQuota => OverloadScope::Tenant,
+                };
+                let retry_after = estimate_retry_after(&st, inner);
+                if inner.obs.is_enabled() {
+                    inner.obs.counter("sched.rejected").inc();
+                    inner.obs.instant_with(
+                        "sched",
+                        "sched.reject",
+                        &[
+                            ("tenant", AttrValue::Str(tenant)),
+                            ("scope", AttrValue::Str(format!("{scope:?}"))),
+                            (
+                                "retry_after_ms",
+                                AttrValue::Int(retry_after.as_millis() as i64),
+                            ),
+                        ],
+                    );
+                }
+                Err(SchedError::Overloaded { retry_after, scope })
+            }
+        }
+    }
+
+    /// Current status of a job (non-blocking).
+    pub fn poll(&self, id: JobId) -> JobStatus {
+        self.inner
+            .state
+            .lock()
+            .statuses
+            .get(&id)
+            .cloned()
+            .unwrap_or(JobStatus::Unknown)
+    }
+
+    /// Blocks until the job reaches a terminal state or `timeout`
+    /// elapses; returns the status either way.
+    pub fn wait(&self, id: JobId, timeout: Duration) -> JobStatus {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock();
+        loop {
+            let status = st.statuses.get(&id).cloned().unwrap_or(JobStatus::Unknown);
+            if status.is_terminal() {
+                return status;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return status;
+            }
+            self.inner.done_cv.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    /// Cancels a queued job. Running or finished jobs report
+    /// [`CancelOutcome::TooLate`].
+    pub fn cancel(&self, id: JobId) -> CancelOutcome {
+        let mut st = self.inner.state.lock();
+        match st.statuses.get(&id) {
+            None => CancelOutcome::Unknown,
+            Some(JobStatus::Queued) => {
+                st.queue.remove(id);
+                st.statuses.insert(id, JobStatus::Cancelled);
+                st.stats.cancelled += 1;
+                drop(st);
+                self.inner.done_cv.notify_all();
+                CancelOutcome::Cancelled
+            }
+            Some(_) => CancelOutcome::TooLate,
+        }
+    }
+
+    /// Pauses dispatch (submissions still queue).
+    pub fn pause(&self) {
+        self.inner.state.lock().paused = true;
+    }
+
+    /// Resumes dispatch.
+    pub fn resume(&self) {
+        self.inner.state.lock().paused = false;
+        self.inner.work_cv.notify_one();
+    }
+
+    /// Aggregate counters plus live depth/in-flight/pool-size readings.
+    pub fn stats(&self) -> SchedStats {
+        let st = self.inner.state.lock();
+        let mut s = st.stats;
+        s.queue_depth = st.queue.len() as u64;
+        s.in_flight = st.in_flight as u64;
+        s.workers = self.inner.qrc.workers() as u64;
+        s
+    }
+
+    /// Tenants of dispatched jobs, in dispatch order — the fairness
+    /// ledger: a length-K prefix of a saturated run shows each tenant's
+    /// service share.
+    pub fn dispatch_log(&self) -> Vec<String> {
+        self.inner.state.lock().dispatch_log.clone()
+    }
+
+    /// Flow timestamps of a job, once known.
+    pub fn job_timing(&self, id: JobId) -> Option<JobTiming> {
+        self.inner.state.lock().timings.get(&id).copied()
+    }
+
+    /// Blocks until the queue and dispatch window are both empty or the
+    /// timeout elapses; returns whether fully drained.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock();
+        loop {
+            if st.queue.is_empty() && st.in_flight == 0 {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.inner.done_cv.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    /// Stops the scheduler: running batches finish, queued jobs are
+    /// marked [`JobStatus::Cancelled`], the dispatcher joins.
+    pub fn shutdown(&self) {
+        let inner = &self.inner;
+        {
+            let mut st = inner.state.lock();
+            if st.shutdown {
+                return;
+            }
+            st.shutdown = true;
+            for job in st.queue.drain_all() {
+                st.statuses.insert(job.id, JobStatus::Cancelled);
+                st.stats.cancelled += 1;
+            }
+            // Let in-flight runners finish (they hold no state lock while
+            // executing); their results are still recorded.
+            while st.live_runners > 0 {
+                inner.done_cv.wait_for(&mut st, Duration::from_millis(50));
+            }
+        }
+        inner.work_cv.notify_all();
+        inner.done_cv.notify_all();
+        if let Some(handle) = inner.dispatcher.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Backoff hint for a rejected submission: how long until the backlog
+/// plausibly clears one queue position, from recent service times and
+/// live parallelism.
+fn estimate_retry_after(st: &SchedState, inner: &Inner) -> Duration {
+    let avg_us = if st.recent_service_us.is_empty() {
+        5_000
+    } else {
+        st.recent_service_us.iter().sum::<u64>() / st.recent_service_us.len() as u64
+    };
+    let live = inner.qrc.slot_snapshot().live().max(1) as u64;
+    let backlog = st.queue.len() as u64 + st.in_flight as u64 + 1;
+    let positions = backlog.div_ceil(live);
+    Duration::from_micros((avg_us * positions).clamp(1_000, 60_000_000))
+}
+
+fn dispatcher_loop(weak: Weak<Inner>) {
+    loop {
+        // Holding only a transient strong ref lets the dispatcher die
+        // once every user handle (and the RPC service) is gone.
+        let Some(inner) = weak.upgrade() else { return };
+        let mut st = inner.state.lock();
+        if st.shutdown {
+            return;
+        }
+        if !st.paused {
+            if let Some(scaling) = &inner.cfg.scaling {
+                scaling_tick(&inner, &mut st, scaling);
+            }
+            dispatch_round(&inner, &mut st);
+        }
+        if inner.obs.is_enabled() {
+            inner.obs.gauge("sched.queue_depth").set(st.queue.len() as f64);
+            inner
+                .obs
+                .gauge("sched.workers")
+                .set(inner.qrc.workers() as f64);
+        }
+        inner.work_cv.wait_for(&mut st, inner.cfg.tick);
+    }
+}
+
+/// One hysteresis tick: arm/advance/reset the scale streaks and act when
+/// a streak crosses its threshold.
+fn scaling_tick(inner: &Inner, st: &mut SchedState, scaling: &ScalingConfig) {
+    let depth = st.queue.len();
+    let workers = inner.qrc.workers();
+    if depth >= scaling.scale_up_depth && workers < scaling.max_workers {
+        st.up_streak += 1;
+        st.down_streak = 0;
+        if st.up_streak >= scaling.up_ticks {
+            st.up_streak = 0;
+            let step = scaling.step.min(scaling.max_workers - workers);
+            if let Ok(added) = inner.qrc.grow_slots(step) {
+                if added > 0 {
+                    st.stats.scale_ups += 1;
+                    if inner.obs.is_enabled() {
+                        inner.obs.counter("sched.scale_up").inc();
+                        inner.obs.instant_with(
+                            "sched",
+                            "sched.scale",
+                            &[
+                                ("direction", AttrValue::Str("up".into())),
+                                ("workers", AttrValue::Int((workers + added) as i64)),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+    } else if depth <= scaling.scale_down_depth && workers > inner.qrc.base_workers() {
+        st.down_streak += 1;
+        st.up_streak = 0;
+        if st.down_streak >= scaling.down_ticks {
+            st.down_streak = 0;
+            let removed = inner.qrc.shrink_slots(scaling.step);
+            if removed > 0 {
+                st.stats.scale_downs += 1;
+                if inner.obs.is_enabled() {
+                    inner.obs.counter("sched.scale_down").inc();
+                    inner.obs.instant_with(
+                        "sched",
+                        "sched.scale",
+                        &[
+                            ("direction", AttrValue::Str("down".into())),
+                            ("workers", AttrValue::Int((workers - removed) as i64)),
+                        ],
+                    );
+                }
+            }
+        }
+    } else {
+        st.up_streak = 0;
+        st.down_streak = 0;
+    }
+}
+
+/// Fills the dispatch window: pop under DRR, coalesce batch mates, spawn
+/// one runner per batch.
+fn dispatch_round(inner: &Arc<Inner>, st: &mut SchedState) {
+    let window = inner
+        .cfg
+        .window
+        .unwrap_or_else(|| inner.qrc.slot_snapshot().live())
+        .max(1);
+    while st.in_flight < window {
+        let Some(job) = st.queue.pop() else { break };
+        let mut batch = vec![job];
+        if inner.cfg.max_batch > 1 {
+            let lead = &batch[0];
+            let mates = st.queue.pop_batch_mates(
+                &lead.env.tenant,
+                lead.env.priority.class(),
+                &lead.skeleton,
+                inner.cfg.max_batch - 1,
+            );
+            batch.extend(mates);
+        }
+        let now = inner.now_us();
+        for j in &batch {
+            st.statuses.insert(j.id, JobStatus::Running);
+            if let Some(t) = st.timings.get_mut(&j.id) {
+                t.dispatched_us = now;
+            }
+            st.dispatch_log.push(j.env.tenant.clone());
+        }
+        st.stats.dispatched += batch.len() as u64;
+        if batch.len() > 1 {
+            st.stats.batches += 1;
+            if inner.obs.is_enabled() {
+                inner.obs.counter("sched.batches").inc();
+                inner.obs.instant_with(
+                    "sched",
+                    "sched.batch",
+                    &[
+                        ("tenant", AttrValue::Str(batch[0].env.tenant.clone())),
+                        ("size", AttrValue::Int(batch.len() as i64)),
+                    ],
+                );
+            }
+        }
+        st.in_flight += 1;
+        st.live_runners += 1;
+        let runner_inner = Arc::clone(inner);
+        std::thread::Builder::new()
+            .name("qfw-sched-run".into())
+            .spawn(move || run_batch(runner_inner, batch))
+            .expect("spawn scheduler runner");
+    }
+}
+
+/// Executes one batch on the QRC (single slot acquisition, single engine
+/// invocation) and records the per-job outcomes.
+fn run_batch(inner: Arc<Inner>, batch: Vec<QueuedJob>) {
+    let tasks: Vec<ExecTask> = batch
+        .iter()
+        .map(|j| ExecTask {
+            circuit: j.env.circuit.clone(),
+            shots: j.env.shots,
+            seed: j.env.seed,
+            spec: j.env.spec.clone(),
+        })
+        .collect();
+    let results = inner.qrc.execute_many(&tasks);
+    let now = inner.now_us();
+    let mut st = inner.state.lock();
+    for (job, result) in batch.iter().zip(results) {
+        let (wait_us, service_us) = match st.timings.get_mut(&job.id) {
+            Some(t) => {
+                t.completed_us = now;
+                (t.wait_us(), t.service_us())
+            }
+            None => (0, 0),
+        };
+        if inner.obs.is_enabled() {
+            inner
+                .obs
+                .histogram(&format!("sched.wait_us.{}", job.env.tenant))
+                .observe_us(wait_us);
+            inner
+                .obs
+                .histogram(&format!("sched.service_us.{}", job.env.tenant))
+                .observe_us(service_us);
+        }
+        st.recent_service_us.push_back(service_us);
+        if st.recent_service_us.len() > 64 {
+            st.recent_service_us.pop_front();
+        }
+        match result {
+            Ok(r) => {
+                st.statuses.insert(job.id, JobStatus::Done(r));
+                st.stats.completed += 1;
+                if inner.obs.is_enabled() {
+                    inner.obs.counter("sched.completed").inc();
+                }
+            }
+            Err(e) => {
+                st.statuses.insert(job.id, JobStatus::Failed(e.to_string()));
+                st.stats.failed += 1;
+                if inner.obs.is_enabled() {
+                    inner.obs.counter("sched.failed").inc();
+                }
+            }
+        }
+    }
+    st.in_flight -= 1;
+    st.live_runners -= 1;
+    drop(st);
+    inner.done_cv.notify_all();
+    inner.work_cv.notify_one();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Priority;
+    use qfw::registry::BackendRegistry;
+    use qfw::DispatchPolicy;
+    use qfw_circuit::Circuit;
+    use qfw_hpc::slurm::{HetJob, HetJobSpec};
+    use qfw_hpc::{ClusterSpec, Dvm};
+
+    fn qrc(workers: usize) -> Arc<Qrc> {
+        let cluster = ClusterSpec::test(3);
+        let hetjob = Arc::new(HetJob::submit(&cluster, &HetJobSpec::qfw_standard(2)).unwrap());
+        let dvm = Arc::new(Dvm::new(&cluster));
+        Arc::new(Qrc::new(
+            BackendRegistry::standard(None),
+            hetjob,
+            dvm,
+            1,
+            workers,
+            DispatchPolicy::RoundRobin,
+        ))
+    }
+
+    fn ghz(n: usize) -> Circuit {
+        let mut qc = Circuit::new(n);
+        qc.h(0);
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+        }
+        qc.measure_all();
+        qc
+    }
+
+    const T: Duration = Duration::from_secs(30);
+
+    #[test]
+    fn submit_wait_roundtrip() {
+        let sched = Scheduler::start(qrc(2), Obs::disabled(), SchedConfig::default());
+        let id = sched
+            .submit(JobEnvelope::new("alice", &ghz(4), 100).with_seed(7))
+            .unwrap();
+        match sched.wait(id, T) {
+            JobStatus::Done(r) => assert_eq!(r.counts.values().sum::<usize>(), 100),
+            other => panic!("unexpected status {other:?}"),
+        }
+        let timing = sched.job_timing(id).unwrap();
+        assert!(timing.completed_us >= timing.dispatched_us);
+        assert_eq!(sched.stats().completed, 1);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn unknown_job_polls_unknown() {
+        let sched = Scheduler::start(qrc(1), Obs::disabled(), SchedConfig::default());
+        assert!(matches!(sched.poll(999), JobStatus::Unknown));
+        sched.shutdown();
+    }
+
+    #[test]
+    fn cancel_before_dispatch() {
+        let sched = Scheduler::start(
+            qrc(1),
+            Obs::disabled(),
+            SchedConfig {
+                start_paused: true,
+                ..SchedConfig::default()
+            },
+        );
+        let id = sched.submit(JobEnvelope::new("t", &ghz(3), 10)).unwrap();
+        assert_eq!(sched.cancel(id), CancelOutcome::Cancelled);
+        assert!(matches!(sched.poll(id), JobStatus::Cancelled));
+        assert_eq!(sched.cancel(id), CancelOutcome::TooLate);
+        assert_eq!(sched.cancel(12345), CancelOutcome::Unknown);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn shutdown_cancels_queued_jobs() {
+        let sched = Scheduler::start(
+            qrc(1),
+            Obs::disabled(),
+            SchedConfig {
+                start_paused: true,
+                ..SchedConfig::default()
+            },
+        );
+        let id = sched.submit(JobEnvelope::new("t", &ghz(3), 10)).unwrap();
+        sched.shutdown();
+        assert!(matches!(sched.poll(id), JobStatus::Cancelled));
+        assert!(matches!(
+            sched.submit(JobEnvelope::new("t", &ghz(3), 10)),
+            Err(SchedError::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn failed_execution_is_reported() {
+        let sched = Scheduler::start(qrc(1), Obs::disabled(), SchedConfig::default());
+        let env = JobEnvelope::new("t", &ghz(3), 10)
+            .with_spec(qfw::BackendSpec::of("bogus", ""));
+        let id = sched.submit(env).unwrap();
+        match sched.wait(id, T) {
+            JobStatus::Failed(msg) => assert!(msg.contains("bogus")),
+            other => panic!("unexpected status {other:?}"),
+        }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn priority_and_deadline_order_apply() {
+        let sched = Scheduler::start(
+            qrc(1),
+            Obs::disabled(),
+            SchedConfig {
+                start_paused: true,
+                window: Some(1),
+                ..SchedConfig::default()
+            },
+        );
+        let low = sched
+            .submit(JobEnvelope::new("t", &ghz(3), 10).with_priority(Priority::Low))
+            .unwrap();
+        let tight = sched
+            .submit(JobEnvelope::new("t", &ghz(3), 10).with_deadline_ms(5))
+            .unwrap();
+        let loose = sched
+            .submit(JobEnvelope::new("t", &ghz(3), 10).with_deadline_ms(60_000))
+            .unwrap();
+        let high = sched
+            .submit(JobEnvelope::new("t", &ghz(3), 10).with_priority(Priority::High))
+            .unwrap();
+        sched.resume();
+        for id in [low, tight, loose, high] {
+            assert!(sched.wait(id, T).is_terminal());
+        }
+        let timings: Vec<u64> = [high, tight, loose, low]
+            .iter()
+            .map(|id| sched.job_timing(*id).unwrap().dispatched_us)
+            .collect();
+        assert!(
+            timings.windows(2).all(|w| w[0] <= w[1]),
+            "dispatch order must be high, tight-deadline, loose-deadline, low: {timings:?}"
+        );
+        sched.shutdown();
+    }
+}
