@@ -9,7 +9,7 @@ use crate::error::QfwError;
 use crate::result::QfwResult;
 use crate::spec::ExecTask;
 use qfw_hpc::Stopwatch;
-use qfw_sim_sv::dist::run_distributed;
+use qfw_sim_sv::dist::{run_distributed_with, RouteStrategy};
 use qfw_sim_sv::noise::{run_noisy, NoiseModel};
 use qfw_sim_sv::{FusionLevel, SvConfig, SvSimulator, Threading};
 use std::sync::Arc;
@@ -108,21 +108,43 @@ impl BackendQpm for NwqSimBackend {
                         ranks.trailing_zeros() + 1
                     )));
                 }
+                // Routing strategy: communication-avoiding lazy remapping
+                // by default; `dist_route=swaps` selects the per-gate
+                // exchange baseline (for A/B measurements).
+                let route = match task
+                    .spec
+                    .extra_parsed::<String>("dist_route")
+                    .as_deref()
+                {
+                    Some("swaps") => RouteStrategy::Swaps,
+                    _ => RouteStrategy::Lazy,
+                };
                 let alloc = ctx.lease_cores(ranks)?;
                 let circuit = Arc::new(circuit);
                 let shots = task.shots;
                 let seed = task.seed;
+                let obs = ctx.obs.clone();
                 let job = ctx.dvm.spawn(&alloc, ranks, move |mut rank_ctx| {
-                    run_distributed(&mut rank_ctx, &circuit, shots, seed)
+                    run_distributed_with(&mut rank_ctx, &circuit, shots, seed, route, &obs)
                 });
                 let mut outcomes = job.wait();
-                let out = outcomes
+                let (out, stats) = outcomes
                     .swap_remove(0)
                     .expect("rank 0 returns the outcome");
                 result.counts = out.counts;
                 result.profile.exec_secs = out.gate_time.as_secs_f64();
                 result.profile.sample_secs = out.sample_time.as_secs_f64();
                 result.profile.ranks = ranks;
+                result.metadata.insert(
+                    "dist_route".into(),
+                    format!("{route:?}").to_lowercase(),
+                );
+                result
+                    .metadata
+                    .insert("comm_exchanges".into(), stats.exchanges.to_string());
+                result
+                    .metadata
+                    .insert("comm_bytes".into(), stats.bytes.to_string());
             }
             other => unreachable!("resolve_subbackend admitted '{other}'"),
         }
@@ -209,6 +231,30 @@ mod tests {
             NwqSimBackend.execute(&task, &rig.ctx()).unwrap_err(),
             QfwError::Execution(_)
         ));
+    }
+
+    #[test]
+    fn mpi_reports_comm_counters_and_route_toggle() {
+        let rig = TestRig::new(2);
+        let run = |route_extra: Option<&str>| {
+            let mut spec = BackendSpec::of("nwqsim", "mpi").with_ranks(4);
+            if let Some(route) = route_extra {
+                spec = spec.with_extra("dist_route", route);
+            }
+            let task = ghz_task(6, 200, spec);
+            NwqSimBackend.execute(&task, &rig.ctx()).unwrap()
+        };
+        let lazy = run(None);
+        assert_eq!(lazy.metadata["dist_route"], "lazy");
+        let swaps = run(Some("swaps"));
+        assert_eq!(swaps.metadata["dist_route"], "swaps");
+        // Identical seeds: the two routes must agree on counts while the
+        // lazy route moves strictly less data on an entangling circuit.
+        assert_eq!(lazy.counts, swaps.counts);
+        let bytes = |r: &QfwResult| r.metadata["comm_bytes"].parse::<u64>().unwrap();
+        let exchanges = |r: &QfwResult| r.metadata["comm_exchanges"].parse::<u64>().unwrap();
+        assert!(exchanges(&lazy) < exchanges(&swaps));
+        assert!(bytes(&lazy) < bytes(&swaps));
     }
 
     #[test]

@@ -108,8 +108,8 @@ pub fn select_backend(circuit: &Circuit, ctx: SelectorContext) -> Recommendation
             return Recommendation {
                 spec: BackendSpec::of("nwqsim", "mpi").with_ranks(ranks),
                 rationale: format!(
-                    "{n}-qubit dense register: rank-distributed state vector \
-                     over {ranks} cores"
+                    "{n}-qubit dense register: communication-avoiding \
+                     rank-distributed state vector over {ranks} cores"
                 ),
             };
         }

@@ -15,7 +15,9 @@
 use crate::topology::{CoreId, InterconnectModel, NodeSpec};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::any::Any;
+use std::cell::Cell;
 use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -119,6 +121,8 @@ impl Communicator {
                 stash: VecDeque::new(),
                 coll_seq: 0,
                 pair_seq: std::collections::HashMap::new(),
+                sent_msgs: Cell::new(0),
+                sent_bytes: Cell::new(0),
             })
             .collect()
     }
@@ -137,6 +141,32 @@ impl Communicator {
     }
 }
 
+/// A posted non-blocking send. Sends in this communicator are always
+/// buffered, so the transfer is already in flight when the request is
+/// returned; `wait` is a no-op kept for MPI-shape parity at call sites
+/// and reports the posted wire size.
+#[must_use = "a posted send should be waited on (or its size read)"]
+pub struct SendReq {
+    bytes: usize,
+}
+
+impl SendReq {
+    /// Completes the send (a no-op under buffered channels) and returns
+    /// the wire size that was charged for it.
+    pub fn wait(self) -> usize {
+        self.bytes
+    }
+}
+
+/// A posted non-blocking receive of a `T` from `src` carrying `tag`.
+/// Complete it with [`RankCtx::wait`].
+#[must_use = "a posted receive must be completed with RankCtx::wait"]
+pub struct RecvReq<T: Message> {
+    src: usize,
+    tag: u64,
+    _payload: PhantomData<fn() -> T>,
+}
+
 /// Per-rank endpoint: owns this rank's inbox and sequence counters, so it is
 /// deliberately `!Sync` — exactly one thread drives a rank.
 pub struct RankCtx {
@@ -146,6 +176,8 @@ pub struct RankCtx {
     stash: VecDeque<Envelope>,
     coll_seq: u64,
     pair_seq: std::collections::HashMap<usize, u64>,
+    sent_msgs: Cell<u64>,
+    sent_bytes: Cell<u64>,
 }
 
 impl RankCtx {
@@ -185,6 +217,8 @@ impl RankCtx {
         let shared = &self.comm.shared;
         assert!(dest < shared.senders.len(), "send to out-of-range rank {dest}");
         let bytes = value.wire_bytes();
+        self.sent_msgs.set(self.sent_msgs.get() + 1);
+        self.sent_bytes.set(self.sent_bytes.get() + bytes as u64);
         let delay = shared.model.transfer_time(
             &shared.spec,
             shared.placement[self.rank],
@@ -202,6 +236,71 @@ impl RankCtx {
         shared.senders[dest]
             .send(env)
             .expect("send to a rank whose context was dropped");
+    }
+
+    /// Point-to-point messages posted by this rank so far (including the
+    /// internal traffic of collectives). Deltas around a communication
+    /// phase give that phase's message count.
+    pub fn sent_messages(&self) -> u64 {
+        self.sent_msgs.get()
+    }
+
+    /// Payload bytes posted by this rank so far, as charged by the
+    /// interconnect cost model. Deltas around a phase give its volume.
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes.get()
+    }
+
+    /// Posts a non-blocking send (MPI_Isend shape). Sends are buffered,
+    /// so the returned request is already complete; `wait` it for parity
+    /// with a real MPI call site.
+    ///
+    /// # Panics
+    /// Panics when `tag` intrudes on the reserved collective tag space.
+    pub fn isend<T: Message>(&self, dest: usize, tag: u64, value: T) -> SendReq {
+        assert!(tag & COLLECTIVE_BIT == 0, "tag {tag:#x} is reserved");
+        let bytes = value.wire_bytes();
+        self.send_raw(dest, tag, value);
+        SendReq { bytes }
+    }
+
+    /// Posts a non-blocking receive (MPI_Irecv shape); complete it with
+    /// [`RankCtx::wait`]. Posting never blocks and never consumes inbox
+    /// messages.
+    ///
+    /// # Panics
+    /// Panics when `tag` intrudes on the reserved collective tag space.
+    pub fn irecv<T: Message>(&self, src: usize, tag: u64) -> RecvReq<T> {
+        assert!(tag & COLLECTIVE_BIT == 0, "tag {tag:#x} is reserved");
+        RecvReq {
+            src,
+            tag,
+            _payload: PhantomData,
+        }
+    }
+
+    /// Completes a posted receive, blocking until the matching message
+    /// arrives (same semantics and deadline as [`RankCtx::recv`]).
+    pub fn wait<T: Message>(&mut self, req: RecvReq<T>) -> T {
+        self.recv_raw(req.src, req.tag)
+    }
+
+    /// Polls for a message from `src` with `tag` without blocking.
+    /// Returns `None` when nothing matching has arrived yet (or when the
+    /// match exists but its modeled transfer delay has not elapsed).
+    pub fn try_recv<T: Message>(&mut self, src: usize, tag: u64) -> Option<T> {
+        assert!(tag & COLLECTIVE_BIT == 0, "tag {tag:#x} is reserved");
+        // Drain everything currently queued into the stash so repeated
+        // polls preserve per-(src, tag) arrival order.
+        while let Ok(env) = self.rx.try_recv() {
+            self.stash.push_back(env);
+        }
+        let pos = self.stash.iter().position(|e| e.src == src && e.tag == tag)?;
+        if self.stash[pos].deliver_at > Instant::now() {
+            return None;
+        }
+        let env = self.stash.remove(pos).unwrap();
+        Some(Self::open(env))
     }
 
     /// Receives the next message from `src` carrying `tag`, blocking until
@@ -422,6 +521,60 @@ impl RankCtx {
         out.into_iter().map(Option::unwrap).collect()
     }
 
+    /// Sparse personalized all-to-all with variable-length payloads
+    /// (MPI_Alltoallv with message coalescing). `sends` lists
+    /// `(dest, payload)` pairs, at most one per destination; only
+    /// non-empty payloads travel. One dense `u64` count header per rank
+    /// (the coalesced metadata exchange) tells every rank which peers to
+    /// expect, then payloads move as buffered non-blocking sends.
+    /// Returns the received `(src, payload)` pairs in rank order,
+    /// omitting peers that sent nothing. Collective: every rank must
+    /// call it, even with an empty `sends`.
+    pub fn sparse_alltoallv<T: Copy + Send + 'static>(
+        &mut self,
+        sends: Vec<(usize, Vec<T>)>,
+    ) -> Vec<(usize, Vec<T>)> {
+        let n = self.size();
+        let me = self.rank;
+        let mut counts = vec![0u64; n];
+        let mut seen = vec![false; n];
+        for (dest, payload) in &sends {
+            assert!(*dest < n, "sparse_alltoallv to out-of-range rank {dest}");
+            assert!(!seen[*dest], "sparse_alltoallv: duplicate destination {dest}");
+            seen[*dest] = true;
+            counts[*dest] = payload.len() as u64;
+        }
+        let incoming = self.alltoall(counts);
+        let tag = self.next_collective_tag();
+        let mut self_payload = None;
+        for (dest, payload) in sends {
+            if payload.is_empty() {
+                // An empty send must be skipped, not posted: the peer will
+                // not receive it, and an orphaned envelope would shadow a
+                // later same-tag message.
+                continue;
+            }
+            if dest == me {
+                self_payload = Some(payload);
+            } else {
+                self.send_raw(dest, tag, payload);
+            }
+        }
+        let mut out = Vec::new();
+        for (src, &expect) in incoming.iter().enumerate() {
+            if src == me {
+                if let Some(p) = self_payload.take() {
+                    out.push((me, p));
+                }
+            } else if expect > 0 {
+                let payload: Vec<T> = self.recv_raw(src, tag);
+                debug_assert_eq!(payload.len() as u64, expect, "count header mismatch");
+                out.push((src, payload));
+            }
+        }
+        out
+    }
+
     /// Scatters `chunks[i]` from `root` to rank `i`; returns this rank's chunk.
     pub fn scatter<T: Message>(&mut self, root: usize, chunks: Option<Vec<T>>) -> T {
         let tag = self.next_collective_tag();
@@ -606,6 +759,92 @@ mod tests {
             (s, b)
         });
         assert!(results.iter().all(|&(s, b)| s == 4.0 && b == 42));
+    }
+
+    #[test]
+    fn isend_irecv_round_trip() {
+        let results = run_world(2, |mut ctx| {
+            if ctx.rank() == 0 {
+                let req = ctx.isend(1, 9, vec![5.0f64, 7.0]);
+                req.wait()
+            } else {
+                let req = ctx.irecv::<Vec<f64>>(0, 9);
+                let v = ctx.wait(req);
+                v.iter().sum::<f64>() as usize
+            }
+        });
+        assert_eq!(results[0], 16); // two f64s on the wire
+        assert_eq!(results[1], 12);
+    }
+
+    #[test]
+    fn try_recv_polls_without_blocking() {
+        let results = run_world(2, |mut ctx| {
+            if ctx.rank() == 0 {
+                // Nothing has been sent to us on tag 5: poll must miss.
+                let early: Option<u64> = ctx.try_recv(1, 5);
+                ctx.send(1, 4, 1u64); // release the peer
+                let _: u64 = ctx.recv(1, 5);
+                early.is_none()
+            } else {
+                let _: u64 = ctx.recv(0, 4);
+                ctx.send(0, 5, 99u64);
+                // Rank 0 never sends us tag 5: the poll must stay None.
+                ctx.try_recv::<u64>(0, 5).is_none()
+            }
+        });
+        assert!(results[0] && results[1]);
+    }
+
+    #[test]
+    fn sparse_alltoallv_moves_only_nonempty_payloads() {
+        // Ring pattern with one empty send and one self send: rank r sends
+        // [r; r+1] to (r+1) % n, rank 2 also sends to itself, rank 0's
+        // second payload is empty and must not travel.
+        let results = run_world(3, |mut ctx| {
+            let r = ctx.rank();
+            let mut sends = vec![((r + 1) % 3, vec![r as u64; r + 1])];
+            if r == 2 {
+                sends.push((2, vec![42u64]));
+            }
+            if r == 0 {
+                sends.push((2, Vec::new()));
+            }
+            ctx.sparse_alltoallv(sends)
+        });
+        assert_eq!(results[0], vec![(2, vec![2, 2, 2])]);
+        assert_eq!(results[1], vec![(0, vec![0])]);
+        assert_eq!(results[2], vec![(1, vec![1, 1]), (2, vec![42])]);
+    }
+
+    #[test]
+    fn sparse_alltoallv_all_empty_is_safe() {
+        // A collective round where nobody sends anything must complete and
+        // leave later typed traffic unpoisoned.
+        let results = run_world(3, |mut ctx| {
+            let got = ctx.sparse_alltoallv::<u64>(Vec::new());
+            let sum = ctx.allreduce_sum(ctx.rank() as f64);
+            (got.len(), sum)
+        });
+        assert!(results.iter().all(|&(l, s)| l == 0 && s == 3.0));
+    }
+
+    #[test]
+    fn byte_counters_track_posted_traffic() {
+        let results = run_world(2, |mut ctx| {
+            let before_msgs = ctx.sent_messages();
+            let before_bytes = ctx.sent_bytes();
+            let peer = 1 - ctx.rank();
+            ctx.exchange(peer, vec![0u8; 64]);
+            (
+                ctx.sent_messages() - before_msgs,
+                ctx.sent_bytes() - before_bytes,
+            )
+        });
+        for &(msgs, bytes) in &results {
+            assert_eq!(msgs, 1);
+            assert_eq!(bytes, 64);
+        }
     }
 
     #[test]

@@ -52,6 +52,19 @@ impl Rng {
         Rng::seed_from(base ^ stream.wrapping_mul(0x9E3779B97F4A7C15))
     }
 
+    /// A stateless variant of [`Rng::fork`]: the generator for `(seed,
+    /// stream)` depends only on those two values, so any process that
+    /// knows the pair reconstructs the identical stream without sharing a
+    /// parent generator. Distinct streams decorrelate, and every stream
+    /// (including 0) differs from `seed_from(seed)` itself. This is what
+    /// lets distributed and serial sampling replay bit-identically: both
+    /// sides derive the same per-block generators from the same pairs.
+    pub fn stream(seed: u64, stream: u64) -> Rng {
+        let mut sm = seed;
+        let base = splitmix64(&mut sm);
+        Rng::seed_from(base ^ stream.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -353,6 +366,32 @@ mod tests {
         let mut parent2 = Rng::seed_from(9);
         let child2 = parent2.fork(3);
         assert_eq!(child1.s, child2.s);
+    }
+
+    #[test]
+    fn stream_is_stateless_and_decorrelated() {
+        // Same (seed, stream) pair → identical generator, no parent state.
+        let mut a = Rng::stream(7, 3);
+        let mut b = Rng::stream(7, 3);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Distinct streams and the base generator all diverge.
+        let mut s0 = Rng::stream(7, 0);
+        let mut s1 = Rng::stream(7, 1);
+        let mut base = Rng::seed_from(7);
+        let mut same01 = 0;
+        let mut same0b = 0;
+        for _ in 0..64 {
+            let x0 = s0.next_u64();
+            if x0 == s1.next_u64() {
+                same01 += 1;
+            }
+            if x0 == base.next_u64() {
+                same0b += 1;
+            }
+        }
+        assert!(same01 < 4 && same0b < 4);
     }
 
     #[test]

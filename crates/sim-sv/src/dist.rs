@@ -2,24 +2,71 @@
 //!
 //! The `2^n` amplitudes are block-partitioned across `R = 2^r` ranks: rank
 //! `k` holds global indices `k * 2^L .. (k+1) * 2^L` with `L = n - r` local
-//! bits. Gates on the low `L` qubits are embarrassingly local; a gate
-//! touching a *high* qubit pairs each rank with the partner whose rank bits
-//! differ in that qubit and the two exchange their slices — the classic
-//! distributed-statevector communication pattern whose cost grows with rank
-//! count and is what eventually caps strong scaling (the paper's TFIM-28
+//! bits. Gates on the low `L` *physical* bit positions are embarrassingly
+//! local; anything touching the high `r` positions needs communication —
+//! the cost that eventually caps strong scaling (the paper's TFIM-28
 //! process sweep).
 //!
-//! Gates of arity ≥ 2 whose operands are all high are routed down with
-//! distributed SWAPs onto free local qubits, applied locally, and swapped
-//! back.
+//! Two routing strategies are provided:
+//!
+//! * [`RouteStrategy::Swaps`] — the classic pattern: a 1-qubit high gate
+//!   pairs each rank with its partner for a full-slice exchange, and
+//!   multi-qubit all-high gates are routed down with distributed SWAPs
+//!   (two exchanges per operand). Kept as the measurable baseline.
+//! * [`RouteStrategy::Lazy`] (default) — communication-avoiding index
+//!   remapping: a lazy logical→physical qubit permutation is maintained
+//!   instead of moving data per gate. Gates whose operands are already
+//!   physically local apply in place under the permutation; *diagonal*
+//!   gates (`rz`, `rzz`, `cz`, `cp`, ...) apply as local phase sweeps at
+//!   **any** placement with zero exchanges, because their phase depends
+//!   only on bit values each rank already knows. Only a non-diagonal gate
+//!   with high operands forces data movement, and then a single batched
+//!   remap (one aggregated all-to-all slice exchange, with victims chosen
+//!   by farthest-next-use lookahead) re-localizes every upcoming operand
+//!   it can, so one exchange typically serves a whole circuit layer.
+//!
+//! Both strategies treat diagonal gates as exchange-free — the fix applies
+//! to the legacy swap router too.
 
 use crate::engine::SvOutcome;
-use crate::state::{index_to_bitstring, StateVector};
+use crate::state::{
+    block_shot_split, canonical_split_bits, index_to_bitstring, sample_block_draws, StateVector,
+};
 use qfw_circuit::{Circuit, Gate, Op};
 use qfw_hpc::RankCtx;
 use qfw_num::complex::C64;
-use qfw_num::rng::{AliasSampler, CdfSampler, Rng};
+use qfw_num::rng::Rng;
+use qfw_num::Matrix;
+use qfw_obs::Obs;
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How the distributed engine routes gates that touch high qubits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RouteStrategy {
+    /// Per-gate slice exchanges and swap-down/swap-back routing (baseline).
+    Swaps,
+    /// Lazy logical→physical permutation with batched remaps (default).
+    #[default]
+    Lazy,
+}
+
+/// Communication tallies for one distributed run, kept per rank and
+/// summed over the world by [`DistStateVector::stats_allreduced`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DistStats {
+    /// Exchange operations: pairwise slice exchanges plus batched remaps
+    /// (one remap counts once however many ranks it touches).
+    pub exchanges: u64,
+    /// Point-to-point payload messages posted by exchange operations.
+    pub messages: u64,
+    /// Payload bytes posted by exchange operations.
+    pub bytes: u64,
+}
+
+/// How many upcoming ops the lazy router scans when planning a remap
+/// batch and ranking eviction victims by next use.
+const LOOKAHEAD_WINDOW: usize = 256;
 
 /// A rank's shard of a distributed state vector.
 pub struct DistStateVector<'a> {
@@ -27,36 +74,49 @@ pub struct DistStateVector<'a> {
     n: usize,
     local_bits: usize,
     local: StateVector,
+    route: RouteStrategy,
+    /// Logical qubit → physical bit position (identity under `Swaps`).
+    perm: Vec<usize>,
+    /// Physical bit position → logical qubit (inverse of `perm`).
+    inv: Vec<usize>,
+    obs: Obs,
+    stats: DistStats,
 }
 
 impl<'a> DistStateVector<'a> {
-    /// Initializes `|0...0>` distributed over the communicator world.
+    /// Initializes `|0...0>` distributed over the communicator world with
+    /// the default (lazy) routing and no observability.
     ///
     /// # Panics
     /// Panics unless the world size is a power of two no larger than `2^n`
-    /// (with at least one local qubit left for swap routing).
+    /// (with at least one local qubit left for gate routing).
     pub fn zero(ctx: &'a mut RankCtx, n: usize) -> Self {
+        Self::zero_with(ctx, n, RouteStrategy::default(), Obs::disabled())
+    }
+
+    /// [`zero`](Self::zero) with an explicit routing strategy and
+    /// observability handle (`comm.exchange` spans, `comm.*` counters).
+    pub fn zero_with(ctx: &'a mut RankCtx, n: usize, route: RouteStrategy, obs: Obs) -> Self {
         let size = ctx.size();
         assert!(size.is_power_of_two(), "world size must be a power of two");
         let r = size.trailing_zeros() as usize;
-        assert!(
-            n > r,
-            "need at least one local qubit: n={n} ranks=2^{r}"
-        );
+        assert!(n > r, "need at least one local qubit: n={n} ranks=2^{r}");
         let local_bits = n - r;
         let mut local = StateVector::zero(local_bits);
         if ctx.rank() != 0 {
             // Rank 0 holds global index 0; all other shards start as zero.
-            let amps = local.clone().into_amps();
-            let mut zeroed = amps;
-            zeroed[0] = C64::ZERO;
-            local = StateVector::from_amps(zeroed);
+            local.amps_mut()[0] = C64::ZERO;
         }
         DistStateVector {
             ctx,
             n,
             local_bits,
             local,
+            route,
+            perm: (0..n).collect(),
+            inv: (0..n).collect(),
+            obs,
+            stats: DistStats::default(),
         }
     }
 
@@ -68,6 +128,29 @@ impl<'a> DistStateVector<'a> {
     /// Number of locally-stored qubits.
     pub fn local_bits(&self) -> usize {
         self.local_bits
+    }
+
+    /// This rank's communication tallies so far.
+    pub fn stats(&self) -> DistStats {
+        self.stats
+    }
+
+    /// World-summed communication tallies (collective).
+    pub fn stats_allreduced(&mut self) -> DistStats {
+        let v = self.ctx.allreduce(
+            vec![self.stats.exchanges, self.stats.messages, self.stats.bytes],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+        DistStats {
+            exchanges: v[0],
+            messages: v[1],
+            bytes: v[2],
+        }
     }
 
     /// World barrier through the owned communicator endpoint — lets
@@ -85,29 +168,331 @@ impl<'a> DistStateVector<'a> {
 
     /// Applies one gate (collective: every rank must call with the same gate).
     pub fn apply(&mut self, gate: &Gate) {
-        let l = self.local_bits;
-        let qs = gate.qubits();
-        let high: Vec<usize> = qs.iter().copied().filter(|&q| q >= l).collect();
-        if high.is_empty() {
-            self.local.apply(gate, false);
-            return;
-        }
-        match (qs.len(), high.len()) {
-            (1, 1) => self.apply_1q_high(qs[0], gate),
-            (2, 1) => self.apply_2q_mixed(gate),
-            _ => self.apply_via_swaps(gate),
-        }
+        self.apply_with_lookahead(gate, &[]);
     }
 
-    /// Runs the unitary part of a circuit.
-    pub fn run_unitary(&mut self, circuit: &Circuit) {
-        assert_eq!(circuit.num_qubits(), self.n, "register size mismatch");
-        for op in circuit.ops() {
-            if let Op::Gate(g) = op {
-                self.apply(g);
+    /// [`apply`](Self::apply) with visibility into upcoming ops so a lazy
+    /// remap can batch every soon-needed operand into one exchange.
+    fn apply_with_lookahead(&mut self, gate: &Gate, upcoming: &[Op]) {
+        let l = self.local_bits;
+        let qs = gate.qubits();
+        if qs.iter().all(|&q| self.perm[q] < l) {
+            // Fully local under the current permutation: the serial
+            // kernels run unchanged at the permuted positions.
+            let perm = &self.perm;
+            self.local.apply(&gate.map_qubits(|q| perm[q]), false);
+            return;
+        }
+        if let Some(diag) = gate.diagonal() {
+            // Diagonal gates need no data movement wherever they live:
+            // high positions only fix gate-local index bits per rank.
+            let phys: Vec<usize> = qs.iter().map(|&q| self.perm[q]).collect();
+            self.apply_diagonal(&phys, &diag);
+            return;
+        }
+        match self.route {
+            RouteStrategy::Lazy => {
+                let batch = self.plan_batch(gate, upcoming);
+                self.localize(&batch, upcoming);
+                let perm = &self.perm;
+                debug_assert!(qs.iter().all(|&q| perm[q] < l));
+                self.local.apply(&gate.map_qubits(|q| perm[q]), false);
+            }
+            RouteStrategy::Swaps => {
+                let high = qs.iter().filter(|&&q| q >= l).count();
+                match (qs.len(), high) {
+                    (1, 1) => self.apply_1q_high(qs[0], gate),
+                    (2, 1) => self.apply_2q_mixed(gate),
+                    _ => self.apply_via_swaps(gate),
+                }
             }
         }
     }
+
+    /// Runs the unitary part of a circuit (measurements/barriers skipped).
+    pub fn run_unitary(&mut self, circuit: &Circuit) {
+        assert_eq!(circuit.num_qubits(), self.n, "register size mismatch");
+        let ops = circuit.ops();
+        for (i, op) in ops.iter().enumerate() {
+            if let Op::Gate(g) = op {
+                self.apply_with_lookahead(g, &ops[i + 1..]);
+            }
+        }
+    }
+
+    // --- diagonal folding ----------------------------------------------------
+
+    /// Applies a diagonal gate at arbitrary physical positions with zero
+    /// exchanges: each high position contributes a fixed gate-local index
+    /// bit (this rank's bit value), reducing the diagonal to one over the
+    /// local positions only.
+    fn apply_diagonal(&mut self, phys: &[usize], diag: &[C64]) {
+        let l = self.local_bits;
+        let mut fixed = 0usize;
+        let mut local_pos: Vec<usize> = Vec::new();
+        let mut local_bit: Vec<usize> = Vec::new();
+        for (j, &p) in phys.iter().enumerate() {
+            if p >= l {
+                if self.high_bit(p) == 1 {
+                    fixed |= 1 << j;
+                }
+            } else {
+                local_pos.push(p);
+                local_bit.push(j);
+            }
+        }
+        if local_pos.is_empty() {
+            // All operands are rank bits: the whole shard shares one phase.
+            let phase = diag[fixed];
+            if phase != C64::ONE {
+                for a in self.local.amps_mut() {
+                    *a *= phase;
+                }
+            }
+            return;
+        }
+        let reduced: Vec<C64> = (0..(1usize << local_pos.len()))
+            .map(|m| {
+                let mut g = fixed;
+                for (t, &j) in local_bit.iter().enumerate() {
+                    if (m >> t) & 1 == 1 {
+                        g |= 1 << j;
+                    }
+                }
+                diag[g]
+            })
+            .collect();
+        if reduced.iter().all(|&d| d == C64::ONE) {
+            return;
+        }
+        let gate = Gate::Unitary {
+            qubits: local_pos,
+            matrix: Arc::new(Matrix::diag(&reduced)),
+            label: "dist_diag".into(),
+        };
+        self.local.apply(&gate, false);
+    }
+
+    // --- lazy permutation routing -------------------------------------------
+
+    /// Logical qubits to localize in the next remap: the gate's own
+    /// operands plus every high operand of upcoming non-diagonal gates in
+    /// the lookahead window, while victim capacity lasts.
+    fn plan_batch(&self, gate: &Gate, upcoming: &[Op]) -> Vec<usize> {
+        let l = self.local_bits;
+        let mut batch = gate.qubits();
+        batch.sort_unstable();
+        batch.dedup();
+        let local_count = batch.iter().filter(|&&q| self.perm[q] < l).count();
+        let mut high_count = batch.len() - local_count;
+        for op in upcoming.iter().take(LOOKAHEAD_WINDOW) {
+            let Op::Gate(g) = op else { continue };
+            if g.is_diagonal() {
+                continue;
+            }
+            for q in g.qubits() {
+                if self.perm[q] >= l
+                    && !batch.contains(&q)
+                    && high_count + local_count < l
+                {
+                    batch.push(q);
+                    high_count += 1;
+                }
+            }
+        }
+        batch
+    }
+
+    /// Brings every high qubit in `batch` to a local position with one
+    /// batched remap. Victims are the local qubits whose next non-diagonal
+    /// use is farthest in the lookahead window (Belady's rule), which is
+    /// what keeps layered circuits at one remap per layer.
+    fn localize(&mut self, batch: &[usize], upcoming: &[Op]) {
+        let l = self.local_bits;
+        let needed: Vec<usize> = batch
+            .iter()
+            .copied()
+            .filter(|&q| self.perm[q] >= l)
+            .collect();
+        if needed.is_empty() {
+            return;
+        }
+        let mut victims: Vec<(usize, usize)> = (0..l)
+            .filter(|p| !batch.contains(&self.inv[*p]))
+            .map(|p| (self.next_nondiag_use(self.inv[p], upcoming), p))
+            .collect();
+        assert!(
+            victims.len() >= needed.len(),
+            "not enough free local qubits to localize {} operands with {} local bits",
+            needed.len(),
+            l
+        );
+        // Farthest next use first; position index breaks ties so every
+        // rank computes the identical permutation.
+        victims.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut sigma: Vec<usize> = (0..self.n).collect();
+        for (&q, &(_, v)) in needed.iter().zip(victims.iter()) {
+            let h = self.perm[q];
+            sigma[v] = h;
+            sigma[h] = v;
+        }
+        self.remap(&sigma);
+        self.apply_sigma_to_perm(&sigma);
+    }
+
+    /// Distance (in ops) to the first upcoming non-diagonal gate touching
+    /// logical qubit `q`; `usize::MAX` when none appears in the window.
+    fn next_nondiag_use(&self, q: usize, upcoming: &[Op]) -> usize {
+        for (i, op) in upcoming.iter().take(LOOKAHEAD_WINDOW).enumerate() {
+            if let Op::Gate(g) = op {
+                if !g.is_diagonal() && g.qubits().contains(&q) {
+                    return i;
+                }
+            }
+        }
+        usize::MAX
+    }
+
+    /// Restores the identity permutation (logical qubit `q` at position
+    /// `q`) with one general remap. Required before any consumer that
+    /// interprets global indices (sampling, gather, diagnostics).
+    pub fn flush_permutation(&mut self) {
+        if self.perm.iter().enumerate().all(|(q, &p)| p == q) {
+            return;
+        }
+        let sigma = self.inv.clone();
+        self.remap(&sigma);
+        self.apply_sigma_to_perm(&sigma);
+        debug_assert!(self.perm.iter().enumerate().all(|(q, &p)| p == q));
+    }
+
+    fn apply_sigma_to_perm(&mut self, sigma: &[usize]) {
+        for p in self.perm.iter_mut() {
+            *p = sigma[*p];
+        }
+        for (q, &p) in self.perm.iter().enumerate() {
+            self.inv[p] = q;
+        }
+    }
+
+    /// Applies a global bit-position permutation to the distributed index
+    /// space: the bit at physical position `p` moves to `sigma[p]`. One
+    /// aggregated sparse all-to-all moves exactly the amplitudes that
+    /// change ranks; bits staying low are placed by matching enumeration
+    /// order on both sides, so no per-element index metadata travels.
+    fn remap(&mut self, sigma: &[usize]) {
+        let l = self.local_bits;
+        let n = self.n;
+        let me = self.ctx.rank();
+        debug_assert_eq!(sigma.len(), n);
+        let moving_low: Vec<usize> = (0..l).filter(|&p| sigma[p] >= l).collect();
+        let stay_mask: usize = (0..l)
+            .filter(|&p| sigma[p] < l)
+            .fold(0, |m, p| m | (1 << p));
+        let k = moving_low.len();
+        let mut base_dest = 0usize;
+        for (p, &sp) in sigma.iter().enumerate().skip(l) {
+            if (me >> (p - l)) & 1 == 1 && sp >= l {
+                base_dest |= 1 << (sp - l);
+            }
+        }
+        let bucket_len = 1usize << (l - k);
+
+        let _span = self.obs.span("comm", "comm.exchange");
+        let (m0, b0) = (self.ctx.sent_messages(), self.ctx.sent_bytes());
+
+        // Sender: bucket `b` fixes the moved-low bits, selecting one
+        // destination rank; within it, enumerate the staying-low subsets
+        // in ascending order.
+        let amps = self.local.amps();
+        let mut sends: Vec<(usize, Vec<C64>)> = Vec::with_capacity(1 << k);
+        for b in 0..(1usize << k) {
+            let mut dest = base_dest;
+            let mut i_pattern = 0usize;
+            for (j, &p) in moving_low.iter().enumerate() {
+                if (b >> j) & 1 == 1 {
+                    dest |= 1 << (sigma[p] - l);
+                    i_pattern |= 1 << p;
+                }
+            }
+            let mut buf = Vec::with_capacity(bucket_len);
+            let mut s = 0usize;
+            loop {
+                buf.push(amps[s | i_pattern]);
+                s = s.wrapping_sub(stay_mask) & stay_mask;
+                if s == 0 {
+                    break;
+                }
+            }
+            sends.push((dest, buf));
+        }
+        let received = self.ctx.sparse_alltoallv(sends);
+
+        // Receiver: the source rank's high bits that land low fix a base
+        // local index; the staying-low bits are replayed in the same
+        // ascending enumeration the sender used.
+        let sigma_stay: Vec<usize> = (0..l)
+            .filter(|&p| sigma[p] < l)
+            .map(|p| sigma[p])
+            .collect();
+        let new_mask: usize = sigma_stay.iter().fold(0, |m, &p| m | (1 << p));
+        let ascending = sigma_stay.windows(2).all(|w| w[0] < w[1]);
+        let mut new_amps = vec![C64::ZERO; 1 << l];
+        for (src, buf) in received {
+            debug_assert_eq!(buf.len(), bucket_len);
+            let mut base_j = 0usize;
+            for (p, &sp) in sigma.iter().enumerate().skip(l) {
+                if (src >> (p - l)) & 1 == 1 && sp < l {
+                    base_j |= 1 << sp;
+                }
+            }
+            if ascending {
+                let mut j = 0usize;
+                for amp in buf {
+                    new_amps[j | base_j] = amp;
+                    j = j.wrapping_sub(new_mask) & new_mask;
+                }
+            } else {
+                // sigma scrambles the staying-low order (general flush):
+                // spread each enumeration index explicitly.
+                for (f, amp) in buf.into_iter().enumerate() {
+                    let mut j = base_j;
+                    for (m, &p) in sigma_stay.iter().enumerate() {
+                        if (f >> m) & 1 == 1 {
+                            j |= 1 << p;
+                        }
+                    }
+                    new_amps[j] = amp;
+                }
+            }
+        }
+        self.local = StateVector::from_amps(new_amps);
+        self.bump_exchange_counters(m0, b0);
+    }
+
+    /// Books one exchange operation against the message/byte counters,
+    /// from communicator deltas since `(m0, b0)`.
+    fn bump_exchange_counters(&mut self, m0: u64, b0: u64) {
+        let dm = self.ctx.sent_messages() - m0;
+        let db = self.ctx.sent_bytes() - b0;
+        self.stats.exchanges += 1;
+        self.stats.messages += dm;
+        self.stats.bytes += db;
+        self.obs.counter("comm.exchanges").inc();
+        self.obs.counter("comm.msgs").add(dm);
+        self.obs.counter("comm.bytes").add(db);
+    }
+
+    /// A pairwise slice exchange, booked as one exchange operation.
+    fn counted_exchange(&mut self, partner: usize, value: Vec<C64>) -> Vec<C64> {
+        let _span = self.obs.span("comm", "comm.exchange");
+        let (m0, b0) = (self.ctx.sent_messages(), self.ctx.sent_bytes());
+        let out = self.ctx.exchange(partner, value);
+        self.bump_exchange_counters(m0, b0);
+        out
+    }
+
+    // --- legacy swap routing (baseline) --------------------------------------
 
     /// Single-qubit gate on a high qubit: full-slice pair exchange.
     fn apply_1q_high(&mut self, q: usize, gate: &Gate) {
@@ -115,7 +500,7 @@ impl<'a> DistStateVector<'a> {
         let hb = self.high_bit(q);
         let partner = self.partner(q);
         let mine = self.local.amps().to_vec();
-        let theirs: Vec<C64> = self.ctx.exchange(partner, mine.clone());
+        let theirs: Vec<C64> = self.counted_exchange(partner, mine.clone());
         let (row, other) = (hb, 1 - hb);
         let (umm, umo) = (m[(row, row)], m[(row, other)]);
         let new_amps: Vec<C64> = mine
@@ -135,7 +520,7 @@ impl<'a> DistStateVector<'a> {
         let hb = self.high_bit(high);
         let partner = self.partner(high);
         let mine = self.local.amps().to_vec();
-        let theirs: Vec<C64> = self.ctx.exchange(partner, mine.clone());
+        let theirs: Vec<C64> = self.counted_exchange(partner, mine.clone());
 
         // For gate-local index g: bit j of g is the value of qs[j].
         let bit_of = |g: usize, operand: usize| -> usize {
@@ -213,18 +598,66 @@ impl<'a> DistStateVector<'a> {
     }
 
     #[inline]
-    fn high_bit(&self, q: usize) -> usize {
-        (self.ctx.rank() >> (q - self.local_bits)) & 1
+    fn high_bit(&self, p: usize) -> usize {
+        (self.ctx.rank() >> (p - self.local_bits)) & 1
     }
 
     #[inline]
-    fn partner(&self, q: usize) -> usize {
-        self.ctx.rank() ^ (1 << (q - self.local_bits))
+    fn partner(&self, p: usize) -> usize {
+        self.ctx.rank() ^ (1 << (p - self.local_bits))
+    }
+
+    // --- measurement / readout ----------------------------------------------
+
+    /// Projectively measures logical qubit `q`, collapsing the global
+    /// state. Collective: every rank must call with an identically-seeded
+    /// `rng` replica (the shared probability makes the draw lockstep).
+    pub fn measure(&mut self, q: usize, rng: &mut Rng) -> u8 {
+        let l = self.local_bits;
+        let p = self.perm[q];
+        let local_p1 = if p < l {
+            self.local.prob_one(p, false)
+        } else if self.high_bit(p) == 1 {
+            self.local.norm_sqr()
+        } else {
+            0.0
+        };
+        let p1 = self.ctx.allreduce_sum(local_p1);
+        let outcome = u8::from(rng.chance(p1));
+        let norm = if outcome == 1 { p1 } else { 1.0 - p1 };
+        let scale = if norm > 0.0 { 1.0 / norm.sqrt() } else { 0.0 };
+        if p < l {
+            let stride = 1usize << p;
+            let block = stride << 1;
+            for chunk in self.local.amps_mut().chunks_mut(block) {
+                let (lo, hi) = chunk.split_at_mut(stride);
+                for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                    if outcome == 1 {
+                        *a = C64::ZERO;
+                        *b = b.scale(scale);
+                    } else {
+                        *a = a.scale(scale);
+                        *b = C64::ZERO;
+                    }
+                }
+            }
+        } else if self.high_bit(p) == outcome as usize {
+            for a in self.local.amps_mut() {
+                *a = a.scale(scale);
+            }
+        } else {
+            for a in self.local.amps_mut() {
+                *a = C64::ZERO;
+            }
+        }
+        outcome
     }
 
     /// Gathers the full state vector at rank 0 (testing/diagnostics only —
-    /// defeats the point of distribution at scale).
+    /// defeats the point of distribution at scale). Flushes the lazy
+    /// permutation first so global indices read canonically.
     pub fn gather_full(&mut self) -> Option<StateVector> {
+        self.flush_permutation();
         let mine = self.local.amps().to_vec();
         self.ctx.gather(0, mine).map(|blocks| {
             let amps: Vec<C64> = blocks.into_iter().flatten().collect();
@@ -235,6 +668,7 @@ impl<'a> DistStateVector<'a> {
     /// Expectation of a diagonal observable over the *global* index
     /// (collective; every rank receives the value).
     pub fn expectation_diagonal(&mut self, f: impl Fn(usize) -> f64) -> f64 {
+        self.flush_permutation();
         let offset = self.ctx.rank() << self.local_bits;
         let local: f64 = self
             .local
@@ -249,47 +683,52 @@ impl<'a> DistStateVector<'a> {
     /// Samples `shots` measurement outcomes from the distributed
     /// distribution. Returns the counts map at rank 0, `None` elsewhere.
     ///
-    /// Rank 0 draws a multinomial split of the shots over rank blocks from
-    /// the gathered block masses, each rank then samples its share locally,
-    /// and rank 0 merges.
+    /// Uses the canonical split scheme of
+    /// [`StateVector::sample_counts_split`]: rank 0 splits the shots over
+    /// `2^c` index blocks from gathered block masses (`c =
+    /// canonical_split_bits(n, r)`), each rank draws its blocks' shares
+    /// from per-block alias samplers on dedicated seeded streams, and
+    /// rank 0 merges. Every step matches the serial scheme bit for bit,
+    /// so a fixed seed yields identical counts local vs. distributed.
     pub fn sample_counts(&mut self, shots: usize, seed: u64) -> Option<BTreeMap<String, usize>> {
-        let local_probs: Vec<f64> = self.local.amps().iter().map(|a| a.norm_sqr()).collect();
-        let block_mass: f64 = local_probs.iter().sum();
-        let masses = self.ctx.gather(0, block_mass);
+        self.flush_permutation();
+        let r = self.n - self.local_bits;
+        let c = canonical_split_bits(self.n, r);
+        let blocks_per_rank = 1usize << (c - r);
+        let block_len = 1usize << (self.n - c);
+        let probs: Vec<f64> = self.local.amps().iter().map(|a| a.norm_sqr()).collect();
+        let my_masses: Vec<f64> = probs
+            .chunks(block_len)
+            .map(|b| b.iter().sum())
+            .collect();
+        let gathered = self.ctx.gather(0, my_masses);
 
-        // Rank 0 splits the shots across blocks.
-        let split: Vec<u64> = if let Some(masses) = masses {
-            let mut rng = Rng::seed_from(seed);
-            let mut split = vec![0u64; masses.len()];
-            let sampler = CdfSampler::new(&masses);
-            for _ in 0..shots {
-                split[sampler.sample(&mut rng)] += 1;
-            }
-            split
-        } else {
-            Vec::new()
-        };
-        let my_shots = self.ctx.scatter(
-            0,
-            if self.ctx.rank() == 0 {
-                Some(split)
-            } else {
-                None
-            },
-        );
-
-        // Each rank draws its local share as global indices through the
-        // O(1)-per-shot alias sampler (the per-rank table build is O(2^local)).
-        let offset = (self.ctx.rank() << self.local_bits) as u64;
-        let mut rng = Rng::seed_from(seed ^ (self.ctx.rank() as u64).wrapping_mul(0x9E3779B97F4A7C15));
-        let samples: Vec<u64> = if my_shots > 0 {
-            let sampler = AliasSampler::new(&local_probs);
-            (0..my_shots)
-                .map(|_| offset | sampler.sample(&mut rng) as u64)
+        // Rank 0 splits the shots across all blocks with the seeded CDF.
+        let split_chunks: Option<Vec<Vec<u64>>> = gathered.map(|per_rank| {
+            let masses: Vec<f64> = per_rank.into_iter().flatten().collect();
+            let per_block = block_shot_split(&masses, shots, seed);
+            per_block
+                .chunks(blocks_per_rank)
+                .map(|chunk| chunk.iter().map(|&s| s as u64).collect())
                 .collect()
-        } else {
-            Vec::new()
-        };
+        });
+        let my_split: Vec<u64> = self.ctx.scatter(0, split_chunks);
+
+        // Per-block draws on this rank's blocks, as global indices.
+        let rank = self.ctx.rank();
+        let mut samples: Vec<u64> = Vec::new();
+        for (bi, &s) in my_split.iter().enumerate() {
+            let global_block = rank * blocks_per_rank + bi;
+            let lo = bi * block_len;
+            for local in sample_block_draws(
+                &probs[lo..lo + block_len],
+                s as usize,
+                seed,
+                global_block as u64,
+            ) {
+                samples.push(((global_block << (self.n - c)) | local) as u64);
+            }
+        }
 
         self.ctx.gather(0, samples).map(|all| {
             let mut counts: BTreeMap<String, usize> = BTreeMap::new();
@@ -304,25 +743,74 @@ impl<'a> DistStateVector<'a> {
 }
 
 /// Convenience driver used by the QFw backend adapter: every rank executes
-/// the circuit; rank 0 returns the outcome.
+/// the circuit; rank 0 returns the outcome. Lazy routing, no tracing.
 pub fn run_distributed(
     ctx: &mut RankCtx,
     circuit: &Circuit,
     shots: usize,
     seed: u64,
 ) -> Option<SvOutcome> {
+    run_distributed_with(
+        ctx,
+        circuit,
+        shots,
+        seed,
+        RouteStrategy::default(),
+        &Obs::disabled(),
+    )
+    .map(|(outcome, _)| outcome)
+}
+
+/// [`run_distributed`] with an explicit routing strategy and observability
+/// handle, additionally returning the world-summed communication tallies.
+/// Mid-circuit measurements collapse a single trajectory in rng lockstep
+/// (the serial engine's semantics); terminal ones defer to sampling.
+pub fn run_distributed_with(
+    ctx: &mut RankCtx,
+    circuit: &Circuit,
+    shots: usize,
+    seed: u64,
+    route: RouteStrategy,
+    obs: &Obs,
+) -> Option<(SvOutcome, DistStats)> {
     let sw = qfw_hpc::Stopwatch::start();
-    let mut dsv = DistStateVector::zero(ctx, circuit.num_qubits());
-    dsv.run_unitary(circuit);
+    let mut dsv = DistStateVector::zero_with(ctx, circuit.num_qubits(), route, obs.clone());
+    let ops = circuit.ops();
+    let mut last_gate_touch = vec![0usize; circuit.num_qubits().max(1)];
+    for (pos, op) in ops.iter().enumerate() {
+        if let Op::Gate(g) = op {
+            for q in g.qubits() {
+                last_gate_touch[q] = pos;
+            }
+        }
+    }
+    let mut rng = Rng::seed_from(seed);
+    for (pos, op) in ops.iter().enumerate() {
+        match op {
+            Op::Gate(g) => dsv.apply_with_lookahead(g, &ops[pos + 1..]),
+            Op::Measure { qubit, .. } => {
+                if pos <= last_gate_touch[*qubit] {
+                    dsv.measure(*qubit, &mut rng);
+                }
+            }
+            Op::Barrier(_) => {}
+        }
+    }
     let gate_time = sw.elapsed();
     let sw = qfw_hpc::Stopwatch::start();
     let counts = dsv.sample_counts(shots, seed);
     let sample_time = sw.elapsed();
-    counts.map(|counts| SvOutcome {
-        counts,
-        gate_time,
-        sample_time,
-        gates_applied: circuit.num_gates(),
+    let stats = dsv.stats_allreduced();
+    counts.map(|counts| {
+        (
+            SvOutcome {
+                counts,
+                gate_time,
+                sample_time,
+                gates_applied: circuit.num_gates(),
+            },
+            stats,
+        )
     })
 }
 
@@ -352,22 +840,35 @@ mod tests {
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     }
 
-    /// Distributed execution of `circuit` must reproduce the serial state.
+    /// Distributed execution of `circuit` must reproduce the serial state
+    /// under both routing strategies.
     fn check_matches_serial(circuit: Circuit, ranks: usize) {
         let reference = SvSimulator::plain().statevector(&circuit);
         let circuit = Arc::new(circuit);
-        let results = run_world(ranks, move |mut ctx| {
-            let mut dsv = DistStateVector::zero(&mut ctx, circuit.num_qubits());
-            dsv.run_unitary(&circuit);
-            dsv.gather_full()
-        });
-        let full = results[0].as_ref().expect("rank 0 gathers");
-        let fid = reference.fidelity(full);
-        // Compare amplitudes exactly, not just fidelity, to catch phase bugs.
-        for (a, b) in reference.amps().iter().zip(full.amps().iter()) {
-            assert!(a.approx_eq(*b, 1e-9), "amplitude mismatch: {a} vs {b}");
+        for route in [RouteStrategy::Swaps, RouteStrategy::Lazy] {
+            let circuit = Arc::clone(&circuit);
+            let results = run_world(ranks, move |mut ctx| {
+                let mut dsv = DistStateVector::zero_with(
+                    &mut ctx,
+                    circuit.num_qubits(),
+                    route,
+                    Obs::disabled(),
+                );
+                dsv.run_unitary(&circuit);
+                dsv.gather_full()
+            });
+            let full = results[0].as_ref().expect("rank 0 gathers");
+            let fid = reference.fidelity(full);
+            // Compare amplitudes exactly, not just fidelity, to catch
+            // phase bugs.
+            for (a, b) in reference.amps().iter().zip(full.amps().iter()) {
+                assert!(
+                    a.approx_eq(*b, 1e-9),
+                    "{route:?}: amplitude mismatch: {a} vs {b}"
+                );
+            }
+            assert!(approx_eq(fid, 1.0, 1e-9), "{route:?}");
         }
-        assert!(approx_eq(fid, 1.0, 1e-9));
     }
 
     #[test]
@@ -418,7 +919,7 @@ mod tests {
     }
 
     #[test]
-    fn deep_random_circuit_two_ranks() {
+    fn deep_random_circuit_across_worlds() {
         let mut rng = Rng::seed_from(31);
         let n = 6;
         let mut qc = Circuit::new(n);
@@ -434,7 +935,115 @@ mod tests {
                 _ => qc.swap(q, p),
             };
         }
-        check_matches_serial(qc, 2);
+        for ranks in [2, 4] {
+            check_matches_serial(qc.clone(), ranks);
+        }
+    }
+
+    #[test]
+    fn rank_nonzero_shards_start_all_zero() {
+        // Satellite regression: non-root shards must initialize to exact
+        // zero in place (no clone/rebuild round trip needed to verify the
+        // contents).
+        let results = run_world(4, |mut ctx| {
+            let rank = ctx.rank();
+            let dsv = DistStateVector::zero(&mut ctx, 5);
+            (rank, dsv.local.amps().to_vec())
+        });
+        for (rank, amps) in results {
+            for (i, a) in amps.iter().enumerate() {
+                let want = if rank == 0 && i == 0 { C64::ONE } else { C64::ZERO };
+                assert_eq!(*a, want, "rank {rank} amp {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_high_gates_are_exchange_free_in_both_strategies() {
+        // Satellite regression: rzz/cz/cp (and rz) on high qubits are
+        // local phase sweeps under block partitioning — zero exchanges,
+        // even on the legacy swap-routing path.
+        let mut qc = Circuit::new(5);
+        qc.h(0).h(1).h(3).h(4); // superpose (incl. high qubits)
+        let pre_gates = qc.num_gates();
+        qc.rzz(3, 4, 0.7) // both high
+            .cz(2, 4) // both high
+            .cp(3, 2, -0.4) // both high
+            .rz(4, 1.1) // 1q high
+            .rzz(0, 3, 0.9); // mixed low/high
+        let reference = SvSimulator::plain().statevector(&qc);
+        let qc = Arc::new(qc);
+        for route in [RouteStrategy::Swaps, RouteStrategy::Lazy] {
+            let qc = Arc::clone(&qc);
+            let results = run_world(8, move |mut ctx| {
+                let mut dsv =
+                    DistStateVector::zero_with(&mut ctx, 5, route, Obs::disabled());
+                let mut after_h = 0;
+                for (i, op) in qc.ops().iter().enumerate() {
+                    if let Op::Gate(g) = op {
+                        dsv.apply(g);
+                        if i + 1 == pre_gates {
+                            after_h = dsv.stats().exchanges;
+                        }
+                    }
+                }
+                let diag_exchanges = dsv.stats().exchanges - after_h;
+                (diag_exchanges, dsv.gather_full())
+            });
+            let (diag_exchanges, full) = &results[0];
+            assert_eq!(*diag_exchanges, 0, "{route:?}: diagonal gates exchanged");
+            let full = full.as_ref().expect("rank 0 gathers");
+            for (a, b) in reference.amps().iter().zip(full.amps().iter()) {
+                assert!(a.approx_eq(*b, 1e-9), "{route:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_routing_beats_swap_routing_on_layered_circuit() {
+        // A TFIM-like layered circuit: diagonal rzz chains plus rx on all
+        // qubits. Lazy remapping must cut both exchange operations and
+        // bytes by at least 2x against the swap baseline. The register
+        // must leave the batcher slack (n - l << l, the paper's TFIM-24
+        // regime): Belady eviction then sustains one remap per layer,
+        // since each layer's miss point has enough already-used local
+        // qubits to evict without retriggering.
+        let n = 16;
+        let mut qc = Circuit::new(n);
+        for q in 0..n {
+            qc.h(q);
+        }
+        for _ in 0..4 {
+            for q in 0..n - 1 {
+                qc.rzz(q, q + 1, 0.3);
+            }
+            for q in 0..n {
+                qc.rx(q, 0.17);
+            }
+        }
+        let qc = Arc::new(qc);
+        let mut totals = Vec::new();
+        for route in [RouteStrategy::Swaps, RouteStrategy::Lazy] {
+            let qc = Arc::clone(&qc);
+            let results = run_world(8, move |mut ctx| {
+                run_distributed_with(&mut ctx, &qc, 10, 5, route, &Obs::disabled())
+                    .map(|(_, stats)| stats)
+            });
+            totals.push(results[0].expect("rank 0 stats"));
+        }
+        let (swaps, lazy) = (totals[0], totals[1]);
+        assert!(
+            lazy.exchanges * 2 <= swaps.exchanges,
+            "exchanges: lazy {} vs swaps {}",
+            lazy.exchanges,
+            swaps.exchanges
+        );
+        assert!(
+            lazy.bytes * 2 <= swaps.bytes,
+            "bytes: lazy {} vs swaps {}",
+            lazy.bytes,
+            swaps.bytes
+        );
     }
 
     #[test]
@@ -482,6 +1091,64 @@ mod tests {
         assert_eq!(counts.len(), 2);
         let c0 = counts["00000"];
         assert!((350..650).contains(&c0), "c0={c0}");
+    }
+
+    #[test]
+    fn distributed_counts_replay_serial_split_sampling_bitwise() {
+        // Satellite: a fixed seed must yield byte-identical counts local
+        // vs. distributed, at every world size.
+        let mut qc = Circuit::new(6);
+        qc.h(0).cx(0, 1).cx(1, 2).rx(3, 0.9).rzz(2, 4, 0.5).h(5).cx(5, 3);
+        let serial = SvSimulator::plain().statevector(&qc);
+        let qc = Arc::new(qc);
+        for ranks in [2usize, 4, 8] {
+            let r = ranks.trailing_zeros() as usize;
+            let want = serial.sample_counts_split(
+                3000,
+                0xFEED,
+                crate::state::canonical_split_bits(6, r),
+            );
+            let qc = Arc::clone(&qc);
+            let results = run_world(ranks, move |mut ctx| {
+                let mut dsv = DistStateVector::zero(&mut ctx, 6);
+                dsv.run_unitary(&qc);
+                dsv.sample_counts(3000, 0xFEED)
+            });
+            let got = results[0].as_ref().expect("rank 0 counts");
+            assert_eq!(got, &want, "counts diverged at {ranks} ranks");
+        }
+    }
+
+    #[test]
+    fn mid_circuit_measurement_collapses_in_lockstep() {
+        // Measure a high qubit mid-circuit; all ranks must agree on the
+        // outcome and the collapsed state must stay normalized and match
+        // a serial single-trajectory replay drawn from the same rng.
+        let mut qc = Circuit::new(5);
+        qc.h(4).cx(4, 0);
+        let serial = {
+            let mut sv = SvSimulator::plain().statevector(&qc);
+            let mut rng = Rng::seed_from(123);
+            let bit = sv.measure(4, &mut rng, false);
+            (bit, sv)
+        };
+        let qc = Arc::new(qc);
+        let results = run_world(4, move |mut ctx| {
+            let mut dsv = DistStateVector::zero(&mut ctx, 5);
+            dsv.run_unitary(&qc);
+            let mut rng = Rng::seed_from(123);
+            let bit = dsv.measure(4, &mut rng);
+            (bit, dsv.norm_sqr(), dsv.gather_full())
+        });
+        let (serial_bit, serial_sv) = serial;
+        for (bit, norm, _) in &results {
+            assert_eq!(*bit, serial_bit);
+            assert!(approx_eq(*norm, 1.0, 1e-10));
+        }
+        let full = results[0].2.as_ref().expect("rank 0 gathers");
+        for (a, b) in serial_sv.amps().iter().zip(full.amps().iter()) {
+            assert!(a.approx_eq(*b, 1e-9), "{a} vs {b}");
+        }
     }
 
     #[test]

@@ -24,8 +24,10 @@ pub struct SvConfig {
     pub threading: Threading,
     /// Gate-fusion pre-pass tier.
     pub fusion: FusionLevel,
-    /// Shot sampler (alias method by default; CDF preserves the legacy
-    /// draw sequence for seeded replays).
+    /// Shot sampler. The alias default draws through the canonical split
+    /// scheme shared with the distributed engine (fixed seed ⇒ identical
+    /// counts local or distributed); CDF preserves the legacy monolithic
+    /// draw sequence for seeded replays.
     pub sampling: SampleStrategy,
 }
 
@@ -153,10 +155,25 @@ impl SvSimulator {
 
         let sample_span = obs.span("engine", "sv.sample").attr("shots", shots);
         let sw = qfw_hpc::Stopwatch::start();
+        // Terminal sampling. The alias default draws through the canonical
+        // split scheme — the same shot partition the distributed engine
+        // replays — so a fixed seed yields bit-identical counts whether the
+        // state lived on one process or across ranks. The CDF option keeps
+        // the legacy single-walk draw sequence.
+        let sample_terminal = |sv: &StateVector, rng: &mut Rng| match self.config.sampling {
+            SampleStrategy::Alias => sv.sample_counts_split(
+                shots,
+                seed,
+                crate::state::canonical_split_bits(circuit.num_qubits(), 0),
+            ),
+            SampleStrategy::Cdf => {
+                sv.sample_counts_with(shots, rng, SampleStrategy::Cdf, parallel)
+            }
+        };
         let counts = if measured.is_empty() && collapsed_bits.is_empty() {
             // No measurements: implicit measure-all (Qiskit statevector
             // semantics when sampling is requested).
-            sv.sample_counts_with(shots, &mut rng, self.config.sampling, parallel)
+            sample_terminal(&sv, &mut rng)
         } else if measured.is_empty() {
             // Only mid-circuit measurements: one trajectory's classical bits.
             let width = circuit.num_clbits();
@@ -171,7 +188,7 @@ impl SvSimulator {
         } else {
             // Terminal measurements: sample the register, then project each
             // sample onto the measured clbits.
-            let raw = sv.sample_counts_with(shots, &mut rng, self.config.sampling, parallel);
+            let raw = sample_terminal(&sv, &mut rng);
             let width = circuit.num_clbits();
             let mut out: BTreeMap<String, usize> = BTreeMap::new();
             for (bitstring, count) in raw {

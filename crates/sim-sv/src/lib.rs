@@ -7,9 +7,10 @@
 //! * **OpenMP** (threaded): the same kernels parallelized over amplitude
 //!   groups with rayon ([`state`] with [`Threading::Rayon`]).
 //! * **MPI** (distributed): the state vector partitioned across DVM ranks,
-//!   with pairwise slice exchanges for gates touching high qubits
-//!   ([`dist`]) — the mode whose strong scaling the paper highlights on
-//!   TFIM-28.
+//!   routed communication-avoidingly via a lazy logical→physical qubit
+//!   permutation with batched remaps ([`dist`]) — the mode whose strong
+//!   scaling the paper highlights on TFIM-28. A legacy swap-routing
+//!   baseline ([`dist::RouteStrategy::Swaps`]) is kept for comparison.
 //!
 //! Plus [`fusion`], the tiered gate-fusion pre-pass (1q runs, merged
 //! diagonal sweeps, and 4x4 two-qubit blocks), which is one of the
@@ -26,7 +27,10 @@ pub mod fusion;
 pub mod noise;
 pub mod state;
 
+pub use dist::{
+    run_distributed, run_distributed_with, DistStateVector, DistStats, RouteStrategy,
+};
 pub use engine::{SvConfig, SvSimulator, Threading};
 pub use fusion::FusionLevel;
 pub use noise::NoiseModel;
-pub use state::StateVector;
+pub use state::{canonical_split_bits, StateVector, DEFAULT_SPLIT_BITS};

@@ -10,7 +10,7 @@
 
 use qfw_circuit::{Circuit, Gate, Op};
 use qfw_num::complex::C64;
-use qfw_num::rng::{Rng, SampleStrategy, Sampler};
+use qfw_num::rng::{AliasSampler, CdfSampler, Rng, SampleStrategy, Sampler};
 use qfw_num::Matrix;
 use rayon::prelude::*;
 use std::collections::{BTreeMap, HashMap};
@@ -55,6 +55,13 @@ impl StateVector {
     #[inline]
     pub fn amps(&self) -> &[C64] {
         &self.amps
+    }
+
+    /// Mutable access to the raw amplitudes, for in-place shard surgery
+    /// (distributed collapse and remap paths).
+    #[inline]
+    pub(crate) fn amps_mut(&mut self) -> &mut [C64] {
+        &mut self.amps
     }
 
     /// Consumes the state and returns its amplitudes.
@@ -595,6 +602,43 @@ impl StateVector {
         }
     }
 
+    /// Draws `shots` samples with the canonical *split* scheme: the index
+    /// space is cut into `2^split_bits` contiguous blocks (top bits), a
+    /// seeded [`CdfSampler`] over per-block masses decides how many shots
+    /// each block receives, and each block then draws its shots from a
+    /// per-block [`AliasSampler`] seeded by `Rng::stream(seed, block)`.
+    ///
+    /// Because every step depends only on `(seed, split_bits)` and on
+    /// per-block sums computed with fresh accumulators, any block-aligned
+    /// distributed partitioning of the register reproduces these counts
+    /// bit-for-bit — this is the common sampling contract between the
+    /// serial engine and [`crate::dist::DistStateVector`].
+    pub fn sample_counts_split(
+        &self,
+        shots: usize,
+        seed: u64,
+        split_bits: usize,
+    ) -> BTreeMap<String, usize> {
+        let c = split_bits.min(self.n);
+        let block_len = 1usize << (self.n - c);
+        let probs = self.probabilities(false);
+        let masses: Vec<f64> = probs
+            .chunks(block_len)
+            .map(|block| block.iter().sum())
+            .collect();
+        let per_block = block_shot_split(&masses, shots, seed);
+        let mut counts = BTreeMap::new();
+        for (b, &s) in per_block.iter().enumerate() {
+            let lo = b * block_len;
+            for local in sample_block_draws(&probs[lo..lo + block_len], s, seed, b as u64) {
+                *counts
+                    .entry(index_to_bitstring(lo | local, self.n))
+                    .or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
     /// Expectation of a diagonal observable `sum_i f(i) |amp_i|^2`.
     pub fn expectation_diagonal(&self, f: impl Fn(usize) -> f64 + Sync, parallel: bool) -> f64 {
         if parallel && self.amps.len() >= PAR_THRESHOLD {
@@ -640,19 +684,69 @@ impl StateVector {
     }
 }
 
+/// How many split blocks the canonical sampling scheme uses: enough that
+/// any power-of-two world up to `2^rank_bits` ranks gets block-aligned
+/// shards, with a floor of [`DEFAULT_SPLIT_BITS`] so serial runs agree
+/// with every such world without knowing the rank count in advance.
+pub fn canonical_split_bits(n: usize, rank_bits: usize) -> usize {
+    n.min(DEFAULT_SPLIT_BITS.max(rank_bits))
+}
+
+/// Floor for [`canonical_split_bits`]: serial and distributed sampling
+/// replay identically for any world of up to `2^6` ranks.
+pub const DEFAULT_SPLIT_BITS: usize = 6;
+
+/// Splits `shots` across blocks proportionally to `masses` with one
+/// seeded CDF draw per shot. Exact-boundary draws can land on a
+/// zero-mass block; those walk to the nearest nonzero block (downward
+/// first) so no block with zero probability ever receives a shot.
+pub fn block_shot_split(masses: &[f64], shots: usize, seed: u64) -> Vec<usize> {
+    let sampler = CdfSampler::new(masses);
+    let mut rng = Rng::seed_from(seed);
+    let mut per_block = vec![0usize; masses.len()];
+    for _ in 0..shots {
+        let mut b = sampler.sample(&mut rng);
+        if masses[b] <= 0.0 {
+            b = (0..=b)
+                .rev()
+                .chain(b + 1..masses.len())
+                .find(|&i| masses[i] > 0.0)
+                .expect("total mass is positive");
+        }
+        per_block[b] += 1;
+    }
+    per_block
+}
+
+/// Draws `shots` local indices from one split block's probability slice
+/// using the per-block alias sampler and its dedicated seeded stream.
+pub(crate) fn sample_block_draws(
+    probs: &[f64],
+    shots: usize,
+    seed: u64,
+    block: u64,
+) -> Vec<usize> {
+    if shots == 0 {
+        return Vec::new();
+    }
+    let sampler = AliasSampler::new(probs);
+    let mut rng = Rng::stream(seed, block);
+    (0..shots).map(|_| sampler.sample(&mut rng)).collect()
+}
+
 /// Inserts a 0 bit at position `q` of `x`, shifting the bits at and above
 /// `q` up by one. Enumerating `g` in `0..2^(n-1)` and inserting at `q`
 /// visits exactly the indices whose bit `q` is 0 — the bit-insertion trick
 /// every strided kernel uses to touch only the amplitudes a gate affects.
 #[inline(always)]
-fn insert_zero_bit(x: usize, q: usize) -> usize {
+pub(crate) fn insert_zero_bit(x: usize, q: usize) -> usize {
     let low = x & ((1usize << q) - 1);
     ((x >> q) << (q + 1)) | low
 }
 
 /// Inserts 0 bits at each position in `sorted_qs` (must be ascending).
 #[inline(always)]
-fn insert_zero_bits(mut x: usize, sorted_qs: &[usize]) -> usize {
+pub(crate) fn insert_zero_bits(mut x: usize, sorted_qs: &[usize]) -> usize {
     for &q in sorted_qs {
         x = insert_zero_bit(x, q);
     }
@@ -926,6 +1020,48 @@ mod tests {
         let all1 = counts["1111"];
         assert_eq!(all0 + all1, 2000);
         assert!((800..1200).contains(&all0), "all0={all0}");
+    }
+
+    #[test]
+    fn split_sampling_is_independent_of_split_granularity() {
+        // The split scheme must give a valid sample of the distribution at
+        // every granularity, and be deterministic per (seed, split_bits).
+        let sv = {
+            let mut sv = StateVector::zero(6);
+            let mut qc = Circuit::new(6);
+            qc.h(0).cx(0, 1).cx(1, 2).rz(3, 0.7).h(4).cx(4, 5);
+            sv.run_unitary(&qc, false);
+            sv
+        };
+        for split_bits in [0, 2, canonical_split_bits(6, 3)] {
+            let a = sv.sample_counts_split(4000, 0xD15, split_bits);
+            let b = sv.sample_counts_split(4000, 0xD15, split_bits);
+            assert_eq!(a, b, "split replay diverged at {split_bits}");
+            assert_eq!(a.values().sum::<usize>(), 4000);
+            // Impossible outcomes (qubit 3 never flips) must not appear.
+            assert!(a.keys().all(|k| k.as_bytes()[6 - 1 - 3] == b'0'));
+        }
+    }
+
+    #[test]
+    fn block_shot_split_avoids_zero_mass_blocks() {
+        // Half the blocks carry zero mass; every shot must land on a
+        // positive-mass block for any seed.
+        let masses = [0.0, 0.25, 0.0, 0.75, 0.0, 0.0];
+        for seed in 0..50 {
+            let split = block_shot_split(&masses, 200, seed);
+            assert_eq!(split.iter().sum::<usize>(), 200);
+            for (b, &s) in split.iter().enumerate() {
+                assert!(masses[b] > 0.0 || s == 0, "zero-mass block {b} drawn");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_split_bits_floors_and_clamps() {
+        assert_eq!(canonical_split_bits(24, 3), 6); // floor dominates
+        assert_eq!(canonical_split_bits(24, 8), 8); // rank bits dominate
+        assert_eq!(canonical_split_bits(4, 3), 4); // clamped to n
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Property tests for the distributed state-vector engine: random
+//! circuits — including all-high multi-qubit gates, mid-circuit
+//! measurements, and top-qubit edge cases — must reproduce the serial
+//! reference at 2/4/8 ranks under both routing strategies, at the
+//! amplitude level and (fixed seed) bit-identically at the counts level.
+
+use proptest::prelude::*;
+use qfw_circuit::{Circuit, Op};
+use qfw_hpc::{Communicator, RankCtx};
+use qfw_num::rng::Rng;
+use qfw_sim_sv::dist::{DistStateVector, RouteStrategy};
+use qfw_sim_sv::state::{canonical_split_bits, StateVector};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread;
+
+fn run_world<R: Send + 'static>(
+    ranks: usize,
+    f: impl Fn(RankCtx) -> R + Send + Sync + 'static,
+) -> Vec<R> {
+    let f = Arc::new(f);
+    let handles: Vec<_> = Communicator::test_world(ranks)
+        .into_iter()
+        .map(|ctx| {
+            let f = Arc::clone(&f);
+            thread::spawn(move || f(ctx))
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+/// A random circuit biased toward the distributed engine's hard cases:
+/// top-qubit operands, all-high multi-qubit gates, and (optionally)
+/// mid-circuit measurements.
+fn random_circuit(n: usize, gates: usize, seed: u64, with_measure: bool) -> Circuit {
+    let mut rng = Rng::seed_from(seed);
+    let mut qc = Circuit::new(n);
+    let top = n - 1;
+    for i in 0..gates {
+        // Bias operand choice toward the top of the register, where the
+        // rank bits live.
+        let pick = |rng: &mut Rng| -> usize {
+            if rng.chance(0.5) {
+                top - rng.index(2.min(n - 1))
+            } else {
+                rng.index(n)
+            }
+        };
+        let q = pick(&mut rng);
+        let mut p = pick(&mut rng);
+        while p == q {
+            p = rng.index(n);
+        }
+        match rng.index(10) {
+            0 => qc.h(q),
+            1 => qc.rx(q, rng.uniform(-3.0, 3.0)),
+            2 => qc.t(q),
+            3 => qc.rz(q, rng.uniform(-3.0, 3.0)),
+            4 => qc.cx(q, p),
+            5 => qc.rzz(q, p, rng.uniform(-1.0, 1.0)),
+            6 => qc.cp(q, p, rng.uniform(-1.0, 1.0)),
+            7 => qc.swap(q, p),
+            8 => {
+                let mut r = rng.index(n);
+                while r == q || r == p {
+                    r = rng.index(n);
+                }
+                qc.ccx(q, p, r)
+            }
+            _ => {
+                if with_measure && i > 0 && rng.chance(0.5) {
+                    qc.measure(q, q)
+                } else {
+                    qc.h(q)
+                }
+            }
+        };
+    }
+    qc
+}
+
+/// Serial single-trajectory replay: gates applied plainly, measurements
+/// collapsed from the same seeded rng the distributed run uses.
+fn serial_replay(qc: &Circuit, seed: u64) -> StateVector {
+    let mut sv = StateVector::zero(qc.num_qubits());
+    let mut rng = Rng::seed_from(seed);
+    for op in qc.ops() {
+        match op {
+            Op::Gate(g) => sv.apply(g, false),
+            Op::Measure { qubit, .. } => {
+                sv.measure(*qubit, &mut rng, false);
+            }
+            Op::Barrier(_) => {}
+        }
+    }
+    sv
+}
+
+fn distributed_replay(
+    qc: Arc<Circuit>,
+    ranks: usize,
+    route: RouteStrategy,
+    seed: u64,
+    shots: usize,
+) -> (StateVector, BTreeMap<String, usize>) {
+    let results = run_world(ranks, move |mut ctx| {
+        let mut dsv = DistStateVector::zero_with(
+            &mut ctx,
+            qc.num_qubits(),
+            route,
+            qfw_obs::Obs::disabled(),
+        );
+        let mut rng = Rng::seed_from(seed);
+        for op in qc.ops() {
+            match op {
+                Op::Gate(g) => dsv.apply(g),
+                Op::Measure { qubit, .. } => {
+                    dsv.measure(*qubit, &mut rng);
+                }
+                Op::Barrier(_) => {}
+            }
+        }
+        let counts = dsv.sample_counts(shots, seed);
+        (dsv.gather_full(), counts)
+    });
+    let (full, counts) = results.into_iter().next().unwrap();
+    (full.expect("rank 0 gathers"), counts.expect("rank 0 counts"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Unitary random circuits: amplitudes match the serial engine at
+    /// every world size, under both routing strategies, and sampled
+    /// counts replay the serial split-sampling scheme bit for bit.
+    #[test]
+    fn distributed_matches_serial_on_random_unitaries(
+        seed in 0u64..1 << 48,
+        n in 4usize..7,
+    ) {
+        let qc = random_circuit(n, 40, seed, false);
+        let serial = serial_replay(&qc, seed);
+        let qc = Arc::new(qc);
+        for ranks in [2usize, 4, 8] {
+            let r = ranks.trailing_zeros() as usize;
+            // ccx needs three simultaneous local operands.
+            if n - r < 3 {
+                continue;
+            }
+            let want_counts =
+                serial.sample_counts_split(500, seed, canonical_split_bits(n, r));
+            for route in [RouteStrategy::Swaps, RouteStrategy::Lazy] {
+                let (full, counts) =
+                    distributed_replay(Arc::clone(&qc), ranks, route, seed, 500);
+                for (i, (a, b)) in
+                    serial.amps().iter().zip(full.amps().iter()).enumerate()
+                {
+                    prop_assert!(
+                        a.approx_eq(*b, 1e-9),
+                        "{route:?} {ranks} ranks amp {i}: {a} vs {b}"
+                    );
+                }
+                prop_assert_eq!(
+                    &counts, &want_counts,
+                    "{:?} {} ranks: counts diverged", route, ranks
+                );
+            }
+        }
+    }
+
+    /// Circuits with mid-circuit measurements: the distributed engine
+    /// collapses the same trajectory as a serial replay drawn from the
+    /// same rng.
+    #[test]
+    fn distributed_measurements_collapse_serial_trajectory(
+        seed in 0u64..1 << 48,
+        n in 4usize..7,
+    ) {
+        let qc = random_circuit(n, 30, seed, true);
+        let serial = serial_replay(&qc, seed);
+        let qc = Arc::new(qc);
+        for ranks in [2usize, 4] {
+            if n - (ranks.trailing_zeros() as usize) < 3 {
+                continue;
+            }
+            for route in [RouteStrategy::Swaps, RouteStrategy::Lazy] {
+                let (full, _) =
+                    distributed_replay(Arc::clone(&qc), ranks, route, seed, 50);
+                for (i, (a, b)) in
+                    serial.amps().iter().zip(full.amps().iter()).enumerate()
+                {
+                    prop_assert!(
+                        a.approx_eq(*b, 1e-9),
+                        "{route:?} {ranks} ranks amp {i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Gates pinned to the very top of the register (all operands high)
+    /// at the maximum rank count the register supports.
+    #[test]
+    fn all_high_gates_at_top_qubits(seed in 0u64..1 << 48) {
+        let n = 6;
+        let mut rng = Rng::seed_from(seed);
+        let mut qc = Circuit::new(n);
+        qc.h(3).h(4).h(5);
+        for _ in 0..12 {
+            match rng.index(5) {
+                0 => qc.swap(4, 5),
+                1 => qc.ccx(3, 4, 5),
+                2 => qc.rzz(4, 5, rng.uniform(-1.0, 1.0)),
+                3 => qc.cx(5, 3),
+                _ => qc.cp(3, 5, rng.uniform(-1.0, 1.0)),
+            };
+        }
+        let serial = serial_replay(&qc, seed);
+        let qc = Arc::new(qc);
+        for route in [RouteStrategy::Swaps, RouteStrategy::Lazy] {
+            // 8 ranks leaves L=3 local bits: qubits 3..5 all live on rank
+            // bits.
+            let (full, _) = distributed_replay(Arc::clone(&qc), 8, route, seed, 50);
+            for (i, (a, b)) in serial.amps().iter().zip(full.amps().iter()).enumerate() {
+                prop_assert!(
+                    a.approx_eq(*b, 1e-9),
+                    "{route:?} amp {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
