@@ -22,10 +22,51 @@
 
 use crate::circuit::{Circuit, Op};
 use crate::gate::Gate;
+use crate::param::{Angle, ParamCircuit, ParamOp};
 use qfw_num::complex::{c64, C64};
 use qfw_num::Matrix;
 use std::fmt::Write as _;
 use std::sync::Arc;
+
+/// Writes one gate line (`name(params) q..` or a `unitary[..]` block).
+fn write_gate_line(out: &mut String, g: &Gate) {
+    match g {
+        Gate::Unitary {
+            qubits,
+            matrix,
+            label,
+        } => {
+            write!(out, "unitary[{label}]").unwrap();
+            for q in qubits {
+                write!(out, " q{q}").unwrap();
+            }
+            write!(out, " :").unwrap();
+            for v in matrix.as_slice() {
+                // {:e} preserves full f64 precision compactly.
+                write!(out, " {:e},{:e}", v.re, v.im).unwrap();
+            }
+            writeln!(out).unwrap();
+        }
+        g => {
+            write!(out, "{}", g.name()).unwrap();
+            let ps = g.params();
+            if !ps.is_empty() {
+                write!(out, "(").unwrap();
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(out, ",").unwrap();
+                    }
+                    write!(out, "{p:e}").unwrap();
+                }
+                write!(out, ")").unwrap();
+            }
+            for q in g.qubits() {
+                write!(out, " q{q}").unwrap();
+            }
+            writeln!(out).unwrap();
+        }
+    }
+}
 
 /// Serializes a circuit to `qfwasm` text.
 pub fn dump(circuit: &Circuit) -> String {
@@ -38,40 +79,7 @@ pub fn dump(circuit: &Circuit) -> String {
     writeln!(out, "clbits {}", circuit.num_clbits()).unwrap();
     for op in circuit.ops() {
         match op {
-            Op::Gate(Gate::Unitary {
-                qubits,
-                matrix,
-                label,
-            }) => {
-                write!(out, "unitary[{label}]").unwrap();
-                for q in qubits {
-                    write!(out, " q{q}").unwrap();
-                }
-                write!(out, " :").unwrap();
-                for v in matrix.as_slice() {
-                    // {:e} preserves full f64 precision compactly.
-                    write!(out, " {:e},{:e}", v.re, v.im).unwrap();
-                }
-                writeln!(out).unwrap();
-            }
-            Op::Gate(g) => {
-                write!(out, "{}", g.name()).unwrap();
-                let ps = g.params();
-                if !ps.is_empty() {
-                    write!(out, "(").unwrap();
-                    for (i, p) in ps.iter().enumerate() {
-                        if i > 0 {
-                            write!(out, ",").unwrap();
-                        }
-                        write!(out, "{p:e}").unwrap();
-                    }
-                    write!(out, ")").unwrap();
-                }
-                for q in g.qubits() {
-                    write!(out, " q{q}").unwrap();
-                }
-                writeln!(out).unwrap();
-            }
+            Op::Gate(g) => write_gate_line(&mut out, g),
             Op::Measure { qubit, clbit } => {
                 writeln!(out, "measure q{qubit} -> c{clbit}").unwrap();
             }
@@ -194,82 +202,108 @@ pub fn parse(text: &str) -> Result<Circuit, ParseError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("unitary[") {
-            let (label, rest) = rest
-                .split_once(']')
-                .ok_or_else(|| err(ln, "unterminated unitary label"))?;
-            let (operands, data) = rest
-                .split_once(':')
-                .ok_or_else(|| err(ln, "unitary missing ':' data separator"))?;
-            let qubits = operands
-                .split_whitespace()
-                .map(|t| parse_qubit(t, ln))
-                .collect::<Result<Vec<_>, _>>()?;
-            let dim = 1usize << qubits.len();
-            let values = data
-                .split_whitespace()
-                .map(|pair| {
-                    let (re, im) = pair
-                        .split_once(',')
-                        .ok_or_else(|| err(ln, format!("bad complex entry '{pair}'")))?;
-                    let re: f64 = re.parse().map_err(|_| err(ln, "bad real part"))?;
-                    let im: f64 = im.parse().map_err(|_| err(ln, "bad imag part"))?;
-                    Ok(c64(re, im))
-                })
-                .collect::<Result<Vec<C64>, ParseError>>()?;
-            if values.len() != dim * dim {
-                return Err(err(
-                    ln,
-                    format!(
-                        "unitary over {} qubits needs {} entries, got {}",
-                        qubits.len(),
-                        dim * dim,
-                        values.len()
-                    ),
-                ));
-            }
-            qc.push(Gate::Unitary {
-                qubits,
-                matrix: Arc::new(Matrix::from_rows(dim, dim, &values)),
-                label: label.to_string(),
-            });
+            qc.push(parse_unitary_line(rest, ln)?);
             continue;
         }
 
         // Standard gate: `name(params) q.. ` or `name q..`.
-        let (head, operands) = match line.find(' ') {
-            Some(idx) => (&line[..idx], &line[idx + 1..]),
-            None => return Err(err(ln, format!("dangling token '{line}'"))),
-        };
-        let (mnemonic, params): (&str, Vec<f64>) = match head.find('(') {
-            Some(idx) => {
-                let mn = &head[..idx];
-                let inner = head[idx + 1..]
-                    .strip_suffix(')')
-                    .ok_or_else(|| err(ln, "unterminated parameter list"))?;
-                let ps = inner
-                    .split(',')
-                    .map(|t| t.parse::<f64>().map_err(|_| err(ln, "bad parameter")))
-                    .collect::<Result<Vec<_>, _>>()?;
-                (mn, ps)
-            }
-            None => (head, vec![]),
-        };
-        let qs = operands
-            .split_whitespace()
-            .map(|t| parse_qubit(t, ln))
+        let (mnemonic, raw_params, qs) = split_gate_line(line, ln)?;
+        let params = raw_params
+            .iter()
+            .map(|t| t.parse::<f64>().map_err(|_| err(ln, "bad parameter")))
             .collect::<Result<Vec<_>, _>>()?;
+        qc.push(build_fixed_gate(mnemonic, &params, &qs, ln)?);
+    }
+    Ok(qc)
+}
 
-        let need = |n: usize, p: usize| -> Result<(), ParseError> {
-            if qs.len() != n {
-                return Err(err(ln, format!("'{mnemonic}' expects {n} qubits")));
-            }
-            if params.len() != p {
-                return Err(err(ln, format!("'{mnemonic}' expects {p} parameters")));
-            }
-            Ok(())
-        };
+/// Parses the remainder of a `unitary[label] q.. : data` line (after the
+/// `unitary[` prefix has been stripped).
+fn parse_unitary_line(rest: &str, ln: usize) -> Result<Gate, ParseError> {
+    let (label, rest) = rest
+        .split_once(']')
+        .ok_or_else(|| err(ln, "unterminated unitary label"))?;
+    let (operands, data) = rest
+        .split_once(':')
+        .ok_or_else(|| err(ln, "unitary missing ':' data separator"))?;
+    let qubits = operands
+        .split_whitespace()
+        .map(|t| parse_qubit(t, ln))
+        .collect::<Result<Vec<_>, _>>()?;
+    let dim = 1usize << qubits.len();
+    let values = data
+        .split_whitespace()
+        .map(|pair| {
+            let (re, im) = pair
+                .split_once(',')
+                .ok_or_else(|| err(ln, format!("bad complex entry '{pair}'")))?;
+            let re: f64 = re.parse().map_err(|_| err(ln, "bad real part"))?;
+            let im: f64 = im.parse().map_err(|_| err(ln, "bad imag part"))?;
+            Ok(c64(re, im))
+        })
+        .collect::<Result<Vec<C64>, ParseError>>()?;
+    if values.len() != dim * dim {
+        return Err(err(
+            ln,
+            format!(
+                "unitary over {} qubits needs {} entries, got {}",
+                qubits.len(),
+                dim * dim,
+                values.len()
+            ),
+        ));
+    }
+    Ok(Gate::Unitary {
+        qubits,
+        matrix: Arc::new(Matrix::from_rows(dim, dim, &values)),
+        label: label.to_string(),
+    })
+}
 
-        let gate = match mnemonic {
+/// Splits a gate line into `(mnemonic, raw parameter tokens, qubits)` without
+/// committing to a parameter grammar — the caller decides whether the tokens
+/// are literal floats or symbolic angle expressions.
+fn split_gate_line(line: &str, ln: usize) -> Result<(&str, Vec<&str>, Vec<usize>), ParseError> {
+    let (head, operands) = match line.find(' ') {
+        Some(idx) => (&line[..idx], &line[idx + 1..]),
+        None => return Err(err(ln, format!("dangling token '{line}'"))),
+    };
+    let (mnemonic, raw_params): (&str, Vec<&str>) = match head.find('(') {
+        Some(idx) => {
+            let mn = &head[..idx];
+            let inner = head[idx + 1..]
+                .strip_suffix(')')
+                .ok_or_else(|| err(ln, "unterminated parameter list"))?;
+            (mn, inner.split(',').collect())
+        }
+        None => (head, vec![]),
+    };
+    let qs = operands
+        .split_whitespace()
+        .map(|t| parse_qubit(t, ln))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((mnemonic, raw_params, qs))
+}
+
+/// Builds a concrete [`Gate`] from a mnemonic, literal parameters, and qubit
+/// operands — the shared back half of [`parse`] and [`parse_param`].
+fn build_fixed_gate(
+    mnemonic: &str,
+    params: &[f64],
+    qs: &[usize],
+    ln: usize,
+) -> Result<Gate, ParseError> {
+    let need = |n: usize, p: usize| -> Result<(), ParseError> {
+        if qs.len() != n {
+            return Err(err(ln, format!("'{mnemonic}' expects {n} qubits")));
+        }
+        if params.len() != p {
+            return Err(err(ln, format!("'{mnemonic}' expects {p} parameters")));
+        }
+        Ok(())
+    };
+
+    let gate = match mnemonic {
             "h" => {
                 need(1, 0)?;
                 Gate::H(qs[0])
@@ -376,9 +410,249 @@ pub fn parse(text: &str) -> Result<Circuit, ParseError> {
             }
             other => return Err(err(ln, format!("unknown gate '{other}'"))),
         };
-        qc.push(gate);
+    Ok(gate)
+}
+
+/// Header line of the parameterized (symbolic-skeleton) wire format.
+pub const PARAM_HEADER: &str = "qfwasm-param 1";
+
+/// Returns `true` when `text` is in the parameterized `qfwasm-param` wire
+/// format (a symbolic skeleton, possibly with a trailing `bind` line).
+pub fn is_param_text(text: &str) -> bool {
+    text.trim_start().starts_with(PARAM_HEADER)
+}
+
+/// Strips `bind` lines from parameterized text, leaving only the skeleton.
+///
+/// Two parameterized jobs over the same template produce byte-identical
+/// skeletons under this transform — the scheduler's batching key.
+pub fn param_skeleton_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        let t = line.trim();
+        if t == "bind" || t.starts_with("bind ") {
+            continue;
+        }
+        out.push_str(line);
+        out.push('\n');
     }
-    Ok(qc)
+    out
+}
+
+fn write_angle(out: &mut String, a: &Angle) {
+    match *a {
+        Angle::Lit(v) => write!(out, "{v:e}").unwrap(),
+        Angle::Sym {
+            index,
+            coeff,
+            offset,
+        } => {
+            write!(out, "@{index}").unwrap();
+            if offset != 0.0 {
+                write!(out, "*{coeff:e}{offset:+e}").unwrap();
+            } else if coeff != 1.0 {
+                write!(out, "*{coeff:e}").unwrap();
+            }
+        }
+    }
+}
+
+fn write_param_op(out: &mut String, op: &ParamOp) {
+    let mut rotation = |name: &str, qs: &[usize], a: &Angle| {
+        write!(out, "{name}(").unwrap();
+        write_angle(out, a);
+        write!(out, ")").unwrap();
+        for q in qs {
+            write!(out, " q{q}").unwrap();
+        }
+        writeln!(out).unwrap();
+    };
+    match op {
+        ParamOp::Rx(q, a) => rotation("rx", &[*q], a),
+        ParamOp::Ry(q, a) => rotation("ry", &[*q], a),
+        ParamOp::Rz(q, a) => rotation("rz", &[*q], a),
+        ParamOp::Phase(q, a) => rotation("p", &[*q], a),
+        ParamOp::Rzz(x, y, a) => rotation("rzz", &[*x, *y], a),
+        ParamOp::Rxx(x, y, a) => rotation("rxx", &[*x, *y], a),
+        ParamOp::Cp(c, t, a) => rotation("cp", &[*c, *t], a),
+        ParamOp::Fixed(g) => write_gate_line(out, g),
+        ParamOp::Measure { qubit, clbit } => {
+            writeln!(out, "measure q{qubit} -> c{clbit}").unwrap();
+        }
+    }
+}
+
+/// Serializes a parameterized template to `qfwasm-param` text.
+///
+/// Symbolic angles print as `@k`, `@k*coeff`, or `@k*coeff±offset` (with
+/// `{:e}` floats for lossless round-trips); everything else reuses the
+/// concrete `qfwasm` gate grammar. The output carries **no** parameter
+/// values — append them with [`dump_param_bound`].
+pub fn dump_param(t: &ParamCircuit) -> String {
+    let mut out = String::new();
+    writeln!(out, "{PARAM_HEADER}").unwrap();
+    if !t.name.is_empty() {
+        writeln!(out, "name {}", t.name).unwrap();
+    }
+    writeln!(out, "qubits {}", t.num_qubits()).unwrap();
+    for op in t.ops() {
+        write_param_op(&mut out, op);
+    }
+    out
+}
+
+/// Serializes a parameterized template plus one bound parameter vector.
+///
+/// The binding travels as a trailing `bind v0 v1 ...` line, so the skeleton
+/// portion stays byte-identical across points of a sweep (see
+/// [`param_skeleton_text`]).
+pub fn dump_param_bound(t: &ParamCircuit, params: &[f64]) -> String {
+    let mut out = dump_param(t);
+    out.push_str("bind");
+    for v in params {
+        write!(out, " {v:e}").unwrap();
+    }
+    out.push('\n');
+    out
+}
+
+/// Parses a symbolic angle token: `@k`, `@k*coeff`, or `@k*coeff±offset`.
+fn parse_angle_token(tok: &str, ln: usize) -> Result<Angle, ParseError> {
+    let Some(rest) = tok.strip_prefix('@') else {
+        // Literal angle: plain float.
+        return tok
+            .parse::<f64>()
+            .map(Angle::Lit)
+            .map_err(|_| err(ln, format!("bad angle '{tok}'")));
+    };
+    let (index_str, tail) = match rest.find('*') {
+        Some(idx) => (&rest[..idx], Some(&rest[idx + 1..])),
+        None => (rest, None),
+    };
+    let index: usize = index_str
+        .parse()
+        .map_err(|_| err(ln, format!("bad parameter index in '{tok}'")))?;
+    let Some(tail) = tail else {
+        return Ok(Angle::sym(index));
+    };
+    // Split `coeff±offset` at the first sign that is not leading and not an
+    // exponent sign (i.e. not preceded by 'e' or 'E').
+    let bytes = tail.as_bytes();
+    let mut split = None;
+    for i in 1..bytes.len() {
+        if (bytes[i] == b'+' || bytes[i] == b'-')
+            && bytes[i - 1] != b'e'
+            && bytes[i - 1] != b'E'
+        {
+            split = Some(i);
+            break;
+        }
+    }
+    let (coeff_str, offset_str) = match split {
+        Some(i) => (&tail[..i], &tail[i..]),
+        None => (tail, "0"),
+    };
+    let coeff: f64 = coeff_str
+        .parse()
+        .map_err(|_| err(ln, format!("bad coefficient in '{tok}'")))?;
+    let offset: f64 = offset_str
+        .parse()
+        .map_err(|_| err(ln, format!("bad offset in '{tok}'")))?;
+    Ok(Angle::Sym {
+        index,
+        coeff,
+        offset,
+    })
+}
+
+/// Parses `qfwasm-param` text into a [`ParamCircuit`] and, when the text
+/// carries a trailing `bind` line, the bound parameter vector.
+pub fn parse_param(text: &str) -> Result<(ParamCircuit, Option<Vec<f64>>), ParseError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+
+    let (ln, header) = lines.next().ok_or_else(|| err(0, "empty input"))?;
+    if header != PARAM_HEADER {
+        return Err(err(ln, format!("bad header '{header}'")));
+    }
+
+    let mut name = String::new();
+    let mut num_qubits: Option<usize> = None;
+    let mut bound: Option<Vec<f64>> = None;
+    let mut body: Vec<(usize, &str)> = Vec::new();
+
+    for (ln, line) in lines {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("name ") {
+            name = rest.to_string();
+        } else if let Some(rest) = line.strip_prefix("qubits ") {
+            num_qubits = Some(rest.parse().map_err(|_| err(ln, "bad qubit count"))?);
+        } else if line == "bind" || line.starts_with("bind ") {
+            let vs = line["bind".len()..]
+                .split_whitespace()
+                .map(|t| t.parse::<f64>().map_err(|_| err(ln, "bad bind value")))
+                .collect::<Result<Vec<_>, _>>()?;
+            bound = Some(vs);
+        } else {
+            body.push((ln, line));
+        }
+    }
+
+    let nq = num_qubits.ok_or_else(|| err(0, "missing 'qubits' declaration"))?;
+    let mut t = ParamCircuit::new(nq);
+    t.name = name;
+
+    for (ln, line) in body {
+        if let Some(rest) = line.strip_prefix("measure ") {
+            let mut it = rest.split_whitespace();
+            let q = parse_qubit(it.next().unwrap_or(""), ln)?;
+            if it.next().unwrap_or("") != "->" {
+                return Err(err(ln, "measure expects 'q<i> -> c<j>'"));
+            }
+            let c = parse_clbit(it.next().unwrap_or(""), ln)?;
+            t.push(ParamOp::Measure { qubit: q, clbit: c });
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("unitary[") {
+            t.fixed(parse_unitary_line(rest, ln)?);
+            continue;
+        }
+
+        let (mnemonic, raw_params, qs) = split_gate_line(line, ln)?;
+        let rotation = matches!(mnemonic, "rx" | "ry" | "rz" | "p" | "rzz" | "rxx" | "cp");
+        if rotation {
+            let arity = if matches!(mnemonic, "rzz" | "rxx" | "cp") {
+                2
+            } else {
+                1
+            };
+            if qs.len() != arity || raw_params.len() != 1 {
+                return Err(err(
+                    ln,
+                    format!("'{mnemonic}' expects {arity} qubits and 1 angle"),
+                ));
+            }
+            let a = parse_angle_token(raw_params[0], ln)?;
+            t.push(match mnemonic {
+                "rx" => ParamOp::Rx(qs[0], a),
+                "ry" => ParamOp::Ry(qs[0], a),
+                "rz" => ParamOp::Rz(qs[0], a),
+                "p" => ParamOp::Phase(qs[0], a),
+                "rzz" => ParamOp::Rzz(qs[0], qs[1], a),
+                "rxx" => ParamOp::Rxx(qs[0], qs[1], a),
+                _ => ParamOp::Cp(qs[0], qs[1], a),
+            });
+            continue;
+        }
+
+        let params = raw_params
+            .iter()
+            .map(|tok| tok.parse::<f64>().map_err(|_| err(ln, "bad parameter")))
+            .collect::<Result<Vec<_>, _>>()?;
+        t.fixed(build_fixed_gate(mnemonic, &params, &qs, ln)?);
+    }
+    Ok((t, bound))
 }
 
 #[cfg(test)]
@@ -494,5 +768,92 @@ mod tests {
         qc.push_op(Op::Barrier(vec![1, 2]));
         let back = round_trip(&qc);
         assert_eq!(back.ops()[0], Op::Barrier(vec![1, 2]));
+    }
+
+    fn sample_template() -> ParamCircuit {
+        let mut t = ParamCircuit::new(3);
+        t.name = "sweepable".into();
+        t.h(0)
+            .fixed(Gate::Cx(0, 1))
+            .rz(1, Angle::sym(0))
+            .rzz(0, 2, Angle::scaled(0, -2.5))
+            .push(ParamOp::Cp(
+                1,
+                2,
+                Angle::Sym {
+                    index: 1,
+                    coeff: 0.75,
+                    offset: -1.25e-3,
+                },
+            ))
+            .rx(2, 0.5)
+            .measure_all();
+        t
+    }
+
+    #[test]
+    fn param_round_trips_all_angle_forms() {
+        let t = sample_template();
+        let (back, bound) = parse_param(&dump_param(&t)).expect("param round trip");
+        assert_eq!(back, t);
+        assert_eq!(bound, None);
+    }
+
+    #[test]
+    fn param_bound_round_trips_values_exactly() {
+        let t = sample_template();
+        let params = [std::f64::consts::PI / 3.0 + 1e-13, -0.625];
+        let (back, bound) = parse_param(&dump_param_bound(&t, &params)).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(bound.as_deref(), Some(&params[..]));
+    }
+
+    #[test]
+    fn param_negative_coeff_and_offset_survive() {
+        let mut t = ParamCircuit::new(1);
+        t.rz(
+            0,
+            Angle::Sym {
+                index: 4,
+                coeff: -3.5e-2,
+                offset: -7.25,
+            },
+        );
+        let (back, _) = parse_param(&dump_param(&t)).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn param_skeleton_text_strips_only_bind_lines() {
+        let t = sample_template();
+        let bound = dump_param_bound(&t, &[0.1, 0.2]);
+        assert_eq!(param_skeleton_text(&bound), dump_param(&t));
+        // Different bindings, same skeleton key.
+        assert_eq!(
+            param_skeleton_text(&dump_param_bound(&t, &[9.0, -9.0])),
+            param_skeleton_text(&bound)
+        );
+    }
+
+    #[test]
+    fn param_header_detection() {
+        let t = sample_template();
+        assert!(is_param_text(&dump_param(&t)));
+        assert!(!is_param_text(&dump(&t.bind(&[0.1, 0.2]))));
+    }
+
+    #[test]
+    fn param_rejects_concrete_header_and_vice_versa() {
+        let t = sample_template();
+        assert!(parse_param(&dump(&t.bind(&[0.0, 0.0]))).is_err());
+        assert!(parse(&dump_param(&t)).is_err());
+    }
+
+    #[test]
+    fn param_empty_bind_line_parses_as_zero_params() {
+        let mut t = ParamCircuit::new(1);
+        t.h(0);
+        let (_, bound) = parse_param(&dump_param_bound(&t, &[])).unwrap();
+        assert_eq!(bound, Some(vec![]));
     }
 }

@@ -300,7 +300,24 @@ impl CloudProvider {
     }
 
     fn execute(shared: &Shared, request: &JobRequest, seed: u64) -> Result<JobResult, String> {
-        let circuit = text::parse(&request.circuit).map_err(|e| e.to_string())?;
+        let circuit = if text::is_param_text(&request.circuit) {
+            // Bound parameterized submissions: bind the skeleton here (the
+            // provider has no compile-once path to exploit).
+            let (template, bound) =
+                text::parse_param(&request.circuit).map_err(|e| e.to_string())?;
+            let params =
+                bound.ok_or_else(|| "parameterized job carries no 'bind' line".to_string())?;
+            if params.len() < template.num_params() {
+                return Err(format!(
+                    "bind line carries {} values but the skeleton references {} parameters",
+                    params.len(),
+                    template.num_params()
+                ));
+            }
+            template.bind(&params)
+        } else {
+            text::parse(&request.circuit).map_err(|e| e.to_string())?
+        };
         if circuit.num_qubits() > 29 {
             return Err(format!(
                 "circuit has {} qubits; provider supports at most 29",

@@ -16,11 +16,12 @@ pub mod tnqvm;
 
 use crate::error::QfwError;
 use crate::result::QfwResult;
-use crate::spec::{BackendSpec, ExecTask};
-use qfw_circuit::Circuit;
+use crate::spec::{BackendSpec, ExecTask, SweepTask};
+use qfw_circuit::{text, Circuit, ParamCircuit};
 use qfw_hpc::slurm::HetJob;
 use qfw_hpc::{Allocation, Dvm};
 use qfw_obs::Obs;
+use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 /// Execution-side context handed to adapters: the DVM for rank spawning,
@@ -68,6 +69,21 @@ pub trait BackendQpm: Send + Sync {
     /// Executes one task.
     fn execute(&self, task: &ExecTask, ctx: &ExecContext<'_>) -> Result<QfwResult, QfwError>;
 
+    /// Executes a compile-once/bind-many sweep: one skeleton, many
+    /// bindings, results in point order.
+    ///
+    /// The default implementation materializes each point as a concrete
+    /// `qfwasm-param` task (skeleton + `bind` line) and runs it through
+    /// [`execute`](Self::execute), so every backend supports sweeps out of
+    /// the box; engines with a native compile-once path override this.
+    fn execute_sweep(
+        &self,
+        task: &SweepTask,
+        ctx: &ExecContext<'_>,
+    ) -> Result<Vec<QfwResult>, QfwError> {
+        sweep_via_execute(self, task, ctx)
+    }
+
     /// Resolves the effective sub-backend, validating against the supported
     /// list.
     fn resolve_subbackend(&self, spec: &BackendSpec) -> Result<&'static str, QfwError> {
@@ -86,11 +102,85 @@ pub trait BackendQpm: Send + Sync {
 }
 
 /// Unmarshals the wire-format circuit, timing the step for the profile.
+///
+/// Accepts both concrete `qfwasm` text and bound `qfwasm-param` text (a
+/// skeleton with a `bind` line) — the latter is bound into a concrete
+/// circuit here, so every adapter transparently accepts parameterized
+/// tasks even without a native compile-once path.
 pub fn unmarshal_circuit(task: &ExecTask) -> Result<(Circuit, f64), QfwError> {
     let start = Instant::now();
-    let circuit =
-        qfw_circuit::text::parse(&task.circuit).map_err(|e| QfwError::Marshal(e.to_string()))?;
+    let circuit = if text::is_param_text(&task.circuit) {
+        let (template, bound) =
+            text::parse_param(&task.circuit).map_err(|e| QfwError::Marshal(e.to_string()))?;
+        let params = bound.ok_or_else(|| {
+            QfwError::Marshal(
+                "parameterized task carries no 'bind' line; submit bound \
+                 parameters or use the sweep path"
+                    .into(),
+            )
+        })?;
+        if params.len() < template.num_params() {
+            return Err(QfwError::Marshal(format!(
+                "bind line carries {} values but the skeleton references {} parameters",
+                params.len(),
+                template.num_params()
+            )));
+        }
+        template.bind(&params)
+    } else {
+        text::parse(&task.circuit).map_err(|e| QfwError::Marshal(e.to_string()))?
+    };
     Ok((circuit, start.elapsed().as_secs_f64()))
+}
+
+/// Unmarshals a `qfwasm-param` skeleton (bound or not), timing the step.
+pub fn unmarshal_param(circuit: &str) -> Result<(ParamCircuit, Option<Vec<f64>>, f64), QfwError> {
+    let start = Instant::now();
+    let (template, bound) =
+        text::parse_param(circuit).map_err(|e| QfwError::Marshal(e.to_string()))?;
+    Ok((template, bound, start.elapsed().as_secs_f64()))
+}
+
+/// Materializes one sweep point as bound `qfwasm-param` text: the skeleton
+/// plus a `bind` line carrying the point's parameters.
+pub fn materialize_point(skeleton: &str, params: &[f64]) -> String {
+    let mut out = text::param_skeleton_text(skeleton);
+    out.push_str("bind");
+    for v in params {
+        write!(out, " {v:e}").unwrap();
+    }
+    out.push('\n');
+    out
+}
+
+/// The generic sweep path: each point becomes one bound task through the
+/// backend's own [`BackendQpm::execute`]. Shared by the trait default and
+/// by native implementations falling back (e.g. for noisy or distributed
+/// configurations).
+pub fn sweep_via_execute<B: BackendQpm + ?Sized>(
+    backend: &B,
+    task: &SweepTask,
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<QfwResult>, QfwError> {
+    if !text::is_param_text(&task.circuit) {
+        return Err(QfwError::Marshal(
+            "sweep task circuit is not in the qfwasm-param wire format".into(),
+        ));
+    }
+    task.points
+        .iter()
+        .map(|point| {
+            backend.execute(
+                &ExecTask {
+                    circuit: materialize_point(&task.circuit, &point.params),
+                    shots: point.shots,
+                    seed: point.seed,
+                    spec: task.spec.clone(),
+                },
+                ctx,
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]

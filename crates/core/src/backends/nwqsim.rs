@@ -4,19 +4,172 @@
 //! whose native MPI distribution "makes it a good fit for multi-node
 //! CPU/GPU HPC runs".
 
-use crate::backends::{unmarshal_circuit, BackendQpm, ExecContext};
+use crate::backends::{
+    sweep_via_execute, unmarshal_circuit, unmarshal_param, BackendQpm, ExecContext,
+};
 use crate::error::QfwError;
 use crate::result::QfwResult;
-use crate::spec::ExecTask;
+use crate::spec::{BackendSpec, ExecTask, SweepTask};
+use parking_lot::Mutex;
+use qfw_circuit::{text, ParamCircuit};
 use qfw_hpc::Stopwatch;
+use qfw_obs::Obs;
 use qfw_sim_sv::dist::{run_distributed_with, RouteStrategy};
 use qfw_sim_sv::noise::{run_noisy, NoiseModel};
-use qfw_sim_sv::{FusionLevel, SvConfig, SvSimulator, Threading};
+use qfw_sim_sv::{
+    FusionLevel, SvConfig, SvSimulator, SweepError, SweepPlan, SweepPoint, Threading,
+};
 use std::sync::Arc;
 
+/// Compiled sweep plans retained per backend instance (LRU).
+const PLAN_CACHE_CAP: usize = 8;
+
 /// NWQ-Sim analog Backend-QPM.
-#[derive(Debug, Default)]
-pub struct NwqSimBackend;
+///
+/// Parameterized (`qfwasm-param`) tasks on the `cpu`/`openmp` sub-backends
+/// run through a compile-once sweep plan cached by skeleton, so variational
+/// loops stop paying per-iteration transpile+fusion; single bound tasks and
+/// full sweeps share the plan path, keeping their counts bitwise identical.
+#[derive(Default)]
+pub struct NwqSimBackend {
+    /// LRU of compiled plans keyed by `sub|fusion|skeleton-text`.
+    plans: Mutex<Vec<(String, Arc<SweepPlan>)>>,
+}
+
+impl NwqSimBackend {
+    fn noise_of(spec: &BackendSpec) -> NoiseModel {
+        NoiseModel {
+            p1: spec.extra_parsed("noise_p1").unwrap_or(0.0),
+            p2: spec.extra_parsed("noise_p2").unwrap_or(0.0),
+            readout: spec.extra_parsed("noise_readout").unwrap_or(0.0),
+        }
+    }
+
+    fn fusion_of(spec: &BackendSpec) -> FusionLevel {
+        if spec.extra_parsed::<bool>("fusion").unwrap_or(true) {
+            FusionLevel::Full
+        } else {
+            FusionLevel::None
+        }
+    }
+
+    fn engine_for(sub: &str, fusion: FusionLevel) -> SvSimulator {
+        let threading = if sub == "openmp" {
+            Threading::Rayon
+        } else {
+            Threading::Serial
+        };
+        SvSimulator::new(SvConfig {
+            threading,
+            fusion,
+            ..SvConfig::default()
+        })
+    }
+
+    /// Fetches (or compiles and caches) the sweep plan for a skeleton.
+    /// Returns the plan and whether it was served from the cache.
+    fn plan_for(
+        &self,
+        key: String,
+        engine: &SvSimulator,
+        template: &ParamCircuit,
+        obs: &Obs,
+    ) -> Result<(Arc<SweepPlan>, bool), SweepError> {
+        {
+            let mut plans = self.plans.lock();
+            if let Some(pos) = plans.iter().position(|(k, _)| *k == key) {
+                let entry = plans.remove(pos);
+                let plan = Arc::clone(&entry.1);
+                plans.push(entry);
+                return Ok((plan, true));
+            }
+        }
+        // Compile outside the lock: concurrent misses may compile twice,
+        // but never block each other on a multi-millisecond fuse.
+        let mut span = obs
+            .span("engine", "sweep.compile")
+            .attr("ops_in", template.ops().len())
+            .attr("params", template.num_params());
+        let plan = Arc::new(engine.compile_sweep(template)?);
+        span.set_attr("slots", plan.num_slots());
+        drop(span);
+        let mut plans = self.plans.lock();
+        if plans.len() >= PLAN_CACHE_CAP {
+            plans.remove(0);
+        }
+        plans.push((key, Arc::clone(&plan)));
+        Ok((plan, false))
+    }
+
+    /// The local compile-once path for one bound parameterized task.
+    fn execute_param_local(
+        &self,
+        task: &ExecTask,
+        ctx: &ExecContext<'_>,
+        sub: &'static str,
+        total: Stopwatch,
+    ) -> Result<QfwResult, QfwError> {
+        let (template, bound, marshal_secs) = unmarshal_param(&task.circuit)?;
+        let params = bound.ok_or_else(|| {
+            QfwError::Marshal("parameterized task carries no 'bind' line".into())
+        })?;
+        if params.len() < template.num_params() {
+            return Err(QfwError::Marshal(format!(
+                "bind line carries {} values but the skeleton references {} parameters",
+                params.len(),
+                template.num_params()
+            )));
+        }
+        let fusion = Self::fusion_of(&task.spec);
+        let cores = if sub == "openmp" {
+            ctx.hetjob.cluster().node.app_cores_per_llc()
+        } else {
+            1
+        };
+        let _lease = ctx.lease_cores(cores)?;
+        let engine = Self::engine_for(sub, fusion);
+        let key = format!(
+            "{sub}|{fusion:?}|{}",
+            text::param_skeleton_text(&task.circuit)
+        );
+
+        let mut result = QfwResult::new(self.name(), sub, task.shots);
+        result.profile.marshal_secs = marshal_secs;
+        let out = match self.plan_for(key, &engine, &template, ctx.obs) {
+            Ok((plan, cached)) => {
+                result
+                    .metadata
+                    .insert("plan_cached".into(), cached.to_string());
+                let point = SweepPoint {
+                    params,
+                    shots: task.shots,
+                    seed: task.seed,
+                };
+                engine
+                    .run_plan_traced(&plan, std::slice::from_ref(&point), ctx.obs)
+                    .pop()
+                    .expect("one point in, one outcome out")
+            }
+            Err(SweepError::MidCircuitMeasure { .. }) => {
+                // Mid-circuit measurements can't take the plan path; bind
+                // and run the trajectory engine instead.
+                result
+                    .metadata
+                    .insert("sweep_fallback".into(), "mid_circuit_measure".into());
+                engine.run_traced(&template.bind(&params), task.shots, task.seed, ctx.obs)
+            }
+        };
+        result.counts = out.counts;
+        result.profile.exec_secs = out.gate_time.as_secs_f64();
+        result.profile.sample_secs = out.sample_time.as_secs_f64();
+        result
+            .metadata
+            .insert("gates_applied".into(), out.gates_applied.to_string());
+        result.profile.ranks = 1;
+        result.profile.total_secs = total.elapsed_secs();
+        Ok(result)
+    }
+}
 
 impl BackendQpm for NwqSimBackend {
     fn name(&self) -> &'static str {
@@ -30,24 +183,26 @@ impl BackendQpm for NwqSimBackend {
     fn execute(&self, task: &ExecTask, ctx: &ExecContext<'_>) -> Result<QfwResult, QfwError> {
         let sub = self.resolve_subbackend(&task.spec)?;
         let total = Stopwatch::start();
-        let (circuit, marshal_secs) = unmarshal_circuit(task)?;
-        let fusion = if task.spec.extra_parsed::<bool>("fusion").unwrap_or(true) {
-            FusionLevel::Full
-        } else {
-            FusionLevel::None
-        };
-
-        let mut result = QfwResult::new(self.name(), sub, task.shots);
-        result.profile.marshal_secs = marshal_secs;
 
         // Optional stochastic noise channels, selected via runtime
         // properties (`noise_p1`, `noise_p2`, `noise_readout`) — the NISQ
         // emulation path.
-        let noise = NoiseModel {
-            p1: task.spec.extra_parsed("noise_p1").unwrap_or(0.0),
-            p2: task.spec.extra_parsed("noise_p2").unwrap_or(0.0),
-            readout: task.spec.extra_parsed("noise_readout").unwrap_or(0.0),
-        };
+        let noise = Self::noise_of(&task.spec);
+
+        // Bound parameterized tasks on the local sub-backends take the
+        // compile-once plan path (bitwise identical to the sweep path).
+        if text::is_param_text(&task.circuit)
+            && matches!(sub, "cpu" | "openmp")
+            && noise.is_ideal()
+        {
+            return self.execute_param_local(task, ctx, sub, total);
+        }
+
+        let (circuit, marshal_secs) = unmarshal_circuit(task)?;
+        let fusion = Self::fusion_of(&task.spec);
+
+        let mut result = QfwResult::new(self.name(), sub, task.shots);
+        result.profile.marshal_secs = marshal_secs;
 
         match sub {
             "cpu" | "openmp" => {
@@ -151,18 +306,99 @@ impl BackendQpm for NwqSimBackend {
         result.profile.total_secs = total.elapsed_secs();
         Ok(result)
     }
+
+    fn execute_sweep(
+        &self,
+        task: &SweepTask,
+        ctx: &ExecContext<'_>,
+    ) -> Result<Vec<QfwResult>, QfwError> {
+        let sub = self.resolve_subbackend(&task.spec)?;
+        let noise = Self::noise_of(&task.spec);
+        // The native compile-once path serves the local sub-backends; the
+        // distributed and noisy configurations fall back to per-point
+        // execution (still bitwise identical to independent submissions,
+        // since both sides bind the same skeleton to the same seeds).
+        if !matches!(sub, "cpu" | "openmp") || !noise.is_ideal() {
+            return sweep_via_execute(self, task, ctx);
+        }
+        let total = Stopwatch::start();
+        let (template, _, marshal_secs) = unmarshal_param(&task.circuit)?;
+        for (i, point) in task.points.iter().enumerate() {
+            if point.params.len() < template.num_params() {
+                return Err(QfwError::Marshal(format!(
+                    "sweep point {i} carries {} values but the skeleton references {} parameters",
+                    point.params.len(),
+                    template.num_params()
+                )));
+            }
+        }
+        let fusion = Self::fusion_of(&task.spec);
+        let cores = if sub == "openmp" {
+            ctx.hetjob.cluster().node.app_cores_per_llc()
+        } else {
+            1
+        };
+        let _lease = ctx.lease_cores(cores)?;
+        let engine = Self::engine_for(sub, fusion);
+        let key = format!(
+            "{sub}|{fusion:?}|{}",
+            text::param_skeleton_text(&task.circuit)
+        );
+        let (plan, cached) = match self.plan_for(key, &engine, &template, ctx.obs) {
+            Ok(pair) => pair,
+            // Mid-circuit skeletons can't sweep: bind each point instead.
+            Err(SweepError::MidCircuitMeasure { .. }) => {
+                return sweep_via_execute(self, task, ctx)
+            }
+        };
+        let points: Vec<SweepPoint> = task
+            .points
+            .iter()
+            .map(|p| SweepPoint {
+                params: p.params.clone(),
+                shots: p.shots,
+                seed: p.seed,
+            })
+            .collect();
+        let outcomes = engine.run_plan_traced(&plan, &points, ctx.obs);
+        let total_secs = total.elapsed_secs();
+        Ok(outcomes
+            .into_iter()
+            .zip(&task.points)
+            .map(|(out, point)| {
+                let mut result = QfwResult::new(self.name(), sub, point.shots);
+                result.counts = out.counts;
+                result.profile.marshal_secs = marshal_secs;
+                result.profile.exec_secs = out.gate_time.as_secs_f64();
+                result.profile.sample_secs = out.sample_time.as_secs_f64();
+                result.profile.ranks = 1;
+                result.profile.total_secs = total_secs;
+                result
+                    .metadata
+                    .insert("gates_applied".into(), out.gates_applied.to_string());
+                result
+                    .metadata
+                    .insert("plan_cached".into(), cached.to_string());
+                result
+                    .metadata
+                    .insert("sweep_points".into(), task.points.len().to_string());
+                result
+            })
+            .collect())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backends::testutil::{ghz_task, TestRig};
-    use crate::spec::BackendSpec;
+    use crate::backends::{materialize_point, testutil::{ghz_task, TestRig}};
+    use crate::spec::{BackendSpec, SweepPointSpec};
+    use qfw_circuit::param::Angle;
 
     #[test]
     fn all_subbackends_agree_on_ghz() {
         let rig = TestRig::new(2);
-        let backend = NwqSimBackend;
+        let backend = NwqSimBackend::default();
         for (sub, ranks) in [("cpu", 1), ("openmp", 1), ("mpi", 4)] {
             let spec = BackendSpec::of("nwqsim", sub).with_ranks(ranks);
             let task = ghz_task(6, 600, spec);
@@ -178,7 +414,7 @@ mod tests {
     fn default_subbackend_is_cpu() {
         let rig = TestRig::new(1);
         let task = ghz_task(4, 50, BackendSpec::of("nwqsim", ""));
-        let result = NwqSimBackend.execute(&task, &rig.ctx()).unwrap();
+        let result = NwqSimBackend::default().execute(&task, &rig.ctx()).unwrap();
         assert_eq!(result.subbackend, "cpu");
     }
 
@@ -186,7 +422,7 @@ mod tests {
     fn unknown_subbackend_rejected() {
         let rig = TestRig::new(1);
         let task = ghz_task(4, 50, BackendSpec::of("nwqsim", "gpu"));
-        let err = NwqSimBackend.execute(&task, &rig.ctx()).unwrap_err();
+        let err = NwqSimBackend::default().execute(&task, &rig.ctx()).unwrap_err();
         assert!(matches!(err, QfwError::UnknownSubBackend { .. }));
     }
 
@@ -194,7 +430,7 @@ mod tests {
     fn mpi_rejects_too_many_ranks_for_register() {
         let rig = TestRig::new(2);
         let task = ghz_task(3, 10, BackendSpec::of("nwqsim", "mpi").with_ranks(8));
-        let err = NwqSimBackend.execute(&task, &rig.ctx()).unwrap_err();
+        let err = NwqSimBackend::default().execute(&task, &rig.ctx()).unwrap_err();
         assert!(matches!(err, QfwError::Resources(_)));
     }
 
@@ -203,7 +439,7 @@ mod tests {
         let rig = TestRig::new(1);
         let before = rig.hetjob.free_cores(1);
         let task = ghz_task(5, 20, BackendSpec::of("nwqsim", "mpi").with_ranks(4));
-        NwqSimBackend.execute(&task, &rig.ctx()).unwrap();
+        NwqSimBackend::default().execute(&task, &rig.ctx()).unwrap();
         assert_eq!(rig.hetjob.free_cores(1), before);
     }
 
@@ -214,7 +450,7 @@ mod tests {
             .with_extra("noise_p2", 0.05)
             .with_extra("noise_readout", 0.01);
         let task = ghz_task(6, 2000, spec);
-        let result = NwqSimBackend.execute(&task, &rig.ctx()).unwrap();
+        let result = NwqSimBackend::default().execute(&task, &rig.ctx()).unwrap();
         assert!(result.metadata.contains_key("noise"));
         // Noise leaks probability out of the two GHZ outcomes.
         assert!(result.counts.len() > 2, "noise had no visible effect");
@@ -228,7 +464,7 @@ mod tests {
             .with_extra("noise_p2", 0.05);
         let task = ghz_task(5, 10, spec);
         assert!(matches!(
-            NwqSimBackend.execute(&task, &rig.ctx()).unwrap_err(),
+            NwqSimBackend::default().execute(&task, &rig.ctx()).unwrap_err(),
             QfwError::Execution(_)
         ));
     }
@@ -242,7 +478,7 @@ mod tests {
                 spec = spec.with_extra("dist_route", route);
             }
             let task = ghz_task(6, 200, spec);
-            NwqSimBackend.execute(&task, &rig.ctx()).unwrap()
+            NwqSimBackend::default().execute(&task, &rig.ctx()).unwrap()
         };
         let lazy = run(None);
         assert_eq!(lazy.metadata["dist_route"], "lazy");
@@ -258,12 +494,214 @@ mod tests {
     }
 
     #[test]
+    fn bound_diagonal_gates_take_zero_exchange_route_on_mpi() {
+        // Regression for the compile-once sweep path: angles arriving via a
+        // `bind` line materialize as literal rz/rzz/cp gates, which must
+        // classify as diagonal and ride the zero-exchange route in the
+        // distributed engine — inserting them between the entangling layers
+        // of a 4-rank run must not add a single exchange.
+        use qfw_circuit::param::{ParamCircuit, ParamOp};
+        let rig = TestRig::new(2);
+        let n = 6; // ranks=4 -> qubits 4 and 5 live in the rank index
+        let base = {
+            let mut t = ParamCircuit::new(n);
+            for q in 0..n {
+                t.h(q);
+            }
+            for q in 0..n {
+                t.rx(q, Angle::scaled(1, 2.0));
+            }
+            t.measure_all();
+            t
+        };
+        let with_diag = {
+            let mut t = ParamCircuit::new(n);
+            for q in 0..n {
+                t.h(q);
+            }
+            t.rzz(4, 5, Angle::scaled(0, 2.0)); // both high
+            t.push(ParamOp::Cp(4, 3, Angle::sym(0))); // mixed high/low
+            t.rz(5, Angle::sym(0)); // 1q high
+            t.rzz(0, 4, Angle::scaled(0, -1.5)); // mixed low/high
+            for q in 0..n {
+                t.rx(q, Angle::scaled(1, 2.0));
+            }
+            t.measure_all();
+            t
+        };
+        let params = [0.37, -0.82];
+        let run = |template: &ParamCircuit, route: &str| {
+            let spec = BackendSpec::of("nwqsim", "mpi")
+                .with_ranks(4)
+                .with_extra("dist_route", route);
+            let task = ExecTask {
+                circuit: qfw_circuit::text::dump_param_bound(template, &params),
+                shots: 400,
+                seed: 77,
+                spec,
+            };
+            NwqSimBackend::default().execute(&task, &rig.ctx()).unwrap()
+        };
+        let exchanges =
+            |r: &QfwResult| r.metadata["comm_exchanges"].parse::<u64>().unwrap();
+        for route in ["lazy", "swaps"] {
+            let plain = run(&base, route);
+            let diag = run(&with_diag, route);
+            assert_eq!(
+                exchanges(&diag),
+                exchanges(&plain),
+                "{route}: bound diagonal gates caused data movement"
+            );
+        }
+        // The bound diagonal gates must still *act*: counts match the
+        // serial engine bitwise (same canonical sampling scheme).
+        let dist = run(&with_diag, "lazy");
+        let serial = {
+            let task = ExecTask {
+                circuit: qfw_circuit::text::dump_param_bound(&with_diag, &params),
+                shots: 400,
+                seed: 77,
+                spec: BackendSpec::of("nwqsim", "cpu"),
+            };
+            NwqSimBackend::default().execute(&task, &rig.ctx()).unwrap()
+        };
+        assert_eq!(dist.counts, serial.counts);
+    }
+
+    #[test]
     fn fusion_toggle_respected() {
         let rig = TestRig::new(1);
         let spec = BackendSpec::of("nwqsim", "cpu").with_extra("fusion", false);
         let task = ghz_task(4, 50, spec);
-        let result = NwqSimBackend.execute(&task, &rig.ctx()).unwrap();
+        let result = NwqSimBackend::default().execute(&task, &rig.ctx()).unwrap();
         // GHZ(4) has 4 gates; without fusion all 4 are applied verbatim.
         assert_eq!(result.metadata["gates_applied"], "4");
+    }
+
+    /// A QAOA-shaped two-parameter skeleton used by the sweep tests.
+    fn sweep_template(n: usize) -> qfw_circuit::ParamCircuit {
+        let mut t = qfw_circuit::ParamCircuit::new(n);
+        for q in 0..n {
+            t.h(q);
+        }
+        for q in 0..n - 1 {
+            t.rzz(q, q + 1, Angle::scaled(0, 2.0));
+        }
+        for q in 0..n {
+            t.rx(q, Angle::scaled(1, 2.0));
+        }
+        t.measure_all();
+        t
+    }
+
+    fn sweep_points(k: usize, shots: usize) -> Vec<SweepPointSpec> {
+        (0..k)
+            .map(|i| SweepPointSpec {
+                params: vec![0.15 + 0.05 * i as f64, 0.9 - 0.03 * i as f64],
+                shots,
+                seed: 9000 + i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bound_param_task_hits_plan_cache_on_second_call() {
+        let rig = TestRig::new(1);
+        let backend = NwqSimBackend::default();
+        let template = sweep_template(5);
+        let task = ExecTask {
+            circuit: text::dump_param_bound(&template, &[0.4, 0.7]),
+            shots: 128,
+            seed: 11,
+            spec: BackendSpec::of("nwqsim", "cpu"),
+        };
+        let first = backend.execute(&task, &rig.ctx()).unwrap();
+        assert_eq!(first.metadata["plan_cached"], "false");
+        assert_eq!(first.counts.values().sum::<usize>(), 128);
+        let second = backend.execute(&task, &rig.ctx()).unwrap();
+        assert_eq!(second.metadata["plan_cached"], "true");
+        // Same seed, same binding, same plan: bitwise identical counts.
+        assert_eq!(first.counts, second.counts);
+    }
+
+    #[test]
+    fn execute_sweep_bitwise_matches_per_point_executes() {
+        let rig = TestRig::new(1);
+        let backend = NwqSimBackend::default();
+        let template = sweep_template(6);
+        for sub in ["cpu", "openmp"] {
+            let task = SweepTask {
+                circuit: text::dump_param(&template),
+                points: sweep_points(4, 256),
+                spec: BackendSpec::of("nwqsim", sub),
+            };
+            let swept = backend.execute_sweep(&task, &rig.ctx()).unwrap();
+            assert_eq!(swept.len(), 4, "{sub}");
+            for (result, point) in swept.iter().zip(&task.points) {
+                assert_eq!(result.metadata["sweep_points"], "4", "{sub}");
+                let single = backend
+                    .execute(
+                        &ExecTask {
+                            circuit: materialize_point(&task.circuit, &point.params),
+                            shots: point.shots,
+                            seed: point.seed,
+                            spec: task.spec.clone(),
+                        },
+                        &rig.ctx(),
+                    )
+                    .unwrap();
+                assert_eq!(result.counts, single.counts, "{sub}");
+            }
+        }
+    }
+
+    #[test]
+    fn mpi_sweep_falls_back_to_per_point_execution() {
+        let rig = TestRig::new(2);
+        let backend = NwqSimBackend::default();
+        let template = sweep_template(5);
+        let task = SweepTask {
+            circuit: text::dump_param(&template),
+            points: sweep_points(3, 200),
+            spec: BackendSpec::of("nwqsim", "mpi").with_ranks(4),
+        };
+        let swept = backend.execute_sweep(&task, &rig.ctx()).unwrap();
+        assert_eq!(swept.len(), 3);
+        for (result, point) in swept.iter().zip(&task.points) {
+            assert_eq!(result.profile.ranks, 4);
+            assert!(!result.metadata.contains_key("sweep_points"));
+            let single = backend
+                .execute(
+                    &ExecTask {
+                        circuit: materialize_point(&task.circuit, &point.params),
+                        shots: point.shots,
+                        seed: point.seed,
+                        spec: task.spec.clone(),
+                    },
+                    &rig.ctx(),
+                )
+                .unwrap();
+            assert_eq!(result.counts, single.counts);
+        }
+    }
+
+    #[test]
+    fn sweep_point_with_short_binding_rejected() {
+        let rig = TestRig::new(1);
+        let backend = NwqSimBackend::default();
+        let template = sweep_template(4);
+        let task = SweepTask {
+            circuit: text::dump_param(&template),
+            points: vec![SweepPointSpec {
+                params: vec![0.1],
+                shots: 16,
+                seed: 1,
+            }],
+            spec: BackendSpec::of("nwqsim", "cpu"),
+        };
+        assert!(matches!(
+            backend.execute_sweep(&task, &rig.ctx()).unwrap_err(),
+            QfwError::Marshal(_)
+        ));
     }
 }

@@ -9,8 +9,8 @@
 
 use crate::error::QfwError;
 use crate::result::QfwResult;
-use crate::spec::{BackendSpec, ExecTask};
-use qfw_circuit::{text, Circuit};
+use crate::spec::{BackendSpec, ExecTask, SweepPointSpec, SweepTask};
+use qfw_circuit::{text, Circuit, ParamCircuit};
 use qfw_defw::{AsyncReply, Client};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -96,6 +96,86 @@ impl QfwBackend {
         self.execute(circuit, shots)?.result()
     }
 
+    /// Submits one bound evaluation of a parameterized circuit. The
+    /// skeleton travels in the `qfwasm-param` wire format with a `bind`
+    /// line, so a server-side engine with a plan cache compiles the
+    /// skeleton once and re-binds it on every subsequent call — the
+    /// variational-loop fast path.
+    pub fn execute_param(
+        &self,
+        template: &ParamCircuit,
+        params: &[f64],
+        shots: usize,
+    ) -> Result<QfwJob, QfwError> {
+        let task = ExecTask {
+            circuit: text::dump_param_bound(template, params),
+            shots,
+            seed: self.seed.fetch_add(1, Ordering::Relaxed),
+            spec: self.spec.clone(),
+        };
+        let reply = self
+            .client
+            .call_async::<_, QfwResult>(&self.qpm_service, "run_circuit", &task)
+            .map_err(QfwError::from)?;
+        Ok(QfwJob {
+            reply,
+            timeout: self.timeout,
+        })
+    }
+
+    /// Bound parameterized submission + blocking collection.
+    pub fn execute_param_sync(
+        &self,
+        template: &ParamCircuit,
+        params: &[f64],
+        shots: usize,
+    ) -> Result<QfwResult, QfwError> {
+        self.execute_param(template, params, shots)?.result()
+    }
+
+    /// Submits a compile-once/bind-many sweep: one skeleton, many
+    /// bindings, one engine invocation. Each binding gets its own derived
+    /// seed from the frontend's counter, so per-point counts are bitwise
+    /// identical to submitting the same bindings through
+    /// [`QfwBackend::execute_param`] in the same order.
+    pub fn execute_sweep(
+        &self,
+        template: &ParamCircuit,
+        bindings: &[Vec<f64>],
+        shots: usize,
+    ) -> Result<QfwSweepJob, QfwError> {
+        let task = SweepTask {
+            circuit: text::dump_param(template),
+            points: bindings
+                .iter()
+                .map(|params| SweepPointSpec {
+                    params: params.clone(),
+                    shots,
+                    seed: self.seed.fetch_add(1, Ordering::Relaxed),
+                })
+                .collect(),
+            spec: self.spec.clone(),
+        };
+        let reply = self
+            .client
+            .call_async::<_, Vec<QfwResult>>(&self.qpm_service, "run_sweep", &task)
+            .map_err(QfwError::from)?;
+        Ok(QfwSweepJob {
+            reply,
+            timeout: self.timeout,
+        })
+    }
+
+    /// Sweep submission + blocking collection (results in binding order).
+    pub fn execute_sweep_sync(
+        &self,
+        template: &ParamCircuit,
+        bindings: &[Vec<f64>],
+        shots: usize,
+    ) -> Result<Vec<QfwResult>, QfwError> {
+        self.execute_sweep(template, bindings, shots)?.result()
+    }
+
     /// Submits a batch of independent circuits in one call, returning one
     /// job handle per circuit. This is the non-variational throughput path
     /// of Section 4.2 ("QFw batches independent circuit instances across
@@ -148,6 +228,26 @@ impl QfwJob {
         self.reply
             .try_wait()
             .map(|r| r.map_err(QfwError::from))
+    }
+}
+
+/// Handle to an in-flight parameter sweep (results in binding order).
+pub struct QfwSweepJob {
+    reply: AsyncReply<Vec<QfwResult>>,
+    timeout: Duration,
+}
+
+impl QfwSweepJob {
+    /// Blocks until every point's result arrives (or the walltime budget
+    /// expires).
+    pub fn result(self) -> Result<Vec<QfwResult>, QfwError> {
+        let limit = self.timeout;
+        self.reply.wait(limit).map_err(|e| match e {
+            qfw_defw::RpcError::Timeout { .. } => QfwError::WalltimeExceeded {
+                limit_secs: limit.as_secs_f64(),
+            },
+            other => other.into(),
+        })
     }
 }
 
@@ -289,6 +389,56 @@ mod tests {
             batch_time < serial_time * 3,
             "batch {batch_time:?} vs serial {serial_time:?}"
         );
+    }
+
+    fn sweep_template(n: usize) -> ParamCircuit {
+        let mut t = ParamCircuit::new(n);
+        for q in 0..n {
+            t.h(q);
+        }
+        for q in 0..n - 1 {
+            t.rzz(q, q + 1, qfw_circuit::Angle::scaled(0, 2.0));
+        }
+        for q in 0..n {
+            t.rx(q, qfw_circuit::Angle::scaled(1, 2.0));
+        }
+        t.measure_all();
+        t
+    }
+
+    #[test]
+    fn execute_param_round_trip() {
+        let (defw, _qpm) = rig();
+        let backend = QfwBackend::connect(defw.client(), "qpm0", BackendSpec::of("nwqsim", "cpu"));
+        let template = sweep_template(5);
+        let result = backend.execute_param_sync(&template, &[0.3, 0.8], 256).unwrap();
+        assert_eq!(result.counts.values().sum::<usize>(), 256);
+        // Second call with the same skeleton must hit the server-side plan
+        // cache — this is the variational-loop fast path.
+        let again = backend.execute_param_sync(&template, &[0.5, 0.2], 256).unwrap();
+        assert_eq!(again.metadata["plan_cached"], "true");
+    }
+
+    #[test]
+    fn execute_sweep_matches_sequential_param_submissions() {
+        let (defw, _qpm) = rig();
+        let template = sweep_template(5);
+        let bindings: Vec<Vec<f64>> = (0..6)
+            .map(|i| vec![0.1 + 0.1 * i as f64, 1.0 - 0.1 * i as f64])
+            .collect();
+        // Same base seed on both frontends: point i draws the same derived
+        // seed either way, so counts must be bitwise identical.
+        let swept = QfwBackend::connect(defw.client(), "qpm0", BackendSpec::of("nwqsim", "cpu"))
+            .with_base_seed(777);
+        let sequential =
+            QfwBackend::connect(defw.client(), "qpm0", BackendSpec::of("nwqsim", "cpu"))
+                .with_base_seed(777);
+        let sweep_results = swept.execute_sweep_sync(&template, &bindings, 200).unwrap();
+        assert_eq!(sweep_results.len(), bindings.len());
+        for (binding, swept_result) in bindings.iter().zip(&sweep_results) {
+            let solo = sequential.execute_param_sync(&template, binding, 200).unwrap();
+            assert_eq!(swept_result.counts, solo.counts);
+        }
     }
 
     #[test]

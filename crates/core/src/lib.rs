@@ -40,10 +40,10 @@ pub mod session;
 pub mod spec;
 
 pub use error::QfwError;
-pub use frontend::{QfwBackend, QfwJob};
+pub use frontend::{QfwBackend, QfwJob, QfwSweepJob};
 pub use qrc::{DispatchPolicy, Qrc, SlotSnapshot};
 pub use registry::{BackendRegistry, Capabilities};
 pub use result::{ExecProfile, QfwResult};
 pub use selector::{select_backend, Recommendation, SelectorContext};
 pub use session::{QfwConfig, QfwSession};
-pub use spec::{BackendSpec, ExecTask};
+pub use spec::{BackendSpec, ExecTask, SweepPointSpec, SweepTask};

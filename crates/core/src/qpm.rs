@@ -15,7 +15,7 @@
 
 use crate::qrc::Qrc;
 use crate::result::QfwResult;
-use crate::spec::ExecTask;
+use crate::spec::{ExecTask, SweepTask};
 use qfw_defw::{Defw, MethodTable};
 use qfw_obs::Obs;
 use serde::{Deserialize, Serialize};
@@ -62,6 +62,7 @@ impl Qpm {
         });
 
         let run_inner = Arc::clone(&inner);
+        let sweep_inner = Arc::clone(&inner);
         let stats_inner = Arc::clone(&inner);
         let caps_inner = Arc::clone(&inner);
         let ping_name = name.clone();
@@ -92,6 +93,32 @@ impl Qpm {
                     }
                     Err(e) => {
                         run_inner.failed.fetch_add(1, Ordering::Relaxed);
+                        span.set_attr("ok", false);
+                        Err(e.to_string())
+                    }
+                }
+            })
+            .method("run_sweep", move |task: SweepTask| {
+                let points = task.points.len() as u64;
+                sweep_inner.accepted.fetch_add(points, Ordering::Relaxed);
+                let mut span = sweep_inner
+                    .obs
+                    .span("qpm", "qpm.run_sweep")
+                    .attr("backend", task.spec.backend.as_str())
+                    .attr("qpm", sweep_inner.name.as_str())
+                    .attr("points", points);
+                if sweep_inner.obs.is_enabled() {
+                    sweep_inner.obs.counter("qpm.dispatched").add(points);
+                }
+                match sweep_inner.qrc.execute_sweep(&task) {
+                    Ok(results) => {
+                        sweep_inner.completed.fetch_add(points, Ordering::Relaxed);
+                        span.set_attr("ok", true);
+                        Ok::<Vec<QfwResult>, String>(results)
+                    }
+                    Err(e) => {
+                        // One skeleton, one compile: a sweep fails whole.
+                        sweep_inner.failed.fetch_add(points, Ordering::Relaxed);
                         span.set_attr("ok", false);
                         Err(e.to_string())
                     }
@@ -219,6 +246,39 @@ mod tests {
         let remote: QpmStats = client.call(qpm.service_name(), "stats", &(), T).unwrap();
         assert_eq!(remote, qpm.stats());
         assert_eq!(remote.accepted, 1);
+    }
+
+    #[test]
+    fn run_sweep_over_rpc() {
+        let (defw, qpm) = rig();
+        let mut template = qfw_circuit::ParamCircuit::new(4);
+        for q in 0..4 {
+            template.h(q);
+            template.rx(q, qfw_circuit::Angle::sym(0));
+        }
+        template.measure_all();
+        let task = SweepTask {
+            circuit: text::dump_param(&template),
+            points: (0..8)
+                .map(|i| crate::spec::SweepPointSpec {
+                    params: vec![0.1 * (i + 1) as f64],
+                    shots: 64,
+                    seed: 40 + i as u64,
+                })
+                .collect(),
+            spec: BackendSpec::of("nwqsim", "cpu"),
+        };
+        let results: Vec<QfwResult> = defw
+            .client()
+            .call(qpm.service_name(), "run_sweep", &task, T)
+            .unwrap();
+        assert_eq!(results.len(), 8);
+        for r in &results {
+            assert_eq!(r.counts.values().sum::<usize>(), 64);
+        }
+        // Sweep stats count per point.
+        assert_eq!(qpm.stats().accepted, 8);
+        assert_eq!(qpm.stats().completed, 8);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::backends::{BackendQpm, ExecContext};
 use crate::error::QfwError;
 use crate::registry::BackendRegistry;
 use crate::result::QfwResult;
-use crate::spec::ExecTask;
+use crate::spec::{ExecTask, SweepTask};
 use parking_lot::{Condvar, Mutex, RwLock};
 use qfw_chaos::FaultPlan;
 use qfw_hpc::slurm::{Allocation, HetJob};
@@ -423,6 +423,57 @@ impl Qrc {
             self.refresh_slot_gauges();
         }
         results
+    }
+
+    /// Executes a compile-once/bind-many sweep under **one** slot
+    /// acquisition and one engine invocation. The backend compiles the
+    /// skeleton once (or serves it from its plan cache) and binds every
+    /// point against the shared plan; per-point counts are bitwise
+    /// identical to submitting each bound point through [`Qrc::execute`].
+    /// Unlike [`Qrc::execute_many`], a failure is a whole-sweep failure —
+    /// every point shares the skeleton, so one error dooms them all.
+    pub fn execute_sweep(&self, task: &SweepTask) -> Result<Vec<QfwResult>, QfwError> {
+        let backend: Arc<dyn BackendQpm> = self.registry.get(&task.spec.backend)?;
+        let queue_sw = Stopwatch::start();
+        let mut acquire_span = self.obs.span("qrc", "qrc.slot.acquire");
+        let (slot, requeued) = self.acquire_with_chaos()?;
+        acquire_span.set_attr("requeues", requeued);
+        let (acq_start, acq_end) = acquire_span.finish();
+        let queue_secs = queue_sw.elapsed_secs();
+
+        let mut sweep_span = self
+            .obs
+            .span("qrc", "qrc.execute_sweep")
+            .attr("points", task.points.len() as u64)
+            .attr("backend", task.spec.backend.as_str())
+            .attr("subbackend", task.spec.subbackend.as_str());
+        let ctx = ExecContext {
+            dvm: &self.dvm,
+            hetjob: &self.hetjob,
+            group: self.group,
+            obs: &self.obs,
+        };
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        let outcome = backend.execute_sweep(task, &ctx);
+        sweep_span.set_attr("ok", outcome.is_ok());
+        drop(sweep_span);
+        slot.tasks_run.fetch_add(task.points.len() as u64, Ordering::Relaxed);
+        self.release_slot(&slot);
+        if self.obs.is_enabled() {
+            self.obs.counter("qrc.tasks").add(task.points.len() as u64);
+            self.obs.counter("qrc.requeues").add(requeued);
+            self.obs
+                .histogram("qrc.queue_us")
+                .observe_us(acq_end.saturating_sub(acq_start));
+            self.refresh_slot_gauges();
+        }
+
+        outcome.map(|mut results| {
+            for result in &mut results {
+                result.profile.queue_secs += queue_secs;
+            }
+            results
+        })
     }
 
     /// Workload-driven dispatch: analyze, select, rewrite, re-execute.
@@ -919,5 +970,76 @@ mod tests {
         let results = qrc.execute_many(&[good, bad]);
         assert!(results[0].is_ok());
         assert!(matches!(results[1], Err(QfwError::UnknownBackend(_))));
+    }
+
+    fn sweep_task(points: usize) -> SweepTask {
+        let mut t = qfw_circuit::ParamCircuit::new(5);
+        for q in 0..5 {
+            t.h(q);
+        }
+        for q in 0..4 {
+            t.rzz(q, q + 1, qfw_circuit::Angle::scaled(0, 2.0));
+        }
+        for q in 0..5 {
+            t.rx(q, qfw_circuit::Angle::scaled(1, 2.0));
+        }
+        t.measure_all();
+        SweepTask {
+            circuit: text::dump_param(&t),
+            points: (0..points)
+                .map(|i| crate::spec::SweepPointSpec {
+                    params: vec![0.2 + 0.01 * i as f64, 0.8 - 0.01 * i as f64],
+                    shots: 128,
+                    seed: 500 + i as u64,
+                })
+                .collect(),
+            spec: BackendSpec::of("nwqsim", "cpu"),
+        }
+    }
+
+    #[test]
+    fn execute_sweep_uses_one_invocation_for_all_points() {
+        let qrc = qrc(2, DispatchPolicy::RoundRobin);
+        let task = sweep_task(32);
+        let results = qrc.execute_sweep(&task).unwrap();
+        assert_eq!(results.len(), 32);
+        assert_eq!(qrc.engine_invocations(), 1);
+        for r in &results {
+            assert_eq!(r.counts.values().sum::<usize>(), 128);
+        }
+    }
+
+    #[test]
+    fn execute_sweep_counts_match_per_point_executes() {
+        let swept = qrc(2, DispatchPolicy::RoundRobin);
+        let unswept = qrc(2, DispatchPolicy::RoundRobin);
+        let task = sweep_task(6);
+        let results = swept.execute_sweep(&task).unwrap();
+        for (result, point) in results.iter().zip(&task.points) {
+            let solo = unswept
+                .execute(&ExecTask {
+                    circuit: crate::backends::materialize_point(&task.circuit, &point.params),
+                    shots: point.shots,
+                    seed: point.seed,
+                    spec: task.spec.clone(),
+                })
+                .unwrap();
+            assert_eq!(
+                result.counts, solo.counts,
+                "sweep counts diverged at seed {}",
+                point.seed
+            );
+        }
+    }
+
+    #[test]
+    fn execute_sweep_surfaces_backend_errors() {
+        let qrc = qrc(1, DispatchPolicy::RoundRobin);
+        let mut task = sweep_task(2);
+        task.spec = BackendSpec::of("bogus", "");
+        assert!(matches!(
+            qrc.execute_sweep(&task).unwrap_err(),
+            QfwError::UnknownBackend(_)
+        ));
     }
 }

@@ -109,6 +109,32 @@ pub struct ExecTask {
     pub spec: BackendSpec,
 }
 
+/// One point of a compile-once/bind-many parameter sweep: a binding plus
+/// its own shot budget and sampling seed (so sweep counts stay bitwise
+/// reproducible per point).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepPointSpec {
+    /// The bound parameter vector (`theta[0..k]`).
+    pub params: Vec<f64>,
+    /// Measurement shots for this point.
+    pub shots: usize,
+    /// Sampling seed for this point.
+    pub seed: u64,
+}
+
+/// A coalesced sweep task: one symbolic circuit skeleton (`qfwasm-param`
+/// wire text, no `bind` line) executed against many parameter bindings in
+/// a single engine invocation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepTask {
+    /// Skeleton in the `qfwasm-param` wire format.
+    pub circuit: String,
+    /// The bindings to evaluate, in result order.
+    pub points: Vec<SweepPointSpec>,
+    /// Backend-selection properties (shared by every point).
+    pub spec: BackendSpec,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +174,30 @@ mod tests {
         assert_eq!(spec.ranks, 4);
         assert_eq!(spec.extra_parsed::<bool>("fusion"), Some(true));
         assert_eq!(spec.extra_parsed::<usize>("missing"), None);
+    }
+
+    #[test]
+    fn sweep_task_serde_round_trip() {
+        let task = SweepTask {
+            circuit: "qfwasm-param 1\nqubits 1\nrx(@0) q0\n".into(),
+            points: vec![
+                SweepPointSpec {
+                    params: vec![0.25, -1.5],
+                    shots: 64,
+                    seed: 7,
+                },
+                SweepPointSpec {
+                    params: vec![0.5, 2.5],
+                    shots: 128,
+                    seed: 8,
+                },
+            ],
+            spec: BackendSpec::of("nwqsim", "cpu"),
+        };
+        let text = serde_json::to_string(&task).unwrap();
+        let back: SweepTask = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.points, task.points);
+        assert_eq!(back.circuit, task.circuit);
     }
 
     #[test]

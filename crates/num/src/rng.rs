@@ -278,14 +278,41 @@ impl CdfSampler {
 pub struct AliasSampler {
     prob: Vec<f64>,
     alias: Vec<usize>,
+    // Partition worklists, kept as fields so `rebuild` callers looping
+    // over many small weight slices (split-block sampling) reuse all four
+    // buffers instead of reallocating them per table.
+    small: Vec<(usize, f64)>,
+    large: Vec<(usize, f64)>,
 }
 
 impl AliasSampler {
+    /// An empty sampler; [`rebuild`](Self::rebuild) before drawing.
+    pub fn empty() -> Self {
+        AliasSampler {
+            prob: Vec::new(),
+            alias: Vec::new(),
+            small: Vec::new(),
+            large: Vec::new(),
+        }
+    }
+
     /// Builds from (possibly unnormalized) non-negative weights.
     ///
     /// # Panics
     /// Panics when all weights are zero (nothing to sample).
     pub fn new(weights: &[f64]) -> Self {
+        let mut s = Self::empty();
+        s.rebuild(weights);
+        s
+    }
+
+    /// Rebuilds the table in place from new weights, reusing every
+    /// internal buffer. Produces tables (and thus draw sequences)
+    /// identical to a fresh [`new`](Self::new).
+    ///
+    /// # Panics
+    /// Panics when all weights are zero (nothing to sample).
+    pub fn rebuild(&mut self, weights: &[f64]) {
         let n = weights.len();
         let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
         assert!(total > 0.0, "cannot sample from all-zero weights");
@@ -294,10 +321,14 @@ impl AliasSampler {
         // Vose's stable partition: cells scaled so the average is 1; light
         // cells (< 1) are topped up from heavy ones, each pairing fixing one
         // light cell for good.
-        let mut prob = vec![1.0f64; n];
-        let mut alias: Vec<usize> = (0..n).collect();
-        let mut small: Vec<(usize, f64)> = Vec::new();
-        let mut large: Vec<(usize, f64)> = Vec::new();
+        self.prob.clear();
+        self.prob.resize(n, 1.0);
+        self.alias.clear();
+        self.alias.extend(0..n);
+        let (prob, alias) = (&mut self.prob, &mut self.alias);
+        let (small, large) = (&mut self.small, &mut self.large);
+        small.clear();
+        large.clear();
         for (i, &w) in weights.iter().enumerate() {
             let p = w.max(0.0) * scale;
             if p < 1.0 {
@@ -319,11 +350,10 @@ impl AliasSampler {
             }
         }
         // Leftovers are exactly 1 up to rounding; saturate them.
-        for (i, _) in small.into_iter().chain(large) {
+        for &(i, _) in small.iter().chain(large.iter()) {
             prob[i] = 1.0;
             alias[i] = i;
         }
-        AliasSampler { prob, alias }
     }
 
     /// Draws one index in O(1): one cell pick plus one threshold test.

@@ -13,11 +13,13 @@
 //! (continuous `Fn(&[f64]) -> f64`, binary `Fn(&[u8]) -> f64`).
 
 pub mod anneal;
+pub mod gradient;
 pub mod nelder_mead;
 pub mod spsa;
 pub mod tabu;
 
 pub use anneal::{anneal, AnnealConfig};
+pub use gradient::{gradient_descent, GradientDescentConfig};
 pub use nelder_mead::{nelder_mead, NelderMeadConfig};
 pub use spsa::{spsa, SpsaConfig};
 pub use tabu::{tabu_search, TabuConfig};

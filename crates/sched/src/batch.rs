@@ -17,13 +17,24 @@
 
 use crate::JobEnvelope;
 use qfw::BackendSpec;
+use qfw_circuit::text;
 
 /// Computes the batching key for an envelope: jobs with equal keys can be
 /// coalesced into one engine invocation.
+///
+/// Symbolic `qfwasm-param` submissions use their skeleton text directly
+/// (the `bind` line stripped) — the wire format already separates
+/// structure from parameters, so no masking heuristic is needed and two
+/// jobs coalesce exactly when they share a compiled plan. Concrete
+/// `qfwasm` text falls back to parenthesis masking.
 pub fn skeleton_key(env: &JobEnvelope) -> String {
     let mut key = String::with_capacity(env.circuit.len() + 64);
     push_spec(&mut key, &env.spec);
     key.push('\n');
+    if text::is_param_text(&env.circuit) {
+        key.push_str(&text::param_skeleton_text(&env.circuit));
+        return key;
+    }
     for line in env.circuit.lines() {
         if line.contains(':') {
             // Data-carrying line (e.g. a unitary block payload): the data
@@ -107,6 +118,29 @@ mod tests {
         );
         assert_ne!(skeleton_key(&a), skeleton_key(&b));
         assert_ne!(skeleton_key(&a), skeleton_key(&c));
+    }
+
+    #[test]
+    fn param_jobs_key_on_the_exact_skeleton() {
+        let spec = BackendSpec::of("nwqsim", "cpu");
+        let skeleton = "qfwasm-param 1\nqubits 2\nrx(@0) q0\nrzz(@1*2e0) q0 q1\n";
+        let a = env_of(&format!("{skeleton}bind 1e-1 2e-1\n"), spec.clone());
+        let b = env_of(&format!("{skeleton}bind 9e-1 -3e-1\n"), spec.clone());
+        assert_eq!(
+            skeleton_key(&a),
+            skeleton_key(&b),
+            "bindings are parameters"
+        );
+        // A different affine coefficient is a different compiled plan.
+        let c = env_of(
+            "qfwasm-param 1\nqubits 2\nrx(@0) q0\nrzz(@1*3e0) q0 q1\nbind 1e-1 2e-1\n",
+            spec,
+        );
+        assert_ne!(
+            skeleton_key(&a),
+            skeleton_key(&c),
+            "affine coefficients are structure"
+        );
     }
 
     #[test]

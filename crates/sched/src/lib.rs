@@ -37,7 +37,7 @@ pub use scheduler::{
 };
 
 use qfw::{BackendSpec, QfwResult};
-use qfw_circuit::{text, Circuit};
+use qfw_circuit::{text, Circuit, ParamCircuit};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -103,6 +103,28 @@ impl JobEnvelope {
             shots,
             seed: 0,
             circuit: text::dump(circuit),
+            spec: BackendSpec::of("aer", "automatic"),
+        }
+    }
+
+    /// Builds an envelope for a **bound parameterized** circuit: the
+    /// skeleton travels symbolically in the `qfwasm-param` wire format
+    /// with a `bind` line, so the batcher recognizes same-skeleton jobs
+    /// exactly (no masking heuristic) and coalesces them into one
+    /// compile-once sweep invocation.
+    pub fn new_param(
+        tenant: impl Into<String>,
+        template: &ParamCircuit,
+        params: &[f64],
+        shots: usize,
+    ) -> Self {
+        JobEnvelope {
+            tenant: tenant.into(),
+            priority: Priority::Normal,
+            deadline_ms: None,
+            shots,
+            seed: 0,
+            circuit: text::dump_param_bound(template, params),
             spec: BackendSpec::of("aer", "automatic"),
         }
     }

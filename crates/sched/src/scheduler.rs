@@ -27,7 +27,8 @@ use crate::{
     SubmitOutcome,
 };
 use parking_lot::{Condvar, Mutex};
-use qfw::{ExecTask, QfwSession, Qrc};
+use qfw::{ExecTask, QfwError, QfwResult, QfwSession, Qrc, SweepPointSpec, SweepTask};
+use qfw_circuit::text;
 use qfw_defw::{Defw, MethodTable};
 use qfw_obs::{AttrValue, Obs};
 use serde::{Deserialize, Serialize};
@@ -656,16 +657,7 @@ fn dispatch_round(inner: &Arc<Inner>, st: &mut SchedState) {
 /// Executes one batch on the QRC (single slot acquisition, single engine
 /// invocation) and records the per-job outcomes.
 fn run_batch(inner: Arc<Inner>, batch: Vec<QueuedJob>) {
-    let tasks: Vec<ExecTask> = batch
-        .iter()
-        .map(|j| ExecTask {
-            circuit: j.env.circuit.clone(),
-            shots: j.env.shots,
-            seed: j.env.seed,
-            spec: j.env.spec.clone(),
-        })
-        .collect();
-    let results = inner.qrc.execute_many(&tasks);
+    let results = execute_batch(&inner, &batch);
     let now = inner.now_us();
     let mut st = inner.state.lock();
     for (job, result) in batch.iter().zip(results) {
@@ -712,6 +704,54 @@ fn run_batch(inner: Arc<Inner>, batch: Vec<QueuedJob>) {
     drop(st);
     inner.done_cv.notify_all();
     inner.work_cv.notify_one();
+}
+
+/// Dispatches a coalesced batch to the QRC. A multi-job batch of bound
+/// `qfwasm-param` submissions — same skeleton and spec by construction of
+/// the batching key — becomes **one** [`SweepTask`] through
+/// [`qfw::Qrc::execute_sweep`], so the engine compiles the skeleton once
+/// and binds per job; each job keeps its own shots and seed, keeping
+/// per-job counts bitwise identical to unbatched execution. Everything
+/// else takes the [`qfw::Qrc::execute_many`] path. DRR accounting happened
+/// at dispatch time, so the coalescing choice here never changes fairness.
+fn execute_batch(inner: &Inner, batch: &[QueuedJob]) -> Vec<Result<QfwResult, QfwError>> {
+    if batch.len() > 1 && batch.iter().all(|j| text::is_param_text(&j.env.circuit)) {
+        let bindings: Option<Vec<Vec<f64>>> = batch
+            .iter()
+            .map(|j| text::parse_param(&j.env.circuit).ok().and_then(|(_, b)| b))
+            .collect();
+        if let Some(bindings) = bindings {
+            let task = SweepTask {
+                circuit: text::param_skeleton_text(&batch[0].env.circuit),
+                points: batch
+                    .iter()
+                    .zip(bindings)
+                    .map(|(j, params)| SweepPointSpec {
+                        params,
+                        shots: j.env.shots,
+                        seed: j.env.seed,
+                    })
+                    .collect(),
+                spec: batch[0].env.spec.clone(),
+            };
+            return match inner.qrc.execute_sweep(&task) {
+                Ok(results) => results.into_iter().map(Ok).collect(),
+                // One skeleton, one compile: a sweep failure dooms the
+                // whole batch.
+                Err(e) => batch.iter().map(|_| Err(e.clone())).collect(),
+            };
+        }
+    }
+    let tasks: Vec<ExecTask> = batch
+        .iter()
+        .map(|j| ExecTask {
+            circuit: j.env.circuit.clone(),
+            shots: j.env.shots,
+            seed: j.env.seed,
+            spec: j.env.spec.clone(),
+        })
+        .collect();
+    inner.qrc.execute_many(&tasks)
 }
 
 #[cfg(test)]

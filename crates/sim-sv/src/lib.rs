@@ -26,6 +26,7 @@ pub mod engine;
 pub mod fusion;
 pub mod noise;
 pub mod state;
+pub mod sweep;
 
 pub use dist::{
     run_distributed, run_distributed_with, DistStateVector, DistStats, RouteStrategy,
@@ -34,3 +35,4 @@ pub use engine::{SvConfig, SvSimulator, Threading};
 pub use fusion::FusionLevel;
 pub use noise::NoiseModel;
 pub use state::{canonical_split_bits, StateVector, DEFAULT_SPLIT_BITS};
+pub use sweep::{SweepError, SweepPlan, SweepPoint};

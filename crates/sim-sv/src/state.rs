@@ -619,24 +619,7 @@ impl StateVector {
         seed: u64,
         split_bits: usize,
     ) -> BTreeMap<String, usize> {
-        let c = split_bits.min(self.n);
-        let block_len = 1usize << (self.n - c);
-        let probs = self.probabilities(false);
-        let masses: Vec<f64> = probs
-            .chunks(block_len)
-            .map(|block| block.iter().sum())
-            .collect();
-        let per_block = block_shot_split(&masses, shots, seed);
-        let mut counts = BTreeMap::new();
-        for (b, &s) in per_block.iter().enumerate() {
-            let lo = b * block_len;
-            for local in sample_block_draws(&probs[lo..lo + block_len], s, seed, b as u64) {
-                *counts
-                    .entry(index_to_bitstring(lo | local, self.n))
-                    .or_insert(0) += 1;
-            }
-        }
-        counts
+        sample_counts_split_probs(&self.probabilities(false), shots, seed, split_bits)
     }
 
     /// Expectation of a diagonal observable `sum_i f(i) |amp_i|^2`.
@@ -682,6 +665,48 @@ impl StateVector {
             .fold(C64::ZERO, |acc, (a, b)| a.conj().mul_add(*b, acc));
         ip.norm_sqr()
     }
+}
+
+/// [`StateVector::sample_counts_split`] over a pre-built probability table
+/// (`probs.len()` must be a power of two). Sharing this body between the
+/// amplitude path and the planar sweep executor is what makes their counts
+/// bitwise-identical: both feed the same per-block masses and per-block
+/// seeded streams.
+pub fn sample_counts_split_probs(
+    probs: &[f64],
+    shots: usize,
+    seed: u64,
+    split_bits: usize,
+) -> BTreeMap<String, usize> {
+    let n = probs.len().trailing_zeros() as usize;
+    debug_assert_eq!(probs.len(), 1usize << n, "probability table must be 2^n");
+    let c = split_bits.min(n);
+    let block_len = 1usize << (n - c);
+    let masses: Vec<f64> = probs
+        .chunks(block_len)
+        .map(|block| block.iter().sum())
+        .collect();
+    let per_block = block_shot_split(&masses, shots, seed);
+    let mut counts = BTreeMap::new();
+    // One sampler reused across blocks: `rebuild` produces tables (and
+    // draw sequences) identical to a fresh build, without paying four
+    // allocations per nonzero block.
+    let mut sampler = AliasSampler::empty();
+    for (b, &s) in per_block.iter().enumerate() {
+        if s == 0 {
+            continue;
+        }
+        let lo = b * block_len;
+        sampler.rebuild(&probs[lo..lo + block_len]);
+        let mut rng = Rng::stream(seed, b as u64);
+        for _ in 0..s {
+            let local = sampler.sample(&mut rng);
+            *counts
+                .entry(index_to_bitstring(lo | local, n))
+                .or_insert(0) += 1;
+        }
+    }
+    counts
 }
 
 /// How many split blocks the canonical sampling scheme uses: enough that
@@ -756,7 +781,7 @@ pub(crate) fn insert_zero_bits(mut x: usize, sorted_qs: &[usize]) -> usize {
 /// Local gate index -> OR-mask of global target bits, for every local index.
 /// Precomputing this table hoists the per-amplitude bit-spreading loop out
 /// of the k-qubit kernels.
-fn local_offsets(qs: &[usize]) -> Vec<usize> {
+pub(crate) fn local_offsets(qs: &[usize]) -> Vec<usize> {
     (0..(1usize << qs.len()))
         .map(|local| {
             let mut off = 0usize;

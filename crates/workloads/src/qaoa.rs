@@ -45,6 +45,26 @@ pub fn qaoa_ansatz(qubo: &Qubo, p: usize) -> ParamCircuit {
     t
 }
 
+/// The QUBO energy as a diagonal Z observable: a constant offset plus
+/// `(mask, weight)` terms, where each mask selects the qubits of one
+/// `Z`-product. This is the input shape the sweep engine's
+/// `expectation_z`/`grad_expectation_z` consume, so
+/// `offset + expectation_z(theta, &terms)` is the exact mean energy of the
+/// ansatz state.
+pub fn qubo_z_terms(qubo: &Qubo) -> (f64, Vec<(usize, f64)>) {
+    let (h, j_terms, offset) = qubo.to_ising();
+    let mut terms = Vec::with_capacity(h.len() + j_terms.len());
+    for (i, &hi) in h.iter().enumerate() {
+        if hi != 0.0 {
+            terms.push((1usize << i, hi));
+        }
+    }
+    for &(i, j, jij) in &j_terms {
+        terms.push(((1usize << i) | (1usize << j), jij));
+    }
+    (offset, terms)
+}
+
 /// Mean QUBO energy of a counts histogram (bitstring keys in Qiskit order).
 pub fn counts_energy(qubo: &Qubo, counts: &std::collections::BTreeMap<String, usize>) -> f64 {
     let total: usize = counts.values().sum();
@@ -135,6 +155,30 @@ mod tests {
             (want - got).abs() < 1e-9 || (want - got).abs() > std::f64::consts::TAU - 1e-9,
             "phase {got} vs {want}"
         );
+    }
+
+    #[test]
+    fn qubo_z_terms_reproduce_basis_energies() {
+        let q = Qubo::random(6, 0.8, 5);
+        let (offset, terms) = qubo_z_terms(&q);
+        for bits in 0..(1usize << 6) {
+            let e: f64 = offset
+                + terms
+                    .iter()
+                    .map(|&(mask, w)| {
+                        if (bits & mask).count_ones() % 2 == 1 {
+                            -w
+                        } else {
+                            w
+                        }
+                    })
+                    .sum::<f64>();
+            assert!(
+                (e - q.energy_bits(bits)).abs() < 1e-10,
+                "bits {bits}: z-terms {e} vs qubo {}",
+                q.energy_bits(bits)
+            );
+        }
     }
 
     #[test]

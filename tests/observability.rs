@@ -63,8 +63,8 @@ fn dqaoa_trace_covers_every_layer() {
         "qpm.run_circuit",  // QPM dispatch
         "qrc.slot.acquire", // QRC slot lifecycle
         "qrc.execute",
-        "sv.apply", // engine phases
-        "sv.sample",
+        "sweep.compile", // engine phases (parameterized circuits run
+        "sweep.run",     // through the compiled sweep plan)
         "dqaoa.run", // driver
         "dqaoa.iteration",
         "dqaoa.sub_solve",

@@ -236,6 +236,88 @@ fn batching_cuts_invocations_with_identical_counts() {
 }
 
 #[test]
+fn symbolic_sweep_coalesces_to_one_invocation_without_touching_drr() {
+    // The same 32-point sweep, but submitted *symbolically*: each job is
+    // the skeleton plus a `bind` line, so the batcher keys on the exact
+    // skeleton text and the runner coalesces the whole batch into a
+    // single compile-once `execute_sweep` engine invocation.
+    let qubo = Qubo::random(6, 0.5, 11);
+    let ansatz = qaoa_ansatz(&qubo, 1);
+    let bindings: Vec<Vec<f64>> = (0..32)
+        .map(|i| {
+            let x = i as f64 / 32.0;
+            vec![0.3 + x, 0.7 - x]
+        })
+        .collect();
+    let spec = BackendSpec::of("nwqsim", "cpu");
+
+    // Reference: the same bound param jobs, unbatched (one invocation
+    // per job).
+    let (qrc_ref, _h1) = qrc_with(2, None);
+    let unbatched = Scheduler::start(Arc::clone(&qrc_ref), Obs::disabled(), SchedConfig::default());
+    let mut reference = Vec::new();
+    for (i, params) in bindings.iter().enumerate() {
+        let env = JobEnvelope::new_param("sweep", &ansatz, params, 256)
+            .with_spec(spec.clone())
+            .with_seed(7_000 + i as u64);
+        let id = unbatched.submit(env).unwrap();
+        match unbatched.wait(id, T) {
+            JobStatus::Done(r) => reference.push(r.counts),
+            other => panic!("reference job {i} ended as {other:?}"),
+        }
+    }
+    assert_eq!(qrc_ref.engine_invocations(), 32);
+    unbatched.shutdown();
+
+    // Coalesced: max_batch covers the whole sweep, so all 32 jobs ride
+    // one execute_sweep invocation.
+    let (qrc_b, _h2) = qrc_with(2, None);
+    let batched = Scheduler::start(
+        Arc::clone(&qrc_b),
+        Obs::disabled(),
+        SchedConfig {
+            max_batch: 32,
+            start_paused: true,
+            ..SchedConfig::default()
+        },
+    );
+    let ids: Vec<_> = bindings
+        .iter()
+        .enumerate()
+        .map(|(i, params)| {
+            let env = JobEnvelope::new_param("sweep", &ansatz, params, 256)
+                .with_spec(spec.clone())
+                .with_seed(7_000 + i as u64);
+            batched.submit(env).unwrap()
+        })
+        .collect();
+    batched.resume();
+    for (i, id) in ids.iter().enumerate() {
+        match batched.wait(*id, T) {
+            JobStatus::Done(r) => assert_eq!(
+                r.counts, reference[i],
+                "sweep counts diverged from unbatched at point {i}"
+            ),
+            other => panic!("sweep job {i} ended as {other:?}"),
+        }
+    }
+    assert_eq!(
+        qrc_b.engine_invocations(),
+        1,
+        "32-job symbolic sweep must ride one engine invocation"
+    );
+    // DRR accounting is untouched by coalescing: every job is logged
+    // individually at dispatch time and counted in `dispatched`; the
+    // whole sweep is one batch.
+    let stats = batched.stats();
+    assert_eq!(stats.dispatched, 32);
+    assert_eq!(stats.batches, 1);
+    assert_eq!(batched.dispatch_log().len(), 32);
+    assert!(batched.dispatch_log().iter().all(|t| t == "sweep"));
+    batched.shutdown();
+}
+
+#[test]
 fn chaos_slot_death_preserves_fairness() {
     let plan = Arc::new(FaultPlan::seeded(77).inject("qrc.slot_death", FaultSpec::first(2)));
     let (qrc, _hetjob) = qrc_with(4, Some(plan));
