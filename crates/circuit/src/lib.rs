@@ -16,6 +16,9 @@
 //!   entanglement heuristics (drives MPS-vs-SV backend selection).
 //! * [`text`] — a line-oriented textual dump/parse (`qfwasm`), the on-the-wire
 //!   circuit format marshaled by the DEFw RPC layer.
+//! * [`hash`] — canonical 128-bit content hashing (normalize via [`text`],
+//!   then FNV-1a), the key scheme behind the content-addressed result and
+//!   plan caches.
 //! * [`transpile`] — lowering onto a `{rz, sx, cx}` native basis via ZYZ
 //!   decomposition and CX templates, the shape hardware targets require.
 //! * [`controlled`] — controlled versions of gates and whole circuits, the
@@ -28,10 +31,12 @@ pub mod analysis;
 pub mod circuit;
 pub mod controlled;
 pub mod gate;
+pub mod hash;
 pub mod param;
 pub mod text;
 pub mod transpile;
 
 pub use circuit::{Circuit, Op};
 pub use gate::Gate;
+pub use hash::{canonical_hash, canonical_text, ContentHash};
 pub use param::{Angle, ParamCircuit, ParamOp};

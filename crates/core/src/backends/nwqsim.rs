@@ -7,33 +7,62 @@
 use crate::backends::{
     sweep_via_execute, unmarshal_circuit, unmarshal_param, BackendQpm, ExecContext,
 };
+use crate::cache::{report_event, CacheConfig, CacheEvent, ShardedLru};
 use crate::error::QfwError;
 use crate::result::QfwResult;
 use crate::spec::{BackendSpec, ExecTask, SweepTask};
-use parking_lot::Mutex;
-use qfw_circuit::{text, ParamCircuit};
+use qfw_circuit::hash::ContentHash;
+use qfw_circuit::{text, Circuit, ParamCircuit};
 use qfw_hpc::Stopwatch;
 use qfw_obs::Obs;
 use qfw_sim_sv::dist::{run_distributed_with, RouteStrategy};
+use qfw_sim_sv::fusion::fuse;
 use qfw_sim_sv::noise::{run_noisy, NoiseModel};
 use qfw_sim_sv::{
     FusionLevel, SvConfig, SvSimulator, SweepError, SweepPlan, SweepPoint, Threading,
 };
 use std::sync::Arc;
 
-/// Compiled sweep plans retained per backend instance (LRU).
-const PLAN_CACHE_CAP: usize = 8;
+/// Compiled sweep plans retained per backend instance (sharded LRU).
+const PLAN_CACHE_CAP: usize = 64;
+/// Fused concrete circuits retained per backend instance (sharded LRU).
+const FUSED_CACHE_CAP: usize = 256;
 
 /// NWQ-Sim analog Backend-QPM.
 ///
-/// Parameterized (`qfwasm-param`) tasks on the `cpu`/`openmp` sub-backends
-/// run through a compile-once sweep plan cached by skeleton, so variational
-/// loops stop paying per-iteration transpile+fusion; single bound tasks and
-/// full sweeps share the plan path, keeping their counts bitwise identical.
-#[derive(Default)]
+/// Two compiled-artifact cache tiers hang off each instance:
+///
+/// * Parameterized (`qfwasm-param`) tasks on the `cpu`/`openmp`
+///   sub-backends run through a compile-once sweep plan cached by
+///   skeleton, so variational loops stop paying per-iteration
+///   transpile+fusion; single bound tasks and full sweeps share the plan
+///   path, keeping their counts bitwise identical.
+/// * Concrete (`qfwasm`) tasks cache their **fused** circuit keyed by the
+///   canonical content hash, so repeat (and near-repeat: different
+///   seed/shots) submissions skip the fusion pre-pass entirely and go
+///   straight to gate application.
+///
+/// Both tiers report `cache.{hit,miss,evict}` (and `cache.plan.*` /
+/// `cache.fused.*`) counters on the per-execution obs handle.
 pub struct NwqSimBackend {
-    /// LRU of compiled plans keyed by `sub|fusion|skeleton-text`.
-    plans: Mutex<Vec<(String, Arc<SweepPlan>)>>,
+    /// Compiled sweep plans keyed by hash of `sub|fusion|skeleton-text`.
+    plans: ShardedLru<Arc<SweepPlan>>,
+    /// Fused concrete circuits keyed by canonical circuit hash + fusion
+    /// tier.
+    fused: ShardedLru<Arc<Circuit>>,
+}
+
+impl Default for NwqSimBackend {
+    fn default() -> Self {
+        // Built over the disabled handle: instances exist before any
+        // session obs does. Events are reported per-execution instead
+        // (see `crate::cache::report_event`).
+        let obs = Obs::disabled();
+        NwqSimBackend {
+            plans: ShardedLru::new(CacheConfig::with_capacity(PLAN_CACHE_CAP), &obs, "plan"),
+            fused: ShardedLru::new(CacheConfig::with_capacity(FUSED_CACHE_CAP), &obs, "fused"),
+        }
+    }
 }
 
 impl NwqSimBackend {
@@ -75,17 +104,14 @@ impl NwqSimBackend {
         template: &ParamCircuit,
         obs: &Obs,
     ) -> Result<(Arc<SweepPlan>, bool), SweepError> {
-        {
-            let mut plans = self.plans.lock();
-            if let Some(pos) = plans.iter().position(|(k, _)| *k == key) {
-                let entry = plans.remove(pos);
-                let plan = Arc::clone(&entry.1);
-                plans.push(entry);
-                return Ok((plan, true));
-            }
+        let hash = ContentHash::of_bytes(key.as_bytes());
+        if let Some(plan) = self.plans.get(hash) {
+            report_event(obs, "plan", CacheEvent::Hit);
+            return Ok((plan, true));
         }
-        // Compile outside the lock: concurrent misses may compile twice,
-        // but never block each other on a multi-millisecond fuse.
+        report_event(obs, "plan", CacheEvent::Miss);
+        // Compile outside any shard lock: concurrent misses may compile
+        // twice, but never block each other on a multi-millisecond fuse.
         let mut span = obs
             .span("engine", "sweep.compile")
             .attr("ops_in", template.ops().len())
@@ -93,12 +119,41 @@ impl NwqSimBackend {
         let plan = Arc::new(engine.compile_sweep(template)?);
         span.set_attr("slots", plan.num_slots());
         drop(span);
-        let mut plans = self.plans.lock();
-        if plans.len() >= PLAN_CACHE_CAP {
-            plans.remove(0);
+        if self.plans.insert(hash, Arc::clone(&plan)) {
+            report_event(obs, "plan", CacheEvent::Evict);
         }
-        plans.push((key, Arc::clone(&plan)));
         Ok((plan, false))
+    }
+
+    /// Fetches (or fuses and caches) the fused form of a concrete circuit.
+    /// Returns the fused circuit and whether it was served from the cache.
+    ///
+    /// Callers run the returned circuit with [`FusionLevel::None`]: fusion
+    /// already happened, so re-fusing would be wasted work (the fused ops
+    /// are opaque unitaries the pass would pass through anyway).
+    fn fused_for(
+        &self,
+        circuit: &Circuit,
+        fusion: FusionLevel,
+        obs: &Obs,
+    ) -> (Arc<Circuit>, bool) {
+        let key = ContentHash::of_bytes(text::dump(circuit).as_bytes())
+            .fold_str(&format!("{fusion:?}"));
+        if let Some(fused) = self.fused.get(key) {
+            report_event(obs, "fused", CacheEvent::Hit);
+            return (fused, true);
+        }
+        report_event(obs, "fused", CacheEvent::Miss);
+        let mut span = obs
+            .span("engine", "sv.fuse")
+            .attr("ops_in", circuit.ops().len());
+        let fused = Arc::new(fuse(circuit, fusion));
+        span.set_attr("ops_out", fused.ops().len());
+        drop(span);
+        if self.fused.insert(key, Arc::clone(&fused)) {
+            report_event(obs, "fused", CacheEvent::Evict);
+        }
+        (fused, false)
     }
 
     /// The local compile-once path for one bound parameterized task.
@@ -221,18 +276,35 @@ impl BackendQpm for NwqSimBackend {
                 let _lease = ctx.lease_cores(cores)?;
                 let sw = Stopwatch::start();
                 if noise.is_ideal() {
+                    // With fusion enabled, fuse through the per-instance
+                    // cache and run the pre-fused circuit with fusion off —
+                    // bitwise identical (sampling depends only on the final
+                    // state, qubit count, and seed), but repeat submissions
+                    // skip the fusion pre-pass. `fusion=false` bypasses the
+                    // cache so the unfused gate stream runs verbatim.
+                    let (to_run, fusion_cached) = if fusion == FusionLevel::None {
+                        (Arc::new(circuit), None)
+                    } else {
+                        let (fused, cached) = self.fused_for(&circuit, fusion, ctx.obs);
+                        (fused, Some(cached))
+                    };
                     let engine = SvSimulator::new(SvConfig {
                         threading,
-                        fusion,
+                        fusion: FusionLevel::None,
                         ..SvConfig::default()
                     });
-                    let out = engine.run_traced(&circuit, task.shots, task.seed, ctx.obs);
+                    let out = engine.run_traced(&to_run, task.shots, task.seed, ctx.obs);
                     result.counts = out.counts;
                     result.profile.exec_secs = out.gate_time.as_secs_f64();
                     result.profile.sample_secs = out.sample_time.as_secs_f64();
                     result
                         .metadata
                         .insert("gates_applied".into(), out.gates_applied.to_string());
+                    if let Some(cached) = fusion_cached {
+                        result
+                            .metadata
+                            .insert("fusion_cached".into(), cached.to_string());
+                    }
                 } else {
                     result.counts = run_noisy(&circuit, task.shots, task.seed, &noise, 64);
                     result.profile.exec_secs = sw.elapsed_secs();
@@ -576,6 +648,26 @@ mod tests {
         let result = NwqSimBackend::default().execute(&task, &rig.ctx()).unwrap();
         // GHZ(4) has 4 gates; without fusion all 4 are applied verbatim.
         assert_eq!(result.metadata["gates_applied"], "4");
+        // fusion=false bypasses the fused-circuit cache entirely.
+        assert!(!result.metadata.contains_key("fusion_cached"));
+    }
+
+    #[test]
+    fn concrete_task_hits_fused_cache_on_second_call() {
+        let rig = TestRig::new(1);
+        let backend = NwqSimBackend::default();
+        let task = ghz_task(6, 300, BackendSpec::of("nwqsim", "cpu"));
+        let first = backend.execute(&task, &rig.ctx()).unwrap();
+        assert_eq!(first.metadata["fusion_cached"], "false");
+        let second = backend.execute(&task, &rig.ctx()).unwrap();
+        assert_eq!(second.metadata["fusion_cached"], "true");
+        // Same seed, same fused circuit: bitwise identical counts.
+        assert_eq!(first.counts, second.counts);
+        // Different shots/seed still hit the cache (key is circuit+fusion).
+        let mut varied = ghz_task(6, 150, BackendSpec::of("nwqsim", "cpu"));
+        varied.seed ^= 0x5eed;
+        let third = backend.execute(&varied, &rig.ctx()).unwrap();
+        assert_eq!(third.metadata["fusion_cached"], "true");
     }
 
     /// A QAOA-shaped two-parameter skeleton used by the sweep tests.

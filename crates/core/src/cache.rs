@@ -1,0 +1,432 @@
+//! Content-addressed caches: a sharded, LRU-bounded map plus the two
+//! cache tiers the ingress path uses.
+//!
+//! * [`ShardedLru`] — the shared substrate: `2^k` shards, one mutex each,
+//!   keyed by 128-bit [`ContentHash`] values. A lookup touches exactly one
+//!   shard, so concurrent ingress workers rarely contend; eviction is
+//!   LRU-by-access-tick within the shard that overflows.
+//! * [`ResultCache`] — tier 1: completed [`QfwResult`]s keyed on
+//!   (canonical circuit hash, seed, shots, backend spec). A hit returns
+//!   bitwise-identical counts without touching the scheduler or an
+//!   engine. Everything that feeds the key is part of the executed
+//!   computation, and every engine is deterministic in (circuit, seed),
+//!   so a hit is always sound.
+//! * Tier 2 — compiled/fused-plan caching — reuses [`ShardedLru`]
+//!   directly with engine-specific values (see
+//!   `backends::nwqsim::NwqSimBackend`): sweep plans keyed by skeleton,
+//!   fused concrete circuits keyed by canonical circuit hash.
+//!
+//! Every tier reports `cache.hit` / `cache.miss` / `cache.evict` counters
+//! (plus per-tier `cache.<tier>.*` variants) through the [`Obs`] handle it
+//! was built with.
+
+use crate::result::QfwResult;
+use crate::spec::BackendSpec;
+use parking_lot::Mutex;
+use qfw_circuit::hash::{canonical_hash, ContentHash};
+use qfw_obs::{Counter, Obs};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Capacity/sharding knobs for one cache tier.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Maximum entries across all shards (0 disables the cache: every
+    /// lookup misses, every insert is dropped).
+    pub capacity: usize,
+    /// Shard count hint; rounded up to a power of two and capped so every
+    /// shard holds at least one entry.
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 4096,
+            shards: 8,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A cache bounded to `capacity` entries with default sharding.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CacheConfig {
+            capacity,
+            ..CacheConfig::default()
+        }
+    }
+}
+
+/// Point-in-time counters for one cache tier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a value.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct Shard<V> {
+    /// key → (last-access tick, value).
+    map: HashMap<u128, (u64, V)>,
+    capacity: usize,
+}
+
+impl<V> Shard<V> {
+    /// Evicts the least-recently-used entry. Linear scan over the shard —
+    /// shards are small (capacity/shards) and this runs only on insert
+    /// into a full shard, never on the lookup path.
+    fn evict_lru(&mut self) {
+        if let Some(&key) = self
+            .map
+            .iter()
+            .min_by_key(|(_, (tick, _))| *tick)
+            .map(|(k, _)| k)
+        {
+            self.map.remove(&key);
+        }
+    }
+}
+
+/// A sharded, LRU-bounded, 128-bit-keyed concurrent map.
+///
+/// Values are cloned out on hit, so `V` is typically an `Arc<T>`.
+pub struct ShardedLru<V> {
+    shards: Box<[Mutex<Shard<V>>]>,
+    /// Shard selector mask (`shards.len() - 1`, power of two).
+    mask: usize,
+    /// Global access tick; per-entry recency stamps come from here.
+    tick: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    tier_hits: Counter,
+    tier_misses: Counter,
+    tier_evictions: Counter,
+}
+
+impl<V: Clone> ShardedLru<V> {
+    /// Builds a cache tier named `tier` (metrics label), reporting to
+    /// `obs`.
+    pub fn new(cfg: CacheConfig, obs: &Obs, tier: &str) -> ShardedLru<V> {
+        let shard_count = cfg
+            .shards
+            .max(1)
+            .next_power_of_two()
+            .min(cfg.capacity.max(1).next_power_of_two());
+        // Distribute capacity; every shard gets at least one slot when the
+        // cache is enabled at all.
+        let per_shard = if cfg.capacity == 0 {
+            0
+        } else {
+            cfg.capacity.div_ceil(shard_count)
+        };
+        let shards = (0..shard_count)
+            .map(|_| {
+                Mutex::new(Shard {
+                    map: HashMap::new(),
+                    capacity: per_shard,
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ShardedLru {
+            shards,
+            mask: shard_count - 1,
+            tick: AtomicU64::new(0),
+            hits: obs.counter("cache.hit"),
+            misses: obs.counter("cache.miss"),
+            evictions: obs.counter("cache.evict"),
+            tier_hits: obs.counter(&format!("cache.{tier}.hit")),
+            tier_misses: obs.counter(&format!("cache.{tier}.miss")),
+            tier_evictions: obs.counter(&format!("cache.{tier}.evict")),
+        }
+    }
+
+    fn shard_for(&self, key: ContentHash) -> &Mutex<Shard<V>> {
+        // The low bits of an FNV hash are well mixed; fold the high half
+        // in anyway so sharding never degenerates on structured folds.
+        let k = key.value();
+        let idx = ((k ^ (k >> 64)) as usize) & self.mask;
+        &self.shards[idx]
+    }
+
+    /// Looks up a key, refreshing its recency on hit.
+    pub fn get(&self, key: ContentHash) -> Option<V> {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_for(key).lock();
+        match shard.map.get_mut(&key.value()) {
+            Some((stamp, v)) => {
+                *stamp = tick;
+                let v = v.clone();
+                drop(shard);
+                self.hits.inc();
+                self.tier_hits.inc();
+                Some(v)
+            }
+            None => {
+                drop(shard);
+                self.misses.inc();
+                self.tier_misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a key, evicting the shard's LRU entry under
+    /// capacity pressure. Returns whether an eviction happened.
+    pub fn insert(&self, key: ContentHash, value: V) -> bool {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_for(key).lock();
+        if shard.capacity == 0 {
+            return false;
+        }
+        let mut evicted = false;
+        if !shard.map.contains_key(&key.value()) && shard.map.len() >= shard.capacity {
+            shard.evict_lru();
+            evicted = true;
+        }
+        shard.map.insert(key.value(), (tick, value));
+        drop(shard);
+        if evicted {
+            self.evictions.inc();
+            self.tier_evictions.inc();
+        }
+        evicted
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().map.is_empty())
+    }
+
+    /// Point-in-time statistics for this tier.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.tier_hits.get(),
+            misses: self.tier_misses.get(),
+            evictions: self.tier_evictions.get(),
+            entries: self.len(),
+        }
+    }
+
+    /// Drops every entry (invalidation; counters are monotone and keep
+    /// their values).
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.lock().map.clear();
+        }
+    }
+}
+
+/// A cache event, for owners that report onto a per-call [`Obs`] handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// A lookup was served from the cache.
+    Hit,
+    /// A lookup found nothing.
+    Miss,
+    /// An insert displaced an entry.
+    Evict,
+}
+
+/// Increments `cache.<event>` and `cache.<tier>.<event>` on `obs`.
+///
+/// Backend instances are constructed without an observability handle (the
+/// registry predates the session), so their plan caches are built over the
+/// disabled handle and instead report per-execution events here, onto the
+/// `ExecContext`'s live obs.
+pub fn report_event(obs: &Obs, tier: &str, event: CacheEvent) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let name = match event {
+        CacheEvent::Hit => "hit",
+        CacheEvent::Miss => "miss",
+        CacheEvent::Evict => "evict",
+    };
+    obs.counter(&format!("cache.{name}")).inc();
+    obs.counter(&format!("cache.{tier}.{name}")).inc();
+}
+
+/// Folds the non-circuit components of an execution into its cache key.
+///
+/// The key covers everything that can change the bitstring counts: the
+/// canonical circuit, sampling seed, shot budget, and the full backend
+/// spec (backend, sub-backend, ranks, and every extra property — noise
+/// strengths, fusion toggles, routing choices all live there).
+pub fn result_key(circuit: &str, seed: u64, shots: usize, spec: &BackendSpec) -> ContentHash {
+    let mut h = canonical_hash(circuit)
+        .fold_u64(seed)
+        .fold_u64(shots as u64)
+        .fold_str(&spec.backend)
+        .fold_str(&spec.subbackend)
+        .fold_u64(spec.ranks as u64);
+    for (k, v) in &spec.extra {
+        h = h.fold_str(k).fold_str(v);
+    }
+    h
+}
+
+/// Tier 1: the content-addressed result cache.
+///
+/// Stores completed results behind `Arc` so hits never copy the counts
+/// histogram. The stored result is exactly what the engine produced —
+/// callers who want to flag a served-from-cache response add metadata on
+/// their own copy.
+pub struct ResultCache {
+    lru: ShardedLru<Arc<QfwResult>>,
+}
+
+impl ResultCache {
+    /// Builds the tier over `obs` (metrics tier label: `result`).
+    pub fn new(cfg: CacheConfig, obs: &Obs) -> ResultCache {
+        ResultCache {
+            lru: ShardedLru::new(cfg, obs, "result"),
+        }
+    }
+
+    /// The cache key for one execution.
+    pub fn key(circuit: &str, seed: u64, shots: usize, spec: &BackendSpec) -> ContentHash {
+        result_key(circuit, seed, shots, spec)
+    }
+
+    /// Looks up a completed result.
+    pub fn get(&self, key: ContentHash) -> Option<Arc<QfwResult>> {
+        self.lru.get(key)
+    }
+
+    /// Records a completed result.
+    pub fn insert(&self, key: ContentHash, result: Arc<QfwResult>) {
+        self.lru.insert(key, result);
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.lru.stats()
+    }
+
+    /// Drops every cached result.
+    pub fn clear(&self) {
+        self.lru.clear()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfw_circuit::hash::ContentHash;
+
+    fn lru(capacity: usize, shards: usize) -> ShardedLru<Arc<u64>> {
+        // A fresh handle per test: `Obs::disabled()` is a process-wide
+        // singleton whose metrics registry would be shared across tests.
+        ShardedLru::new(CacheConfig { capacity, shards }, &Obs::wall(), "test")
+    }
+
+    fn key(i: u64) -> ContentHash {
+        ContentHash::of_bytes(&i.to_le_bytes())
+    }
+
+    #[test]
+    fn get_insert_round_trip() {
+        let c = lru(8, 2);
+        assert!(c.get(key(1)).is_none());
+        c.insert(key(1), Arc::new(10));
+        assert_eq!(*c.get(key(1)).unwrap(), 10);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn eviction_is_lru_within_shard() {
+        // Single shard, capacity 2: inserting a third key evicts the
+        // least recently *accessed* one.
+        let c = lru(2, 1);
+        c.insert(key(1), Arc::new(1));
+        c.insert(key(2), Arc::new(2));
+        assert!(c.get(key(1)).is_some()); // refresh 1 → 2 becomes LRU
+        c.insert(key(3), Arc::new(3));
+        assert!(c.get(key(2)).is_none(), "LRU entry must be evicted");
+        assert!(c.get(key(1)).is_some());
+        assert!(c.get(key(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn capacity_bound_holds_under_pressure() {
+        let c = lru(16, 4);
+        for i in 0..500 {
+            c.insert(key(i), Arc::new(i));
+        }
+        assert!(c.len() <= 16 + 3, "len {} exceeds bound", c.len());
+        assert!(c.stats().evictions > 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c = lru(0, 4);
+        c.insert(key(1), Arc::new(1));
+        assert!(c.get(key(1)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_same_key_does_not_evict() {
+        let c = lru(1, 1);
+        c.insert(key(1), Arc::new(1));
+        c.insert(key(1), Arc::new(2));
+        assert_eq!(*c.get(key(1)).unwrap(), 2);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn obs_counters_are_reported() {
+        let obs = Obs::virtual_clock(1);
+        let c: ShardedLru<Arc<u64>> = ShardedLru::new(
+            CacheConfig {
+                capacity: 1,
+                shards: 1,
+            },
+            &obs,
+            "t",
+        );
+        c.insert(key(1), Arc::new(1));
+        c.get(key(1));
+        c.get(key(2));
+        c.insert(key(2), Arc::new(2)); // evicts 1
+        let snap = obs.metrics_snapshot();
+        assert!(snap.contains("\"cache.hit\":1"), "{snap}");
+        assert!(snap.contains("\"cache.miss\":1"), "{snap}");
+        assert!(snap.contains("\"cache.evict\":1"), "{snap}");
+        assert!(snap.contains("\"cache.t.hit\":1"), "{snap}");
+    }
+
+    #[test]
+    fn result_key_separates_every_component() {
+        let circ = "qfwasm 1\nqubits 2\nh q0\ncx q0 q1\nmeasure q0 -> c0\nmeasure q1 -> c1\n";
+        let spec = BackendSpec::of("nwqsim", "cpu");
+        let base = result_key(circ, 7, 100, &spec);
+        assert_ne!(base, result_key(circ, 8, 100, &spec));
+        assert_ne!(base, result_key(circ, 7, 101, &spec));
+        assert_ne!(base, result_key(circ, 7, 100, &BackendSpec::of("aer", "cpu")));
+        assert_ne!(
+            base,
+            result_key(circ, 7, 100, &spec.clone().with_extra("noise_p1", 0.01))
+        );
+        // Canonicalization: a formatting variant keys identically.
+        let noisy = circ.replace("\nh q0", "\n# c\n\nh q0");
+        assert_eq!(base, result_key(&noisy, 7, 100, &spec));
+    }
+}

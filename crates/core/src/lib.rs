@@ -29,6 +29,7 @@
 //!   marshals into (step 9), with uniform timing instrumentation.
 
 pub mod backends;
+pub mod cache;
 pub mod error;
 pub mod frontend;
 pub mod qpm;
@@ -39,6 +40,7 @@ pub mod selector;
 pub mod session;
 pub mod spec;
 
+pub use cache::{CacheConfig, CacheStats, ResultCache, ShardedLru};
 pub use error::QfwError;
 pub use frontend::{QfwBackend, QfwJob, QfwSweepJob};
 pub use qrc::{DispatchPolicy, Qrc, SlotSnapshot};

@@ -1,0 +1,571 @@
+//! Pipelined, multiplexed ingress: the high-throughput front door.
+//!
+//! [`Defw`](crate::Defw) models the paper's RPC hub faithfully — one
+//! rendezvous channel per call, a service registry consulted per dispatch —
+//! which is the right shape for control-plane traffic but tops out well
+//! below what a batched variational workload generates. This module is the
+//! data-plane alternative:
+//!
+//! * **Multiplexing** — one [`Connection`] carries many concurrent logical
+//!   requests, each tagged with a per-connection correlation id. Replies
+//!   come back over the connection's single reply channel, possibly out of
+//!   order; [`Connection::call`] stashes strays so pipelined callers can
+//!   also do simple request/response.
+//! * **Bounded admission** — the shared request queue has a hard depth.
+//!   When it is full, [`Connection::send_raw`] fails *immediately* with
+//!   [`IngressError::Overloaded`] carrying a `retry_after` hint derived
+//!   from the observed service rate — typed backpressure instead of
+//!   unbounded buffering (see Section 2.2's sustained-load requirement).
+//! * **Lock-free hot path** — every request frame carries a clone of its
+//!   connection's reply sender, so workers route replies without
+//!   consulting any registry lock; the handler is a fixed `Arc` installed
+//!   at startup. The only synchronization on the hot path is the queue's
+//!   own channel mutex.
+//!
+//! The handler is the same byte-level [`Service`] trait the hub uses, so a
+//! [`MethodTable`](crate::MethodTable) built for `Defw` plugs in unchanged
+//! — the scheduler's ingress service (in `qfw-sched`) does exactly that.
+
+use crate::{RpcError, Service};
+use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
+use qfw_obs::Obs;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by ingress operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngressError {
+    /// The request queue is full; retry after the hinted backoff. The hint
+    /// is the expected time for the backlog ahead of you to drain.
+    Overloaded {
+        /// Suggested client backoff before retrying.
+        retry_after: Duration,
+    },
+    /// The handler (or codec) failed; see the wrapped RPC error.
+    Rpc(RpcError),
+    /// No reply arrived within the deadline.
+    Timeout {
+        /// Correlation id of the lost request.
+        correlation: u64,
+    },
+    /// The ingress was shut down.
+    Shutdown,
+}
+
+impl std::fmt::Display for IngressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngressError::Overloaded { retry_after } => {
+                write!(f, "ingress overloaded; retry after {retry_after:?}")
+            }
+            IngressError::Rpc(e) => write!(f, "{e}"),
+            IngressError::Timeout { correlation } => {
+                write!(f, "request {correlation} timed out")
+            }
+            IngressError::Shutdown => write!(f, "ingress shut down"),
+        }
+    }
+}
+
+impl std::error::Error for IngressError {}
+
+impl From<RpcError> for IngressError {
+    fn from(e: RpcError) -> Self {
+        IngressError::Rpc(e)
+    }
+}
+
+/// Ingress tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct IngressConfig {
+    /// Maximum queued (admitted, not yet dispatched) requests. Admission
+    /// beyond this fails with [`IngressError::Overloaded`].
+    pub queue_depth: usize,
+    /// Dispatcher threads draining the queue into the handler.
+    pub workers: usize,
+}
+
+impl Default for IngressConfig {
+    fn default() -> Self {
+        IngressConfig {
+            queue_depth: 1024,
+            workers: 4,
+        }
+    }
+}
+
+/// One reply frame, delivered over the connection's reply channel.
+#[derive(Debug)]
+pub struct ReplyFrame {
+    /// Correlation id of the request this answers.
+    pub correlation: u64,
+    /// Handler outcome: raw reply bytes or the error.
+    pub body: Result<Vec<u8>, IngressError>,
+}
+
+/// A queued request: the frame plus its return path. The reply sender is a
+/// clone of the *connection's* channel, so workers never look anything up
+/// to route a reply.
+struct Job {
+    conn: u64,
+    correlation: u64,
+    method: String,
+    payload: Arc<Vec<u8>>,
+    reply: Sender<ReplyFrame>,
+    enqueued: Instant,
+}
+
+/// Point-in-time ingress statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngressStats {
+    /// Requests admitted into the queue.
+    pub accepted: u64,
+    /// Requests rejected with `Overloaded` at admission.
+    pub rejected: u64,
+    /// Requests fully handled (ok or handler error).
+    pub completed: u64,
+    /// Handled requests that returned an error.
+    pub errors: u64,
+}
+
+struct Shared {
+    queue: Sender<Job>,
+    queue_depth: usize,
+    workers: usize,
+    conn_ids: AtomicU64,
+    /// EWMA of per-request handle time, microseconds (seeded at 1ms).
+    avg_handle_us: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    obs: Obs,
+}
+
+impl Shared {
+    /// Expected drain time for the current backlog: the `Overloaded` hint.
+    fn retry_after(&self) -> Duration {
+        let avg_us = self.avg_handle_us.load(Ordering::Relaxed).max(1);
+        let backlog = self.queue.len() as u64 + 1;
+        let positions = backlog.div_ceil(self.workers.max(1) as u64);
+        Duration::from_micros((avg_us * positions).clamp(100, 60_000_000))
+    }
+}
+
+/// The ingress: a bounded queue plus a worker pool over one [`Service`].
+pub struct Ingress {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Ingress {
+    /// Starts the ingress over `handler`. Counters and `ingress.handle`
+    /// spans are recorded on `obs` when enabled.
+    pub fn start(config: IngressConfig, handler: Arc<dyn Service>, obs: Obs) -> Ingress {
+        assert!(config.workers >= 1, "need at least one ingress worker");
+        assert!(config.queue_depth >= 1, "queue depth must be positive");
+        let (tx, rx): (Sender<Job>, Receiver<Job>) =
+            crossbeam::channel::bounded(config.queue_depth);
+        let shared = Arc::new(Shared {
+            queue: tx,
+            queue_depth: config.queue_depth,
+            workers: config.workers,
+            conn_ids: AtomicU64::new(1),
+            avg_handle_us: AtomicU64::new(1_000),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            obs,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let shared = Arc::clone(&shared);
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("ingress-worker-{i}"))
+                    .spawn(move || Self::worker_loop(rx, shared, handler))
+                    .expect("spawn ingress worker")
+            })
+            .collect();
+        Ingress { shared, workers }
+    }
+
+    fn worker_loop(rx: Receiver<Job>, shared: Arc<Shared>, handler: Arc<dyn Service>) {
+        let obs = shared.obs.clone();
+        while let Ok(job) = rx.recv() {
+            let queue_us = job.enqueued.elapsed().as_micros() as u64;
+            let mut span = obs.span("ingress", "ingress.handle");
+            span.set_attr("conn", job.conn);
+            span.set_attr("correlation", job.correlation);
+            span.set_attr("method", job.method.as_str());
+            let start = Instant::now();
+            let result = handler.handle(&job.method, &job.payload);
+            let handle_us = start.elapsed().as_micros() as u64;
+            span.set_attr("ok", result.is_ok());
+            drop(span);
+
+            // EWMA (7/8 old, 1/8 new): cheap, lock-free service-rate
+            // estimate feeding the Overloaded retry hint.
+            let old = shared.avg_handle_us.load(Ordering::Relaxed);
+            let new = (old.saturating_mul(7) + handle_us.max(1)) / 8;
+            shared.avg_handle_us.store(new, Ordering::Relaxed);
+
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            if result.is_err() {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            if obs.is_enabled() {
+                obs.counter("ingress.handled").inc();
+                if result.is_err() {
+                    obs.counter("ingress.errors").inc();
+                }
+                obs.histogram("ingress.queue_us").observe_us(queue_us);
+                obs.histogram("ingress.handle_us").observe_us(handle_us);
+            }
+            // The connection may be gone — replies to the dead are free.
+            let _ = job.reply.send(ReplyFrame {
+                correlation: job.correlation,
+                body: result.map_err(IngressError::from),
+            });
+        }
+    }
+
+    /// Opens a logical client connection (cheap; no handshake).
+    pub fn connect(&self) -> Connection {
+        let (tx, rx) = unbounded();
+        Connection {
+            shared: Arc::clone(&self.shared),
+            conn: self.shared.conn_ids.fetch_add(1, Ordering::Relaxed),
+            correlation: AtomicU64::new(1),
+            reply_tx: tx,
+            reply_rx: rx,
+            stash: parking_lot::Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> IngressStats {
+        IngressStats {
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Requests admitted but not yet dispatched.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// The configured queue depth (admission bound).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue_depth
+    }
+
+    /// Drops the queue and joins workers that have already finished;
+    /// like [`Defw::shutdown`](crate::Defw::shutdown), workers holding
+    /// live connections exit once the last connection drops.
+    pub fn shutdown(self) {
+        let Ingress { shared, workers } = self;
+        drop(shared);
+        for w in workers {
+            if w.is_finished() {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+/// One logical client: pipelined sends, multiplexed replies.
+///
+/// Not `Clone` — each concurrent logical client opens its own connection
+/// via [`Ingress::connect`] (ids are per-connection, the reply channel is
+/// single-consumer).
+pub struct Connection {
+    shared: Arc<Shared>,
+    conn: u64,
+    correlation: AtomicU64,
+    reply_tx: Sender<ReplyFrame>,
+    reply_rx: Receiver<ReplyFrame>,
+    /// Replies that arrived while a different correlation id was being
+    /// awaited in [`Connection::call`].
+    stash: parking_lot::Mutex<HashMap<u64, Result<Vec<u8>, IngressError>>>,
+}
+
+impl Connection {
+    /// This connection's id (appears in `ingress.handle` span attrs).
+    pub fn id(&self) -> u64 {
+        self.conn
+    }
+
+    /// Enqueues pre-serialized bytes; returns the correlation id the reply
+    /// will carry. Fails fast with [`IngressError::Overloaded`] when the
+    /// queue is full — never blocks, never buffers beyond the bound.
+    pub fn send_raw(
+        &self,
+        method: &str,
+        payload: Arc<Vec<u8>>,
+    ) -> Result<u64, IngressError> {
+        let correlation = self.correlation.fetch_add(1, Ordering::Relaxed);
+        let job = Job {
+            conn: self.conn,
+            correlation,
+            method: method.to_string(),
+            payload,
+            reply: self.reply_tx.clone(),
+            enqueued: Instant::now(),
+        };
+        match self.shared.queue.try_send(job) {
+            Ok(()) => {
+                self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+                if self.shared.obs.is_enabled() {
+                    self.shared.obs.counter("ingress.accepted").inc();
+                }
+                Ok(correlation)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                if self.shared.obs.is_enabled() {
+                    self.shared.obs.counter("ingress.rejected").inc();
+                }
+                Err(IngressError::Overloaded {
+                    retry_after: self.shared.retry_after(),
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(IngressError::Shutdown),
+        }
+    }
+
+    /// Typed [`Connection::send_raw`]: serializes `req` as JSON.
+    pub fn send<Req: Serialize>(&self, method: &str, req: &Req) -> Result<u64, IngressError> {
+        let payload = serde_json::to_vec(req)
+            .map_err(|e| IngressError::Rpc(RpcError::Codec(e.to_string())))?;
+        self.send_raw(method, Arc::new(payload))
+    }
+
+    /// Blocks for the next reply frame, in arrival order. Frames stashed
+    /// by [`Connection::call`] are drained first.
+    pub fn recv(&self, timeout: Duration) -> Result<ReplyFrame, IngressError> {
+        {
+            let mut stash = self.stash.lock();
+            if let Some(&correlation) = stash.keys().next() {
+                let body = stash.remove(&correlation).expect("key just seen");
+                return Ok(ReplyFrame { correlation, body });
+            }
+        }
+        match self.reply_rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(frame),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                Err(IngressError::Timeout { correlation: 0 })
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(IngressError::Shutdown)
+            }
+        }
+    }
+
+    /// Blocks for the reply to one specific request, stashing any other
+    /// replies that arrive first (they stay claimable by later waits).
+    pub fn wait(
+        &self,
+        correlation: u64,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, IngressError> {
+        if let Some(body) = self.stash.lock().remove(&correlation) {
+            return body;
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(IngressError::Timeout { correlation })?;
+            match self.reply_rx.recv_timeout(remaining) {
+                Ok(frame) if frame.correlation == correlation => return frame.body,
+                Ok(frame) => {
+                    self.stash.lock().insert(frame.correlation, frame.body);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    return Err(IngressError::Timeout { correlation })
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(IngressError::Shutdown)
+                }
+            }
+        }
+    }
+
+    /// Typed request/response over the multiplexed connection.
+    pub fn call<Req: Serialize, Resp: DeserializeOwned>(
+        &self,
+        method: &str,
+        req: &Req,
+        timeout: Duration,
+    ) -> Result<Resp, IngressError> {
+        let correlation = self.send(method, req)?;
+        let bytes = self.wait(correlation, timeout)?;
+        serde_json::from_slice(&bytes)
+            .map_err(|e| IngressError::Rpc(RpcError::Codec(e.to_string())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MethodTable;
+
+    const T: Duration = Duration::from_secs(5);
+
+    fn echo() -> Arc<dyn Service> {
+        MethodTable::new("echo")
+            .method("echo", |v: String| Ok(v))
+            .method("slow", |ms: u64| {
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(ms)
+            })
+            .method("fail", |_: String| Err::<String, _>("boom".into()))
+            .build()
+    }
+
+    #[test]
+    fn call_round_trip() {
+        let ingress = Ingress::start(IngressConfig::default(), echo(), Obs::disabled());
+        let conn = ingress.connect();
+        let out: String = conn.call("echo", &"hi".to_string(), T).unwrap();
+        assert_eq!(out, "hi");
+        assert_eq!(ingress.stats().accepted, 1);
+        assert_eq!(ingress.stats().completed, 1);
+    }
+
+    #[test]
+    fn pipelined_requests_multiplex_out_of_order() {
+        let cfg = IngressConfig {
+            queue_depth: 64,
+            workers: 4,
+        };
+        let ingress = Ingress::start(cfg, echo(), Obs::disabled());
+        let conn = ingress.connect();
+        // Slow request first, fast ones behind it: replies come back out
+        // of order, and wait() must still pair them correctly.
+        let slow = conn.send("slow", &60u64).unwrap();
+        let fasts: Vec<u64> = (0..3).map(|_| conn.send("slow", &1u64).unwrap()).collect();
+        for corr in &fasts {
+            let bytes = conn.wait(*corr, T).unwrap();
+            let ms: u64 = serde_json::from_slice(&bytes).unwrap();
+            assert_eq!(ms, 1);
+        }
+        let bytes = conn.wait(slow, T).unwrap();
+        let ms: u64 = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(ms, 60);
+    }
+
+    #[test]
+    fn overload_rejects_with_retry_hint() {
+        // One worker stuck on a slow job, a queue of one: the third send
+        // must bounce with a typed Overloaded carrying a nonzero hint.
+        let cfg = IngressConfig {
+            queue_depth: 1,
+            workers: 1,
+        };
+        let ingress = Ingress::start(cfg, echo(), Obs::disabled());
+        let conn = ingress.connect();
+        let first = conn.send("slow", &100u64).unwrap();
+        // Wait until the worker picks the first job up, then fill the queue.
+        let mut queued = None;
+        for _ in 0..200 {
+            if let Ok(corr) = conn.send("slow", &100u64) {
+                if ingress.queue_len() == 1 {
+                    queued = Some(corr);
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let queued = queued.expect("filled the queue");
+        let err = conn.send("slow", &100u64).unwrap_err();
+        match err {
+            IngressError::Overloaded { retry_after } => {
+                assert!(retry_after >= Duration::from_micros(100));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert!(ingress.stats().rejected >= 1);
+        // The admitted requests still complete.
+        assert!(conn.wait(first, T).is_ok());
+        assert!(conn.wait(queued, T).is_ok());
+    }
+
+    #[test]
+    fn handler_errors_propagate_typed() {
+        let ingress = Ingress::start(IngressConfig::default(), echo(), Obs::disabled());
+        let conn = ingress.connect();
+        let err = conn
+            .call::<_, String>("fail", &"x".to_string(), T)
+            .unwrap_err();
+        assert_eq!(err, IngressError::Rpc(RpcError::Handler("boom".into())));
+        let err = conn
+            .call::<_, String>("nope", &"x".to_string(), T)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            IngressError::Rpc(RpcError::MethodNotFound { .. })
+        ));
+        assert_eq!(ingress.stats().errors, 2);
+    }
+
+    #[test]
+    fn connections_are_isolated() {
+        let ingress = Ingress::start(IngressConfig::default(), echo(), Obs::disabled());
+        let a = ingress.connect();
+        let b = ingress.connect();
+        assert_ne!(a.id(), b.id());
+        let ca = a.send("echo", &"from-a".to_string()).unwrap();
+        let cb = b.send("echo", &"from-b".to_string()).unwrap();
+        let va: String = serde_json::from_slice(&a.wait(ca, T).unwrap()).unwrap();
+        let vb: String = serde_json::from_slice(&b.wait(cb, T).unwrap()).unwrap();
+        assert_eq!(va, "from-a");
+        assert_eq!(vb, "from-b");
+    }
+
+    #[test]
+    fn obs_counters_and_spans_record_ingress_traffic() {
+        let obs = Obs::virtual_clock(5);
+        let ingress = Ingress::start(IngressConfig::default(), echo(), obs.clone());
+        let conn = ingress.connect();
+        let _: String = conn.call("echo", &"x".to_string(), T).unwrap();
+        let trace = obs.chrome_trace();
+        assert!(trace.contains("\"ingress.handle\""), "{trace}");
+        assert!(trace.contains("\"correlation\""), "{trace}");
+        let snap = obs.metrics_snapshot();
+        assert!(snap.contains("\"ingress.accepted\":1"), "{snap}");
+        assert!(snap.contains("\"ingress.handled\":1"), "{snap}");
+    }
+
+    #[test]
+    fn timeout_leaves_later_replies_claimable() {
+        let ingress = Ingress::start(
+            IngressConfig {
+                queue_depth: 8,
+                workers: 1,
+            },
+            echo(),
+            Obs::disabled(),
+        );
+        let conn = ingress.connect();
+        let corr = conn.send("slow", &50u64).unwrap();
+        assert!(matches!(
+            conn.wait(corr, Duration::from_millis(1)),
+            Err(IngressError::Timeout { .. })
+        ));
+        // The reply still lands and a later wait on the same id gets it.
+        let bytes = conn.wait(corr, T).unwrap();
+        let ms: u64 = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(ms, 50);
+    }
+}

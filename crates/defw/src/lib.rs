@@ -19,6 +19,14 @@
 //!   [`Client::call_with_retry`] layers exponential backoff on top, and
 //!   per-service [`CircuitBreaker`]s (see [`Defw::enable_breakers`]) shed
 //!   load from services that keep failing.
+//! * [`ingress`] — the pipelined, multiplexed data-plane front door:
+//!   bounded-queue admission with typed [`IngressError::Overloaded`]
+//!   backpressure and per-request correlation ids, for workloads that
+//!   outgrow the one-channel-per-call hub.
+
+pub mod ingress;
+
+pub use ingress::{Connection, Ingress, IngressConfig, IngressError, IngressStats, ReplyFrame};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -124,7 +132,11 @@ type ReplySender = Sender<Result<Vec<u8>, RpcError>>;
 struct Request {
     service: String,
     method: String,
-    payload: Vec<u8>,
+    /// Shared, not owned: retries re-enqueue the same serialized bytes
+    /// instead of re-marshaling the request per attempt.
+    payload: Arc<Vec<u8>>,
+    /// 1-based attempt number ([`Client::call_with_retry`] increments it).
+    attempt: u32,
     reply: ReplySender,
     enqueued: Instant,
 }
@@ -233,6 +245,8 @@ impl Defw {
             let mut span = obs.span("defw", "rpc.handle");
             span.set_attr("method", req.method.as_str());
             span.set_attr("service", req.service.as_str());
+            span.set_attr("attempt", u64::from(req.attempt));
+            span.set_attr("payload_bytes", req.payload.len());
             if chaos.is_enabled() {
                 if let Some(d) = chaos.delay(&format!("defw.delay.{}", req.service)) {
                     std::thread::sleep(d);
@@ -393,9 +407,18 @@ impl Client {
         timeout: Duration,
         policy: &RetryPolicy,
     ) -> Result<Resp, RpcError> {
+        // Marshal once: every retry re-enqueues the same Arc'd bytes, so
+        // chaos-injected retry storms never pay per-attempt serialization.
+        let payload = Arc::new(
+            serde_json::to_vec(req).map_err(|e| RpcError::Codec(e.to_string()))?,
+        );
         let mut schedule = policy.schedule();
         loop {
-            let transient = match self.call(service, method, req, timeout) {
+            let attempt = schedule.attempts();
+            let outcome = self
+                .send_raw(service, method, Arc::clone(&payload), attempt)
+                .and_then(|reply: AsyncReply<Resp>| reply.wait(timeout));
+            let transient = match outcome {
                 Err(e @ RpcError::Timeout { .. })
                 | Err(e @ RpcError::Handler(_))
                 | Err(e @ RpcError::CircuitOpen(_)) => e,
@@ -440,6 +463,21 @@ impl Client {
         method: &str,
         req: &Req,
     ) -> Result<AsyncReply<Resp>, RpcError> {
+        let payload = Arc::new(
+            serde_json::to_vec(req).map_err(|e| RpcError::Codec(e.to_string()))?,
+        );
+        self.send_raw(service, method, payload, 1)
+    }
+
+    /// Enqueues already-serialized bytes (shared by value, so retries and
+    /// fan-out never copy the payload).
+    fn send_raw<Resp: DeserializeOwned>(
+        &self,
+        service: &str,
+        method: &str,
+        payload: Arc<Vec<u8>>,
+        attempt: u32,
+    ) -> Result<AsyncReply<Resp>, RpcError> {
         let breaker = self.breaker_for(service);
         if let Some(b) = &breaker {
             if !b.allow() {
@@ -454,7 +492,6 @@ impl Client {
                 return Err(RpcError::CircuitOpen(service.to_string()));
             }
         }
-        let payload = serde_json::to_vec(req).map_err(|e| RpcError::Codec(e.to_string()))?;
         let correlation = self.inner.correlation.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = bounded(1);
         self.inner
@@ -463,6 +500,7 @@ impl Client {
                 service: service.to_string(),
                 method: method.to_string(),
                 payload,
+                attempt,
                 reply: tx,
                 enqueued: Instant::now(),
             })
@@ -903,6 +941,9 @@ mod tests {
         let trace = obs.chrome_trace();
         assert!(trace.contains("\"rpc.handle\""), "{trace}");
         assert!(trace.contains("\"rpc.retry\""), "{trace}");
+        // The retried dispatch carries its attempt number into the span.
+        assert!(trace.contains("\"attempt\":2"), "{trace}");
+        assert!(trace.contains("\"payload_bytes\""), "{trace}");
         assert!(trace.contains("\"chaos.fire\""), "{trace}");
         assert!(trace.contains("\"site\":\"defw.drop_reply.echo\""), "{trace}");
         let snap = obs.metrics_snapshot();

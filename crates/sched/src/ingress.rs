@@ -1,0 +1,401 @@
+//! The scheduler's ingress service: the multiplexed front door with a
+//! content-addressed result cache in front of admission.
+//!
+//! This wires three layers together:
+//!
+//! 1. [`qfw_defw::Ingress`] — pipelined framed transport with bounded-queue
+//!    admission (queue-full rejections surface as
+//!    [`qfw_defw::IngressError::Overloaded`] before any scheduler state is
+//!    touched).
+//! 2. [`qfw::ResultCache`] — tier-1 result reuse: a submit whose
+//!    (canonical circuit, seed, shots, spec) key matches a completed job
+//!    returns [`IngressSubmitOutcome::Cached`] immediately — bitwise the
+//!    counts the engine produced — without consuming a queue slot.
+//! 3. [`Scheduler`] — cache misses go through normal fair-share admission;
+//!    the scheduler's own typed [`SchedError::Overloaded`] rejection
+//!    travels in the reply payload as
+//!    [`IngressSubmitOutcome::Overloaded`], so both backpressure layers
+//!    (transport queue and scheduler queue) reach the client typed, never
+//!    as unbounded buffering.
+//!
+//! Cache population happens at poll time: the first poll that observes
+//! [`JobStatus::Done`] records the result under the key remembered at
+//! submit. Invalidation is purely capacity-driven (LRU) — every input that
+//! could change counts is part of the key, so entries never go stale.
+
+use crate::{JobEnvelope, JobId, JobStatus, OverloadInfo, SchedError, Scheduler};
+use parking_lot::Mutex;
+use qfw::cache::CacheConfig;
+use qfw::{QfwResult, ResultCache};
+use qfw_defw::{Connection, Ingress, IngressConfig, IngressError, MethodTable};
+use qfw_obs::Obs;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// `submit` outcome over the ingress: one more possibility than the plain
+/// RPC [`crate::SubmitOutcome`] — the result may already be known.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum IngressSubmitOutcome {
+    /// Admitted under this job id; poll for completion.
+    Accepted(JobId),
+    /// Served from the result cache: these are the exact counts a fresh
+    /// execution would produce (`metadata["result_cached"] = "true"`).
+    Cached(QfwResult),
+    /// Rejected by scheduler admission control.
+    Overloaded(OverloadInfo),
+}
+
+/// Configuration for [`SchedIngress::start`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchedIngressConfig {
+    /// Transport knobs (queue depth, worker count).
+    pub ingress: IngressConfig,
+    /// Result-cache knobs (capacity, shards).
+    pub result_cache: CacheConfig,
+}
+
+struct Shared {
+    sched: Scheduler,
+    cache: ResultCache,
+    /// Accepted-but-uncompleted jobs: id → cache key, filled at submit,
+    /// consumed by the first poll that sees a terminal status.
+    pending: Mutex<HashMap<JobId, qfw_circuit::ContentHash>>,
+}
+
+/// A running scheduler ingress. Owns the transport; connections come from
+/// [`SchedIngress::connect`].
+pub struct SchedIngress {
+    ingress: Ingress,
+    shared: Arc<Shared>,
+}
+
+impl SchedIngress {
+    /// Starts the ingress service over a running scheduler.
+    pub fn start(sched: Scheduler, cfg: SchedIngressConfig, obs: Obs) -> SchedIngress {
+        let shared = Arc::new(Shared {
+            sched,
+            cache: ResultCache::new(cfg.result_cache, &obs),
+            pending: Mutex::new(HashMap::new()),
+        });
+        let submit = Arc::clone(&shared);
+        let poll = Arc::clone(&shared);
+        let cancel = Arc::clone(&shared);
+        let stats = Arc::clone(&shared);
+        let service = MethodTable::new("sched-ingress")
+            .method("submit", move |env: JobEnvelope| submit.submit(env))
+            .method("poll", move |id: u64| Ok(poll.poll(id)))
+            .method("cancel", move |id: u64| {
+                cancel.pending.lock().remove(&id);
+                Ok(cancel.sched.cancel(id))
+            })
+            .method("stats", move |_: ()| Ok(stats.sched.stats()))
+            .build();
+        let ingress = Ingress::start(cfg.ingress, service, obs);
+        SchedIngress { ingress, shared }
+    }
+
+    /// Opens a logical client connection.
+    pub fn connect(&self) -> Connection {
+        self.ingress.connect()
+    }
+
+    /// The underlying transport (queue depth, stats).
+    pub fn ingress(&self) -> &Ingress {
+        &self.ingress
+    }
+
+    /// Result-cache statistics.
+    pub fn cache_stats(&self) -> qfw::CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Drops every cached result (capacity pressure aside, entries never
+    /// go stale — this is for tests and manual invalidation).
+    pub fn clear_cache(&self) {
+        self.shared.cache.clear()
+    }
+
+    /// Stops the transport. The scheduler keeps running — it may serve
+    /// other ingresses or direct submitters.
+    pub fn shutdown(self) {
+        self.ingress.shutdown()
+    }
+}
+
+impl Shared {
+    fn submit(&self, env: JobEnvelope) -> Result<IngressSubmitOutcome, String> {
+        let key = ResultCache::key(&env.circuit, env.seed, env.shots, &env.spec);
+        if let Some(result) = self.cache.get(key) {
+            let mut served = (*result).clone();
+            served
+                .metadata
+                .insert("result_cached".into(), "true".into());
+            return Ok(IngressSubmitOutcome::Cached(served));
+        }
+        match self.sched.submit(env) {
+            Ok(id) => {
+                self.pending.lock().insert(id, key);
+                Ok(IngressSubmitOutcome::Accepted(id))
+            }
+            Err(SchedError::Overloaded { retry_after, scope }) => {
+                Ok(IngressSubmitOutcome::Overloaded(OverloadInfo {
+                    retry_after_ms: retry_after.as_millis().max(1) as u64,
+                    scope: format!("{scope:?}"),
+                }))
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    fn poll(&self, id: JobId) -> JobStatus {
+        let status = self.sched.poll(id);
+        match &status {
+            JobStatus::Done(result) => {
+                if let Some(key) = self.pending.lock().remove(&id) {
+                    self.cache.insert(key, Arc::new(result.clone()));
+                }
+            }
+            // Failures and cancellations are not reusable outcomes: drop
+            // the reservation so the map only tracks live jobs.
+            JobStatus::Failed(_) | JobStatus::Cancelled => {
+                self.pending.lock().remove(&id);
+            }
+            _ => {}
+        }
+        status
+    }
+}
+
+/// Typed client helpers over a raw ingress [`Connection`].
+///
+/// These are free functions (not a wrapper type) so callers can mix typed
+/// calls with raw pipelined sends on the same connection.
+pub mod client {
+    use super::*;
+
+    /// Submits one envelope; transport-level overload is mapped into the
+    /// same shape as scheduler-level overload so callers handle one enum.
+    pub fn submit(
+        conn: &Connection,
+        env: &JobEnvelope,
+        timeout: Duration,
+    ) -> Result<IngressSubmitOutcome, IngressError> {
+        match conn.call("submit", env, timeout) {
+            Ok(outcome) => Ok(outcome),
+            Err(IngressError::Overloaded { retry_after }) => {
+                Ok(IngressSubmitOutcome::Overloaded(OverloadInfo {
+                    retry_after_ms: retry_after.as_millis().max(1) as u64,
+                    scope: "Ingress".into(),
+                }))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Polls a job's status.
+    pub fn poll(
+        conn: &Connection,
+        id: JobId,
+        timeout: Duration,
+    ) -> Result<JobStatus, IngressError> {
+        conn.call("poll", &id, timeout)
+    }
+
+    /// Polls until the job is terminal or `deadline` elapses.
+    pub fn wait(
+        conn: &Connection,
+        id: JobId,
+        deadline: Duration,
+    ) -> Result<JobStatus, IngressError> {
+        let start = std::time::Instant::now();
+        loop {
+            let status = poll(conn, id, deadline)?;
+            if status.is_terminal() || start.elapsed() >= deadline {
+                return Ok(status);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchedConfig;
+    use qfw::registry::BackendRegistry;
+    use qfw::{DispatchPolicy, Qrc};
+    use qfw_circuit::Circuit;
+    use qfw_hpc::slurm::{HetJob, HetJobSpec};
+    use qfw_hpc::{ClusterSpec, Dvm};
+
+    const T: Duration = Duration::from_secs(30);
+
+    fn qrc(workers: usize) -> Arc<Qrc> {
+        let cluster = ClusterSpec::test(3);
+        let hetjob = Arc::new(HetJob::submit(&cluster, &HetJobSpec::qfw_standard(2)).unwrap());
+        let dvm = Arc::new(Dvm::new(&cluster));
+        Arc::new(Qrc::new(
+            BackendRegistry::standard(None),
+            hetjob,
+            dvm,
+            1,
+            workers,
+            DispatchPolicy::RoundRobin,
+        ))
+    }
+
+    fn ghz(n: usize) -> Circuit {
+        let mut qc = Circuit::new(n);
+        qc.h(0);
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+        }
+        qc.measure_all();
+        qc
+    }
+
+    fn start_ingress(workers: usize) -> (SchedIngress, Scheduler) {
+        let sched = Scheduler::start(qrc(workers), Obs::disabled(), SchedConfig::default());
+        let ingress = SchedIngress::start(
+            sched.clone(),
+            SchedIngressConfig::default(),
+            Obs::disabled(),
+        );
+        (ingress, sched)
+    }
+
+    #[test]
+    fn submit_poll_round_trip_through_ingress() {
+        let (ingress, sched) = start_ingress(2);
+        let conn = ingress.connect();
+        let env = JobEnvelope::new("alice", &ghz(4), 200).with_seed(3);
+        let id = match client::submit(&conn, &env, T).unwrap() {
+            IngressSubmitOutcome::Accepted(id) => id,
+            other => panic!("expected acceptance, got {other:?}"),
+        };
+        match client::wait(&conn, id, T).unwrap() {
+            JobStatus::Done(r) => assert_eq!(r.counts.values().sum::<usize>(), 200),
+            other => panic!("unexpected status {other:?}"),
+        }
+        ingress.shutdown();
+        sched.shutdown();
+    }
+
+    #[test]
+    fn second_identical_submit_is_served_from_cache_bitwise() {
+        let (ingress, sched) = start_ingress(2);
+        let conn = ingress.connect();
+        let env = JobEnvelope::new("alice", &ghz(5), 300).with_seed(42);
+        let id = match client::submit(&conn, &env, T).unwrap() {
+            IngressSubmitOutcome::Accepted(id) => id,
+            other => panic!("expected acceptance, got {other:?}"),
+        };
+        let cold = match client::wait(&conn, id, T).unwrap() {
+            JobStatus::Done(r) => r,
+            other => panic!("unexpected status {other:?}"),
+        };
+        // Resubmit the identical envelope: no scheduler admission, just
+        // the cached counts.
+        let warm = match client::submit(&conn, &env, T).unwrap() {
+            IngressSubmitOutcome::Cached(r) => r,
+            other => panic!("expected cached result, got {other:?}"),
+        };
+        assert_eq!(warm.counts, cold.counts, "cache hit must be bitwise identical");
+        assert_eq!(warm.metadata["result_cached"], "true");
+        assert!(!cold.metadata.contains_key("result_cached"));
+        assert_eq!(ingress.cache_stats().hits, 1);
+        // A different seed is a different computation: back to admission.
+        let other = env.clone().with_seed(43);
+        assert!(matches!(
+            client::submit(&conn, &other, T).unwrap(),
+            IngressSubmitOutcome::Accepted(_)
+        ));
+        ingress.shutdown();
+        sched.shutdown();
+    }
+
+    #[test]
+    fn scheduler_overload_propagates_typed_through_ingress() {
+        let sched = Scheduler::start(
+            qrc(1),
+            Obs::disabled(),
+            SchedConfig {
+                max_queue_depth: 1,
+                start_paused: true,
+                ..SchedConfig::default()
+            },
+        );
+        let ingress = SchedIngress::start(
+            sched.clone(),
+            SchedIngressConfig::default(),
+            Obs::disabled(),
+        );
+        let conn = ingress.connect();
+        let env = JobEnvelope::new("t", &ghz(3), 10);
+        assert!(matches!(
+            client::submit(&conn, &env, T).unwrap(),
+            IngressSubmitOutcome::Accepted(_)
+        ));
+        match client::submit(&conn, &env.clone().with_seed(1), T).unwrap() {
+            IngressSubmitOutcome::Overloaded(info) => {
+                assert!(info.retry_after_ms >= 1);
+                assert_eq!(info.scope, "Queue");
+            }
+            other => panic!("expected overload, got {other:?}"),
+        }
+        ingress.shutdown();
+        sched.shutdown();
+    }
+
+    #[test]
+    fn cancel_through_ingress_clears_reservation() {
+        let sched = Scheduler::start(
+            qrc(1),
+            Obs::disabled(),
+            SchedConfig {
+                start_paused: true,
+                ..SchedConfig::default()
+            },
+        );
+        let ingress = SchedIngress::start(
+            sched.clone(),
+            SchedIngressConfig::default(),
+            Obs::disabled(),
+        );
+        let conn = ingress.connect();
+        let env = JobEnvelope::new("t", &ghz(3), 10);
+        let id = match client::submit(&conn, &env, T).unwrap() {
+            IngressSubmitOutcome::Accepted(id) => id,
+            other => panic!("expected acceptance, got {other:?}"),
+        };
+        let outcome: crate::CancelOutcome = conn.call("cancel", &id, T).unwrap();
+        assert_eq!(outcome, crate::CancelOutcome::Cancelled);
+        assert!(ingress.shared.pending.lock().is_empty());
+        // A fresh identical submit misses the cache (nothing completed).
+        assert!(matches!(
+            client::submit(&conn, &env, T).unwrap(),
+            IngressSubmitOutcome::Accepted(_)
+        ));
+        ingress.shutdown();
+        sched.shutdown();
+    }
+
+    #[test]
+    fn stats_flow_through_the_ingress() {
+        let (ingress, sched) = start_ingress(1);
+        let conn = ingress.connect();
+        let env = JobEnvelope::new("t", &ghz(3), 50);
+        let id = match client::submit(&conn, &env, T).unwrap() {
+            IngressSubmitOutcome::Accepted(id) => id,
+            other => panic!("expected acceptance, got {other:?}"),
+        };
+        assert!(client::wait(&conn, id, T).unwrap().is_terminal());
+        let stats: crate::SchedStats = conn.call("stats", &(), T).unwrap();
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.completed, 1);
+        ingress.shutdown();
+        sched.shutdown();
+    }
+}

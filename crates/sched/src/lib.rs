@@ -26,14 +26,22 @@
 //! The scheduler runs embedded ([`Scheduler::start`]) or attached to a
 //! live session ([`Scheduler::attach`]), where it also registers a
 //! `sched0` DEFw service exposing `submit`/`poll`/`cancel`/`stats` RPCs.
+//! For sustained high-rate traffic, [`ingress::SchedIngress`] fronts the
+//! scheduler with the pipelined multiplexed transport from
+//! [`qfw_defw::ingress`] plus a content-addressed [`qfw::ResultCache`]:
+//! repeat submissions are answered from the cache (bitwise identical
+//! counts) without consuming admission or engine capacity.
 
 pub mod batch;
+pub mod ingress;
 pub mod queue;
 mod scheduler;
 
+pub use ingress::{IngressSubmitOutcome, SchedIngress, SchedIngressConfig};
 pub use queue::{AdmitError, FairQueue, QueuedJob};
 pub use scheduler::{
-    JobTiming, ScalingConfig, SchedConfig, SchedStats, Scheduler, TenantConfig,
+    retry_after_hint, JobTiming, ScalingConfig, SchedConfig, SchedStats, Scheduler,
+    TenantConfig,
 };
 
 use qfw::{BackendSpec, QfwResult};

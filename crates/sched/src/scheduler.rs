@@ -513,10 +513,21 @@ fn estimate_retry_after(st: &SchedState, inner: &Inner) -> Duration {
     } else {
         st.recent_service_us.iter().sum::<u64>() / st.recent_service_us.len() as u64
     };
-    let live = inner.qrc.slot_snapshot().live().max(1) as u64;
+    let live = inner.qrc.slot_snapshot().live();
     let backlog = st.queue.len() as u64 + st.in_flight as u64 + 1;
-    let positions = backlog.div_ceil(live);
-    Duration::from_micros((avg_us * positions).clamp(1_000, 60_000_000))
+    retry_after_hint(avg_us, live, backlog)
+}
+
+/// The pure arithmetic behind [`estimate_retry_after`], factored out so
+/// the degenerate inputs are testable without a live pool. `live_slots`
+/// can genuinely be zero — an elastic shrink (or chaos killing slots) can
+/// drain the pool between the snapshot and this call — so it is clamped
+/// before dividing, and the product saturates instead of wrapping. The
+/// result stays within [1ms, 60s].
+pub fn retry_after_hint(avg_us: u64, live_slots: usize, backlog: u64) -> Duration {
+    let live = live_slots.max(1) as u64;
+    let positions = backlog.max(1).div_ceil(live);
+    Duration::from_micros(avg_us.saturating_mul(positions).clamp(1_000, 60_000_000))
 }
 
 fn dispatcher_loop(weak: Weak<Inner>) {
@@ -861,6 +872,33 @@ mod tests {
             other => panic!("unexpected status {other:?}"),
         }
         sched.shutdown();
+    }
+
+    #[test]
+    fn retry_after_hint_guards_drained_pool() {
+        // Zero live slots (pool fully drained mid-shrink) must not divide
+        // by zero or return a degenerate hint.
+        let hint = retry_after_hint(5_000, 0, 10);
+        assert!(hint >= Duration::from_millis(1));
+        assert!(hint <= Duration::from_secs(60));
+        // And it matches the single-slot estimate: everything queues
+        // behind one (future) slot.
+        assert_eq!(hint, retry_after_hint(5_000, 1, 10));
+    }
+
+    #[test]
+    fn retry_after_hint_clamps_and_scales() {
+        // Floor: tiny service times still back callers off a millisecond.
+        assert_eq!(retry_after_hint(1, 4, 1), Duration::from_millis(1));
+        // Ceiling: huge backlogs (or saturating products) cap at 60s.
+        assert_eq!(retry_after_hint(u64::MAX, 1, u64::MAX), Duration::from_secs(60));
+        // In between it scales with queue positions per live slot.
+        assert_eq!(
+            retry_after_hint(10_000, 2, 8),
+            Duration::from_micros(40_000)
+        );
+        // Zero backlog behaves like one position, not zero.
+        assert_eq!(retry_after_hint(10_000, 2, 0), Duration::from_micros(10_000));
     }
 
     #[test]

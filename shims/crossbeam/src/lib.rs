@@ -43,6 +43,40 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Outcome of a non-blocking send.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// A bounded channel is at capacity; the message comes back.
+        Full(T),
+        /// All receivers are gone; the message comes back.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the undelivered message.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// Whether the failure was a full queue (backpressure) rather than
+        /// a closed channel.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    // Debug without requiring `T: Debug`, like `SendError`.
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("TrySendError::Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("TrySendError::Disconnected(..)"),
+            }
+        }
+    }
+
     /// Outcome of a timed receive.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub enum RecvTimeoutError {
@@ -146,6 +180,40 @@ pub mod channel {
             drop(state);
             self.0.recv_ready.notify_one();
             Ok(())
+        }
+
+        /// Non-blocking send: fails immediately with the message when a
+        /// bounded channel is full (backpressure) or every receiver is
+        /// gone, instead of parking the caller.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.0.capacity {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.0.recv_ready.notify_one();
+            Ok(())
+        }
+
+        /// Number of currently queued messages.
+        pub fn len(&self) -> usize {
+            self.0
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .queue
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -265,6 +333,23 @@ mod tests {
         let (tx, rx) = bounded(1);
         drop(rx);
         assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded(2);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_ok());
+        let err = tx.try_send(3).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 3);
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(tx.try_send(3).is_ok());
+        drop(rx);
+        let err = tx.try_send(4).unwrap_err();
+        assert!(!err.is_full());
+        assert_eq!(err.into_inner(), 4);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::ops::Range;
 
 /// Everything a `use proptest::prelude::*` caller expects in scope.
 pub mod prelude {
-    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy};
 }
 
 /// Runner configuration (the `cases` knob is the only one honored).
@@ -158,6 +158,17 @@ macro_rules! prop_assert_eq {
     };
     ($left:expr, $right:expr, $($fmt:tt)*) => {
         assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property, reporting the failing inputs.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
     };
 }
 

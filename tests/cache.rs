@@ -1,0 +1,263 @@
+//! Cache correctness suite: the content-addressed result cache and the
+//! canonical circuit hash it keys on.
+//!
+//! * Seeded replay: a cache hit returns counts bitwise identical to the
+//!   cold execution that populated it, across seeds and shot budgets.
+//! * Eviction under capacity pressure never corrupts surviving entries —
+//!   a `get` either misses or returns exactly what was inserted.
+//! * Canonical-hash sanity (proptest): dumping and re-parsing a circuit
+//!   never changes its hash (whitespace/formatting insensitivity), while
+//!   perturbing any rotation angle always changes it (counts-relevant
+//!   inputs are never aliased).
+
+use proptest::prelude::*;
+use qfw::cache::CacheConfig;
+use qfw::registry::BackendRegistry;
+use qfw::{BackendSpec, DispatchPolicy, ExecTask, QfwResult, Qrc, ResultCache, ShardedLru};
+use qfw_circuit::{canonical_hash, canonical_text, text, Circuit, ContentHash};
+use qfw_hpc::slurm::{HetJob, HetJobSpec};
+use qfw_hpc::{ClusterSpec, Dvm};
+use qfw_num::rng::Rng;
+use qfw_obs::Obs;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A layered circuit whose sampled distribution is seed-sensitive, so a
+/// replay mismatch cannot hide behind a deterministic outcome.
+fn seeded_circuit(n: usize, seed: u64) -> Circuit {
+    let mut rng = Rng::seed_from(seed);
+    let mut qc = Circuit::new(n);
+    for q in 0..n {
+        qc.h(q);
+        qc.rz(q, rng.uniform(-3.0, 3.0));
+    }
+    for q in 0..n - 1 {
+        qc.cx(q, q + 1);
+    }
+    qc.measure_all();
+    qc
+}
+
+fn qrc() -> Arc<Qrc> {
+    let cluster = ClusterSpec::test(3);
+    let hetjob = Arc::new(HetJob::submit(&cluster, &HetJobSpec::qfw_standard(2)).unwrap());
+    let dvm = Arc::new(Dvm::new(&cluster));
+    Arc::new(Qrc::new(
+        BackendRegistry::standard(None),
+        hetjob,
+        dvm,
+        1,
+        2,
+        DispatchPolicy::RoundRobin,
+    ))
+}
+
+fn execute(qrc: &Qrc, circuit: &Circuit, seed: u64, shots: usize) -> QfwResult {
+    qrc.execute(&ExecTask {
+        circuit: text::dump(circuit),
+        shots,
+        seed,
+        spec: BackendSpec::of("nwqsim", "cpu"),
+    })
+    .unwrap()
+}
+
+/// Cold-execute a grid of (circuit seed, sampling seed, shots) points,
+/// cache every result, then replay each key: the hit must be bitwise
+/// identical to the result the engine produced.
+#[test]
+fn seeded_replay_hits_are_bitwise_identical() {
+    let cache = ResultCache::new(CacheConfig::default(), &Obs::wall());
+    let spec = BackendSpec::of("nwqsim", "cpu");
+    let qrc = qrc();
+
+    let mut cold = Vec::new();
+    for circuit_seed in 0..4u64 {
+        let qc = seeded_circuit(5, circuit_seed);
+        let wire = text::dump(&qc);
+        for sample_seed in [1u64, 99, 4096] {
+            for shots in [64usize, 256] {
+                let result = execute(&qrc, &qc, sample_seed, shots);
+                let key = ResultCache::key(&wire, sample_seed, shots, &spec);
+                cache.insert(key, Arc::new(result.clone()));
+                cold.push((wire.clone(), sample_seed, shots, result));
+            }
+        }
+    }
+
+    for (wire, sample_seed, shots, expected) in &cold {
+        let key = ResultCache::key(wire, *sample_seed, *shots, &spec);
+        let hit = cache.get(key).expect("replayed key must hit");
+        assert_eq!(
+            hit.counts, expected.counts,
+            "cache hit diverged for seed {sample_seed}, shots {shots}"
+        );
+    }
+    assert_eq!(cache.stats().hits as usize, cold.len());
+
+    // Replay through a *fresh* execution too: the engine itself is
+    // deterministic under (circuit, seed, shots), which is what makes
+    // result caching sound in the first place.
+    let qc = seeded_circuit(5, 0);
+    assert_eq!(
+        execute(&qrc, &qc, 1, 64).counts,
+        execute(&qrc, &qc, 1, 64).counts
+    );
+}
+
+/// Hammer a tiny cache far past capacity and verify every observable
+/// entry is exactly what was inserted under that key — eviction may drop
+/// entries, never corrupt them. The value encodes its own key, so any
+/// slot/key mix-up is self-evident.
+#[test]
+fn eviction_under_pressure_never_corrupts() {
+    let obs = Obs::wall();
+    let cfg = CacheConfig {
+        capacity: 32,
+        shards: 4,
+    };
+    let cache: ShardedLru<Arc<String>> = ShardedLru::new(cfg, &obs, "pressure");
+
+    let mut expected: HashMap<ContentHash, String> = HashMap::new();
+    for round in 0..8u64 {
+        for i in 0..64u64 {
+            // Re-insert some keys across rounds by folding `round % 3`.
+            let key = ContentHash::of_bytes(&i.to_le_bytes()).fold_u64(round % 3);
+            let value = format!("round={} i={} key={:x}", round % 3, i, key.value());
+            cache.insert(key, Arc::new(value.clone()));
+            expected.insert(key, value);
+
+            // Interleave reads while evictions are happening.
+            if let Some(seen) = cache.get(key) {
+                assert_eq!(*seen, expected[&key], "read-back corrupted");
+            }
+        }
+    }
+
+    assert!(cache.len() <= 32, "capacity bound must hold");
+    let mut survivors = 0;
+    for (key, value) in &expected {
+        if let Some(seen) = cache.get(*key) {
+            assert_eq!(*seen, *value, "survivor corrupted after pressure");
+            survivors += 1;
+        }
+    }
+    assert!(survivors > 0, "a bounded cache still retains recent entries");
+    let stats = cache.stats();
+    assert!(stats.evictions > 0, "pressure must actually evict");
+}
+
+/// Concurrent writers over overlapping keys: whatever a reader observes
+/// must be a value some writer inserted under that exact key.
+#[test]
+fn concurrent_eviction_pressure_is_consistent() {
+    let obs = Obs::wall();
+    let cache: Arc<ShardedLru<Arc<String>>> = Arc::new(ShardedLru::new(
+        CacheConfig {
+            capacity: 16,
+            shards: 2,
+        },
+        &obs,
+        "race",
+    ));
+
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let k = i % 48; // overlap across threads
+                    let key = ContentHash::of_bytes(&k.to_le_bytes());
+                    // Every writer stores the same canonical value for a
+                    // key, so cross-thread reads have one legal answer.
+                    let value = format!("key={k}");
+                    cache.insert(key, Arc::new(value.clone()));
+                    if let Some(seen) = cache.get(key) {
+                        assert_eq!(*seen, value, "thread {t} saw a foreign value");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(cache.len() <= 16);
+}
+
+/// Strategy helper: a random circuit built from a seed, mirroring the
+/// generator in `tests/properties.rs` but biased toward rotation gates so
+/// angle perturbation always has a target.
+fn random_circuit(n: usize, len: usize, seed: u64) -> Circuit {
+    let mut rng = Rng::seed_from(seed);
+    let mut qc = Circuit::new(n);
+    for _ in 0..len {
+        let q = rng.index(n);
+        let p = (q + 1 + rng.index(n - 1)) % n;
+        match rng.index(6) {
+            0 => qc.h(q),
+            1 => qc.rx(q, rng.uniform(-3.0, 3.0)),
+            2 => qc.ry(q, rng.uniform(-3.0, 3.0)),
+            3 => qc.rz(q, rng.uniform(-3.0, 3.0)),
+            4 => qc.cx(q, p),
+            _ => qc.rzz(q, p, rng.uniform(-1.5, 1.5)),
+        };
+    }
+    qc.measure_all();
+    qc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dump → parse → dump is a fixed point for hashing: the canonical
+    /// hash is a function of circuit content, not of formatting.
+    #[test]
+    fn canonical_hash_survives_text_round_trip(seed in 0u64..500) {
+        let qc = random_circuit(4, 12, seed);
+        let wire = text::dump(&qc);
+        let canon = canonical_text(&wire).expect("dump output parses");
+        prop_assert_eq!(canonical_hash(&wire), canonical_hash(&canon));
+        // Idempotence: canonicalizing twice changes nothing.
+        prop_assert_eq!(canonical_text(&canon).unwrap(), canon);
+    }
+
+    /// Perturbing any rotation angle changes the canonical hash: inputs
+    /// that change measurement statistics are never aliased to the same
+    /// cache key.
+    #[test]
+    fn angle_perturbation_changes_hash(seed in 0u64..500, bump in 1e-3f64..1.0) {
+        let mut rng = Rng::seed_from(seed);
+        let n = 4;
+        let theta = rng.uniform(-3.0, 3.0);
+        let target = rng.index(n);
+
+        let mut a = Circuit::new(n);
+        let mut b = Circuit::new(n);
+        for q in 0..n {
+            a.h(q);
+            b.h(q);
+        }
+        a.rz(target, theta);
+        b.rz(target, theta + bump);
+        a.measure_all();
+        b.measure_all();
+
+        prop_assert_ne!(canonical_hash(&text::dump(&a)), canonical_hash(&text::dump(&b)));
+    }
+
+    /// The full result-cache key separates every ingredient: circuit,
+    /// seed, shots, and backend spec each produce distinct keys.
+    #[test]
+    fn result_key_separates_all_ingredients(seed in 0u64..200) {
+        let qc = random_circuit(4, 10, seed);
+        let other = random_circuit(4, 10, seed + 1_000);
+        let wire = text::dump(&qc);
+        let base = ResultCache::key(&wire, 7, 100, &BackendSpec::of("nwqsim", "cpu"));
+
+        prop_assert_ne!(base, ResultCache::key(&text::dump(&other), 7, 100, &BackendSpec::of("nwqsim", "cpu")));
+        prop_assert_ne!(base, ResultCache::key(&wire, 8, 100, &BackendSpec::of("nwqsim", "cpu")));
+        prop_assert_ne!(base, ResultCache::key(&wire, 7, 101, &BackendSpec::of("nwqsim", "cpu")));
+        prop_assert_ne!(base, ResultCache::key(&wire, 7, 100, &BackendSpec::of("aer", "automatic")));
+    }
+}
