@@ -1,0 +1,693 @@
+//! The DAG circuit IR: nodes are operations, edges are qubit/clbit wires.
+//!
+//! Every node records, per wire it touches, its predecessor and successor
+//! on that wire — the standard "last op on each wire" construction. Pass
+//! authors navigate with [`DagCircuit::next_on`]/[`DagCircuit::prev_on`]
+//! and rewrite with [`DagCircuit::remove`]/[`DagCircuit::replace_op`],
+//! which splice edges in place.
+//!
+//! **Id-order invariant:** node ids are assigned in program order, and the
+//! rewrite API never re-inserts a node (only removal and in-place
+//! replacement), so ascending id order is always a valid topological
+//! order. Passes rely on this to compare positions across wires cheaply,
+//! and [`DagCircuit::linearize`] exploits it to reproduce the source
+//! program order exactly — which is what makes `Circuit → DAG → Circuit`
+//! a lossless round trip.
+//!
+//! Symbolic angles ride through untouched: node payloads are
+//! [`ParamOp`]s, so a [`ParamCircuit`] round-trips with its [`Angle`]
+//! affine forms intact and the rotation-merging passes can fold symbolic
+//! chains (`rz(2γ·w1); rz(2γ·w2)` → `rz(2γ·(w1+w2))`) without binding.
+
+use qfw_circuit::param::{Angle, ParamCircuit, ParamOp};
+use qfw_circuit::{Circuit, Gate, Op};
+
+/// Index of a node within its [`DagCircuit`].
+pub type NodeId = usize;
+
+/// A wire: one qubit or one classical bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Wire {
+    /// Qubit wire.
+    Q(usize),
+    /// Classical-bit wire.
+    C(usize),
+}
+
+/// A node payload: a (possibly symbolic) operation or a barrier.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DagOp {
+    /// A gate (fixed or parameterized rotation) or a measurement.
+    Op(ParamOp),
+    /// A barrier across the listed qubits (optimization fence).
+    Barrier(Vec<usize>),
+}
+
+impl DagOp {
+    /// The wires this operation touches, in operand order.
+    pub fn wires(&self) -> Vec<Wire> {
+        match self {
+            DagOp::Op(ParamOp::Rx(q, _))
+            | DagOp::Op(ParamOp::Ry(q, _))
+            | DagOp::Op(ParamOp::Rz(q, _))
+            | DagOp::Op(ParamOp::Phase(q, _)) => vec![Wire::Q(*q)],
+            DagOp::Op(ParamOp::Rzz(a, b, _))
+            | DagOp::Op(ParamOp::Rxx(a, b, _))
+            | DagOp::Op(ParamOp::Cp(a, b, _)) => vec![Wire::Q(*a), Wire::Q(*b)],
+            DagOp::Op(ParamOp::Fixed(g)) => g.qubits().into_iter().map(Wire::Q).collect(),
+            DagOp::Op(ParamOp::Measure { qubit, clbit }) => {
+                vec![Wire::Q(*qubit), Wire::C(*clbit)]
+            }
+            DagOp::Barrier(qs) => qs.iter().copied().map(Wire::Q).collect(),
+        }
+    }
+
+    /// The qubits this operation touches, in operand order.
+    pub fn qubits(&self) -> Vec<usize> {
+        self.wires()
+            .into_iter()
+            .filter_map(|w| match w {
+                Wire::Q(q) => Some(q),
+                Wire::C(_) => None,
+            })
+            .collect()
+    }
+
+    /// True for plain gates (not measurements, not barriers).
+    pub fn is_gate(&self) -> bool {
+        !matches!(
+            self,
+            DagOp::Barrier(_) | DagOp::Op(ParamOp::Measure { .. })
+        )
+    }
+}
+
+#[derive(Clone, Debug)]
+struct DagNode {
+    op: DagOp,
+    /// Cached `op.wires()`.
+    wires: Vec<Wire>,
+    /// Per-wire predecessor, parallel to `wires`.
+    preds: Vec<Option<NodeId>>,
+    /// Per-wire successor, parallel to `wires`.
+    succs: Vec<Option<NodeId>>,
+    live: bool,
+}
+
+/// Errors converting a DAG back to a concrete [`Circuit`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum DagError {
+    /// A symbolic angle cannot be lowered without a parameter binding.
+    SymbolicAngle {
+        /// Parameter index the angle references.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::SymbolicAngle { index } => write!(
+                f,
+                "circuit references unbound parameter theta[{index}]; bind it or convert to a ParamCircuit"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A circuit as a wire-edged DAG. See the module docs for the id-order
+/// invariant the rewrite API maintains.
+#[derive(Clone, Debug)]
+pub struct DagCircuit {
+    num_qubits: usize,
+    num_clbits: usize,
+    /// Display name, carried through conversions.
+    pub name: String,
+    nodes: Vec<DagNode>,
+    q_first: Vec<Option<NodeId>>,
+    q_last: Vec<Option<NodeId>>,
+    c_first: Vec<Option<NodeId>>,
+    c_last: Vec<Option<NodeId>>,
+    live: usize,
+}
+
+impl DagCircuit {
+    /// An empty DAG over `num_qubits` qubits and `num_clbits` clbits.
+    pub fn new(num_qubits: usize, num_clbits: usize) -> Self {
+        DagCircuit {
+            num_qubits,
+            num_clbits,
+            name: String::new(),
+            nodes: Vec::new(),
+            q_first: vec![None; num_qubits],
+            q_last: vec![None; num_qubits],
+            c_first: vec![None; num_clbits],
+            c_last: vec![None; num_clbits],
+            live: 0,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of classical bits.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// Number of live operations (gates + measurements + barriers).
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live operation remains.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of live gate nodes (excluding measurements and barriers) —
+    /// the "pre-fusion gate count" the compiler benchmarks report.
+    pub fn gate_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.live && n.op.is_gate())
+            .count()
+    }
+
+    /// Appends an operation, linking it after the current last node on
+    /// each of its wires. Literal-angle rotations are canonicalized to
+    /// fixed gates on entry ([`canonicalize_op`]), so every ingestion
+    /// path — `from_circuit`, `from_param`, the QASM3 parser — produces
+    /// the same representation for the same operation.
+    ///
+    /// # Panics
+    /// Panics when a wire index is out of range or a qubit is repeated.
+    pub fn push(&mut self, op: DagOp) -> NodeId {
+        let op = canonicalize_op(op);
+        let wires = op.wires();
+        for (i, w) in wires.iter().enumerate() {
+            match *w {
+                Wire::Q(q) => assert!(
+                    q < self.num_qubits,
+                    "qubit {q} out of range for {} qubits",
+                    self.num_qubits
+                ),
+                Wire::C(c) => assert!(
+                    c < self.num_clbits,
+                    "clbit {c} out of range for {} clbits",
+                    self.num_clbits
+                ),
+            }
+            assert!(
+                !wires[..i].contains(w),
+                "repeated operand {w:?} in {op:?}"
+            );
+        }
+        let id = self.nodes.len();
+        let mut preds = Vec::with_capacity(wires.len());
+        for w in &wires {
+            let last = match *w {
+                Wire::Q(q) => self.q_last[q].replace(id),
+                Wire::C(c) => self.c_last[c].replace(id),
+            };
+            if let Some(prev) = last {
+                let slot = self.wire_slot(prev, *w);
+                self.nodes[prev].succs[slot] = Some(id);
+            } else {
+                match *w {
+                    Wire::Q(q) => self.q_first[q] = Some(id),
+                    Wire::C(c) => self.c_first[c] = Some(id),
+                }
+            }
+            preds.push(last);
+        }
+        let succs = vec![None; wires.len()];
+        self.nodes.push(DagNode {
+            op,
+            wires,
+            preds,
+            succs,
+            live: true,
+        });
+        self.live += 1;
+        id
+    }
+
+    fn wire_slot(&self, id: NodeId, wire: Wire) -> usize {
+        self.nodes[id]
+            .wires
+            .iter()
+            .position(|&w| w == wire)
+            .unwrap_or_else(|| panic!("node {id} does not touch wire {wire:?}"))
+    }
+
+    /// The payload of a node.
+    ///
+    /// # Panics
+    /// Panics when the node has been removed.
+    pub fn op(&self, id: NodeId) -> &DagOp {
+        let node = &self.nodes[id];
+        assert!(node.live, "node {id} was removed");
+        &node.op
+    }
+
+    /// Whether a node is still live.
+    pub fn is_live(&self, id: NodeId) -> bool {
+        self.nodes.get(id).is_some_and(|n| n.live)
+    }
+
+    /// All currently live node ids, ascending (a topological order).
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&id| self.nodes[id].live)
+            .collect()
+    }
+
+    /// The first live node on a wire.
+    pub fn first_on(&self, wire: Wire) -> Option<NodeId> {
+        match wire {
+            Wire::Q(q) => self.q_first[q],
+            Wire::C(c) => self.c_first[c],
+        }
+    }
+
+    /// The next node after `id` on `wire`.
+    pub fn next_on(&self, id: NodeId, wire: Wire) -> Option<NodeId> {
+        let slot = self.wire_slot(id, wire);
+        self.nodes[id].succs[slot]
+    }
+
+    /// The node before `id` on `wire`.
+    pub fn prev_on(&self, id: NodeId, wire: Wire) -> Option<NodeId> {
+        let slot = self.wire_slot(id, wire);
+        self.nodes[id].preds[slot]
+    }
+
+    /// Removes a node, splicing its predecessor and successor together on
+    /// every wire it touched.
+    pub fn remove(&mut self, id: NodeId) {
+        assert!(self.nodes[id].live, "node {id} already removed");
+        let wires = self.nodes[id].wires.clone();
+        let preds = self.nodes[id].preds.clone();
+        let succs = self.nodes[id].succs.clone();
+        for ((w, p), s) in wires.iter().zip(preds).zip(succs) {
+            match p {
+                Some(prev) => {
+                    let slot = self.wire_slot(prev, *w);
+                    self.nodes[prev].succs[slot] = s;
+                }
+                None => match *w {
+                    Wire::Q(q) => self.q_first[q] = s,
+                    Wire::C(c) => self.c_first[c] = s,
+                },
+            }
+            match s {
+                Some(next) => {
+                    let slot = self.wire_slot(next, *w);
+                    self.nodes[next].preds[slot] = p;
+                }
+                None => match *w {
+                    Wire::Q(q) => self.q_last[q] = p,
+                    Wire::C(c) => self.c_last[c] = p,
+                },
+            }
+        }
+        self.nodes[id].live = false;
+        self.live -= 1;
+    }
+
+    /// Replaces a node's payload in place. The replacement must touch
+    /// exactly the same wires in the same order (so edges are preserved);
+    /// this is the rewrite primitive peephole passes use (e.g.
+    /// `cx; rz; cx` → `rzz` replaces the first `cx` and removes the rest).
+    ///
+    /// # Panics
+    /// Panics when the wire lists differ.
+    pub fn replace_op(&mut self, id: NodeId, op: DagOp) {
+        let op = canonicalize_op(op);
+        assert!(self.nodes[id].live, "node {id} was removed");
+        assert_eq!(
+            op.wires(),
+            self.nodes[id].wires,
+            "replacement for node {id} must touch the same wires"
+        );
+        self.nodes[id].op = op;
+    }
+
+    /// Live payloads in program order (ascending id — a topological order
+    /// by the id-order invariant).
+    pub fn linearize(&self) -> Vec<&DagOp> {
+        self.nodes
+            .iter()
+            .filter(|n| n.live)
+            .map(|n| &n.op)
+            .collect()
+    }
+
+    /// Highest parameter index referenced by any symbolic angle, if any.
+    pub fn max_param_index(&self) -> Option<usize> {
+        self.nodes
+            .iter()
+            .filter(|n| n.live)
+            .filter_map(|n| match &n.op {
+                DagOp::Op(
+                    ParamOp::Rx(_, a)
+                    | ParamOp::Ry(_, a)
+                    | ParamOp::Rz(_, a)
+                    | ParamOp::Phase(_, a)
+                    | ParamOp::Rzz(_, _, a)
+                    | ParamOp::Rxx(_, _, a)
+                    | ParamOp::Cp(_, _, a),
+                ) => match a {
+                    Angle::Sym { index, .. } => Some(*index),
+                    Angle::Lit(_) => None,
+                },
+                _ => None,
+            })
+            .max()
+    }
+
+    /// Number of parameters (one past the highest referenced index).
+    pub fn num_params(&self) -> usize {
+        self.max_param_index().map_or(0, |m| m + 1)
+    }
+
+    /// Builds a DAG from a concrete circuit. Lossless: `to_circuit`
+    /// returns an identical [`Circuit`].
+    pub fn from_circuit(qc: &Circuit) -> Self {
+        let mut dag = DagCircuit::new(qc.num_qubits(), qc.num_clbits());
+        dag.name = qc.name.clone();
+        for op in qc.ops() {
+            match op {
+                Op::Gate(g) => {
+                    dag.push(DagOp::Op(ParamOp::Fixed(g.clone())));
+                }
+                Op::Measure { qubit, clbit } => {
+                    dag.push(DagOp::Op(ParamOp::Measure {
+                        qubit: *qubit,
+                        clbit: *clbit,
+                    }));
+                }
+                Op::Barrier(qs) => {
+                    // An empty operand list means "all qubits"; expand it
+                    // so the fence is visible on every wire.
+                    let qs = if qs.is_empty() {
+                        (0..qc.num_qubits()).collect()
+                    } else {
+                        qs.clone()
+                    };
+                    dag.push(DagOp::Barrier(qs));
+                }
+            }
+        }
+        dag
+    }
+
+    /// Builds a DAG from a parameterized circuit. Semantically lossless:
+    /// symbolic angles survive, and `to_param` returns the same program
+    /// with literal-angle rotations canonicalized to fixed gates
+    /// ([`push`](Self::push)).
+    pub fn from_param(t: &ParamCircuit) -> Self {
+        let mut dag = DagCircuit::new(t.num_qubits(), t.num_qubits());
+        dag.name = t.name.clone();
+        for op in t.ops() {
+            dag.push(DagOp::Op(op.clone()));
+        }
+        dag
+    }
+
+    /// Lowers the DAG to a concrete [`Circuit`].
+    ///
+    /// Fails with [`DagError::SymbolicAngle`] when any rotation still
+    /// references an unbound parameter.
+    pub fn to_circuit(&self) -> Result<Circuit, DagError> {
+        let mut qc = Circuit::with_clbits(self.num_qubits, self.num_clbits);
+        qc.name = self.name.clone();
+        for op in self.linearize() {
+            match op {
+                DagOp::Op(ParamOp::Fixed(g)) => {
+                    qc.push(g.clone());
+                }
+                DagOp::Op(ParamOp::Measure { qubit, clbit }) => {
+                    qc.push_op(Op::Measure {
+                        qubit: *qubit,
+                        clbit: *clbit,
+                    });
+                }
+                DagOp::Op(p) => {
+                    qc.push(concrete_gate(p).ok_or_else(|| DagError::SymbolicAngle {
+                        index: match rotation_angle(p) {
+                            Some(Angle::Sym { index, .. }) => index,
+                            _ => unreachable!("non-symbolic rotation failed to lower"),
+                        },
+                    })?);
+                }
+                DagOp::Barrier(qs) => {
+                    qc.push_op(Op::Barrier(qs.clone()));
+                }
+            }
+        }
+        Ok(qc)
+    }
+
+    /// Converts the DAG to a [`ParamCircuit`] template. Barriers are
+    /// dropped (the template format has no fence construct); everything
+    /// else — including symbolic angles — is preserved verbatim.
+    pub fn to_param(&self) -> ParamCircuit {
+        let mut t = ParamCircuit::new(self.num_qubits);
+        t.name = self.name.clone();
+        for op in self.linearize() {
+            match op {
+                DagOp::Op(p) => {
+                    t.push(p.clone());
+                }
+                DagOp::Barrier(_) => {}
+            }
+        }
+        t
+    }
+
+    /// Binds a parameter vector, lowering every symbolic angle.
+    pub fn bind(&self, params: &[f64]) -> Circuit {
+        let mut qc = Circuit::with_clbits(self.num_qubits, self.num_clbits);
+        qc.name = self.name.clone();
+        for op in self.linearize() {
+            match op {
+                DagOp::Op(ParamOp::Fixed(g)) => {
+                    qc.push(g.clone());
+                }
+                DagOp::Op(ParamOp::Measure { qubit, clbit }) => {
+                    qc.push_op(Op::Measure {
+                        qubit: *qubit,
+                        clbit: *clbit,
+                    });
+                }
+                DagOp::Op(p) => {
+                    let bound = bind_op(p, params);
+                    qc.push(bound);
+                }
+                DagOp::Barrier(qs) => {
+                    qc.push_op(Op::Barrier(qs.clone()));
+                }
+            }
+        }
+        qc
+    }
+}
+
+impl PartialEq for DagCircuit {
+    /// Structural equality: same dimensions and the same live operation
+    /// sequence (names are display-only and excluded, matching what the
+    /// QASM3 fixed-point property compares).
+    fn eq(&self, other: &Self) -> bool {
+        self.num_qubits == other.num_qubits
+            && self.num_clbits == other.num_clbits
+            && self.linearize() == other.linearize()
+    }
+}
+
+/// The canonical IR form of an operation: a parameterized rotation whose
+/// angle is a literal becomes the equivalent fixed gate, so symbolic ops
+/// are exactly the ops that still reference a parameter. Everything else
+/// passes through unchanged.
+fn canonicalize_op(op: DagOp) -> DagOp {
+    if let DagOp::Op(p) = &op {
+        if !matches!(p, ParamOp::Fixed(_) | ParamOp::Measure { .. }) {
+            if let Some(g) = concrete_gate(p) {
+                return DagOp::Op(ParamOp::Fixed(g));
+            }
+        }
+    }
+    op
+}
+
+/// The angle of a parameterized rotation op, if it is one.
+pub fn rotation_angle(op: &ParamOp) -> Option<Angle> {
+    match op {
+        ParamOp::Rx(_, a)
+        | ParamOp::Ry(_, a)
+        | ParamOp::Rz(_, a)
+        | ParamOp::Phase(_, a)
+        | ParamOp::Rzz(_, _, a)
+        | ParamOp::Rxx(_, _, a)
+        | ParamOp::Cp(_, _, a) => Some(*a),
+        _ => None,
+    }
+}
+
+/// Lowers a parameterized op with a literal angle to a concrete gate;
+/// `None` when the angle is symbolic (or the op is a measurement).
+pub fn concrete_gate(op: &ParamOp) -> Option<Gate> {
+    let lit = |a: &Angle| match a {
+        Angle::Lit(v) => Some(*v),
+        Angle::Sym { .. } => None,
+    };
+    Some(match op {
+        ParamOp::Rx(q, a) => Gate::Rx(*q, lit(a)?),
+        ParamOp::Ry(q, a) => Gate::Ry(*q, lit(a)?),
+        ParamOp::Rz(q, a) => Gate::Rz(*q, lit(a)?),
+        ParamOp::Phase(q, a) => Gate::Phase(*q, lit(a)?),
+        ParamOp::Rzz(x, y, a) => Gate::Rzz(*x, *y, lit(a)?),
+        ParamOp::Rxx(x, y, a) => Gate::Rxx(*x, *y, lit(a)?),
+        ParamOp::Cp(c, t, a) => Gate::Cp(*c, *t, lit(a)?),
+        ParamOp::Fixed(g) => g.clone(),
+        ParamOp::Measure { .. } => return None,
+    })
+}
+
+fn bind_op(op: &ParamOp, params: &[f64]) -> Gate {
+    match op {
+        ParamOp::Rx(q, a) => Gate::Rx(*q, a.bind(params)),
+        ParamOp::Ry(q, a) => Gate::Ry(*q, a.bind(params)),
+        ParamOp::Rz(q, a) => Gate::Rz(*q, a.bind(params)),
+        ParamOp::Phase(q, a) => Gate::Phase(*q, a.bind(params)),
+        ParamOp::Rzz(x, y, a) => Gate::Rzz(*x, *y, a.bind(params)),
+        ParamOp::Rxx(x, y, a) => Gate::Rxx(*x, *y, a.bind(params)),
+        ParamOp::Cp(c, t, a) => Gate::Cp(*c, *t, a.bind(params)),
+        ParamOp::Fixed(g) => g.clone(),
+        ParamOp::Measure { .. } => unreachable!("measure is not a gate"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_circuit() -> Circuit {
+        let mut qc = Circuit::with_clbits(3, 2);
+        qc.name = "sample".into();
+        qc.h(0);
+        qc.cx(0, 1);
+        qc.rz(1, 0.25);
+        qc.push_op(Op::Barrier(vec![0, 1]));
+        qc.ccx(0, 1, 2);
+        qc.measure(2, 0);
+        qc.h(2);
+        qc.measure(2, 1);
+        qc
+    }
+
+    #[test]
+    fn circuit_round_trip_is_lossless() {
+        let qc = sample_circuit();
+        let dag = DagCircuit::from_circuit(&qc);
+        assert_eq!(dag.to_circuit().unwrap(), qc);
+    }
+
+    #[test]
+    fn param_round_trip_preserves_symbolic_angles() {
+        let mut t = ParamCircuit::new(3);
+        t.name = "tmpl".into();
+        t.h(0)
+            .rz(1, Angle::scaled(0, 2.5))
+            .rzz(0, 2, Angle::sym(1))
+            .rx(2, 0.5)
+            .measure_all();
+        let dag = DagCircuit::from_param(&t);
+        // Literal-angle rotations canonicalize to fixed gates on entry;
+        // symbolic angles and measures survive exactly.
+        let mut want = ParamCircuit::new(3);
+        want.name = "tmpl".into();
+        want.h(0)
+            .rz(1, Angle::scaled(0, 2.5))
+            .rzz(0, 2, Angle::sym(1))
+            .fixed(Gate::Rx(2, 0.5))
+            .measure_all();
+        assert_eq!(dag.to_param(), want);
+        assert_eq!(dag.num_params(), 2);
+    }
+
+    #[test]
+    fn to_circuit_rejects_unbound_symbols() {
+        let mut t = ParamCircuit::new(1);
+        t.rx(0, Angle::sym(3));
+        let dag = DagCircuit::from_param(&t);
+        assert_eq!(
+            dag.to_circuit(),
+            Err(DagError::SymbolicAngle { index: 3 })
+        );
+        // Binding lowers it.
+        let bound = dag.bind(&[0.0, 0.0, 0.0, 1.5]);
+        assert_eq!(bound.gates().next(), Some(&Gate::Rx(0, 1.5)));
+    }
+
+    #[test]
+    fn wire_navigation_follows_program_order() {
+        let qc = sample_circuit();
+        let dag = DagCircuit::from_circuit(&qc);
+        // Wire q1: cx(0,1) -> rz(1) -> barrier -> ccx.
+        let first = dag.first_on(Wire::Q(1)).unwrap();
+        assert!(matches!(
+            dag.op(first),
+            DagOp::Op(ParamOp::Fixed(Gate::Cx(0, 1)))
+        ));
+        let rz = dag.next_on(first, Wire::Q(1)).unwrap();
+        assert!(matches!(dag.op(rz), DagOp::Op(ParamOp::Fixed(Gate::Rz(1, _)))));
+        assert_eq!(dag.prev_on(rz, Wire::Q(1)), Some(first));
+        let barrier = dag.next_on(rz, Wire::Q(1)).unwrap();
+        assert!(matches!(dag.op(barrier), DagOp::Barrier(_)));
+    }
+
+    #[test]
+    fn remove_splices_edges() {
+        let mut qc = Circuit::new(2);
+        qc.h(0);
+        qc.cx(0, 1);
+        qc.h(0);
+        let mut dag = DagCircuit::from_circuit(&qc);
+        let cx = dag.next_on(dag.first_on(Wire::Q(0)).unwrap(), Wire::Q(0)).unwrap();
+        dag.remove(cx);
+        let first = dag.first_on(Wire::Q(0)).unwrap();
+        let second = dag.next_on(first, Wire::Q(0)).unwrap();
+        assert!(matches!(dag.op(second), DagOp::Op(ParamOp::Fixed(Gate::H(0)))));
+        assert_eq!(dag.next_on(second, Wire::Q(0)), None);
+        assert_eq!(dag.first_on(Wire::Q(1)), None);
+        assert_eq!(dag.len(), 2);
+    }
+
+    #[test]
+    fn replace_op_keeps_edges() {
+        let mut qc = Circuit::new(2);
+        qc.cx(0, 1);
+        qc.cx(0, 1);
+        let mut dag = DagCircuit::from_circuit(&qc);
+        let first = dag.first_on(Wire::Q(0)).unwrap();
+        dag.replace_op(first, DagOp::Op(ParamOp::Rzz(0, 1, Angle::Lit(0.5))));
+        let qc2 = dag.to_circuit().unwrap();
+        let gates: Vec<_> = qc2.gates().cloned().collect();
+        assert_eq!(gates, vec![Gate::Rzz(0, 1, 0.5), Gate::Cx(0, 1)]);
+    }
+
+    #[test]
+    fn structural_equality_ignores_name() {
+        let mut a = Circuit::new(1);
+        a.h(0);
+        let mut b = Circuit::new(1).named("other");
+        b.h(0);
+        assert_eq!(DagCircuit::from_circuit(&a), DagCircuit::from_circuit(&b));
+    }
+}

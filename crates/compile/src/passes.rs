@@ -1,0 +1,793 @@
+//! Optimization passes over the DAG IR and the O0–O3 pass manager.
+//!
+//! Every pass is exactly unitary-preserving (no approximation, no global
+//! phase games except where noted on [`Resynth1q`]), so compiled and
+//! uncompiled circuits produce the same measurement distribution — the
+//! metamorphic test suites hold them to bitwise-identical fixed-seed
+//! counts through the full stack.
+//!
+//! * [`CancelInverses`] — removes adjacent gate/inverse pairs
+//!   (self-inverses, `s/sdg`, `t/tdg`, exactly-negated rotations),
+//!   cascading as removals create new adjacencies.
+//! * [`MergeRotations`] — folds *adjacent* same-kind rotation pairs into
+//!   one affine angle (symbolic angles merge symbolically:
+//!   `coeff₁·θ + off₁` + `coeff₂·θ + off₂` → `(coeff₁+coeff₂)·θ +
+//!   (off₁+off₂)`), dropping exact zero rotations. Because merged
+//!   diagonal chains stay single `rz`/`rzz`/`cp` ops, the sweep engine's
+//!   quadratic-form fuser absorbs them into one phase-table slot each.
+//! * [`SinkDiagonals`] — commutation-aware sinking: a rotation walks
+//!   forward past every gate it commutes with (Z-diagonal rotations slide
+//!   through other diagonals and through CX/CCX *controls*; X-axis
+//!   rotations through X-basis gates and CX *targets*) until it meets a
+//!   mergeable partner. The walk advances a per-wire frontier in lockstep,
+//!   so a two-qubit rotation never jumps a blocker that touches only its
+//!   second wire.
+//! * [`RecognizeTemplates`] — structure recovery for decomposed imports:
+//!   `cx a,b; rz(θ) b; cx a,b` → `rzz(θ) a,b` and `h q; rz(θ) q; h q` →
+//!   `rx(θ) q` (both exact identities, symbolic angles included). This is
+//!   what turns a stdgates-only QASM3 export of QAOA back into the
+//!   diagonal form the distributed engine executes exchange-free.
+//! * [`Resynth1q`] — collapses runs of ≥2 single-qubit gates into one
+//!   `u(θ,φ,λ)` via ZYZ resynthesis (identity runs vanish entirely).
+//!   All-Clifford runs are left alone so stabilizer-backend eligibility
+//!   survives compilation; replacement is exact up to global phase, which
+//!   no measurement can observe.
+//!
+//! Pipelines: O0 = none; O1 = cancel + adjacent merge; O2 = O1 +
+//! template recognition + diagonal sinking + 1q resynthesis; O3 = O2 +
+//! the connectivity-aware [`plan_layout`] analysis handed to the
+//! distributed engine's Belady remap planner.
+
+use crate::dag::{concrete_gate, DagCircuit, DagOp, NodeId, Wire};
+use qfw_circuit::param::{Angle, ParamOp};
+use qfw_circuit::transpile::zyz_angles;
+use qfw_circuit::Gate;
+use qfw_num::Matrix;
+
+/// What one pass did to the DAG.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PassOutcome {
+    /// Gate nodes removed outright.
+    pub eliminated: usize,
+    /// Gate nodes rewritten in place (merged angles, recognized
+    /// templates, resynthesized runs).
+    pub rewritten: usize,
+}
+
+impl PassOutcome {
+    fn merge(&mut self, other: PassOutcome) {
+        self.eliminated += other.eliminated;
+        self.rewritten += other.rewritten;
+    }
+}
+
+/// A DAG-to-DAG rewrite.
+pub trait Pass {
+    /// Stable pass name (`compile.pass.<name>` span / counter suffix).
+    fn name(&self) -> &'static str;
+    /// Runs the rewrite, returning what changed.
+    fn run(&self, dag: &mut DagCircuit) -> PassOutcome;
+}
+
+// ---------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------
+
+/// Rotation families the merging passes understand. Two rotations merge
+/// only within one family on identical operand tuples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RotKind {
+    Rx,
+    Ry,
+    Rz,
+    Phase,
+    Rzz,
+    Rxx,
+    Ryy,
+    Cp,
+    Crx,
+    Cry,
+    Crz,
+}
+
+impl RotKind {
+    /// The rotation axis, used for commutation rules. Controlled-axis
+    /// rotations are not slid past anything (conservative).
+    fn axis(self) -> Option<Axis> {
+        match self {
+            RotKind::Rz | RotKind::Phase | RotKind::Rzz | RotKind::Cp | RotKind::Crz => {
+                Some(Axis::Z)
+            }
+            RotKind::Rx | RotKind::Rxx => Some(Axis::X),
+            RotKind::Ry | RotKind::Ryy => Some(Axis::Y),
+            RotKind::Crx | RotKind::Cry => None,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Axis {
+    X,
+    Y,
+    Z,
+}
+
+/// Decomposes an op into (family, operand tuple, angle) when it is a
+/// rotation — parameterized or fixed.
+fn rotation_of(op: &DagOp) -> Option<(RotKind, Vec<usize>, Angle)> {
+    match op {
+        DagOp::Op(ParamOp::Rx(q, a)) => Some((RotKind::Rx, vec![*q], *a)),
+        DagOp::Op(ParamOp::Ry(q, a)) => Some((RotKind::Ry, vec![*q], *a)),
+        DagOp::Op(ParamOp::Rz(q, a)) => Some((RotKind::Rz, vec![*q], *a)),
+        DagOp::Op(ParamOp::Phase(q, a)) => Some((RotKind::Phase, vec![*q], *a)),
+        DagOp::Op(ParamOp::Rzz(x, y, a)) => Some((RotKind::Rzz, vec![*x, *y], *a)),
+        DagOp::Op(ParamOp::Rxx(x, y, a)) => Some((RotKind::Rxx, vec![*x, *y], *a)),
+        DagOp::Op(ParamOp::Cp(c, t, a)) => Some((RotKind::Cp, vec![*c, *t], *a)),
+        DagOp::Op(ParamOp::Fixed(g)) => match *g {
+            Gate::Rx(q, t) => Some((RotKind::Rx, vec![q], Angle::Lit(t))),
+            Gate::Ry(q, t) => Some((RotKind::Ry, vec![q], Angle::Lit(t))),
+            Gate::Rz(q, t) => Some((RotKind::Rz, vec![q], Angle::Lit(t))),
+            Gate::Phase(q, t) => Some((RotKind::Phase, vec![q], Angle::Lit(t))),
+            Gate::Rzz(x, y, t) => Some((RotKind::Rzz, vec![x, y], Angle::Lit(t))),
+            Gate::Rxx(x, y, t) => Some((RotKind::Rxx, vec![x, y], Angle::Lit(t))),
+            Gate::Ryy(x, y, t) => Some((RotKind::Ryy, vec![x, y], Angle::Lit(t))),
+            Gate::Cp(c, t, a) => Some((RotKind::Cp, vec![c, t], Angle::Lit(a))),
+            Gate::Crx(c, t, a) => Some((RotKind::Crx, vec![c, t], Angle::Lit(a))),
+            Gate::Cry(c, t, a) => Some((RotKind::Cry, vec![c, t], Angle::Lit(a))),
+            Gate::Crz(c, t, a) => Some((RotKind::Crz, vec![c, t], Angle::Lit(a))),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Rebuilds a rotation op from its decomposition. Literal angles become
+/// fixed gates (keeping concrete circuits concrete through round trips);
+/// symbolic angles use the parameterized op where one exists.
+fn make_rotation(kind: RotKind, qubits: &[usize], angle: Angle) -> DagOp {
+    if let Angle::Lit(t) = angle {
+        let g = match kind {
+            RotKind::Rx => Gate::Rx(qubits[0], t),
+            RotKind::Ry => Gate::Ry(qubits[0], t),
+            RotKind::Rz => Gate::Rz(qubits[0], t),
+            RotKind::Phase => Gate::Phase(qubits[0], t),
+            RotKind::Rzz => Gate::Rzz(qubits[0], qubits[1], t),
+            RotKind::Rxx => Gate::Rxx(qubits[0], qubits[1], t),
+            RotKind::Ryy => Gate::Ryy(qubits[0], qubits[1], t),
+            RotKind::Cp => Gate::Cp(qubits[0], qubits[1], t),
+            RotKind::Crx => Gate::Crx(qubits[0], qubits[1], t),
+            RotKind::Cry => Gate::Cry(qubits[0], qubits[1], t),
+            RotKind::Crz => Gate::Crz(qubits[0], qubits[1], t),
+        };
+        return DagOp::Op(ParamOp::Fixed(g));
+    }
+    let op = match kind {
+        RotKind::Rx => ParamOp::Rx(qubits[0], angle),
+        RotKind::Ry => ParamOp::Ry(qubits[0], angle),
+        RotKind::Rz => ParamOp::Rz(qubits[0], angle),
+        RotKind::Phase => ParamOp::Phase(qubits[0], angle),
+        RotKind::Rzz => ParamOp::Rzz(qubits[0], qubits[1], angle),
+        RotKind::Rxx => ParamOp::Rxx(qubits[0], qubits[1], angle),
+        RotKind::Cp => ParamOp::Cp(qubits[0], qubits[1], angle),
+        RotKind::Ryy | RotKind::Crx | RotKind::Cry | RotKind::Crz => {
+            unreachable!("no symbolic form for {kind:?}; literals only")
+        }
+    };
+    DagOp::Op(op)
+}
+
+/// Adds two affine angles when the result is still affine in one
+/// parameter. `None` means "don't merge" (distinct parameter indices).
+fn angle_add(a: Angle, b: Angle) -> Option<Angle> {
+    match (a, b) {
+        (Angle::Lit(x), Angle::Lit(y)) => Some(Angle::Lit(x + y)),
+        (
+            Angle::Sym {
+                index: i,
+                coeff: c1,
+                offset: o1,
+            },
+            Angle::Sym {
+                index: j,
+                coeff: c2,
+                offset: o2,
+            },
+        ) if i == j => Some(Angle::Sym {
+            index: i,
+            coeff: c1 + c2,
+            offset: o1 + o2,
+        }),
+        (Angle::Sym { index, coeff, offset }, Angle::Lit(v))
+        | (Angle::Lit(v), Angle::Sym { index, coeff, offset }) => Some(Angle::Sym {
+            index,
+            coeff,
+            offset: offset + v,
+        }),
+        _ => None,
+    }
+}
+
+/// True when the angle is identically zero for every binding — the
+/// rotation is exactly the identity and can be deleted.
+fn angle_is_zero(a: Angle) -> bool {
+    match a {
+        Angle::Lit(v) => v == 0.0,
+        Angle::Sym { coeff, offset, .. } => coeff == 0.0 && offset == 0.0,
+    }
+}
+
+/// True when `a == -b` exactly (symbolically for matching indices).
+fn angle_neg_eq(a: Angle, b: Angle) -> bool {
+    match (a, b) {
+        (Angle::Lit(x), Angle::Lit(y)) => x == -y,
+        (
+            Angle::Sym {
+                index: i,
+                coeff: c1,
+                offset: o1,
+            },
+            Angle::Sym {
+                index: j,
+                coeff: c2,
+                offset: o2,
+            },
+        ) => i == j && c1 == -c2 && o1 == -o2,
+        _ => false,
+    }
+}
+
+/// Whether an op acts diagonally in the computational basis (symbolic
+/// rotations included — `rz`/`p`/`rzz`/`cp` are diagonal for any angle).
+fn op_is_diagonal(op: &DagOp) -> bool {
+    match op {
+        DagOp::Op(ParamOp::Rz(..))
+        | DagOp::Op(ParamOp::Phase(..))
+        | DagOp::Op(ParamOp::Rzz(..))
+        | DagOp::Op(ParamOp::Cp(..)) => true,
+        DagOp::Op(ParamOp::Fixed(g)) => g.is_diagonal(),
+        _ => false,
+    }
+}
+
+/// Can a rotation of `axis` acting on `qubits` slide past `other`?
+/// Checked per shared qubit; conservative `false` everywhere else.
+fn commutes(axis: Axis, qubits: &[usize], other: &DagOp) -> bool {
+    if matches!(other, DagOp::Barrier(_) | DagOp::Op(ParamOp::Measure { .. })) {
+        return false;
+    }
+    let other_qubits = other.qubits();
+    for &s in qubits.iter().filter(|q| other_qubits.contains(q)) {
+        let ok = match axis {
+            Axis::Z => {
+                op_is_diagonal(other)
+                    || match other {
+                        DagOp::Op(ParamOp::Fixed(Gate::Cx(c, _) | Gate::Cy(c, _))) => s == *c,
+                        DagOp::Op(ParamOp::Fixed(Gate::Crx(c, _, _) | Gate::Cry(c, _, _))) => {
+                            s == *c
+                        }
+                        DagOp::Op(ParamOp::Fixed(Gate::Ccx(c0, c1, _))) => s == *c0 || s == *c1,
+                        _ => false,
+                    }
+            }
+            Axis::X => match other {
+                DagOp::Op(ParamOp::Rx(..) | ParamOp::Rxx(..)) => true,
+                DagOp::Op(ParamOp::Fixed(g)) => match *g {
+                    Gate::X(_) | Gate::Sx(_) | Gate::Rx(..) | Gate::Rxx(..) => true,
+                    Gate::Cx(_, t) => s == t,
+                    Gate::Ccx(_, _, t) => s == t,
+                    _ => false,
+                },
+                _ => false,
+            },
+            Axis::Y => matches!(
+                other,
+                DagOp::Op(ParamOp::Ry(..))
+                    | DagOp::Op(ParamOp::Fixed(Gate::Y(_) | Gate::Ry(..) | Gate::Ryy(..)))
+            ),
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------
+// CancelInverses
+// ---------------------------------------------------------------------
+
+/// Removes adjacent gate/inverse pairs, cascading until no pair remains.
+pub struct CancelInverses;
+
+fn is_self_inverse(g: &Gate) -> bool {
+    matches!(
+        g,
+        Gate::H(_)
+            | Gate::X(_)
+            | Gate::Y(_)
+            | Gate::Z(_)
+            | Gate::Cx(..)
+            | Gate::Cy(..)
+            | Gate::Cz(..)
+            | Gate::Swap(..)
+            | Gate::Ccx(..)
+    )
+}
+
+/// Structural inverse test for two ops on identical wire tuples.
+fn inverse_pair(a: &DagOp, b: &DagOp) -> bool {
+    if let (DagOp::Op(ParamOp::Fixed(g)), DagOp::Op(ParamOp::Fixed(h))) = (a, b) {
+        if g == h && is_self_inverse(g) {
+            return true;
+        }
+        match (g, h) {
+            (Gate::S(q), Gate::Sdg(p)) | (Gate::Sdg(q), Gate::S(p)) => return q == p,
+            (Gate::T(q), Gate::Tdg(p)) | (Gate::Tdg(q), Gate::T(p)) => return q == p,
+            _ => {}
+        }
+    }
+    // Swap is symmetric in its operands: swap(a,b) cancels swap(b,a).
+    if let (
+        DagOp::Op(ParamOp::Fixed(Gate::Swap(a0, a1))),
+        DagOp::Op(ParamOp::Fixed(Gate::Swap(b0, b1))),
+    ) = (a, b)
+    {
+        if (*a0, *a1) == (*b1, *b0) {
+            return true;
+        }
+    }
+    match (rotation_of(a), rotation_of(b)) {
+        (Some((k1, q1, a1)), Some((k2, q2, a2))) => {
+            k1 == k2 && q1 == q2 && angle_neg_eq(a1, a2)
+        }
+        _ => false,
+    }
+}
+
+impl Pass for CancelInverses {
+    fn name(&self) -> &'static str {
+        "cancel-inverses"
+    }
+
+    fn run(&self, dag: &mut DagCircuit) -> PassOutcome {
+        let mut out = PassOutcome::default();
+        let mut worklist: Vec<NodeId> = dag.node_ids();
+        while let Some(id) = worklist.pop() {
+            if !dag.is_live(id) {
+                continue;
+            }
+            let op = dag.op(id).clone();
+            if !op.is_gate() {
+                continue;
+            }
+            let wires = op.wires();
+            let Some(&first) = wires.first() else { continue };
+            let Some(next) = dag.next_on(id, first) else {
+                continue;
+            };
+            // The candidate must be the immediate successor on every
+            // wire and touch exactly the same wires (no extras).
+            if !wires.iter().all(|&w| dag.next_on(id, w) == Some(next)) {
+                continue;
+            }
+            let next_op = dag.op(next).clone();
+            let mut next_wires = next_op.wires();
+            let mut sorted = wires.clone();
+            sorted.sort();
+            next_wires.sort();
+            if sorted != next_wires {
+                continue;
+            }
+            if inverse_pair(&op, &next_op) {
+                // Revisit the neighbors the splice just made adjacent.
+                for &w in &wires {
+                    if let Some(p) = dag.prev_on(id, w) {
+                        worklist.push(p);
+                    }
+                }
+                dag.remove(id);
+                dag.remove(next);
+                out.eliminated += 2;
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// MergeRotations / SinkDiagonals
+// ---------------------------------------------------------------------
+
+/// Shared walker: for every rotation node, slide forward looking for a
+/// same-kind partner on the same operands; merge the pair into a single
+/// affine angle at the partner's position. `adjacent_only` restricts the
+/// walk to immediate successors (the plain merge pass); otherwise the
+/// rotation may pass any gate it commutes with (diagonal sinking).
+fn merge_rotations(dag: &mut DagCircuit, adjacent_only: bool) -> PassOutcome {
+    let mut out = PassOutcome::default();
+    let mut again = true;
+    while again {
+        again = false;
+        'nodes: for id in dag.node_ids() {
+            if !dag.is_live(id) {
+                continue;
+            }
+            let Some((kind, qubits, angle)) = rotation_of(dag.op(id)) else {
+                continue;
+            };
+            if angle_is_zero(angle) {
+                dag.remove(id);
+                out.eliminated += 1;
+                again = true;
+                continue;
+            }
+            let axis = kind.axis();
+            // Per-wire frontier: the next unexamined node on each operand.
+            let mut cur: Vec<Option<NodeId>> = qubits
+                .iter()
+                .map(|&q| dag.next_on(id, Wire::Q(q)))
+                .collect();
+            // Examine the earliest frontier node (ids are topologically
+            // ordered, so min-id is the next op in program order).
+            while let Some(j) = cur.iter().flatten().copied().min() {
+                let at_j: Vec<usize> = (0..qubits.len())
+                    .filter(|&k| cur[k] == Some(j))
+                    .collect();
+                if at_j.len() == qubits.len() {
+                    if let Some((k2, q2, a2)) = rotation_of(dag.op(j)) {
+                        if k2 == kind && q2 == qubits {
+                            if let Some(sum) = angle_add(angle, a2) {
+                                dag.remove(id);
+                                if angle_is_zero(sum) {
+                                    dag.remove(j);
+                                    out.eliminated += 2;
+                                } else {
+                                    dag.replace_op(j, make_rotation(kind, &qubits, sum));
+                                    out.eliminated += 1;
+                                    out.rewritten += 1;
+                                }
+                                again = true;
+                                continue 'nodes;
+                            }
+                        }
+                    }
+                }
+                if adjacent_only {
+                    break;
+                }
+                let Some(axis) = axis else { break };
+                if !commutes(axis, &qubits, dag.op(j)) {
+                    break;
+                }
+                for k in at_j {
+                    cur[k] = dag.next_on(j, Wire::Q(qubits[k]));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Folds adjacent same-kind rotation chains into single affine angles.
+pub struct MergeRotations;
+
+impl Pass for MergeRotations {
+    fn name(&self) -> &'static str {
+        "merge-rotations"
+    }
+
+    fn run(&self, dag: &mut DagCircuit) -> PassOutcome {
+        merge_rotations(dag, true)
+    }
+}
+
+/// Commutation-aware sinking: rotations slide forward past everything
+/// they commute with to reach a mergeable partner.
+pub struct SinkDiagonals;
+
+impl Pass for SinkDiagonals {
+    fn name(&self) -> &'static str {
+        "sink-diagonals"
+    }
+
+    fn run(&self, dag: &mut DagCircuit) -> PassOutcome {
+        merge_rotations(dag, false)
+    }
+}
+
+// ---------------------------------------------------------------------
+// RecognizeTemplates
+// ---------------------------------------------------------------------
+
+/// Recovers compact rotations from their standard-basis decompositions:
+/// `cx;rz;cx → rzz` and `h;rz;h → rx`. Both identities are exact
+/// (including global phase), so they are safe under any composition.
+pub struct RecognizeTemplates;
+
+impl Pass for RecognizeTemplates {
+    fn name(&self) -> &'static str {
+        "recognize-templates"
+    }
+
+    fn run(&self, dag: &mut DagCircuit) -> PassOutcome {
+        let mut out = PassOutcome::default();
+        for id in dag.node_ids() {
+            if !dag.is_live(id) {
+                continue;
+            }
+            match dag.op(id).clone() {
+                // cx(a,b); rz(θ) b; cx(a,b)  →  rzz(θ) a,b
+                DagOp::Op(ParamOp::Fixed(Gate::Cx(a, b))) => {
+                    let Some(mid) = dag.next_on(id, Wire::Q(b)) else {
+                        continue;
+                    };
+                    let Some((RotKind::Rz, qs, angle)) = rotation_of(dag.op(mid)) else {
+                        continue;
+                    };
+                    if qs != vec![b] {
+                        continue;
+                    }
+                    let Some(close) = dag.next_on(mid, Wire::Q(b)) else {
+                        continue;
+                    };
+                    // Nothing may sit between the two cx on the control
+                    // wire either.
+                    if dag.next_on(id, Wire::Q(a)) != Some(close) {
+                        continue;
+                    }
+                    if dag.op(close) != &DagOp::Op(ParamOp::Fixed(Gate::Cx(a, b))) {
+                        continue;
+                    }
+                    dag.replace_op(id, make_rotation(RotKind::Rzz, &[a, b], angle));
+                    dag.remove(mid);
+                    dag.remove(close);
+                    out.rewritten += 1;
+                    out.eliminated += 2;
+                }
+                // h q; rz(θ) q; h q  →  rx(θ) q
+                DagOp::Op(ParamOp::Fixed(Gate::H(q))) => {
+                    let Some(mid) = dag.next_on(id, Wire::Q(q)) else {
+                        continue;
+                    };
+                    let Some((RotKind::Rz, qs, angle)) = rotation_of(dag.op(mid)) else {
+                        continue;
+                    };
+                    if qs != vec![q] {
+                        continue;
+                    }
+                    let Some(close) = dag.next_on(mid, Wire::Q(q)) else {
+                        continue;
+                    };
+                    if dag.op(close) != &DagOp::Op(ParamOp::Fixed(Gate::H(q))) {
+                        continue;
+                    }
+                    dag.replace_op(id, make_rotation(RotKind::Rx, &[q], angle));
+                    dag.remove(mid);
+                    dag.remove(close);
+                    out.rewritten += 1;
+                    out.eliminated += 2;
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Resynth1q
+// ---------------------------------------------------------------------
+
+/// Resynthesizes runs of single-qubit gates into one `u(θ,φ,λ)` (exact
+/// up to global phase). Identity runs are deleted outright. Runs made
+/// entirely of Clifford gates are preserved so a Clifford circuit stays
+/// recognizable to the stabilizer backend; symbolic rotations end a run.
+pub struct Resynth1q;
+
+impl Pass for Resynth1q {
+    fn name(&self) -> &'static str {
+        "resynth-1q"
+    }
+
+    fn run(&self, dag: &mut DagCircuit) -> PassOutcome {
+        let mut out = PassOutcome::default();
+        for q in 0..dag.num_qubits() {
+            let mut cursor = dag.first_on(Wire::Q(q));
+            loop {
+                // Collect the next maximal run of concrete 1q gates on q.
+                let mut run: Vec<(NodeId, Gate)> = Vec::new();
+                while let Some(id) = cursor {
+                    let op = dag.op(id);
+                    let eligible = op.wires() == vec![Wire::Q(q)]
+                        && match op {
+                            DagOp::Op(p) => concrete_gate(p),
+                            DagOp::Barrier(_) => None,
+                        }
+                        .is_some();
+                    if eligible {
+                        let DagOp::Op(p) = op else { unreachable!() };
+                        run.push((id, concrete_gate(p).expect("checked eligible")));
+                        cursor = dag.next_on(id, Wire::Q(q));
+                    } else {
+                        break;
+                    }
+                }
+                out.merge(resynthesize_run(dag, q, &run));
+                match cursor {
+                    Some(id) => cursor = dag.next_on(id, Wire::Q(q)),
+                    None => break,
+                }
+            }
+        }
+        out
+    }
+}
+
+fn resynthesize_run(dag: &mut DagCircuit, q: usize, run: &[(NodeId, Gate)]) -> PassOutcome {
+    let mut out = PassOutcome::default();
+    if run.len() < 2 {
+        return out;
+    }
+    // Product in application order: later gates multiply on the left.
+    let mut u = Matrix::identity(2);
+    for (_, g) in run {
+        u = g.map_qubits(|_| 0).matrix().matmul(&u);
+    }
+    let (a, b, c) = zyz_angles(&u);
+    let is_identity = b.abs() < 1e-12 && {
+        // With no Y component the product is diag(e^{-i(a+c)/2}, e^{i(a+c)/2})
+        // up to global phase: identity iff the residual z-angle vanishes.
+        let z = (a + c).rem_euclid(2.0 * std::f64::consts::PI);
+        z.abs() < 1e-12 || (z - 2.0 * std::f64::consts::PI).abs() < 1e-12
+    };
+    if is_identity {
+        for (id, _) in run {
+            dag.remove(*id);
+        }
+        out.eliminated += run.len();
+        return out;
+    }
+    if run.iter().all(|(_, g)| g.is_clifford()) {
+        return out;
+    }
+    // Replace the first node with u(θ=b, φ=a, λ=c) ~ Rz(a)·Ry(b)·Rz(c)
+    // and delete the rest.
+    dag.replace_op(run[0].0, DagOp::Op(ParamOp::Fixed(Gate::U(q, b, a, c))));
+    for (id, _) in &run[1..] {
+        dag.remove(*id);
+    }
+    out.rewritten += 1;
+    out.eliminated += run.len() - 1;
+    out
+}
+
+// ---------------------------------------------------------------------
+// Layout analysis
+// ---------------------------------------------------------------------
+
+/// Connectivity-aware qubit ordering for the distributed engine.
+///
+/// Diagonal gates are exchange-free in the distributed state vector and
+/// non-diagonal multi-qubit gates on *high* physical positions are what
+/// force remaps, so the plan weighs each qubit by the non-diagonal
+/// entangling gates that touch it and greedily grows a line from the
+/// hottest qubit, always appending the qubit most strongly connected to
+/// the placed set. The result `order[p] = q` assigns logical qubit `q`
+/// to physical position `p`; hot qubits land in the low (rank-local)
+/// positions, which the engine can seed for free at `|0…0⟩`.
+pub fn plan_layout(dag: &DagCircuit) -> Vec<usize> {
+    let n = dag.num_qubits();
+    let mut weight = vec![0usize; n];
+    let mut pair = std::collections::BTreeMap::<(usize, usize), usize>::new();
+    for op in dag.linearize() {
+        if !op.is_gate() || op_is_diagonal(op) {
+            continue;
+        }
+        let qs = op.qubits();
+        if qs.len() < 2 {
+            continue;
+        }
+        for &q in &qs {
+            weight[q] += 1;
+        }
+        for i in 0..qs.len() {
+            for j in i + 1..qs.len() {
+                let key = (qs[i].min(qs[j]), qs[i].max(qs[j]));
+                *pair.entry(key).or_default() += 1;
+            }
+        }
+    }
+    let mut placed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    while order.len() < n {
+        let next = if order.is_empty() || order.iter().all(|&q: &usize| weight[q] == 0) {
+            // Seed (or restart a disconnected component): hottest first,
+            // index as tie-break.
+            (0..n)
+                .filter(|&q| !placed[q])
+                .max_by_key(|&q| (weight[q], usize::MAX - q))
+                .expect("unplaced qubit exists")
+        } else {
+            // Strongest connection to the placed set; own weight, then
+            // smallest index, break ties.
+            let conn = |q: usize| -> usize {
+                order
+                    .iter()
+                    .map(|&p: &usize| {
+                        *pair.get(&(p.min(q), p.max(q))).unwrap_or(&0)
+                    })
+                    .sum()
+            };
+            (0..n)
+                .filter(|&q| !placed[q])
+                .max_by_key(|&q| (conn(q), weight[q], usize::MAX - q))
+                .expect("unplaced qubit exists")
+        };
+        placed[next] = true;
+        order.push(next);
+    }
+    order
+}
+
+// ---------------------------------------------------------------------
+// Pipelines
+// ---------------------------------------------------------------------
+
+/// Optimization level of the pass pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// IR round trip only, no rewrites.
+    O0,
+    /// Inverse cancellation + adjacent rotation merging.
+    O1,
+    /// O1 + template recognition, diagonal sinking, 1q resynthesis.
+    O2,
+    /// O2 + connectivity-aware layout analysis for the distributed
+    /// engine.
+    O3,
+}
+
+impl OptLevel {
+    /// All levels, ascending.
+    pub const ALL: [OptLevel; 4] = [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3];
+
+    /// Parses `"O0"`–`"O3"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<OptLevel> {
+        match s.to_ascii_uppercase().as_str() {
+            "O0" => Some(OptLevel::O0),
+            "O1" => Some(OptLevel::O1),
+            "O2" => Some(OptLevel::O2),
+            "O3" => Some(OptLevel::O3),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptLevel::O0 => write!(f, "O0"),
+            OptLevel::O1 => write!(f, "O1"),
+            OptLevel::O2 => write!(f, "O2"),
+            OptLevel::O3 => write!(f, "O3"),
+        }
+    }
+}
+
+/// The pass sequence for an optimization level. (The O3 layout analysis
+/// is not a rewrite and runs separately in [`crate::compile_dag`].)
+pub fn pipeline(opt: OptLevel) -> Vec<Box<dyn Pass>> {
+    match opt {
+        OptLevel::O0 => vec![],
+        OptLevel::O1 => vec![Box::new(CancelInverses), Box::new(MergeRotations)],
+        OptLevel::O2 | OptLevel::O3 => vec![
+            Box::new(CancelInverses),
+            Box::new(MergeRotations),
+            Box::new(RecognizeTemplates),
+            Box::new(SinkDiagonals),
+            Box::new(CancelInverses),
+            Box::new(Resynth1q),
+            Box::new(MergeRotations),
+        ],
+    }
+}

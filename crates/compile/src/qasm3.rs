@@ -1,0 +1,1264 @@
+//! OpenQASM 3 front-end: lexer, recursive-descent parser, and emitter.
+//!
+//! The supported subset is the interoperability surface the stack needs:
+//! the version statement, `include` (accepted and ignored), `qubit[n]` /
+//! `bit[n]` register declarations (multiple registers are flattened into
+//! one index space in declaration order), `input float[64] name;`
+//! parameter declarations (parameter indices follow declaration order),
+//! standard-gate calls with angle expressions that are affine in at most
+//! one parameter (`pi`/`π`/`tau`/`euler` constants, `+ - * /`,
+//! parentheses, register broadcast), both measurement forms
+//! (`c[0] = measure q[0];` and `measure q[0] -> c[0];`), and `barrier`.
+//! As an extension the two-qubit rotation names `rzz`/`rxx`/`ryy` are
+//! accepted directly; [`lower_to_stdgates`] rewrites them onto the strict
+//! `stdgates.inc` set for export to consumers without the extension.
+//!
+//! The emitter is canonical: one statement per line, flattened `q`/`c`
+//! registers, `{:e}` floats (exact `f64` round trips), and parameter
+//! names preserved from the parse. That makes `parse ∘ emit` a fixed
+//! point on parsed programs, which is what lets [`canonical_hash`] give
+//! every formatting variant of the same program one cache identity.
+
+use crate::dag::{DagCircuit, DagOp};
+use qfw_circuit::hash::ContentHash;
+use qfw_circuit::param::{Angle, ParamOp};
+use qfw_circuit::Gate;
+
+/// A parse failure, with the 1-based source line it was detected on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Qasm3Error {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Qasm3Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "qasm3 line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for Qasm3Error {}
+
+/// A parsed program: the DAG plus the `input float` parameter names in
+/// index order (empty for fully concrete programs).
+#[derive(Clone, Debug)]
+pub struct ParsedQasm {
+    /// The circuit as a DAG (symbolic angles preserved).
+    pub dag: DagCircuit,
+    /// Declared parameter names; `params[k]` is `theta[k]`.
+    pub params: Vec<String>,
+}
+
+/// Quick sniff: does this source look like OpenQASM 3 (as opposed to the
+/// native `qfwasm` text format)? True when the first non-comment,
+/// non-whitespace content starts with `OPENQASM`.
+pub fn is_qasm3(src: &str) -> bool {
+    let mut rest = src;
+    loop {
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix("//") {
+            rest = after.split_once('\n').map_or("", |(_, r)| r);
+        } else if let Some(after) = rest.strip_prefix("/*") {
+            rest = after.split_once("*/").map_or("", |(_, r)| r);
+        } else {
+            return rest.starts_with("OPENQASM");
+        }
+    }
+}
+
+/// Default parameter names for emitting a DAG that was not produced by
+/// the parser: `theta0`, `theta1`, ….
+pub fn default_param_names(n: usize) -> Vec<String> {
+    (0..n).map(|k| format!("theta{k}")).collect()
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Str(String),
+    Sym(&'static str),
+}
+
+struct Lexer {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == 'π'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == 'π'
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, Qasm3Error> {
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut it = src.char_indices().peekable();
+    while let Some(&(i, c)) = it.peek() {
+        if c == '\n' {
+            line += 1;
+            it.next();
+            continue;
+        }
+        if c.is_whitespace() {
+            it.next();
+            continue;
+        }
+        if c == '/' {
+            let rest = &src[i..];
+            if rest.starts_with("//") {
+                for (_, c) in it.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+                continue;
+            }
+            if rest.starts_with("/*") {
+                it.next();
+                it.next();
+                let mut prev = ' ';
+                let mut closed = false;
+                for (_, c) in it.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                    }
+                    if prev == '*' && c == '/' {
+                        closed = true;
+                        break;
+                    }
+                    prev = c;
+                }
+                if !closed {
+                    return Err(Qasm3Error {
+                        line,
+                        message: "unterminated block comment".into(),
+                    });
+                }
+                continue;
+            }
+        }
+        if is_ident_start(c) {
+            let start = i;
+            let mut end = i + c.len_utf8();
+            it.next();
+            while let Some(&(j, d)) = it.peek() {
+                if is_ident_char(d) {
+                    end = j + d.len_utf8();
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            toks.push((Tok::Ident(src[start..end].to_string()), line));
+            continue;
+        }
+        if c.is_ascii_digit() || (c == '.' && src[i..].len() > 1) && {
+            // `.5` style floats: dot followed by a digit.
+            src[i + 1..].chars().next().is_some_and(|d| d.is_ascii_digit())
+        } {
+            let start = i;
+            let mut end = i;
+            let mut seen_e = false;
+            while let Some(&(j, d)) = it.peek() {
+                let take = d.is_ascii_digit()
+                    || d == '.'
+                    || d == 'e'
+                    || d == 'E'
+                    || ((d == '+' || d == '-') && seen_e && {
+                        let prev = src[start..j].chars().next_back();
+                        matches!(prev, Some('e') | Some('E'))
+                    });
+                if take {
+                    if d == 'e' || d == 'E' {
+                        seen_e = true;
+                    }
+                    end = j + d.len_utf8();
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            let text = &src[start..end];
+            let v: f64 = text.parse().map_err(|_| Qasm3Error {
+                line,
+                message: format!("malformed number `{text}`"),
+            })?;
+            toks.push((Tok::Num(v), line));
+            continue;
+        }
+        if c == '"' {
+            it.next();
+            let mut s = String::new();
+            let mut closed = false;
+            for (_, d) in it.by_ref() {
+                if d == '"' {
+                    closed = true;
+                    break;
+                }
+                if d == '\n' {
+                    line += 1;
+                }
+                s.push(d);
+            }
+            if !closed {
+                return Err(Qasm3Error {
+                    line,
+                    message: "unterminated string literal".into(),
+                });
+            }
+            toks.push((Tok::Str(s), line));
+            continue;
+        }
+        if c == '-' && src[i..].starts_with("->") {
+            it.next();
+            it.next();
+            toks.push((Tok::Sym("->"), line));
+            continue;
+        }
+        let sym = match c {
+            '(' => "(",
+            ')' => ")",
+            '[' => "[",
+            ']' => "]",
+            '{' => "{",
+            '}' => "}",
+            ',' => ",",
+            ';' => ";",
+            '=' => "=",
+            '+' => "+",
+            '-' => "-",
+            '*' => "*",
+            '/' => "/",
+            _ => {
+                return Err(Qasm3Error {
+                    line,
+                    message: format!("unexpected character `{c}`"),
+                })
+            }
+        };
+        it.next();
+        toks.push((Tok::Sym(sym), line));
+    }
+    Ok(toks)
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(1, |(_, l)| *l)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> Qasm3Error {
+        Qasm3Error {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), Qasm3Error> {
+        match self.next() {
+            Some(Tok::Sym(t)) if t == s => Ok(()),
+            other => Err(self.err(format!("expected `{s}`, found {}", tok_name(&other)))),
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if let Some(Tok::Sym(t)) = self.peek() {
+            if *t == s {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> Result<String, Qasm3Error> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {}", tok_name(&other)))),
+        }
+    }
+}
+
+fn tok_name(t: &Option<Tok>) -> String {
+    match t {
+        Some(Tok::Ident(s)) => format!("`{s}`"),
+        Some(Tok::Num(v)) => format!("number `{v}`"),
+        Some(Tok::Str(_)) => "string literal".into(),
+        Some(Tok::Sym(s)) => format!("`{s}`"),
+        None => "end of input".into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum RegKind {
+    Qubit,
+    Bit,
+}
+
+struct Reg {
+    kind: RegKind,
+    offset: usize,
+    size: usize,
+}
+
+/// A value affine in at most one parameter: `c + coeff·theta[index]`.
+#[derive(Clone, Copy)]
+struct AffineVal {
+    c: f64,
+    term: Option<(usize, f64)>,
+}
+
+impl AffineVal {
+    fn lit(c: f64) -> Self {
+        AffineVal { c, term: None }
+    }
+
+    fn to_angle(self) -> Angle {
+        match self.term {
+            None => Angle::Lit(self.c),
+            Some((index, coeff)) => Angle::Sym {
+                index,
+                coeff,
+                offset: self.c,
+            },
+        }
+    }
+}
+
+enum Operand {
+    Single(usize),
+    Whole { offset: usize, size: usize },
+}
+
+struct Parser {
+    lx: Lexer,
+    regs: std::collections::BTreeMap<String, Reg>,
+    params: Vec<String>,
+    num_qubits: usize,
+    num_clbits: usize,
+    ops: Vec<DagOp>,
+    saw_version: bool,
+}
+
+/// Parses an OpenQASM 3 program in the supported subset.
+pub fn parse(src: &str) -> Result<ParsedQasm, Qasm3Error> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        lx: Lexer { toks, pos: 0 },
+        regs: std::collections::BTreeMap::new(),
+        params: Vec::new(),
+        num_qubits: 0,
+        num_clbits: 0,
+        ops: Vec::new(),
+        saw_version: false,
+    };
+    while p.lx.peek().is_some() {
+        p.statement()?;
+    }
+    if !p.saw_version {
+        return Err(Qasm3Error {
+            line: 1,
+            message: "missing `OPENQASM 3;` version statement".into(),
+        });
+    }
+    let mut dag = DagCircuit::new(p.num_qubits, p.num_clbits);
+    for op in p.ops {
+        dag.push(op);
+    }
+    Ok(ParsedQasm {
+        dag,
+        params: p.params,
+    })
+}
+
+impl Parser {
+    fn statement(&mut self) -> Result<(), Qasm3Error> {
+        let Some(tok) = self.lx.peek().cloned() else {
+            return Ok(());
+        };
+        let Tok::Ident(word) = tok else {
+            return Err(self.lx.err(format!(
+                "expected a statement, found {}",
+                tok_name(&Some(tok))
+            )));
+        };
+        match word.as_str() {
+            "OPENQASM" => self.version_stmt(),
+            "include" => self.include_stmt(),
+            "qubit" => self.reg_decl(RegKind::Qubit),
+            "bit" => self.reg_decl(RegKind::Bit),
+            "input" => self.input_decl(),
+            "measure" => {
+                self.lx.next();
+                self.measure_arrow_stmt()
+            }
+            "barrier" => self.barrier_stmt(),
+            _ => {
+                // Either `c[i] = measure ...` (bit-register assignment) or
+                // a gate call.
+                if self.regs.get(&word).map(|r| r.kind) == Some(RegKind::Bit) {
+                    self.measure_assign_stmt()
+                } else {
+                    self.gate_stmt()
+                }
+            }
+        }
+    }
+
+    fn version_stmt(&mut self) -> Result<(), Qasm3Error> {
+        self.lx.next();
+        match self.lx.next() {
+            Some(Tok::Num(v)) if v.trunc() == 3.0 => {}
+            other => {
+                return Err(self
+                    .lx
+                    .err(format!("unsupported OPENQASM version {}", tok_name(&other))))
+            }
+        }
+        self.lx.expect_sym(";")?;
+        self.saw_version = true;
+        Ok(())
+    }
+
+    fn include_stmt(&mut self) -> Result<(), Qasm3Error> {
+        self.lx.next();
+        match self.lx.next() {
+            Some(Tok::Str(_)) => {}
+            other => {
+                return Err(self
+                    .lx
+                    .err(format!("expected include path string, found {}", tok_name(&other))))
+            }
+        }
+        self.lx.expect_sym(";")
+    }
+
+    fn check_fresh_name(&self, name: &str) -> Result<(), Qasm3Error> {
+        if self.regs.contains_key(name) || self.params.iter().any(|p| p == name) {
+            return Err(self.lx.err(format!("`{name}` is already declared")));
+        }
+        if matches!(name, "pi" | "π" | "tau" | "euler" | "measure" | "barrier") {
+            return Err(self.lx.err(format!("`{name}` is reserved")));
+        }
+        Ok(())
+    }
+
+    fn reg_decl(&mut self, kind: RegKind) -> Result<(), Qasm3Error> {
+        self.lx.next();
+        let size = if self.lx.eat_sym("[") {
+            let n = self.const_index()?;
+            self.lx.expect_sym("]")?;
+            n
+        } else {
+            1
+        };
+        let name = self.lx.expect_ident()?;
+        self.check_fresh_name(&name)?;
+        self.lx.expect_sym(";")?;
+        let offset = match kind {
+            RegKind::Qubit => {
+                let o = self.num_qubits;
+                self.num_qubits += size;
+                o
+            }
+            RegKind::Bit => {
+                let o = self.num_clbits;
+                self.num_clbits += size;
+                o
+            }
+        };
+        self.regs.insert(name, Reg { kind, offset, size });
+        Ok(())
+    }
+
+    fn input_decl(&mut self) -> Result<(), Qasm3Error> {
+        self.lx.next();
+        let ty = self.lx.expect_ident()?;
+        if ty != "float" && ty != "angle" {
+            return Err(self
+                .lx
+                .err(format!("unsupported input type `{ty}` (expected float)")));
+        }
+        if self.lx.eat_sym("[") {
+            self.const_index()?;
+            self.lx.expect_sym("]")?;
+        }
+        let name = self.lx.expect_ident()?;
+        self.check_fresh_name(&name)?;
+        self.lx.expect_sym(";")?;
+        self.params.push(name);
+        Ok(())
+    }
+
+    fn const_index(&mut self) -> Result<usize, Qasm3Error> {
+        match self.lx.next() {
+            Some(Tok::Num(v)) if v >= 0.0 && v.fract() == 0.0 => Ok(v as usize),
+            other => Err(self
+                .lx
+                .err(format!("expected a non-negative integer, found {}", tok_name(&other)))),
+        }
+    }
+
+    fn operand(&mut self, want: RegKind) -> Result<Operand, Qasm3Error> {
+        let name = self.lx.expect_ident()?;
+        let Some(reg) = self.regs.get(&name) else {
+            return Err(self.lx.err(format!("undeclared register `{name}`")));
+        };
+        if reg.kind != want {
+            let k = if want == RegKind::Qubit { "qubit" } else { "bit" };
+            return Err(self.lx.err(format!("`{name}` is not a {k} register")));
+        }
+        let (offset, size) = (reg.offset, reg.size);
+        if self.lx.eat_sym("[") {
+            let i = self.const_index()?;
+            self.lx.expect_sym("]")?;
+            if i >= size {
+                return Err(self
+                    .lx
+                    .err(format!("index {i} out of range for `{name}[{size}]`")));
+            }
+            Ok(Operand::Single(offset + i))
+        } else {
+            Ok(Operand::Whole { offset, size })
+        }
+    }
+
+    fn measure_assign_stmt(&mut self) -> Result<(), Qasm3Error> {
+        let dst = self.operand(RegKind::Bit)?;
+        self.lx.expect_sym("=")?;
+        let kw = self.lx.expect_ident()?;
+        if kw != "measure" {
+            return Err(self
+                .lx
+                .err(format!("expected `measure` after `=`, found `{kw}`")));
+        }
+        let src = self.operand(RegKind::Qubit)?;
+        self.lx.expect_sym(";")?;
+        self.push_measure(src, dst)
+    }
+
+    fn measure_arrow_stmt(&mut self) -> Result<(), Qasm3Error> {
+        let src = self.operand(RegKind::Qubit)?;
+        self.lx.expect_sym("->")?;
+        let dst = self.operand(RegKind::Bit)?;
+        self.lx.expect_sym(";")?;
+        self.push_measure(src, dst)
+    }
+
+    fn push_measure(&mut self, src: Operand, dst: Operand) -> Result<(), Qasm3Error> {
+        let pairs: Vec<(usize, usize)> = match (src, dst) {
+            (Operand::Single(q), Operand::Single(c)) => vec![(q, c)],
+            (
+                Operand::Whole { offset: qo, size: qs },
+                Operand::Whole { offset: co, size: cs },
+            ) => {
+                if qs != cs {
+                    return Err(self.lx.err(format!(
+                        "broadcast measure over registers of different sizes ({qs} vs {cs})"
+                    )));
+                }
+                (0..qs).map(|i| (qo + i, co + i)).collect()
+            }
+            _ => {
+                return Err(self
+                    .lx
+                    .err("measure operands must both be indexed or both be registers"))
+            }
+        };
+        for (qubit, clbit) in pairs {
+            self.ops.push(DagOp::Op(ParamOp::Measure { qubit, clbit }));
+        }
+        Ok(())
+    }
+
+    fn barrier_stmt(&mut self) -> Result<(), Qasm3Error> {
+        self.lx.next();
+        let mut qubits = Vec::new();
+        if self.lx.eat_sym(";") {
+            // Bare `barrier;` fences every qubit.
+            self.ops.push(DagOp::Barrier((0..self.num_qubits).collect()));
+            return Ok(());
+        }
+        loop {
+            match self.operand(RegKind::Qubit)? {
+                Operand::Single(q) => qubits.push(q),
+                Operand::Whole { offset, size } => qubits.extend(offset..offset + size),
+            }
+            if !self.lx.eat_sym(",") {
+                break;
+            }
+        }
+        self.lx.expect_sym(";")?;
+        self.ops.push(DagOp::Barrier(qubits));
+        Ok(())
+    }
+
+    fn gate_stmt(&mut self) -> Result<(), Qasm3Error> {
+        let line = self.lx.line();
+        let name = self.lx.expect_ident()?;
+        let mut angles = Vec::new();
+        if self.lx.eat_sym("(") {
+            loop {
+                angles.push(self.expr()?.to_angle());
+                if !self.lx.eat_sym(",") {
+                    break;
+                }
+            }
+            self.lx.expect_sym(")")?;
+        }
+        let mut operands = Vec::new();
+        loop {
+            operands.push(self.operand(RegKind::Qubit)?);
+            if !self.lx.eat_sym(",") {
+                break;
+            }
+        }
+        self.lx.expect_sym(";")?;
+        // Broadcast: every whole-register operand must have the same
+        // length; indexed operands repeat.
+        let mut width = None;
+        for o in &operands {
+            if let Operand::Whole { size, .. } = o {
+                match width {
+                    None => width = Some(*size),
+                    Some(w) if w == *size => {}
+                    Some(w) => {
+                        return Err(Qasm3Error {
+                            line,
+                            message: format!(
+                                "broadcast over registers of different sizes ({w} vs {size})"
+                            ),
+                        })
+                    }
+                }
+            }
+        }
+        for i in 0..width.unwrap_or(1) {
+            let qubits: Vec<usize> = operands
+                .iter()
+                .map(|o| match o {
+                    Operand::Single(q) => *q,
+                    Operand::Whole { offset, .. } => offset + i,
+                })
+                .collect();
+            let op = build_gate(&name, &angles, &qubits, line)?;
+            self.ops.push(op);
+        }
+        Ok(())
+    }
+
+    // expr := term (('+'|'-') term)*
+    fn expr(&mut self) -> Result<AffineVal, Qasm3Error> {
+        let mut v = self.term()?;
+        loop {
+            if self.lx.eat_sym("+") {
+                let r = self.term()?;
+                v = affine_add(v, r, 1.0);
+            } else if self.lx.eat_sym("-") {
+                let r = self.term()?;
+                v = affine_add(v, r, -1.0);
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    // term := factor (('*'|'/') factor)*
+    fn term(&mut self) -> Result<AffineVal, Qasm3Error> {
+        let mut v = self.factor()?;
+        loop {
+            if self.lx.eat_sym("*") {
+                let r = self.factor()?;
+                v = match (v.term, r.term) {
+                    (None, _) => scale(r, v.c),
+                    (_, None) => scale(v, r.c),
+                    _ => {
+                        return Err(self
+                            .lx
+                            .err("angle expressions must be affine in the parameter"))
+                    }
+                };
+            } else if self.lx.eat_sym("/") {
+                let r = self.factor()?;
+                if r.term.is_some() {
+                    return Err(self.lx.err("cannot divide by a parameter"));
+                }
+                v = scale(v, 1.0 / r.c);
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    // factor := ('-'|'+') factor | number | const | param | '(' expr ')'
+    fn factor(&mut self) -> Result<AffineVal, Qasm3Error> {
+        if self.lx.eat_sym("-") {
+            return Ok(scale(self.factor()?, -1.0));
+        }
+        if self.lx.eat_sym("+") {
+            return self.factor();
+        }
+        if self.lx.eat_sym("(") {
+            let v = self.expr()?;
+            self.lx.expect_sym(")")?;
+            return Ok(v);
+        }
+        match self.lx.next() {
+            Some(Tok::Num(v)) => Ok(AffineVal::lit(v)),
+            Some(Tok::Ident(name)) => match name.as_str() {
+                "pi" | "π" => Ok(AffineVal::lit(std::f64::consts::PI)),
+                "tau" => Ok(AffineVal::lit(std::f64::consts::TAU)),
+                "euler" => Ok(AffineVal::lit(std::f64::consts::E)),
+                _ => {
+                    if let Some(index) = self.params.iter().position(|p| *p == name) {
+                        Ok(AffineVal {
+                            c: 0.0,
+                            term: Some((index, 1.0)),
+                        })
+                    } else {
+                        Err(self.lx.err(format!("unknown identifier `{name}` in expression")))
+                    }
+                }
+            },
+            other => Err(self
+                .lx
+                .err(format!("expected an angle term, found {}", tok_name(&other)))),
+        }
+    }
+}
+
+fn scale(v: AffineVal, k: f64) -> AffineVal {
+    AffineVal {
+        c: v.c * k,
+        term: v.term.map(|(i, c)| (i, c * k)),
+    }
+}
+
+fn affine_add(a: AffineVal, b: AffineVal, sign: f64) -> AffineVal {
+    let b = scale(b, sign);
+    let term = match (a.term, b.term) {
+        (None, t) | (t, None) => t,
+        (Some((i, c1)), Some((j, c2))) if i == j => Some((i, c1 + c2)),
+        // A sum over two *different* parameters is not representable as
+        // a single-parameter affine form. Poison the term; `build_gate`
+        // rejects it with a proper diagnostic.
+        (Some(_), Some(_)) => Some((usize::MAX, f64::NAN)),
+    };
+    AffineVal { c: a.c + b.c, term }
+}
+
+/// Builds the DAG op for one gate call.
+fn build_gate(
+    name: &str,
+    angles: &[Angle],
+    qubits: &[usize],
+    line: usize,
+) -> Result<DagOp, Qasm3Error> {
+    let err = |message: String| Qasm3Error { line, message };
+    // Validate affine sanity (mixed-parameter additions poison the term).
+    for a in angles {
+        if let Angle::Sym { index, coeff, .. } = a {
+            if *index == usize::MAX || coeff.is_nan() {
+                return Err(err(
+                    "angle expressions must be affine in a single parameter".into(),
+                ));
+            }
+        }
+    }
+    let arity = |n: usize| -> Result<(), Qasm3Error> {
+        if qubits.len() != n {
+            return Err(err(format!(
+                "`{name}` expects {n} qubit operand(s), found {}",
+                qubits.len()
+            )));
+        }
+        for (i, q) in qubits.iter().enumerate() {
+            if qubits[..i].contains(q) {
+                return Err(err(format!("repeated qubit operand in `{name}`")));
+            }
+        }
+        Ok(())
+    };
+    let nangles = |n: usize| -> Result<(), Qasm3Error> {
+        if angles.len() != n {
+            return Err(err(format!(
+                "`{name}` expects {n} angle(s), found {}",
+                angles.len()
+            )));
+        }
+        Ok(())
+    };
+    let lit = |a: &Angle| -> Result<f64, Qasm3Error> {
+        match a {
+            Angle::Lit(v) => Ok(*v),
+            Angle::Sym { .. } => Err(err(format!(
+                "`{name}` does not support symbolic parameters"
+            ))),
+        }
+    };
+    let q = |i: usize| qubits[i];
+    let op = match name {
+        "h" | "x" | "y" | "z" | "s" | "sdg" | "t" | "tdg" | "sx" => {
+            arity(1)?;
+            nangles(0)?;
+            let g = match name {
+                "h" => Gate::H(q(0)),
+                "x" => Gate::X(q(0)),
+                "y" => Gate::Y(q(0)),
+                "z" => Gate::Z(q(0)),
+                "s" => Gate::S(q(0)),
+                "sdg" => Gate::Sdg(q(0)),
+                "t" => Gate::T(q(0)),
+                "tdg" => Gate::Tdg(q(0)),
+                _ => Gate::Sx(q(0)),
+            };
+            DagOp::Op(ParamOp::Fixed(g))
+        }
+        "rx" | "ry" | "rz" | "p" | "phase" => {
+            arity(1)?;
+            nangles(1)?;
+            let a = angles[0];
+            match (name, a) {
+                ("rx", Angle::Lit(v)) => DagOp::Op(ParamOp::Fixed(Gate::Rx(q(0), v))),
+                ("ry", Angle::Lit(v)) => DagOp::Op(ParamOp::Fixed(Gate::Ry(q(0), v))),
+                ("rz", Angle::Lit(v)) => DagOp::Op(ParamOp::Fixed(Gate::Rz(q(0), v))),
+                (_, Angle::Lit(v)) => DagOp::Op(ParamOp::Fixed(Gate::Phase(q(0), v))),
+                ("rx", a) => DagOp::Op(ParamOp::Rx(q(0), a)),
+                ("ry", a) => DagOp::Op(ParamOp::Ry(q(0), a)),
+                ("rz", a) => DagOp::Op(ParamOp::Rz(q(0), a)),
+                (_, a) => DagOp::Op(ParamOp::Phase(q(0), a)),
+            }
+        }
+        "u" | "U" => {
+            arity(1)?;
+            nangles(3)?;
+            DagOp::Op(ParamOp::Fixed(Gate::U(
+                q(0),
+                lit(&angles[0])?,
+                lit(&angles[1])?,
+                lit(&angles[2])?,
+            )))
+        }
+        "cx" | "CX" | "cy" | "cz" | "swap" => {
+            arity(2)?;
+            nangles(0)?;
+            let g = match name {
+                "cy" => Gate::Cy(q(0), q(1)),
+                "cz" => Gate::Cz(q(0), q(1)),
+                "swap" => Gate::Swap(q(0), q(1)),
+                _ => Gate::Cx(q(0), q(1)),
+            };
+            DagOp::Op(ParamOp::Fixed(g))
+        }
+        "cp" | "cphase" => {
+            arity(2)?;
+            nangles(1)?;
+            match angles[0] {
+                Angle::Lit(v) => DagOp::Op(ParamOp::Fixed(Gate::Cp(q(0), q(1), v))),
+                a => DagOp::Op(ParamOp::Cp(q(0), q(1), a)),
+            }
+        }
+        "crx" | "cry" | "crz" => {
+            arity(2)?;
+            nangles(1)?;
+            let v = lit(&angles[0])?;
+            let g = match name {
+                "crx" => Gate::Crx(q(0), q(1), v),
+                "cry" => Gate::Cry(q(0), q(1), v),
+                _ => Gate::Crz(q(0), q(1), v),
+            };
+            DagOp::Op(ParamOp::Fixed(g))
+        }
+        "rzz" | "rxx" => {
+            arity(2)?;
+            nangles(1)?;
+            match (name, angles[0]) {
+                ("rzz", Angle::Lit(v)) => DagOp::Op(ParamOp::Fixed(Gate::Rzz(q(0), q(1), v))),
+                ("rzz", a) => DagOp::Op(ParamOp::Rzz(q(0), q(1), a)),
+                (_, Angle::Lit(v)) => DagOp::Op(ParamOp::Fixed(Gate::Rxx(q(0), q(1), v))),
+                (_, a) => DagOp::Op(ParamOp::Rxx(q(0), q(1), a)),
+            }
+        }
+        "ryy" => {
+            arity(2)?;
+            nangles(1)?;
+            DagOp::Op(ParamOp::Fixed(Gate::Ryy(q(0), q(1), lit(&angles[0])?)))
+        }
+        "ccx" => {
+            arity(3)?;
+            nangles(0)?;
+            DagOp::Op(ParamOp::Fixed(Gate::Ccx(q(0), q(1), q(2))))
+        }
+        _ => return Err(err(format!("unsupported gate `{name}`"))),
+    };
+    Ok(op)
+}
+
+// ---------------------------------------------------------------------
+// Emitter
+// ---------------------------------------------------------------------
+
+/// Emits a DAG as canonical OpenQASM 3, using `params` for symbolic
+/// angle names (falls back to `theta{k}` for missing or colliding
+/// names). Fails when the DAG contains an opaque unitary block, which
+/// has no QASM3 spelling.
+pub fn emit(dag: &DagCircuit, params: &[String]) -> Result<String, Qasm3Error> {
+    let n_params = dag.num_params();
+    let names: Vec<String> = (0..n_params)
+        .map(|k| {
+            let candidate = params.get(k).cloned().unwrap_or_default();
+            let reserved = matches!(
+                candidate.as_str(),
+                "" | "q" | "c" | "pi" | "π" | "tau" | "euler" | "measure" | "barrier"
+            );
+            let well_formed = candidate.chars().next().is_some_and(is_ident_start)
+                && candidate.chars().all(is_ident_char);
+            if reserved || !well_formed {
+                format!("theta{k}")
+            } else {
+                candidate
+            }
+        })
+        .collect();
+    let mut out = String::from("OPENQASM 3.0;\ninclude \"stdgates.inc\";\n");
+    for name in &names {
+        out.push_str(&format!("input float[64] {name};\n"));
+    }
+    out.push_str(&format!("qubit[{}] q;\n", dag.num_qubits()));
+    if dag.num_clbits() > 0 {
+        out.push_str(&format!("bit[{}] c;\n", dag.num_clbits()));
+    }
+    for op in dag.linearize() {
+        emit_op(&mut out, op, &names)?;
+    }
+    Ok(out)
+}
+
+fn fmt_angle(a: &Angle, names: &[String]) -> String {
+    match a {
+        Angle::Lit(v) => format!("{v:e}"),
+        Angle::Sym {
+            index,
+            coeff,
+            offset,
+        } => {
+            let name = &names[*index];
+            match (*coeff, *offset) {
+                (1.0, 0.0) => name.clone(),
+                (c, 0.0) => format!("{c:e}*{name}"),
+                (1.0, o) => format!("{name} + {o:e}"),
+                (c, o) => format!("{c:e}*{name} + {o:e}"),
+            }
+        }
+    }
+}
+
+fn emit_op(out: &mut String, op: &DagOp, names: &[String]) -> Result<(), Qasm3Error> {
+    use std::fmt::Write;
+    let a = |x: &Angle| fmt_angle(x, names);
+    match op {
+        DagOp::Op(ParamOp::Rx(q, x)) => writeln!(out, "rx({}) q[{q}];", a(x)),
+        DagOp::Op(ParamOp::Ry(q, x)) => writeln!(out, "ry({}) q[{q}];", a(x)),
+        DagOp::Op(ParamOp::Rz(q, x)) => writeln!(out, "rz({}) q[{q}];", a(x)),
+        DagOp::Op(ParamOp::Phase(q, x)) => writeln!(out, "p({}) q[{q}];", a(x)),
+        DagOp::Op(ParamOp::Rzz(p, q, x)) => writeln!(out, "rzz({}) q[{p}], q[{q}];", a(x)),
+        DagOp::Op(ParamOp::Rxx(p, q, x)) => writeln!(out, "rxx({}) q[{p}], q[{q}];", a(x)),
+        DagOp::Op(ParamOp::Cp(p, q, x)) => writeln!(out, "cp({}) q[{p}], q[{q}];", a(x)),
+        DagOp::Op(ParamOp::Measure { qubit, clbit }) => {
+            writeln!(out, "c[{clbit}] = measure q[{qubit}];")
+        }
+        DagOp::Barrier(qs) => {
+            let list = qs
+                .iter()
+                .map(|q| format!("q[{q}]"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            writeln!(out, "barrier {list};")
+        }
+        DagOp::Op(ParamOp::Fixed(g)) => {
+            let lit = |v: &f64| format!("{v:e}");
+            match g {
+                Gate::H(q) => writeln!(out, "h q[{q}];"),
+                Gate::X(q) => writeln!(out, "x q[{q}];"),
+                Gate::Y(q) => writeln!(out, "y q[{q}];"),
+                Gate::Z(q) => writeln!(out, "z q[{q}];"),
+                Gate::S(q) => writeln!(out, "s q[{q}];"),
+                Gate::Sdg(q) => writeln!(out, "sdg q[{q}];"),
+                Gate::T(q) => writeln!(out, "t q[{q}];"),
+                Gate::Tdg(q) => writeln!(out, "tdg q[{q}];"),
+                Gate::Sx(q) => writeln!(out, "sx q[{q}];"),
+                Gate::Rx(q, v) => writeln!(out, "rx({}) q[{q}];", lit(v)),
+                Gate::Ry(q, v) => writeln!(out, "ry({}) q[{q}];", lit(v)),
+                Gate::Rz(q, v) => writeln!(out, "rz({}) q[{q}];", lit(v)),
+                Gate::Phase(q, v) => writeln!(out, "p({}) q[{q}];", lit(v)),
+                Gate::U(q, t, p, l) => {
+                    writeln!(out, "u({}, {}, {}) q[{q}];", lit(t), lit(p), lit(l))
+                }
+                Gate::Cx(c, t) => writeln!(out, "cx q[{c}], q[{t}];"),
+                Gate::Cy(c, t) => writeln!(out, "cy q[{c}], q[{t}];"),
+                Gate::Cz(c, t) => writeln!(out, "cz q[{c}], q[{t}];"),
+                Gate::Swap(p, q) => writeln!(out, "swap q[{p}], q[{q}];"),
+                Gate::Cp(c, t, v) => writeln!(out, "cp({}) q[{c}], q[{t}];", lit(v)),
+                Gate::Crx(c, t, v) => writeln!(out, "crx({}) q[{c}], q[{t}];", lit(v)),
+                Gate::Cry(c, t, v) => writeln!(out, "cry({}) q[{c}], q[{t}];", lit(v)),
+                Gate::Crz(c, t, v) => writeln!(out, "crz({}) q[{c}], q[{t}];", lit(v)),
+                Gate::Rxx(p, q, v) => writeln!(out, "rxx({}) q[{p}], q[{q}];", lit(v)),
+                Gate::Ryy(p, q, v) => writeln!(out, "ryy({}) q[{p}], q[{q}];", lit(v)),
+                Gate::Rzz(p, q, v) => writeln!(out, "rzz({}) q[{p}], q[{q}];", lit(v)),
+                Gate::Ccx(a, b, t) => writeln!(out, "ccx q[{a}], q[{b}], q[{t}];"),
+                Gate::Unitary { label, .. } => {
+                    return Err(Qasm3Error {
+                        line: 0,
+                        message: format!(
+                            "opaque unitary block `{label}` has no OpenQASM 3 spelling"
+                        ),
+                    })
+                }
+            }
+        }
+    }
+    .expect("writing to String cannot fail");
+    Ok(())
+}
+
+/// The canonical QASM3 text of a program: `emit(parse(src))`. Formatting
+/// and comments normalize away; parse errors surface.
+pub fn canonical_qasm3(src: &str) -> Result<String, Qasm3Error> {
+    let parsed = parse(src)?;
+    emit(&parsed.dag, &parsed.params)
+}
+
+/// Content hash of a QASM3 program, invariant under formatting: hash of
+/// the canonical emission when the program parses, and a tagged hash of
+/// the raw bytes otherwise (mirroring `qfw_circuit::hash::canonical_hash`
+/// for unparsable input).
+pub fn canonical_hash(src: &str) -> ContentHash {
+    match canonical_qasm3(src) {
+        Ok(text) => ContentHash::of_bytes(text.as_bytes()),
+        Err(_) => ContentHash::of_bytes(b"unparsed-qasm3").fold_str(src),
+    }
+}
+
+// ---------------------------------------------------------------------
+// stdgates lowering
+// ---------------------------------------------------------------------
+
+/// Rewrites the `rzz`/`rxx`/`ryy` extension gates onto the strict
+/// `stdgates.inc` set (`rzz(θ) a,b` → `cx a,b; rz(θ) b; cx a,b`, with
+/// basis-change conjugation for the X/Y variants). Used when exporting
+/// for consumers without the extension — and by the compiler benchmark,
+/// whose O2 pipeline recognizes the decompositions right back.
+pub fn lower_to_stdgates(dag: &DagCircuit) -> DagCircuit {
+    use std::f64::consts::FRAC_PI_2;
+    let mut out = DagCircuit::new(dag.num_qubits(), dag.num_clbits());
+    out.name = dag.name.clone();
+    for op in dag.linearize() {
+        match op {
+            DagOp::Op(ParamOp::Rzz(a, b, x)) => {
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::Cx(*a, *b))));
+                out.push(DagOp::Op(ParamOp::Rz(*b, *x)));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::Cx(*a, *b))));
+            }
+            DagOp::Op(ParamOp::Fixed(Gate::Rzz(a, b, v))) => {
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::Cx(*a, *b))));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::Rz(*b, *v))));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::Cx(*a, *b))));
+            }
+            DagOp::Op(ParamOp::Rxx(a, b, x)) => {
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::H(*a))));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::H(*b))));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::Cx(*a, *b))));
+                out.push(DagOp::Op(ParamOp::Rz(*b, *x)));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::Cx(*a, *b))));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::H(*a))));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::H(*b))));
+            }
+            DagOp::Op(ParamOp::Fixed(Gate::Rxx(a, b, v))) => {
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::H(*a))));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::H(*b))));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::Cx(*a, *b))));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::Rz(*b, *v))));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::Cx(*a, *b))));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::H(*a))));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::H(*b))));
+            }
+            DagOp::Op(ParamOp::Fixed(Gate::Ryy(a, b, v))) => {
+                // Conjugate by Rx(±π/2): Rx(π/2) maps Y → Z.
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::Rx(*a, FRAC_PI_2))));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::Rx(*b, FRAC_PI_2))));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::Cx(*a, *b))));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::Rz(*b, *v))));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::Cx(*a, *b))));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::Rx(*a, -FRAC_PI_2))));
+                out.push(DagOp::Op(ParamOp::Fixed(Gate::Rx(*b, -FRAC_PI_2))));
+            }
+            other => {
+                out.push(other.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfw_circuit::Circuit;
+
+    const GHZ: &str = r#"
+        OPENQASM 3.0;
+        include "stdgates.inc";
+        qubit[3] q;
+        bit[3] c;
+        h q[0];
+        cx q[0], q[1];
+        cx q[1], q[2];
+        c = measure q;
+    "#;
+
+    #[test]
+    fn parses_ghz() {
+        let parsed = parse(GHZ).unwrap();
+        assert_eq!(parsed.dag.num_qubits(), 3);
+        assert_eq!(parsed.dag.num_clbits(), 3);
+        assert_eq!(parsed.dag.len(), 6);
+        let qc = parsed.dag.to_circuit().unwrap();
+        let mut expect = Circuit::with_clbits(3, 3);
+        expect.h(0).cx(0, 1).cx(1, 2).measure_all();
+        expect.name = String::new();
+        assert_eq!(qc.ops(), expect.ops());
+    }
+
+    #[test]
+    fn emit_parse_is_fixed_point() {
+        let parsed = parse(GHZ).unwrap();
+        let text = emit(&parsed.dag, &parsed.params).unwrap();
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed.dag, parsed.dag);
+        let text2 = emit(&reparsed.dag, &reparsed.params).unwrap();
+        assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn symbolic_parameters_round_trip() {
+        let src = r#"
+            OPENQASM 3;
+            input float[64] gamma;
+            input float[64] beta;
+            qubit[2] q;
+            rzz(2*gamma) q[0], q[1];
+            rx(2*beta - pi/4) q[0];
+            p(gamma) q[1];
+        "#;
+        let parsed = parse(src).unwrap();
+        assert_eq!(parsed.params, vec!["gamma", "beta"]);
+        assert_eq!(parsed.dag.num_params(), 2);
+        let text = emit(&parsed.dag, &parsed.params).unwrap();
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed.dag, parsed.dag);
+        assert_eq!(reparsed.params, parsed.params);
+    }
+
+    #[test]
+    fn angle_expressions_evaluate() {
+        let src = "OPENQASM 3; qubit[1] q; rx(pi/2) q[0]; rz(-(1 + 2) * 0.5) q[0];";
+        let parsed = parse(src).unwrap();
+        let qc = parsed.dag.to_circuit().unwrap();
+        let gates: Vec<_> = qc.gates().cloned().collect();
+        assert_eq!(
+            gates,
+            vec![
+                Gate::Rx(0, std::f64::consts::FRAC_PI_2),
+                Gate::Rz(0, -1.5)
+            ]
+        );
+    }
+
+    #[test]
+    fn both_measure_forms_agree() {
+        let a = parse("OPENQASM 3; qubit[2] q; bit[2] c; h q[0]; c[1] = measure q[0];").unwrap();
+        let b = parse("OPENQASM 3; qubit[2] q; bit[2] c; h q[0]; measure q[0] -> c[1];").unwrap();
+        assert_eq!(a.dag, b.dag);
+    }
+
+    #[test]
+    fn broadcast_applies_per_element() {
+        let parsed = parse("OPENQASM 3; qubit[3] q; h q; rz(0.5) q;").unwrap();
+        assert_eq!(parsed.dag.len(), 6);
+    }
+
+    #[test]
+    fn canonical_hash_ignores_formatting() {
+        let a = "OPENQASM 3;\nqubit[2] q;\nh q[0];\ncx q[0], q[1];\n";
+        let b = "// a comment\nOPENQASM   3.0;   qubit [ 2 ] q ;\n  h q[ 0 ]; /* block */ cx q[0],q[1];";
+        assert_eq!(canonical_hash(a), canonical_hash(b));
+        let c = "OPENQASM 3;\nqubit[2] q;\nh q[1];\ncx q[0], q[1];\n";
+        assert_ne!(canonical_hash(a), canonical_hash(c));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("OPENQASM 3;\nqubit[2] q;\nbadgate q[0];\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        let err = parse("OPENQASM 3;\nqubit[2] q;\nh q[5];\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(parse("qubit[2] q; h q[0];").is_err(), "missing version");
+    }
+
+    #[test]
+    fn rejects_non_affine_angles() {
+        let src = "OPENQASM 3; input float a; input float b; qubit[1] q; rx(a*b) q[0];";
+        assert!(parse(src).is_err());
+        let src = "OPENQASM 3; input float a; qubit[1] q; rx(a*a) q[0];";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn lower_to_stdgates_removes_extension_gates() {
+        let src = "OPENQASM 3; input float g; qubit[2] q; rzz(2*g) q[0], q[1]; rxx(0.5) q[0], q[1];";
+        let parsed = parse(src).unwrap();
+        let lowered = lower_to_stdgates(&parsed.dag);
+        let text = emit(&lowered, &parsed.params).unwrap();
+        assert!(!text.contains("rzz"));
+        assert!(!text.contains("rxx"));
+        // Still parses, still symbolic.
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(reparsed.dag.num_params(), 1);
+    }
+
+    #[test]
+    fn sniffs_qasm3() {
+        assert!(is_qasm3(GHZ));
+        assert!(is_qasm3("// c\n/* b */ OPENQASM 3;"));
+        assert!(!is_qasm3("qfwasm 1\nqubits 2\nh 0\n"));
+    }
+}

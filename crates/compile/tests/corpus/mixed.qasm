@@ -1,0 +1,29 @@
+// Deliberately messy OpenQASM 3 program exercising every front-end
+// feature at once: multi-register flattening, symbolic parameters,
+// constant expressions, register broadcast, both measure forms, block
+// comments, and ragged whitespace. Its canonical emission is pinned in
+// mixed.golden.qasm.
+OPENQASM 3.0;
+include "stdgates.inc";
+
+input float[64] theta;
+input angle alpha;
+
+qubit[2] a;
+qubit[2]    b;   // flattened after a: b[0] is physical qubit 2
+bit[4] c;
+
+h a[0];
+cx a[0],a[1];
+/* a block comment
+   spanning lines */
+	rz(pi/2) b[0];
+rx(2*theta + 0.5)   b[1];
+cp(-alpha) a[1], b[0];
+rzz(theta/2) b[0],b[1];
+x b;             // broadcast over the whole register
+barrier;
+c[0] = measure a[0];
+measure a[1] -> c[1];
+c[2] = measure b[0];
+c[3] = measure b[1];

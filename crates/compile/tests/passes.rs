@@ -1,0 +1,153 @@
+//! Metamorphic per-pass properties: every optimization pass must be a
+//! semantic no-op. Each pass is applied to random circuits (universal,
+//! all-diagonal, and symbolic-template families from `qfw_testkit`) and
+//! the rewritten circuit's dense operator — built column by column
+//! against the state-vector reference — must equal the original's up to
+//! a single global phase. Full O0–O3 pipelines additionally replay
+//! fixed-seed measurement counts bit for bit.
+
+use proptest::prelude::*;
+use qfw_circuit::Circuit;
+use qfw_compile::{
+    compile_circuit, CancelInverses, DagCircuit, MergeRotations, OptLevel, Pass,
+    RecognizeTemplates, Resynth1q, SinkDiagonals,
+};
+use qfw_num::complex::C64;
+use qfw_obs::Obs;
+use qfw_sim_sv::SvSimulator;
+use qfw_testkit::{all_diagonal_circuit, random_binding, random_circuit, random_template};
+
+/// Dense operator of a measurement-free circuit: column `j` is the state
+/// the circuit produces from basis state `|j>`.
+fn operator(qc: &Circuit) -> Vec<Vec<C64>> {
+    let n = qc.num_qubits();
+    (0..1usize << n)
+        .map(|j| {
+            let mut prep = Circuit::new(n);
+            for q in 0..n {
+                if (j >> q) & 1 == 1 {
+                    prep.x(q);
+                }
+            }
+            prep.compose(qc);
+            SvSimulator::plain().statevector(&prep).amps().to_vec()
+        })
+        .collect()
+}
+
+/// Asserts `b == phase * a` for one global phase across every operator
+/// entry.
+fn assert_same_operator(a: &[Vec<C64>], b: &[Vec<C64>], ctx: &str) {
+    // Anchor the phase on the largest-magnitude entry of `a`.
+    let (mut bi, mut bj, mut best) = (0, 0, -1.0f64);
+    for (i, col) in a.iter().enumerate() {
+        for (j, v) in col.iter().enumerate() {
+            if v.norm_sqr() > best {
+                best = v.norm_sqr();
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+    assert!(best > 1e-12, "{ctx}: zero operator");
+    let phase = b[bi][bj] * a[bi][bj].conj() * C64::new(1.0 / best, 0.0);
+    assert!(
+        (phase.norm_sqr() - 1.0).abs() < 1e-6,
+        "{ctx}: phase factor not unimodular: {phase}"
+    );
+    for (i, (ca, cb)) in a.iter().zip(b.iter()).enumerate() {
+        for (j, (x, y)) in ca.iter().zip(cb.iter()).enumerate() {
+            let want = *x * phase;
+            assert!(
+                y.approx_eq(want, 1e-8),
+                "{ctx}: entry ({i},{j}): {y} vs {want}"
+            );
+        }
+    }
+}
+
+/// The five rewrite passes, freshly boxed per call (passes are stateless).
+fn all_passes() -> Vec<(&'static str, Box<dyn Pass>)> {
+    vec![
+        ("cancel-inverses", Box::new(CancelInverses)),
+        ("merge-rotations", Box::new(MergeRotations)),
+        ("recognize-templates", Box::new(RecognizeTemplates)),
+        ("sink-diagonals", Box::new(SinkDiagonals)),
+        ("resynth-1q", Box::new(Resynth1q)),
+    ]
+}
+
+/// Applies each pass in isolation to `qc` and checks operator equality.
+fn check_each_pass_preserves(qc: &Circuit, family: &str) {
+    let base = operator(qc);
+    for (name, pass) in all_passes() {
+        let mut dag = DagCircuit::from_circuit(qc);
+        pass.run(&mut dag);
+        let rewritten = dag.to_circuit().expect("concrete circuit stays concrete");
+        assert_same_operator(
+            &base,
+            &operator(&rewritten),
+            &format!("{family}: pass {name}"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every pass alone preserves the operator on universal random
+    /// circuits.
+    #[test]
+    fn each_pass_preserves_unitary_on_random_circuits(seed in 0u64..400) {
+        check_each_pass_preserves(&random_circuit(4, 24, seed), "random");
+    }
+
+    /// Every pass alone preserves the operator on all-diagonal circuits —
+    /// the densest input for rotation merging and diagonal sinking.
+    #[test]
+    fn each_pass_preserves_unitary_on_diagonal_circuits(seed in 0u64..400) {
+        check_each_pass_preserves(&all_diagonal_circuit(4, 24, seed), "diagonal");
+    }
+
+    /// Full O0-O3 pipelines preserve the operator, and with measurements
+    /// appended the compiled circuit replays fixed-seed counts bit for
+    /// bit through the state-vector engine.
+    #[test]
+    fn pipelines_preserve_unitary_and_fixed_seed_counts(seed in 0u64..400) {
+        let qc = random_circuit(4, 24, seed);
+        let base = operator(&qc);
+        let mut measured = qc.clone();
+        measured.measure_all();
+        let want = SvSimulator::plain().run(&measured, 400, seed);
+        for opt in OptLevel::ALL {
+            let (compiled, stats) = compile_circuit(&qc, opt, &Obs::disabled());
+            assert_same_operator(&base, &operator(&compiled), &format!("{opt}"));
+            prop_assert!(
+                stats.gates_after <= stats.gates_before,
+                "{opt} grew the circuit: {} -> {}", stats.gates_before, stats.gates_after
+            );
+            let (compiled_m, _) = compile_circuit(&measured, opt, &Obs::disabled());
+            let got = SvSimulator::plain().run(&compiled_m, 400, seed);
+            prop_assert_eq!(&want.counts, &got.counts, "{} counts diverged", opt);
+        }
+    }
+
+    /// Symbolic templates: compiling the unbound DAG and then binding
+    /// gives the same operator as binding the original template —
+    /// symbolic angles survive every pass.
+    #[test]
+    fn passes_commute_with_parameter_binding(seed in 0u64..400) {
+        let template = random_template(4, 20, 3, seed);
+        let theta = random_binding(3, seed);
+        let reference = operator(&template.bind(&theta));
+        for opt in OptLevel::ALL {
+            let result = qfw_compile::compile_dag(
+                DagCircuit::from_param(&template),
+                opt,
+                &Obs::disabled(),
+            );
+            let bound = result.dag.bind(&theta);
+            assert_same_operator(&reference, &operator(&bound), &format!("symbolic {opt}"));
+        }
+    }
+}

@@ -15,7 +15,7 @@ use qfw_circuit::hash::ContentHash;
 use qfw_circuit::{text, Circuit, ParamCircuit};
 use qfw_hpc::Stopwatch;
 use qfw_obs::Obs;
-use qfw_sim_sv::dist::{run_distributed_with, RouteStrategy};
+use qfw_sim_sv::dist::{run_distributed_laid_out, RouteStrategy};
 use qfw_sim_sv::fusion::fuse;
 use qfw_sim_sv::noise::{run_noisy, NoiseModel};
 use qfw_sim_sv::{
@@ -346,13 +346,60 @@ impl BackendQpm for NwqSimBackend {
                     Some("swaps") => RouteStrategy::Swaps,
                     _ => RouteStrategy::Lazy,
                 };
+                // Compiler handoff: `initial_layout=q0,q1,...` (entry p is
+                // the logical qubit at physical position p) seeds the
+                // starting permutation — free at |0…0⟩, and counts stay
+                // bitwise identical since sampling flushes the
+                // permutation. Planned by qfw-compile's O3 layout pass.
+                let layout = match task.spec.extra_parsed::<String>("initial_layout") {
+                    Some(csv) => {
+                        let order: Vec<usize> = csv
+                            .split(',')
+                            .map(|s| s.trim().parse::<usize>())
+                            .collect::<Result<_, _>>()
+                            .map_err(|e| {
+                                QfwError::Execution(format!("malformed initial_layout: {e}"))
+                            })?;
+                        let n = circuit.num_qubits();
+                        let mut seen = vec![false; n];
+                        for &q in &order {
+                            if q >= n || std::mem::replace(&mut seen[q], true) {
+                                return Err(QfwError::Execution(format!(
+                                    "initial_layout is not a permutation of 0..{n}"
+                                )));
+                            }
+                        }
+                        if order.len() != n {
+                            return Err(QfwError::Execution(format!(
+                                "initial_layout covers {} of {n} qubits",
+                                order.len()
+                            )));
+                        }
+                        Some(order)
+                    }
+                    None => None,
+                };
                 let alloc = ctx.lease_cores(ranks)?;
                 let circuit = Arc::new(circuit);
                 let shots = task.shots;
                 let seed = task.seed;
                 let obs = ctx.obs.clone();
+                let layout_meta = layout.as_ref().map(|o| {
+                    o.iter()
+                        .map(|q| q.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                });
                 let job = ctx.dvm.spawn(&alloc, ranks, move |mut rank_ctx| {
-                    run_distributed_with(&mut rank_ctx, &circuit, shots, seed, route, &obs)
+                    run_distributed_laid_out(
+                        &mut rank_ctx,
+                        &circuit,
+                        shots,
+                        seed,
+                        route,
+                        layout.as_deref(),
+                        &obs,
+                    )
                 });
                 let mut outcomes = job.wait();
                 let (out, stats) = outcomes
@@ -366,6 +413,9 @@ impl BackendQpm for NwqSimBackend {
                     "dist_route".into(),
                     format!("{route:?}").to_lowercase(),
                 );
+                if let Some(meta) = layout_meta {
+                    result.metadata.insert("initial_layout".into(), meta);
+                }
                 result
                     .metadata
                     .insert("comm_exchanges".into(), stats.exchanges.to_string());
@@ -563,6 +613,55 @@ mod tests {
         let exchanges = |r: &QfwResult| r.metadata["comm_exchanges"].parse::<u64>().unwrap();
         assert!(exchanges(&lazy) < exchanges(&swaps));
         assert!(bytes(&lazy) < bytes(&swaps));
+    }
+
+    #[test]
+    fn initial_layout_extra_preserves_counts_and_reduces_exchanges() {
+        // Compiler handoff: a layout pulling the hot high qubits into
+        // local positions must not change counts (bitwise) while moving
+        // strictly less data on a top-heavy circuit.
+        let rig = TestRig::new(2);
+        let mut qc = Circuit::new(6);
+        for _ in 0..5 {
+            qc.h(4);
+            qc.cx(4, 5);
+            qc.rx(5, 0.3);
+            qc.cx(5, 4);
+        }
+        qc.measure_all();
+        let run = |layout: Option<&str>| {
+            let mut spec = BackendSpec::of("nwqsim", "mpi").with_ranks(4);
+            if let Some(order) = layout {
+                spec = spec.with_extra("initial_layout", order);
+            }
+            let task = ExecTask {
+                circuit: qfw_circuit::text::dump(&qc),
+                shots: 300,
+                seed: 21,
+                spec,
+            };
+            NwqSimBackend::default().execute(&task, &rig.ctx()).unwrap()
+        };
+        let plain = run(None);
+        let seeded = run(Some("4,5,0,1,2,3"));
+        assert_eq!(seeded.counts, plain.counts, "layout changed counts");
+        assert_eq!(seeded.metadata["initial_layout"], "4,5,0,1,2,3");
+        let exchanges =
+            |r: &QfwResult| r.metadata["comm_exchanges"].parse::<u64>().unwrap();
+        assert!(exchanges(&seeded) < exchanges(&plain));
+        // Malformed layouts are rejected, not silently ignored.
+        let mut spec = BackendSpec::of("nwqsim", "mpi").with_ranks(4);
+        spec = spec.with_extra("initial_layout", "0,1,2");
+        let task = ExecTask {
+            circuit: qfw_circuit::text::dump(&qc),
+            shots: 10,
+            seed: 1,
+            spec,
+        };
+        assert!(matches!(
+            NwqSimBackend::default().execute(&task, &rig.ctx()).unwrap_err(),
+            QfwError::Execution(_)
+        ));
     }
 
     #[test]

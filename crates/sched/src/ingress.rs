@@ -22,6 +22,14 @@
 //! [`JobStatus::Done`] records the result under the key remembered at
 //! submit. Invalidation is purely capacity-driven (LRU) — every input that
 //! could change counts is part of the key, so entries never go stale.
+//!
+//! Submissions whose circuit payload is OpenQASM 3 (detected by
+//! [`qfw_compile::is_qasm3`]) are compiled on ingestion — parsed,
+//! optimized at O2 (O3 with a layout handoff for `nwqsim/mpi` targets),
+//! and lowered to `qfwasm` *before* the cache key is computed. Formatting
+//! variants of the same program therefore share one post-compile
+//! canonical cache entry, and malformed or parameterized (unbound
+//! `input float`) programs are rejected at the front door.
 
 use crate::{JobEnvelope, JobId, JobStatus, OverloadInfo, SchedError, Scheduler};
 use parking_lot::Mutex;
@@ -62,6 +70,8 @@ struct Shared {
     /// Accepted-but-uncompleted jobs: id → cache key, filled at submit,
     /// consumed by the first poll that sees a terminal status.
     pending: Mutex<HashMap<JobId, qfw_circuit::ContentHash>>,
+    /// Handle for `compile.*` spans emitted by QASM3 ingestion.
+    obs: Obs,
 }
 
 /// A running scheduler ingress. Owns the transport; connections come from
@@ -78,6 +88,7 @@ impl SchedIngress {
             sched,
             cache: ResultCache::new(cfg.result_cache, &obs),
             pending: Mutex::new(HashMap::new()),
+            obs: obs.clone(),
         });
         let submit = Arc::clone(&shared);
         let poll = Arc::clone(&shared);
@@ -125,7 +136,30 @@ impl SchedIngress {
 }
 
 impl Shared {
-    fn submit(&self, env: JobEnvelope) -> Result<IngressSubmitOutcome, String> {
+    fn submit(&self, mut env: JobEnvelope) -> Result<IngressSubmitOutcome, String> {
+        // OpenQASM 3 payloads compile on ingestion: parse → optimize →
+        // lower to qfwasm before the cache key is computed, so every
+        // formatting variant of the same program shares one cache entry
+        // (the key is post-compile canonical). Distributed targets get
+        // the O3 layout handoff as a spec extra the nwqsim adapter reads.
+        if qfw_compile::is_qasm3(&env.circuit) {
+            let opt = if env.spec.backend == "nwqsim" && env.spec.subbackend == "mpi" {
+                qfw_compile::OptLevel::O3
+            } else {
+                qfw_compile::OptLevel::O2
+            };
+            let ingested = qfw_compile::ingest_qasm3(&env.circuit, opt, &self.obs)
+                .map_err(|e| format!("qasm3 ingestion failed: {e}"))?;
+            env.circuit = ingested.qfwasm;
+            if let Some(order) = ingested.layout {
+                let csv = order
+                    .iter()
+                    .map(|q| q.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                env.spec = env.spec.clone().with_extra("initial_layout", csv);
+            }
+        }
         let key = ResultCache::key(&env.circuit, env.seed, env.shots, &env.spec);
         if let Some(result) = self.cache.get(key) {
             let mut served = (*result).clone();
@@ -378,6 +412,97 @@ mod tests {
             client::submit(&conn, &env, T).unwrap(),
             IngressSubmitOutcome::Accepted(_)
         ));
+        ingress.shutdown();
+        sched.shutdown();
+    }
+
+    fn ghz_qasm3(n: usize) -> String {
+        let mut src = format!("OPENQASM 3.0;\ninclude \"stdgates.inc\";\nqubit[{n}] q;\nbit[{n}] c;\nh q[0];\n");
+        for q in 0..n - 1 {
+            src.push_str(&format!("cx q[{q}], q[{}];\n", q + 1));
+        }
+        src.push_str("c = measure q;\n");
+        src
+    }
+
+    #[test]
+    fn qasm3_submission_matches_native_counts_bitwise() {
+        // Private Obs handle — see qasm3_formatting_variants below.
+        let obs = Obs::wall();
+        let sched = Scheduler::start(qrc(2), obs.clone(), crate::SchedConfig::default());
+        let ingress = SchedIngress::start(sched.clone(), SchedIngressConfig::default(), obs);
+        let conn = ingress.connect();
+        // Native qfwasm path.
+        let env = JobEnvelope::new("alice", &ghz(4), 250).with_seed(11);
+        let id = match client::submit(&conn, &env, T).unwrap() {
+            IngressSubmitOutcome::Accepted(id) => id,
+            other => panic!("expected acceptance, got {other:?}"),
+        };
+        let native = match client::wait(&conn, id, T).unwrap() {
+            JobStatus::Done(r) => r,
+            other => panic!("unexpected status {other:?}"),
+        };
+        // The same program as OpenQASM 3 text: ingestion compiles it to
+        // the *same* canonical qfwasm, so it lands on the native
+        // submission's cache entry — the strongest form of "identical
+        // counts".
+        let mut qenv = JobEnvelope::new("alice", &ghz(4), 250).with_seed(11);
+        qenv.circuit = ghz_qasm3(4);
+        let via_qasm = match client::submit(&conn, &qenv, T).unwrap() {
+            IngressSubmitOutcome::Cached(r) => r,
+            other => panic!("expected the native cache entry, got {other:?}"),
+        };
+        assert_eq!(via_qasm.counts, native.counts);
+        ingress.shutdown();
+        sched.shutdown();
+    }
+
+    #[test]
+    fn qasm3_formatting_variants_share_one_cache_entry() {
+        // Private Obs handle: cache counters hang off the Obs metric
+        // registry, and the shared disabled() singleton would let
+        // concurrent tests pollute the hit count asserted below.
+        let obs = Obs::wall();
+        let sched = Scheduler::start(qrc(2), obs.clone(), crate::SchedConfig::default());
+        let ingress = SchedIngress::start(sched.clone(), SchedIngressConfig::default(), obs);
+        let conn = ingress.connect();
+        let mut env = JobEnvelope::new("alice", &ghz(4), 100).with_seed(7);
+        env.circuit = ghz_qasm3(4);
+        let id = match client::submit(&conn, &env, T).unwrap() {
+            IngressSubmitOutcome::Accepted(id) => id,
+            other => panic!("expected acceptance, got {other:?}"),
+        };
+        let cold = match client::wait(&conn, id, T).unwrap() {
+            JobStatus::Done(r) => r,
+            other => panic!("unexpected status {other:?}"),
+        };
+        // Same program, different whitespace and comments: the
+        // post-compile key must hit the cache bitwise.
+        let mut variant = env.clone();
+        variant.circuit = format!(
+            "// reformatted\n{}",
+            env.circuit.replace('\n', "\n\n").replace(", ", " ,  ")
+        );
+        let warm = match client::submit(&conn, &variant, T).unwrap() {
+            IngressSubmitOutcome::Cached(r) => r,
+            other => panic!("expected cached result, got {other:?}"),
+        };
+        assert_eq!(warm.counts, cold.counts);
+        assert_eq!(ingress.cache_stats().hits, 1);
+        ingress.shutdown();
+        sched.shutdown();
+    }
+
+    #[test]
+    fn qasm3_rejects_unbound_parameters_and_parse_errors() {
+        let (ingress, sched) = start_ingress(1);
+        let conn = ingress.connect();
+        let mut env = JobEnvelope::new("alice", &ghz(3), 10);
+        env.circuit =
+            "OPENQASM 3;\ninput float[64] theta;\nqubit[2] q;\nrx(theta) q[0];\n".into();
+        assert!(client::submit(&conn, &env, T).is_err());
+        env.circuit = "OPENQASM 3;\nqubit[2] q;\nnosuchgate q[0];\n".into();
+        assert!(client::submit(&conn, &env, T).is_err());
         ingress.shutdown();
         sched.shutdown();
     }

@@ -29,7 +29,8 @@ pub mod state;
 pub mod sweep;
 
 pub use dist::{
-    run_distributed, run_distributed_with, DistStateVector, DistStats, RouteStrategy,
+    run_distributed, run_distributed_laid_out, run_distributed_with, DistStateVector, DistStats,
+    RouteStrategy,
 };
 pub use engine::{SvConfig, SvSimulator, Threading};
 pub use fusion::FusionLevel;

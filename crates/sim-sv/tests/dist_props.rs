@@ -10,6 +10,7 @@ use qfw_hpc::{Communicator, RankCtx};
 use qfw_num::rng::Rng;
 use qfw_sim_sv::dist::{DistStateVector, RouteStrategy};
 use qfw_sim_sv::state::{canonical_split_bits, StateVector};
+use qfw_testkit::random_dist_circuit;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::thread;
@@ -27,56 +28,6 @@ fn run_world<R: Send + 'static>(
         })
         .collect();
     handles.into_iter().map(|h| h.join().unwrap()).collect()
-}
-
-/// A random circuit biased toward the distributed engine's hard cases:
-/// top-qubit operands, all-high multi-qubit gates, and (optionally)
-/// mid-circuit measurements.
-fn random_circuit(n: usize, gates: usize, seed: u64, with_measure: bool) -> Circuit {
-    let mut rng = Rng::seed_from(seed);
-    let mut qc = Circuit::new(n);
-    let top = n - 1;
-    for i in 0..gates {
-        // Bias operand choice toward the top of the register, where the
-        // rank bits live.
-        let pick = |rng: &mut Rng| -> usize {
-            if rng.chance(0.5) {
-                top - rng.index(2.min(n - 1))
-            } else {
-                rng.index(n)
-            }
-        };
-        let q = pick(&mut rng);
-        let mut p = pick(&mut rng);
-        while p == q {
-            p = rng.index(n);
-        }
-        match rng.index(10) {
-            0 => qc.h(q),
-            1 => qc.rx(q, rng.uniform(-3.0, 3.0)),
-            2 => qc.t(q),
-            3 => qc.rz(q, rng.uniform(-3.0, 3.0)),
-            4 => qc.cx(q, p),
-            5 => qc.rzz(q, p, rng.uniform(-1.0, 1.0)),
-            6 => qc.cp(q, p, rng.uniform(-1.0, 1.0)),
-            7 => qc.swap(q, p),
-            8 => {
-                let mut r = rng.index(n);
-                while r == q || r == p {
-                    r = rng.index(n);
-                }
-                qc.ccx(q, p, r)
-            }
-            _ => {
-                if with_measure && i > 0 && rng.chance(0.5) {
-                    qc.measure(q, q)
-                } else {
-                    qc.h(q)
-                }
-            }
-        };
-    }
-    qc
 }
 
 /// Serial single-trajectory replay: gates applied plainly, measurements
@@ -138,7 +89,7 @@ proptest! {
         seed in 0u64..1 << 48,
         n in 4usize..7,
     ) {
-        let qc = random_circuit(n, 40, seed, false);
+        let qc = random_dist_circuit(n, 40, seed, false);
         let serial = serial_replay(&qc, seed);
         let qc = Arc::new(qc);
         for ranks in [2usize, 4, 8] {
@@ -176,7 +127,7 @@ proptest! {
         seed in 0u64..1 << 48,
         n in 4usize..7,
     ) {
-        let qc = random_circuit(n, 30, seed, true);
+        let qc = random_dist_circuit(n, 30, seed, true);
         let serial = serial_replay(&qc, seed);
         let qc = Arc::new(qc);
         for ranks in [2usize, 4] {

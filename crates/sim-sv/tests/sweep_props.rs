@@ -6,68 +6,8 @@
 //! tier.
 
 use proptest::prelude::*;
-use qfw_circuit::param::{Angle, ParamCircuit, ParamOp};
-use qfw_circuit::Gate;
-use qfw_num::rng::Rng;
 use qfw_sim_sv::{FusionLevel, SvConfig, SvSimulator, SweepPoint};
-
-/// A random affine angle: literal, bare symbol, scaled, or full
-/// `coeff * theta[k] + offset`.
-fn random_angle(rng: &mut Rng, num_params: usize) -> Angle {
-    let index = rng.index(num_params);
-    match rng.index(4) {
-        0 => Angle::Lit(rng.uniform(-3.0, 3.0)),
-        1 => Angle::sym(index),
-        2 => Angle::scaled(index, rng.uniform(-2.0, 2.0)),
-        _ => Angle::Sym {
-            index,
-            coeff: rng.uniform(-2.0, 2.0),
-            offset: rng.uniform(-1.0, 1.0),
-        },
-    }
-}
-
-/// A random symbolic template mixing parameterized rotations (all seven
-/// parameterized op kinds) with fixed Clifford+T structure, biased so
-/// every parameter index is referenced at least once.
-fn random_template(n: usize, gates: usize, num_params: usize, seed: u64) -> ParamCircuit {
-    let mut rng = Rng::seed_from(seed);
-    let mut t = ParamCircuit::new(n);
-    for q in 0..n {
-        t.h(q);
-    }
-    // Guarantee every parameter appears (the plan rejects nothing, but an
-    // unused parameter would weaken the property).
-    for k in 0..num_params {
-        t.rx(rng.index(n), Angle::sym(k));
-    }
-    for _ in 0..gates {
-        let q = rng.index(n);
-        let mut p = rng.index(n);
-        while p == q {
-            p = rng.index(n);
-        }
-        let a = random_angle(&mut rng, num_params);
-        match rng.index(10) {
-            0 => t.push(ParamOp::Rx(q, a)),
-            1 => t.push(ParamOp::Ry(q, a)),
-            2 => t.push(ParamOp::Rz(q, a)),
-            3 => t.push(ParamOp::Phase(q, a)),
-            4 => t.push(ParamOp::Rzz(q, p, a)),
-            5 => t.push(ParamOp::Rxx(q, p, a)),
-            6 => t.push(ParamOp::Cp(q, p, a)),
-            7 => t.fixed(Gate::Cx(q, p)),
-            8 => t.fixed(Gate::T(q)),
-            _ => t.fixed(Gate::H(q)),
-        };
-    }
-    t
-}
-
-fn random_binding(num_params: usize, seed: u64) -> Vec<f64> {
-    let mut rng = Rng::seed_from(seed ^ 0x53_57_45_45_50); // "SWEEP"
-    (0..num_params).map(|_| rng.uniform(-3.0, 3.0)).collect()
-}
+use qfw_testkit::{random_binding, random_template};
 
 const TIERS: [FusionLevel; 3] = [FusionLevel::None, FusionLevel::Runs1q, FusionLevel::Full];
 

@@ -268,6 +268,97 @@ fn execute_sweep_is_bitwise_identical_to_independent_executes() {
     }
 }
 
+/// Metamorphic compiler identity through the full frontend stack: for
+/// every optimization level O0-O3 the compiled circuit must replay the
+/// uncompiled circuit's fixed-seed counts *bit for bit* on every engine
+/// class. Statistical agreement is not enough: the passes are exact
+/// rewrites, so any divergence — a dropped gate, a wrong merge, an
+/// angle-sign slip — shows up as a hard counts mismatch on at least one
+/// workload family.
+#[test]
+fn compiled_circuits_replay_uncompiled_counts_bitwise() {
+    use qfw_compile::{compile_circuit, OptLevel};
+    let session = session();
+    let obs = qfw_obs::Obs::disabled();
+    let workloads = [ghz(8), tfim(6), {
+        let qubo = Qubo::random(6, 0.7, 17);
+        qaoa_ansatz(&qubo, 1).bind(&[0.4, 0.7])
+    }];
+    for circuit in workloads {
+        for spec in sv_mps_tn_specs() {
+            let label = format!("{}/{}", spec.backend, spec.subbackend);
+            let baseline = session
+                .backend_with_spec(spec.clone())
+                .unwrap()
+                .with_base_seed(0xC0DE)
+                .execute_sync(&circuit, 2000)
+                .unwrap_or_else(|e| panic!("{label} on {}: {e}", circuit.name));
+            for opt in OptLevel::ALL {
+                let (compiled, stats) = compile_circuit(&circuit, opt, &obs);
+                assert!(
+                    stats.gates_after <= stats.gates_before,
+                    "{}: {opt} grew the circuit",
+                    circuit.name
+                );
+                let got = session
+                    .backend_with_spec(spec.clone())
+                    .unwrap()
+                    .with_base_seed(0xC0DE)
+                    .execute_sync(&compiled, 2000)
+                    .unwrap_or_else(|e| panic!("{label} on {} at {opt}: {e}", circuit.name));
+                assert_eq!(
+                    baseline.counts, got.counts,
+                    "{}: {label} at {opt} diverged from uncompiled run",
+                    circuit.name
+                );
+            }
+        }
+    }
+}
+
+/// O3's connectivity-aware layout rides the `initial_layout` extra into
+/// the distributed engine as a seeded logical→physical permutation —
+/// and because the permutation is flushed before sampling, counts stay
+/// bitwise identical to the serial engine on the same compiled circuit.
+#[test]
+fn o3_layout_extra_replays_cpu_counts_bitwise() {
+    use qfw_compile::{compile_dag, DagCircuit, OptLevel};
+    let session = session();
+    let circuit = tfim(6);
+    let result = compile_dag(
+        DagCircuit::from_circuit(&circuit),
+        OptLevel::O3,
+        &qfw_obs::Obs::disabled(),
+    );
+    let compiled = result.dag.to_circuit().expect("concrete circuit");
+    let order = result.layout.expect("O3 always plans a layout");
+    let csv = order
+        .iter()
+        .map(|q| q.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let local = session
+        .backend_with_spec(BackendSpec::of("nwqsim", "cpu"))
+        .unwrap()
+        .with_base_seed(0x1A07)
+        .execute_sync(&compiled, 2000)
+        .expect("cpu run");
+    let dist = session
+        .backend_with_spec(
+            BackendSpec::of("nwqsim", "mpi")
+                .with_ranks(4)
+                .with_extra("initial_layout", csv.clone()),
+        )
+        .unwrap()
+        .with_base_seed(0x1A07)
+        .execute_sync(&compiled, 2000)
+        .expect("mpi run with layout");
+    assert_eq!(
+        local.counts, dist.counts,
+        "seeded layout {csv} changed the sampled distribution"
+    );
+}
+
 /// Parameter-shift gradients are exact: on a QAOA-8 ansatz every
 /// component of `grad_expectation_z` matches a central finite difference
 /// of `expectation_z` to far better than the O(eps^2) truncation error.

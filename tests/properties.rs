@@ -12,29 +12,8 @@ use qfw_num::Matrix;
 use qfw_sim_mps::MpsState;
 use qfw_sim_sv::{StateVector, SvSimulator};
 use qfw_sim_tn::{TnConfig, TnSimulator};
+use qfw_testkit::{random_circuit, random_clifford_circuit};
 use qfw_workloads::Qubo;
-
-/// Strategy: a random circuit over `n` qubits with `len` gates drawn from a
-/// universal, structurally diverse set.
-fn random_circuit(n: usize, len: usize, seed: u64) -> Circuit {
-    let mut rng = Rng::seed_from(seed);
-    let mut qc = Circuit::new(n).named(format!("prop{seed}"));
-    for _ in 0..len {
-        let q = rng.index(n);
-        let p = (q + 1 + rng.index(n - 1)) % n;
-        match rng.index(8) {
-            0 => qc.h(q),
-            1 => qc.t(q),
-            2 => qc.rx(q, rng.uniform(-3.0, 3.0)),
-            3 => qc.ry(q, rng.uniform(-3.0, 3.0)),
-            4 => qc.cx(q, p),
-            5 => qc.rzz(q, p, rng.uniform(-1.5, 1.5)),
-            6 => qc.cry(q, p, rng.uniform(-1.5, 1.5)),
-            _ => qc.swap(q, p),
-        };
-    }
-    qc
-}
 
 /// Body of `engines_agree_on_random_circuits`, shared with the pinned
 /// seed-28 regression below.
@@ -231,20 +210,7 @@ proptest! {
     #[test]
     fn stabilizer_matches_dense_on_clifford(seed in 0u64..200) {
         let n = 5;
-        let mut rng = Rng::seed_from(seed);
-        let mut qc = Circuit::new(n);
-        for _ in 0..20 {
-            let q = rng.index(n);
-            let p = (q + 1 + rng.index(n - 1)) % n;
-            match rng.index(5) {
-                0 => qc.h(q),
-                1 => qc.s(q),
-                2 => qc.cx(q, p),
-                3 => qc.cz(q, p),
-                _ => qc.x(q),
-            };
-        }
-        qc.measure_all();
+        let qc = random_clifford_circuit(n, 20, seed);
         let shots = 8000;
         let stab = qfw_sim_stab::StabSimulator.run(&qc, shots, seed).unwrap();
         let sv = SvSimulator::plain().run(&qc, shots, seed ^ 1);
