@@ -1,7 +1,7 @@
 //! `bench_sv` — the state-vector hot-path perf trajectory.
 //!
 //! Runs a fixed kernel/fusion/sampling suite at fixed seeds and writes the
-//! wall-clock results as JSON (`BENCH_sv.json` by default), so every perf
+//! wall-clock results as JSON (`results/BENCH_sv.json` by default), so every perf
 //! PR touching `qfw-sim-sv` is measured against the previous checked-in
 //! numbers instead of asserted.
 //!
@@ -10,7 +10,7 @@
 //! ```
 //!
 //! * `--short` — CI smoke sizes (seconds, not minutes).
-//! * `--out` — output path (default `BENCH_sv.json`).
+//! * `--out` — output path (default `results/BENCH_sv.json`).
 //! * `--baseline` — a previous report; per-entry speedups are computed
 //!   and embedded under `speedups`.
 //!
@@ -81,7 +81,7 @@ struct SpeedupEntry {
     speedup: f64,
 }
 
-/// The full report written to `BENCH_sv.json`.
+/// The full report written to `results/BENCH_sv.json`.
 #[derive(Debug, Serialize, Deserialize)]
 struct BenchReport {
     /// `full` or `short`.
@@ -276,7 +276,7 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    let out_path = arg_after("--out").unwrap_or_else(|| "BENCH_sv.json".to_string());
+    let out_path = arg_after("--out").unwrap_or_else(|| "results/BENCH_sv.json".to_string());
     let baseline_path = arg_after("--baseline");
 
     let (kern_n, kern_reps, samp_n, samp_shots) = if short {

@@ -337,6 +337,10 @@ fn cloud_config(suite: Suite) -> CloudConfig {
             gate_error: 0.001,
             readout_flip: 0.005,
             seed: 0xC10D,
+            // Flat-constant noise keeps the quick suite's counts cheap to
+            // reproduce; only the paper suite pays for calibrated Kraus
+            // channels.
+            calibration: None,
         },
     }
 }

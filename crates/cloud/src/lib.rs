@@ -18,9 +18,12 @@
 //! * a **single-worker shared queue** (one QPU behind the API) with a
 //!   seeded queueing-delay model;
 //! * a seeded **network latency model** charged on every API call;
-//! * an execution-time model proportional to circuit size, plus a readout
-//!   bit-flip noise channel (NISQ flavour without per-gate density-matrix
-//!   cost).
+//! * an execution-time model proportional to circuit size, plus Kraus-
+//!   channel execution noise: providers that publish a per-qubit
+//!   [`Calibration`] table (served over `GET /calibration`, drifting
+//!   under a seeded walk — one step per executed job) run jobs through
+//!   `NoiseModel::from_calibration`; providers without one fall back to
+//!   the legacy flat depolarizing + readout-flip constants.
 
 //!
 //! For resilience testing the provider also accepts a seeded
@@ -32,6 +35,7 @@
 use parking_lot::{Condvar, Mutex};
 pub use qfw_chaos::{FaultPlan, FaultSpec};
 use qfw_circuit::text;
+pub use qfw_noise::Calibration;
 use qfw_num::rng::Rng;
 use qfw_sim_sv::noise::{run_noisy, NoiseModel};
 use serde::{Deserialize, Serialize};
@@ -41,7 +45,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Latency/queue/noise model of the provider.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CloudConfig {
     /// Mean one-way network latency charged per API call.
     pub net_latency: Duration,
@@ -57,9 +61,17 @@ pub struct CloudConfig {
     /// Modeled fixed execution overhead per job.
     pub job_overhead: Duration,
     /// Depolarizing probability per touched qubit after two-qubit gates.
+    /// Only used when no [`Calibration`] table is published.
     pub gate_error: f64,
-    /// Probability each measured bit flips (readout error).
+    /// Probability each measured bit flips (readout error). Only used
+    /// when no [`Calibration`] table is published.
     pub readout_flip: f64,
+    /// Per-qubit device characterization. When present, execution noise
+    /// comes from `NoiseModel::from_calibration` on the drifted table
+    /// (one seeded walk step per executed job) instead of the flat
+    /// `gate_error`/`readout_flip` constants, and the table is served
+    /// over the [`CloudProvider::calibration`] RPC.
+    pub calibration: Option<Calibration>,
     /// Seed for all of the provider's stochastic behaviour.
     pub seed: u64,
 }
@@ -77,6 +89,7 @@ impl CloudConfig {
             job_overhead: Duration::from_millis(60),
             gate_error: 0.002,
             readout_flip: 0.005,
+            calibration: Some(Calibration::synthetic(29, 0xC10D)),
             seed: 0xC10D,
         }
     }
@@ -92,6 +105,7 @@ impl CloudConfig {
             job_overhead: Duration::ZERO,
             gate_error: 0.0,
             readout_flip: 0.0,
+            calibration: None,
             seed: 7,
         }
     }
@@ -171,6 +185,54 @@ struct ProviderState {
     rng: Rng,
 }
 
+/// The published calibration table under a seeded random-walk drift.
+///
+/// Each executed job advances every qubit's drift offset by one normal
+/// step (clamped to ±30%); the drifted table scales error rates by
+/// `1 + offset` and shrinks coherence times by the same factor, so the
+/// physical `t2 <= 2*t1` constraint is preserved. The walk lives on the
+/// single QPU worker thread (one step per job, in execution order), so
+/// a fixed provider seed yields a fixed drift history regardless of how
+/// often clients poll the [`CloudProvider::calibration`] RPC.
+struct CalDrift {
+    base: Calibration,
+    offsets: Vec<f64>,
+    rng: Rng,
+}
+
+impl CalDrift {
+    fn new(base: Calibration, seed: u64) -> CalDrift {
+        let offsets = vec![0.0; base.num_qubits()];
+        CalDrift {
+            base,
+            offsets,
+            rng: Rng::stream(seed, 0xD21F7),
+        }
+    }
+
+    /// One walk step per executed job.
+    fn step(&mut self) {
+        for off in &mut self.offsets {
+            *off = (*off + self.rng.normal_with(0.0, 0.02)).clamp(-0.3, 0.3);
+        }
+    }
+
+    /// The current drifted table.
+    fn current(&self) -> Calibration {
+        let mut cal = self.base.clone();
+        for (qc, &off) in cal.qubits.iter_mut().zip(&self.offsets) {
+            let f = 1.0 + off;
+            qc.err_1q = (qc.err_1q * f).clamp(0.0, 0.5);
+            qc.err_2q = (qc.err_2q * f).clamp(0.0, 0.5);
+            qc.readout_p01 = (qc.readout_p01 * f).clamp(0.0, 0.5);
+            qc.readout_p10 = (qc.readout_p10 * f).clamp(0.0, 0.5);
+            qc.t1_us /= f;
+            qc.t2_us /= f;
+        }
+        cal
+    }
+}
+
 struct Shared {
     state: Mutex<ProviderState>,
     wake: Condvar,
@@ -179,6 +241,7 @@ struct Shared {
     config: CloudConfig,
     completed: AtomicU64,
     chaos: Arc<FaultPlan>,
+    calibration: Option<Mutex<CalDrift>>,
 }
 
 /// The provider: a shared queue in front of one simulated QPU.
@@ -199,6 +262,10 @@ impl CloudProvider {
     /// returns [`CloudError::RateLimited`]), and `cloud.queue_stall`
     /// (delay-style: extra wait added to the shared-queue delay).
     pub fn start_with_chaos(config: CloudConfig, chaos: Arc<FaultPlan>) -> CloudProvider {
+        let calibration = config
+            .calibration
+            .clone()
+            .map(|cal| Mutex::new(CalDrift::new(cal, config.seed)));
         let shared = Arc::new(Shared {
             state: Mutex::new(ProviderState {
                 jobs: HashMap::new(),
@@ -211,6 +278,7 @@ impl CloudProvider {
             config,
             completed: AtomicU64::new(0),
             chaos,
+            calibration,
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
@@ -281,7 +349,15 @@ impl CloudProvider {
                 state.jobs.get(&job_id).map(|j| j.request.clone())
             };
             let Some(request) = request else { continue };
-            let outcome = Self::execute(&shared, &request, exec_seed);
+            // Advance the calibration walk exactly once per executed job
+            // — on this single worker thread, so the drift history is a
+            // pure function of the provider seed and execution order.
+            let drifted = shared.calibration.as_ref().map(|cal| {
+                let mut cal = cal.lock();
+                cal.step();
+                cal.current()
+            });
+            let outcome = Self::execute(&shared, &request, exec_seed, drifted.as_ref());
             {
                 let mut state = shared.state.lock();
                 if let Some(job) = state.jobs.get_mut(&job_id) {
@@ -299,7 +375,12 @@ impl CloudProvider {
         }
     }
 
-    fn execute(shared: &Shared, request: &JobRequest, seed: u64) -> Result<JobResult, String> {
+    fn execute(
+        shared: &Shared,
+        request: &JobRequest,
+        seed: u64,
+        calibration: Option<&Calibration>,
+    ) -> Result<JobResult, String> {
         let circuit = if text::is_param_text(&request.circuit) {
             // Bound parameterized submissions: bind the skeleton here (the
             // provider has no compile-once path to exploit).
@@ -329,10 +410,16 @@ impl CloudProvider {
             + shared.config.gate_time * circuit.num_gates() as u32;
         std::thread::sleep(exec);
 
-        let model = NoiseModel {
-            p1: shared.config.gate_error / 4.0,
-            p2: shared.config.gate_error,
-            readout: shared.config.readout_flip,
+        // A published calibration table beats the flat legacy constants:
+        // per-qubit depolarizing + thermal relaxation + asymmetric readout.
+        let model = match calibration {
+            Some(cal) => NoiseModel::from_calibration(cal),
+            #[allow(deprecated)]
+            None => NoiseModel::flat(
+                shared.config.gate_error / 4.0,
+                shared.config.gate_error,
+                shared.config.readout_flip,
+            ),
         };
         let counts = run_noisy(&circuit, request.shots, seed, &model, 64);
         Ok(JobResult {
@@ -396,6 +483,15 @@ impl CloudProvider {
     /// [`CloudProvider::start_with_chaos`]).
     pub fn chaos(&self) -> &Arc<FaultPlan> {
         &self.shared.chaos
+    }
+
+    /// `GET /calibration`: the device's current (drifted) per-qubit
+    /// characterization, or `None` when the provider publishes no
+    /// calibration data. Read-only — polling never perturbs the drift
+    /// walk, which advances once per executed job.
+    pub fn calibration(&self) -> Option<Calibration> {
+        self.network_hop();
+        self.shared.calibration.as_ref().map(|cal| cal.lock().current())
     }
 
     /// `GET /jobs/{id}`: current lifecycle state.
@@ -578,6 +674,46 @@ mod tests {
         // Ideal GHZ has 2 outcomes; 5% readout error must create more.
         assert!(result.counts.len() > 2, "noise had no effect");
         // But the two ideal outcomes still dominate.
+        let top2: usize = {
+            let mut v: Vec<usize> = result.counts.values().copied().collect();
+            v.sort_unstable_by(|a, b| b.cmp(a));
+            v.iter().take(2).sum()
+        };
+        assert!(top2 > 1200, "top2={top2}");
+    }
+
+    #[test]
+    fn calibration_rpc_serves_and_drifts_the_table() {
+        let mut config = CloudConfig::instant();
+        config.calibration = Some(Calibration::synthetic(8, 3));
+        let cloud = CloudProvider::start(config);
+        let before = cloud.calibration().expect("table published");
+        assert_eq!(before.num_qubits(), 8);
+        // Polling is read-only: the table only moves when jobs execute.
+        assert_eq!(cloud.calibration().unwrap(), before);
+        let id = cloud.submit_job(ghz_request(4, 50));
+        cloud.wait_for(id, POLL, DEADLINE).unwrap();
+        let after = cloud.calibration().unwrap();
+        assert_ne!(after, before, "executed job must advance the drift walk");
+        for qc in &after.qubits {
+            assert!(qc.t2_us <= 2.0 * qc.t1_us, "drift broke physics: {qc:?}");
+            assert!(qc.err_2q > 0.0 && qc.err_2q <= 0.5);
+        }
+        // No table published: the RPC says so.
+        let bare = CloudProvider::start(CloudConfig::instant());
+        assert!(bare.calibration().is_none());
+    }
+
+    #[test]
+    fn calibrated_noise_engages_instead_of_flat_constants() {
+        let mut config = CloudConfig::instant();
+        config.calibration = Some(Calibration::synthetic(6, 11));
+        let cloud = CloudProvider::start(config);
+        let id = cloud.submit_job(ghz_request(6, 2000));
+        let result = cloud.wait_for(id, POLL, DEADLINE).unwrap();
+        // gate_error/readout_flip are zero here, so any spread beyond the
+        // two ideal GHZ outcomes comes from the calibration channels.
+        assert!(result.counts.len() > 2, "calibration noise had no effect");
         let top2: usize = {
             let mut v: Vec<usize> = result.counts.values().copied().collect();
             v.sort_unstable_by(|a, b| b.cmp(a));

@@ -23,8 +23,8 @@ pub mod qasm3;
 
 pub use dag::{DagCircuit, DagError, DagOp, NodeId, Wire};
 pub use passes::{
-    pipeline, plan_layout, CancelInverses, MergeRotations, OptLevel, Pass, PassOutcome,
-    RecognizeTemplates, Resynth1q, SinkDiagonals,
+    pipeline, plan_layout, plan_layout_calibrated, predicted_log_fidelity, CancelInverses,
+    MergeRotations, OptLevel, Pass, PassOutcome, RecognizeTemplates, Resynth1q, SinkDiagonals,
 };
 pub use qasm3::{
     canonical_hash, canonical_qasm3, default_param_names, emit, is_qasm3, lower_to_stdgates,
@@ -32,6 +32,7 @@ pub use qasm3::{
 };
 
 use qfw_circuit::Circuit;
+use qfw_noise::Calibration;
 use qfw_obs::Obs;
 
 /// Per-pass and aggregate statistics for one compilation.
@@ -68,6 +69,9 @@ pub struct CompileResult {
     /// O3 only: `layout[p]` is the logical qubit assigned to physical
     /// position `p`, for the distributed engine's initial permutation.
     pub layout: Option<Vec<usize>>,
+    /// O3 with a calibration table only: the chosen layout's predicted
+    /// log-fidelity (see [`passes::predicted_log_fidelity`]).
+    pub predicted_fidelity: Option<f64>,
     /// What the pipeline did.
     pub stats: CompileStats,
 }
@@ -75,7 +79,21 @@ pub struct CompileResult {
 /// Runs the pass pipeline for `opt` over a DAG, recording one
 /// `compile.pass.<name>` span per pass and the aggregate counters on
 /// `obs`.
-pub fn compile_dag(mut dag: DagCircuit, opt: OptLevel, obs: &Obs) -> CompileResult {
+pub fn compile_dag(dag: DagCircuit, opt: OptLevel, obs: &Obs) -> CompileResult {
+    compile_dag_calibrated(dag, opt, obs, None)
+}
+
+/// [`compile_dag`] with an optional device [`Calibration`]: at O3 the
+/// layout pass becomes noise-aware ([`passes::plan_layout_calibrated`]),
+/// maximizing predicted log-fidelity instead of only connectivity, and
+/// the winning score is surfaced as
+/// [`CompileResult::predicted_fidelity`].
+pub fn compile_dag_calibrated(
+    mut dag: DagCircuit,
+    opt: OptLevel,
+    obs: &Obs,
+    cal: Option<&Calibration>,
+) -> CompileResult {
     let gates_before = dag.gate_count();
     let mut stats = CompileStats {
         gates_before,
@@ -102,13 +120,28 @@ pub fn compile_dag(mut dag: DagCircuit, opt: OptLevel, obs: &Obs) -> CompileResu
         .add(stats.eliminated as u64);
     obs.counter("compile.gates_rewritten")
         .add(stats.rewritten as u64);
-    let layout = if opt == OptLevel::O3 {
-        let _span = obs.span("compile", "compile.pass.plan-layout");
-        Some(plan_layout(&dag))
+    let (layout, predicted_fidelity) = if opt == OptLevel::O3 {
+        match cal {
+            Some(cal) => {
+                let span = obs.span("compile", "compile.pass.plan-layout-calibrated");
+                let (order, log_f) = plan_layout_calibrated(&dag, cal);
+                drop(span.attr("predicted_log_fidelity", log_f));
+                (Some(order), Some(log_f))
+            }
+            None => {
+                let _span = obs.span("compile", "compile.pass.plan-layout");
+                (Some(plan_layout(&dag)), None)
+            }
+        }
     } else {
-        None
+        (None, None)
     };
-    CompileResult { dag, layout, stats }
+    CompileResult {
+        dag,
+        layout,
+        predicted_fidelity,
+        stats,
+    }
 }
 
 /// Convenience: compile a concrete [`Circuit`] and lower back to one.
@@ -135,6 +168,9 @@ pub struct Ingested {
     pub qfwasm: String,
     /// O3 layout handoff (see [`CompileResult::layout`]).
     pub layout: Option<Vec<usize>>,
+    /// O3 + calibration only: predicted log-fidelity of the layout (see
+    /// [`CompileResult::predicted_fidelity`]).
+    pub predicted_fidelity: Option<f64>,
     /// What the pipeline did.
     pub stats: CompileStats,
 }
@@ -145,6 +181,17 @@ pub struct Ingested {
 /// execution request needs concrete angles (bind upstream or submit a
 /// parameterized sweep instead).
 pub fn ingest_qasm3(src: &str, opt: OptLevel, obs: &Obs) -> Result<Ingested, Qasm3Error> {
+    ingest_qasm3_calibrated(src, opt, obs, None)
+}
+
+/// [`ingest_qasm3`] with an optional device [`Calibration`] for the O3
+/// noise-aware layout pass (see [`compile_dag_calibrated`]).
+pub fn ingest_qasm3_calibrated(
+    src: &str,
+    opt: OptLevel,
+    obs: &Obs,
+    cal: Option<&Calibration>,
+) -> Result<Ingested, Qasm3Error> {
     let parsed = {
         let _span = obs.span("compile", "compile.qasm3.parse");
         qasm3::parse(src)?
@@ -159,7 +206,7 @@ pub fn ingest_qasm3(src: &str, opt: OptLevel, obs: &Obs) -> Result<Ingested, Qas
             ),
         });
     }
-    let result = compile_dag(parsed.dag, opt, obs);
+    let result = compile_dag_calibrated(parsed.dag, opt, obs, cal);
     let circuit = result.dag.to_circuit().map_err(|e| Qasm3Error {
         line: 0,
         message: e.to_string(),
@@ -167,6 +214,7 @@ pub fn ingest_qasm3(src: &str, opt: OptLevel, obs: &Obs) -> Result<Ingested, Qas
     Ok(Ingested {
         qfwasm: qfw_circuit::text::dump(&circuit),
         layout: result.layout,
+        predicted_fidelity: result.predicted_fidelity,
         stats: result.stats,
     })
 }

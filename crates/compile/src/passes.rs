@@ -729,6 +729,130 @@ pub fn plan_layout(dag: &DagCircuit) -> Vec<usize> {
     order
 }
 
+/// Predicted log-fidelity of running `dag` with logical qubit
+/// `order[p]` placed on physical qubit `p`, scored against a
+/// [`Calibration`] table.
+///
+/// Two loss terms, both in log space so contributions add:
+///
+/// * **Gate error** — every gate contributes `ln(1 - err)` per touched
+///   qubit, with `err` the physical qubit's measured 1q/2q error.
+/// * **Idle decoherence** — each physical qubit accumulates busy time
+///   (gate durations of the gates it participates in); the circuit's
+///   critical-path estimate is the maximum busy time, and each qubit
+///   pays `-(idle/t1 + idle/t2)` for the idle remainder, the first-order
+///   log-survival of amplitude and phase damping.
+///
+/// Higher is better; `0.0` is a noiseless placement. A calibration table
+/// smaller than the register scores overflow qubits with its last entry.
+pub fn predicted_log_fidelity(
+    dag: &DagCircuit,
+    order: &[usize],
+    cal: &qfw_noise::Calibration,
+) -> f64 {
+    let n = dag.num_qubits();
+    assert_eq!(order.len(), n, "layout must cover every qubit");
+    // phys[q] = p: where logical qubit q lives.
+    let mut phys = vec![0usize; n];
+    for (p, &q) in order.iter().enumerate() {
+        phys[q] = p;
+    }
+    let qubit_cal =
+        |p: usize| &cal.qubits[p.min(cal.qubits.len().saturating_sub(1))];
+    let mut log_f = 0.0;
+    let mut busy = vec![0.0f64; n];
+    for op in dag.linearize() {
+        if !op.is_gate() {
+            continue;
+        }
+        let qs = op.qubits();
+        let (err_of, dt): (fn(&qfw_noise::QubitCal) -> f64, f64) = if qs.len() <= 1 {
+            (|qc| qc.err_1q, cal.gate_time_1q_us)
+        } else {
+            (|qc| qc.err_2q, cal.gate_time_2q_us)
+        };
+        for &q in &qs {
+            let p = phys[q];
+            log_f += (1.0 - err_of(qubit_cal(p)).min(0.999_999)).ln();
+            busy[p] += dt;
+        }
+    }
+    let horizon = busy.iter().copied().fold(0.0f64, f64::max);
+    for (p, &b) in busy.iter().enumerate() {
+        let idle = horizon - b;
+        if idle > 0.0 {
+            let qc = qubit_cal(p);
+            log_f -= idle / qc.t1_us + idle / qc.t2_us;
+        }
+    }
+    log_f
+}
+
+/// Noise-aware O3 layout: picks the placement maximizing
+/// [`predicted_log_fidelity`] against the calibration table.
+///
+/// Candidates: the connectivity-greedy [`plan_layout`] order, the
+/// identity placement, and a quality-sorted placement (hottest logical
+/// qubits onto the lowest-error physical qubits); the best is then
+/// refined by pairwise-swap hill climbing until no swap improves the
+/// score. Returns `(order, predicted_log_fidelity)` with the same
+/// `order[p] = q` convention as [`plan_layout`].
+pub fn plan_layout_calibrated(
+    dag: &DagCircuit,
+    cal: &qfw_noise::Calibration,
+) -> (Vec<usize>, f64) {
+    let n = dag.num_qubits();
+    let greedy = plan_layout(dag);
+
+    // Quality-sorted candidate: rank logical qubits by how often the
+    // greedy order placed them early (its proxy for hotness), rank
+    // physical positions by calibration quality, marry the two.
+    let quality = |p: usize| -> f64 {
+        let qc = &cal.qubits[p.min(cal.qubits.len().saturating_sub(1))];
+        qc.err_2q + qc.err_1q + cal.gate_time_2q_us * (1.0 / qc.t1_us + 1.0 / qc.t2_us)
+    };
+    let mut best_phys: Vec<usize> = (0..n).collect();
+    best_phys.sort_by(|&a, &b| quality(a).total_cmp(&quality(b)));
+    let mut sorted = vec![0usize; n];
+    for (rank, &p) in best_phys.iter().enumerate() {
+        // The rank-th hottest logical qubit (greedy order) goes to the
+        // rank-th best physical position.
+        sorted[p] = greedy[rank];
+    }
+
+    let identity: Vec<usize> = (0..n).collect();
+    let mut best = greedy.clone();
+    let mut best_score = predicted_log_fidelity(dag, &best, cal);
+    for cand in [identity, sorted] {
+        let score = predicted_log_fidelity(dag, &cand, cal);
+        if score > best_score {
+            best = cand;
+            best_score = score;
+        }
+    }
+
+    // Pairwise-swap hill climbing (first-improvement sweeps, bounded).
+    for _ in 0..4 {
+        let mut improved = false;
+        for i in 0..n {
+            for j in i + 1..n {
+                best.swap(i, j);
+                let score = predicted_log_fidelity(dag, &best, cal);
+                if score > best_score {
+                    best_score = score;
+                    improved = true;
+                } else {
+                    best.swap(i, j);
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (best, best_score)
+}
+
 // ---------------------------------------------------------------------
 // Pipelines
 // ---------------------------------------------------------------------

@@ -126,6 +126,14 @@ impl BackendQpm for IonqBackend {
         result
             .metadata
             .insert("cloud_attempts".into(), schedule.attempts().to_string());
+        // Providers that publish a calibration table execute through
+        // `NoiseModel::from_calibration` on the drifted table; record
+        // which snapshot this job saw for reproducibility analysis.
+        if let Some(cal) = self.provider.calibration() {
+            result
+                .metadata
+                .insert("cloud_calibration".into(), cal.content_hash().to_hex());
+        }
         Ok(result)
     }
 }
@@ -148,6 +156,22 @@ mod tests {
         let result = backend().execute(&task, &rig.ctx()).unwrap();
         assert_eq!(result.counts.values().sum::<usize>(), 200);
         assert!(result.metadata.contains_key("cloud_job_id"));
+    }
+
+    #[test]
+    fn calibrated_provider_reports_snapshot_hash() {
+        let rig = TestRig::new(1);
+        let mut config = CloudConfig::instant();
+        config.calibration = Some(qfw_cloud::Calibration::synthetic(8, 21));
+        let b = IonqBackend::new(Arc::new(CloudProvider::start(config)));
+        let task = ghz_task(5, 200, BackendSpec::of("ionq", "simulator"));
+        let result = b.execute(&task, &rig.ctx()).unwrap();
+        assert_eq!(result.counts.values().sum::<usize>(), 200);
+        let hash = &result.metadata["cloud_calibration"];
+        assert_eq!(hash.len(), 32, "expected a 128-bit hex hash: {hash}");
+        // The uncalibrated provider publishes nothing.
+        let bare = backend().execute(&task, &rig.ctx()).unwrap();
+        assert!(!bare.metadata.contains_key("cloud_calibration"));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use qfw_hpc::Stopwatch;
 use qfw_obs::Obs;
 use qfw_sim_sv::dist::{run_distributed_laid_out, RouteStrategy};
 use qfw_sim_sv::fusion::fuse;
-use qfw_sim_sv::noise::{run_noisy, NoiseModel};
+use qfw_sim_sv::noise::NoiseModel;
 use qfw_sim_sv::{
     FusionLevel, SvConfig, SvSimulator, SweepError, SweepPlan, SweepPoint, Threading,
 };
@@ -66,12 +66,29 @@ impl Default for NwqSimBackend {
 }
 
 impl NwqSimBackend {
-    fn noise_of(spec: &BackendSpec) -> NoiseModel {
-        NoiseModel {
-            p1: spec.extra_parsed("noise_p1").unwrap_or(0.0),
-            p2: spec.extra_parsed("noise_p2").unwrap_or(0.0),
-            readout: spec.extra_parsed("noise_readout").unwrap_or(0.0),
+    /// Resolves the task's noise model. The canonical `noise_model` text
+    /// extra (the `qfw-noise` wire codec) wins; the legacy flat
+    /// `noise_p1`/`noise_p2`/`noise_readout` constants are honoured
+    /// otherwise.
+    fn noise_of(spec: &BackendSpec) -> Result<NoiseModel, QfwError> {
+        if let Some(text) = spec.extra_parsed::<String>("noise_model") {
+            return NoiseModel::parse(&text).map_err(|e| QfwError::BadProperties(e.to_string()));
         }
+        #[allow(deprecated)]
+        Ok(NoiseModel::flat(
+            spec.extra_parsed("noise_p1").unwrap_or(0.0),
+            spec.extra_parsed("noise_p2").unwrap_or(0.0),
+            spec.extra_parsed("noise_readout").unwrap_or(0.0),
+        ))
+    }
+
+    /// Trajectory budget for noisy execution (`noise_trajectories`,
+    /// default 64 — plenty for histogram statistics; raise it for tail
+    /// accuracy).
+    fn trajectories_of(spec: &BackendSpec) -> usize {
+        spec.extra_parsed::<usize>("noise_trajectories")
+            .unwrap_or(64)
+            .max(1)
     }
 
     fn fusion_of(spec: &BackendSpec) -> FusionLevel {
@@ -240,15 +257,16 @@ impl BackendQpm for NwqSimBackend {
         let total = Stopwatch::start();
 
         // Optional stochastic noise channels, selected via runtime
-        // properties (`noise_p1`, `noise_p2`, `noise_readout`) — the NISQ
+        // properties (the canonical `noise_model` text, or the legacy
+        // `noise_p1`/`noise_p2`/`noise_readout` constants) — the NISQ
         // emulation path.
-        let noise = Self::noise_of(&task.spec);
+        let noise = Self::noise_of(&task.spec)?;
 
         // Bound parameterized tasks on the local sub-backends take the
         // compile-once plan path (bitwise identical to the sweep path).
         if text::is_param_text(&task.circuit)
             && matches!(sub, "cpu" | "openmp")
-            && noise.is_ideal()
+            && noise.is_empty()
         {
             return self.execute_param_local(task, ctx, sub, total);
         }
@@ -275,7 +293,7 @@ impl BackendQpm for NwqSimBackend {
                 };
                 let _lease = ctx.lease_cores(cores)?;
                 let sw = Stopwatch::start();
-                if noise.is_ideal() {
+                if noise.is_empty() {
                     // With fusion enabled, fuse through the per-instance
                     // cache and run the pre-fused circuit with fusion off —
                     // bitwise identical (sampling depends only on the final
@@ -306,16 +324,30 @@ impl BackendQpm for NwqSimBackend {
                             .insert("fusion_cached".into(), cached.to_string());
                     }
                 } else {
-                    result.counts = run_noisy(&circuit, task.shots, task.seed, &noise, 64);
+                    // Trajectory-parallel on the threaded sub-backend
+                    // (counts are bitwise identical at any worker count),
+                    // serial on `cpu`.
+                    let trajectories = Self::trajectories_of(&task.spec);
+                    let workers = if sub == "openmp" { cores.max(1) } else { 1 };
+                    result.counts = qfw_sim_sv::noise::run_trajectories(
+                        &circuit,
+                        task.shots,
+                        task.seed,
+                        &noise,
+                        trajectories,
+                        workers,
+                        ctx.obs,
+                    );
                     result.profile.exec_secs = sw.elapsed_secs();
+                    result.metadata.insert("noise".into(), noise.to_text());
                     result
                         .metadata
-                        .insert("noise".into(), format!("{noise:?}"));
+                        .insert("noise_trajectories".into(), trajectories.to_string());
                 }
                 result.profile.ranks = 1;
             }
             "mpi" => {
-                if !noise.is_ideal() {
+                if !noise.is_empty() {
                     return Err(QfwError::Execution(
                         "noise channels are only supported on the cpu/openmp \
                          sub-backends"
@@ -425,6 +457,13 @@ impl BackendQpm for NwqSimBackend {
             }
             other => unreachable!("resolve_subbackend admitted '{other}'"),
         }
+        // Compiler handoff: the O3 noise-aware layout pass annotates its
+        // predicted log-fidelity; surface it on the result for analysis.
+        if let Some(pf) = task.spec.extra_parsed::<f64>("predicted_fidelity") {
+            result
+                .metadata
+                .insert("predicted_fidelity".into(), pf.to_string());
+        }
         result.profile.total_secs = total.elapsed_secs();
         Ok(result)
     }
@@ -435,12 +474,12 @@ impl BackendQpm for NwqSimBackend {
         ctx: &ExecContext<'_>,
     ) -> Result<Vec<QfwResult>, QfwError> {
         let sub = self.resolve_subbackend(&task.spec)?;
-        let noise = Self::noise_of(&task.spec);
+        let noise = Self::noise_of(&task.spec)?;
         // The native compile-once path serves the local sub-backends; the
         // distributed and noisy configurations fall back to per-point
         // execution (still bitwise identical to independent submissions,
         // since both sides bind the same skeleton to the same seeds).
-        if !matches!(sub, "cpu" | "openmp") || !noise.is_ideal() {
+        if !matches!(sub, "cpu" | "openmp") || !noise.is_empty() {
             return sweep_via_execute(self, task, ctx);
         }
         let total = Stopwatch::start();
@@ -576,6 +615,59 @@ mod tests {
         assert!(result.metadata.contains_key("noise"));
         // Noise leaks probability out of the two GHZ outcomes.
         assert!(result.counts.len() > 2, "noise had no visible effect");
+    }
+
+    #[test]
+    fn noise_model_extra_engages_kraus_channels() {
+        let rig = TestRig::new(1);
+        let mut model = qfw_noise::NoiseModel::empty();
+        model.add_2q_all(qfw_noise::Channel::depolarizing(0.05));
+        model.set_readout_all(qfw_noise::ReadoutError::symmetric(0.01));
+        let spec = BackendSpec::of("nwqsim", "cpu")
+            .with_extra("noise_model", model.to_text())
+            .with_extra("noise_trajectories", 32);
+        let task = ghz_task(6, 2000, spec);
+        let result = NwqSimBackend::default().execute(&task, &rig.ctx()).unwrap();
+        assert_eq!(result.metadata["noise"], model.to_text());
+        assert_eq!(result.metadata["noise_trajectories"], "32");
+        assert!(result.counts.len() > 2, "noise had no visible effect");
+    }
+
+    #[test]
+    fn malformed_noise_model_is_rejected() {
+        let rig = TestRig::new(1);
+        let spec = BackendSpec::of("nwqsim", "cpu").with_extra("noise_model", "garbage");
+        let task = ghz_task(3, 10, spec);
+        assert!(matches!(
+            NwqSimBackend::default().execute(&task, &rig.ctx()).unwrap_err(),
+            QfwError::BadProperties(_)
+        ));
+    }
+
+    #[test]
+    fn noisy_counts_match_between_cpu_and_openmp() {
+        // Trajectory seeding is per-trajectory, so the serial and the
+        // trajectory-parallel sub-backends must agree bitwise.
+        let rig = TestRig::new(1);
+        let run = |sub: &str| {
+            let spec = BackendSpec::of("nwqsim", sub).with_extra("noise_p2", 0.03);
+            let task = ghz_task(6, 1000, spec);
+            NwqSimBackend::default()
+                .execute(&task, &rig.ctx())
+                .unwrap()
+                .counts
+        };
+        assert_eq!(run("cpu"), run("openmp"));
+    }
+
+    #[test]
+    fn predicted_fidelity_extra_is_surfaced() {
+        let rig = TestRig::new(1);
+        let spec =
+            BackendSpec::of("nwqsim", "cpu").with_extra("predicted_fidelity", -0.0123_f64);
+        let task = ghz_task(3, 10, spec);
+        let result = NwqSimBackend::default().execute(&task, &rig.ctx()).unwrap();
+        assert_eq!(result.metadata["predicted_fidelity"], "-0.0123");
     }
 
     #[test]

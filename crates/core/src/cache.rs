@@ -24,6 +24,7 @@ use crate::result::QfwResult;
 use crate::spec::BackendSpec;
 use parking_lot::Mutex;
 use qfw_circuit::hash::{canonical_hash, ContentHash};
+use qfw_noise::NoiseModel;
 use qfw_obs::{Counter, Obs};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -266,6 +267,13 @@ pub fn report_event(obs: &Obs, tier: &str, event: CacheEvent) {
 /// canonical circuit, sampling seed, shot budget, and the full backend
 /// spec (backend, sub-backend, ranks, and every extra property — noise
 /// strengths, fusion toggles, routing choices all live there).
+///
+/// The `noise_model` extra is special-cased: its value is a canonical
+/// noise-model text whose *content hash* is folded instead of the raw
+/// string, and a value that parses to the **empty** model is skipped
+/// entirely — so an ideal submission keys identically whether it omits
+/// the extra or carries a zero-strength model, while any real noise
+/// content always separates the key from the ideal run's.
 pub fn result_key(circuit: &str, seed: u64, shots: usize, spec: &BackendSpec) -> ContentHash {
     let mut h = canonical_hash(circuit)
         .fold_u64(seed)
@@ -274,6 +282,21 @@ pub fn result_key(circuit: &str, seed: u64, shots: usize, spec: &BackendSpec) ->
         .fold_str(&spec.subbackend)
         .fold_u64(spec.ranks as u64);
     for (k, v) in &spec.extra {
+        if k == "noise_model" {
+            match NoiseModel::parse(v) {
+                Ok(model) if model.is_empty() => continue,
+                Ok(model) => {
+                    let nh = model.content_hash().value();
+                    h = h
+                        .fold_str(k)
+                        .fold_u64(nh as u64)
+                        .fold_u64((nh >> 64) as u64);
+                    continue;
+                }
+                // Malformed text: fold it raw and let the backend reject it.
+                Err(_) => {}
+            }
+        }
         h = h.fold_str(k).fold_str(v);
     }
     h
@@ -428,5 +451,34 @@ mod tests {
         // Canonicalization: a formatting variant keys identically.
         let noisy = circ.replace("\nh q0", "\n# c\n\nh q0");
         assert_eq!(base, result_key(&noisy, 7, 100, &spec));
+    }
+
+    #[test]
+    fn noisy_and_ideal_submissions_never_alias() {
+        let circ = "qfwasm 1\nqubits 2\nh q0\ncx q0 q1\nmeasure q0 -> c0\nmeasure q1 -> c1\n";
+        let spec = BackendSpec::of("nwqsim", "cpu");
+        let ideal = result_key(circ, 7, 100, &spec);
+
+        let mut model = qfw_noise::NoiseModel::empty();
+        model.add_2q_all(qfw_noise::Channel::depolarizing(0.01));
+        let noisy_spec = spec.clone().with_extra("noise_model", model.to_text());
+        let noisy = result_key(circ, 7, 100, &noisy_spec);
+        assert_ne!(ideal, noisy, "noisy run aliased the ideal key");
+
+        // The hash tracks noise *content*, not the raw extra string.
+        let stronger = spec
+            .clone()
+            .with_extra("noise_model", model.scaled(2.0).to_text());
+        assert_ne!(noisy, result_key(circ, 7, 100, &stronger));
+
+        // A zero-strength model keys identically to no model at all.
+        let zero = spec
+            .clone()
+            .with_extra("noise_model", qfw_noise::NoiseModel::empty().to_text());
+        assert_eq!(ideal, result_key(circ, 7, 100, &zero));
+
+        // Malformed model text still contributes to the key (raw fold).
+        let bad = spec.clone().with_extra("noise_model", "not-a-model");
+        assert_ne!(ideal, result_key(circ, 7, 100, &bad));
     }
 }

@@ -21,7 +21,10 @@ pub mod vqe;
 pub mod vqls;
 
 pub use dqaoa::{solve_dqaoa, solve_dqaoa_traced, DecompPolicy, DqaoaConfig, DqaoaOutcome};
-pub use mitigation::ReadoutCalibration;
+pub use mitigation::{
+    counts_mean_z, richardson_extrapolate, zne_expectation, ReadoutCalibration, ZneConfig,
+    ZneOutcome,
+};
 pub use qaoa::{solve_qaoa, QaoaConfig, QaoaOutcome};
 pub use trace::TaskTrace;
 pub use vqe::{solve_vqe, VqeConfig, VqeOutcome};

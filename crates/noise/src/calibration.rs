@@ -1,0 +1,158 @@
+//! [`Calibration`]: the per-qubit device characterization table a
+//! provider publishes.
+//!
+//! Real QC-HPC integrations expose exactly this data — T1/T2 times,
+//! single/two-qubit gate errors, readout assignment errors per qubit —
+//! and schedulers/transpilers consume it. The table is pure data:
+//! [`crate::NoiseModel::from_calibration`] lowers it into channels, and
+//! the compiler's fidelity-aware layout pass scores placements against
+//! it directly. JSON (de)serialization makes it cheap to carry as a
+//! backend-spec extra or over the mock cloud's `calibration` RPC.
+
+use qfw_circuit::ContentHash;
+use qfw_num::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Characterization of one physical qubit. Times are microseconds,
+/// errors are probabilities.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QubitCal {
+    /// Amplitude-damping (energy relaxation) time constant, µs.
+    pub t1_us: f64,
+    /// Total dephasing time constant, µs (physically `t2 <= 2*t1`).
+    pub t2_us: f64,
+    /// Depolarizing error probability per single-qubit gate.
+    pub err_1q: f64,
+    /// Depolarizing error probability per two-qubit gate, per qubit.
+    pub err_2q: f64,
+    /// P(read 1 | prepared 0).
+    pub readout_p01: f64,
+    /// P(read 0 | prepared 1).
+    pub readout_p10: f64,
+}
+
+/// A device calibration snapshot: one [`QubitCal`] per physical qubit
+/// plus device-wide gate durations.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Per-qubit characterization, indexed by physical qubit.
+    pub qubits: Vec<QubitCal>,
+    /// Single-qubit gate duration, µs.
+    pub gate_time_1q_us: f64,
+    /// Two-qubit gate duration, µs.
+    pub gate_time_2q_us: f64,
+}
+
+impl Calibration {
+    /// Number of characterized qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// A seeded heterogeneous synthetic calibration in the ranges of a
+    /// decent 2020s superconducting device: T1 50–150 µs, T2 below T1,
+    /// 1q errors 2e-4–2e-3, 2q errors 5e-3–3e-2, readout 5e-3–3e-2.
+    /// Same `(n, seed)` always yields the same table.
+    pub fn synthetic(n: usize, seed: u64) -> Calibration {
+        let mut rng = Rng::stream(seed, 0xCA11_B8A7);
+        let qubits = (0..n)
+            .map(|_| {
+                let t1 = rng.uniform(50.0, 150.0);
+                QubitCal {
+                    t1_us: t1,
+                    t2_us: rng.uniform(0.3, 0.95) * t1,
+                    err_1q: rng.uniform(2e-4, 2e-3),
+                    err_2q: rng.uniform(5e-3, 3e-2),
+                    readout_p01: rng.uniform(5e-3, 3e-2),
+                    readout_p10: rng.uniform(5e-3, 3e-2),
+                }
+            })
+            .collect();
+        Calibration {
+            qubits,
+            gate_time_1q_us: 0.05,
+            gate_time_2q_us: 0.35,
+        }
+    }
+
+    /// A 128-bit hash over every field, stable across process runs.
+    pub fn content_hash(&self) -> ContentHash {
+        let mut h = ContentHash::of_bytes(b"qfw-calibration/1")
+            .fold_u64(self.qubits.len() as u64)
+            .fold_f64(self.gate_time_1q_us)
+            .fold_f64(self.gate_time_2q_us);
+        for qc in &self.qubits {
+            h = h
+                .fold_f64(qc.t1_us)
+                .fold_f64(qc.t2_us)
+                .fold_f64(qc.err_1q)
+                .fold_f64(qc.err_2q)
+                .fold_f64(qc.readout_p01)
+                .fold_f64(qc.readout_p10);
+        }
+        h
+    }
+
+    /// JSON wire form (the `calibration` spec extra / RPC payload).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("calibration serializes")
+    }
+
+    /// Parses the JSON wire form.
+    pub fn from_json(text: &str) -> Result<Calibration, String> {
+        serde_json::from_str(text).map_err(|e| format!("bad calibration JSON: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_is_deterministic_and_heterogeneous() {
+        let a = Calibration::synthetic(8, 7);
+        let b = Calibration::synthetic(8, 7);
+        assert_eq!(a, b);
+        let c = Calibration::synthetic(8, 8);
+        assert_ne!(a, c);
+        // Heterogeneous: not all qubits identical.
+        assert!(a.qubits.windows(2).any(|w| w[0] != w[1]));
+        for qc in &a.qubits {
+            assert!(qc.t2_us <= 2.0 * qc.t1_us, "unphysical T2: {qc:?}");
+            assert!(qc.t2_us > 0.0 && qc.t1_us >= 50.0 && qc.t1_us <= 150.0);
+            assert!(qc.err_1q < qc.err_2q);
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let cal = Calibration::synthetic(5, 42);
+        let back = Calibration::from_json(&cal.to_json()).unwrap();
+        assert_eq!(back, cal);
+        assert_eq!(back.content_hash(), cal.content_hash());
+        assert!(Calibration::from_json("{nope").is_err());
+    }
+
+    #[test]
+    fn content_hash_sees_every_field() {
+        let cal = Calibration::synthetic(4, 1);
+        let mut tweaked = cal.clone();
+        tweaked.qubits[2].readout_p10 += 1e-6;
+        assert_ne!(cal.content_hash(), tweaked.content_hash());
+        let mut gt = cal.clone();
+        gt.gate_time_2q_us += 0.01;
+        assert_ne!(cal.content_hash(), gt.content_hash());
+    }
+
+    #[test]
+    fn lowers_into_a_noise_model() {
+        let cal = Calibration::synthetic(3, 9);
+        let model = crate::NoiseModel::from_calibration(&cal);
+        assert!(!model.is_empty());
+        for q in 0..3 {
+            assert_eq!(model.channels(1, q).len(), 2, "depol + thermal");
+            assert_eq!(model.channels(2, q).len(), 2);
+            assert!(model.readout(q).is_some());
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! Kraus-form single-qubit channels and the confusion-matrix readout
+//! error.
+//!
+//! Every channel is stored as its physical parameters ([`ChannelKind`])
+//! plus the derived 2x2 Kraus operators, verified complete
+//! (`sum K_i† K_i = I`) at construction. Keeping the parameters around is
+//! what makes [`Channel::scaled`] exact: zero-noise extrapolation folds
+//! the *physical* error strength and re-derives the operators, instead of
+//! approximating on the operator entries.
+//!
+//! Conventions:
+//!
+//! * Depolarizing keeps the stack's legacy convention: with probability
+//!   `p` a uniformly random Pauli (X, Y, or Z) is applied, i.e.
+//!   `rho -> (1-p) rho + (p/3) (X rho X + Y rho Y + Z rho Z)`.
+//! * Amplitude damping is the T1 channel with decay probability `gamma`.
+//! * Phase damping is the pure-dephasing (T2) channel with dephasing
+//!   probability `lambda`.
+//! * Thermal relaxation composes amplitude damping after a gate of
+//!   duration `gate_time` on a qubit with times `t1`/`t2` (all in the
+//!   same unit) with the residual pure dephasing
+//!   `1/t_phi = 1/t2 - 1/(2 t1)`; it requires `t2 <= 2 t1`.
+
+use qfw_num::complex::c64;
+use qfw_num::C64;
+
+/// A 2x2 Kraus operator, row-major: `[k00, k01, k10, k11]`.
+pub type Kraus2 = [C64; 4];
+
+/// The physical parameterization of a shipped channel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChannelKind {
+    /// Uniform-Pauli depolarizing with total error probability `p`.
+    Depolarizing {
+        /// Probability a random Pauli fires after the gate.
+        p: f64,
+    },
+    /// T1 energy relaxation with decay probability `gamma`.
+    AmplitudeDamping {
+        /// Probability an excited qubit decays to ground.
+        gamma: f64,
+    },
+    /// Pure dephasing with phase-flip-equivalent probability `lambda`.
+    PhaseDamping {
+        /// Probability the off-diagonal coherence is destroyed.
+        lambda: f64,
+    },
+    /// Combined T1 + T2 decay over a gate of duration `gate_time`.
+    ThermalRelaxation {
+        /// Energy relaxation time (same unit as `gate_time`).
+        t1: f64,
+        /// Dephasing time; must satisfy `t2 <= 2 t1`.
+        t2: f64,
+        /// Exposure duration.
+        gate_time: f64,
+    },
+}
+
+impl ChannelKind {
+    /// The kind's canonical text token (see the `NoiseModel` codec).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ChannelKind::Depolarizing { .. } => "depol",
+            ChannelKind::AmplitudeDamping { .. } => "ad",
+            ChannelKind::PhaseDamping { .. } => "pd",
+            ChannelKind::ThermalRelaxation { .. } => "thermal",
+        }
+    }
+
+    /// The physical parameters in canonical order.
+    pub fn params(&self) -> Vec<f64> {
+        match *self {
+            ChannelKind::Depolarizing { p } => vec![p],
+            ChannelKind::AmplitudeDamping { gamma } => vec![gamma],
+            ChannelKind::PhaseDamping { lambda } => vec![lambda],
+            ChannelKind::ThermalRelaxation { t1, t2, gate_time } => vec![t1, t2, gate_time],
+        }
+    }
+
+    /// True when the channel is an exact identity (zero error strength).
+    pub fn is_noop(&self) -> bool {
+        match *self {
+            ChannelKind::Depolarizing { p } => p == 0.0,
+            ChannelKind::AmplitudeDamping { gamma } => gamma == 0.0,
+            ChannelKind::PhaseDamping { lambda } => lambda == 0.0,
+            ChannelKind::ThermalRelaxation { gate_time, .. } => gate_time == 0.0,
+        }
+    }
+
+    /// The kind with its error strength folded by `factor` (for
+    /// zero-noise extrapolation). Probabilities clamp to `[0, 1]`;
+    /// thermal relaxation folds the exposure time instead, which is the
+    /// physically faithful way to stretch a decoherence channel.
+    pub fn scaled(&self, factor: f64) -> ChannelKind {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "noise scale factor must be finite and non-negative, got {factor}"
+        );
+        match *self {
+            ChannelKind::Depolarizing { p } => ChannelKind::Depolarizing {
+                p: (p * factor).min(1.0),
+            },
+            ChannelKind::AmplitudeDamping { gamma } => ChannelKind::AmplitudeDamping {
+                gamma: (gamma * factor).min(1.0),
+            },
+            ChannelKind::PhaseDamping { lambda } => ChannelKind::PhaseDamping {
+                lambda: (lambda * factor).min(1.0),
+            },
+            ChannelKind::ThermalRelaxation { t1, t2, gate_time } => {
+                ChannelKind::ThermalRelaxation {
+                    t1,
+                    t2,
+                    gate_time: gate_time * factor,
+                }
+            }
+        }
+    }
+}
+
+/// A validated channel: physical parameters plus derived Kraus operators.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Channel {
+    kind: ChannelKind,
+    kraus: Vec<Kraus2>,
+}
+
+impl Channel {
+    /// Builds a channel, deriving and completeness-checking its Kraus
+    /// operators.
+    ///
+    /// # Panics
+    /// Panics when a probability parameter lands outside `[0, 1]`, when
+    /// thermal times are non-positive or violate `t2 <= 2 t1`, or when
+    /// the derived operators fail `sum K_i† K_i = I` (an internal bug).
+    pub fn new(kind: ChannelKind) -> Channel {
+        let kraus = derive_kraus(&kind);
+        let ch = Channel { kind, kraus };
+        ch.assert_complete();
+        ch
+    }
+
+    /// Uniform-Pauli depolarizing with error probability `p`.
+    pub fn depolarizing(p: f64) -> Channel {
+        Channel::new(ChannelKind::Depolarizing { p })
+    }
+
+    /// T1 amplitude damping with decay probability `gamma`.
+    pub fn amplitude_damping(gamma: f64) -> Channel {
+        Channel::new(ChannelKind::AmplitudeDamping { gamma })
+    }
+
+    /// Pure dephasing with probability `lambda`.
+    pub fn phase_damping(lambda: f64) -> Channel {
+        Channel::new(ChannelKind::PhaseDamping { lambda })
+    }
+
+    /// Thermal relaxation over `gate_time` on a `t1`/`t2` qubit.
+    pub fn thermal_relaxation(t1: f64, t2: f64, gate_time: f64) -> Channel {
+        Channel::new(ChannelKind::ThermalRelaxation { t1, t2, gate_time })
+    }
+
+    /// The physical parameterization.
+    pub fn kind(&self) -> &ChannelKind {
+        &self.kind
+    }
+
+    /// The derived Kraus operators (at least one, completeness-checked).
+    pub fn kraus(&self) -> &[Kraus2] {
+        &self.kraus
+    }
+
+    /// True when the channel acts as the identity.
+    pub fn is_noop(&self) -> bool {
+        self.kind.is_noop()
+    }
+
+    /// The channel with its error strength folded by `factor`
+    /// (re-derives the Kraus operators from the scaled parameters).
+    pub fn scaled(&self, factor: f64) -> Channel {
+        Channel::new(self.kind.scaled(factor))
+    }
+
+    /// Applies the channel to a 2x2 density matrix (row-major):
+    /// `rho -> sum_i K_i rho K_i†`.
+    pub fn apply_to_rho2(&self, rho: &Kraus2) -> Kraus2 {
+        let mut out = [C64::ZERO; 4];
+        for k in &self.kraus {
+            let krho = mat2_mul(k, rho);
+            let kd = mat2_dagger(k);
+            let term = mat2_mul(&krho, &kd);
+            for (o, t) in out.iter_mut().zip(term.iter()) {
+                *o += *t;
+            }
+        }
+        out
+    }
+
+    fn assert_complete(&self) {
+        let mut sum = [C64::ZERO; 4];
+        for k in &self.kraus {
+            let kd = mat2_dagger(k);
+            let kdk = mat2_mul(&kd, k);
+            for (s, t) in sum.iter_mut().zip(kdk.iter()) {
+                *s += *t;
+            }
+        }
+        let id = [C64::ONE, C64::ZERO, C64::ZERO, C64::ONE];
+        for (s, i) in sum.iter().zip(id.iter()) {
+            assert!(
+                (*s - *i).abs() < 1e-9,
+                "{:?}: Kraus operators are not trace-preserving (sum K†K = {sum:?})",
+                self.kind
+            );
+        }
+    }
+}
+
+/// Confusion-matrix readout error: asymmetric per-bit flip probabilities.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReadoutError {
+    /// `P(read 1 | true 0)`.
+    pub p01: f64,
+    /// `P(read 0 | true 1)`.
+    pub p10: f64,
+}
+
+impl ReadoutError {
+    /// Builds a readout error, validating both probabilities.
+    ///
+    /// # Panics
+    /// Panics when either probability lands outside `[0, 1]`.
+    pub fn new(p01: f64, p10: f64) -> ReadoutError {
+        assert_prob(p01, "readout p01");
+        assert_prob(p10, "readout p10");
+        ReadoutError { p01, p10 }
+    }
+
+    /// A symmetric flip with probability `p` in both directions.
+    pub fn symmetric(p: f64) -> ReadoutError {
+        ReadoutError::new(p, p)
+    }
+
+    /// True when no flips ever happen.
+    pub fn is_noop(&self) -> bool {
+        self.p01 == 0.0 && self.p10 == 0.0
+    }
+
+    /// The error with both flip probabilities folded by `factor`,
+    /// clamped to `[0, 1]`.
+    pub fn scaled(&self, factor: f64) -> ReadoutError {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "noise scale factor must be finite and non-negative, got {factor}"
+        );
+        ReadoutError::new((self.p01 * factor).min(1.0), (self.p10 * factor).min(1.0))
+    }
+
+    /// Flip probability given the true bit value.
+    pub fn flip_prob(&self, true_bit: u8) -> f64 {
+        if true_bit == 0 {
+            self.p01
+        } else {
+            self.p10
+        }
+    }
+}
+
+fn assert_prob(p: f64, what: &str) {
+    assert!(
+        p.is_finite() && (0.0..=1.0).contains(&p),
+        "{what} must lie in [0, 1], got {p}"
+    );
+}
+
+fn derive_kraus(kind: &ChannelKind) -> Vec<Kraus2> {
+    let zz = C64::ZERO;
+    let o = C64::ONE;
+    match *kind {
+        ChannelKind::Depolarizing { p } => {
+            assert_prob(p, "depolarizing p");
+            let k0 = (1.0 - p).sqrt();
+            let kp = (p / 3.0).sqrt();
+            let mut out = vec![[c64(k0, 0.0), zz, zz, c64(k0, 0.0)]];
+            if p > 0.0 {
+                out.push([zz, c64(kp, 0.0), c64(kp, 0.0), zz]); // X
+                out.push([zz, c64(0.0, -kp), c64(0.0, kp), zz]); // Y
+                out.push([c64(kp, 0.0), zz, zz, c64(-kp, 0.0)]); // Z
+            }
+            out
+        }
+        ChannelKind::AmplitudeDamping { gamma } => {
+            assert_prob(gamma, "amplitude damping gamma");
+            let mut out = vec![[o, zz, zz, c64((1.0 - gamma).sqrt(), 0.0)]];
+            if gamma > 0.0 {
+                out.push([zz, c64(gamma.sqrt(), 0.0), zz, zz]);
+            }
+            out
+        }
+        ChannelKind::PhaseDamping { lambda } => {
+            assert_prob(lambda, "phase damping lambda");
+            let mut out = vec![[o, zz, zz, c64((1.0 - lambda).sqrt(), 0.0)]];
+            if lambda > 0.0 {
+                out.push([zz, zz, zz, c64(lambda.sqrt(), 0.0)]);
+            }
+            out
+        }
+        ChannelKind::ThermalRelaxation { t1, t2, gate_time } => {
+            assert!(
+                t1 > 0.0 && t2 > 0.0 && t1.is_finite() && t2.is_finite(),
+                "thermal relaxation needs positive finite t1/t2, got t1={t1} t2={t2}"
+            );
+            assert!(
+                t2 <= 2.0 * t1 + 1e-12,
+                "thermal relaxation needs t2 <= 2*t1, got t1={t1} t2={t2}"
+            );
+            assert!(
+                gate_time >= 0.0 && gate_time.is_finite(),
+                "thermal relaxation needs a non-negative gate time, got {gate_time}"
+            );
+            let gamma = 1.0 - (-gate_time / t1).exp();
+            // Residual pure dephasing after the T1 contribution to T2.
+            let phi_rate = (1.0 / t2 - 0.5 / t1).max(0.0);
+            let lambda = 1.0 - (-gate_time * phi_rate).exp();
+            // Compose: phase damping after amplitude damping. The product
+            // set {P_i A_j} is a valid Kraus decomposition of the
+            // composite map.
+            let ad = derive_kraus(&ChannelKind::AmplitudeDamping { gamma });
+            let pd = derive_kraus(&ChannelKind::PhaseDamping { lambda });
+            let mut out = Vec::with_capacity(ad.len() * pd.len());
+            for p in &pd {
+                for a in &ad {
+                    let m = mat2_mul(p, a);
+                    // Drop exact-zero products (e.g. decay then project-
+                    // onto-excited) so branch sampling never sees them.
+                    if m.iter().any(|e| e.norm_sqr() > 0.0) {
+                        out.push(m);
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Row-major 2x2 product `a * b`.
+pub(crate) fn mat2_mul(a: &Kraus2, b: &Kraus2) -> Kraus2 {
+    [
+        a[0] * b[0] + a[1] * b[2],
+        a[0] * b[1] + a[1] * b[3],
+        a[2] * b[0] + a[3] * b[2],
+        a[2] * b[1] + a[3] * b[3],
+    ]
+}
+
+/// Row-major 2x2 conjugate transpose.
+pub(crate) fn mat2_dagger(a: &Kraus2) -> Kraus2 {
+    [a[0].conj(), a[2].conj(), a[1].conj(), a[3].conj()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plus_rho() -> Kraus2 {
+        let h = c64(0.5, 0.0);
+        [h, h, h, h]
+    }
+
+    fn excited_rho() -> Kraus2 {
+        [C64::ZERO, C64::ZERO, C64::ZERO, C64::ONE]
+    }
+
+    #[test]
+    fn every_channel_is_trace_preserving() {
+        // Construction asserts completeness; sweep the parameter space.
+        for i in 0..=10 {
+            let p = i as f64 / 10.0;
+            Channel::depolarizing(p);
+            Channel::amplitude_damping(p);
+            Channel::phase_damping(p);
+        }
+        for dt in [0.0, 0.01, 0.5, 3.0, 100.0] {
+            Channel::thermal_relaxation(50.0, 30.0, dt);
+            Channel::thermal_relaxation(50.0, 100.0, dt); // t2 up to 2*t1
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "t2 <= 2*t1")]
+    fn thermal_rejects_unphysical_t2() {
+        Channel::thermal_relaxation(50.0, 101.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1]")]
+    fn depolarizing_rejects_bad_probability() {
+        Channel::depolarizing(1.5);
+    }
+
+    #[test]
+    fn depolarizing_shrinks_plus_coherence() {
+        // rho01 -> (1 - 4p/3) * rho01 under uniform-Pauli depolarizing.
+        let p = 0.3;
+        let out = Channel::depolarizing(p).apply_to_rho2(&plus_rho());
+        let expect = 0.5 * (1.0 - 4.0 * p / 3.0);
+        assert!((out[1].re - expect).abs() < 1e-12, "{:?}", out[1]);
+        assert!((out[0].re - 0.5).abs() < 1e-12); // populations untouched
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_population() {
+        let gamma = 0.25;
+        let out = Channel::amplitude_damping(gamma).apply_to_rho2(&excited_rho());
+        assert!((out[3].re - (1.0 - gamma)).abs() < 1e-12);
+        assert!((out[0].re - gamma).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_damping_kills_coherence_not_population() {
+        let lambda = 0.4;
+        let out = Channel::phase_damping(lambda).apply_to_rho2(&plus_rho());
+        assert!((out[0].re - 0.5).abs() < 1e-12);
+        assert!((out[3].re - 0.5).abs() < 1e-12);
+        let expect = 0.5 * (1.0 - lambda).sqrt();
+        assert!((out[1].re - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thermal_relaxation_matches_ad_then_pd_composition() {
+        let (t1, t2, dt) = (80.0, 60.0, 2.5);
+        let thermal = Channel::thermal_relaxation(t1, t2, dt);
+        let gamma = 1.0 - (-dt / t1).exp();
+        let lambda = 1.0 - (-dt * (1.0 / t2 - 0.5 / t1)).exp();
+        let composed = |rho: &Kraus2| {
+            Channel::phase_damping(lambda)
+                .apply_to_rho2(&Channel::amplitude_damping(gamma).apply_to_rho2(rho))
+        };
+        for rho in [plus_rho(), excited_rho()] {
+            let a = thermal.apply_to_rho2(&rho);
+            let b = composed(&rho);
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((*x - *y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_folds_strength_and_clamps() {
+        let ch = Channel::depolarizing(0.4);
+        match ch.scaled(2.0).kind() {
+            ChannelKind::Depolarizing { p } => assert!((p - 0.8).abs() < 1e-15),
+            other => panic!("{other:?}"),
+        }
+        match ch.scaled(10.0).kind() {
+            ChannelKind::Depolarizing { p } => assert_eq!(*p, 1.0),
+            other => panic!("{other:?}"),
+        }
+        // Thermal scales exposure time, not t1/t2.
+        let th = Channel::thermal_relaxation(50.0, 40.0, 0.5);
+        match th.scaled(3.0).kind() {
+            ChannelKind::ThermalRelaxation { t1, t2, gate_time } => {
+                assert_eq!((*t1, *t2), (50.0, 40.0));
+                assert!((gate_time - 1.5).abs() < 1e-15);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn readout_error_validates_and_scales() {
+        let ro = ReadoutError::new(0.02, 0.05);
+        assert_eq!(ro.flip_prob(0), 0.02);
+        assert_eq!(ro.flip_prob(1), 0.05);
+        let doubled = ro.scaled(2.0);
+        assert!((doubled.p01 - 0.04).abs() < 1e-15);
+        assert!(ReadoutError::symmetric(0.0).is_noop());
+        assert!(!ro.is_noop());
+    }
+
+    #[test]
+    fn noop_detection() {
+        assert!(Channel::depolarizing(0.0).is_noop());
+        assert!(Channel::thermal_relaxation(50.0, 30.0, 0.0).is_noop());
+        assert!(!Channel::amplitude_damping(0.01).is_noop());
+    }
+}

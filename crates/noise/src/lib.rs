@@ -1,0 +1,41 @@
+//! `qfw-noise`: the stack's single noise representation.
+//!
+//! The paper's case for variational hybrid workloads rests on NISQ noise
+//! — "variational algorithms are less prone to adverse effects of today's
+//! noisy quantum devices" — and real QC-HPC integrations expose per-qubit
+//! calibration data (T1/T2, gate and readout fidelities) that schedulers
+//! and transpilers consume. This crate provides the pieces every layer
+//! shares:
+//!
+//! * [`channel`] — Kraus-form single-qubit channels (depolarizing,
+//!   amplitude damping, phase damping, thermal relaxation) plus the
+//!   confusion-matrix [`ReadoutError`]. Each channel keeps its physical
+//!   parameters alongside the derived Kraus operators, so zero-noise
+//!   extrapolation can re-derive a strength-scaled variant exactly.
+//! * [`model`] — [`NoiseModel`]: per-qubit / per-gate-class channel
+//!   assignments with wildcard defaults, a canonical single-line text
+//!   codec (the wire format carried as the `noise_model` backend spec
+//!   extra), and a [`ContentHash`](qfw_circuit::ContentHash) over that
+//!   canonical form for result-cache keys.
+//! * [`calibration`] — [`Calibration`]: the per-qubit T1/T2/error table a
+//!   provider publishes, a seeded heterogeneous generator for tests and
+//!   the mock cloud, and [`NoiseModel::from_calibration`] to lower it
+//!   into channels.
+//! * [`reference`] — a small dense density-matrix evolver, the ground
+//!   truth the stochastic trajectory executor in `qfw-sim-sv` is
+//!   validated against (total-variation bounds per channel).
+//!
+//! The crate is engine-agnostic on purpose: it depends only on
+//! `qfw-circuit` (gate matrices, content hashing) and `qfw-num`, so the
+//! simulator, the compiler's fidelity-aware layout pass, the mock cloud,
+//! and the mitigation helpers all speak exactly one noise language.
+
+pub mod calibration;
+pub mod channel;
+pub mod model;
+pub mod reference;
+
+pub use calibration::{Calibration, QubitCal};
+pub use channel::{Channel, ChannelKind, Kraus2, ReadoutError};
+pub use model::{NoiseModel, NoiseParseError};
+pub use reference::DensityMatrix;

@@ -1,0 +1,294 @@
+//! Dense density-matrix evolution — the ground truth for the stochastic
+//! trajectory executor.
+//!
+//! This is deliberately the *slow, obviously-correct* implementation:
+//! a full `2^n x 2^n` density matrix, unitaries applied as `U rho U^dag`,
+//! channels as `sum_k K_k rho K_k^dag`, readout as an explicit confusion
+//! mix on the diagonal. It exists so the Monte-Carlo trajectory sampler
+//! in `qfw-sim-sv` has an exact reference to converge to (total-variation
+//! bounds in tests), and is capped at [`DensityMatrix::MAX_QUBITS`]
+//! qubits — use it for validation, never for production simulation.
+
+use crate::channel::Channel;
+use crate::model::NoiseModel;
+use qfw_circuit::Circuit;
+use qfw_num::C64;
+
+/// A dense `2^n x 2^n` density matrix, row-major.
+#[derive(Clone, Debug)]
+pub struct DensityMatrix {
+    n: usize,
+    dim: usize,
+    rho: Vec<C64>,
+}
+
+impl DensityMatrix {
+    /// Hard cap on register size — the representation is `4^n` complex
+    /// numbers and every gate is `O(8^n)` here.
+    pub const MAX_QUBITS: usize = 8;
+
+    /// `|0..0><0..0|` on `n` qubits.
+    pub fn zero(n: usize) -> DensityMatrix {
+        assert!(
+            (1..=Self::MAX_QUBITS).contains(&n),
+            "density-matrix reference supports 1..={} qubits, got {n}",
+            Self::MAX_QUBITS
+        );
+        let dim = 1 << n;
+        let mut rho = vec![C64::ZERO; dim * dim];
+        rho[0] = C64::ONE;
+        DensityMatrix { n, dim, rho }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// `tr(rho)` — stays 1 under every unitary and channel here.
+    pub fn trace(&self) -> C64 {
+        (0..self.dim).map(|i| self.rho[i * self.dim + i]).sum()
+    }
+
+    /// The computational-basis probabilities `diag(rho)`, indexed by
+    /// basis state (bit `q` of the index is qubit `q`).
+    pub fn probabilities(&self) -> Vec<f64> {
+        (0..self.dim)
+            .map(|i| self.rho[i * self.dim + i].re.max(0.0))
+            .collect()
+    }
+
+    /// `rho <- U rho U^dag` for a gate, embedding its matrix with the
+    /// engine convention: local bit `j` of the gate matrix is circuit
+    /// qubit `qs[j]`.
+    pub fn apply_gate(&mut self, gate: &qfw_circuit::Gate) {
+        let m = gate.matrix();
+        let qs = gate.qubits();
+        let k = qs.len();
+        let sub = 1usize << k;
+        assert_eq!(m.rows(), sub, "gate matrix size mismatch");
+        let mat: Vec<C64> = (0..sub)
+            .flat_map(|r| (0..sub).map(move |c| (r, c)))
+            .map(|(r, c)| m[(r, c)])
+            .collect();
+        self.left_mul(&mat, &qs);
+        self.right_mul_dagger(&mat, &qs);
+    }
+
+    /// `rho <- sum_k K_k rho K_k^dag` for a single-qubit channel on `q`.
+    pub fn apply_channel(&mut self, q: usize, ch: &Channel) {
+        assert!(q < self.n, "channel qubit {q} out of range");
+        let mut out = vec![C64::ZERO; self.dim * self.dim];
+        for kraus in ch.kraus() {
+            let mut branch = self.clone();
+            branch.left_mul(kraus, &[q]);
+            branch.right_mul_dagger(kraus, &[q]);
+            for (o, b) in out.iter_mut().zip(&branch.rho) {
+                *o += *b;
+            }
+        }
+        self.rho = out;
+    }
+
+    /// `rho <- M rho`, with the `2^k x 2^k` operator `mat` (row-major)
+    /// embedded on qubits `qs`.
+    fn left_mul(&mut self, mat: &[C64], qs: &[usize]) {
+        let sub = 1usize << qs.len();
+        for_each_subspace(self.n, qs, |idx| {
+            for c in 0..self.dim {
+                let mut v = [C64::ZERO; 16];
+                for (j, &i) in idx.iter().enumerate() {
+                    v[j] = self.rho[i * self.dim + c];
+                }
+                for (r, &i) in idx.iter().enumerate() {
+                    let mut acc = C64::ZERO;
+                    for (j, &vj) in v.iter().enumerate().take(sub) {
+                        acc += mat[r * sub + j] * vj;
+                    }
+                    self.rho[i * self.dim + c] = acc;
+                }
+            }
+        });
+    }
+
+    /// `rho <- rho M^dag`, same embedding as [`Self::left_mul`].
+    fn right_mul_dagger(&mut self, mat: &[C64], qs: &[usize]) {
+        let sub = 1usize << qs.len();
+        for_each_subspace(self.n, qs, |idx| {
+            for r in 0..self.dim {
+                let mut v = [C64::ZERO; 16];
+                for (j, &i) in idx.iter().enumerate() {
+                    v[j] = self.rho[r * self.dim + i];
+                }
+                for (c, &i) in idx.iter().enumerate() {
+                    let mut acc = C64::ZERO;
+                    for (j, &vj) in v.iter().enumerate().take(sub) {
+                        acc += mat[c * sub + j].conj() * vj;
+                    }
+                    self.rho[r * self.dim + i] = acc;
+                }
+            }
+        });
+    }
+}
+
+/// Calls `f` once per embedded subspace: `idx[l]` is the full-register
+/// index whose bits on `qs` spell the local pattern `l` (local bit `j`
+/// maps to register bit `qs[j]`), all other bits fixed to the base.
+fn for_each_subspace(n: usize, qs: &[usize], mut f: impl FnMut(&[usize])) {
+    assert!(qs.len() <= 4, "reference supports gates up to 4 qubits");
+    let dim = 1usize << n;
+    let sub = 1usize << qs.len();
+    let mask: usize = qs.iter().map(|&q| 1usize << q).sum();
+    let mut idx = vec![0usize; sub];
+    for base in 0..dim {
+        if base & mask != 0 {
+            continue;
+        }
+        for (l, slot) in idx.iter_mut().enumerate() {
+            let mut i = base;
+            for (j, &q) in qs.iter().enumerate() {
+                if l >> j & 1 == 1 {
+                    i |= 1 << q;
+                }
+            }
+            *slot = i;
+        }
+        f(&idx);
+    }
+}
+
+/// Mixes readout confusion into a basis-probability vector: for each
+/// qubit with a registered readout error, index pairs differing in that
+/// bit exchange weight per `P(read b' | true b)`.
+pub fn apply_readout(probs: &mut [f64], n: usize, model: &NoiseModel) {
+    for q in 0..n {
+        let Some(ro) = model.readout(q) else { continue };
+        let bit = 1usize << q;
+        for i in 0..probs.len() {
+            if i & bit != 0 {
+                continue;
+            }
+            let (p0, p1) = (probs[i], probs[i | bit]);
+            probs[i] = (1.0 - ro.p01) * p0 + ro.p10 * p1;
+            probs[i | bit] = ro.p01 * p0 + (1.0 - ro.p10) * p1;
+        }
+    }
+}
+
+/// Exact noisy output distribution of `circuit` under `model`: evolve
+/// the density matrix gate by gate, applying each touched qubit's
+/// channels after the gate, then fold readout confusion into the final
+/// probabilities. Measures and barriers are ignored (readout is applied
+/// once, at the end, to every qubit).
+pub fn run_reference(circuit: &Circuit, model: &NoiseModel) -> Vec<f64> {
+    let n = circuit.num_qubits();
+    let mut dm = DensityMatrix::zero(n);
+    for gate in circuit.gates() {
+        dm.apply_gate(gate);
+        let arity = gate.arity();
+        for q in gate.qubits() {
+            for ch in model.channels(arity, q) {
+                dm.apply_channel(q, ch);
+            }
+        }
+    }
+    let mut probs = dm.probabilities();
+    apply_readout(&mut probs, n, model);
+    probs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ReadoutError;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 1..n {
+            c.cx(q - 1, q);
+        }
+        c
+    }
+
+    #[test]
+    fn ideal_ghz_reference_is_half_half() {
+        let probs = run_reference(&ghz(3), &NoiseModel::empty());
+        assert!((probs[0] - 0.5).abs() < 1e-12);
+        assert!((probs[7] - 0.5).abs() < 1e-12);
+        assert!(probs[1..7].iter().all(|&p| p.abs() < 1e-12));
+    }
+
+    #[test]
+    fn channels_preserve_trace() {
+        let mut dm = DensityMatrix::zero(3);
+        for gate in ghz(3).gates() {
+            dm.apply_gate(gate);
+        }
+        for ch in [
+            Channel::depolarizing(0.2),
+            Channel::amplitude_damping(0.3),
+            Channel::phase_damping(0.4),
+            Channel::thermal_relaxation(50.0, 30.0, 5.0),
+        ] {
+            for q in 0..3 {
+                dm.apply_channel(q, &ch);
+            }
+            let t = dm.trace();
+            assert!((t.re - 1.0).abs() < 1e-10 && t.im.abs() < 1e-12, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn depolarizing_ghz_leaks_probability_symmetrically() {
+        let mut model = NoiseModel::empty();
+        model.add_2q_all(Channel::depolarizing(0.1));
+        let probs = run_reference(&ghz(3), &model);
+        let leak: f64 = (1..7).map(|i| probs[i]).sum();
+        assert!(leak > 0.01 && leak < 0.6, "leak = {leak}");
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        // Depolarizing keeps the 000/111 symmetry of GHZ.
+        assert!((probs[0] - probs[7]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn amplitude_damping_biases_toward_zero() {
+        let mut model = NoiseModel::empty();
+        model.add_1q_all(Channel::amplitude_damping(0.25));
+        let mut c = Circuit::new(1);
+        c.x(0);
+        let probs = run_reference(&c, &model);
+        assert!((probs[0] - 0.25).abs() < 1e-12, "{probs:?}");
+        assert!((probs[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn readout_confusion_mixes_the_diagonal() {
+        let mut model = NoiseModel::empty();
+        model.set_readout(0, ReadoutError::new(0.1, 0.2));
+        let mut c = Circuit::new(2);
+        c.x(0);
+        let probs = run_reference(&c, &model);
+        // True state |01> (qubit 0 = 1, qubit 1 = 0); p10 flips it back.
+        assert!((probs[1] - 0.8).abs() < 1e-12, "{probs:?}");
+        assert!((probs[0] - 0.2).abs() < 1e-12);
+        assert!(probs[2].abs() < 1e-12 && probs[3].abs() < 1e-12);
+    }
+
+    #[test]
+    fn dephasing_kills_coherence_not_populations() {
+        // |+> under heavy phase damping stays 50/50 in Z basis.
+        let mut model = NoiseModel::empty();
+        model.add_1q_all(Channel::phase_damping(0.9));
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let probs = run_reference(&c, &model);
+        assert!((probs[0] - 0.5).abs() < 1e-12);
+        // But a second H after damping no longer restores |0>.
+        let mut c2 = Circuit::new(1);
+        c2.h(0).h(0);
+        let probs2 = run_reference(&c2, &model);
+        assert!(probs2[1] > 0.2, "coherence should be damped: {probs2:?}");
+    }
+}

