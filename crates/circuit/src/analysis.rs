@@ -18,6 +18,30 @@ pub fn is_clifford(circuit: &Circuit) -> bool {
     circuit.gates().all(|g| g.is_clifford())
 }
 
+/// Measures the maximal Clifford prefix of the operation list: the longest
+/// run of leading unitary Clifford gates (barriers pass through) that a
+/// stabilizer tableau could execute before the first non-Clifford gate or
+/// measurement forces a dense continuation.
+///
+/// Returns `(seam_ops, prefix_gates)`: the number of leading *operations*
+/// (including barriers) in the prefix — the partition seam an executor
+/// splits at — and the number of actual gates among them.
+pub fn clifford_prefix_len(circuit: &Circuit) -> (usize, usize) {
+    let mut seam_ops = 0usize;
+    let mut prefix_gates = 0usize;
+    for op in circuit.ops() {
+        match op {
+            Op::Barrier(_) => seam_ops += 1,
+            Op::Gate(g) if g.is_clifford() => {
+                seam_ops += 1;
+                prefix_gates += 1;
+            }
+            _ => break,
+        }
+    }
+    (seam_ops, prefix_gates)
+}
+
 /// Extracts the backward lightcone of `targets`: the minimal suffix-closed
 /// sub-circuit whose gates can influence measurements of the target qubits.
 ///
@@ -169,6 +193,23 @@ mod tests {
         let mut qaoa = Circuit::new(2);
         qaoa.h(0).h(1).rzz(0, 1, 0.3).rx(0, 0.2);
         assert!(!is_clifford(&qaoa));
+    }
+
+    #[test]
+    fn clifford_prefix_stops_at_first_non_clifford() {
+        let mut qc = ghz(4); // 4 Clifford gates
+        qc.rz(2, 0.3).cx(2, 3); // non-Clifford, then Clifford again
+        let (seam, gates) = clifford_prefix_len(&qc);
+        assert_eq!((seam, gates), (4, 4));
+        // A fully-Clifford circuit's prefix is the whole gate list, and a
+        // measurement ends the prefix even though it is not a gate.
+        assert_eq!(clifford_prefix_len(&ghz(4)), (4, 4));
+        let mut measured = ghz(4);
+        measured.measure_all();
+        assert_eq!(clifford_prefix_len(&measured), (4, 4));
+        let mut rot_first = Circuit::new(2);
+        rot_first.rx(0, 0.1).cx(0, 1);
+        assert_eq!(clifford_prefix_len(&rot_first), (0, 0));
     }
 
     #[test]

@@ -92,7 +92,10 @@ impl NwqSimBackend {
     }
 
     fn fusion_of(spec: &BackendSpec) -> FusionLevel {
-        if spec.extra_parsed::<bool>("fusion").unwrap_or(true) {
+        if spec
+            .extra_parsed::<bool>(crate::spec::extras::FUSION)
+            .unwrap_or(true)
+        {
             FusionLevel::Full
         } else {
             FusionLevel::None
@@ -171,6 +174,76 @@ impl NwqSimBackend {
             report_event(obs, "fused", CacheEvent::Evict);
         }
         (fused, false)
+    }
+
+    /// Hybrid Clifford-prefix partitioned execution: evolve the first
+    /// `seam` operations (which must all be Clifford gates or barriers) on
+    /// a stabilizer tableau in `O(gates * n^2 / 64)`, convert the tableau
+    /// to dense amplitudes at the seam, and run the remaining ops on the
+    /// state-vector engine from that state.
+    ///
+    /// Sampling goes through the same canonical path and seed as a
+    /// monolithic unfused run, and the seam conversion produces every
+    /// amplitude exactly (see `qfw_sim_stab::extract`), so counts are
+    /// bitwise comparable to running the whole circuit dense.
+    fn run_partitioned(
+        circuit: &Circuit,
+        seam: usize,
+        shots: usize,
+        seed: u64,
+        threading: Threading,
+        obs: &Obs,
+    ) -> Result<(qfw_sim_sv::engine::SvOutcome, usize, f64), QfwError> {
+        use qfw_circuit::Op;
+        let n = circuit.num_qubits();
+        if n > qfw_sim_stab::MAX_EXTRACT_QUBITS {
+            return Err(QfwError::Resources(format!(
+                "clifford-prefix partition needs a dense seam state: {n} qubits \
+                 exceeds the {} -qubit extraction limit",
+                qfw_sim_stab::MAX_EXTRACT_QUBITS
+            )));
+        }
+        let ops = circuit.ops();
+        if seam == 0 || seam > ops.len() {
+            return Err(QfwError::Execution(format!(
+                "partition_seam {seam} is outside the operation list (1..={})",
+                ops.len()
+            )));
+        }
+        let sw = Stopwatch::start();
+        let mut span = obs.span("engine", "stab.prefix").attr("seam_ops", seam);
+        let mut tableau = qfw_sim_stab::Tableau::zero(n);
+        let mut prefix_gates = 0usize;
+        for op in &ops[..seam] {
+            match op {
+                Op::Gate(g) if g.is_clifford() => {
+                    tableau.apply(g);
+                    prefix_gates += 1;
+                }
+                Op::Barrier(_) => {}
+                other => {
+                    return Err(QfwError::Execution(format!(
+                        "partition_seam crosses a non-Clifford operation: {other:?}"
+                    )))
+                }
+            }
+        }
+        let amps = tableau.to_amplitudes().map_err(QfwError::Execution)?;
+        span.set_attr("prefix_gates", prefix_gates);
+        drop(span);
+        let prefix_secs = sw.elapsed_secs();
+        let initial = qfw_sim_sv::StateVector::from_amps(amps);
+        let mut suffix = Circuit::with_clbits(n, circuit.num_clbits());
+        for op in &ops[seam..] {
+            suffix.push_op(op.clone());
+        }
+        let engine = SvSimulator::new(SvConfig {
+            threading,
+            fusion: FusionLevel::None,
+            ..SvConfig::default()
+        });
+        let out = engine.run_traced_from(initial, &suffix, shots, seed, obs);
+        Ok((out, prefix_gates, prefix_secs))
     }
 
     /// The local compile-once path for one bound parameterized task.
@@ -293,7 +366,43 @@ impl BackendQpm for NwqSimBackend {
                 };
                 let _lease = ctx.lease_cores(cores)?;
                 let sw = Stopwatch::start();
-                if noise.is_empty() {
+                let seam = task
+                    .spec
+                    .extra_parsed::<usize>(crate::spec::extras::PARTITION_SEAM);
+                if seam.is_some() && !noise.is_empty() {
+                    return Err(QfwError::Execution(
+                        "clifford-prefix partitioned execution does not compose \
+                         with noise channels"
+                            .into(),
+                    ));
+                }
+                if let Some(seam) = seam {
+                    // Planner-issued hybrid partition: stabilizer tableau
+                    // over the Clifford prefix, dense continuation from the
+                    // extracted seam state. (The guard above already
+                    // rejected the noisy case, so noise is empty here.)
+                    let (out, prefix_gates, prefix_secs) = Self::run_partitioned(
+                        &circuit, seam, task.shots, task.seed, threading, ctx.obs,
+                    )?;
+                    result.counts = out.counts;
+                    result.profile.exec_secs = prefix_secs + out.gate_time.as_secs_f64();
+                    result.profile.sample_secs = out.sample_time.as_secs_f64();
+                    result
+                        .metadata
+                        .insert("gates_applied".into(), out.gates_applied.to_string());
+                    result.metadata.insert(
+                        crate::spec::extras::PARTITION.into(),
+                        crate::spec::extras::PARTITION_CLIFFORD_PREFIX.into(),
+                    );
+                    result.metadata.insert(
+                        crate::spec::extras::PARTITION_SEAM.into(),
+                        seam.to_string(),
+                    );
+                    result.metadata.insert(
+                        "partition_prefix_gates".into(),
+                        prefix_gates.to_string(),
+                    );
+                } else if noise.is_empty() {
                     // With fusion enabled, fuse through the per-instance
                     // cache and run the pre-fused circuit with fusion off —
                     // bitwise identical (sampling depends only on the final
@@ -859,6 +968,93 @@ mod tests {
         varied.seed ^= 0x5eed;
         let third = backend.execute(&varied, &rig.ctx()).unwrap();
         assert_eq!(third.metadata["fusion_cached"], "true");
+    }
+
+    /// A circuit with a deep Clifford prefix whose stabilizer X-part has
+    /// rank 1 (a single H): the seam amplitudes are then `+-sqrt(0.5)`,
+    /// the one norm value the dense engine also produces exactly, so
+    /// partitioned and monolithic counts must agree *bitwise*.
+    fn clifford_prefix_circuit(n: usize, layers: usize) -> (Circuit, usize) {
+        let mut qc = Circuit::new(n);
+        qc.h(0);
+        for l in 0..layers {
+            for q in 0..n - 1 {
+                qc.cx(q, q + 1);
+            }
+            for q in 0..n {
+                if (q + l) % 2 == 0 {
+                    qc.s(q);
+                } else {
+                    qc.z(q);
+                }
+            }
+        }
+        let seam = qc.ops().len();
+        for q in 0..n {
+            qc.rx(q, 0.3 + 0.05 * q as f64);
+        }
+        qc.measure_all();
+        (qc, seam)
+    }
+
+    #[test]
+    fn partitioned_execution_bitwise_matches_monolithic() {
+        let rig = TestRig::new(1);
+        let backend = NwqSimBackend::default();
+        let (qc, seam) = clifford_prefix_circuit(6, 4);
+        let task_of = |spec: BackendSpec| ExecTask {
+            circuit: text::dump(&qc),
+            shots: 500,
+            seed: 4242,
+            spec,
+        };
+        let mono = backend
+            .execute(
+                &task_of(BackendSpec::of("nwqsim", "cpu").with_extra("fusion", false)),
+                &rig.ctx(),
+            )
+            .unwrap();
+        let part = backend
+            .execute(
+                &task_of(
+                    BackendSpec::of("nwqsim", "cpu")
+                        .with_extra("fusion", false)
+                        .with_extra("partition", "clifford_prefix")
+                        .with_extra("partition_seam", seam),
+                ),
+                &rig.ctx(),
+            )
+            .unwrap();
+        assert_eq!(part.counts, mono.counts, "partition changed sampled counts");
+        assert_eq!(part.metadata["partition"], "clifford_prefix");
+        assert_eq!(part.metadata["partition_seam"], seam.to_string());
+        assert_eq!(
+            part.metadata["partition_prefix_gates"],
+            (seam).to_string(),
+            "every seam op here is a gate"
+        );
+        // Only the suffix ran dense.
+        assert!(
+            part.metadata["gates_applied"].parse::<usize>().unwrap()
+                < mono.metadata["gates_applied"].parse::<usize>().unwrap()
+        );
+    }
+
+    #[test]
+    fn partition_seam_crossing_non_clifford_is_rejected() {
+        let rig = TestRig::new(1);
+        let (qc, seam) = clifford_prefix_circuit(4, 2);
+        let task = ExecTask {
+            circuit: text::dump(&qc),
+            shots: 10,
+            seed: 1,
+            // One past the Clifford prefix: the seam now includes an rx.
+            spec: BackendSpec::of("nwqsim", "cpu").with_extra("partition_seam", seam + 1),
+        };
+        assert!(matches!(
+            NwqSimBackend::default().execute(&task, &rig.ctx()).unwrap_err(),
+            QfwError::Execution(_)
+        ));
     }
 
     /// A QAOA-shaped two-parameter skeleton used by the sweep tests.

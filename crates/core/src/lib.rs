@@ -32,6 +32,7 @@ pub mod backends;
 pub mod cache;
 pub mod error;
 pub mod frontend;
+pub mod planner;
 pub mod qpm;
 pub mod qrc;
 pub mod registry;
@@ -43,6 +44,7 @@ pub mod spec;
 pub use cache::{CacheConfig, CacheStats, ResultCache, ShardedLru};
 pub use error::QfwError;
 pub use frontend::{QfwBackend, QfwJob, QfwSweepJob};
+pub use planner::{CostCoefficients, PartitionPlan, Planned, Planner};
 pub use qrc::{DispatchPolicy, Qrc, SlotSnapshot};
 pub use registry::{BackendRegistry, Capabilities};
 pub use result::{ExecProfile, QfwResult};

@@ -1,0 +1,222 @@
+//! Per-engine runtime cost formulas.
+//!
+//! Every formula maps the cheap structural features in a
+//! [`StructureReport`] to a predicted wall-clock in seconds. The shapes
+//! follow the engines' asymptotics — `gates * 2^n` amplitude touches for
+//! dense state vector, `gates * n * chi^3` tensor contractions for MPS,
+//! `gates * n * words` row updates for the stabilizer tableau — and the
+//! unit coefficients are calibrated offline from `results/BENCH_*.json`
+//! and nudged online from observed run times (see
+//! [`super::Planner::observe`]).
+
+use qfw_circuit::analysis::StructureReport;
+
+/// Unit costs, all in seconds per elementary operation.
+///
+/// Defaults are derived from the checked-in `results/BENCH_sv.json`
+/// kernel timings (serial gate applies cost ~0.5 ns per amplitude) and
+/// round numbers for the engines the bench suite exercises less densely;
+/// [`CostCoefficients::from_bench_json`] re-derives the state-vector
+/// coefficient from a fresh bench report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostCoefficients {
+    /// Dense SV: seconds per amplitude per gate.
+    pub sv_amp_secs: f64,
+    /// Dense SV: seconds per sampled shot (alias-table draw).
+    pub sv_shot_secs: f64,
+    /// MPS: seconds per site per `chi^3` contraction element per gate.
+    pub mps_elem_secs: f64,
+    /// Stabilizer tableau: seconds per row-word update per gate.
+    pub stab_word_secs: f64,
+    /// Stabilizer tableau: seconds per qubit per sampled shot.
+    pub stab_shot_secs: f64,
+    /// MPI: fractional exchange penalty per doubling of the rank count.
+    pub mpi_link_penalty: f64,
+    /// MPI: seconds of spawn/teardown per rank.
+    pub mpi_spawn_secs: f64,
+    /// Seam conversion (tableau -> state vector): seconds per amplitude.
+    pub conv_amp_secs: f64,
+    /// Cloud: fixed submit/queue/poll round trip in seconds.
+    pub cloud_roundtrip_secs: f64,
+    /// Cloud: marginal seconds per shot.
+    pub cloud_shot_secs: f64,
+    /// Bond dimension an exact local MPS run is trusted up to.
+    pub chi_budget: f64,
+}
+
+impl Default for CostCoefficients {
+    fn default() -> Self {
+        CostCoefficients {
+            sv_amp_secs: 5e-10,
+            sv_shot_secs: 3e-8,
+            mps_elem_secs: 2e-9,
+            stab_word_secs: 1e-9,
+            stab_shot_secs: 5e-8,
+            mpi_link_penalty: 0.15,
+            mpi_spawn_secs: 1e-3,
+            conv_amp_secs: 2e-9,
+            cloud_roundtrip_secs: 30.0,
+            cloud_shot_secs: 1e-3,
+            chi_budget: 64.0,
+        }
+    }
+}
+
+impl CostCoefficients {
+    /// Re-derives the dense-SV amplitude coefficient from a
+    /// `BENCH_sv.json` report (the `kernels` section records
+    /// `secs_per_apply` at a known register size). Returns `None` when the
+    /// text is not such a report.
+    pub fn from_bench_json(text: &str) -> Option<Self> {
+        let v: serde::Value = serde_json::from_str(text).ok()?;
+        let kernels = match v.get("kernels")? {
+            serde::Value::Seq(items) => items,
+            _ => return None,
+        };
+        let as_f64 = |v: &serde::Value| match v {
+            serde::Value::UInt(u) => Some(*u as f64),
+            serde::Value::Int(i) => Some(*i as f64),
+            serde::Value::Float(f) => Some(*f),
+            _ => None,
+        };
+        // Average seconds-per-amplitude over the serial kernel points;
+        // larger registers dominate real runs, so weight by amplitude count.
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for k in kernels {
+            match k.get("mode") {
+                Some(serde::Value::Str(mode)) if mode.contains("serial") => {}
+                _ => continue,
+            }
+            let n = as_f64(k.get("qubits")?)? as i32;
+            let secs = as_f64(k.get("secs_per_apply")?)?;
+            let amps = 2f64.powi(n);
+            num += secs;
+            den += amps;
+        }
+        if den <= 0.0 || num <= 0.0 {
+            return None;
+        }
+        Some(CostCoefficients {
+            sv_amp_secs: (num / den).clamp(1e-11, 1e-7),
+            ..CostCoefficients::default()
+        })
+    }
+
+    /// Dense serial state vector: every gate sweeps all `2^n` amplitudes,
+    /// the terminal alias table costs one more sweep, then per-shot draws.
+    pub fn sv_cost(&self, n: usize, gates: usize, shots: usize) -> f64 {
+        let amps = 2f64.powi(n as i32);
+        (gates as f64 + 1.0) * amps * self.sv_amp_secs + shots as f64 * self.sv_shot_secs
+    }
+
+    /// Rank-distributed state vector: the gate sweeps parallelize over
+    /// ranks at the price of pairwise exchanges (log-scaling penalty) and
+    /// per-rank spawn cost.
+    pub fn mpi_cost(&self, n: usize, gates: usize, shots: usize, ranks: usize) -> f64 {
+        let ranks = ranks.max(1);
+        let amps = 2f64.powi(n as i32);
+        let gate_secs = gates as f64 * amps * self.sv_amp_secs / ranks as f64;
+        let penalty = 1.0 + self.mpi_link_penalty * (ranks as f64).log2();
+        gate_secs * penalty
+            + self.mpi_spawn_secs * ranks as f64
+            + amps * self.sv_amp_secs
+            + shots as f64 * self.sv_shot_secs
+    }
+
+    /// MPS: per-gate two-site contraction/SVD is `O(n * chi^3)`, sampling
+    /// one shot sweeps the chain contracting `O(n * chi^2)` elements.
+    pub fn mps_cost(&self, n: usize, gates: usize, shots: usize, chi: f64) -> f64 {
+        let chi = chi.max(1.0);
+        gates as f64 * n as f64 * chi.powi(3) * self.mps_elem_secs
+            + shots as f64 * n as f64 * chi.powi(2) * self.mps_elem_secs
+    }
+
+    /// Stabilizer tableau: each gate touches `2n` rows of `words` machine
+    /// words; each shot clones the tableau and measures every qubit.
+    pub fn stab_cost(&self, n: usize, gates: usize, shots: usize) -> f64 {
+        let words = n.div_ceil(64) as f64;
+        gates as f64 * 2.0 * n as f64 * words * self.stab_word_secs
+            + shots as f64 * n as f64 * words * self.stab_shot_secs
+    }
+
+    /// Cloud provider: queue-dominated; circuit size barely matters below
+    /// the provider's qubit cap.
+    pub fn cloud_cost(&self, shots: usize) -> f64 {
+        self.cloud_roundtrip_secs + shots as f64 * self.cloud_shot_secs
+    }
+}
+
+/// Predicts the bond dimension an exact MPS run of this circuit needs.
+///
+/// The static bound (`log2_bond_bound`) counts every entangling gate
+/// across the worst cut as a full Schmidt-rank doubling; weak entanglers
+/// (small rotation angles) grow entanglement far slower, so the bound is
+/// tempered by the mean entangling angle: a gate at angle `theta`
+/// contributes `min(1, 2 sin(theta/2))` of a doubling.
+pub fn effective_chi(report: &StructureReport, n: usize) -> f64 {
+    if report.num_entangling == 0 {
+        return 1.0;
+    }
+    let theta = report.mean_entangling_angle;
+    let growth = if theta.is_finite() {
+        (2.0 * (theta / 2.0).sin()).clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+    let b_eff = (report.log2_bond_bound(n) as f64)
+        .min(report.max_cut_weight as f64 * growth)
+        .clamp(0.0, 14.0);
+    2f64.powf(b_eff).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_costs_order_engines_sanely() {
+        let c = CostCoefficients::default();
+        // 20 qubits, 400 gates: MPS at chi=2 beats dense SV, dense SV
+        // beats the cloud, and distributing over 8 ranks beats serial.
+        let sv = c.sv_cost(20, 400, 1024);
+        assert!(c.mps_cost(20, 400, 1024, 2.0) < sv);
+        assert!(sv < c.cloud_cost(1024));
+        assert!(c.mpi_cost(22, 500, 1024, 8) < c.sv_cost(22, 500, 1024));
+        // The tableau crushes everything on a Clifford workload.
+        assert!(c.stab_cost(24, 24, 1024) < c.mps_cost(24, 24, 1024, 2.0) * 10.0);
+    }
+
+    #[test]
+    fn effective_chi_tempers_by_angle() {
+        use qfw_circuit::Circuit;
+        let mut weak = Circuit::new(12);
+        for _ in 0..4 {
+            for q in 0..11 {
+                weak.rzz(q, q + 1, 0.1);
+            }
+        }
+        let chi_weak = effective_chi(&StructureReport::of(&weak), 12);
+        let mut strong = Circuit::new(12);
+        for _ in 0..4 {
+            for q in 0..11 {
+                strong.rzz(q, q + 1, 2.8);
+            }
+        }
+        let chi_strong = effective_chi(&StructureReport::of(&strong), 12);
+        assert!(chi_weak < chi_strong, "{chi_weak} !< {chi_strong}");
+        assert!(chi_weak < 2.5);
+    }
+
+    #[test]
+    fn bench_json_calibration_overrides_sv_coefficient() {
+        let json = r#"{"kernels":[
+            {"name":"h","mode":"serial","qubits":20,"reps":3,"secs_per_apply":0.001},
+            {"name":"h","mode":"parallel","qubits":20,"reps":3,"secs_per_apply":0.0005}
+        ]}"#;
+        let c = CostCoefficients::from_bench_json(json).expect("parses");
+        let expect = 0.001 / 2f64.powi(20);
+        assert!((c.sv_amp_secs - expect).abs() / expect < 1e-9);
+        assert!(CostCoefficients::from_bench_json("{}").is_none());
+    }
+}

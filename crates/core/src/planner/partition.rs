@@ -1,0 +1,133 @@
+//! Hybrid Clifford-prefix partitioning.
+//!
+//! Many structured workloads open with a long Clifford section (state
+//! preparation, encoding, syndrome ladders) before the first rotation.
+//! The tableau executes that prefix in `O(gates * n^2 / 64)` bit
+//! operations; converting the resulting stabilizer state to a dense state
+//! vector at the seam costs one `2^n` sweep, after which the SV engine
+//! only pays `2^n` per *remaining* gate. For deep prefixes that beats
+//! running every prefix gate densely — the HybridQ-style split the
+//! roadmap calls for.
+
+use super::cost::CostCoefficients;
+use qfw_circuit::analysis::clifford_prefix_len;
+use qfw_circuit::Circuit;
+
+/// Minimum prefix gate count before partitioning is worth the seam.
+pub const PARTITION_MIN_PREFIX_GATES: usize = 32;
+
+/// A planned circuit split: tableau up to `seam_ops`, dense SV after.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionPlan {
+    /// Number of leading operations executed on the stabilizer tableau.
+    pub seam_ops: usize,
+    /// Gates inside the prefix (barriers excluded).
+    pub prefix_gates: usize,
+    /// Gates left for the dense continuation.
+    pub suffix_gates: usize,
+    /// Predicted wall-clock of the partitioned run in seconds.
+    pub predicted_secs: f64,
+}
+
+/// Proposes a Clifford-prefix partition for a dense-SV-bound circuit, or
+/// `None` when the prefix is too short (the seam conversion would cost
+/// more than it saves), the circuit is entirely Clifford (the tableau
+/// alone handles it), or the split is not predicted to win.
+pub fn plan_partition(
+    coeffs: &CostCoefficients,
+    circuit: &Circuit,
+    total_gates: usize,
+    shots: usize,
+) -> Option<PartitionPlan> {
+    let n = circuit.num_qubits();
+    let (seam_ops, prefix_gates) = clifford_prefix_len(circuit);
+    let suffix_gates = total_gates.saturating_sub(prefix_gates);
+    if suffix_gates == 0 {
+        return None; // fully Clifford: the tableau needs no dense half
+    }
+    // Short prefixes (a transversal H layer, a few preparation gates) are
+    // not worth a full-register conversion sweep.
+    if prefix_gates < PARTITION_MIN_PREFIX_GATES || prefix_gates < 2 * n {
+        return None;
+    }
+    let amps = 2f64.powi(n as i32);
+    let predicted_secs = coeffs.stab_cost(n, prefix_gates, 0)
+        + amps * coeffs.conv_amp_secs
+        + coeffs.sv_cost(n, suffix_gates, shots);
+    let monolithic = coeffs.sv_cost(n, total_gates, shots);
+    if predicted_secs < monolithic * 0.9 {
+        Some(PartitionPlan {
+            seam_ops,
+            prefix_gates,
+            suffix_gates,
+            predicted_secs,
+        })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deep Clifford ladder then one rotation layer.
+    fn deep_prefix(n: usize, layers: usize) -> Circuit {
+        let mut qc = Circuit::new(n);
+        qc.h(0);
+        for l in 0..layers {
+            for q in 0..n - 1 {
+                if (l + q) % 2 == 0 {
+                    qc.cx(q, q + 1);
+                } else {
+                    qc.cz(q, q + 1);
+                }
+            }
+            qc.s(l % n);
+        }
+        for q in 0..n {
+            qc.rx(q, 0.3);
+        }
+        qc.measure_all();
+        qc
+    }
+
+    #[test]
+    fn deep_prefix_partitions_and_wins() {
+        let qc = deep_prefix(12, 20);
+        let total = qc.num_gates();
+        let coeffs = CostCoefficients::default();
+        let plan = plan_partition(&coeffs, &qc, total, 512).expect("plan");
+        assert_eq!(plan.prefix_gates, 1 + 20 * 12); // h + layers*(11 cx/cz + s)
+        assert_eq!(plan.suffix_gates, 12);
+        assert!(plan.predicted_secs < coeffs.sv_cost(12, total, 512));
+    }
+
+    #[test]
+    fn shallow_prefix_is_left_alone() {
+        // An H layer followed by rotations: the classic variational
+        // opening. Prefix of n gates never qualifies.
+        let mut qc = Circuit::new(10);
+        for q in 0..10 {
+            qc.h(q);
+        }
+        for q in 0..10 {
+            qc.rz(q, 0.4);
+        }
+        let total = qc.num_gates();
+        assert!(plan_partition(&CostCoefficients::default(), &qc, total, 512).is_none());
+    }
+
+    #[test]
+    fn fully_clifford_circuit_is_not_partitioned() {
+        let mut qc = Circuit::new(8);
+        qc.h(0);
+        for _ in 0..10 {
+            for q in 0..7 {
+                qc.cx(q, q + 1);
+            }
+        }
+        let total = qc.num_gates();
+        assert!(plan_partition(&CostCoefficients::default(), &qc, total, 512).is_none());
+    }
+}

@@ -112,6 +112,11 @@ pub struct Qrc {
     invocations: AtomicU64,
     /// Dispatchers currently waiting in slot acquisition.
     waiting: AtomicUsize,
+    /// Cost-model planner behind `backend="auto"`. Lives on the controller
+    /// so its online EWMA corrections accumulate across dispatches: every
+    /// successful auto execution feeds measured runtime back via
+    /// [`crate::planner::Planner::observe`].
+    planner: crate::planner::Planner,
 }
 
 impl Qrc {
@@ -140,6 +145,7 @@ impl Qrc {
             requeues: AtomicU64::new(0),
             invocations: AtomicU64::new(0),
             waiting: AtomicUsize::new(0),
+            planner: crate::planner::Planner::default(),
         }
     }
 
@@ -488,9 +494,10 @@ impl Qrc {
             free_cores: self.hetjob.free_cores(self.group),
             cloud_available: self.registry.get("ionq").is_ok(),
         };
-        let ranked = crate::selector::rank_backends(&circuit, ctx);
+        let ranked = self.planner.plan(&circuit, task.shots, ctx);
         let mut failed: Vec<(String, QfwError)> = Vec::new();
-        for rec in &ranked {
+        for planned in &ranked {
+            let rec = &planned.rec;
             let mut rewritten = task.clone();
             // Preserve user-supplied engine tunables across the rewrite.
             let mut spec = rec.spec.clone();
@@ -501,10 +508,18 @@ impl Qrc {
             let engine = format!("{}/{}", rec.spec.backend, rec.spec.subbackend);
             match self.execute(&rewritten) {
                 Ok(mut result) => {
+                    // Close the calibration loop: drift this engine's EWMA
+                    // correction toward the measured engine+sampling time.
+                    let actual =
+                        result.profile.exec_secs + result.profile.sample_secs;
+                    self.planner.observe(&engine, planned.cost, actual);
                     result.metadata.insert("auto_selected".into(), engine);
                     result
                         .metadata
                         .insert("auto_rationale".into(), rec.rationale.clone());
+                    result
+                        .metadata
+                        .insert("planned_cost".into(), format!("{:.3e}", planned.cost));
                     if !failed.is_empty() {
                         let chain: Vec<&str> =
                             failed.iter().map(|(e, _)| e.as_str()).collect();
@@ -787,6 +802,49 @@ mod tests {
         assert_eq!(result.metadata["auto_selected"], "aer/automatic");
         assert!(result.metadata["auto_rationale"].contains("Clifford"));
         assert_eq!(result.counts.values().sum::<usize>(), 100);
+        // The planner annotates (and learns from) every auto execution.
+        let cost: f64 = result.metadata["planned_cost"].parse().unwrap();
+        assert!(cost.is_finite() && cost > 0.0);
+        assert!(
+            qrc.planner.correction("aer/automatic") != 1.0,
+            "successful execution must feed the EWMA corrections"
+        );
+    }
+
+    #[test]
+    fn auto_partitions_deep_clifford_prefix() {
+        let qrc = qrc(2, DispatchPolicy::RoundRobin);
+        // A deep Clifford prefix on a dense-entangled register followed by
+        // a dense suffix: the planner must issue a partitioned nwqsim plan
+        // and the backend must report the seam it executed.
+        let n = 10;
+        let mut qc = qfw_circuit::Circuit::new(n);
+        qc.h(0);
+        for _ in 0..20 {
+            for q in 0..n - 1 {
+                qc.cx(q, q + 1);
+            }
+        }
+        for q in 0..n {
+            qc.rx(q, 2.0);
+        }
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+        }
+        qc.measure_all();
+        let task = ExecTask {
+            circuit: text::dump(&qc),
+            shots: 80,
+            seed: 7,
+            spec: BackendSpec::of("auto", ""),
+        };
+        let result = qrc.execute(&task).unwrap();
+        assert_eq!(result.metadata["auto_selected"], "nwqsim/cpu");
+        assert_eq!(result.metadata["partition"], "clifford_prefix");
+        let seam: usize = result.metadata["partition_seam"].parse().unwrap();
+        assert_eq!(seam, 1 + 20 * (n - 1));
+        assert!(result.metadata["auto_rationale"].contains("partition"));
+        assert_eq!(result.counts.values().sum::<usize>(), 80);
     }
 
     #[test]

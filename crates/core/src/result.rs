@@ -87,6 +87,20 @@ impl QfwResult {
         self.metadata.insert(key.to_string(), value.to_string());
         self
     }
+
+    /// The planner's predicted runtime for this execution in seconds, when
+    /// the task was auto-routed (`planned_cost` metadata).
+    pub fn planned_cost(&self) -> Option<f64> {
+        self.metadata.get("planned_cost").and_then(|v| v.parse().ok())
+    }
+
+    /// The Clifford-prefix/dense-suffix seam this execution was partitioned
+    /// at, as `(strategy, seam_op_index)`, when the backend ran partitioned.
+    pub fn partition(&self) -> Option<(&str, usize)> {
+        let strategy = self.metadata.get("partition")?;
+        let seam = self.metadata.get("partition_seam")?.parse().ok()?;
+        Some((strategy.as_str(), seam))
+    }
 }
 
 #[cfg(test)]

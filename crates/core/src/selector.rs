@@ -1,10 +1,13 @@
 //! Automated workload-driven backend selection — the paper's stated future
 //! work ("future extensions will target ... automated workload-driven
-//! backend selection"), built on the structural analyses that already feed
-//! the Aer-`automatic` path.
+//! backend selection").
 //!
-//! The selector scores each registered backend against a circuit's
-//! [`StructureReport`] and the paper's own empirical findings:
+//! [`select_backend`] and [`rank_backends`] are thin wrappers over the
+//! calibrated cost-model planner in [`crate::planner`]: every admissible
+//! engine gets a predicted wall-clock from the circuit's
+//! [`StructureReport`](qfw_circuit::analysis::StructureReport) features,
+//! and candidates are ranked by predicted cost within result-quality
+//! tiers. The outcomes reproduce the paper's empirical findings:
 //!
 //! * Clifford circuits → the stabilizer fast path (`aer/automatic`).
 //! * Structured, nearest-neighbour, low-bond circuits (TFIM-like) → MPS
@@ -12,13 +15,14 @@
 //! * Highly entangled or long-range circuits (GHZ/HAM/HHL-like) → the
 //!   state-vector engine, distributed when the register is large —
 //!   Figs. 3a/3b/3d.
-//! * Shallow, tree-like circuits within the contraction width → the
-//!   tensor-network engine remains admissible but is never preferred when
-//!   a dense engine fits (Fig. 3's QTensor curves).
+//! * Beyond every exact engine → the cloud provider when configured, else
+//!   best-effort truncating MPS with an honest rationale.
 
+use crate::planner::Planner;
 use crate::spec::BackendSpec;
-use qfw_circuit::analysis::StructureReport;
 use qfw_circuit::Circuit;
+
+pub use crate::planner::{CLOUD_QUBIT_LIMIT, DENSE_LIMIT, DISTRIBUTE_ABOVE};
 
 /// Resource context the selector weighs: how many cores the session can
 /// offer a single task.
@@ -48,14 +52,9 @@ pub struct Recommendation {
     pub rationale: String,
 }
 
-/// Qubit count above which a dense single-core run is considered too slow
-/// and the selector reaches for rank-distributed execution.
-const DISTRIBUTE_ABOVE: usize = 18;
-
-/// Qubit count above which dense simulation is off the table entirely.
-const DENSE_LIMIT: usize = 26;
-
-/// Recommends a backend for a circuit.
+/// Recommends a backend for a circuit: the cheapest predicted candidate
+/// from a freshly-calibrated [`Planner`] (stateless, so repeated calls
+/// are deterministic).
 ///
 /// ```
 /// use qfw::selector::{select_backend, SelectorContext};
@@ -66,132 +65,24 @@ const DENSE_LIMIT: usize = 26;
 /// assert_eq!(rec.spec.backend, "aer"); // Clifford -> stabilizer fast path
 /// ```
 pub fn select_backend(circuit: &Circuit, ctx: SelectorContext) -> Recommendation {
-    let n = circuit.num_qubits();
-    let report = StructureReport::of(circuit);
-
-    // 1. Clifford: nothing beats the tableau at any size.
-    if report.clifford {
-        return Recommendation {
-            spec: BackendSpec::of("aer", "automatic"),
-            rationale: format!(
-                "circuit is Clifford ({} gates): stabilizer fast path",
-                report.num_gates
-            ),
-        };
-    }
-
-    // 2. Structured low-entanglement: MPS sustains any width (Fig. 3c).
-    //    The marker is weak per-gate entanglement growth (small rotation
-    //    angles on nearest-neighbour entanglers), not mere locality: a CX
-    //    chain is local but maximally entangling.
-    if report.nearest_neighbor_only && report.mean_entangling_angle < 0.3 {
-        return Recommendation {
-            spec: BackendSpec::of("aer", "matrix_product_state"),
-            rationale: format!(
-                "nearest-neighbour circuit with weak entanglers (mean angle \
-                 {:.2} rad): MPS cost stays polynomial",
-                report.mean_entangling_angle
-            ),
-        };
-    }
-
-    // 3. Dense state vector, distributed when the register is big enough
-    //    to amortize the exchanges and cores are available.
-    if n <= DENSE_LIMIT {
-        if n > DISTRIBUTE_ABOVE && ctx.free_cores >= 2 {
-            let ranks = ctx
-                .free_cores
-                .next_power_of_two()
-                .min(1 << (n / 2))
-                .max(2);
-            let ranks = if ranks.is_power_of_two() { ranks } else { ranks / 2 };
-            return Recommendation {
-                spec: BackendSpec::of("nwqsim", "mpi").with_ranks(ranks),
-                rationale: format!(
-                    "{n}-qubit dense register: communication-avoiding \
-                     rank-distributed state vector over {ranks} cores"
-                ),
-            };
-        }
-        return Recommendation {
-            spec: BackendSpec::of("nwqsim", "cpu"),
-            rationale: format!("{n}-qubit dense register fits a single core"),
-        };
-    }
-
-    // 4. Too wide for dense engines: MPS if the cut structure allows even a
-    //    generous bond budget, else the cloud (hardware-bound problems), else
-    //    report the best-effort MPS anyway — with the honest rationale.
-    if report.nearest_neighbor_only && report.mean_entangling_angle < 1.0 {
-        return Recommendation {
-            spec: BackendSpec::of("aer", "matrix_product_state"),
-            rationale: format!(
-                "{n} qubits exceeds the dense limit; nearest-neighbour \
-                 structure keeps MPS viable"
-            ),
-        };
-    }
-    if ctx.cloud_available && n <= 29 {
-        return Recommendation {
-            spec: BackendSpec::of("ionq", "simulator"),
-            rationale: format!(
-                "{n}-qubit long-range circuit beyond local dense capacity: \
-                 deferring to the cloud provider"
-            ),
-        };
-    }
-    Recommendation {
-        spec: BackendSpec::of("aer", "matrix_product_state")
-            .with_extra("chi_max", 128),
-        rationale: format!(
-            "{n}-qubit long-range circuit exceeds every exact engine: \
-             best-effort MPS with a raised bond budget (expect truncation)"
-        ),
-    }
+    rank_backends(circuit, ctx)
+        .into_iter()
+        .next()
+        .expect("the planner always produces at least one candidate")
 }
 
 /// Ranked recommendations: the [`select_backend`] choice first, followed
-/// by failover candidates in decreasing preference. QRC's graceful
+/// by failover candidates in increasing predicted cost. QRC's graceful
 /// degradation walks this list when an engine fails mid-run, so every
-/// entry must be *admissible* for the circuit (fit the qubit count and
-/// the context), even if slower than the primary.
+/// entry is *admissible* for the circuit (fits the qubit count and the
+/// context), and the list holds at least two entries whenever a second
+/// engine is admissible.
 pub fn rank_backends(circuit: &Circuit, ctx: SelectorContext) -> Vec<Recommendation> {
-    let n = circuit.num_qubits();
-    let mut ranked = vec![select_backend(circuit, ctx)];
-    let mut fallbacks = Vec::new();
-    if n <= DENSE_LIMIT {
-        fallbacks.push(Recommendation {
-            spec: BackendSpec::of("nwqsim", "cpu"),
-            rationale: format!("failover: {n}-qubit dense state vector on a single core"),
-        });
-        fallbacks.push(Recommendation {
-            spec: BackendSpec::of("aer", "automatic"),
-            rationale: "failover: Aer automatic method selection".into(),
-        });
-        fallbacks.push(Recommendation {
-            spec: BackendSpec::of("aer", "matrix_product_state"),
-            rationale: "failover: best-effort MPS".into(),
-        });
-    } else {
-        fallbacks.push(Recommendation {
-            spec: BackendSpec::of("aer", "matrix_product_state").with_extra("chi_max", 128),
-            rationale: "failover: best-effort MPS with a raised bond budget".into(),
-        });
-    }
-    if ctx.cloud_available && n <= 29 {
-        fallbacks.push(Recommendation {
-            spec: BackendSpec::of("ionq", "simulator"),
-            rationale: "failover: deferring to the cloud provider".into(),
-        });
-    }
-    for fb in fallbacks {
-        if !ranked.iter().any(|r| {
-            r.spec.backend == fb.spec.backend && r.spec.subbackend == fb.spec.subbackend
-        }) {
-            ranked.push(fb);
-        }
-    }
-    ranked
+    Planner::default()
+        .plan(circuit, crate::planner::DEFAULT_PLAN_SHOTS, ctx)
+        .into_iter()
+        .map(|p| p.rec)
+        .collect()
 }
 
 #[cfg(test)]
@@ -223,8 +114,8 @@ mod tests {
     #[test]
     fn ham_small_routes_to_serial_sv() {
         // HAM is nearest-neighbour but its per-cut rzz count (steps) pushes
-        // the bond bound past the MPS threshold only at larger step counts;
-        // the Table 2 instance has bond bound 4 <= 6, so check a deeper one.
+        // the effective bond dimension high enough that the predicted MPS
+        // cost loses to a 10-qubit dense sweep.
         let deep = qfw_workloads::ham::ham_with(10, 12, 0.25);
         let rec = select_backend(&deep, ctx(1));
         assert_eq!(rec.spec.backend, "nwqsim");
@@ -314,5 +205,80 @@ mod tests {
         let without = select_backend(&qc, ctx(8));
         assert_eq!(without.spec.subbackend, "matrix_product_state");
         assert_eq!(without.spec.extra_parsed::<usize>("chi_max"), Some(128));
+    }
+
+    /// Regression for the rank-sizing bug: `free_cores.next_power_of_two()`
+    /// rounded *up* (5 free cores -> 8 ranks), oversubscribing the
+    /// allocation, and the old `is_power_of_two` guard after it was dead
+    /// code. Ranks must round *down* to the previous power of two.
+    #[test]
+    fn distributed_ranks_never_oversubscribe_free_cores() {
+        let deep = qfw_workloads::ham::ham_with(22, 12, 0.25);
+        for (free, want) in [(3usize, 2usize), (5, 4), (6, 4)] {
+            let rec = select_backend(&deep, ctx(free));
+            assert_eq!(rec.spec.subbackend, "mpi", "free={free}");
+            assert_eq!(rec.spec.ranks, want, "free={free}");
+            assert!(rec.spec.ranks <= free, "oversubscribed at free={free}");
+            assert!(rec.spec.ranks.is_power_of_two());
+        }
+    }
+
+    /// Regression for the failover-gap bug: beyond `DENSE_LIMIT` the
+    /// best-effort-MPS primary used to dedupe against the only fallback,
+    /// leaving QRC a single-entry list. The ranked list must keep >=2
+    /// distinct full specs (extras included) whenever a second engine is
+    /// admissible.
+    #[test]
+    fn beyond_dense_list_always_has_a_failover() {
+        // Long-range, strongly entangling, no cloud: the old code returned
+        // exactly one candidate here.
+        let mut qc = qfw_circuit::Circuit::new(30);
+        for q in 0..15 {
+            qc.rzz(q, 29 - q, 1.2);
+        }
+        let ranked = rank_backends(&qc, ctx(8));
+        assert!(ranked.len() >= 2, "single-entry plan: {ranked:?}");
+        for (i, a) in ranked.iter().enumerate() {
+            for b in &ranked[i + 1..] {
+                assert_ne!(a.spec, b.spec, "duplicate full spec");
+            }
+        }
+        // Nearest-neighbour weak entanglers beyond the dense limit: the
+        // exact-MPS primary and the raised-bond best-effort variant differ
+        // only in extras and must both survive dedupe.
+        let ranked = rank_backends(&tfim(40), ctx(8));
+        assert!(ranked.len() >= 2);
+        let mps_variants = ranked
+            .iter()
+            .filter(|r| r.spec.subbackend == "matrix_product_state")
+            .count();
+        assert!(mps_variants >= 2, "chi_max variant was deduped away");
+    }
+
+    /// The two cloud-admissibility checks used to be independent literal
+    /// `29`s; both paths now share [`CLOUD_QUBIT_LIMIT`].
+    #[test]
+    fn cloud_admissibility_is_shared_and_capped() {
+        let cloud = SelectorContext {
+            free_cores: 8,
+            cloud_available: true,
+        };
+        let wide = |n: usize| {
+            let mut qc = qfw_circuit::Circuit::new(n);
+            for q in 0..n / 2 {
+                qc.rzz(q, n - 1 - q, 1.2);
+            }
+            qc
+        };
+        let at_cap = wide(CLOUD_QUBIT_LIMIT);
+        assert_eq!(select_backend(&at_cap, cloud).spec.backend, "ionq");
+        assert!(rank_backends(&at_cap, cloud)
+            .iter()
+            .any(|r| r.spec.backend == "ionq"));
+        let over_cap = wide(CLOUD_QUBIT_LIMIT + 1);
+        assert_ne!(select_backend(&over_cap, cloud).spec.backend, "ionq");
+        assert!(rank_backends(&over_cap, cloud)
+            .iter()
+            .all(|r| r.spec.backend != "ionq"));
     }
 }

@@ -4,6 +4,25 @@ use crate::error::QfwError;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+/// Well-known `extra` keys shared between the planner, the backends, and
+/// the cache/scheduler layers (which see them for free through the spec's
+/// content hash). Free-form keys remain legal; these are the ones with
+/// cross-layer meaning.
+pub mod extras {
+    /// MPS bond-dimension cap (`aer/matrix_product_state`, `tnqvm`).
+    pub const CHI_MAX: &str = "chi_max";
+    /// Gate-fusion toggle for state-vector engines (default `true`).
+    pub const FUSION: &str = "fusion";
+    /// Partition strategy marker; the only recognized value is
+    /// [`PARTITION_CLIFFORD_PREFIX`].
+    pub const PARTITION: &str = "partition";
+    /// Operation index of the Clifford-prefix/dense-suffix seam. Presence
+    /// of this key engages partitioned execution on `nwqsim/{cpu,openmp}`.
+    pub const PARTITION_SEAM: &str = "partition_seam";
+    /// Value of [`PARTITION`] for stabilizer-prefix hybrid execution.
+    pub const PARTITION_CLIFFORD_PREFIX: &str = "clifford_prefix";
+}
+
 /// Backend-selection properties, the QFw equivalent of
 /// `{"backend": "qtensor", "subbackend": "numpy"}` from Section 4.1.
 ///

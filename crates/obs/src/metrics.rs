@@ -112,6 +112,18 @@ impl Histogram {
         self.inner.sum_us.load(Ordering::Relaxed)
     }
 
+    /// Mean observation in microseconds (0 when empty) — the service-time
+    /// summary the planner's calibration loop and the scheduler's
+    /// per-engine accounting read back.
+    pub fn mean_us(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum_us() as f64 / count as f64
+        }
+    }
+
     fn bucket_counts(&self) -> Vec<(usize, u64)> {
         (0..HIST_BUCKETS)
             .filter_map(|k| {

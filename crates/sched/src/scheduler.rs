@@ -695,11 +695,22 @@ fn run_batch(inner: Arc<Inner>, batch: Vec<QueuedJob>) {
         }
         match result {
             Ok(r) => {
-                st.statuses.insert(job.id, JobStatus::Done(r));
-                st.stats.completed += 1;
                 if inner.obs.is_enabled() {
+                    // Per-engine service time (gate application + sampling):
+                    // the measured ground truth the planner's cost model is
+                    // judged against, keyed the way the planner keys its
+                    // EWMA corrections.
+                    inner
+                        .obs
+                        .histogram(&format!(
+                            "sched.engine_us.{}/{}",
+                            r.backend, r.subbackend
+                        ))
+                        .observe_secs(r.profile.exec_secs + r.profile.sample_secs);
                     inner.obs.counter("sched.completed").inc();
                 }
+                st.statuses.insert(job.id, JobStatus::Done(r));
+                st.stats.completed += 1;
             }
             Err(e) => {
                 st.statuses.insert(job.id, JobStatus::Failed(e.to_string()));
@@ -814,6 +825,23 @@ mod tests {
         let timing = sched.job_timing(id).unwrap();
         assert!(timing.completed_us >= timing.dispatched_us);
         assert_eq!(sched.stats().completed, 1);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn per_engine_service_time_is_recorded() {
+        let obs = Obs::wall();
+        let sched = Scheduler::start(qrc(2), obs.clone(), SchedConfig::default());
+        let id = sched
+            .submit(
+                JobEnvelope::new("alice", &ghz(4), 50)
+                    .with_spec(qfw::BackendSpec::of("nwqsim", "cpu")),
+            )
+            .unwrap();
+        assert!(matches!(sched.wait(id, T), JobStatus::Done(_)));
+        let hist = obs.histogram("sched.engine_us.nwqsim/cpu");
+        assert_eq!(hist.count(), 1);
+        assert!(hist.mean_us() >= 0.0);
         sched.shutdown();
     }
 

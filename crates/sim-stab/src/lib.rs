@@ -10,6 +10,8 @@
 //! bit-packed X/Z rows plus a sign bit, with the standard update rules for
 //! H, S, and CX and the `rowsum` phase bookkeeping for measurement.
 
+pub mod extract;
 pub mod tableau;
 
+pub use extract::MAX_EXTRACT_QUBITS;
 pub use tableau::{StabOutcome, StabSimulator, Tableau};

@@ -10,14 +10,14 @@ use std::time::Duration;
 /// deterministic measurements.
 #[derive(Clone, Debug)]
 pub struct Tableau {
-    n: usize,
-    words: usize,
+    pub(crate) n: usize,
+    pub(crate) words: usize,
     /// X bit matrix, `(2n+1) x words`.
-    x: Vec<Vec<u64>>,
+    pub(crate) x: Vec<Vec<u64>>,
     /// Z bit matrix, `(2n+1) x words`.
-    z: Vec<Vec<u64>>,
+    pub(crate) z: Vec<Vec<u64>>,
     /// Sign bit per row (`true` = phase −1).
-    r: Vec<bool>,
+    pub(crate) r: Vec<bool>,
 }
 
 impl Tableau {
@@ -46,7 +46,7 @@ impl Tableau {
     }
 
     #[inline]
-    fn get(m: &[u64], q: usize) -> bool {
+    pub(crate) fn get(m: &[u64], q: usize) -> bool {
         m[q / 64] >> (q % 64) & 1 == 1
     }
 
@@ -152,7 +152,7 @@ impl Tableau {
     }
 
     /// `rowsum(h, i)`: row `h` *= row `i`, with the CHP phase function.
-    fn rowsum(&mut self, h: usize, i: usize) {
+    pub(crate) fn rowsum(&mut self, h: usize, i: usize) {
         let mut phase: i64 = if self.r[h] { 2 } else { 0 };
         phase += if self.r[i] { 2 } else { 0 };
         for w in 0..self.words {

@@ -93,6 +93,56 @@ impl SvSimulator {
     /// [`run`](Self::run), reporting engine phases (fuse / apply / sample)
     /// as spans on the `engine` track of the given observability handle.
     pub fn run_traced(&self, circuit: &Circuit, shots: usize, seed: u64, obs: &Obs) -> SvOutcome {
+        self.run_inner(None, circuit, shots, seed, obs)
+    }
+
+    /// Executes a circuit for `shots` samples starting from a caller-built
+    /// initial state instead of `|0...0>` — the dense half of hybrid
+    /// partitioned execution, where a stabilizer tableau evolves a Clifford
+    /// prefix and hands the converted state over at the seam.
+    ///
+    /// Sampling draws through exactly the same path as [`run`](Self::run)
+    /// (same seed, same canonical shot split), so a partitioned run's
+    /// counts are bitwise comparable to a monolithic one.
+    ///
+    /// # Panics
+    /// Panics when the initial state's register width does not match the
+    /// circuit's.
+    pub fn run_from(
+        &self,
+        initial: StateVector,
+        circuit: &Circuit,
+        shots: usize,
+        seed: u64,
+    ) -> SvOutcome {
+        self.run_traced_from(initial, circuit, shots, seed, &Obs::disabled())
+    }
+
+    /// [`run_from`](Self::run_from) with engine-phase tracing.
+    pub fn run_traced_from(
+        &self,
+        initial: StateVector,
+        circuit: &Circuit,
+        shots: usize,
+        seed: u64,
+        obs: &Obs,
+    ) -> SvOutcome {
+        assert_eq!(
+            initial.num_qubits(),
+            circuit.num_qubits(),
+            "initial state width must match the circuit register"
+        );
+        self.run_inner(Some(initial), circuit, shots, seed, obs)
+    }
+
+    fn run_inner(
+        &self,
+        initial: Option<StateVector>,
+        circuit: &Circuit,
+        shots: usize,
+        seed: u64,
+        obs: &Obs,
+    ) -> SvOutcome {
         let parallel = self.config.threading == Threading::Rayon;
         let prepared;
         let circuit = if self.config.fusion == FusionLevel::None {
@@ -108,7 +158,8 @@ impl SvSimulator {
         };
 
         let mut rng = Rng::seed_from(seed);
-        let mut sv = StateVector::zero(circuit.num_qubits());
+        let mut sv =
+            initial.unwrap_or_else(|| StateVector::zero(circuit.num_qubits()));
         let sw = qfw_hpc::Stopwatch::start();
         let mut gates_applied = 0usize;
         let mut measured: Vec<(usize, usize)> = Vec::new(); // (qubit, clbit)
